@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the CAN substrate: joins, routing, heartbeat
+//! rounds, churn-event processing and the broken-link metric.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pgrid::prelude::*;
+
+fn build_can(n: usize, d: usize, scheme: HeartbeatScheme) -> CanSim {
+    let mut sim = CanSim::new(ProtocolConfig::new(d, scheme));
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut joined = 0;
+    while joined < n {
+        let c: Vec<f64> = (0..d).map(|_| rng.unit()).collect();
+        if sim.join(c).is_ok() {
+            joined += 1;
+        }
+        sim.advance_to(sim.now() + 1.0);
+    }
+    sim
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("can");
+    g.sample_size(20);
+    g.bench_function("join_500_nodes_11d", |b| {
+        b.iter(|| build_can(500, 11, HeartbeatScheme::Compact).len())
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let sim = build_can(1000, 11, HeartbeatScheme::Vanilla);
+    let members = sim.members();
+    let mut rng = SimRng::seed_from_u64(11);
+    c.bench_function("can/route_1000_nodes_11d", |b| {
+        b.iter(|| {
+            let p: Vec<f64> = (0..11).map(|_| rng.unit()).collect();
+            let start = members[rng.below(members.len())];
+            pgrid::can::route(&sim, start, &p).unwrap().hops
+        })
+    });
+}
+
+fn bench_heartbeat_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("can/heartbeat_period_500_nodes");
+    group.sample_size(10);
+    for scheme in HeartbeatScheme::ALL {
+        group.bench_function(scheme.label(), |b| {
+            b.iter_batched(
+                || build_can(500, 11, scheme),
+                |mut sim| {
+                    let t = sim.now() + 60.0;
+                    sim.advance_to(t);
+                    sim.len()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_event(c: &mut Criterion) {
+    let mut g = c.benchmark_group("can_churn");
+    g.sample_size(10);
+    g.bench_function("churn_event_300_nodes_11d", |b| {
+        b.iter_batched(
+            || (build_can(300, 11, HeartbeatScheme::Adaptive), SimRng::seed_from_u64(3)),
+            |(mut sim, mut rng)| {
+                for _ in 0..10 {
+                    sim.advance_to(sim.now() + 10.0);
+                    if rng.chance(0.5) {
+                        let _ = sim.join((0..11).map(|_| rng.unit()).collect());
+                    } else {
+                        let m = sim.members();
+                        sim.leave(m[rng.below(m.len())], rng.chance(0.5));
+                    }
+                }
+                sim.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_broken_links_metric(c: &mut Criterion) {
+    let sim = build_can(1000, 11, HeartbeatScheme::Compact);
+    c.bench_function("can/broken_links_metric_1000_nodes", |b| {
+        b.iter(|| sim.broken_links())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_routing,
+    bench_heartbeat_round,
+    bench_churn_event,
+    bench_broken_links_metric
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Matchmaking latency per job for the three schedulers on a
+//! 1000-node, 11-dimensional grid (the Figure 5/6 configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrid::prelude::*;
+use pgrid::sched::StaticGrid;
+use pgrid::types::DimensionLayout;
+
+fn setup() -> (StaticGrid, Vec<JobSpec>) {
+    let scenario = default_scenario();
+    let layout = DimensionLayout::with_dims(scenario.dims);
+    let pop = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
+    let grid = StaticGrid::build(layout, pop.clone(), scenario.seed);
+    let mut stream = JobStream::with_population(scenario.job_gen.clone(), scenario.seed, pop);
+    let jobs = stream
+        .take_jobs(512)
+        .into_iter()
+        .map(|(_, j)| j)
+        .collect();
+    (grid, jobs)
+}
+
+fn bench_place(c: &mut Criterion) {
+    let (grid, jobs) = setup();
+    let mut group = c.benchmark_group("matchmaking/place_1000_nodes");
+    {
+        let mut m = PushingMatchmaker::heterogeneous(&grid, PushParams::default());
+        m.refresh(&grid, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut i = 0usize;
+        group.bench_function("can-het", |b| {
+            b.iter(|| {
+                let j = &jobs[i % jobs.len()];
+                i += 1;
+                m.place(&grid, j, &mut rng).node
+            })
+        });
+    }
+    {
+        let mut m = PushingMatchmaker::homogeneous(&grid, PushParams::default());
+        m.refresh(&grid, 0.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut i = 0usize;
+        group.bench_function("can-hom", |b| {
+            b.iter(|| {
+                let j = &jobs[i % jobs.len()];
+                i += 1;
+                m.place(&grid, j, &mut rng).node
+            })
+        });
+    }
+    {
+        let mut m = CentralMatchmaker;
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut i = 0usize;
+        group.bench_function("central", |b| {
+            b.iter(|| {
+                let j = &jobs[i % jobs.len()];
+                i += 1;
+                m.place(&grid, j, &mut rng).node
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ai_refresh(c: &mut Criterion) {
+    let (grid, _) = setup();
+    let mut m = PushingMatchmaker::heterogeneous(&grid, PushParams::default());
+    c.bench_function("matchmaking/ai_refresh_1000_nodes", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 60.0;
+            m.refresh(&grid, t);
+        })
+    });
+}
+
+criterion_group!(benches, bench_place, bench_ai_refresh);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation study of can-het's ingredients (§III-B), run on the
+//! Figure 5 workload at 3 s inter-arrival:
+//!
+//! * acceptable-node search (vs free-node-only),
+//! * dominant-CE ranking/scoring (vs CPU-centric),
+//! * per-CE aggregated load information (vs pooled).
+//!
+//! Each row disables one ingredient; the last row disables all three
+//! (which is close to can-hom, differing only in the score function).
+
+use pgrid::metrics::Table;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn main() {
+    let (scale, _out) = parse_cli();
+    let scenario = match scale {
+        Scale::Paper => default_scenario(),
+        Scale::Quick => {
+            let mut s = default_scenario().scaled_down(10);
+            s.jobs = 2000;
+            s
+        }
+    };
+    println!("=== can-het ingredient ablation ({scale:?}) ===\n");
+    let variants: Vec<(&str, HetFeatures)> = vec![
+        ("full can-het", HetFeatures::all()),
+        (
+            "no acceptable-node search",
+            HetFeatures {
+                acceptable_nodes: false,
+                ..HetFeatures::all()
+            },
+        ),
+        (
+            "no dominant-CE ranking",
+            HetFeatures {
+                dominant_ce: false,
+                ..HetFeatures::all()
+            },
+        ),
+        (
+            "no per-CE aggregates",
+            HetFeatures {
+                per_ce_ai: false,
+                ..HetFeatures::all()
+            },
+        ),
+        (
+            "all disabled",
+            HetFeatures {
+                acceptable_nodes: false,
+                dominant_ce: false,
+                per_ce_ai: false,
+            },
+        ),
+    ];
+    let mut table = Table::new(["variant", "mean wait(s)", "p95(s)", "p99(s)", "zero-wait(%)"]);
+    for (name, features) in variants {
+        let r = run_load_balance_ablated(&scenario, features);
+        let cdf = r.cdf();
+        table.row([
+            name.to_string(),
+            format!("{:.1}", r.mean_wait()),
+            format!("{:.1}", cdf.quantile(0.95)),
+            format!("{:.1}", cdf.quantile(0.99)),
+            format!("{:.1}", 100.0 * cdf.fraction_zero()),
+        ]);
+    }
+    println!("{}", table.render());
+}

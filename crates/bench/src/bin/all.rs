@@ -1,0 +1,33 @@
+//! Runs every experiment regenerator in sequence (Figures 5–8, the
+//! scaling fit and the ablation). Pass `--quick` for a fast smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in [
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "scaling_fit",
+        "ablation",
+        "sf_sweep",
+        "lossy_network",
+        "routing_under_churn",
+        "future_gpus",
+        "contention_model",
+        "confidence",
+        "eviction",
+        "zonemap",
+    ] {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

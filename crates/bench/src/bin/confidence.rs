@@ -1,0 +1,48 @@
+//! Replication study: runs the headline experiments across several
+//! independent seeds and reports mean ± standard deviation — showing
+//! that the reproduced orderings (Figures 5 and 7) are not artifacts of
+//! one random draw.
+
+use pgrid::experiments::{replicate_broken_links, replicate_waits};
+use pgrid::metrics::Table;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn main() {
+    let (scale, _out) = parse_cli();
+    let seeds: Vec<u64> = (0..5).map(|i| 2011 + 97 * i).collect();
+    let base = match scale {
+        Scale::Paper => default_scenario(),
+        Scale::Quick => {
+            let mut s = default_scenario().scaled_down(10);
+            s.jobs = 2000;
+            s
+        }
+    };
+    println!(
+        "=== Replication across {} seeds ({scale:?}) ===\n",
+        seeds.len()
+    );
+    println!("-- load balancing (Figure 5 cell, 3s-equivalent inter-arrival) --");
+    let mut table = Table::new(["scheduler", "zero-wait(%)", "mean wait(s)", "p99(s)"]);
+    for r in replicate_waits(&base, &seeds) {
+        table.row([
+            r.scheduler.label().to_string(),
+            r.zero_wait_pct.to_string(),
+            r.mean_wait.to_string(),
+            r.p99_wait.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("-- churn resilience (Figure 7, steady-state broken links) --");
+    let (nodes, duration) = match scale {
+        Scale::Paper => (1000, 8000.0),
+        Scale::Quick => (150, 3000.0),
+    };
+    let mut table = Table::new(["scheme", "steady broken links"]);
+    for (scheme, rep) in replicate_broken_links(11, nodes, duration, &seeds) {
+        table.row([scheme.label().to_string(), rep.to_string()]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: CDF of job wait time for can-het / can-hom /
+//! central at mean job inter-arrival times of 2 s, 3 s and 4 s
+//! (1000 nodes, 20 000 jobs, 11-dimensional CAN, constraint ratio 0.6).
+
+use pgrid::experiments;
+use pgrid_bench::{parse_cli, render_wait_cell, save_wait_csv, save_wait_svgs};
+
+fn main() {
+    let (scale, out) = parse_cli();
+    println!("=== Figure 5: CDF of job wait time varying inter-arrival time ({scale:?}) ===\n");
+    let cells = experiments::fig5(scale);
+    for cell in &cells {
+        println!("{}", render_wait_cell("inter-arrival (s)", cell));
+    }
+    let csv = out.join("fig5.csv");
+    save_wait_csv(&csv, "interarrival_s", &cells).expect("write csv");
+    let svgs = save_wait_svgs(&out, "fig5", "interarrival_s", &cells).expect("write svg");
+    println!("CSV written to {}; {} SVG plots in {}", csv.display(), svgs.len(), out.display());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: CDF of job wait time for can-het / can-hom /
+//! central at job constraint ratios of 80%, 60% and 40%
+//! (1000 nodes, 20 000 jobs, 11-dimensional CAN, 3 s inter-arrival).
+
+use pgrid::experiments;
+use pgrid_bench::{parse_cli, render_wait_cell, save_wait_csv, save_wait_svgs};
+
+fn main() {
+    let (scale, out) = parse_cli();
+    println!("=== Figure 6: CDF of job wait time varying job constraint ratio ({scale:?}) ===\n");
+    let cells = experiments::fig6(scale);
+    for cell in &cells {
+        println!("{}", render_wait_cell("constraint ratio", cell));
+    }
+    let csv = out.join("fig6.csv");
+    save_wait_csv(&csv, "constraint_ratio", &cells).expect("write csv");
+    let svgs = save_wait_svgs(&out, "fig6", "constraint_ratio", &cells).expect("write svg");
+    println!("CSV written to {}; {} SVG plots in {}", csv.display(), svgs.len(), out.display());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 7: broken links over time under high churn for
+//! the vanilla / compact / adaptive heartbeat schemes (11-dimensional
+//! CAN, 1000 initial nodes, several churn events per heartbeat period).
+
+use pgrid::experiments;
+use pgrid_bench::{parse_cli, render_fig7, save_fig7_csv, save_fig7_svg};
+
+fn main() {
+    let (scale, out) = parse_cli();
+    println!("=== Figure 7: broken links under high churn ({scale:?}) ===\n");
+    let reports = experiments::fig7(scale);
+    println!("{}", render_fig7(&reports));
+    let csv = out.join("fig7.csv");
+    save_fig7_csv(&csv, &reports).expect("write csv");
+    save_fig7_svg(&out.join("fig7.svg"), &reports).expect("write svg");
+    println!("CSV written to {}; SVG plot in {}", csv.display(), out.display());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: heartbeat message count (a) and volume (b)
+//! per node per minute versus CAN dimensionality (5/8/11/14) for
+//! 500/1000/2000-node systems under each heartbeat scheme.
+
+use pgrid::experiments;
+use pgrid_bench::{parse_cli, render_fig8, save_fig8_csv, save_fig8_svgs};
+
+fn main() {
+    let (scale, out) = parse_cli();
+    println!("=== Figure 8: CAN maintenance costs vs dimensions ({scale:?}) ===\n");
+    let cells = experiments::fig8(scale);
+    println!("{}", render_fig8(&cells));
+    let csv = out.join("fig8.csv");
+    save_fig8_csv(&csv, &cells).expect("write csv");
+    save_fig8_svgs(&out, &cells).expect("write svg");
+    println!("CSV written to {}; SVG plots in {}", csv.display(), out.display());
+}

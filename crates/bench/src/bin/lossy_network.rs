@@ -1,0 +1,57 @@
+//! Extension experiment: heartbeat-scheme resilience on a lossy
+//! network. Message loss causes *spurious expiries*; a compact
+//! keepalive can never re-add an expired neighbor (it carries no
+//! zone), so compact tables decay permanently, while vanilla's full
+//! payloads re-install entries and adaptive's on-demand full updates
+//! repair the damage. This isolates a failure mode the paper's churn
+//! experiment (Figure 7) does not separate out.
+
+use pgrid::metrics::Table;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn main() {
+    let (scale, _out) = parse_cli();
+    let nodes = match scale {
+        Scale::Paper => 500,
+        Scale::Quick => 120,
+    };
+    println!("=== Message-loss resilience ({scale:?}; {nodes} nodes, 11-dim CAN, static after bootstrap) ===\n");
+    let mut table = Table::new([
+        "loss",
+        "scheme",
+        "broken links",
+        "routing success",
+        "dropped msgs",
+        "full-update rounds",
+    ]);
+    for loss in [0.0, 0.05, 0.1, 0.2] {
+        for scheme in HeartbeatScheme::ALL {
+            let mut sim =
+                CanSim::new(ProtocolConfig::new(11, scheme).with_message_loss(loss));
+            let mut rng = SimRng::seed_from_u64(2011);
+            let mut joined = 0;
+            while joined < nodes {
+                if sim.join((0..11).map(|_| rng.unit()).collect()).is_ok() {
+                    joined += 1;
+                }
+                sim.advance_to(sim.now() + 1.0);
+            }
+            sim.advance_to(sim.now() + 3000.0); // 50 lossy heartbeat periods
+            let success = pgrid::can::routing::local_routing_success(&sim, 400, 7);
+            table.row([
+                format!("{:.0}%", loss * 100.0),
+                scheme.label().to_string(),
+                sim.broken_links().to_string(),
+                format!("{:.1}%", 100.0 * success),
+                sim.dropped_messages().to_string(),
+                sim.full_update_rounds().to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Compact trades repair ability for bandwidth; on lossy links that trade\n\
+         turns into permanent table decay. Adaptive buys the repair back on demand."
+    );
+}

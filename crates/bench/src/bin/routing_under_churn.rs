@@ -1,0 +1,64 @@
+//! Extension experiment: the end-to-end cost of broken links. Runs the
+//! Figure 7 high-churn workload, then measures greedy routing success
+//! over nodes' *local* tables — connecting the DHT-level resilience
+//! metric to what the matchmaking layer actually experiences.
+
+use pgrid::can::routing::local_routing_success;
+use pgrid::metrics::Table;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn main() {
+    let (scale, _out) = parse_cli();
+    let (nodes, duration) = match scale {
+        Scale::Paper => (1000, 10_000.0),
+        Scale::Quick => (150, 3000.0),
+    };
+    println!("=== Routing success under high churn ({scale:?}; {nodes} nodes, 11-dim CAN) ===\n");
+    let mut table = Table::new(["scheme", "broken links", "local routing success"]);
+    for scheme in HeartbeatScheme::ALL {
+        let mut cfg = ChurnConfig::new(11, scheme, nodes).high_churn();
+        cfg.stage2_duration = duration;
+        cfg.sample_interval = duration / 8.0;
+
+        // Re-run the churn by hand so the simulator is still available
+        // for routing probes afterwards.
+        let mut proto = ProtocolConfig::new(cfg.dims, cfg.scheme);
+        proto.heartbeat_period = cfg.heartbeat_period;
+        proto.fail_timeout = cfg.fail_timeout;
+        let mut sim = CanSim::new(proto);
+        let mut rng = SimRng::sub_stream(cfg.seed, 0xC0DE);
+        let mut gen = uniform_coords(cfg.dims);
+        let mut joined = 0;
+        while joined < cfg.initial_nodes {
+            if sim.join(gen(&mut rng)).is_ok() {
+                joined += 1;
+            }
+            sim.advance_to(sim.now() + cfg.bootstrap_spacing);
+        }
+        sim.advance_to(sim.now() + cfg.settle_time);
+        let end = sim.now() + cfg.stage2_duration;
+        let min_nodes = (cfg.initial_nodes / 2).max(2);
+        while sim.now() + cfg.event_gap <= end {
+            sim.advance_to(sim.now() + cfg.event_gap);
+            if sim.len() <= min_nodes || rng.chance(0.5) {
+                let _ = sim.join(gen(&mut rng));
+            } else {
+                let members = sim.members();
+                let victim = members[rng.below(members.len())];
+                sim.leave(victim, rng.chance(cfg.graceful_fraction));
+            }
+        }
+        let success = local_routing_success(&sim, 600, 13);
+        table.row([
+            scheme.label().to_string(),
+            sim.broken_links().to_string(),
+            format!("{:.1}%", 100.0 * success),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Broken links translate into failed or misdelivered lookups; the adaptive\n\
+         scheme keeps routing success near vanilla's at compact's cost."
+    );
+}

@@ -1,0 +1,48 @@
+//! Verifies the §IV-A cost analysis from measured Figure 8 data:
+//! heartbeat *message counts* grow ~O(d) for every scheme, vanilla
+//! *volume* grows super-linearly (O(d²) asymptotically), and
+//! compact/adaptive volume stays near-linear. Prints the fitted
+//! log–log scaling exponents.
+
+use pgrid::experiments::{self, scaling_exponent};
+use pgrid::metrics::Table;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn main() {
+    let (scale, _out) = parse_cli();
+    println!("=== Scaling-exponent fit of CAN maintenance costs ({scale:?}) ===\n");
+    let cells = experiments::fig8(scale);
+    let mut nodes: Vec<usize> = cells.iter().map(|c| c.nodes).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut table = Table::new(["scheme", "nodes", "msgs ~ d^b", "volume ~ d^b"]);
+    for scheme in HeartbeatScheme::ALL {
+        for &n in &nodes {
+            let series: Vec<&experiments::CostCell> = cells
+                .iter()
+                .filter(|c| c.scheme == scheme && c.nodes == n)
+                .collect();
+            let msgs: Vec<(f64, f64)> = series
+                .iter()
+                .map(|c| (c.dims as f64, c.msgs_per_node_min))
+                .collect();
+            let vol: Vec<(f64, f64)> = series
+                .iter()
+                .map(|c| (c.dims as f64, c.kb_per_node_min))
+                .collect();
+            table.row([
+                scheme.label().to_string(),
+                n.to_string(),
+                format!("{:.2}", scaling_exponent(&msgs)),
+                format!("{:.2}", scaling_exponent(&vol)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Expectation (paper §IV-A): message exponents are similar and modest for all\n\
+         schemes; the vanilla volume exponent clearly exceeds the compact/adaptive\n\
+         volume exponents (O(d²)-flavoured vs near-linear)."
+    );
+}

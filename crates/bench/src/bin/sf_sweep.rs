@@ -1,0 +1,44 @@
+//! Design-choice sensitivity: the stopping factor SF of Eq. 4,
+//! `P(stop) = 1/(1+n)^SF`, controls how eagerly job pushing stops.
+//! Small SF = stop early (cheap but poorly balanced); large SF = push
+//! far (more pushing work, diminishing returns). The paper inherits SF
+//! from its predecessor \[3\]; this sweep shows the trade-off on the
+//! Figure 5 workload and justifies the default SF = 2.
+
+use pgrid::metrics::Table;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn main() {
+    let (scale, _out) = parse_cli();
+    let base = match scale {
+        Scale::Paper => default_scenario(),
+        Scale::Quick => {
+            let mut s = default_scenario().scaled_down(10);
+            s.jobs = 2000;
+            s
+        }
+    };
+    println!("=== Stopping-factor (SF) sensitivity, can-het ({scale:?}) ===\n");
+    let mut table = Table::new([
+        "SF",
+        "mean wait(s)",
+        "p99(s)",
+        "zero-wait(%)",
+        "pushes/job",
+    ]);
+    for sf in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut s = base.clone();
+        s.stopping_factor = sf;
+        let r = run_load_balance(&s, SchedulerChoice::CanHet);
+        let cdf = r.cdf();
+        table.row([
+            format!("{sf}"),
+            format!("{:.1}", r.mean_wait()),
+            format!("{:.1}", cdf.quantile(0.99)),
+            format!("{:.1}", 100.0 * cdf.fraction_zero()),
+            format!("{:.2}", r.pushes.mean()),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,47 @@
+//! Renders 2-D CAN zone maps (the geometry of the paper's Figures 1-3)
+//! at growing populations: how joins partition the space and how a
+//! departure's take-over merges it back.
+
+use pgrid::metrics::RectMap;
+use pgrid::prelude::*;
+use pgrid_bench::parse_cli;
+
+fn snapshot(can: &CanSim, title: &str) -> RectMap {
+    let mut map = RectMap::new(title);
+    for id in can.members() {
+        let z = can.zone(id);
+        map.rect(z.lo(0), z.lo(1), z.hi(0), z.hi(1), id.to_string());
+    }
+    map
+}
+
+fn main() {
+    let (_scale, out) = parse_cli();
+    let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+    let mut rng = SimRng::seed_from_u64(2011);
+    let mut files = Vec::new();
+    for (i, n) in [4usize, 16, 64].iter().enumerate() {
+        while can.len() < *n {
+            let _ = can.join(vec![rng.unit(), rng.unit()]);
+            can.advance_to(can.now() + 1.0);
+        }
+        let path = out.join(format!("zonemap_{n}.svg"));
+        snapshot(&can, &format!("2-D CAN zones, {n} nodes"))
+            .save(&path)
+            .expect("write svg");
+        files.push(path);
+        let _ = i;
+    }
+    // One departure: the take-over merges/relocates zones.
+    let victim = can.members()[7];
+    can.leave(victim, true);
+    let path = out.join("zonemap_after_leave.svg");
+    snapshot(&can, &format!("after {victim} left (take-over applied)"))
+        .save(&path)
+        .expect("write svg");
+    files.push(path);
+    println!("zone maps written:");
+    for f in &files {
+        println!("  {}", f.display());
+    }
+}

@@ -1,0 +1,386 @@
+//! Ground-truth neighbor relation over the current zone set.
+//!
+//! The CAN neighbor relation ("nodes whose zones abut its own", paper
+//! §II-A) is maintained *incrementally*: each join touches only the
+//! host's old neighborhood, each departure only the neighborhoods of
+//! the zones involved in the take-over. An O(n²) recomputation is kept
+//! for test-time verification.
+//!
+//! This adjacency is the simulator's *ground truth* — what the DHT
+//! would look like with perfect knowledge. Per-node (possibly stale)
+//! views live in [`crate::membership`]; a **broken link** is a
+//! ground-truth edge missing from a node's local view.
+
+use crate::geom::Zone;
+use pgrid_types::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Incrementally-maintained abutment graph over zones.
+#[derive(Debug, Default)]
+pub struct Adjacency {
+    nbrs: HashMap<NodeId, HashSet<NodeId>>,
+}
+
+impl Adjacency {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Adjacency::default()
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nbrs.is_empty()
+    }
+
+    /// The current neighbor set of `id` (empty if unknown).
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nbrs.get(&id).into_iter().flatten().copied()
+    }
+
+    /// Whether `a` and `b` are currently neighbors.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.nbrs.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Neighbor count of `id`.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.nbrs.get(&id).map_or(0, HashSet::len)
+    }
+
+    /// Total directed edge count (2× undirected edges).
+    pub fn directed_edges(&self) -> usize {
+        self.nbrs.values().map(HashSet::len).sum()
+    }
+
+    /// Registers the first node (no neighbors).
+    pub fn insert_first(&mut self, id: NodeId) {
+        assert!(self.nbrs.is_empty(), "insert_first on non-empty graph");
+        self.nbrs.insert(id, HashSet::new());
+    }
+
+    fn link(&mut self, a: NodeId, b: NodeId) {
+        self.nbrs.entry(a).or_default().insert(b);
+        self.nbrs.entry(b).or_default().insert(a);
+    }
+
+    fn unlink(&mut self, a: NodeId, b: NodeId) {
+        if let Some(s) = self.nbrs.get_mut(&a) {
+            s.remove(&b);
+        }
+        if let Some(s) = self.nbrs.get_mut(&b) {
+            s.remove(&a);
+        }
+    }
+
+    fn relink(&mut self, a: NodeId, b: NodeId, abut: bool) {
+        if abut {
+            self.link(a, b);
+        } else {
+            self.unlink(a, b);
+        }
+    }
+
+    /// Updates the graph after `joiner` split `host`'s zone.
+    ///
+    /// `zones(id)` must return the *current* (post-split) zone of any
+    /// live node. Every new neighbor of either child zone was a
+    /// neighbor of the parent zone, so only the host's old neighborhood
+    /// is re-examined.
+    pub fn on_split<'z>(
+        &mut self,
+        host: NodeId,
+        joiner: NodeId,
+        zones: impl Fn(NodeId) -> &'z Zone,
+    ) {
+        let old: Vec<NodeId> = self.neighbors(host).collect();
+        self.nbrs.entry(joiner).or_default();
+        let host_zone = zones(host).clone();
+        let joiner_zone = zones(joiner).clone();
+        for y in old {
+            let yz = zones(y);
+            self.relink(host, y, host_zone.abuts(yz));
+            self.relink(joiner, y, joiner_zone.abuts(yz));
+        }
+        self.link(host, joiner); // split siblings always share a face
+        debug_assert!(host_zone.abuts(&joiner_zone));
+    }
+
+    /// Updates the graph after `departed`'s zone merged into `heir`'s
+    /// (sibling-leaf take-over). The heir's new neighborhood is a
+    /// subset of the union of both old neighborhoods.
+    pub fn on_merge<'z>(
+        &mut self,
+        departed: NodeId,
+        heir: NodeId,
+        zones: impl Fn(NodeId) -> &'z Zone,
+    ) {
+        let mut candidates: HashSet<NodeId> = self.neighbors(departed).collect();
+        candidates.extend(self.neighbors(heir));
+        candidates.remove(&heir);
+        candidates.remove(&departed);
+        self.remove_node(departed);
+        let heir_zone = zones(heir).clone();
+        for y in candidates {
+            self.relink(heir, y, heir_zone.abuts(zones(y)));
+        }
+    }
+
+    /// Updates the graph after a defragmentation take-over: `departed`
+    /// left, `relocator` moved onto the departed zone, and `absorber`
+    /// absorbed the relocator's old zone.
+    pub fn on_relocate<'z>(
+        &mut self,
+        departed: NodeId,
+        relocator: NodeId,
+        absorber: NodeId,
+        zones: impl Fn(NodeId) -> &'z Zone,
+    ) {
+        // Candidates for the relocator's new position: the departed
+        // zone is unchanged, so its old neighbors (plus the absorber,
+        // whose zone grew) are the only possibilities.
+        let mut reloc_candidates: HashSet<NodeId> = self.neighbors(departed).collect();
+        reloc_candidates.insert(absorber);
+        reloc_candidates.remove(&relocator);
+        reloc_candidates.remove(&departed);
+
+        // Candidates for the absorber's grown zone: old neighbors of
+        // the absorber and of the relocator's old zone.
+        let mut absorb_candidates: HashSet<NodeId> = self.neighbors(absorber).collect();
+        absorb_candidates.extend(self.neighbors(relocator));
+        absorb_candidates.remove(&absorber);
+        absorb_candidates.remove(&relocator);
+        absorb_candidates.remove(&departed);
+
+        // The relocator's old zone disappears as an independent zone.
+        let reloc_old: Vec<NodeId> = self.neighbors(relocator).collect();
+        for y in reloc_old {
+            self.unlink(relocator, y);
+        }
+        self.remove_node(departed);
+
+        let absorber_zone = zones(absorber).clone();
+        for y in absorb_candidates {
+            self.relink(absorber, y, absorber_zone.abuts(zones(y)));
+        }
+        let reloc_zone = zones(relocator).clone();
+        for y in reloc_candidates {
+            if y == relocator {
+                continue;
+            }
+            self.relink(relocator, y, reloc_zone.abuts(zones(y)));
+        }
+        // The absorber and relocator may or may not abut now.
+        self.relink(
+            relocator,
+            absorber,
+            reloc_zone.abuts(&absorber_zone),
+        );
+    }
+
+    /// Removes a node and all its edges (used by `on_merge` and when
+    /// the CAN empties).
+    pub fn remove_node(&mut self, id: NodeId) {
+        if let Some(set) = self.nbrs.remove(&id) {
+            for y in set {
+                if let Some(s) = self.nbrs.get_mut(&y) {
+                    s.remove(&id);
+                }
+            }
+        }
+    }
+
+    /// O(n²) reference computation, for verification in tests.
+    pub fn recompute<'z>(
+        members: impl Iterator<Item = NodeId>,
+        zones: impl Fn(NodeId) -> &'z Zone,
+    ) -> Adjacency {
+        let ids: Vec<NodeId> = members.collect();
+        let mut adj = Adjacency::new();
+        for &id in &ids {
+            adj.nbrs.entry(id).or_default();
+        }
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                if zones(ids[i]).abuts(zones(ids[j])) {
+                    adj.link(ids[i], ids[j]);
+                }
+            }
+        }
+        adj
+    }
+
+    /// Structural equality against another adjacency (for tests).
+    pub fn same_as(&self, other: &Adjacency) -> bool {
+        if self.nbrs.len() != other.nbrs.len() {
+            return false;
+        }
+        self.nbrs
+            .iter()
+            .all(|(k, v)| other.nbrs.get(k).is_some_and(|w| v == w))
+    }
+
+    /// Mean degree across members (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.nbrs.is_empty() {
+            0.0
+        } else {
+            self.directed_edges() as f64 / self.nbrs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_tree::{SplitTree, ZoneChange};
+    use pgrid_simcore::SimRng;
+    use std::collections::HashMap;
+
+    /// Drives a split tree and incremental adjacency together through
+    /// random churn, verifying against the O(n²) recomputation.
+    #[test]
+    fn incremental_matches_recompute_under_churn() {
+        let dims = 4;
+        let mut rng = SimRng::seed_from_u64(2011);
+        let mut tree = SplitTree::new(dims, NodeId(0));
+        let mut adj = Adjacency::new();
+        adj.insert_first(NodeId(0));
+        let mut coords: HashMap<NodeId, Vec<f64>> = HashMap::new();
+        coords.insert(NodeId(0), vec![0.01; dims]);
+        let mut next = 1u32;
+
+        for step in 0..600 {
+            let join = tree.len() <= 3 || rng.chance(0.5);
+            if join {
+                let id = NodeId(next);
+                let c: Vec<f64> = (0..dims).map(|_| rng.unit()).collect();
+                let host = tree.owner_at(&c).unwrap();
+                let hc = coords[&host].clone();
+                let zone = tree.zone(host).clone();
+                let mut split_dim = None;
+                for d in 0..dims {
+                    let at = 0.5 * (hc[d] + c[d]);
+                    if hc[d] != c[d] && zone.lo(d) < at && at < zone.hi(d) {
+                        split_dim = Some((d, at));
+                        break;
+                    }
+                }
+                let Some((d, at)) = split_dim else { continue };
+                next += 1;
+                tree.split(host, &hc, id, &c, d, at);
+                coords.insert(id, c);
+                adj.on_split(host, id, |n| tree.zone(n));
+            } else {
+                let members: Vec<NodeId> = tree.members().collect();
+                let victim = *members
+                    .iter()
+                    .min_by_key(|m| {
+                        // pseudo-random but deterministic victim choice
+                        m.0.wrapping_mul(2654435761).rotate_left((step % 31) as u32)
+                    })
+                    .unwrap();
+                coords.remove(&victim);
+                match tree.remove(victim) {
+                    ZoneChange::Merged { owner, .. } => {
+                        adj.on_merge(victim, owner, |n| tree.zone(n));
+                    }
+                    ZoneChange::Relocated {
+                        relocator, absorber, ..
+                    } => {
+                        adj.on_relocate(victim, relocator, absorber, |n| tree.zone(n));
+                    }
+                    ZoneChange::Emptied => {
+                        adj.remove_node(victim);
+                    }
+                }
+            }
+            if step % 25 == 0 {
+                tree.check_invariants();
+                let reference = Adjacency::recompute(tree.members(), |n| tree.zone(n));
+                assert!(
+                    adj.same_as(&reference),
+                    "incremental adjacency diverged at step {step}"
+                );
+            }
+        }
+        let reference = Adjacency::recompute(tree.members(), |n| tree.zone(n));
+        assert!(adj.same_as(&reference));
+        assert!(adj.mean_degree() > 1.0);
+    }
+
+    #[test]
+    fn first_node_has_no_neighbors() {
+        let mut adj = Adjacency::new();
+        adj.insert_first(NodeId(0));
+        assert_eq!(adj.degree(NodeId(0)), 0);
+        assert_eq!(adj.len(), 1);
+    }
+
+    #[test]
+    fn split_siblings_are_linked() {
+        let mut tree = SplitTree::new(2, NodeId(0));
+        let mut adj = Adjacency::new();
+        adj.insert_first(NodeId(0));
+        tree.split(
+            NodeId(0),
+            &vec![0.2, 0.5],
+            NodeId(1),
+            &vec![0.8, 0.5],
+            0,
+            0.5,
+        );
+        adj.on_split(NodeId(0), NodeId(1), |n| tree.zone(n));
+        assert!(adj.are_neighbors(NodeId(0), NodeId(1)));
+        assert_eq!(adj.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn merge_removes_the_departed() {
+        let mut tree = SplitTree::new(2, NodeId(0));
+        let mut adj = Adjacency::new();
+        adj.insert_first(NodeId(0));
+        tree.split(
+            NodeId(0),
+            &vec![0.2, 0.5],
+            NodeId(1),
+            &vec![0.8, 0.5],
+            0,
+            0.5,
+        );
+        adj.on_split(NodeId(0), NodeId(1), |n| tree.zone(n));
+        match tree.remove(NodeId(1)) {
+            ZoneChange::Merged { owner, .. } => {
+                adj.on_merge(NodeId(1), owner, |n| tree.zone(n));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(adj.len(), 1);
+        assert_eq!(adj.degree(NodeId(0)), 0);
+        assert!(!adj.are_neighbors(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn mean_degree_of_grid() {
+        // 4 quadrants: each node abuts 2 others (corner contact doesn't
+        // count), so mean degree is exactly 2.
+        let mut tree = SplitTree::new(2, NodeId(0));
+        let mut adj = Adjacency::new();
+        adj.insert_first(NodeId(0));
+        tree.split(NodeId(0), &vec![0.2, 0.2], NodeId(1), &vec![0.8, 0.2], 0, 0.5);
+        adj.on_split(NodeId(0), NodeId(1), |n| tree.zone(n));
+        tree.split(NodeId(0), &vec![0.2, 0.2], NodeId(2), &vec![0.2, 0.8], 1, 0.5);
+        adj.on_split(NodeId(0), NodeId(2), |n| tree.zone(n));
+        tree.split(NodeId(1), &vec![0.8, 0.2], NodeId(3), &vec![0.8, 0.8], 1, 0.5);
+        adj.on_split(NodeId(1), NodeId(3), |n| tree.zone(n));
+        assert_eq!(adj.mean_degree(), 2.0);
+        assert!(adj.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(adj.are_neighbors(NodeId(2), NodeId(3)));
+        assert!(!adj.are_neighbors(NodeId(0), NodeId(3)));
+        assert!(!adj.are_neighbors(NodeId(1), NodeId(2)));
+    }
+}

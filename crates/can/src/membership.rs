@@ -1,0 +1,462 @@
+//! Per-node *local* membership views.
+//!
+//! Each node keeps its own neighbor table, fed only by the messages it
+//! receives. Ground truth (the split tree and [`crate::adjacency`]) and
+//! these local views drift apart under churn; the difference is exactly
+//! the paper's failure-resilience metric: a **broken link** is "a node
+//! has missing neighbor information along an edge of its zone, even
+//! though some node already owns the zone on the other side of that
+//! edge" (§IV-A, Figure 2).
+
+use crate::geom::{Point, Zone};
+use pgrid_simcore::SimTime;
+use pgrid_types::NodeId;
+use std::collections::HashMap;
+
+/// What a node believes about one neighbor.
+#[derive(Debug, Clone)]
+pub struct NeighborEntry {
+    /// The neighbor's zone as last advertised to this node.
+    pub zone: Zone,
+    /// When this node last heard from (or adopted) the neighbor.
+    pub last_heard: SimTime,
+    /// Whether the neighbor has ever been heard *first-hand* (its own
+    /// heartbeat or zone update). Entries learned second-hand (payload
+    /// repair, take-over adoption) stay unconfirmed until the neighbor
+    /// speaks for itself; their expiry is not evidence of a broken
+    /// link, so it does not trigger adaptive full-update rounds.
+    pub confirmed: bool,
+}
+
+/// A full-state snapshot of a node: its zone plus its complete neighbor
+/// table. Carried by vanilla heartbeats, by compact/adaptive heartbeats
+/// to take-over targets, by full-update responses and by handoffs.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    /// The sender.
+    pub from: NodeId,
+    /// The sender's zone at snapshot time.
+    pub zone: Zone,
+    /// The sender's neighbor table (ids and zones as the sender knew
+    /// them — possibly already stale).
+    pub neighbors: Vec<(NodeId, Zone)>,
+    /// Snapshot time.
+    pub sent_at: SimTime,
+}
+
+/// The local protocol state of one CAN member.
+#[derive(Debug)]
+pub struct LocalNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// This node's coordinate in the CAN space (fixed resource
+    /// capabilities plus the random virtual coordinate).
+    pub coord: Point,
+    /// This node's current zone (updated locally on splits/take-overs).
+    pub zone: Zone,
+    /// The neighbor table — this node's possibly-stale view.
+    pub table: HashMap<NodeId, NeighborEntry>,
+    /// Cached full-state payloads from nodes whose zone this node may
+    /// have to take over (refreshed by their full heartbeats).
+    pub cache: HashMap<NodeId, Payload>,
+    /// Set when this node's zone changed (join split it, or a take-over
+    /// grew/moved it): the next heartbeat round carries the new zone to
+    /// every neighbor rather than a bare keepalive.
+    pub zone_dirty: bool,
+    /// Adaptive scheme: set when a broken link has been detected
+    /// locally (a neighbor expired without replacement information, or
+    /// this node's zone changed); triggers a full-update request round.
+    pub wants_full_update: bool,
+}
+
+impl LocalNode {
+    /// A fresh member with an empty table.
+    pub fn new(id: NodeId, coord: Point, zone: Zone) -> Self {
+        LocalNode {
+            id,
+            coord,
+            zone,
+            table: HashMap::new(),
+            cache: HashMap::new(),
+            zone_dirty: false,
+            wants_full_update: false,
+        }
+    }
+
+    /// Records first-hand contact from `from` owning `zone` — inserts
+    /// or refreshes the entry if the zone abuts ours, removes it
+    /// otherwise (the sender drifted away).
+    pub fn hear_with_zone(&mut self, from: NodeId, zone: &Zone, now: SimTime) {
+        if from == self.id {
+            return;
+        }
+        if self.zone.abuts(zone) {
+            self.table.insert(
+                from,
+                NeighborEntry {
+                    zone: zone.clone(),
+                    last_heard: now,
+                    confirmed: true,
+                },
+            );
+        } else {
+            self.table.remove(&from);
+        }
+    }
+
+    /// Records a bare keepalive: refreshes `last_heard` if the sender
+    /// is already known (a keepalive carries no zone, so an unknown
+    /// sender cannot be added).
+    pub fn hear_keepalive(&mut self, from: NodeId, now: SimTime) {
+        if let Some(e) = self.table.get_mut(&from) {
+            e.last_heard = now;
+            e.confirmed = true;
+        }
+    }
+
+    /// Merges second-hand neighbor records: unknown nodes whose
+    /// advertised zone abuts ours are inserted (this is the vanilla
+    /// CAN's broken-link repair path, Figure 2). Known entries are
+    /// *not* refreshed — second-hand information must not keep a dead
+    /// neighbor alive indefinitely. Returns how many entries were
+    /// repaired (inserted).
+    pub fn merge_records(&mut self, records: &[(NodeId, Zone)], now: SimTime) -> usize {
+        let mut repaired = 0;
+        for (m, mz) in records {
+            if *m == self.id || self.table.contains_key(m) {
+                continue;
+            }
+            if self.zone.abuts(mz) {
+                self.table.insert(
+                    *m,
+                    NeighborEntry {
+                        zone: mz.clone(),
+                        last_heard: now,
+                        confirmed: false,
+                    },
+                );
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    /// Adopts neighbor records during a zone take-over (handoff payload
+    /// or cached full heartbeat from the departed node). Unlike
+    /// [`LocalNode::merge_records`], adoption also *refreshes* matching
+    /// entries we already had: the departed node vouched for them just
+    /// now, and expiring them before they can confirm first-hand would
+    /// tear links the take-over is supposed to preserve. Existing
+    /// first-hand zone knowledge is kept.
+    pub fn adopt_records(&mut self, records: &[(NodeId, Zone)], now: SimTime) {
+        for (m, mz) in records {
+            if *m == self.id {
+                continue;
+            }
+            if let Some(e) = self.table.get_mut(m) {
+                e.last_heard = e.last_heard.max(now);
+            } else if self.zone.abuts(mz) {
+                self.table.insert(
+                    *m,
+                    NeighborEntry {
+                        zone: mz.clone(),
+                        last_heard: now,
+                        confirmed: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Merges a full payload: second-hand records via
+    /// [`LocalNode::merge_records`], plus the sender itself as
+    /// first-hand information.
+    pub fn merge_payload_records(&mut self, payload: &Payload, now: SimTime) -> usize {
+        let repaired = self.merge_records(&payload.neighbors, now);
+        self.hear_with_zone(payload.from, &payload.zone, now);
+        repaired
+    }
+
+    /// Drops entries not heard from within `timeout`; returns the
+    /// expired `(id, entry)` pairs. Also forgets their cached payloads.
+    pub fn expire(&mut self, now: SimTime, timeout: f64) -> Vec<(NodeId, NeighborEntry)> {
+        let ids: Vec<NodeId> = self
+            .table
+            .iter()
+            .filter(|(_, e)| now - e.last_heard > timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .map(|id| {
+                self.cache.remove(&id);
+                let e = self.table.remove(&id).expect("entry present");
+                (id, e)
+            })
+            .collect()
+    }
+
+    /// Sample-based check that the region a departed/expired neighbor
+    /// used to cover (as far as this node's boundary is concerned) is
+    /// covered by the remaining table entries. Samples the shared face
+    /// at its center plus two offsets per free dimension, displaced
+    /// half-way into the departed zone — under the split-tree take-over
+    /// discipline the inheriting zone always contains those points.
+    ///
+    /// Returns `false` (a suspected broken link) when some sample point
+    /// is covered by no known neighbor. This is the *local detection*
+    /// that triggers the adaptive scheme's full-update request; routine
+    /// expiries whose region is already re-covered stay silent.
+    #[allow(clippy::needless_range_loop)] // d indexes multiple structures
+    pub fn covers_face_region(&self, departed_zone: &Zone) -> bool {
+        let Some((d0, dir)) = self.zone.abut_dim(departed_zone) else {
+            return true; // no longer on our boundary: nothing to cover
+        };
+        let dims = self.zone.dims();
+        // Depth coordinate: half-way into the departed zone.
+        let depth = 0.5 * (departed_zone.lo(d0) + departed_zone.hi(d0));
+        debug_assert!(dir == 1 || dir == -1);
+        // Face extent: overlap of the two zones in every other dim.
+        let mut center: Vec<f64> = vec![0.0; dims];
+        center[d0] = depth;
+        let mut spans: Vec<(usize, f64, f64)> = Vec::with_capacity(dims - 1);
+        for d in 0..dims {
+            if d == d0 {
+                continue;
+            }
+            let lo = self.zone.lo(d).max(departed_zone.lo(d));
+            let hi = self.zone.hi(d).min(departed_zone.hi(d));
+            debug_assert!(hi > lo, "abutting zones overlap positively");
+            center[d] = 0.5 * (lo + hi);
+            spans.push((d, lo, hi));
+        }
+        let covered = |p: &[f64]| self.table.values().any(|e| e.zone.contains(p));
+        if !covered(&center) {
+            return false;
+        }
+        let mut probe = center.clone();
+        for &(d, lo, hi) in &spans {
+            let len = hi - lo;
+            for x in [lo + 0.01 * len, hi - 0.01 * len] {
+                probe[d] = x;
+                if !covered(&probe) {
+                    return false;
+                }
+            }
+            probe[d] = center[d];
+        }
+        true
+    }
+
+    /// Sample-based check for uncovered regions anywhere on this
+    /// node's own boundary (used after a take-over changed our zone).
+    /// Faces on the CAN domain boundary (0 or 1) have no outside and
+    /// are skipped.
+    pub fn has_boundary_gap(&self) -> bool {
+        let dims = self.zone.dims();
+        const EPS: f64 = 1e-9;
+        let covered = |p: &[f64]| self.table.values().any(|e| e.zone.contains(p));
+        for d0 in 0..dims {
+            for (boundary, outside) in [
+                (self.zone.lo(d0), self.zone.lo(d0) - EPS),
+                (self.zone.hi(d0), self.zone.hi(d0) + EPS),
+            ] {
+                if boundary <= 0.0 || boundary >= 1.0 {
+                    continue; // domain edge: no neighbor possible
+                }
+                let mut probe: Vec<f64> = (0..dims)
+                    .map(|d| 0.5 * (self.zone.lo(d) + self.zone.hi(d)))
+                    .collect();
+                probe[d0] = outside;
+                if !covered(&probe) {
+                    return true;
+                }
+                for d in 0..dims {
+                    if d == d0 {
+                        continue;
+                    }
+                    let len = self.zone.side(d);
+                    let mid = 0.5 * (self.zone.lo(d) + self.zone.hi(d));
+                    for x in [self.zone.lo(d) + 0.01 * len, self.zone.hi(d) - 0.01 * len] {
+                        probe[d] = x;
+                        if !covered(&probe) {
+                            return true;
+                        }
+                    }
+                    probe[d] = mid;
+                }
+            }
+        }
+        false
+    }
+
+    /// Installs a new zone after a split or take-over: prunes table
+    /// entries that (by our own knowledge) no longer abut, and marks
+    /// the zone dirty so the next round advertises it.
+    pub fn set_zone(&mut self, zone: Zone) {
+        self.zone = zone;
+        let own = self.zone.clone();
+        self.table.retain(|_, e| own.abuts(&e.zone));
+        self.zone_dirty = true;
+    }
+
+    /// Snapshot of this node's full state for a heartbeat/handoff.
+    ///
+    /// Only *confirmed* (first-hand) entries are advertised: forwarding
+    /// second-hand records would let a frozen record of a departed or
+    /// shrunk zone propagate epidemically between tables, resurrecting
+    /// faster than expiry can retire it.
+    pub fn snapshot(&self, now: SimTime) -> Payload {
+        Payload {
+            from: self.id,
+            zone: self.zone.clone(),
+            neighbors: self
+                .table
+                .iter()
+                .filter(|(_, e)| e.confirmed)
+                .map(|(id, e)| (*id, e.zone.clone()))
+                .collect(),
+            sent_at: now,
+        }
+    }
+
+    /// Ids currently in the table (sorted, for deterministic
+    /// iteration when sending messages).
+    pub fn known_neighbors(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.table.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(lo: &[f64], hi: &[f64]) -> Zone {
+        Zone::from_bounds(lo.to_vec(), hi.to_vec())
+    }
+
+    fn node() -> LocalNode {
+        // Owns the left half of the unit square.
+        LocalNode::new(NodeId(0), vec![0.2, 0.5], z(&[0.0, 0.0], &[0.5, 1.0]))
+    }
+
+    #[test]
+    fn hear_with_abutting_zone_inserts() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 10.0);
+        assert!(n.table.contains_key(&NodeId(1)));
+        assert_eq!(n.table[&NodeId(1)].last_heard, 10.0);
+    }
+
+    #[test]
+    fn hear_with_non_abutting_zone_removes() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 10.0);
+        // Node 1's zone shrank away from us.
+        n.hear_with_zone(NodeId(1), &z(&[0.7, 0.0], &[1.0, 1.0]), 20.0);
+        assert!(!n.table.contains_key(&NodeId(1)));
+    }
+
+    #[test]
+    fn keepalive_refreshes_but_cannot_insert() {
+        let mut n = node();
+        n.hear_keepalive(NodeId(1), 5.0);
+        assert!(n.table.is_empty());
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 10.0);
+        n.hear_keepalive(NodeId(1), 30.0);
+        assert_eq!(n.table[&NodeId(1)].last_heard, 30.0);
+    }
+
+    #[test]
+    fn own_id_is_never_inserted() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(0), &z(&[0.5, 0.0], &[1.0, 1.0]), 10.0);
+        assert!(n.table.is_empty());
+    }
+
+    #[test]
+    fn payload_merge_repairs_missing_links() {
+        let mut n = node();
+        // Sender 1 abuts us; its payload mentions node 2 whose zone
+        // also abuts us — the Figure 2 repair path.
+        let payload = Payload {
+            from: NodeId(1),
+            zone: z(&[0.5, 0.0], &[1.0, 0.5]),
+            neighbors: vec![
+                (NodeId(2), z(&[0.5, 0.5], &[1.0, 1.0])),
+                (NodeId(3), z(&[0.9, 0.9], &[1.0, 1.0])), // does not abut us
+                (NodeId(0), z(&[0.0, 0.0], &[0.5, 1.0])), // ourselves
+            ],
+            sent_at: 40.0,
+        };
+        let repaired = n.merge_payload_records(&payload, 40.0);
+        assert_eq!(repaired, 1);
+        assert!(n.table.contains_key(&NodeId(1)), "sender inserted");
+        assert!(n.table.contains_key(&NodeId(2)), "link repaired");
+        assert!(!n.table.contains_key(&NodeId(3)));
+        assert!(!n.table.contains_key(&NodeId(0)));
+    }
+
+    #[test]
+    fn payload_merge_does_not_refresh_existing_entries() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(2), &z(&[0.5, 0.5], &[1.0, 1.0]), 10.0);
+        let payload = Payload {
+            from: NodeId(1),
+            zone: z(&[0.5, 0.0], &[1.0, 0.5]),
+            neighbors: vec![(NodeId(2), z(&[0.5, 0.5], &[1.0, 1.0]))],
+            sent_at: 100.0,
+        };
+        n.merge_payload_records(&payload, 100.0);
+        assert_eq!(
+            n.table[&NodeId(2)].last_heard,
+            10.0,
+            "second-hand info must not refresh liveness"
+        );
+    }
+
+    #[test]
+    fn expiry_drops_silent_neighbors() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 0.5]), 0.0);
+        n.hear_with_zone(NodeId(2), &z(&[0.5, 0.5], &[1.0, 1.0]), 100.0);
+        let expired = n.expire(160.0, 150.0);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0, NodeId(1));
+        assert!(expired[0].1.confirmed);
+        assert!(n.table.contains_key(&NodeId(2)));
+    }
+
+    #[test]
+    fn set_zone_prunes_and_marks_dirty() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 0.5]), 0.0);
+        n.hear_with_zone(NodeId(2), &z(&[0.5, 0.5], &[1.0, 1.0]), 0.0);
+        // Shrink to the bottom-left quadrant: node 2 no longer abuts.
+        n.set_zone(z(&[0.0, 0.0], &[0.5, 0.5]));
+        assert!(n.zone_dirty);
+        assert!(n.table.contains_key(&NodeId(1)));
+        assert!(!n.table.contains_key(&NodeId(2)));
+    }
+
+    #[test]
+    fn snapshot_round_trips_table() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 0.5]), 0.0);
+        let snap = n.snapshot(12.0);
+        assert_eq!(snap.from, NodeId(0));
+        assert_eq!(snap.neighbors.len(), 1);
+        assert_eq!(snap.sent_at, 12.0);
+        assert_eq!(snap.neighbors[0].0, NodeId(1));
+    }
+
+    #[test]
+    fn known_neighbors_sorted() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(5), &z(&[0.5, 0.0], &[1.0, 0.3]), 0.0);
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.3], &[1.0, 0.6]), 0.0);
+        n.hear_with_zone(NodeId(3), &z(&[0.5, 0.6], &[1.0, 1.0]), 0.0);
+        assert_eq!(n.known_neighbors(), vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+}

@@ -1,0 +1,1098 @@
+//! The CAN maintenance protocol simulator: joins, departures, and the
+//! three heartbeat schemes of §IV (vanilla, compact, adaptive).
+//!
+//! Ground truth (zones, adjacency) lives in the split tree; every
+//! node's *knowledge* lives in its [`LocalNode`] and evolves only
+//! through simulated messages. The scheme determines what each message
+//! carries:
+//!
+//! * **Vanilla** — every heartbeat is a full-state payload (the
+//!   original CAN): expensive (O(d²) volume per node) but maximally
+//!   redundant, so broken links repair through common neighbors.
+//! * **Compact** — full payloads go only to the sender's predetermined
+//!   take-over targets; everyone else gets an O(1) keepalive (or an
+//!   O(d) zone-update right after the sender's zone changed).
+//! * **Adaptive** — compact, plus an on-demand *full-update
+//!   request/response* exchange whenever a node locally detects a
+//!   broken link (a neighbor expired without replacement, or its own
+//!   zone changed during a take-over).
+
+use crate::accounting::Accounting;
+use crate::adjacency::Adjacency;
+use crate::geom::{Point, Zone};
+use crate::membership::{LocalNode, Payload};
+use crate::split_tree::{SplitTree, ZoneChange};
+use crate::wire::{MsgKind, WireModel};
+use pgrid_simcore::{EventQueue, SimRng, SimTime};
+use pgrid_types::NodeId;
+use std::collections::HashMap;
+
+/// Which heartbeat protocol the CAN runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeartbeatScheme {
+    /// Original CAN: full neighbor state in every heartbeat.
+    Vanilla,
+    /// Full state only to take-over targets (§IV-B).
+    Compact,
+    /// Compact plus on-demand full updates (§IV-C).
+    Adaptive,
+}
+
+impl HeartbeatScheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [HeartbeatScheme; 3] = [
+        HeartbeatScheme::Vanilla,
+        HeartbeatScheme::Compact,
+        HeartbeatScheme::Adaptive,
+    ];
+
+    /// Label used in figures ("Vanilla", "Compact", "Adaptive").
+    pub fn label(self) -> &'static str {
+        match self {
+            HeartbeatScheme::Vanilla => "Vanilla",
+            HeartbeatScheme::Compact => "Compact",
+            HeartbeatScheme::Adaptive => "Adaptive",
+        }
+    }
+}
+
+/// Protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// CAN dimensionality.
+    pub dims: usize,
+    /// Heartbeat scheme under test.
+    pub scheme: HeartbeatScheme,
+    /// Seconds between a node's heartbeat rounds.
+    pub heartbeat_period: f64,
+    /// Silence threshold after which a neighbor is declared failed.
+    pub fail_timeout: f64,
+    /// Byte-size model for messages.
+    pub wire: WireModel,
+    /// Failure-injection: probability that any UDP-style protocol
+    /// message (heartbeat, full-update request/response) is silently
+    /// dropped in flight. Join and handoff exchanges are modeled as
+    /// reliable (they are synchronous, acknowledged RPCs in a real
+    /// deployment). Default 0.
+    pub message_loss: f64,
+    /// Seed for the loss-injection stream (only consulted when
+    /// `message_loss > 0`).
+    pub loss_seed: u64,
+}
+
+impl ProtocolConfig {
+    /// Defaults matching the evaluation setup: 60 s heartbeats, 2.5
+    /// periods to declare failure, lossless network.
+    pub fn new(dims: usize, scheme: HeartbeatScheme) -> Self {
+        ProtocolConfig {
+            dims,
+            scheme,
+            heartbeat_period: 60.0,
+            fail_timeout: 150.0,
+            wire: WireModel::default(),
+            message_loss: 0.0,
+            loss_seed: 0x105E,
+        }
+    }
+
+    /// Enables message-loss injection at the given drop probability.
+    pub fn with_message_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        self.message_loss = p;
+        self
+    }
+}
+
+/// Why a join attempt was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The joiner's coordinate cannot be separated from the host's
+    /// coordinate by any axis-aligned split (identical coordinates).
+    Inseparable,
+}
+
+/// Simulator events: per-node heartbeat ticks and deferred crash
+/// take-overs.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Tick(NodeId),
+    Takeover(u64),
+}
+
+/// A crash take-over waiting for the failure-detection timeout.
+#[derive(Debug)]
+struct Pending {
+    departed: NodeId,
+    kind: PendingKind,
+}
+
+#[derive(Debug)]
+enum PendingKind {
+    Merge {
+        heir: NodeId,
+        payload: Option<Payload>,
+    },
+    Relocate {
+        relocator: NodeId,
+        absorber: NodeId,
+        payload_x: Option<Payload>,
+    },
+}
+
+/// The CAN protocol simulator.
+///
+/// ```
+/// use pgrid_can::{CanSim, HeartbeatScheme, ProtocolConfig};
+/// let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Adaptive));
+/// let a = can.join(vec![0.2, 0.5]).unwrap();
+/// let b = can.join(vec![0.8, 0.5]).unwrap();
+/// assert!(can.true_neighbors(a).contains(&b));
+/// can.advance_to(120.0); // two heartbeat rounds
+/// assert_eq!(can.broken_links(), 0);
+/// can.leave(b, true);
+/// assert_eq!(can.owner_at(&vec![0.9, 0.5]), Some(a));
+/// ```
+pub struct CanSim {
+    cfg: ProtocolConfig,
+    tree: Option<SplitTree>,
+    adj: Adjacency,
+    nodes: HashMap<NodeId, LocalNode>,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    acct: Accounting,
+    next_id: u32,
+    repairs: u64,
+    full_update_rounds: u64,
+    pending: HashMap<u64, Pending>,
+    next_pending: u64,
+    loss_rng: SimRng,
+    dropped_messages: u64,
+}
+
+impl CanSim {
+    /// An empty CAN.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        assert!(cfg.heartbeat_period > 0.0);
+        assert!(cfg.fail_timeout > cfg.heartbeat_period);
+        let cfg_loss_seed = cfg.loss_seed;
+        CanSim {
+            cfg,
+            tree: None,
+            adj: Adjacency::new(),
+            nodes: HashMap::new(),
+            queue: EventQueue::new(),
+            now: 0.0,
+            acct: Accounting::new(),
+            next_id: 0,
+            repairs: 0,
+            full_update_rounds: 0,
+            pending: HashMap::new(),
+            next_pending: 0,
+            loss_rng: SimRng::seed_from_u64(cfg_loss_seed),
+            dropped_messages: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of alive members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the CAN is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is a current member.
+    pub fn is_member(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Alive member ids, sorted (deterministic).
+    pub fn members(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Message accounting (advanced to `now`).
+    pub fn accounting(&mut self) -> &Accounting {
+        self.acct.advance(self.now, self.nodes.len());
+        &self.acct
+    }
+
+    /// Restarts the measurement window (e.g. after bootstrap).
+    pub fn reset_accounting(&mut self) {
+        self.acct.reset_window(self.now, self.nodes.len());
+    }
+
+    /// Ground-truth zone of a member.
+    pub fn zone(&self, id: NodeId) -> &Zone {
+        self.tree.as_ref().expect("empty CAN").zone(id)
+    }
+
+    /// Ground-truth owner of a point.
+    pub fn owner_at(&self, p: &Point) -> Option<NodeId> {
+        self.tree.as_ref()?.owner_at(p)
+    }
+
+    /// The predetermined take-over targets of a member (who inherits
+    /// its zone per the split history — the recipients of its full
+    /// compact heartbeats).
+    pub fn takeover_targets(&self, id: NodeId) -> Vec<NodeId> {
+        self.tree
+            .as_ref()
+            .map(|t| t.takeover_plan(id).targets())
+            .unwrap_or_default()
+    }
+
+    /// Ground-truth neighbor ids of a member.
+    pub fn true_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.adj.neighbors(id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth mean neighbor degree.
+    pub fn mean_degree(&self) -> f64 {
+        self.adj.mean_degree()
+    }
+
+    /// Local neighbor table size of a member.
+    pub fn table_len(&self, id: NodeId) -> usize {
+        self.nodes[&id].table.len()
+    }
+
+    /// Read-only access to a member's local state (tests/diagnostics).
+    pub fn local(&self, id: NodeId) -> Option<&LocalNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Number of second-hand repairs performed so far (diagnostics).
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Number of adaptive full-update rounds triggered (diagnostics).
+    pub fn full_update_rounds(&self) -> u64 {
+        self.full_update_rounds
+    }
+
+    /// Number of messages dropped by failure injection (diagnostics).
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// The paper's failure-resilience metric: the number of
+    /// ground-truth neighbor relations missing from local tables
+    /// (directed count).
+    pub fn broken_links(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|(id, n)| {
+                self.adj
+                    .neighbors(*id)
+                    .filter(|q| !n.table.contains_key(q))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Diagnostics: table entries that are *not* ground-truth neighbors
+    /// (stale extras awaiting expiry; harmless but measurable).
+    pub fn stale_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|(id, n)| {
+                n.table
+                    .keys()
+                    .filter(|q| !self.adj.are_neighbors(*id, **q))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Advances simulated time to `t`, firing every heartbeat tick due
+    /// on the way.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time went backwards");
+        while self.queue.peek_time().is_some_and(|pt| pt <= t) {
+            let (tt, ev) = self.queue.pop().unwrap();
+            self.now = tt;
+            match ev {
+                Ev::Tick(id) => self.do_tick(id, tt),
+                Ev::Takeover(seq) => {
+                    let Some(pending) = self.pending.remove(&seq) else {
+                        continue;
+                    };
+                    match pending.kind {
+                        PendingKind::Merge { heir, payload } => {
+                            self.apply_merge(pending.departed, heir, payload, tt);
+                        }
+                        PendingKind::Relocate {
+                            relocator,
+                            absorber,
+                            payload_x,
+                        } => {
+                            self.apply_relocate(
+                                pending.departed,
+                                relocator,
+                                absorber,
+                                payload_x,
+                                tt,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// A new node with the given coordinate joins the CAN at the
+    /// current time. Returns its id.
+    pub fn join(&mut self, coord: Point) -> Result<NodeId, JoinError> {
+        assert_eq!(coord.len(), self.cfg.dims, "coordinate dimensionality");
+        let id = NodeId(self.next_id);
+        let t = self.now;
+        let Some(tree) = self.tree.as_mut() else {
+            // First member owns the whole space.
+            let zone = Zone::unit(self.cfg.dims);
+            self.tree = Some(SplitTree::new(self.cfg.dims, id));
+            self.adj.insert_first(id);
+            self.nodes.insert(id, LocalNode::new(id, coord, zone));
+            self.next_id += 1;
+            self.acct.advance(t, self.nodes.len());
+            self.queue
+                .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
+            return Ok(id);
+        };
+
+        let host = tree.owner_at(&coord).expect("non-empty tree");
+        let host_coord = self.nodes[&host].coord.clone();
+        let host_zone = tree.zone(host).clone();
+        // Choose the split plane (balanced midpoint cut when possible;
+        // see `choose_split_plane`). A take-over holder whose
+        // coordinate lies outside the zone bisects unconditionally.
+        let plane = if host_zone.contains(&host_coord) {
+            crate::split_tree::choose_split_plane(&host_zone, &host_coord, &coord)
+        } else {
+            Some(crate::split_tree::choose_split_plane_free(&host_zone))
+        };
+        let Some((dim, at)) = plane else {
+            return Err(JoinError::Inseparable);
+        };
+
+        let (new_host_zone, joiner_zone) = tree.split(host, &host_coord, id, &coord, dim, at);
+        self.next_id += 1;
+        let tree = self.tree.as_ref().unwrap();
+        self.adj.on_split(host, id, |n| tree.zone(n));
+
+        // Join traffic: request routed to the host, reply carrying the
+        // host's neighbor table.
+        let host_k = self.nodes[&host].table.len();
+        self.acct
+            .record(MsgKind::Join, self.cfg.wire.full_update_request(self.cfg.dims));
+        self.acct
+            .record(MsgKind::Join, self.cfg.wire.join_reply(self.cfg.dims, host_k));
+
+        // Seed the joiner's table from the host's (pre-split) view.
+        let host_entries: Vec<(NodeId, Zone)> = {
+            let hn = self.nodes.get_mut(&host).unwrap();
+            let entries = hn
+                .table
+                .iter()
+                .map(|(n, e)| (*n, e.zone.clone()))
+                .collect();
+            hn.set_zone(new_host_zone.clone());
+            entries
+        };
+        let mut joiner = LocalNode::new(id, coord, joiner_zone);
+        for (n, z) in &host_entries {
+            joiner.hear_with_zone(*n, z, t);
+        }
+        joiner.hear_with_zone(host, &new_host_zone, t);
+        joiner.zone_dirty = true; // introduce ourselves with our zone
+        if self.cfg.scheme == HeartbeatScheme::Adaptive && joiner.has_boundary_gap() {
+            // The host's table did not cover our whole boundary: ask
+            // for full updates at our first round.
+            joiner.wants_full_update = true;
+        }
+        self.nodes.insert(id, joiner);
+        self.acct.advance(t, self.nodes.len());
+
+        // The join protocol is synchronous: the joiner introduces
+        // itself to everyone it learned from the host right away.
+        self.send_round(id, t);
+        self.queue
+            .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
+        Ok(id)
+    }
+
+    /// Member `id` departs. `graceful` departures hand their state to
+    /// the take-over target(s); crashes leave only whatever those
+    /// targets had cached from previous full heartbeats.
+    pub fn leave(&mut self, id: NodeId, graceful: bool) {
+        let t = self.now;
+        let Some(departing) = self.nodes.remove(&id) else {
+            return;
+        };
+        let tree = self.tree.as_mut().expect("member implies tree");
+        let change = tree.remove(id);
+        let d = self.cfg.dims;
+        match change {
+            ZoneChange::Emptied => {
+                self.tree = None;
+                self.adj.remove_node(id);
+                self.acct.advance(t, 0);
+            }
+            ZoneChange::Merged { owner: heir, .. } => {
+                let tree = self.tree.as_ref().unwrap();
+                self.adj.on_merge(id, heir, |n| tree.zone(n));
+                self.acct.advance(t, self.nodes.len());
+                if graceful {
+                    // Synchronous leave protocol: fresh handoff, heir
+                    // adopts and announces immediately.
+                    let snap = departing.snapshot(t);
+                    self.acct.record(
+                        MsgKind::Handoff,
+                        self.cfg.wire.handoff(d, snap.neighbors.len()),
+                    );
+                    self.apply_merge(id, heir, Some(snap), t);
+                } else {
+                    // Crash: the heir only notices after the failure
+                    // timeout, then recovers from its cached copy of
+                    // the victim's last full heartbeat.
+                    let payload = self
+                        .nodes
+                        .get(&heir)
+                        .and_then(|hn| hn.cache.get(&id).cloned());
+                    self.schedule_takeover(
+                        t,
+                        Pending {
+                            departed: id,
+                            kind: PendingKind::Merge { heir, payload },
+                        },
+                    );
+                }
+            }
+            ZoneChange::Relocated {
+                relocator, absorber, ..
+            } => {
+                let tree = self.tree.as_ref().unwrap();
+                self.adj
+                    .on_relocate(id, relocator, absorber, |n| tree.zone(n));
+                self.acct.advance(t, self.nodes.len());
+                if graceful {
+                    let snap = departing.snapshot(t);
+                    self.acct.record(
+                        MsgKind::Handoff,
+                        self.cfg.wire.handoff(d, snap.neighbors.len()),
+                    );
+                    self.apply_relocate(id, relocator, absorber, Some(snap), t);
+                } else {
+                    let payload = self
+                        .nodes
+                        .get(&relocator)
+                        .and_then(|rn| rn.cache.get(&id).cloned());
+                    self.schedule_takeover(
+                        t,
+                        Pending {
+                            departed: id,
+                            kind: PendingKind::Relocate {
+                                relocator,
+                                absorber,
+                                payload_x: payload,
+                            },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Schedules the deferred local-state part of a crash take-over:
+    /// the zone reassignment is already decided (split history), but
+    /// the actors only act once the victim's silence exceeds the
+    /// failure timeout. Fires slightly before the actors' own expiry
+    /// would evict the cached payload.
+    fn schedule_takeover(&mut self, t: SimTime, pending: Pending) {
+        let seq = self.next_pending;
+        self.next_pending += 1;
+        self.pending.insert(seq, pending);
+        self.queue
+            .schedule(t + 0.95 * self.cfg.fail_timeout, Ev::Takeover(seq));
+    }
+
+    /// Executes a merge take-over at `t`: the heir syncs its zone to
+    /// ground truth, adopts the departed node's neighbor records, and
+    /// announces the change.
+    fn apply_merge(&mut self, departed: NodeId, heir: NodeId, payload: Option<Payload>, t: SimTime) {
+        let alive = self
+            .tree
+            .as_ref()
+            .is_some_and(|tr| tr.contains(heir))
+            && self.nodes.contains_key(&heir);
+        if !alive {
+            return; // the heir itself is gone; later events take over
+        }
+        let zone = self.tree.as_ref().unwrap().zone(heir).clone();
+        {
+            let hn = self.nodes.get_mut(&heir).unwrap();
+            hn.set_zone(zone);
+            if let Some(p) = &payload {
+                hn.adopt_records(&p.neighbors, t);
+            }
+            hn.table.remove(&departed);
+            hn.cache.remove(&departed);
+            if self.cfg.scheme == HeartbeatScheme::Adaptive && hn.has_boundary_gap() {
+                hn.wants_full_update = true;
+            }
+        }
+        self.send_round(heir, t);
+        self.maybe_full_update(heir, t);
+    }
+
+    /// Executes a defragmentation take-over at `t`: the relocator moves
+    /// onto the departed zone, the absorber absorbs the relocator's old
+    /// zone, both sync to ground truth and announce.
+    fn apply_relocate(
+        &mut self,
+        departed: NodeId,
+        relocator: NodeId,
+        absorber: NodeId,
+        payload_x: Option<Payload>,
+        t: SimTime,
+    ) {
+        let d = self.cfg.dims;
+        let tree_has = |n: NodeId, s: &Self| {
+            s.tree.as_ref().is_some_and(|tr| tr.contains(n)) && s.nodes.contains_key(&n)
+        };
+        let r_alive = tree_has(relocator, self);
+        let a_alive = tree_has(absorber, self);
+        // The relocator ships its old-position state to the absorber.
+        let r_old = if r_alive {
+            let snap = self.nodes[&relocator].snapshot(t);
+            self.acct.record(
+                MsgKind::Handoff,
+                self.cfg.wire.handoff(d, snap.neighbors.len()),
+            );
+            Some(snap)
+        } else {
+            None
+        };
+        if r_alive {
+            let zone = self.tree.as_ref().unwrap().zone(relocator).clone();
+            let rn = self.nodes.get_mut(&relocator).unwrap();
+            rn.table.clear();
+            rn.cache.clear();
+            rn.set_zone(zone);
+            if let Some(p) = &payload_x {
+                rn.adopt_records(&p.neighbors, t);
+            }
+            rn.table.remove(&departed);
+        }
+        if a_alive {
+            let zone = self.tree.as_ref().unwrap().zone(absorber).clone();
+            let an = self.nodes.get_mut(&absorber).unwrap();
+            an.set_zone(zone);
+            if let Some(p) = &r_old {
+                an.adopt_records(&p.neighbors, t);
+            }
+            an.table.remove(&departed);
+            an.table.remove(&relocator);
+            an.cache.remove(&relocator);
+        }
+        // They introduce their new zones to each other.
+        if r_alive && a_alive {
+            let rz = self.tree.as_ref().unwrap().zone(relocator).clone();
+            let az = self.tree.as_ref().unwrap().zone(absorber).clone();
+            self.nodes
+                .get_mut(&relocator)
+                .unwrap()
+                .hear_with_zone(absorber, &az, t);
+            self.nodes
+                .get_mut(&absorber)
+                .unwrap()
+                .hear_with_zone(relocator, &rz, t);
+        }
+        for actor in [relocator, absorber] {
+            if tree_has(actor, self) {
+                if self.cfg.scheme == HeartbeatScheme::Adaptive
+                    && self.nodes[&actor].has_boundary_gap()
+                {
+                    self.nodes.get_mut(&actor).unwrap().wants_full_update = true;
+                }
+                self.send_round(actor, t);
+                self.maybe_full_update(actor, t);
+            }
+        }
+    }
+
+    // ---- internal protocol machinery ----
+
+    fn do_tick(&mut self, id: NodeId, t: SimTime) {
+        if !self.nodes.contains_key(&id) {
+            return; // departed; let the stale tick die
+        }
+        // 1. Expire silent neighbors (local failure detection).
+        {
+            let n = self.nodes.get_mut(&id).unwrap();
+            let expired = n.expire(t, self.cfg.fail_timeout);
+            if self.cfg.scheme == HeartbeatScheme::Adaptive {
+                // A first-hand neighbor vanished: a broken link may
+                // have opened on that edge, unless the remaining table
+                // already covers the region it owned. (Unconfirmed
+                // second-hand entries expire routinely and are not
+                // evidence of breakage.)
+                if expired
+                    .iter()
+                    .any(|(_, e)| e.confirmed && !n.covers_face_region(&e.zone))
+                {
+                    n.wants_full_update = true;
+                }
+            }
+        }
+        // 2. Heartbeat round.
+        self.send_round(id, t);
+        // 3. Adaptive on-demand repair.
+        self.maybe_full_update(id, t);
+        // 4. Next round.
+        self.queue
+            .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
+    }
+
+    /// Sends one heartbeat round from `id` to everyone it knows, plus
+    /// its take-over targets.
+    fn send_round(&mut self, id: NodeId, t: SimTime) {
+        let Some(tree) = self.tree.as_ref() else {
+            return;
+        };
+        if !tree.contains(id) {
+            return;
+        }
+        let mut targets = tree.takeover_plan(id).targets();
+        targets.sort_unstable();
+        let (receivers, payload, zone_dirty) = {
+            let n = self.nodes.get_mut(&id).unwrap();
+            let mut receivers = n.known_neighbors();
+            for &tg in &targets {
+                if tg != id && !receivers.contains(&tg) {
+                    receivers.push(tg);
+                }
+            }
+            let payload = n.snapshot(t);
+            let dirty = n.zone_dirty;
+            n.zone_dirty = false;
+            (receivers, payload, dirty)
+        };
+        let d = self.cfg.dims;
+        let k = payload.neighbors.len();
+        let wire = self.cfg.wire.clone();
+        for r in receivers {
+            if r == id {
+                continue;
+            }
+            let full = match self.cfg.scheme {
+                HeartbeatScheme::Vanilla => true,
+                HeartbeatScheme::Compact | HeartbeatScheme::Adaptive => {
+                    targets.binary_search(&r).is_ok()
+                }
+            };
+            if full {
+                self.acct
+                    .record(MsgKind::Heartbeat, wire.full_heartbeat(d, k));
+                self.deliver_full(r, &payload, t);
+            } else if zone_dirty {
+                self.acct.record(MsgKind::Heartbeat, wire.zone_update(d));
+                self.deliver_zone(r, id, &payload.zone, t);
+            } else {
+                self.acct
+                    .record(MsgKind::Heartbeat, wire.compact_keepalive());
+                self.deliver_keepalive(r, id, t);
+            }
+        }
+    }
+
+    /// Failure injection: returns true when the in-flight message is
+    /// dropped (sender cost is still accounted — the bytes were sent).
+    fn lost_in_flight(&mut self) -> bool {
+        if self.cfg.message_loss <= 0.0 {
+            return false;
+        }
+        let lost = self.loss_rng.chance(self.cfg.message_loss);
+        self.dropped_messages += u64::from(lost);
+        lost
+    }
+
+    fn deliver_full(&mut self, to: NodeId, payload: &Payload, t: SimTime) {
+        if self.lost_in_flight() {
+            return;
+        }
+        if let Some(n) = self.nodes.get_mut(&to) {
+            n.cache.insert(payload.from, payload.clone());
+            self.repairs += n.merge_payload_records(payload, t) as u64;
+        }
+    }
+
+    fn deliver_zone(&mut self, to: NodeId, from: NodeId, zone: &Zone, t: SimTime) {
+        if self.lost_in_flight() {
+            return;
+        }
+        if let Some(n) = self.nodes.get_mut(&to) {
+            n.hear_with_zone(from, zone, t);
+        }
+    }
+
+    fn deliver_keepalive(&mut self, to: NodeId, from: NodeId, t: SimTime) {
+        if self.lost_in_flight() {
+            return;
+        }
+        if let Some(n) = self.nodes.get_mut(&to) {
+            n.hear_keepalive(from, t);
+        }
+    }
+
+    /// Runs an adaptive full-update request/response round for `id` if
+    /// it flagged a suspected broken link.
+    fn maybe_full_update(&mut self, id: NodeId, t: SimTime) {
+        if self.cfg.scheme != HeartbeatScheme::Adaptive {
+            return;
+        }
+        let wants = self
+            .nodes
+            .get(&id)
+            .is_some_and(|n| n.wants_full_update);
+        if !wants {
+            return;
+        }
+        self.full_update_rounds += 1;
+        let receivers = {
+            let n = self.nodes.get_mut(&id).unwrap();
+            n.wants_full_update = false;
+            n.known_neighbors()
+        };
+        let d = self.cfg.dims;
+        let wire = self.cfg.wire.clone();
+        for r in receivers {
+            self.acct
+                .record(MsgKind::FullUpdateRequest, wire.full_update_request(d));
+            if self.lost_in_flight() {
+                continue; // request dropped in flight
+            }
+            let Some(rn) = self.nodes.get(&r) else {
+                continue; // receiver is gone
+            };
+            let resp = rn.snapshot(t);
+            self.acct.record(
+                MsgKind::FullUpdateResponse,
+                wire.full_update_response(d, resp.neighbors.len()),
+            );
+            if self.lost_in_flight() {
+                continue; // response dropped in flight
+            }
+            if let Some(n) = self.nodes.get_mut(&id) {
+                self.repairs += n.merge_payload_records(&resp, t) as u64;
+            }
+        }
+    }
+
+    /// Test-time invariant check: the ground-truth structures agree
+    /// with each other.
+    pub fn check_invariants(&self) {
+        if let Some(tree) = &self.tree {
+            tree.check_invariants();
+            let reference = Adjacency::recompute(tree.members(), |n| tree.zone(n));
+            assert!(
+                self.adj.same_as(&reference),
+                "incremental adjacency diverged from recomputation"
+            );
+            assert_eq!(tree.len(), self.nodes.len(), "membership out of sync");
+        } else {
+            assert!(self.nodes.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_simcore::SimRng;
+
+    fn uniform_coord(rng: &mut SimRng, d: usize) -> Point {
+        (0..d).map(|_| rng.unit()).collect()
+    }
+
+    fn build(scheme: HeartbeatScheme, n: usize, d: usize, seed: u64) -> (CanSim, SimRng) {
+        let mut sim = CanSim::new(ProtocolConfig::new(d, scheme));
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut joined = 0;
+        while joined < n {
+            let c = uniform_coord(&mut rng, d);
+            if sim.join(c).is_ok() {
+                joined += 1;
+            }
+            sim.advance_to(sim.now() + 1.0);
+        }
+        (sim, rng)
+    }
+
+    #[test]
+    fn sequential_joins_leave_no_broken_links() {
+        for scheme in HeartbeatScheme::ALL {
+            let (sim, _) = build(scheme, 60, 4, 7);
+            sim.check_invariants();
+            assert_eq!(
+                sim.broken_links(),
+                0,
+                "{} should have no broken links after clean joins",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn tables_match_ground_truth_after_bootstrap() {
+        let (sim, _) = build(HeartbeatScheme::Compact, 40, 3, 11);
+        for id in sim.members() {
+            let truth = sim.true_neighbors(id);
+            for q in &truth {
+                assert!(
+                    sim.local(id).unwrap().table.contains_key(q),
+                    "{id} missing true neighbor {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_churn_keeps_all_schemes_clean() {
+        // Events spaced wider than the heartbeat period: the paper's
+        // "no simultaneous events" regime — zero broken links for all
+        // three schemes.
+        for scheme in HeartbeatScheme::ALL {
+            let (mut sim, mut rng) = build(scheme, 50, 4, 13);
+            for step in 0..80 {
+                sim.advance_to(sim.now() + 200.0); // > period (60) and timeout (150)
+                if step % 2 == 0 {
+                    let _ = sim.join(uniform_coord(&mut rng, 4));
+                } else {
+                    let members = sim.members();
+                    let victim = members[rng.below(members.len())];
+                    sim.leave(victim, true);
+                }
+            }
+            sim.advance_to(sim.now() + 500.0);
+            sim.check_invariants();
+            assert_eq!(
+                sim.broken_links(),
+                0,
+                "{} broke under slow churn",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn high_churn_orders_schemes_by_resilience() {
+        // Many events per heartbeat period: vanilla repairs best,
+        // compact worst, adaptive in between (close to vanilla).
+        let mut broken = Vec::new();
+        for scheme in HeartbeatScheme::ALL {
+            let (mut sim, mut rng) = build(scheme, 150, 4, 17);
+            sim.advance_to(sim.now() + 300.0);
+            for _ in 0..1200 {
+                sim.advance_to(sim.now() + 7.0); // several events per 60 s period
+                if rng.chance(0.5) {
+                    let _ = sim.join(uniform_coord(&mut rng, 4));
+                } else {
+                    let members = sim.members();
+                    if members.len() > 20 {
+                        let victim = members[rng.below(members.len())];
+                        sim.leave(victim, rng.chance(0.5));
+                    }
+                }
+            }
+            sim.check_invariants();
+            broken.push((scheme, sim.broken_links()));
+        }
+        let get = |s: HeartbeatScheme| {
+            broken
+                .iter()
+                .find(|(sch, _)| *sch == s)
+                .map(|(_, b)| *b)
+                .unwrap()
+        };
+        let v = get(HeartbeatScheme::Vanilla);
+        let c = get(HeartbeatScheme::Compact);
+        let a = get(HeartbeatScheme::Adaptive);
+        assert!(c > 0, "high churn should break some links under compact");
+        assert!(
+            v <= c,
+            "vanilla ({v}) should be at least as resilient as compact ({c})"
+        );
+        assert!(
+            a <= c,
+            "adaptive ({a}) should be at least as resilient as compact ({c})"
+        );
+    }
+
+    #[test]
+    fn compact_volume_is_much_smaller_than_vanilla() {
+        let mut rates = Vec::new();
+        for scheme in [HeartbeatScheme::Vanilla, HeartbeatScheme::Compact] {
+            let (mut sim, _) = build(scheme, 100, 8, 23);
+            sim.reset_accounting();
+            sim.advance_to(sim.now() + 1200.0); // 20 heartbeat rounds
+            rates.push(sim.accounting().heartbeat_kb_per_node_min());
+        }
+        assert!(
+            rates[0] > 4.0 * rates[1],
+            "vanilla {:.1} KB/min should dwarf compact {:.1} KB/min",
+            rates[0],
+            rates[1]
+        );
+    }
+
+    #[test]
+    fn message_counts_are_scheme_insensitive() {
+        let mut counts = Vec::new();
+        for scheme in HeartbeatScheme::ALL {
+            let (mut sim, _) = build(scheme, 100, 8, 29);
+            sim.reset_accounting();
+            sim.advance_to(sim.now() + 1200.0);
+            counts.push(sim.accounting().heartbeat_msgs_per_node_min());
+        }
+        // Within 25% of each other (adaptive may add a few requests).
+        let max = counts.iter().cloned().fold(f64::MIN, f64::max);
+        let min = counts.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 1.25,
+            "message counts should be close: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn neighbor_zone_records_match_truth_after_rounds() {
+        // After churn settles, every confirmed table entry's recorded
+        // zone must equal the neighbor's ground-truth zone (zone
+        // updates propagate correctly in every scheme).
+        for scheme in HeartbeatScheme::ALL {
+            let (mut sim, mut rng) = build(scheme, 60, 3, 41);
+            for _ in 0..30 {
+                sim.advance_to(sim.now() + 250.0);
+                if rng.chance(0.5) {
+                    let _ = sim.join(uniform_coord(&mut rng, 3));
+                } else {
+                    let members = sim.members();
+                    sim.leave(members[rng.below(members.len())], true);
+                }
+            }
+            sim.advance_to(sim.now() + 400.0); // settle past timeout
+            for id in sim.members() {
+                let truth_nbrs = sim.true_neighbors(id);
+                let local = sim.local(id).unwrap();
+                for q in &truth_nbrs {
+                    let e = local.table.get(q).unwrap_or_else(|| {
+                        panic!("{}: {id} missing {q}", scheme.label())
+                    });
+                    assert_eq!(
+                        &e.zone,
+                        sim.zone(*q),
+                        "{}: {id}'s record of {q}'s zone is stale",
+                        scheme.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_loss_zero_is_default_and_noop() {
+        let cfg = ProtocolConfig::new(4, HeartbeatScheme::Compact);
+        assert_eq!(cfg.message_loss, 0.0);
+        let (mut sim, _) = build(HeartbeatScheme::Compact, 30, 4, 43);
+        sim.advance_to(sim.now() + 600.0);
+        assert_eq!(sim.dropped_messages(), 0);
+    }
+
+    #[test]
+    fn message_loss_drops_and_counts() {
+        let mut sim = CanSim::new(
+            ProtocolConfig::new(3, HeartbeatScheme::Vanilla).with_message_loss(0.5),
+        );
+        let mut rng = SimRng::seed_from_u64(47);
+        let mut joined = 0;
+        while joined < 30 {
+            if sim.join(uniform_coord(&mut rng, 3)).is_ok() {
+                joined += 1;
+            }
+        }
+        sim.advance_to(sim.now() + 600.0);
+        let dropped = sim.dropped_messages();
+        let sent = sim.accounting().total().messages;
+        assert!(dropped > 0);
+        let rate = dropped as f64 / sent as f64;
+        assert!(
+            (0.4..0.6).contains(&rate),
+            "drop rate {rate} should be ~0.5 of {sent} sent"
+        );
+    }
+
+    #[test]
+    fn join_error_on_identical_coordinate() {
+        let mut sim = CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Vanilla));
+        sim.join(vec![0.5, 0.5, 0.5]).unwrap();
+        let err = sim.join(vec![0.5, 0.5, 0.5]);
+        assert_eq!(err, Err(JoinError::Inseparable));
+    }
+
+    #[test]
+    fn empty_can_after_all_leave() {
+        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+        let a = sim.join(vec![0.2, 0.2]).unwrap();
+        let b = sim.join(vec![0.8, 0.8]).unwrap();
+        sim.leave(a, true);
+        sim.leave(b, true);
+        assert!(sim.is_empty());
+        sim.check_invariants();
+        // And it can be repopulated.
+        let c = sim.join(vec![0.5, 0.5]).unwrap();
+        assert!(sim.is_member(c));
+        assert_eq!(sim.owner_at(&vec![0.1, 0.9]), Some(c));
+    }
+
+    #[test]
+    fn graceful_leave_transfers_zone_to_heir() {
+        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+        let a = sim.join(vec![0.25, 0.5]).unwrap();
+        let b = sim.join(vec![0.75, 0.5]).unwrap();
+        sim.leave(b, true);
+        assert_eq!(sim.owner_at(&vec![0.9, 0.5]), Some(a));
+        assert_eq!(sim.broken_links(), 0);
+    }
+
+    #[test]
+    fn crash_heir_recovers_from_cached_payload() {
+        // After at least one heartbeat round, the heir holds the
+        // crashed node's payload and rebuilds the merged zone's
+        // neighborhood without broken links.
+        let (mut sim, _) = build(HeartbeatScheme::Compact, 30, 3, 31);
+        sim.advance_to(sim.now() + 120.0); // everyone heartbeats
+        let victim = sim.members()[10];
+        sim.leave(victim, false); // crash
+        sim.advance_to(sim.now() + 200.0);
+        sim.check_invariants();
+        assert_eq!(sim.broken_links(), 0, "cached payload should suffice");
+    }
+}

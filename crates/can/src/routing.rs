@@ -1,0 +1,324 @@
+//! Greedy CAN routing (paper §II-B).
+//!
+//! "Basic matchmaking can be solved as a routing problem in our CAN,
+//! because every node in the CAN is sorted according to its resource
+//! capability along each dimension. Therefore, once the job is routed
+//! to its coordinate, all nodes with zones further from the origin than
+//! that point in the CAN will satisfy the job's requirements."
+//!
+//! Routing walks from zone to zone, always moving to the neighbor whose
+//! zone is closest (in Euclidean zone-to-point distance) to the target
+//! coordinate. On a complete partition of the space the distance
+//! strictly decreases until the owning zone is reached; a breadth-first
+//! fallback guards against pathological plateaus so the router is total.
+
+use crate::geom::Point;
+use pgrid_types::NodeId;
+use std::collections::{HashSet, VecDeque};
+
+/// The topology a router works over: zone lookup plus neighbor
+/// enumeration. Implemented by the CAN simulators ([`crate::CanSim`])
+/// and by the static grid used for matchmaking.
+pub trait RoutingView {
+    /// Neighbor ids of `id`.
+    fn route_neighbors(&self, id: NodeId) -> Vec<NodeId>;
+    /// Distance from `id`'s zone to the point (0 when inside).
+    fn zone_distance(&self, id: NodeId, p: &Point) -> f64;
+    /// Whether `id`'s zone contains the point.
+    fn zone_contains(&self, id: NodeId, p: &Point) -> bool;
+}
+
+/// Result of a routing walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The node owning the target point.
+    pub owner: NodeId,
+    /// Overlay hops taken from the start node.
+    pub hops: usize,
+}
+
+/// Routes from `start` to the owner of point `p`. Returns `None` only
+/// if the topology is inconsistent (no owner reachable).
+pub fn route<V: RoutingView>(view: &V, start: NodeId, p: &Point) -> Option<Route> {
+    let mut current = start;
+    let mut hops = 0usize;
+    let mut dist = view.zone_distance(current, p);
+    loop {
+        if view.zone_contains(current, p) {
+            return Some(Route { owner: current, hops });
+        }
+        // Greedy step: strictly closer neighbor.
+        let mut best: Option<(NodeId, f64)> = None;
+        for n in view.route_neighbors(current) {
+            let nd = view.zone_distance(n, p);
+            match best {
+                Some((bid, bd)) if nd > bd || (nd == bd && n >= bid) => {}
+                _ => best = Some((n, nd)),
+            }
+        }
+        match best {
+            Some((n, nd)) if nd < dist => {
+                current = n;
+                dist = nd;
+                hops += 1;
+            }
+            _ => {
+                // Plateau: fall back to BFS from here (rare).
+                return bfs_route(view, current, p, hops);
+            }
+        }
+    }
+}
+
+fn bfs_route<V: RoutingView>(
+    view: &V,
+    start: NodeId,
+    p: &Point,
+    base_hops: usize,
+) -> Option<Route> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut q: VecDeque<(NodeId, usize)> = VecDeque::new();
+    seen.insert(start);
+    q.push_back((start, base_hops));
+    while let Some((n, h)) = q.pop_front() {
+        if view.zone_contains(n, p) {
+            return Some(Route { owner: n, hops: h });
+        }
+        for m in view.route_neighbors(n) {
+            if seen.insert(m) {
+                q.push_back((m, h + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Routes over nodes' **local tables** instead of ground truth: each
+/// hop consults only what the current node actually knows (its
+/// recorded neighbor zones), skips entries for departed nodes (an
+/// unacknowledged forward), and *fails* when greedy progress stalls —
+/// no global fallback. The success rate of this router is the
+/// end-to-end consequence of broken links: what Figure 7 costs the
+/// application layer.
+pub fn route_local(
+    sim: &crate::protocol::CanSim,
+    start: NodeId,
+    p: &Point,
+) -> Option<Route> {
+    let mut current = start;
+    let mut hops = 0usize;
+    let max_hops = 4 * (sim.len() + 4);
+    let mut visited: HashSet<NodeId> = HashSet::from([start]);
+    loop {
+        let node = sim.local(current)?;
+        if node.zone.contains(p) {
+            return Some(Route { owner: current, hops });
+        }
+        if hops >= max_hops {
+            return None; // routing loop: treat as failure
+        }
+        let here = node.zone.distance_to(p);
+        // Order known neighbors by their *recorded* zone distance.
+        let mut cands: Vec<(f64, NodeId)> = node
+            .table
+            .iter()
+            .map(|(&n, e)| (e.zone.distance_to(p), n))
+            .collect();
+        cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Forward to the best *alive*, not-yet-visited neighbor that is
+        // at least as close (lateral moves cross distance plateaus; the
+        // visited set prevents cycling). A dead entry is an
+        // unacknowledged forward; the router tries the next candidate.
+        let next = cands
+            .into_iter()
+            .find(|&(d, n)| d <= here && sim.is_member(n) && !visited.contains(&n));
+        match next {
+            Some((_, n)) => {
+                current = n;
+                visited.insert(n);
+                hops += 1;
+            }
+            None => return None, // stuck: a broken link blocked the greedy path
+        }
+    }
+}
+
+/// Measures [`route_local`] success over random (start, target) pairs:
+/// the fraction of routes that terminate at the ground-truth owner of
+/// the target point.
+pub fn local_routing_success(
+    sim: &crate::protocol::CanSim,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = pgrid_simcore::SimRng::sub_stream(seed, 0x407E);
+    let members = sim.members();
+    if members.is_empty() {
+        return 0.0;
+    }
+    let dims = sim.config().dims;
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let p: Point = (0..dims).map(|_| rng.unit()).collect();
+        let start = members[rng.below(members.len())];
+        let truth = sim.owner_at(&p);
+        if let Some(route) = route_local(sim, start, &p) {
+            if Some(route.owner) == truth {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+impl RoutingView for crate::protocol::CanSim {
+    fn route_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.true_neighbors(id)
+    }
+    fn zone_distance(&self, id: NodeId, p: &Point) -> f64 {
+        self.zone(id).distance_to(p)
+    }
+    fn zone_contains(&self, id: NodeId, p: &Point) -> bool {
+        self.zone(id).contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig};
+    use pgrid_simcore::SimRng;
+
+    fn build(n: usize, d: usize, seed: u64) -> CanSim {
+        let mut sim = CanSim::new(ProtocolConfig::new(d, HeartbeatScheme::Vanilla));
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut joined = 0;
+        while joined < n {
+            if sim.join((0..d).map(|_| rng.unit()).collect()).is_ok() {
+                joined += 1;
+            }
+        }
+        sim
+    }
+
+    #[test]
+    fn routing_reaches_the_owner() {
+        let sim = build(120, 3, 5);
+        let mut rng = SimRng::seed_from_u64(99);
+        let members = sim.members();
+        for _ in 0..200 {
+            let p: Point = (0..3).map(|_| rng.unit()).collect();
+            let start = members[rng.below(members.len())];
+            let r = route(&sim, start, &p).expect("routable");
+            assert_eq!(Some(r.owner), sim.owner_at(&p), "wrong owner");
+        }
+    }
+
+    #[test]
+    fn routing_from_owner_is_zero_hops() {
+        let sim = build(50, 2, 6);
+        let p = vec![0.42, 0.77];
+        let owner = sim.owner_at(&p).unwrap();
+        let r = route(&sim, owner, &p).unwrap();
+        assert_eq!(r.owner, owner);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn hop_counts_grow_sublinearly() {
+        // CAN routing is O(d * n^(1/d)) hops; for n=256, d=4 expect far
+        // fewer than n hops on average.
+        let sim = build(256, 4, 7);
+        let mut rng = SimRng::seed_from_u64(123);
+        let members = sim.members();
+        let mut total_hops = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let p: Point = (0..4).map(|_| rng.unit()).collect();
+            let start = members[rng.below(members.len())];
+            total_hops += route(&sim, start, &p).unwrap().hops;
+        }
+        let mean = total_hops as f64 / trials as f64;
+        assert!(mean < 20.0, "mean hops {mean} too high for 256 nodes");
+        assert!(mean > 0.5, "mean hops {mean} suspiciously low");
+    }
+
+    #[test]
+    fn local_routing_succeeds_on_healthy_tables() {
+        let sim = build(100, 3, 8);
+        let rate = local_routing_success(&sim, 200, 1);
+        assert_eq!(rate, 1.0, "clean bootstrap tables must route perfectly");
+    }
+
+    /// Under a lossy network, compact tables decay (a spuriously
+    /// expired neighbor can never be re-added by an O(1) keepalive)
+    /// while vanilla's full payloads keep re-installing them — and the
+    /// damage shows up as failed routes.
+    #[test]
+    fn local_routing_suffers_under_lossy_compact() {
+        let run = |scheme: HeartbeatScheme| {
+            let mut sim =
+                CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
+            let mut rng = SimRng::seed_from_u64(17);
+            let mut joined = 0;
+            while joined < 120 {
+                if sim.join((0..4).map(|_| rng.unit()).collect()).is_ok() {
+                    joined += 1;
+                }
+                sim.advance_to(sim.now() + 1.0);
+            }
+            sim.advance_to(sim.now() + 3000.0); // 50 lossy heartbeat periods
+            (local_routing_success(&sim, 300, 2), sim)
+        };
+        let (vanilla_rate, vsim) = run(HeartbeatScheme::Vanilla);
+        let (compact_rate, _) = run(HeartbeatScheme::Compact);
+        assert!(
+            vanilla_rate > 0.9,
+            "vanilla should stay routable under loss (rate {vanilla_rate})"
+        );
+        assert!(
+            compact_rate < vanilla_rate,
+            "compact ({compact_rate}) should degrade below vanilla ({vanilla_rate})"
+        );
+        // Ground-truth routing is unaffected by table damage.
+        let p = vec![0.3, 0.7, 0.1, 0.9];
+        let m = vsim.members();
+        let r = route(&vsim, m[0], &p).unwrap();
+        assert_eq!(Some(r.owner), vsim.owner_at(&p));
+    }
+
+    /// Adaptive's on-demand full updates recover what lossy networks
+    /// destroy: it should stay far more routable than compact.
+    #[test]
+    fn adaptive_recovers_from_message_loss() {
+        let run = |scheme: HeartbeatScheme| {
+            let mut sim =
+                CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
+            let mut rng = SimRng::seed_from_u64(23);
+            let mut joined = 0;
+            while joined < 100 {
+                if sim.join((0..4).map(|_| rng.unit()).collect()).is_ok() {
+                    joined += 1;
+                }
+                sim.advance_to(sim.now() + 1.0);
+            }
+            sim.advance_to(sim.now() + 3000.0);
+            sim.broken_links()
+        };
+        let compact = run(HeartbeatScheme::Compact);
+        let adaptive = run(HeartbeatScheme::Adaptive);
+        assert!(
+            adaptive < compact,
+            "adaptive ({adaptive}) should repair lossy damage compact ({compact}) cannot"
+        );
+    }
+
+    #[test]
+    fn single_node_routes_to_itself() {
+        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Vanilla));
+        let a = sim.join(vec![0.5, 0.5]).unwrap();
+        let r = route(&sim, a, &vec![0.9, 0.1]).unwrap();
+        assert_eq!(r.owner, a);
+        assert_eq!(r.hops, 0);
+    }
+}

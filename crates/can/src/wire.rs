@@ -1,0 +1,216 @@
+//! Byte-level message size model for CAN maintenance traffic.
+//!
+//! The paper's scalability argument (§IV-A) is about *message volume*:
+//! a vanilla heartbeat carries the sender's complete neighbor table
+//! (each record O(d) bytes, and O(d) neighbors, hence O(d²) volume per
+//! node per minute), while a compact heartbeat to a non-take-over
+//! neighbor carries only the sender's identity plus aggregated load
+//! information (O(1)).
+//!
+//! Sizes here are an explicit, documented layout rather than measured
+//! serialization: what matters for reproducing Figure 8 is how each
+//! component scales with the number of dimensions `d` and the neighbor
+//! count `k`.
+
+/// Tunable byte-layout of the maintenance protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireModel {
+    /// Fixed per-message overhead (transport headers, message type,
+    /// epoch, checksum).
+    pub header: u64,
+    /// Bytes per node *record*: per-dimension cost covering the zone
+    /// bounds (2×8 B), the coordinate (8 B) and the per-dimension
+    /// resource capability descriptor the grid advertises alongside it
+    /// (units, capacity, availability — 56 B in the default model).
+    pub record_per_dim: u64,
+    /// Fixed bytes per node record (node id, address, load scalar).
+    pub record_base: u64,
+    /// Bytes per aggregated-load entry (one dimension, one direction:
+    /// node count, core count, required cores, free/acceptable count).
+    pub agg_entry: u64,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel {
+            header: 40,
+            record_per_dim: 80,
+            record_base: 16,
+            agg_entry: 16,
+        }
+    }
+}
+
+impl WireModel {
+    /// Size of one node record (identity + zone + coordinate + resource
+    /// descriptors) in a `d`-dimensional CAN: O(d).
+    #[inline]
+    pub fn node_record(&self, d: usize) -> u64 {
+        self.record_base + self.record_per_dim * d as u64
+    }
+
+    /// Size of the aggregated-load block covering both directions of
+    /// every dimension: O(d).
+    #[inline]
+    pub fn agg_block(&self, d: usize) -> u64 {
+        2 * self.agg_entry * d as u64
+    }
+
+    /// A **full heartbeat**: sender record + the sender's complete
+    /// neighbor table (`k` records) + aggregate block. This is every
+    /// vanilla heartbeat, and the compact/adaptive heartbeat sent to
+    /// take-over nodes. O(d·k) = O(d²) when k ~ 2d.
+    #[inline]
+    pub fn full_heartbeat(&self, d: usize, k: usize) -> u64 {
+        self.header + self.node_record(d) * (1 + k as u64) + self.agg_block(d)
+    }
+
+    /// A **compact keepalive**: sender identity plus the single
+    /// aggregated-load entry relevant to the receiver's direction.
+    /// O(1) — the receiver already knows the sender's zone.
+    #[inline]
+    pub fn compact_keepalive(&self) -> u64 {
+        self.header + 8 + 2 * self.agg_entry
+    }
+
+    /// A **zone-carrying introduction/update**: sent on a node's first
+    /// heartbeat round after joining or after its zone changed, so
+    /// neighbors learn the new geometry. O(d).
+    #[inline]
+    pub fn zone_update(&self, d: usize) -> u64 {
+        self.header + self.node_record(d) + self.agg_block(d)
+    }
+
+    /// An adaptive **full-update request**: requester identity and
+    /// zone, so the responder knows which region is in question. O(d).
+    #[inline]
+    pub fn full_update_request(&self, d: usize) -> u64 {
+        self.header + self.node_record(d)
+    }
+
+    /// An adaptive **full-update response**: the responder's complete
+    /// neighbor table — same layout as a full heartbeat.
+    #[inline]
+    pub fn full_update_response(&self, d: usize, k: usize) -> u64 {
+        self.full_heartbeat(d, k)
+    }
+
+    /// A graceful-leave **handoff**: the departing node's complete
+    /// state, shipped to its take-over target(s).
+    #[inline]
+    pub fn handoff(&self, d: usize, k: usize) -> u64 {
+        self.full_heartbeat(d, k)
+    }
+
+    /// A join request/reply pair: the reply carries the host's full
+    /// neighbor table so the joiner can build its initial view.
+    #[inline]
+    pub fn join_reply(&self, d: usize, k: usize) -> u64 {
+        self.full_heartbeat(d, k)
+    }
+}
+
+/// Categories of maintenance traffic, accounted separately so Figure 8
+/// can report heartbeat-protocol costs and diagnostics can break down
+/// the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Periodic heartbeat (full, compact, or zone-carrying).
+    Heartbeat,
+    /// Adaptive full-update request.
+    FullUpdateRequest,
+    /// Adaptive full-update response.
+    FullUpdateResponse,
+    /// Join request/reply traffic.
+    Join,
+    /// Graceful-leave handoff.
+    Handoff,
+}
+
+impl MsgKind {
+    /// Whether this category counts toward the *heartbeat-scheme* cost
+    /// reported in Figure 8 (heartbeats plus the adaptive on-demand
+    /// machinery; join/handoff churn traffic is the same for all
+    /// schemes and excluded).
+    pub fn is_heartbeat_cost(self) -> bool {
+        matches!(
+            self,
+            MsgKind::Heartbeat | MsgKind::FullUpdateRequest | MsgKind::FullUpdateResponse
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_scales_linearly_with_dims() {
+        let w = WireModel::default();
+        let r5 = w.node_record(5);
+        let r10 = w.node_record(10);
+        assert_eq!(r10 - r5, 5 * w.record_per_dim);
+    }
+
+    #[test]
+    fn full_heartbeat_is_quadratic_when_k_tracks_d() {
+        let w = WireModel::default();
+        // k = 2d neighbors: doubling d should roughly quadruple size.
+        let s1 = w.full_heartbeat(5, 10) as f64;
+        let s2 = w.full_heartbeat(10, 20) as f64;
+        let ratio = s2 / s1;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "expected ~4x growth, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn compact_keepalive_is_dimension_independent() {
+        let w = WireModel::default();
+        assert_eq!(w.compact_keepalive(), w.compact_keepalive());
+        // No `d` parameter at all — structurally O(1).
+        assert!(w.compact_keepalive() < w.zone_update(5));
+    }
+
+    #[test]
+    fn compact_much_smaller_than_full() {
+        let w = WireModel::default();
+        let full = w.full_heartbeat(11, 22);
+        let keep = w.compact_keepalive();
+        assert!(
+            full / keep > 10,
+            "full {full} should dwarf keepalive {keep}"
+        );
+    }
+
+    #[test]
+    fn response_matches_full_heartbeat_layout() {
+        let w = WireModel::default();
+        assert_eq!(w.full_update_response(8, 16), w.full_heartbeat(8, 16));
+        assert_eq!(w.handoff(8, 16), w.full_heartbeat(8, 16));
+    }
+
+    #[test]
+    fn heartbeat_cost_categories() {
+        assert!(MsgKind::Heartbeat.is_heartbeat_cost());
+        assert!(MsgKind::FullUpdateRequest.is_heartbeat_cost());
+        assert!(MsgKind::FullUpdateResponse.is_heartbeat_cost());
+        assert!(!MsgKind::Join.is_heartbeat_cost());
+        assert!(!MsgKind::Handoff.is_heartbeat_cost());
+    }
+
+    #[test]
+    fn magnitudes_match_figure8_band() {
+        // Sanity: at d=14 with ~30 neighbors a full heartbeat is tens
+        // of KB, so 30 messages/minute lands in the ~1 MB/min band the
+        // paper reports for the vanilla CAN.
+        let w = WireModel::default();
+        let per_msg = w.full_heartbeat(14, 30);
+        let per_min = per_msg * 30;
+        assert!(
+            (500_000..2_000_000).contains(&per_min),
+            "vanilla volume/min {per_min} outside plausible band"
+        );
+    }
+}

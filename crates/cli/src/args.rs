@@ -1,0 +1,142 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs and bare
+/// `--switch` booleans.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Boolean switches recognized without a value.
+const SWITCHES: &[&str] = &["shared-gpus", "quiet", "csv"];
+
+impl Args {
+    /// Parses a raw argument list.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            if SWITCHES.contains(&key)
+                && raw
+                    .get(i + 1)
+                    .is_none_or(|next| next.starts_with("--"))
+            {
+                switches.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let Some(v) = raw.get(i + 1) else {
+                return Err(format!("flag '--{key}' needs a value"));
+            };
+            values.insert(key.to_string(), v.clone());
+            i += 2;
+        }
+        Ok(Args {
+            values,
+            switches,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn note(&self, key: &str) {
+        self.consumed.borrow_mut().push(key.to_string());
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.note(key);
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        self.note(key);
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value '{v}' for --{key}")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.note(key);
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Errors on any flag the command did not consume (catches typos).
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        let seen = self.consumed.borrow();
+        for k in self.values.keys().chain(self.switches.iter()) {
+            if !seen.iter().any(|s| s == k) {
+                return Err(format!("unknown flag '--{k}'"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = Args::parse(&raw(&["--nodes", "100", "--shared-gpus", "--seed", "7"])).unwrap();
+        assert_eq!(a.get_or("nodes", 0usize).unwrap(), 100);
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert!(a.switch("shared-gpus"));
+        assert!(!a.switch("quiet"));
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = Args::parse(&raw(&[])).unwrap();
+        assert_eq!(a.get_or("nodes", 42usize).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&raw(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Args::parse(&raw(&["--nodes"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_type() {
+        let a = Args::parse(&raw(&["--nodes", "many"])).unwrap();
+        assert!(a.get_or("nodes", 0usize).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let a = Args::parse(&raw(&["--bogus", "1"])).unwrap();
+        let _ = a.get_or("nodes", 0usize);
+        assert!(a.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn switch_followed_by_flag_parses() {
+        let a = Args::parse(&raw(&["--csv", "--nodes", "5"])).unwrap();
+        assert!(a.switch("csv"));
+        assert_eq!(a.get_or("nodes", 0usize).unwrap(), 5);
+    }
+}

@@ -1,0 +1,453 @@
+//! The `pgrid` subcommands.
+
+use crate::args::Args;
+use pgrid::prelude::*;
+use pgrid::types::DimensionLayout;
+use pgrid::workload::trace;
+use std::fmt::Write as _;
+
+/// `pgrid help`
+pub fn help() -> String {
+    "\
+pgrid — P2P computing-element-heterogeneous grid simulator
+(reproduction of Lee/Keleher/Sussman, IEEE CLUSTER 2011)
+
+USAGE:
+  pgrid simulate [--nodes N] [--jobs N] [--dims 5|8|11|14] [--interarrival S]
+                 [--ratio R] [--scheduler het|hom|central|all] [--seed S]
+                 [--shared-gpus] [--sf SF]
+      Run one load-balancing simulation and print wait-time statistics.
+
+  pgrid churn    [--nodes N] [--dims D] [--scheme vanilla|compact|adaptive|all]
+                 [--gap S] [--duration S] [--loss P] [--graceful F] [--seed S]
+      Run one CAN maintenance simulation under churn and print broken-link
+      and message-cost statistics.
+
+  pgrid trace gen-nodes  [--count N] [--dims D] [--seed S] [--out FILE]
+  pgrid trace gen-jobs   [--count N] [--dims D] [--ratio R] [--interarrival S]
+                         [--seed S] [--out FILE]
+  pgrid trace replay     --nodes FILE --jobs FILE [--scheduler het|hom|central]
+      Generate reusable workload traces, or replay saved traces.
+
+  pgrid info
+      Print the built-in paper scenario and experiment inventory.
+"
+    .to_string()
+}
+
+/// `pgrid info`
+pub fn info() -> String {
+    let s = default_scenario();
+    let mut out = String::new();
+    let _ = writeln!(out, "paper scenario defaults:");
+    let _ = writeln!(out, "  nodes              {}", s.nodes);
+    let _ = writeln!(out, "  jobs               {}", s.jobs);
+    let _ = writeln!(out, "  CAN dimensions     {}", s.dims);
+    let _ = writeln!(out, "  GPU families       {}", s.gpu_slots());
+    let _ = writeln!(out, "  inter-arrival      {} s", s.job_gen.mean_interarrival);
+    let _ = writeln!(out, "  constraint ratio   {}", s.job_gen.constraint_ratio);
+    let _ = writeln!(out, "  stopping factor    {}", s.stopping_factor);
+    let _ = writeln!(out, "  AI refresh period  {} s", s.ai_refresh_period);
+    let _ = writeln!(out, "  seed               {}", s.seed);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "experiments (see crates/bench): fig5 fig6 fig7 fig8 scaling_fit ablation"
+    );
+    let _ = writeln!(
+        out,
+        "extensions: sf_sweep lossy_network routing_under_churn future_gpus contention_model"
+    );
+    out
+}
+
+fn scenario_from(args: &Args) -> Result<LoadBalanceScenario, String> {
+    let mut s = default_scenario();
+    s.nodes = args.get_or("nodes", s.nodes)?;
+    s.jobs = args.get_or("jobs", s.jobs)?;
+    let dims: usize = args.get_or("dims", s.dims)?;
+    if dims < 5 || !(dims - 5).is_multiple_of(3) || dims > 14 {
+        return Err(format!("--dims must be 5, 8, 11 or 14 (got {dims})"));
+    }
+    if dims != s.dims {
+        let slots = ((dims - 5) / 3) as u8;
+        s.dims = dims;
+        s.node_gen = NodeGenConfig::paper_defaults(slots);
+        s.job_gen = JobGenConfig::paper_defaults(
+            slots,
+            s.job_gen.constraint_ratio,
+            s.job_gen.mean_interarrival,
+        );
+    }
+    s.job_gen.mean_interarrival = args.get_or("interarrival", s.job_gen.mean_interarrival)?;
+    s.job_gen.constraint_ratio = args.get_or("ratio", s.job_gen.constraint_ratio)?;
+    s.stopping_factor = args.get_or("sf", s.stopping_factor)?;
+    s.seed = args.get_or("seed", s.seed)?;
+    if args.switch("shared-gpus") {
+        s.node_gen.shared_gpus = true;
+    }
+    Ok(s)
+}
+
+fn parse_schedulers(spec: &str) -> Result<Vec<SchedulerChoice>, String> {
+    match spec {
+        "het" | "can-het" => Ok(vec![SchedulerChoice::CanHet]),
+        "hom" | "can-hom" => Ok(vec![SchedulerChoice::CanHom]),
+        "central" => Ok(vec![SchedulerChoice::Central]),
+        "all" => Ok(SchedulerChoice::ALL.to_vec()),
+        other => Err(format!("unknown scheduler '{other}'")),
+    }
+}
+
+fn render_sim_results(results: &[SimResult]) -> String {
+    let mut out = String::new();
+    let mut table = Table::new([
+        "scheduler",
+        "zero-wait(%)",
+        "mean wait(s)",
+        "p95(s)",
+        "p99(s)",
+        "busy-CV",
+        "pushes/job",
+    ]);
+    for r in results {
+        let cdf = r.cdf();
+        table.row([
+            r.scheduler.label().to_string(),
+            format!("{:.1}", 100.0 * cdf.fraction_zero()),
+            format!("{:.1}", r.mean_wait()),
+            format!("{:.1}", cdf.quantile(0.95)),
+            format!("{:.1}", cdf.quantile(0.99)),
+            format!("{:.3}", r.busy_time_cv()),
+            format!("{:.2}", r.pushes.mean()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// `pgrid simulate`
+pub fn simulate(args: Args) -> Result<String, String> {
+    let scenario = scenario_from(&args)?;
+    let schedulers = parse_schedulers(args.get("scheduler").unwrap_or("all"))?;
+    args.reject_unknown()?;
+    let mut out = format!(
+        "simulating {} jobs on {} nodes ({}-dim CAN, inter-arrival {}s, ratio {})\n\n",
+        scenario.jobs,
+        scenario.nodes,
+        scenario.dims,
+        scenario.job_gen.mean_interarrival,
+        scenario.job_gen.constraint_ratio
+    );
+    let results: Vec<SimResult> = schedulers
+        .into_iter()
+        .map(|c| run_load_balance(&scenario, c))
+        .collect();
+    out.push_str(&render_sim_results(&results));
+    Ok(out)
+}
+
+/// `pgrid churn`
+pub fn churn(args: Args) -> Result<String, String> {
+    let nodes: usize = args.get_or("nodes", 200)?;
+    let dims: usize = args.get_or("dims", 11)?;
+    let schemes = match args.get("scheme").unwrap_or("all") {
+        "vanilla" => vec![HeartbeatScheme::Vanilla],
+        "compact" => vec![HeartbeatScheme::Compact],
+        "adaptive" => vec![HeartbeatScheme::Adaptive],
+        "all" => HeartbeatScheme::ALL.to_vec(),
+        other => return Err(format!("unknown scheme '{other}'")),
+    };
+    let gap: f64 = args.get_or("gap", 10.0)?;
+    let duration: f64 = args.get_or("duration", 3600.0)?;
+    let loss: f64 = args.get_or("loss", 0.0)?;
+    let graceful: f64 = args.get_or("graceful", 0.5)?;
+    let seed: u64 = args.get_or("seed", 2011)?;
+    args.reject_unknown()?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(format!("--loss must be in [0,1), got {loss}"));
+    }
+
+    let mut out = format!(
+        "churn: {nodes} nodes, {dims}-dim CAN, event gap {gap}s, loss {:.0}%, {duration}s\n\n",
+        loss * 100.0
+    );
+    let mut table = Table::new([
+        "scheme",
+        "steady broken links",
+        "msgs/node/min",
+        "KB/node/min",
+        "mean degree",
+    ]);
+    for scheme in schemes {
+        let mut cfg = ChurnConfig::new(dims, scheme, nodes);
+        cfg.event_gap = gap;
+        cfg.stage2_duration = duration;
+        cfg.graceful_fraction = graceful;
+        cfg.message_loss = loss;
+        cfg.seed = seed;
+        let r = run_churn(&cfg, uniform_coords(dims));
+        table.row([
+            scheme.label().to_string(),
+            format!("{:.1}", r.steady_broken_links()),
+            format!("{:.1}", r.msgs_per_node_min),
+            format!("{:.1}", r.kb_per_node_min),
+            format!("{:.1}", r.mean_degree),
+        ]);
+    }
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `pgrid trace ...`
+pub fn trace(rest: &[String]) -> Result<String, String> {
+    let Some(sub) = rest.first() else {
+        return Err("trace needs a subcommand: gen-nodes | gen-jobs | replay".into());
+    };
+    let args = Args::parse(&rest[1..])?;
+    match sub.as_str() {
+        "gen-nodes" => {
+            let count: usize = args.get_or("count", 100)?;
+            let dims: usize = args.get_or("dims", 11)?;
+            let seed: u64 = args.get_or("seed", 2011)?;
+            let out_path = args.get("out").map(str::to_string);
+            args.reject_unknown()?;
+            let slots = ((dims.saturating_sub(5)) / 3) as u8;
+            let nodes = generate_nodes(&NodeGenConfig::paper_defaults(slots), count, seed);
+            let text = trace::write_nodes(&nodes);
+            emit(text, out_path)
+        }
+        "gen-jobs" => {
+            let count: usize = args.get_or("count", 1000)?;
+            let dims: usize = args.get_or("dims", 11)?;
+            let ratio: f64 = args.get_or("ratio", 0.6)?;
+            let ia: f64 = args.get_or("interarrival", 3.0)?;
+            let seed: u64 = args.get_or("seed", 2011)?;
+            let out_path = args.get("out").map(str::to_string);
+            args.reject_unknown()?;
+            let slots = ((dims.saturating_sub(5)) / 3) as u8;
+            let mut stream =
+                JobStream::new(JobGenConfig::paper_defaults(slots, ratio, ia), seed);
+            let jobs = stream.take_jobs(count);
+            let text = trace::write_jobs(&jobs);
+            emit(text, out_path)
+        }
+        "replay" => {
+            let nodes_path = args
+                .get("nodes")
+                .ok_or("replay needs --nodes FILE")?
+                .to_string();
+            let jobs_path = args
+                .get("jobs")
+                .ok_or("replay needs --jobs FILE")?
+                .to_string();
+            let schedulers = parse_schedulers(args.get("scheduler").unwrap_or("all"))?;
+            let seed: u64 = args.get_or("seed", 2011)?;
+            args.reject_unknown()?;
+            let node_text = std::fs::read_to_string(&nodes_path)
+                .map_err(|e| format!("cannot read {nodes_path}: {e}"))?;
+            let job_text = std::fs::read_to_string(&jobs_path)
+                .map_err(|e| format!("cannot read {jobs_path}: {e}"))?;
+            let population = trace::read_nodes(&node_text).map_err(|e| e.to_string())?;
+            let jobs = trace::read_jobs(&job_text).map_err(|e| e.to_string())?;
+            let results = replay(&population, &jobs, &schedulers, seed)?;
+            Ok(format!(
+                "replayed {} jobs on {} nodes\n\n{}",
+                jobs.len(),
+                population.len(),
+                render_sim_results(&results)
+            ))
+        }
+        other => Err(format!("unknown trace subcommand '{other}'")),
+    }
+}
+
+fn emit(text: String, out_path: Option<String>) -> Result<String, String> {
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &text).map_err(|e| format!("cannot write {p}: {e}"))?;
+            Ok(format!("wrote {} bytes to {p}\n", text.len()))
+        }
+        None => Ok(text),
+    }
+}
+
+/// Replays an explicit (population, jobs) pair through schedulers.
+/// Infers the CAN dimensionality from the largest GPU family present.
+pub fn replay(
+    population: &[NodeSpec],
+    jobs: &[(f64, JobSpec)],
+    schedulers: &[SchedulerChoice],
+    seed: u64,
+) -> Result<Vec<SimResult>, String> {
+    if population.is_empty() {
+        return Err("empty node population".into());
+    }
+    let max_slot = population
+        .iter()
+        .flat_map(|n| n.ces().iter())
+        .filter_map(|c| c.ce_type.gpu_slot())
+        .max()
+        .map_or(0, |s| s + 1);
+    let dims = 5 + 3 * max_slot as usize;
+    let layout = DimensionLayout::with_dims(dims);
+    // Reject jobs the population can never satisfy up front (clear
+    // error instead of a simulation panic).
+    for (_, j) in jobs {
+        if !population.iter().any(|n| j.satisfied_by(n)) {
+            return Err(format!("job {} is unsatisfiable by the population", j.id));
+        }
+    }
+    let mut results = Vec::new();
+    for &choice in schedulers {
+        let mut grid =
+            pgrid::sched::StaticGrid::build(layout.clone(), population.to_vec(), seed);
+        let params = PushParams::default();
+        let mut matchmaker: Box<dyn Matchmaker> = match choice {
+            SchedulerChoice::CanHet => {
+                Box::new(PushingMatchmaker::heterogeneous(&grid, params))
+            }
+            SchedulerChoice::CanHom => Box::new(PushingMatchmaker::homogeneous(&grid, params)),
+            SchedulerChoice::Central => Box::new(CentralMatchmaker),
+        };
+        results.push(pgrid::sched::grid_sim::run_trace(
+            &mut grid,
+            matchmaker.as_mut(),
+            jobs,
+            60.0,
+            seed,
+            choice,
+        ));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn info_mentions_paper_defaults() {
+        let s = info();
+        assert!(s.contains("1000"));
+        assert!(s.contains("20000") || s.contains("20_000") || s.contains("20 000"));
+    }
+
+    #[test]
+    fn simulate_runs_small() {
+        let out = simulate(a(&[
+            "--nodes",
+            "40",
+            "--jobs",
+            "150",
+            "--interarrival",
+            "60",
+            "--scheduler",
+            "central",
+        ]))
+        .unwrap();
+        assert!(out.contains("central"));
+        assert!(out.contains("zero-wait"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_dims() {
+        let err = simulate(a(&["--dims", "7"])).unwrap_err();
+        assert!(err.contains("--dims"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_flag() {
+        let err = simulate(a(&["--bogus", "1"])).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn churn_rejects_bad_loss_and_scheme() {
+        let err = churn(a(&["--loss", "1.5"])).unwrap_err();
+        assert!(err.contains("--loss"));
+        let err = churn(a(&["--scheme", "telepathy"])).unwrap_err();
+        assert!(err.contains("telepathy"));
+    }
+
+    #[test]
+    fn trace_replay_requires_files() {
+        let raw = |v: Vec<&str>| v.into_iter().map(String::from).collect::<Vec<_>>();
+        let err = trace(&raw(vec!["replay"])).unwrap_err();
+        assert!(err.contains("--nodes"));
+        let err = trace(&raw(vec!["replay", "--nodes", "/nonexistent", "--jobs", "/nonexistent"]))
+            .unwrap_err();
+        assert!(err.contains("cannot read") || err.contains("nonexistent"));
+    }
+
+    #[test]
+    fn churn_runs_small() {
+        let out = churn(a(&[
+            "--nodes",
+            "40",
+            "--dims",
+            "5",
+            "--duration",
+            "600",
+            "--scheme",
+            "compact",
+        ]))
+        .unwrap();
+        assert!(out.contains("Compact"));
+        assert!(out.contains("KB/node/min"));
+    }
+
+    #[test]
+    fn trace_gen_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("pgrid_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let nodes_p = dir.join("nodes.trace");
+        let jobs_p = dir.join("jobs.trace");
+        let raw = |v: Vec<&str>| v.into_iter().map(String::from).collect::<Vec<_>>();
+        trace(&raw(vec![
+            "gen-nodes",
+            "--count",
+            "40",
+            "--out",
+            nodes_p.to_str().unwrap(),
+        ]))
+        .unwrap();
+        trace(&raw(vec![
+            "gen-jobs",
+            "--count",
+            "100",
+            "--interarrival",
+            "45",
+            "--ratio",
+            "0.0", // unconstrained: satisfiable by any population
+            "--out",
+            jobs_p.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = trace(&raw(vec![
+            "replay",
+            "--nodes",
+            nodes_p.to_str().unwrap(),
+            "--jobs",
+            jobs_p.to_str().unwrap(),
+            "--scheduler",
+            "central",
+        ]))
+        .unwrap();
+        assert!(out.contains("replayed 100 jobs on 40 nodes"), "{out}");
+        assert!(out.contains("central"));
+    }
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        let out = crate::dispatch(vec!["pgrid".into(), "help".into()]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(crate::dispatch(vec!["pgrid".into(), "frobnicate".into()]).is_err());
+        let bare = crate::dispatch(vec!["pgrid".into()]).unwrap();
+        assert!(bare.contains("USAGE"));
+    }
+}

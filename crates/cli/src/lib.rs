@@ -1,0 +1,56 @@
+//! Implementation of the `pgrid` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `pgrid simulate` — one load-balancing simulation (Figure 5/6
+//!   style) with configurable population, workload and scheduler;
+//! * `pgrid churn` — one CAN churn simulation (Figure 7/8 style) with
+//!   configurable scheme, churn rate and message loss;
+//! * `pgrid trace` — generate node/job traces, or replay previously
+//!   saved traces through a scheduler;
+//! * `pgrid info` — the built-in scenario defaults and experiment
+//!   inventory.
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs plus boolean
+//! switches) to stay inside the approved dependency set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::process::ExitCode;
+
+/// Entry point used by the `pgrid` binary.
+pub fn run(argv: Vec<String>) -> ExitCode {
+    match dispatch(argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `pgrid help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses and executes; returns the full textual output (testable).
+pub fn dispatch(argv: Vec<String>) -> Result<String, String> {
+    let mut it = argv.into_iter();
+    let _program = it.next();
+    let Some(cmd) = it.next() else {
+        return Ok(commands::help());
+    };
+    let rest: Vec<String> = it.collect();
+    match cmd.as_str() {
+        "simulate" => commands::simulate(args::Args::parse(&rest)?),
+        "churn" => commands::churn(args::Args::parse(&rest)?),
+        "trace" => commands::trace(&rest),
+        "info" => Ok(commands::info()),
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,7 @@
+//! The `pgrid` command-line tool (see `pgrid help`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pgrid_cli::run(std::env::args().collect())
+}

@@ -1,0 +1,373 @@
+//! One driver per figure of the paper's evaluation (§V).
+//!
+//! Every driver supports two scales:
+//!
+//! * [`Scale::Paper`] — the paper's full configuration (1000 nodes /
+//!   20 000 jobs for Figures 5–6; 500–2000 nodes and 5–14 dimensions
+//!   for Figures 7–8). Minutes of wall-clock.
+//! * [`Scale::Quick`] — a reduced configuration with the same
+//!   qualitative behaviour, used by integration tests and for smoke
+//!   runs. Seconds of wall-clock.
+//!
+//! Independent simulation configurations run in parallel across
+//! threads (each simulation itself is single-threaded and
+//! deterministic, so results do not depend on scheduling).
+
+use crate::can::{run_churn, uniform_coords, ChurnConfig, ChurnReport, HeartbeatScheme};
+use crate::sched::{run_load_balance, SchedulerChoice, SimResult};
+use crate::workload::{default_scenario, LoadBalanceScenario};
+use parking_lot::Mutex;
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full configuration.
+    Paper,
+    /// Reduced configuration for tests and smoke runs.
+    Quick,
+}
+
+/// Runs `configs.len()` independent jobs in parallel, preserving input
+/// order in the output.
+fn parallel_map<C: Send, R: Send>(configs: Vec<C>, f: impl Fn(C) -> R + Sync) -> Vec<R> {
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..configs.len()).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, C)>> = Mutex::new(configs.into_iter().enumerate().collect());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let item = work.lock().pop();
+                let Some((i, cfg)) = item else { break };
+                let r = f(cfg);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all work items completed"))
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig 5/6
+
+/// One wait-time-CDF experiment cell: a scenario run under all three
+/// schedulers.
+#[derive(Debug, Clone)]
+pub struct WaitTimeCell {
+    /// Sub-figure parameter: mean inter-arrival (Fig 5) or constraint
+    /// ratio (Fig 6).
+    pub parameter: f64,
+    /// Results in [`SchedulerChoice::ALL`] order.
+    pub results: Vec<SimResult>,
+}
+
+fn scenario_for(scale: Scale) -> LoadBalanceScenario {
+    match scale {
+        Scale::Paper => default_scenario(),
+        Scale::Quick => {
+            let mut s = default_scenario().scaled_down(10); // 100 nodes
+            s.jobs = 2000;
+            s
+        }
+    }
+}
+
+/// Figure 5: CDF of job wait time at mean inter-arrival 2 s / 3 s / 4 s
+/// (scaled proportionally at [`Scale::Quick`]), constraint ratio 0.6.
+pub fn fig5(scale: Scale) -> Vec<WaitTimeCell> {
+    let base = scenario_for(scale);
+    let factor = base.job_gen.mean_interarrival / 3.0; // keep quick-scale load level
+    let params = [2.0, 3.0, 4.0];
+    let configs: Vec<(f64, LoadBalanceScenario, SchedulerChoice)> = params
+        .iter()
+        .flat_map(|&ia| {
+            SchedulerChoice::ALL
+                .into_iter()
+                .map(move |sch| (ia, sch))
+        })
+        .map(|(ia, sch)| (ia, base.clone().with_interarrival(ia * factor), sch))
+        .collect();
+    let results = parallel_map(configs, |(_, sc, sch)| run_load_balance(&sc, sch));
+    collect_cells(&params, results)
+}
+
+/// Figure 6: CDF of job wait time at constraint ratio 80% / 60% / 40%,
+/// inter-arrival fixed at 3 s.
+pub fn fig6(scale: Scale) -> Vec<WaitTimeCell> {
+    let base = scenario_for(scale);
+    let params = [0.8, 0.6, 0.4];
+    let configs: Vec<(f64, LoadBalanceScenario, SchedulerChoice)> = params
+        .iter()
+        .flat_map(|&r| SchedulerChoice::ALL.into_iter().map(move |sch| (r, sch)))
+        .map(|(r, sch)| (r, base.clone().with_constraint_ratio(r), sch))
+        .collect();
+    let results = parallel_map(configs, |(_, sc, sch)| run_load_balance(&sc, sch));
+    collect_cells(&params, results)
+}
+
+fn collect_cells(params: &[f64], results: Vec<SimResult>) -> Vec<WaitTimeCell> {
+    params
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| WaitTimeCell {
+            parameter: p,
+            results: results[i * 3..(i + 1) * 3].to_vec(),
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------ Fig 7
+
+/// Figure 7: broken links over time under high churn, 11-dimensional
+/// CAN, one series per heartbeat scheme.
+pub fn fig7(scale: Scale) -> Vec<ChurnReport> {
+    let (nodes, duration, sample) = match scale {
+        Scale::Paper => (1000, 20_000.0, 250.0),
+        Scale::Quick => (150, 3000.0, 250.0),
+    };
+    let configs: Vec<HeartbeatScheme> = HeartbeatScheme::ALL.to_vec();
+    parallel_map(configs, move |scheme| {
+        let mut cfg = ChurnConfig::new(11, scheme, nodes).high_churn();
+        cfg.stage2_duration = duration;
+        cfg.sample_interval = sample;
+        run_churn(&cfg, uniform_coords(11))
+    })
+}
+
+// ------------------------------------------------------------------ Fig 8
+
+/// One Figure 8 measurement cell.
+#[derive(Debug, Clone)]
+pub struct CostCell {
+    /// Heartbeat scheme.
+    pub scheme: HeartbeatScheme,
+    /// CAN dimensions.
+    pub dims: usize,
+    /// Initial node count.
+    pub nodes: usize,
+    /// Messages per node per minute (Figure 8(a)).
+    pub msgs_per_node_min: f64,
+    /// Volume in KB per node per minute (Figure 8(b)).
+    pub kb_per_node_min: f64,
+    /// Mean CAN degree (diagnostics: should grow ~linearly with dims).
+    pub mean_degree: f64,
+}
+
+/// Figure 8: heartbeat message count and volume per node per minute for
+/// 5/8/11/14-dimensional CANs and (at paper scale) 500/1000/2000 nodes,
+/// under slow churn (no simultaneous events).
+pub fn fig8(scale: Scale) -> Vec<CostCell> {
+    let (node_counts, duration): (Vec<usize>, f64) = match scale {
+        Scale::Paper => (vec![500, 1000, 2000], 2400.0),
+        Scale::Quick => (vec![100, 200], 1200.0),
+    };
+    let dims = [5usize, 8, 11, 14];
+    let mut configs = Vec::new();
+    for scheme in HeartbeatScheme::ALL {
+        for &d in &dims {
+            for &n in &node_counts {
+                configs.push((scheme, d, n));
+            }
+        }
+    }
+    parallel_map(configs, move |(scheme, d, n)| {
+        let mut cfg = ChurnConfig::new(d, scheme, n);
+        // Slow churn: events spaced wider than a heartbeat period so
+        // the cost measurement reflects steady-state maintenance.
+        cfg.event_gap = 2.0 * cfg.heartbeat_period;
+        cfg.stage2_duration = duration;
+        cfg.sample_interval = duration; // costs only; broken links not needed
+        let report = run_churn(&cfg, uniform_coords(d));
+        CostCell {
+            scheme,
+            dims: d,
+            nodes: n,
+            msgs_per_node_min: report.msgs_per_node_min,
+            kb_per_node_min: report.kb_per_node_min,
+            mean_degree: report.mean_degree,
+        }
+    })
+}
+
+// ------------------------------------------------------------ replication
+
+/// A replicated statistic: mean ± population stddev over seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replicated {
+    /// Mean across replications.
+    pub mean: f64,
+    /// Population standard deviation across replications.
+    pub stddev: f64,
+    /// Number of replications.
+    pub n: usize,
+}
+
+impl Replicated {
+    fn from_samples(xs: &[f64]) -> Self {
+        let s = pgrid_metrics::Summary::from_iter(xs.iter().copied());
+        Replicated {
+            mean: s.mean(),
+            stddev: s.stddev(),
+            n: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Replicated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1}", self.mean, self.stddev)
+    }
+}
+
+/// Replicated headline statistics of one load-balancing configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicatedWaits {
+    /// Scheduler measured.
+    pub scheduler: SchedulerChoice,
+    /// Percentage of jobs with zero wait.
+    pub zero_wait_pct: Replicated,
+    /// Mean wait time, seconds.
+    pub mean_wait: Replicated,
+    /// 99th-percentile wait, seconds.
+    pub p99_wait: Replicated,
+}
+
+/// Runs the same scenario under every scheduler across `seeds`
+/// independent seeds, reporting mean ± stddev of the headline
+/// statistics — quantifies how much of a figure's shape is seed noise.
+pub fn replicate_waits(
+    base: &LoadBalanceScenario,
+    seeds: &[u64],
+) -> Vec<ReplicatedWaits> {
+    assert!(!seeds.is_empty());
+    let mut configs = Vec::new();
+    for &choice in &SchedulerChoice::ALL {
+        for &seed in seeds {
+            configs.push((choice, base.clone().with_seed(seed)));
+        }
+    }
+    let results = parallel_map(configs, |(choice, sc)| {
+        let r = run_load_balance(&sc, choice);
+        let cdf = r.cdf();
+        (
+            choice,
+            100.0 * cdf.fraction_zero(),
+            r.mean_wait(),
+            cdf.quantile(0.99),
+        )
+    });
+    SchedulerChoice::ALL
+        .iter()
+        .map(|&choice| {
+            let rows: Vec<&(SchedulerChoice, f64, f64, f64)> =
+                results.iter().filter(|(c, ..)| *c == choice).collect();
+            ReplicatedWaits {
+                scheduler: choice,
+                zero_wait_pct: Replicated::from_samples(
+                    &rows.iter().map(|r| r.1).collect::<Vec<_>>(),
+                ),
+                mean_wait: Replicated::from_samples(
+                    &rows.iter().map(|r| r.2).collect::<Vec<_>>(),
+                ),
+                p99_wait: Replicated::from_samples(
+                    &rows.iter().map(|r| r.3).collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Replicated Figure 7 steady-state broken-link levels.
+pub fn replicate_broken_links(
+    dims: usize,
+    nodes: usize,
+    duration: f64,
+    seeds: &[u64],
+) -> Vec<(HeartbeatScheme, Replicated)> {
+    let mut configs = Vec::new();
+    for scheme in HeartbeatScheme::ALL {
+        for &seed in seeds {
+            let mut cfg = ChurnConfig::new(dims, scheme, nodes).high_churn();
+            cfg.stage2_duration = duration;
+            cfg.sample_interval = (duration / 16.0).max(50.0);
+            cfg.seed = seed;
+            configs.push(cfg);
+        }
+    }
+    let results = parallel_map(configs, |cfg| {
+        let scheme = cfg.scheme;
+        let r = run_churn(&cfg, uniform_coords(cfg.dims));
+        (scheme, r.steady_broken_links())
+    });
+    HeartbeatScheme::ALL
+        .iter()
+        .map(|&scheme| {
+            let xs: Vec<f64> = results
+                .iter()
+                .filter(|(s, _)| *s == scheme)
+                .map(|(_, b)| *b)
+                .collect();
+            (scheme, Replicated::from_samples(&xs))
+        })
+        .collect()
+}
+
+/// Least-squares exponent of `y ~ x^b` (log–log regression slope):
+/// used to verify the paper's O(d) / O(d²) scaling claims from Fig 8
+/// data.
+pub fn scaling_exponent(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+        let lx = x.ln();
+        let ly = y.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_exponent_recovers_powers() {
+        let linear: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((scaling_exponent(&linear) - 1.0).abs() < 1e-9);
+        let quad: Vec<(f64, f64)> =
+            (1..=10).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        assert!((scaling_exponent(&quad) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..64).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quick_fig7_orders_schemes() {
+        let reports = fig7(Scale::Quick);
+        assert_eq!(reports.len(), 3);
+        let broken: Vec<f64> = reports.iter().map(|r| r.steady_broken_links()).collect();
+        // Vanilla (index 0) at most compact (index 1).
+        assert!(
+            broken[0] <= broken[1] + 1.0,
+            "vanilla {} vs compact {}",
+            broken[0],
+            broken[1]
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 5 and 6 plot "cumulative distributions for job wait times"
+//! with the Y axis starting at 80% — the interesting action is in the
+//! tail, so [`Cdf`] exposes both forward evaluation (fraction ≤ x) and
+//! inverse evaluation (percentiles).
+
+/// An empirical CDF over f64 samples.
+///
+/// ```
+/// use pgrid_metrics::Cdf;
+/// let cdf = Cdf::new(vec![0.0, 0.0, 10.0, 100.0]);
+/// assert_eq!(cdf.fraction_zero(), 0.5);
+/// assert_eq!(cdf.quantile(0.75), 10.0);
+/// assert_eq!(cdf.fraction_at(50.0), 0.75);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not be NaN"
+        );
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`, in [0, 1]. Zero for an empty CDF.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: first index with sample > x.
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-th quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF or q outside [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Samples the CDF at evenly spaced x values from 0 to `x_max`,
+    /// returning `(x, percent ≤ x)` pairs — the series plotted in
+    /// Figures 5/6.
+    pub fn curve(&self, x_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        (0..points)
+            .map(|i| {
+                let x = x_max * i as f64 / (points - 1) as f64;
+                (x, 100.0 * self.fraction_at(x))
+            })
+            .collect()
+    }
+
+    /// Fraction of samples that are exactly zero (jobs that never
+    /// waited — the bulk of Figures 5/6's distributions).
+    pub fn fraction_zero(&self) -> f64 {
+        self.fraction_at(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf() -> Cdf {
+        Cdf::new(vec![3.0, 1.0, 2.0, 4.0, 5.0])
+    }
+
+    #[test]
+    fn fraction_at_counts_inclusive() {
+        let c = cdf();
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(1.0), 0.2);
+        assert_eq!(c.fraction_at(3.0), 0.6);
+        assert_eq!(c.fraction_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = cdf();
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(0.2), 1.0);
+        assert_eq!(c.quantile(0.5), 3.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(1.0), 0.0);
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let c = cdf();
+        assert_eq!(c.mean(), Some(3.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(5.0));
+    }
+
+    #[test]
+    fn curve_spans_range() {
+        let c = cdf();
+        let pts = c.curve(5.0, 6);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[5].0, 5.0);
+        assert_eq!(pts[5].1, 100.0);
+        // Monotone non-decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn fraction_zero_counts_exact_zeros() {
+        let c = Cdf::new(vec![0.0, 0.0, 1.0, 2.0]);
+        assert_eq!(c.fraction_zero(), 0.5);
+    }
+
+    #[test]
+    fn duplicate_heavy_distribution() {
+        let mut v = vec![0.0; 95];
+        v.extend([10.0, 20.0, 30.0, 40.0, 50.0]);
+        let c = Cdf::new(v);
+        assert_eq!(c.fraction_at(0.0), 0.95);
+        assert_eq!(c.quantile(0.95), 0.0);
+        assert_eq!(c.quantile(0.99), 40.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal CSV emission (no external serializer needed): experiment
+//! binaries write their raw series next to the printed tables so plots
+//! can be regenerated offline.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Builds CSV text in memory; write it out with [`CsvWriter::save`].
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    buf: String,
+    columns: usize,
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+impl CsvWriter {
+    /// A writer with the given header row.
+    pub fn new(headers: &[&str]) -> Self {
+        let mut w = CsvWriter {
+            buf: String::new(),
+            columns: headers.len(),
+        };
+        w.push_row(headers.iter().map(|s| s.to_string()));
+        w
+    }
+
+    fn push_row(&mut self, cells: impl IntoIterator<Item = String>) {
+        let mut n = 0;
+        for (i, c) in cells.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&escape(&c));
+            n = i + 1;
+        }
+        assert_eq!(n, self.columns, "CSV row arity mismatch");
+        self.buf.push('\n');
+    }
+
+    /// Appends a row of string cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.push_row(cells.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Appends a row of floats (formatted with up to 6 significant
+    /// decimals, trailing zeros trimmed).
+    pub fn row_f64(&mut self, cells: &[f64]) -> &mut Self {
+        self.push_row(cells.iter().map(|x| {
+            let mut s = format!("{x:.6}");
+            if s.contains('.') {
+                while s.ends_with('0') {
+                    s.pop();
+                }
+                if s.ends_with('.') {
+                    s.pop();
+                }
+            }
+            s
+        }));
+        self
+    }
+
+    /// Appends a row with a leading label followed by floats.
+    pub fn row_labeled(&mut self, label: &str, cells: &[f64]) -> &mut Self {
+        let mut all = vec![escape(label)];
+        for x in cells {
+            let _ = write!(all.last_mut().unwrap(), ""); // no-op, keep shape
+            all.push(format!("{x}"));
+        }
+        self.push_row(all);
+        self
+    }
+
+    /// The CSV text accumulated so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Writes the CSV to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut w = CsvWriter::new(&["t", "broken"]);
+        w.row_f64(&[0.0, 3.0]);
+        w.row_f64(&[250.0, 17.5]);
+        let s = w.as_str();
+        assert_eq!(s, "t,broken\n0,3\n250,17.5\n");
+    }
+
+    #[test]
+    fn escaping_commas_and_quotes() {
+        let mut w = CsvWriter::new(&["label", "v"]);
+        w.row(&["a,b", "1"]);
+        w.row(&["say \"hi\"", "2"]);
+        let s = w.as_str();
+        assert!(s.contains("\"a,b\",1"));
+        assert!(s.contains("\"say \"\"hi\"\"\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        CsvWriter::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn labeled_rows() {
+        let mut w = CsvWriter::new(&["scheme", "d", "kb"]);
+        w.row_labeled("Vanilla", &[5.0, 100.25]);
+        assert!(w.as_str().contains("Vanilla,5,100.25"));
+    }
+
+    #[test]
+    fn trailing_zero_trimming() {
+        let mut w = CsvWriter::new(&["x"]);
+        w.row_f64(&[1.500000]);
+        assert_eq!(w.as_str().lines().last().unwrap(), "1.5");
+    }
+}

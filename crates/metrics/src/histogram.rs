@@ -1,0 +1,311 @@
+//! Fixed-bucket histograms with optional logarithmic bucketing —
+//! wait-time distributions span five orders of magnitude, so linear
+//! buckets waste resolution where the paper's CDFs are interesting.
+
+/// Bucketing strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Buckets {
+    /// `count` equal-width buckets over `[lo, hi)`.
+    Linear {
+        /// Lower bound of the first bucket.
+        lo: f64,
+        /// Upper bound of the last bucket.
+        hi: f64,
+        /// Number of buckets.
+        count: usize,
+    },
+    /// `count` geometrically growing buckets over `[lo, hi)`; `lo`
+    /// must be positive.
+    Log {
+        /// Lower bound of the first bucket (must be > 0).
+        lo: f64,
+        /// Upper bound of the last bucket.
+        hi: f64,
+        /// Number of buckets.
+        count: usize,
+    },
+}
+
+impl Buckets {
+    fn count(&self) -> usize {
+        match *self {
+            Buckets::Linear { count, .. } | Buckets::Log { count, .. } => count,
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            Buckets::Linear { lo, hi, count } => {
+                assert!(count > 0 && lo < hi, "invalid linear buckets");
+            }
+            Buckets::Log { lo, hi, count } => {
+                assert!(
+                    count > 0 && 0.0 < lo && lo < hi,
+                    "invalid log buckets (lo must be positive)"
+                );
+            }
+        }
+    }
+
+    /// Bucket index of a value inside the range, or `None` when it
+    /// falls outside.
+    fn index(&self, x: f64) -> Option<usize> {
+        match *self {
+            Buckets::Linear { lo, hi, count } => {
+                if x < lo || x >= hi {
+                    None
+                } else {
+                    Some(
+                        (((x - lo) / (hi - lo)) * count as f64).min(count as f64 - 1.0) as usize,
+                    )
+                }
+            }
+            Buckets::Log { lo, hi, count } => {
+                if x < lo || x >= hi {
+                    None
+                } else {
+                    let f = (x / lo).ln() / (hi / lo).ln();
+                    Some(((f * count as f64).min(count as f64 - 1.0)) as usize)
+                }
+            }
+        }
+    }
+
+    /// Bounds `[lo, hi)` of bucket `i`.
+    pub fn bounds(&self, i: usize) -> (f64, f64) {
+        match *self {
+            Buckets::Linear { lo, hi, count } => {
+                let w = (hi - lo) / count as f64;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+            Buckets::Log { lo, hi, count } => {
+                let r = (hi / lo).powf(1.0 / count as f64);
+                (lo * r.powi(i as i32), lo * r.powi(i as i32 + 1))
+            }
+        }
+    }
+}
+
+/// A histogram with underflow/overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Buckets,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucketing.
+    pub fn new(buckets: Buckets) -> Self {
+        buckets.validate();
+        Histogram {
+            counts: vec![0; buckets.count()],
+            buckets,
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Convenience: log buckets suitable for wait times in seconds
+    /// (1 s .. ~28 h across 24 buckets, with a dedicated underflow for
+    /// zero waits).
+    pub fn wait_times() -> Self {
+        Histogram::new(Buckets::Log {
+            lo: 1.0,
+            hi: 100_000.0,
+            count: 24,
+        })
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        self.total += 1;
+        match self.buckets.index(x) {
+            Some(i) => self.counts[i] += 1,
+            None => {
+                let below = match self.buckets {
+                    Buckets::Linear { lo, .. } | Buckets::Log { lo, .. } => x < lo,
+                };
+                if below {
+                    self.underflow += 1;
+                } else {
+                    self.overflow += 1;
+                }
+            }
+        }
+    }
+
+    /// Builds a histogram from an iterator.
+    pub fn from_iter(buckets: Buckets, xs: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::new(buckets);
+        for x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the first bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last bucket's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the histogram holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterator over `(lo, hi, count)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.counts.len()).map(move |i| {
+            let (lo, hi) = self.buckets.bounds(i);
+            (lo, hi, self.counts[i])
+        })
+    }
+
+    /// A terminal-friendly bar rendering.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>24}  {}\n", "(under)", self.underflow));
+        }
+        for (lo, hi, c) in self.rows() {
+            let bar = "#".repeat(((c as f64 / max as f64) * width as f64).round() as usize);
+            out.push_str(&format!("[{lo:>9.1}, {hi:>9.1})  {c:>7}  {bar}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>24}  {}\n", "(over)", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = Histogram::new(Buckets::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            count: 5,
+        });
+        for x in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0] {
+            h.add(x);
+        }
+        assert_eq!(h.count(0), 2); // 0.0, 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(4), 1); // 9.99
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn log_bucketing_is_geometric() {
+        let h = Histogram::new(Buckets::Log {
+            lo: 1.0,
+            hi: 1000.0,
+            count: 3,
+        });
+        let (lo0, hi0) = h.buckets.bounds(0);
+        let (lo1, hi1) = h.buckets.bounds(1);
+        let (lo2, hi2) = h.buckets.bounds(2);
+        assert!((lo0 - 1.0).abs() < 1e-9);
+        assert!((hi0 - 10.0).abs() < 1e-9);
+        assert!((lo1 - 10.0).abs() < 1e-9);
+        assert!((hi1 - 100.0).abs() < 1e-9);
+        assert!((lo2 - 100.0).abs() < 1e-9);
+        assert!((hi2 - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_bucket_assignment() {
+        let mut h = Histogram::new(Buckets::Log {
+            lo: 1.0,
+            hi: 1000.0,
+            count: 3,
+        });
+        for x in [1.0, 5.0, 50.0, 500.0, 0.5] {
+            h.add(x);
+        }
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.137).collect();
+        let h = Histogram::from_iter(
+            Buckets::Linear {
+                lo: 0.0,
+                hi: 100.0,
+                count: 17,
+            },
+            xs.iter().copied(),
+        );
+        let bucketed: u64 = (0..h.len()).map(|i| h.count(i)).sum();
+        assert_eq!(bucketed + h.underflow() + h.overflow(), 1000);
+    }
+
+    #[test]
+    fn wait_time_histogram_handles_zeros() {
+        let mut h = Histogram::wait_times();
+        h.add(0.0);
+        h.add(3600.0);
+        assert_eq!(h.underflow(), 1, "zero waits land in underflow");
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bucket() {
+        let h = Histogram::from_iter(
+            Buckets::Linear {
+                lo: 0.0,
+                hi: 4.0,
+                count: 4,
+            },
+            [0.5, 1.5, 1.6, 2.5],
+        );
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log buckets")]
+    fn log_buckets_reject_zero_lo() {
+        Histogram::new(Buckets::Log {
+            lo: 0.0,
+            hi: 10.0,
+            count: 4,
+        });
+    }
+}

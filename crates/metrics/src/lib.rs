@@ -1,0 +1,22 @@
+//! Measurement and reporting utilities: CDFs (the paper's Figures 5–6
+//! are wait-time CDFs), histograms, summary statistics, time series
+//! (Figure 7), ASCII tables and CSV export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod csv;
+pub mod histogram;
+pub mod series;
+pub mod summary;
+pub mod svg;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use csv::CsvWriter;
+pub use histogram::{Buckets, Histogram};
+pub use series::TimeSeries;
+pub use summary::Summary;
+pub use svg::{LineChart, RectMap};
+pub use table::Table;

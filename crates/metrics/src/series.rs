@@ -1,0 +1,121 @@
+//! Time series for evolution plots (Figure 7: broken links over time).
+
+/// A named (time, value) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Series label (e.g. "Vanilla", "Compact-1000").
+    pub label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        TimeSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Builds a series from points (must be time-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not non-decreasing.
+    pub fn from_points(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "time series must be time-ordered"
+        );
+        TimeSeries {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Appends a point (time must not decrease).
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&(t, _)) = self.points.last() {
+            assert!(time >= t, "time series must be time-ordered");
+        }
+        self.points.push((time, value));
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values over the final `fraction` of the series — the
+    /// "levels out" steady-state reading of Figure 7.
+    pub fn tail_mean(&self, fraction: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&fraction));
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = ((1.0 - fraction) * self.points.len() as f64).floor() as usize;
+        let tail = &self.points[start.min(self.points.len() - 1)..];
+        Some(tail.iter().map(|(_, v)| v).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Largest value in the series.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_preserves_order() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 1.0);
+        s.push(1.0, 2.0);
+        s.push(1.0, 3.0); // equal time allowed
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_rejects_backwards_time() {
+        let mut s = TimeSeries::new("x");
+        s.push(5.0, 1.0);
+        s.push(4.0, 1.0);
+    }
+
+    #[test]
+    fn tail_mean_reads_steady_state() {
+        let s = TimeSeries::from_points(
+            "x",
+            vec![(0.0, 0.0), (1.0, 50.0), (2.0, 100.0), (3.0, 100.0)],
+        );
+        assert_eq!(s.tail_mean(0.5), Some(100.0));
+        assert_eq!(s.tail_mean(1.0), Some(62.5));
+    }
+
+    #[test]
+    fn tail_mean_of_empty_is_none() {
+        assert_eq!(TimeSeries::new("x").tail_mean(0.5), None);
+    }
+
+    #[test]
+    fn max_value() {
+        let s = TimeSeries::from_points("x", vec![(0.0, 3.0), (1.0, 7.0), (2.0, 5.0)]);
+        assert_eq!(s.max_value(), Some(7.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text tables: the benchmark binaries print each figure's data
+//! as an aligned table (rows = x values, columns = series).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>w$}", w = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper for table
+/// cells).
+pub fn fmt_f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["dim", "vanilla", "compact"]);
+        t.row(["5", "100.0", "8.0"]);
+        t.row(["14", "1200.5", "55.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("vanilla"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].contains("1200.5"));
+        // All data lines same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        Table::new(["a", "b"]).row(["1"]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(10.0, 0), "10");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

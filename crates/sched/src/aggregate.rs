@@ -1,0 +1,421 @@
+//! Aggregated load information (AI).
+//!
+//! "We aggregate global load information along each CAN dimension by
+//! piggybacking load data onto the heartbeat messages used to maintain
+//! connectivity in the CAN" (§II-B). Each node's AI along dimension D
+//! summarizes the region *beyond* it (away from the origin): that is
+//! the direction job pushing moves, because nodes farther out have
+//! higher resource capabilities.
+//!
+//! The heterogeneous scheme keeps AI **per CE type** (the fix that
+//! makes Eq. 3 meaningful for GPU-dominant jobs); the homogeneous
+//! baseline pools every CE into one number, which is exactly the
+//! "inaccurate aggregated information" the paper blames for can-hom's
+//! misdirected pushes.
+//!
+//! AI is recomputed only every refresh period (the heartbeat period),
+//! so matchmaking decisions run on *stale* aggregates — one of the two
+//! information gaps separating the decentralized schemes from the
+//! `central` baseline (the other being neighborhood-local visibility).
+
+use crate::grid::StaticGrid;
+use pgrid_types::{CeType, NodeId};
+
+/// Aggregated load of a CAN region for one CE type (or pooled).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AiEntry {
+    /// Nodes in the region carrying the CE type (all nodes when
+    /// pooled).
+    pub nodes: u64,
+    /// Total cores of the CE type in the region.
+    pub cores: f64,
+    /// Cores required by running + waiting jobs in the region.
+    pub required_cores: f64,
+    /// Free nodes (no running or waiting jobs) in the region.
+    pub free_nodes: u64,
+}
+
+impl AiEntry {
+    /// Element-wise accumulation.
+    pub fn absorb(&mut self, other: &AiEntry) {
+        self.nodes += other.nodes;
+        self.cores += other.cores;
+        self.required_cores += other.required_cores;
+        self.free_nodes += other.free_nodes;
+    }
+
+    /// The paper's Eq. 3 objective for this region.
+    pub fn objective(&self) -> f64 {
+        pgrid_types::score::objective_fd(self.required_cores, self.cores)
+    }
+}
+
+/// How the AI table groups computing elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AiGrouping {
+    /// One entry per CE type (can-het).
+    PerCe,
+    /// Everything pooled into a single entry (can-hom).
+    Pooled,
+}
+
+/// Per-node, per-dimension aggregated load information over the
+/// outward regions of a static grid.
+pub struct AiTable {
+    grouping: AiGrouping,
+    ce_types: Vec<CeType>,
+    dims: usize,
+    n: usize,
+    /// `[node][dim][ce_idx]` flattened.
+    data: Vec<AiEntry>,
+    /// Precomputed outward face-neighbor lists `[node][dim]`.
+    outward: Vec<Vec<Vec<NodeId>>>,
+    /// Processing order per dimension (descending upper zone bound).
+    order: Vec<Vec<NodeId>>,
+    /// Simulation time of the last refresh.
+    pub refreshed_at: f64,
+}
+
+impl AiTable {
+    /// Builds the table structure for a grid (all-zero entries; call
+    /// [`AiTable::refresh`]).
+    pub fn new(grid: &StaticGrid, grouping: AiGrouping) -> Self {
+        let dims = grid.layout().dims();
+        let n = grid.len();
+        let ce_types = match grouping {
+            AiGrouping::PerCe => grid.layout().ce_types(),
+            AiGrouping::Pooled => vec![CeType::CPU], // single slot
+        };
+        let outward: Vec<Vec<Vec<NodeId>>> = (0..n)
+            .map(|i| {
+                (0..dims)
+                    .map(|d| grid.outward_neighbors(NodeId(i as u32), d))
+                    .collect()
+            })
+            .collect();
+        let order: Vec<Vec<NodeId>> = (0..dims)
+            .map(|d| {
+                let mut ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+                // Descending upper bound: outward regions first.
+                ids.sort_by(|a, b| {
+                    grid.zone(*b)
+                        .hi(d)
+                        .total_cmp(&grid.zone(*a).hi(d))
+                        .then(a.cmp(b))
+                });
+                ids
+            })
+            .collect();
+        AiTable {
+            grouping,
+            ce_types,
+            dims,
+            n,
+            data: vec![AiEntry::default(); n * dims * 1.max(ce_types_len(grouping, grid))],
+            outward,
+            order,
+            refreshed_at: 0.0,
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.ce_types.len()
+    }
+
+    #[inline]
+    fn idx(&self, node: NodeId, dim: usize, ce_idx: usize) -> usize {
+        (node.idx() * self.dims + dim) * self.slots() + ce_idx
+    }
+
+    fn ce_index(&self, ce: CeType) -> usize {
+        match self.grouping {
+            AiGrouping::Pooled => 0,
+            AiGrouping::PerCe => self
+                .ce_types
+                .iter()
+                .position(|&t| t == ce)
+                .expect("CE type outside layout"),
+        }
+    }
+
+    /// The local (single-node) load contribution of `node` for slot
+    /// `ce_idx`.
+    fn local(&self, grid: &StaticGrid, node: NodeId, ce_idx: usize) -> AiEntry {
+        let rt = grid.runtime(node);
+        let free = u64::from(rt.is_free());
+        match self.grouping {
+            AiGrouping::PerCe => {
+                let ty = self.ce_types[ce_idx];
+                match rt.load_of(ty) {
+                    Some((cores, required)) => AiEntry {
+                        nodes: 1,
+                        cores,
+                        required_cores: required,
+                        free_nodes: free,
+                    },
+                    None => AiEntry::default(),
+                }
+            }
+            AiGrouping::Pooled => {
+                let mut cores = 0.0;
+                let mut required = 0.0;
+                for ty in rt.spec.ces().iter().map(|c| c.ce_type) {
+                    if let Some((c, r)) = rt.load_of(ty) {
+                        cores += c;
+                        required += r;
+                    }
+                }
+                AiEntry {
+                    nodes: 1,
+                    cores,
+                    required_cores: required,
+                    free_nodes: free,
+                }
+            }
+        }
+    }
+
+    /// Recomputes every entry from the grid's current load state,
+    /// stamping the refresh time. In the real system this information
+    /// flows inward one heartbeat hop per period; recomputing on the
+    /// heartbeat period preserves the essential property — decisions
+    /// use data up to a full period old.
+    pub fn refresh(&mut self, grid: &StaticGrid, now: f64) {
+        let slots = self.slots();
+        // Cache local loads once per node.
+        let mut locals = vec![AiEntry::default(); self.n * slots];
+        for i in 0..self.n {
+            for s in 0..slots {
+                locals[i * slots + s] = self.local(grid, NodeId(i as u32), s);
+            }
+        }
+        for d in 0..self.dims {
+            for oi in 0..self.order[d].len() {
+                let node = self.order[d][oi];
+                for s in 0..slots {
+                    let mut acc = AiEntry::default();
+                    for &m in &self.outward[node.idx()][d] {
+                        acc.absorb(&locals[m.idx() * slots + s]);
+                        let beyond = self.data[self.idx(m, d, s)];
+                        acc.absorb(&beyond);
+                    }
+                    let i = self.idx(node, d, s);
+                    self.data[i] = acc;
+                }
+            }
+        }
+        self.refreshed_at = now;
+    }
+
+    /// The aggregated load of the region beyond `node` along `dim` for
+    /// CE type `ce` (pooled tables ignore `ce`).
+    pub fn beyond(&self, node: NodeId, dim: usize, ce: CeType) -> &AiEntry {
+        &self.data[self.idx(node, dim, self.ce_index(ce))]
+    }
+
+    /// The grouping in use.
+    pub fn grouping(&self) -> AiGrouping {
+        self.grouping
+    }
+}
+
+fn ce_types_len(grouping: AiGrouping, grid: &StaticGrid) -> usize {
+    match grouping {
+        AiGrouping::PerCe => grid.layout().ce_types().len(),
+        AiGrouping::Pooled => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_types::DimensionLayout;
+    use pgrid_workload::nodegen::{generate_nodes, NodeGenConfig};
+
+    fn grid(n: usize, dims: usize) -> StaticGrid {
+        let layout = DimensionLayout::with_dims(dims);
+        let slots = ((dims - 5) / 3) as u8;
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(slots), n, 5);
+        StaticGrid::build(layout, pop, 5)
+    }
+
+    #[test]
+    fn idle_grid_has_zero_required_cores() {
+        let g = grid(100, 11);
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.refresh(&g, 0.0);
+        for i in 0..100u32 {
+            for d in 0..11 {
+                let e = ai.beyond(NodeId(i), d, CeType::CPU);
+                assert_eq!(e.required_cores, 0.0);
+                assert_eq!(e.free_nodes, e.nodes, "idle grid: every node free");
+            }
+        }
+    }
+
+    #[test]
+    fn outermost_node_sees_empty_region() {
+        let g = grid(80, 5);
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.refresh(&g, 0.0);
+        for d in 0..5 {
+            // The node whose zone touches the upper boundary in dim d
+            // with no outward neighbors must see an empty region.
+            for i in 0..80u32 {
+                if g.zone(NodeId(i)).hi(d) == 1.0 {
+                    let e = ai.beyond(NodeId(i), d, CeType::CPU);
+                    assert_eq!(e.nodes, 0, "node {i} dim {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_shows_up_in_inner_nodes_ai() {
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        let mut g = grid(60, 5);
+        // Load up the node owning the outermost corner region.
+        let top = g.owner_at(&vec![0.99, 0.99, 0.99, 0.99, 0.99]);
+        let job = JobSpec::new(
+            JobId(0),
+            vec![CeRequirement {
+                ce_type: Ct::CPU,
+                min_cores: Some(1),
+                ..Default::default()
+            }],
+            None,
+            60.0,
+        );
+        g.runtime_mut(top).enqueue(job, 0.0);
+        g.runtime_mut(top).start_ready();
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.refresh(&g, 0.0);
+        // Some node must observe the loaded region beyond it.
+        let seen = (0..60u32).any(|i| {
+            (0..5).any(|d| ai.beyond(NodeId(i), d, Ct::CPU).required_cores > 0.0)
+        });
+        assert!(seen, "load at the corner must appear in someone's AI");
+    }
+
+    #[test]
+    fn pooled_table_sums_all_ces() {
+        let g = grid(50, 11);
+        let mut per = AiTable::new(&g, AiGrouping::PerCe);
+        let mut pooled = AiTable::new(&g, AiGrouping::Pooled);
+        per.refresh(&g, 0.0);
+        pooled.refresh(&g, 0.0);
+        for i in 0..50u32 {
+            for d in 0..11 {
+                let sum: f64 = g
+                    .layout()
+                    .ce_types()
+                    .iter()
+                    .map(|&t| per.beyond(NodeId(i), d, t).cores)
+                    .sum();
+                let p = pooled.beyond(NodeId(i), d, CeType::CPU).cores;
+                assert!(
+                    (sum - p).abs() < 1e-9,
+                    "node {i} dim {d}: per-CE sum {sum} != pooled {p}"
+                );
+            }
+        }
+    }
+
+    /// Brute-force cross-check: the table must equal the recursive
+    /// definition AI(n,d) = Σ_{m ∈ outward(n,d)} local(m) + AI(m,d),
+    /// computed independently by memoized recursion.
+    #[test]
+    fn table_matches_bruteforce_recursion() {
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        use std::collections::HashMap;
+        let mut g = grid(70, 8);
+        // Load a few nodes so required_cores is non-trivial.
+        let mut rng = pgrid_simcore::SimRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let target = NodeId(rng.below(70) as u32);
+            let job = JobSpec::new(
+                JobId(rng.below(100000) as u32),
+                vec![CeRequirement {
+                    ce_type: Ct::CPU,
+                    min_cores: Some(1),
+                    ..Default::default()
+                }],
+                None,
+                60.0,
+            );
+            if job.satisfied_by(&g.runtime(target).spec) {
+                g.runtime_mut(target).enqueue(job, 0.0);
+                g.runtime_mut(target).start_ready();
+            }
+        }
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.refresh(&g, 0.0);
+
+        // Independent recursion.
+        fn brute(
+            g: &StaticGrid,
+            n: NodeId,
+            d: usize,
+            ty: CeType,
+            memo: &mut HashMap<(NodeId, usize), AiEntry>,
+        ) -> AiEntry {
+            if let Some(e) = memo.get(&(n, d)) {
+                return *e;
+            }
+            let mut acc = AiEntry::default();
+            for m in g.outward_neighbors(n, d) {
+                let rt = g.runtime(m);
+                if let Some((cores, req)) = rt.load_of(ty) {
+                    acc.absorb(&AiEntry {
+                        nodes: 1,
+                        cores,
+                        required_cores: req,
+                        free_nodes: u64::from(rt.is_free()),
+                    });
+                }
+                let beyond = brute(g, m, d, ty, memo);
+                acc.absorb(&beyond);
+            }
+            memo.insert((n, d), acc);
+            acc
+        }
+        for d in 0..8 {
+            let mut memo = HashMap::new();
+            for i in 0..70u32 {
+                let expect = brute(&g, NodeId(i), d, CeType::CPU, &mut memo);
+                let got = ai.beyond(NodeId(i), d, CeType::CPU);
+                assert_eq!(got.nodes, expect.nodes, "node {i} dim {d}");
+                assert!((got.cores - expect.cores).abs() < 1e-9);
+                assert!((got.required_cores - expect.required_cores).abs() < 1e-9);
+                assert_eq!(got.free_nodes, expect.free_nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_stamps_time() {
+        let g = grid(20, 5);
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        assert_eq!(ai.refreshed_at, 0.0);
+        ai.refresh(&g, 360.0);
+        assert_eq!(ai.refreshed_at, 360.0);
+    }
+
+    #[test]
+    fn objective_prefers_bigger_emptier_regions() {
+        let a = AiEntry {
+            nodes: 10,
+            cores: 100.0,
+            required_cores: 10.0,
+            free_nodes: 5,
+        };
+        let b = AiEntry {
+            nodes: 2,
+            cores: 10.0,
+            required_cores: 10.0,
+            free_nodes: 0,
+        };
+        assert!(a.objective() < b.objective());
+        assert_eq!(AiEntry::default().objective(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,269 @@
+//! The static grid: a converged CAN over a fixed node population.
+//!
+//! The load-balancing experiments (Figures 5–6) run with no churn — the
+//! paper measures matchmaking quality, not failure handling — so the
+//! grid is built once by sequential joins and neighbor knowledge is
+//! exact. (Staleness still enters through the periodically-refreshed
+//! aggregated load information; see [`crate::aggregate`].)
+
+use pgrid_can::adjacency::Adjacency;
+use pgrid_can::geom::Point;
+use pgrid_can::routing::{route, Route, RoutingView};
+use pgrid_can::split_tree::SplitTree;
+use pgrid_simcore::SimRng;
+use pgrid_types::{DimensionLayout, NodeId, NodeSpec};
+
+use crate::node_runtime::NodeRuntime;
+
+/// A fixed-population CAN grid with per-node execution state.
+pub struct StaticGrid {
+    layout: DimensionLayout,
+    tree: SplitTree,
+    adj: Adjacency,
+    coords: Vec<Point>,
+    runtimes: Vec<NodeRuntime>,
+}
+
+impl StaticGrid {
+    /// Builds the CAN by joining `population` sequentially. Virtual
+    /// coordinates come from the seeded RNG; nodes whose coordinate
+    /// collides (identical in every dimension) retry with a fresh
+    /// virtual coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty, or a node cannot be placed
+    /// after many virtual-coordinate retries (pathologically identical
+    /// populations).
+    pub fn build(layout: DimensionLayout, population: Vec<NodeSpec>, seed: u64) -> Self {
+        assert!(!population.is_empty(), "population must be non-empty");
+        let mut rng = SimRng::sub_stream(seed, 0x96D);
+        let dims = layout.dims();
+        let first_coord = layout.node_coord(&population[0], rng.unit());
+        let mut tree = SplitTree::new(dims, NodeId(0));
+        let mut adj = Adjacency::new();
+        adj.insert_first(NodeId(0));
+        let mut coords = vec![first_coord];
+        for (i, spec) in population.iter().enumerate().skip(1) {
+            let id = NodeId(i as u32);
+            let mut placed = false;
+            for _retry in 0..64 {
+                let coord = layout.node_coord(spec, rng.unit());
+                let host = tree.owner_at(&coord).expect("non-empty tree");
+                let host_coord = &coords[host.idx()];
+                let host_zone = tree.zone(host).clone();
+                // Balanced split-plane policy shared with the join
+                // protocol (see `pgrid_can::split_tree`).
+                let plane = if host_zone.contains(host_coord) {
+                    pgrid_can::split_tree::choose_split_plane(&host_zone, host_coord, &coord)
+                } else {
+                    Some(pgrid_can::split_tree::choose_split_plane_free(&host_zone))
+                };
+                let Some((dim, at)) = plane else {
+                    continue; // coordinate collision: retry virtual dim
+                };
+                tree.split(host, &coords[host.idx()].clone(), id, &coord, dim, at);
+                adj.on_split(host, id, |n| tree.zone(n));
+                coords.push(coord);
+                placed = true;
+                break;
+            }
+            assert!(placed, "could not place node {i} after 64 retries");
+        }
+        let runtimes = population
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| NodeRuntime::new(NodeId(i as u32), spec))
+            .collect();
+        StaticGrid {
+            layout,
+            tree,
+            adj,
+            coords,
+            runtimes,
+        }
+    }
+
+    /// The dimension layout in use.
+    pub fn layout(&self) -> &DimensionLayout {
+        &self.layout
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Whether the grid is empty (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.runtimes.is_empty()
+    }
+
+    /// The execution runtime of a node.
+    pub fn runtime(&self, id: NodeId) -> &NodeRuntime {
+        &self.runtimes[id.idx()]
+    }
+
+    /// Mutable execution runtime of a node.
+    pub fn runtime_mut(&mut self, id: NodeId) -> &mut NodeRuntime {
+        &mut self.runtimes[id.idx()]
+    }
+
+    /// All runtimes (for the centralized scheduler's global scan).
+    pub fn runtimes(&self) -> &[NodeRuntime] {
+        &self.runtimes
+    }
+
+    /// A node's CAN coordinate.
+    pub fn coord(&self, id: NodeId) -> &Point {
+        &self.coords[id.idx()]
+    }
+
+    /// Ground-truth neighbors, sorted.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.adj.neighbors(id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Neighbors abutting on the face along `dim` in direction `dir`
+    /// (+1 = away from the origin).
+    pub fn face_neighbors(&self, id: NodeId, dim: usize, dir: i8) -> Vec<NodeId> {
+        let z = self.tree.zone(id);
+        let mut v: Vec<NodeId> = self
+            .adj
+            .neighbors(id)
+            .filter(|&n| {
+                let nz = self.tree.zone(n);
+                z.abut_dim(nz) == Some((dim, dir))
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Neighbors on the *outward* (away from origin) face along `dim`.
+    pub fn outward_neighbors(&self, id: NodeId, dim: usize) -> Vec<NodeId> {
+        self.face_neighbors(id, dim, 1)
+    }
+
+    /// The zone of a node.
+    pub fn zone(&self, id: NodeId) -> &pgrid_can::geom::Zone {
+        self.tree.zone(id)
+    }
+
+    /// Owner of a point.
+    pub fn owner_at(&self, p: &Point) -> NodeId {
+        self.tree.owner_at(p).expect("grid is non-empty")
+    }
+
+    /// Greedy CAN routing from `start` to the owner of `p`.
+    pub fn route_to(&self, start: NodeId, p: &Point) -> Route {
+        route(self, start, p).expect("static grid is connected")
+    }
+
+    /// Mean neighbor degree (diagnostics).
+    pub fn mean_degree(&self) -> f64 {
+        self.adj.mean_degree()
+    }
+
+    /// Test-time invariant check.
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+        let reference = Adjacency::recompute(self.tree.members(), |n| self.tree.zone(n));
+        assert!(self.adj.same_as(&reference), "adjacency diverged");
+        assert_eq!(self.tree.len(), self.runtimes.len());
+    }
+}
+
+impl RoutingView for StaticGrid {
+    fn route_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.neighbors(id)
+    }
+    fn zone_distance(&self, id: NodeId, p: &Point) -> f64 {
+        self.tree.zone(id).distance_to(p)
+    }
+    fn zone_contains(&self, id: NodeId, p: &Point) -> bool {
+        self.tree.zone(id).contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_workload::nodegen::{generate_nodes, NodeGenConfig};
+
+    fn grid(n: usize) -> StaticGrid {
+        let layout = DimensionLayout::with_dims(11);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), n, 42);
+        StaticGrid::build(layout, pop, 42)
+    }
+
+    #[test]
+    fn build_produces_valid_partition() {
+        let g = grid(200);
+        g.check_invariants();
+        assert_eq!(g.len(), 200);
+        assert!(g.mean_degree() > 2.0);
+    }
+
+    #[test]
+    fn zones_contain_node_coordinates() {
+        // Without churn, every node's zone contains its coordinate
+        // ("The zone for a node always contains the node's
+        // coordinates").
+        let g = grid(150);
+        for i in 0..150 {
+            let id = NodeId(i);
+            assert!(
+                g.zone(id).contains(g.coord(id)),
+                "node {id} coordinate outside its zone"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_nodes_separate_via_virtual_dimension() {
+        // A population of byte-identical nodes can only split along the
+        // virtual dimension — the exact purpose of that dimension.
+        let layout = DimensionLayout::with_dims(5);
+        let pop = vec![NodeSpec::cpu_only(2.0, 8.0, 4, 100.0); 50];
+        let g = StaticGrid::build(layout, pop, 7);
+        g.check_invariants();
+        assert_eq!(g.len(), 50);
+    }
+
+    #[test]
+    fn routing_reaches_job_coordinates() {
+        let g = grid(100);
+        let mut rng = pgrid_simcore::SimRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let p: Point = (0..11).map(|_| rng.unit() * 0.9).collect();
+            let r = g.route_to(NodeId(0), &p);
+            assert_eq!(r.owner, g.owner_at(&p));
+        }
+    }
+
+    #[test]
+    fn outward_neighbors_are_on_the_high_face() {
+        let g = grid(120);
+        for i in 0..120 {
+            let id = NodeId(i);
+            for d in 0..11 {
+                for n in g.outward_neighbors(id, d) {
+                    assert_eq!(g.zone(id).hi(d), g.zone(n).lo(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = grid(80);
+        let b = grid(80);
+        for i in 0..80 {
+            assert_eq!(a.coord(NodeId(i)), b.coord(NodeId(i)));
+            assert_eq!(a.neighbors(NodeId(i)), b.neighbors(NodeId(i)));
+        }
+    }
+}

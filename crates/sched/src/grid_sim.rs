@@ -1,0 +1,488 @@
+//! The end-to-end load-balancing simulation behind Figures 5 and 6:
+//! Poisson job arrivals → matchmaking → FIFO queues → execution scaled
+//! by the dominant CE's clock → per-job wait times.
+
+use crate::grid::StaticGrid;
+use crate::matchmakers::{
+    CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushParams, PushingMatchmaker,
+};
+use pgrid_metrics::{Cdf, Summary};
+use pgrid_simcore::{EventQueue, SimRng};
+use pgrid_types::{DimensionLayout, JobId, JobSpec, NodeId};
+use pgrid_workload::jobgen::JobStream;
+use pgrid_workload::nodegen::generate_nodes;
+use pgrid_workload::profiles::{EvictionConfig, LoadBalanceScenario};
+
+/// Which matchmaker a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerChoice {
+    /// The paper's heterogeneity-aware scheme.
+    CanHet,
+    /// The CE-oblivious prior system.
+    CanHom,
+    /// The greedy online centralized baseline.
+    Central,
+}
+
+impl SchedulerChoice {
+    /// All schemes in the figures' legend order.
+    pub const ALL: [SchedulerChoice; 3] = [
+        SchedulerChoice::CanHet,
+        SchedulerChoice::CanHom,
+        SchedulerChoice::Central,
+    ];
+
+    /// The legend label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerChoice::CanHet => "can-het",
+            SchedulerChoice::CanHom => "can-hom",
+            SchedulerChoice::Central => "central",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(u32),
+    /// Completion of a job's `gen`-th submission; stale generations
+    /// (the job was evicted and resubmitted meanwhile) are ignored.
+    Finish(NodeId, JobId, u32),
+    AiRefresh,
+    /// Volunteer eviction: one node withdraws, killing its jobs.
+    Evict,
+    /// An evicted node returns.
+    Restore(NodeId),
+}
+
+/// Result of one load-balancing simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheme simulated.
+    pub scheduler: SchedulerChoice,
+    /// Wait time of every job (placement → execution start), seconds.
+    pub wait_times: Vec<f64>,
+    /// Routing-hop summary across jobs.
+    pub route_hops: Summary,
+    /// Push-step summary across jobs.
+    pub pushes: Summary,
+    /// Jobs placed by the global fallback scan (diagnostics; ~0).
+    pub fallback_placements: u64,
+    /// Simulated time when the last job finished.
+    pub makespan: f64,
+    /// Busy seconds accumulated per node (dominant-CE execution time of
+    /// the jobs it ran), indexed by node id.
+    pub node_busy_seconds: Vec<f64>,
+    /// Volunteer evictions that occurred (eviction model only).
+    pub evictions: u64,
+    /// Jobs killed by evictions and resubmitted (their wait time is
+    /// measured from the final placement).
+    pub resubmissions: u64,
+}
+
+impl SimResult {
+    /// The wait-time CDF (the curve of Figures 5/6).
+    pub fn cdf(&self) -> Cdf {
+        Cdf::new(self.wait_times.clone())
+    }
+
+    /// Mean wait time.
+    pub fn mean_wait(&self) -> f64 {
+        if self.wait_times.is_empty() {
+            0.0
+        } else {
+            self.wait_times.iter().sum::<f64>() / self.wait_times.len() as f64
+        }
+    }
+
+    /// Load-balance quality: the coefficient of variation (stddev /
+    /// mean) of per-node busy time. 0 = perfectly even work spread;
+    /// higher = more imbalance. (The paper evaluates balance through
+    /// wait times; this exposes the same property directly.)
+    pub fn busy_time_cv(&self) -> f64 {
+        let s = Summary::from_iter(self.node_busy_seconds.iter().copied());
+        if s.count() == 0 || s.mean() <= 0.0 {
+            0.0
+        } else {
+            s.stddev() / s.mean()
+        }
+    }
+}
+
+/// Runs one complete load-balancing simulation for a scenario and
+/// scheduler, draining every job to completion.
+pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice) -> SimResult {
+    let layout = DimensionLayout::with_dims(scenario.dims);
+    let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
+    let mut grid = StaticGrid::build(layout, population.clone(), scenario.seed);
+    let mut stream =
+        JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
+    let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
+
+    let params = PushParams {
+        stopping_factor: scenario.stopping_factor,
+        ..PushParams::default()
+    };
+    let mut matchmaker: Box<dyn Matchmaker> = match choice {
+        SchedulerChoice::CanHet => Box::new(PushingMatchmaker::heterogeneous(&grid, params)),
+        SchedulerChoice::CanHom => Box::new(PushingMatchmaker::homogeneous(&grid, params)),
+        SchedulerChoice::Central => Box::new(CentralMatchmaker),
+    };
+    run_with(
+        &mut grid,
+        matchmaker.as_mut(),
+        &jobs,
+        scenario.ai_refresh_period,
+        scenario.seed,
+        choice,
+        scenario.eviction.as_ref(),
+    )
+}
+
+/// Ablation entry point: can-het with selected features disabled.
+pub fn run_load_balance_ablated(
+    scenario: &LoadBalanceScenario,
+    features: HetFeatures,
+) -> SimResult {
+    let layout = DimensionLayout::with_dims(scenario.dims);
+    let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
+    let mut grid = StaticGrid::build(layout, population.clone(), scenario.seed);
+    let mut stream =
+        JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
+    let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
+    let params = PushParams {
+        stopping_factor: scenario.stopping_factor,
+        ..PushParams::default()
+    };
+    let mut matchmaker = PushingMatchmaker::with_features(&grid, params, features);
+    run_with(
+        &mut grid,
+        &mut matchmaker,
+        &jobs,
+        scenario.ai_refresh_period,
+        scenario.seed,
+        SchedulerChoice::CanHet,
+        scenario.eviction.as_ref(),
+    )
+}
+
+/// Runs an explicit `(arrival, job)` trace through a matchmaker on a
+/// prepared grid — the public entry point for replaying saved traces
+/// (`pgrid trace replay`) and for custom harnesses. Job ids may be
+/// arbitrary but must be unique.
+pub fn run_trace(
+    grid: &mut StaticGrid,
+    matchmaker: &mut dyn Matchmaker,
+    jobs: &[(f64, JobSpec)],
+    ai_refresh_period: f64,
+    seed: u64,
+    choice: SchedulerChoice,
+) -> SimResult {
+    run_with(grid, matchmaker, jobs, ai_refresh_period, seed, choice, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with(
+    grid: &mut StaticGrid,
+    matchmaker: &mut dyn Matchmaker,
+    jobs: &[(f64, JobSpec)],
+    ai_refresh_period: f64,
+    seed: u64,
+    choice: SchedulerChoice,
+    eviction: Option<&EvictionConfig>,
+) -> SimResult {
+    use std::collections::HashMap;
+    let mut rng = SimRng::sub_stream(seed, 0x5C4ED);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let index_of: HashMap<JobId, usize> =
+        jobs.iter().enumerate().map(|(i, (_, j))| (j.id, i)).collect();
+    assert_eq!(index_of.len(), jobs.len(), "job ids must be unique");
+    let mut wait_times: Vec<f64> = vec![f64::NAN; jobs.len()];
+    let mut placed_at: Vec<f64> = vec![0.0; jobs.len()];
+    let mut dominant_clock: Vec<f64> = vec![1.0; jobs.len()];
+    let mut route_hops = Summary::new();
+    let mut pushes = Summary::new();
+    let mut fallbacks = 0u64;
+    let mut makespan: f64 = 0.0;
+    let mut node_busy_seconds = vec![0.0f64; grid.len()];
+    let mut submit_gen: Vec<u32> = vec![0; jobs.len()];
+    let mut evictions = 0u64;
+    let mut resubmissions = 0u64;
+    let mut evict_rng = SimRng::sub_stream(seed, 0xE71C);
+
+    matchmaker.refresh(grid, 0.0);
+    for (i, (t, _)) in jobs.iter().enumerate() {
+        queue.schedule(*t, Ev::Arrival(i as u32));
+    }
+    queue.schedule(ai_refresh_period, Ev::AiRefresh);
+    if let Some(ev) = eviction {
+        queue.schedule(evict_rng.exponential(ev.mean_interval), Ev::Evict);
+    }
+
+    let mut remaining = jobs.len();
+    while remaining > 0 {
+        let Some((now, ev)) = queue.pop() else {
+            panic!("event queue drained with {remaining} jobs outstanding");
+        };
+        match ev {
+            Ev::AiRefresh => {
+                matchmaker.refresh(grid, now);
+                if remaining > 0 {
+                    queue.schedule(now + ai_refresh_period, Ev::AiRefresh);
+                }
+            }
+            Ev::Arrival(idx) => {
+                let job = &jobs[idx as usize].1;
+                let Placement {
+                    node,
+                    route_hops: rh,
+                    pushes: ps,
+                    fallback,
+                } = matchmaker.place(grid, job, &mut rng);
+                route_hops.add(rh as f64);
+                pushes.add(ps as f64);
+                fallbacks += u64::from(fallback);
+                placed_at[idx as usize] = now;
+                let ce = grid.layout().dominant_ce(job);
+                dominant_clock[idx as usize] = grid
+                    .runtime(node)
+                    .spec
+                    .ce(ce)
+                    .map_or(1.0, |c| c.clock);
+                let rt = grid.runtime_mut(node);
+                rt.enqueue(job.clone(), now);
+                for started in rt.start_ready() {
+                    let jidx = index_of[&started.job.id];
+                    wait_times[jidx] = now - placed_at[jidx];
+                    let dur = started.job.runtime_on(dominant_clock[jidx]);
+                    node_busy_seconds[node.idx()] += dur;
+                    queue.schedule(
+                        now + dur,
+                        Ev::Finish(node, started.job.id, submit_gen[jidx]),
+                    );
+                }
+            }
+            Ev::Finish(node, job_id, gen) => {
+                let jidx = index_of[&job_id];
+                if submit_gen[jidx] != gen {
+                    continue; // killed by an eviction and resubmitted
+                }
+                remaining -= 1;
+                makespan = now;
+                let rt = grid.runtime_mut(node);
+                rt.finish(job_id);
+                for started in rt.start_ready() {
+                    let sidx = index_of[&started.job.id];
+                    wait_times[sidx] = now - placed_at[sidx];
+                    let dur = started.job.runtime_on(dominant_clock[sidx]);
+                    node_busy_seconds[node.idx()] += dur;
+                    queue.schedule(
+                        now + dur,
+                        Ev::Finish(node, started.job.id, submit_gen[sidx]),
+                    );
+                }
+            }
+            Ev::Evict => {
+                let ev = eviction.expect("Evict event without config");
+                // Pick an available victim, if any.
+                let available: Vec<NodeId> = (0..grid.len() as u32)
+                    .map(NodeId)
+                    .filter(|&n| grid.runtime(n).available())
+                    .collect();
+                if !available.is_empty() {
+                    let victim = available[evict_rng.below(available.len())];
+                    evictions += 1;
+                    let killed = grid.runtime_mut(victim).evict();
+                    for job in killed {
+                        let jidx = index_of[&job.id];
+                        submit_gen[jidx] += 1; // invalidate pending Finish
+                        resubmissions += 1;
+                        queue.schedule(now + ev.resubmit_delay, Ev::Arrival(jidx as u32));
+                    }
+                    queue.schedule(now + ev.outage, Ev::Restore(victim));
+                }
+                queue.schedule(
+                    now + evict_rng.exponential(ev.mean_interval),
+                    Ev::Evict,
+                );
+            }
+            Ev::Restore(node) => {
+                let rt = grid.runtime_mut(node);
+                rt.restore();
+                for started in rt.start_ready() {
+                    let sidx = index_of[&started.job.id];
+                    wait_times[sidx] = now - placed_at[sidx];
+                    let dur = started.job.runtime_on(dominant_clock[sidx]);
+                    node_busy_seconds[node.idx()] += dur;
+                    queue.schedule(
+                        now + dur,
+                        Ev::Finish(node, started.job.id, submit_gen[sidx]),
+                    );
+                }
+            }
+        }
+    }
+
+    debug_assert!(
+        wait_times.iter().all(|w| !w.is_nan()),
+        "every job must have started"
+    );
+    SimResult {
+        scheduler: choice,
+        wait_times,
+        route_hops,
+        pushes,
+        fallback_placements: fallbacks,
+        makespan,
+        node_busy_seconds,
+        evictions,
+        resubmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_workload::profiles::default_scenario;
+
+    fn tiny() -> LoadBalanceScenario {
+        // 100 nodes, 400 jobs: fast but non-trivial.
+        let mut s = default_scenario().scaled_down(10);
+        s.jobs = 400;
+        s
+    }
+
+    #[test]
+    fn all_schemes_complete_every_job() {
+        let s = tiny();
+        for choice in SchedulerChoice::ALL {
+            let r = run_load_balance(&s, choice);
+            assert_eq!(r.wait_times.len(), 400);
+            assert!(r.wait_times.iter().all(|w| *w >= 0.0));
+            assert!(r.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn central_has_no_routing_cost() {
+        let r = run_load_balance(&tiny(), SchedulerChoice::Central);
+        assert_eq!(r.route_hops.max(), Some(0.0));
+        assert_eq!(r.pushes.max(), Some(0.0));
+    }
+
+    #[test]
+    fn decentralized_schemes_route_and_push() {
+        let r = run_load_balance(&tiny(), SchedulerChoice::CanHet);
+        assert!(r.route_hops.mean() > 0.0, "routing should take hops");
+    }
+
+    #[test]
+    fn lightly_loaded_system_has_mostly_zero_waits() {
+        let mut s = tiny();
+        s.job_gen.mean_interarrival *= 4.0; // very light load
+        for choice in SchedulerChoice::ALL {
+            let r = run_load_balance(&s, choice);
+            let zero_frac = r.cdf().fraction_zero();
+            assert!(
+                zero_frac > 0.8,
+                "{}: {:.0}% zero-wait under light load",
+                choice.label(),
+                zero_frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let s = tiny();
+        let a = run_load_balance(&s, SchedulerChoice::CanHet);
+        let b = run_load_balance(&s, SchedulerChoice::CanHet);
+        assert_eq!(a.wait_times, b.wait_times);
+    }
+
+    #[test]
+    fn het_waits_do_not_exceed_hom_substantially() {
+        // The paper's headline: can-het balances at least as well as
+        // can-hom. Compare tail quantiles under moderate load.
+        let s = tiny();
+        let het = run_load_balance(&s, SchedulerChoice::CanHet);
+        let hom = run_load_balance(&s, SchedulerChoice::CanHom);
+        let het_q = het.cdf().quantile(0.95);
+        let hom_q = hom.cdf().quantile(0.95);
+        assert!(
+            het_q <= hom_q * 1.5 + 600.0,
+            "can-het p95 {het_q} should not be far above can-hom {hom_q}"
+        );
+    }
+
+    #[test]
+    fn evictions_kill_and_resubmit_but_everything_completes() {
+        use pgrid_workload::profiles::EvictionConfig;
+        let mut s = tiny();
+        s = s.with_eviction(EvictionConfig::new(600.0)); // frequent
+        for choice in SchedulerChoice::ALL {
+            let r = run_load_balance(&s, choice);
+            assert_eq!(r.wait_times.len(), 400, "{}", choice.label());
+            assert!(r.evictions > 0, "{}: no evictions happened", choice.label());
+            assert!(
+                r.resubmissions > 0,
+                "{}: evictions should kill some jobs",
+                choice.label()
+            );
+            assert!(r.wait_times.iter().all(|w| w.is_finite() && *w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn evictions_increase_waits() {
+        use pgrid_workload::profiles::EvictionConfig;
+        let base = tiny();
+        let calm = run_load_balance(&base, SchedulerChoice::CanHet);
+        let stormy = run_load_balance(
+            &base.clone().with_eviction(EvictionConfig::new(300.0)),
+            SchedulerChoice::CanHet,
+        );
+        assert!(
+            stormy.mean_wait() >= calm.mean_wait() * 0.9,
+            "evictions should not improve waits: calm {} stormy {}",
+            calm.mean_wait(),
+            stormy.mean_wait()
+        );
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        use pgrid_workload::profiles::EvictionConfig;
+        let s = tiny().with_eviction(EvictionConfig::new(500.0));
+        let a = run_load_balance(&s, SchedulerChoice::Central);
+        let b = run_load_balance(&s, SchedulerChoice::Central);
+        assert_eq!(a.wait_times, b.wait_times);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.resubmissions, b.resubmissions);
+    }
+
+    #[test]
+    fn busy_time_tracks_total_work() {
+        let s = tiny();
+        let r = run_load_balance(&s, SchedulerChoice::Central);
+        let total_busy: f64 = r.node_busy_seconds.iter().sum();
+        assert!(total_busy > 0.0);
+        // CV is finite and sane.
+        let cv = r.busy_time_cv();
+        assert!(cv.is_finite() && cv >= 0.0);
+        // The better balancers should not have wildly worse CV than
+        // can-hom on the same workload.
+        let hom = run_load_balance(&s, SchedulerChoice::CanHom);
+        assert!(cv < hom.busy_time_cv() * 3.0 + 1.0);
+    }
+
+    #[test]
+    fn fallbacks_are_rare() {
+        let r = run_load_balance(&tiny(), SchedulerChoice::CanHet);
+        assert!(
+            (r.fallback_placements as f64) < 0.05 * 400.0,
+            "{} fallbacks out of 400",
+            r.fallback_placements
+        );
+    }
+}

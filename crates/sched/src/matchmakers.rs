@@ -1,0 +1,650 @@
+//! The three matchmakers of the evaluation (§V-A):
+//!
+//! * [`PushingMatchmaker`] in [`PushMode::Heterogeneous`] — the paper's
+//!   contribution (**can-het**): Algorithm 1, with acceptable-node
+//!   search, dominant-CE scoring and per-CE aggregated load;
+//! * [`PushingMatchmaker`] in [`PushMode::Homogeneous`] — the prior
+//!   system (**can-hom**): same CAN and pushing skeleton but oblivious
+//!   to computing elements (free-node search only, pooled aggregates,
+//!   node-level CPU-centric scoring);
+//! * [`CentralMatchmaker`] — the greedy online **central** baseline
+//!   with perfect, always-fresh global information.
+
+use crate::aggregate::{AiGrouping, AiTable};
+use crate::grid::StaticGrid;
+use pgrid_simcore::SimRng;
+use pgrid_types::score::stop_probability;
+use pgrid_types::{CeType, JobSpec, NodeId};
+
+/// Parameters of the probabilistic pushing algorithm.
+#[derive(Debug, Clone)]
+pub struct PushParams {
+    /// Stopping factor SF of Eq. 4 (larger stops sooner).
+    pub stopping_factor: f64,
+    /// Hard cap on pushes per job (safety net; rarely reached).
+    pub max_pushes: usize,
+}
+
+impl Default for PushParams {
+    fn default() -> Self {
+        PushParams {
+            stopping_factor: 2.0,
+            max_pushes: 64,
+        }
+    }
+}
+
+/// Where a job ended up and how much work it took to decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The chosen run node.
+    pub node: NodeId,
+    /// CAN routing hops to reach the job's coordinate.
+    pub route_hops: usize,
+    /// Push steps taken after routing.
+    pub pushes: usize,
+    /// Whether the neighborhood search failed and a global fallback
+    /// scan chose the node (should be rare; reported in stats).
+    pub fallback: bool,
+}
+
+/// A matchmaking policy.
+pub trait Matchmaker {
+    /// Short label ("can-het", "can-hom", "central").
+    fn name(&self) -> &'static str;
+    /// Chooses a run node for `job` given the grid's current state.
+    fn place(&mut self, grid: &StaticGrid, job: &JobSpec, rng: &mut SimRng) -> Placement;
+    /// Periodic refresh hook (aggregated load information).
+    fn refresh(&mut self, _grid: &StaticGrid, _now: f64) {}
+}
+
+/// Whether the pushing matchmaker understands computing elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushMode {
+    /// can-het: CE-aware (the paper's Algorithm 1).
+    Heterogeneous,
+    /// can-hom: CE-oblivious prior system.
+    Homogeneous,
+}
+
+/// Feature toggles for ablation studies of can-het's ingredients
+/// (everything on = Algorithm 1; see the `ablation` bench).
+#[derive(Debug, Clone, Copy)]
+pub struct HetFeatures {
+    /// Accept *acceptable* nodes, not only free nodes (§III-B).
+    pub acceptable_nodes: bool,
+    /// Rank and score by the job's dominant CE rather than the CPU.
+    pub dominant_ce: bool,
+    /// Per-CE aggregated load information for Eq. 3 / Eq. 4.
+    pub per_ce_ai: bool,
+}
+
+impl HetFeatures {
+    /// Full Algorithm 1.
+    pub fn all() -> Self {
+        HetFeatures {
+            acceptable_nodes: true,
+            dominant_ce: true,
+            per_ce_ai: true,
+        }
+    }
+}
+
+/// The decentralized CAN matchmaker (both modes).
+pub struct PushingMatchmaker {
+    mode: PushMode,
+    features: HetFeatures,
+    ai: AiTable,
+    params: PushParams,
+}
+
+impl PushingMatchmaker {
+    /// can-het over the given grid.
+    pub fn heterogeneous(grid: &StaticGrid, params: PushParams) -> Self {
+        Self::with_features(grid, params, HetFeatures::all())
+    }
+
+    /// can-het with selected ingredients disabled (ablations).
+    pub fn with_features(grid: &StaticGrid, params: PushParams, features: HetFeatures) -> Self {
+        let grouping = if features.per_ce_ai {
+            AiGrouping::PerCe
+        } else {
+            AiGrouping::Pooled
+        };
+        PushingMatchmaker {
+            mode: PushMode::Heterogeneous,
+            features,
+            ai: AiTable::new(grid, grouping),
+            params,
+        }
+    }
+
+    /// can-hom over the given grid.
+    pub fn homogeneous(grid: &StaticGrid, params: PushParams) -> Self {
+        PushingMatchmaker {
+            mode: PushMode::Homogeneous,
+            features: HetFeatures {
+                acceptable_nodes: false,
+                dominant_ce: false,
+                per_ce_ai: false,
+            },
+            ai: AiTable::new(grid, AiGrouping::Pooled),
+            params,
+        }
+    }
+
+    /// The CE type driving ranking/scoring for this job.
+    fn ranking_ce(&self, grid: &StaticGrid, job: &JobSpec) -> CeType {
+        if self.features.dominant_ce {
+            grid.layout().dominant_ce(job)
+        } else {
+            CeType::CPU
+        }
+    }
+
+    /// Clock of the ranking CE on a node (0 if absent — never chosen
+    /// over a node that has it, among satisfying nodes it exists).
+    fn ranking_clock(grid: &StaticGrid, node: NodeId, ce: CeType) -> f64 {
+        grid.runtime(node)
+            .spec
+            .ce(ce)
+            .map_or(0.0, |c| c.clock)
+    }
+
+    /// Eq. 1/2 score of a node for the ranking CE; can-hom uses the
+    /// pooled node-level score (total demand over total cores, scaled
+    /// by the CPU clock — the CE-oblivious view).
+    fn node_score(&self, grid: &StaticGrid, node: NodeId, ce: CeType) -> f64 {
+        let rt = grid.runtime(node);
+        match self.mode {
+            PushMode::Heterogeneous => rt.score(ce).unwrap_or(f64::INFINITY),
+            PushMode::Homogeneous => {
+                let mut cores = 0.0;
+                let mut required = 0.0;
+                for c in rt.spec.ces() {
+                    if let Some((co, re)) = rt.load_of(c.ce_type) {
+                        cores += co;
+                        required += re;
+                    }
+                }
+                if cores <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (required / cores) / rt.spec.cpu().clock
+                }
+            }
+        }
+    }
+
+    /// A node "can start the job now" under this mode: acceptable-node
+    /// semantics for can-het, strict free-node for can-hom.
+    fn can_start_now(&self, grid: &StaticGrid, node: NodeId, job: &JobSpec) -> bool {
+        let rt = grid.runtime(node);
+        if self.features.acceptable_nodes {
+            rt.is_acceptable(job)
+        } else {
+            rt.is_free() && job.satisfied_by(&rt.spec)
+        }
+    }
+
+    /// Candidate pool at a pushing step: the current node plus its
+    /// neighbors.
+    fn neighborhood(grid: &StaticGrid, current: NodeId) -> Vec<NodeId> {
+        let mut v = vec![current];
+        v.extend(grid.neighbors(current));
+        v
+    }
+
+    fn pick_startable(
+        &self,
+        grid: &StaticGrid,
+        cands: &[NodeId],
+        job: &JobSpec,
+        ce: CeType,
+    ) -> Option<NodeId> {
+        let startable: Vec<NodeId> = cands
+            .iter()
+            .copied()
+            .filter(|&n| self.can_start_now(grid, n, job))
+            .collect();
+        if startable.is_empty() {
+            return None;
+        }
+        // Prefer free nodes among the startable (Algorithm 1 lines
+        // 5–8), then the fastest clock for the ranking CE.
+        let free: Vec<NodeId> = startable
+            .iter()
+            .copied()
+            .filter(|&n| grid.runtime(n).is_free())
+            .collect();
+        let pool = if free.is_empty() { &startable } else { &free };
+        pool.iter()
+            .copied()
+            .max_by(|&a, &b| {
+                Self::ranking_clock(grid, a, ce)
+                    .total_cmp(&Self::ranking_clock(grid, b, ce))
+                    .then(b.cmp(&a)) // deterministic tie-break: lower id
+            })
+    }
+
+    fn pick_min_score(
+        &self,
+        grid: &StaticGrid,
+        cands: &[NodeId],
+        job: &JobSpec,
+        ce: CeType,
+    ) -> Option<NodeId> {
+        let best = |available_only: bool| {
+            cands
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    let rt = grid.runtime(n);
+                    (!available_only || rt.available()) && job.satisfied_by(&rt.spec)
+                })
+                .min_by(|&a, &b| {
+                    self.node_score(grid, a, ce)
+                        .total_cmp(&self.node_score(grid, b, ce))
+                        .then(a.cmp(&b))
+                })
+        };
+        // Prefer nodes currently donating cycles; if every satisfying
+        // candidate is evicted, queue on one anyway (it will run the
+        // job when its owner returns).
+        best(true).or_else(|| best(false))
+    }
+
+    /// Eq. 3 evaluated on a single node's local load (used for lateral
+    /// moves along the virtual dimension, where no outward aggregate
+    /// exists).
+    fn local_objective(&self, grid: &StaticGrid, n: NodeId, ce: CeType) -> f64 {
+        let rt = grid.runtime(n);
+        let (mut cores, mut required) = (0.0, 0.0);
+        match self.ai.grouping() {
+            AiGrouping::PerCe => {
+                if let Some((c, r)) = rt.load_of(ce) {
+                    cores = c;
+                    required = r;
+                }
+            }
+            AiGrouping::Pooled => {
+                for c in rt.spec.ces() {
+                    if let Some((co, re)) = rt.load_of(c.ce_type) {
+                        cores += co;
+                        required += re;
+                    }
+                }
+            }
+        }
+        pgrid_types::score::objective_fd(required, cores)
+    }
+
+    /// The pushing objective of moving toward neighbor `n` along `dim`:
+    /// Eq. 3 over the region at-and-beyond `n`.
+    fn push_objective(&self, grid: &StaticGrid, n: NodeId, dim: usize, ce: CeType) -> f64 {
+        let mut region = *self.ai.beyond(n, dim, ce);
+        // Include the target node itself in the region estimate.
+        let rt = grid.runtime(n);
+        match self.ai.grouping() {
+            AiGrouping::PerCe => {
+                if let Some((cores, required)) = rt.load_of(ce) {
+                    region.nodes += 1;
+                    region.cores += cores;
+                    region.required_cores += required;
+                    region.free_nodes += u64::from(rt.is_free());
+                }
+            }
+            AiGrouping::Pooled => {
+                let mut cores = 0.0;
+                let mut required = 0.0;
+                for c in rt.spec.ces() {
+                    if let Some((co, re)) = rt.load_of(c.ce_type) {
+                        cores += co;
+                        required += re;
+                    }
+                }
+                region.nodes += 1;
+                region.cores += cores;
+                region.required_cores += required;
+                region.free_nodes += u64::from(rt.is_free());
+            }
+        }
+        region.objective()
+    }
+}
+
+impl Matchmaker for PushingMatchmaker {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            PushMode::Heterogeneous => "can-het",
+            PushMode::Homogeneous => "can-hom",
+        }
+    }
+
+    fn refresh(&mut self, grid: &StaticGrid, now: f64) {
+        self.ai.refresh(grid, now);
+    }
+
+    fn place(&mut self, grid: &StaticGrid, job: &JobSpec, rng: &mut SimRng) -> Placement {
+        let ce = self.ranking_ce(grid, job);
+        // 1. Route the job to its coordinate from a random entry node.
+        let coord = grid.layout().job_coord(job, rng.unit());
+        let entry = NodeId(rng.below(grid.len()) as u32);
+        let route = grid.route_to(entry, &coord);
+        let mut current = route.owner;
+        let mut pushes = 0usize;
+        let mut visited: std::collections::HashSet<NodeId> =
+            std::collections::HashSet::from([current]);
+        let dims = grid.layout().dims();
+        // Push targets must stay in the job's feasible region: a
+        // zone entirely below the job's coordinate along some real
+        // dimension can never contain a satisfying node.
+        let reaches = |n: NodeId| {
+            let z = grid.zone(n);
+            (0..dims).all(|d| {
+                d == pgrid_types::DimensionLayout::VIRTUAL_DIM || z.hi(d) > coord[d]
+            })
+        };
+
+        loop {
+            let cands = Self::neighborhood(grid, current);
+            // 2. A node that can start the job immediately ends the
+            // search (Algorithm 1 lines 3–9).
+            if let Some(node) = self.pick_startable(grid, &cands, job, ce) {
+                return Placement {
+                    node,
+                    route_hops: route.hops,
+                    pushes,
+                    fallback: false,
+                };
+            }
+            // 3. Otherwise choose the push target minimizing Eq. 3
+            // among outward, still-feasible, unvisited neighbors. The
+            // virtual dimension carries no resource ordering, so both
+            // of its directions are candidates — lateral moves across
+            // virtual slices keep the walk from being cornered.
+            let mut best: Option<(NodeId, usize, f64)> = None;
+            if pushes < self.params.max_pushes {
+                let vd = pgrid_types::DimensionLayout::VIRTUAL_DIM;
+                for d in 0..dims {
+                    let dirs: &[i8] = if d == vd { &[1, -1] } else { &[1] };
+                    for &dir in dirs {
+                        for n in grid.face_neighbors(current, d, dir) {
+                            if !reaches(n) || visited.contains(&n) {
+                                continue;
+                            }
+                            let fd = if dir == 1 {
+                                self.push_objective(grid, n, d, ce)
+                            } else {
+                                // No aggregated info toward the origin:
+                                // judge the inward virtual move by the
+                                // target's local load alone.
+                                self.local_objective(grid, n, ce)
+                            };
+                            let better = match best {
+                                None => fd < f64::INFINITY,
+                                Some((bn, _, bf)) => fd < bf || (fd == bf && n < bn),
+                            };
+                            if better {
+                                best = Some((n, d, fd));
+                            }
+                        }
+                    }
+                }
+            }
+            // 4. Probabilistic stopping (Eq. 4) based on the region
+            // beyond the current node along the chosen dimension.
+            let want_stop = match best {
+                None => true, // outer corner or no capable region left
+                Some((_, td, _)) => {
+                    let beyond = self.ai.beyond(current, td, ce).nodes;
+                    rng.unit() < stop_probability(beyond, self.params.stopping_factor)
+                }
+            };
+            if want_stop {
+                // 5. Least-loaded satisfying node among the current
+                // neighborhood (Algorithm 1 line 14). If the
+                // neighborhood cannot run the job at all, keep pushing
+                // toward capability instead of stranding the job.
+                if let Some(node) = self.pick_min_score(grid, &cands, job, ce) {
+                    return Placement {
+                        node,
+                        route_hops: route.hops,
+                        pushes,
+                        fallback: false,
+                    };
+                }
+                if best.is_none() {
+                    break; // nowhere to push either: rare global fallback
+                }
+            }
+            let (target, _, _) = best.expect("push target exists");
+            current = target;
+            visited.insert(target);
+            pushes += 1;
+        }
+
+        let all: Vec<NodeId> = (0..grid.len() as u32).map(NodeId).collect();
+        let node = self
+            .pick_min_score(grid, &all, job, ce)
+            .expect("job must be satisfiable by some node");
+        Placement {
+            node,
+            route_hops: route.hops,
+            pushes,
+            fallback: true,
+        }
+    }
+}
+
+/// The greedy online centralized matchmaker ("central"): complete,
+/// always-fresh load information, greedily assigning each job to the
+/// most capable node — "possibly assigning jobs to nodes that are
+/// over-provisioned" (§V-A).
+pub struct CentralMatchmaker;
+
+impl Matchmaker for CentralMatchmaker {
+    fn name(&self) -> &'static str {
+        "central"
+    }
+
+    fn place(&mut self, grid: &StaticGrid, job: &JobSpec, _rng: &mut SimRng) -> Placement {
+        let ce = grid.layout().dominant_ce(job);
+        let mut best_free: Option<(NodeId, f64)> = None;
+        let mut best_acceptable: Option<(NodeId, f64)> = None;
+        let mut best_score: Option<(NodeId, f64)> = None;
+        let mut best_any: Option<(NodeId, f64)> = None;
+        for rt in grid.runtimes() {
+            if !job.satisfied_by(&rt.spec) {
+                continue;
+            }
+            let clock = rt.spec.ce(ce).map_or(0.0, |c| c.clock);
+            if rt.is_free() {
+                if best_free.is_none_or(|(_, c)| clock > c) {
+                    best_free = Some((rt.id, clock));
+                }
+            } else if rt.is_acceptable(job)
+                && best_acceptable.is_none_or(|(_, c)| clock > c) {
+                    best_acceptable = Some((rt.id, clock));
+                }
+            let score = rt.score(ce).unwrap_or(f64::INFINITY);
+            if rt.available()
+                && best_score.is_none_or(|(_, s)| score < s) {
+                    best_score = Some((rt.id, score));
+                }
+            // Last resort when every satisfying node is evicted.
+            if best_any.is_none_or(|(_, s)| score < s) {
+                best_any = Some((rt.id, score));
+            }
+        }
+        let node = best_free
+            .or(best_acceptable)
+            .or(best_score)
+            .or(best_any)
+            .expect("job must be satisfiable by some node")
+            .0;
+        Placement {
+            node,
+            route_hops: 0,
+            pushes: 0,
+            fallback: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_types::{CeRequirement, DimensionLayout, JobId};
+    use pgrid_workload::jobgen::JobGenConfig;
+    use pgrid_workload::nodegen::{generate_nodes, NodeGenConfig};
+
+    fn grid(n: usize) -> StaticGrid {
+        let layout = DimensionLayout::with_dims(11);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), n, 21);
+        StaticGrid::build(layout, pop, 21)
+    }
+
+    fn easy_job(id: u32) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            vec![CeRequirement {
+                ce_type: CeType::CPU,
+                min_cores: Some(1),
+                ..Default::default()
+            }],
+            None,
+            3600.0,
+        )
+    }
+
+    #[test]
+    fn het_places_on_startable_node() {
+        let g = grid(100);
+        let mut m = PushingMatchmaker::heterogeneous(&g, PushParams::default());
+        m.refresh(&g, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let p = m.place(&g, &easy_job(0), &mut rng);
+        assert!(!p.fallback);
+        assert!(g.runtime(p.node).is_acceptable(&easy_job(0)));
+    }
+
+    #[test]
+    fn central_picks_fastest_free_dominant_ce() {
+        let g = grid(100);
+        let mut m = CentralMatchmaker;
+        let mut rng = SimRng::seed_from_u64(2);
+        // GPU-dominant job: central must pick the fastest free GPU0
+        // node that satisfies it.
+        let job = JobSpec::new(
+            JobId(1),
+            vec![
+                CeRequirement::any(CeType::CPU),
+                CeRequirement {
+                    ce_type: CeType::gpu(0),
+                    min_clock: Some(1.0),
+                    ..Default::default()
+                },
+            ],
+            None,
+            3600.0,
+        );
+        let p = m.place(&g, &job, &mut rng);
+        let chosen_clock = g
+            .runtime(p.node)
+            .spec
+            .ce(CeType::gpu(0))
+            .unwrap()
+            .clock;
+        // No satisfying free node can have a faster GPU0.
+        for rt in g.runtimes() {
+            if rt.is_free() && job.satisfied_by(&rt.spec) {
+                let c = rt.spec.ce(CeType::gpu(0)).unwrap().clock;
+                assert!(c <= chosen_clock, "missed faster free node");
+            }
+        }
+    }
+
+    #[test]
+    fn placements_always_satisfy_requirements() {
+        let g = grid(150);
+        let jobcfg = JobGenConfig::paper_defaults(2, 0.8, 3.0);
+        let pop: Vec<_> = g.runtimes().iter().map(|r| r.spec.clone()).collect();
+        let mut stream =
+            pgrid_workload::jobgen::JobStream::with_population(jobcfg, 3, pop);
+        let mut het = PushingMatchmaker::heterogeneous(&g, PushParams::default());
+        let mut hom = PushingMatchmaker::homogeneous(&g, PushParams::default());
+        let mut central = CentralMatchmaker;
+        het.refresh(&g, 0.0);
+        hom.refresh(&g, 0.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let (_, job) = stream.next_job();
+            for p in [
+                het.place(&g, &job, &mut rng),
+                hom.place(&g, &job, &mut rng),
+                central.place(&g, &job, &mut rng),
+            ] {
+                assert!(
+                    job.satisfied_by(&g.runtime(p.node).spec),
+                    "{:?} placed on unsatisfying node",
+                    job.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hom_ignores_gpu_when_ranking() {
+        let g = grid(50);
+        let hom = PushingMatchmaker::homogeneous(&g, PushParams::default());
+        let job = JobSpec::new(
+            JobId(5),
+            vec![
+                CeRequirement::any(CeType::CPU),
+                CeRequirement {
+                    ce_type: CeType::gpu(0),
+                    min_memory: Some(1.0),
+                    ..Default::default()
+                },
+            ],
+            None,
+            3600.0,
+        );
+        // can-hom always ranks by CPU even for GPU-dominant jobs.
+        assert_eq!(hom.ranking_ce(&g, &job), CeType::CPU);
+        let het = PushingMatchmaker::heterogeneous(&g, PushParams::default());
+        assert_eq!(het.ranking_ce(&g, &job), CeType::gpu(0));
+    }
+
+    #[test]
+    fn deterministic_placement_given_seed() {
+        let g = grid(100);
+        let mut m1 = PushingMatchmaker::heterogeneous(&g, PushParams::default());
+        let mut m2 = PushingMatchmaker::heterogeneous(&g, PushParams::default());
+        m1.refresh(&g, 0.0);
+        m2.refresh(&g, 0.0);
+        let mut r1 = SimRng::seed_from_u64(6);
+        let mut r2 = SimRng::seed_from_u64(6);
+        for i in 0..30 {
+            assert_eq!(
+                m1.place(&g, &easy_job(i), &mut r1),
+                m2.place(&g, &easy_job(i), &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        let g = grid(20);
+        assert_eq!(
+            PushingMatchmaker::heterogeneous(&g, PushParams::default()).name(),
+            "can-het"
+        );
+        assert_eq!(
+            PushingMatchmaker::homogeneous(&g, PushParams::default()).name(),
+            "can-hom"
+        );
+        assert_eq!(CentralMatchmaker.name(), "central");
+    }
+}

@@ -1,0 +1,564 @@
+//! Per-node execution state: CE occupancy and the FIFO waiting queue.
+//!
+//! The contention model is the paper's (§III-B):
+//!
+//! * a **dedicated** CE (2011-era GPU) runs exactly one job at a time;
+//! * a **non-dedicated** CE (multi-core CPU) runs concurrent jobs up to
+//!   its core count (each job occupies its required cores);
+//! * there are **no cross-CE contention effects** ("we have found that
+//!   there were no significant contention effects between separate
+//!   CEs").
+//!
+//! Jobs wait in a single FIFO queue per node. A waiting job starts as
+//! soon as every CE it needs has capacity *and* no earlier-queued job
+//! is waiting for any of those CEs (conservative backfill: jobs that
+//! need disjoint CEs may overtake, preserving per-CE FIFO order — a
+//! GPU job never starves behind a CPU-bound queue head).
+
+use pgrid_types::{CeType, JobId, JobSpec, NodeId, NodeSpec};
+use std::collections::HashSet;
+
+/// Occupancy of one computing element.
+#[derive(Debug, Clone)]
+struct CeState {
+    ce_type: CeType,
+    dedicated: bool,
+    total_cores: u32,
+    used_cores: u32,
+    running_jobs: u32,
+}
+
+/// A job waiting in the node's FIFO queue.
+#[derive(Debug, Clone)]
+struct Waiting {
+    job: JobSpec,
+    queued_at: f64,
+}
+
+/// A job that just started executing (returned by the queue scan so the
+/// simulator can schedule its completion).
+#[derive(Debug, Clone)]
+pub struct Started {
+    /// The job that started.
+    pub job: JobSpec,
+    /// When it was placed in this node's queue.
+    pub queued_at: f64,
+}
+
+/// Execution state of one grid node.
+#[derive(Debug, Clone)]
+pub struct NodeRuntime {
+    /// The node's identity.
+    pub id: NodeId,
+    /// The node's static capabilities.
+    pub spec: NodeSpec,
+    ces: Vec<CeState>,
+    queue: Vec<Waiting>,
+    running: Vec<JobSpec>,
+    available: bool,
+}
+
+impl NodeRuntime {
+    /// Fresh idle runtime for a node.
+    pub fn new(id: NodeId, spec: NodeSpec) -> Self {
+        let ces = spec
+            .ces()
+            .iter()
+            .map(|c| CeState {
+                ce_type: c.ce_type,
+                dedicated: c.dedicated,
+                total_cores: c.cores,
+                used_cores: 0,
+                running_jobs: 0,
+            })
+            .collect();
+        NodeRuntime {
+            id,
+            spec,
+            ces,
+            queue: Vec::new(),
+            running: Vec::new(),
+            available: true,
+        }
+    }
+
+    /// Whether the node is currently donating cycles. An *evicted*
+    /// node (its owner reclaimed the desktop) keeps its CAN zone and
+    /// DHT duties but starts no grid jobs until it returns.
+    pub fn available(&self) -> bool {
+        self.available
+    }
+
+    /// Takes the node offline for grid execution, returning every job
+    /// it was running or queueing (the grid resubmits them; running
+    /// work is lost, as on a real desktop reclaim).
+    pub fn evict(&mut self) -> Vec<JobSpec> {
+        self.available = false;
+        let mut out: Vec<JobSpec> = std::mem::take(&mut self.running);
+        out.extend(std::mem::take(&mut self.queue).into_iter().map(|w| w.job));
+        for ce in &mut self.ces {
+            ce.used_cores = 0;
+            ce.running_jobs = 0;
+        }
+        out
+    }
+
+    /// Brings the node back online. Call
+    /// [`NodeRuntime::start_ready`] afterwards to start anything that
+    /// queued up meanwhile.
+    pub fn restore(&mut self) {
+        self.available = true;
+    }
+
+    fn ce_state(&self, ty: CeType) -> Option<&CeState> {
+        self.ces.iter().find(|c| c.ce_type == ty)
+    }
+
+    fn ce_state_mut(&mut self, ty: CeType) -> Option<&mut CeState> {
+        self.ces.iter_mut().find(|c| c.ce_type == ty)
+    }
+
+    /// A **free node** has "no running or waiting jobs in its queue"
+    /// (§II-B) — it can start any job it satisfies, immediately. An
+    /// evicted node is never free.
+    pub fn is_free(&self) -> bool {
+        self.available && self.running.is_empty() && self.queue.is_empty()
+    }
+
+    /// Whether every CE the job needs has capacity *right now*
+    /// (ignoring the queue).
+    pub fn has_capacity(&self, job: &JobSpec) -> bool {
+        job.ce_reqs.iter().all(|r| match self.ce_state(r.ce_type) {
+            None => false,
+            Some(ce) => {
+                if ce.dedicated {
+                    ce.running_jobs == 0
+                } else {
+                    ce.used_cores + r.occupied_cores() <= ce.total_cores
+                }
+            }
+        })
+    }
+
+    /// CE types that queued jobs are waiting for (the conservative
+    /// backfill's blocked set).
+    fn blocked_ces(&self) -> HashSet<CeType> {
+        let mut blocked = HashSet::new();
+        for w in &self.queue {
+            for r in &w.job.ce_reqs {
+                blocked.insert(r.ce_type);
+            }
+        }
+        blocked
+    }
+
+    /// An **acceptable node** "can start a job's execution without
+    /// waiting" (§III-B): it satisfies the job's requirements, every CE
+    /// the job needs has capacity, and no queued job is already waiting
+    /// on those CEs.
+    pub fn is_acceptable(&self, job: &JobSpec) -> bool {
+        if !self.available || !job.satisfied_by(&self.spec) || !self.has_capacity(job) {
+            return false;
+        }
+        let blocked = self.blocked_ces();
+        job.ce_reqs.iter().all(|r| !blocked.contains(&r.ce_type))
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of waiting jobs.
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Eq. 1 / Eq. 2 score for the CE of the given type; `None` when
+    /// the node lacks that CE. Lower is better.
+    pub fn score(&self, ty: CeType) -> Option<f64> {
+        let ce = self.ce_state(ty)?;
+        let spec = self.spec.ce(ty)?;
+        if ce.dedicated {
+            // Eq. 1: running + queued jobs needing this CE, over clock.
+            let queued = self
+                .queue
+                .iter()
+                .filter(|w| w.job.req(ty).is_some())
+                .count() as u32;
+            Some(pgrid_types::score::score_dedicated(
+                (ce.running_jobs + queued) as usize,
+                spec.clock,
+            ))
+        } else {
+            // Eq. 2: required cores of running + waiting jobs, over
+            // cores, over clock.
+            let queued_cores: u32 = self
+                .queue
+                .iter()
+                .filter_map(|w| w.job.req(ty).map(|r| r.occupied_cores()))
+                .sum();
+            Some(pgrid_types::score::score_non_dedicated(
+                ce.used_cores + queued_cores,
+                ce.total_cores,
+                spec.clock,
+            ))
+        }
+    }
+
+    /// Per-CE load numbers feeding the aggregated load information:
+    /// `(cores, required_cores)` for the given CE type — required =
+    /// cores held by running jobs plus cores requested by waiting jobs
+    /// (dedicated CEs count whole-CE units).
+    pub fn load_of(&self, ty: CeType) -> Option<(f64, f64)> {
+        let ce = self.ce_state(ty)?;
+        if ce.dedicated {
+            let queued = self
+                .queue
+                .iter()
+                .filter(|w| w.job.req(ty).is_some())
+                .count() as f64;
+            // A dedicated CE contributes its core count as capacity and
+            // whole-CE units of demand.
+            Some((
+                f64::from(ce.total_cores),
+                (f64::from(ce.running_jobs) + queued) * f64::from(ce.total_cores),
+            ))
+        } else {
+            let queued_cores: u32 = self
+                .queue
+                .iter()
+                .filter_map(|w| w.job.req(ty).map(|r| r.occupied_cores()))
+                .sum();
+            Some((
+                f64::from(ce.total_cores),
+                f64::from(ce.used_cores + queued_cores),
+            ))
+        }
+    }
+
+    /// Enqueues a job (after matchmaking chose this node as the run
+    /// node). Call [`NodeRuntime::start_ready`] afterwards to start
+    /// whatever can start.
+    pub fn enqueue(&mut self, job: JobSpec, now: f64) {
+        debug_assert!(
+            job.satisfied_by(&self.spec),
+            "run node must satisfy the job"
+        );
+        self.queue.push(Waiting {
+            job,
+            queued_at: now,
+        });
+    }
+
+    fn allocate(&mut self, job: &JobSpec) {
+        for r in &job.ce_reqs {
+            let occupied = r.occupied_cores();
+            let ce = self
+                .ce_state_mut(r.ce_type)
+                .expect("allocation on missing CE");
+            ce.running_jobs += 1;
+            if ce.dedicated {
+                debug_assert_eq!(ce.running_jobs, 1, "dedicated CE double-booked");
+                ce.used_cores = ce.total_cores;
+            } else {
+                ce.used_cores += occupied;
+                debug_assert!(ce.used_cores <= ce.total_cores, "CPU oversubscribed");
+            }
+        }
+        self.running.push(job.clone());
+    }
+
+    /// Scans the FIFO queue and starts every job that can start under
+    /// conservative backfill, returning them (the caller schedules
+    /// their completions).
+    pub fn start_ready(&mut self) -> Vec<Started> {
+        if !self.available {
+            return Vec::new();
+        }
+        let mut started = Vec::new();
+        let mut blocked: HashSet<CeType> = HashSet::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            let uses_blocked = self.queue[i]
+                .job
+                .ce_reqs
+                .iter()
+                .any(|r| blocked.contains(&r.ce_type));
+            if !uses_blocked && self.has_capacity(&self.queue[i].job) {
+                let w = self.queue.remove(i);
+                self.allocate(&w.job);
+                started.push(Started {
+                    job: w.job,
+                    queued_at: w.queued_at,
+                });
+                // Do not advance i: the next entry shifted into place.
+            } else {
+                for r in &self.queue[i].job.ce_reqs {
+                    blocked.insert(r.ce_type);
+                }
+                i += 1;
+            }
+        }
+        started
+    }
+
+    /// Releases a finished job's resources. Call
+    /// [`NodeRuntime::start_ready`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not running on this node.
+    pub fn finish(&mut self, job_id: JobId) {
+        let idx = self
+            .running
+            .iter()
+            .position(|j| j.id == job_id)
+            .expect("finish of job not running here");
+        let job = self.running.swap_remove(idx);
+        for r in &job.ce_reqs {
+            let occupied = r.occupied_cores();
+            let ce = self
+                .ce_state_mut(r.ce_type)
+                .expect("release on missing CE");
+            debug_assert!(ce.running_jobs > 0);
+            ce.running_jobs -= 1;
+            if ce.dedicated {
+                ce.used_cores = 0;
+            } else {
+                debug_assert!(ce.used_cores >= occupied);
+                ce.used_cores -= occupied;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_types::{CeRequirement, CeSpec};
+
+    fn het_node() -> NodeRuntime {
+        NodeRuntime::new(
+            NodeId(0),
+            NodeSpec::new(
+                CeSpec::cpu(2.0, 8.0, 4),
+                vec![CeSpec::gpu(0, 1.5, 4.0, 448)],
+                500.0,
+            ),
+        )
+    }
+
+    fn cpu_job(id: u32, cores: u32) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            vec![CeRequirement {
+                ce_type: CeType::CPU,
+                min_cores: Some(cores),
+                ..Default::default()
+            }],
+            None,
+            3600.0,
+        )
+    }
+
+    fn gpu_job(id: u32) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            vec![
+                CeRequirement {
+                    ce_type: CeType::CPU,
+                    min_cores: Some(1),
+                    ..Default::default()
+                },
+                CeRequirement {
+                    ce_type: CeType::gpu(0),
+                    min_cores: Some(128),
+                    ..Default::default()
+                },
+            ],
+            None,
+            3600.0,
+        )
+    }
+
+    #[test]
+    fn fresh_node_is_free_and_acceptable() {
+        let n = het_node();
+        assert!(n.is_free());
+        assert!(n.is_acceptable(&cpu_job(0, 2)));
+        assert!(n.is_acceptable(&gpu_job(1)));
+    }
+
+    #[test]
+    fn cpu_shares_cores_up_to_capacity() {
+        let mut n = het_node();
+        n.enqueue(cpu_job(0, 2), 0.0);
+        n.enqueue(cpu_job(1, 2), 0.0);
+        let started = n.start_ready();
+        assert_eq!(started.len(), 2, "4 cores fit two 2-core jobs");
+        assert!(!n.is_free());
+        // A third 2-core job must wait.
+        n.enqueue(cpu_job(2, 2), 1.0);
+        assert!(n.start_ready().is_empty());
+        assert_eq!(n.queued_count(), 1);
+    }
+
+    #[test]
+    fn dedicated_gpu_runs_one_job_at_a_time() {
+        let mut n = het_node();
+        n.enqueue(gpu_job(0), 0.0);
+        assert_eq!(n.start_ready().len(), 1);
+        n.enqueue(gpu_job(1), 0.0);
+        assert!(n.start_ready().is_empty(), "GPU is dedicated");
+        n.finish(JobId(0));
+        assert_eq!(n.start_ready().len(), 1);
+    }
+
+    #[test]
+    fn gpu_job_backfills_past_blocked_cpu_queue() {
+        let mut n = het_node();
+        // Fill the CPU.
+        n.enqueue(cpu_job(0, 4), 0.0);
+        assert_eq!(n.start_ready().len(), 1);
+        // CPU-waiting job blocks the CPU queue...
+        n.enqueue(cpu_job(1, 4), 1.0);
+        assert!(n.start_ready().is_empty());
+        // ...but a GPU job needing 1 CPU core must also wait (CPU full),
+        // while a pure GPU job (no CPU core free required) could pass.
+        // Make the GPU job CPU-free to test backfill:
+        let pure_gpu = JobSpec::new(
+            JobId(2),
+            vec![CeRequirement {
+                ce_type: CeType::gpu(0),
+                min_cores: Some(128),
+                ..Default::default()
+            }],
+            None,
+            60.0,
+        );
+        n.enqueue(pure_gpu, 2.0);
+        let started = n.start_ready();
+        assert_eq!(started.len(), 1, "GPU job backfills past blocked CPU job");
+        assert_eq!(started[0].job.id, JobId(2));
+    }
+
+    #[test]
+    fn backfill_preserves_per_ce_fifo() {
+        let mut n = het_node();
+        n.enqueue(cpu_job(0, 4), 0.0);
+        assert_eq!(n.start_ready().len(), 1);
+        n.enqueue(cpu_job(1, 1), 1.0); // waits: CPU full
+        n.enqueue(cpu_job(2, 1), 2.0); // must NOT overtake job 1
+        assert!(n.start_ready().is_empty());
+        n.finish(JobId(0));
+        let started = n.start_ready();
+        let ids: Vec<JobId> = started.iter().map(|s| s.job.id).collect();
+        assert_eq!(ids, vec![JobId(1), JobId(2)], "FIFO order per CE");
+    }
+
+    #[test]
+    fn acceptability_respects_queue() {
+        let mut n = het_node();
+        n.enqueue(cpu_job(0, 4), 0.0);
+        n.start_ready();
+        n.enqueue(cpu_job(1, 1), 1.0); // waiting on CPU
+        assert!(n.start_ready().is_empty());
+        // CPU has no capacity and a waiter: not acceptable for CPU work.
+        assert!(!n.is_acceptable(&cpu_job(9, 1)));
+        // The GPU is idle and un-waited: acceptable for pure GPU work.
+        let pure_gpu = JobSpec::new(
+            JobId(3),
+            vec![CeRequirement {
+                ce_type: CeType::gpu(0),
+                min_cores: None,
+                min_clock: None,
+                min_memory: None,
+            }],
+            None,
+            60.0,
+        );
+        assert!(n.is_acceptable(&pure_gpu));
+    }
+
+    #[test]
+    fn scores_reflect_load() {
+        let mut n = het_node();
+        assert_eq!(n.score(CeType::CPU), Some(0.0));
+        assert_eq!(n.score(CeType::gpu(0)), Some(0.0));
+        assert_eq!(n.score(CeType::gpu(1)), None, "absent CE has no score");
+        n.enqueue(cpu_job(0, 2), 0.0);
+        n.start_ready();
+        // Eq 2: (2/4)/2.0 = 0.25
+        assert_eq!(n.score(CeType::CPU), Some(0.25));
+        n.enqueue(gpu_job(1), 0.0);
+        n.start_ready();
+        // Eq 1 on the GPU: 1 job / 1.5 clock
+        let s = n.score(CeType::gpu(0)).unwrap();
+        assert!((s - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queued_jobs_count_toward_scores() {
+        let mut n = het_node();
+        n.enqueue(cpu_job(0, 4), 0.0);
+        n.start_ready();
+        n.enqueue(cpu_job(1, 4), 1.0); // waiting
+        n.start_ready();
+        // Eq 2: (4 running + 4 waiting)/4 cores / 2.0 clock = 1.0
+        assert_eq!(n.score(CeType::CPU), Some(1.0));
+    }
+
+    #[test]
+    fn load_of_reports_capacity_and_demand() {
+        let mut n = het_node();
+        assert_eq!(n.load_of(CeType::CPU), Some((4.0, 0.0)));
+        assert_eq!(n.load_of(CeType::gpu(0)), Some((448.0, 0.0)));
+        assert_eq!(n.load_of(CeType::gpu(1)), None);
+        n.enqueue(gpu_job(0), 0.0);
+        n.start_ready();
+        let (cores, required) = n.load_of(CeType::gpu(0)).unwrap();
+        assert_eq!(cores, 448.0);
+        assert_eq!(required, 448.0, "dedicated CE fully occupied");
+        let (_, cpu_req) = n.load_of(CeType::CPU).unwrap();
+        assert_eq!(cpu_req, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn finishing_unknown_job_panics() {
+        let mut n = het_node();
+        n.finish(JobId(99));
+    }
+
+    #[test]
+    fn eviction_drains_jobs_and_blocks_starts() {
+        let mut n = het_node();
+        n.enqueue(cpu_job(0, 2), 0.0);
+        n.start_ready();
+        n.enqueue(cpu_job(1, 4), 1.0); // waiting
+        let drained = n.evict();
+        assert_eq!(drained.len(), 2, "running + queued jobs returned");
+        assert!(!n.available());
+        assert!(!n.is_free());
+        assert!(!n.is_acceptable(&cpu_job(9, 1)));
+        // Jobs enqueued while offline do not start.
+        n.enqueue(cpu_job(2, 1), 2.0);
+        assert!(n.start_ready().is_empty());
+        // After restore they do.
+        n.restore();
+        assert_eq!(n.start_ready().len(), 1);
+        assert!(n.available());
+    }
+
+    #[test]
+    fn finish_releases_everything() {
+        let mut n = het_node();
+        n.enqueue(gpu_job(0), 0.0);
+        n.start_ready();
+        n.finish(JobId(0));
+        assert!(n.is_free());
+        assert_eq!(n.score(CeType::CPU), Some(0.0));
+        assert_eq!(n.score(CeType::gpu(0)), Some(0.0));
+    }
+}

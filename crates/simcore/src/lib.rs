@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation core used by every
+//! experiment in this reproduction.
+//!
+//! The paper evaluates its algorithms with "an event driven simulator
+//! that simulates the CAN construction, as well as matchmaking
+//! algorithms" (§V-A). This crate provides that substrate:
+//!
+//! * [`EventQueue`] — a time-ordered event queue with stable FIFO
+//!   tie-breaking, so simulations are reproducible bit-for-bit;
+//! * [`rng`] — seedable random-number utilities and the hand-rolled
+//!   distributions the workload model needs (exponential inter-arrival
+//!   times, uniform runtimes, weighted discrete choices, and the skewed
+//!   "most nodes are weak" capability distribution).
+//!
+//! Simulations in this workspace are single-threaded and deterministic;
+//! parallelism happens one level up, across independent simulation
+//! configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+
+pub use event::{EventQueue, SimTime};
+pub use rng::SimRng;

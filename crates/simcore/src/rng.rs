@@ -1,0 +1,269 @@
+//! Seedable randomness and the hand-rolled distributions the synthetic
+//! workload model needs.
+//!
+//! Everything is built on [`rand::rngs::StdRng`] seeded explicitly, so
+//! that a `(seed, configuration)` pair fully determines a simulation.
+//! Distributions are implemented here rather than pulled from
+//! `rand_distr` to keep the dependency footprint to the approved list
+//! and the sampling algorithms stable across dependency upgrades.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The workspace's random number generator.
+///
+/// ```
+/// use pgrid_simcore::SimRng;
+/// let mut a = SimRng::seed_from_u64(1);
+/// let mut b = SimRng::seed_from_u64(1);
+/// assert_eq!(a.unit(), b.unit()); // fully deterministic
+/// assert!((0.0..1.0).contains(&a.unit()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+/// SplitMix64 step — used to derive independent sub-stream seeds from a
+/// master seed without correlation between streams.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of an independent sub-stream (e.g. "node
+/// generation" vs "job arrivals") from a master seed.
+#[inline]
+pub fn sub_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+impl SimRng {
+    /// A generator seeded from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An independent sub-stream generator (see [`sub_seed`]).
+    pub fn sub_stream(master: u64, stream: u64) -> Self {
+        SimRng::seed_from_u64(sub_seed(master, stream))
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "uniform range must be non-empty");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.unit() < p
+    }
+
+    /// Exponential sample with the given mean — inter-arrival times of
+    /// a Poisson process (paper §V-A: "The interval between individual
+    /// job submissions follows a Poisson distribution").
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse-CDF; 1 - unit() is in (0, 1], so ln is finite.
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Samples an index from a non-empty slice of non-negative weights.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
+        debug_assert!(!weights.is_empty());
+        debug_assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // floating-point edge: land on the last bucket
+    }
+
+    /// Samples a capability *tier* in `[0, tiers)` with geometrically
+    /// decreasing probability (ratio `decay` < 1 between successive
+    /// tiers). Models the evaluation's "high percentage of the nodes
+    /// and jobs have relatively low resource capabilities and
+    /// requirements ... a common node capability distribution in grid
+    /// environments".
+    pub fn skewed_tier(&mut self, tiers: usize, decay: f64) -> usize {
+        debug_assert!(tiers > 0);
+        debug_assert!(decay > 0.0 && decay < 1.0);
+        let mut weights = Vec::with_capacity(tiers);
+        let mut w = 1.0;
+        for _ in 0..tiers {
+            weights.push(w);
+            w *= decay;
+        }
+        self.weighted_choice(&weights)
+    }
+
+    /// Uniform element of a non-empty slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw 64-bit output (for deriving ids, virtual coordinates, ...).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn sub_streams_are_independent_of_order() {
+        assert_eq!(sub_seed(7, 1), sub_seed(7, 1));
+        assert_ne!(sub_seed(7, 1), sub_seed(7, 2));
+        assert_ne!(sub_seed(7, 1), sub_seed(8, 1));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = r.uniform(1800.0, 5400.0);
+            assert!((1800.0..5400.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 200_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.05,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = SimRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(r.exponential(1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = SimRng::seed_from_u64(7);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted_choice(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight bucket must never be chosen");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio} should be ~3");
+    }
+
+    #[test]
+    fn skewed_tier_prefers_low_tiers() {
+        let mut r = SimRng::seed_from_u64(8);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.skewed_tier(4, 0.5)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        assert!(counts[3] > 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(9);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(10);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move things");
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = SimRng::seed_from_u64(11);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the event engine and RNG utilities.
+
+use pgrid_simcore::{rng::sub_seed, EventQueue, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pops are time-ordered and FIFO within a timestamp.
+    #[test]
+    fn queue_is_stable_priority(times in prop::collection::vec(0u32..50, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(f64::from(*t), i);
+        }
+        let mut last: (f64, usize) = (f64::NEG_INFINITY, 0);
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t > last.0 || (t == last.0 && i > last.1),
+                "order violated: ({t},{i}) after {last:?}");
+            last = (t, i);
+        }
+    }
+
+    /// fired() counts pops exactly; len() tracks outstanding events.
+    #[test]
+    fn queue_counters_consistent(n in 1usize..100, pops in 0usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(i as f64, i);
+        }
+        let pops = pops.min(n);
+        for _ in 0..pops {
+            q.pop();
+        }
+        prop_assert_eq!(q.fired(), pops as u64);
+        prop_assert_eq!(q.len(), n - pops);
+    }
+
+    /// Exponential samples are non-negative and roughly scale with the
+    /// mean.
+    #[test]
+    fn exponential_scales(seed in 0u64..10_000, mean in 0.1f64..100.0) {
+        let mut r = SimRng::seed_from_u64(seed);
+        let n = 2000;
+        let s: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let m = s / n as f64;
+        prop_assert!(m > 0.0);
+        prop_assert!((m / mean) > 0.8 && (m / mean) < 1.25, "mean ratio {}", m / mean);
+    }
+
+    /// weighted_choice never selects a zero-weight bucket and always
+    /// selects a valid index.
+    #[test]
+    fn weighted_choice_valid(
+        seed in 0u64..10_000,
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut r = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let i = r.weighted_choice(&weights);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "picked zero-weight bucket {i}");
+        }
+    }
+
+    /// sub_seed is deterministic and (practically) collision-free over
+    /// small stream sets.
+    #[test]
+    fn sub_seeds_distinct(master in 0u64..u64::MAX / 2) {
+        let seeds: Vec<u64> = (0..32).map(|s| sub_seed(master, s)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), 32, "collision among sub-seeds");
+        prop_assert_eq!(seeds[0], sub_seed(master, 0));
+    }
+
+    /// uniform stays within bounds; below stays within range.
+    #[test]
+    fn bounded_samplers(seed in 0u64..10_000, lo in -100.0f64..100.0, span in 0.001f64..100.0, n in 1usize..1000) {
+        let mut r = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = r.uniform(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    /// Shuffle is always a permutation.
+    #[test]
+    fn shuffle_permutes(seed in 0u64..10_000, n in 0usize..200) {
+        let mut r = SimRng::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

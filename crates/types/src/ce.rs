@@ -1,0 +1,170 @@
+//! Computing elements: the unit of heterogeneity.
+//!
+//! A computing element (CE) is "a physically separated unit within a
+//! grid node \[that\] contains a set of cores which are mainly used for
+//! computation, such as a CPU, a GPGPU, or other types of
+//! special-purpose computing processors" (paper §I).
+
+use std::fmt;
+
+/// The *type* of a computing element.
+///
+/// Type `0` is by convention the CPU; types `1..` are distinct GPU (or
+/// other accelerator) families. Two CEs of the same type are considered
+/// interchangeable for matchmaking: a job requirement names a `CeType`,
+/// never a specific device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CeType(pub u8);
+
+impl CeType {
+    /// The conventional CPU type.
+    pub const CPU: CeType = CeType(0);
+
+    /// The `slot`-th GPU family (0-based): `gpu(0)` is CE type 1.
+    #[inline]
+    pub const fn gpu(slot: u8) -> CeType {
+        CeType(slot + 1)
+    }
+
+    /// Whether this is the CPU type.
+    #[inline]
+    pub const fn is_cpu(self) -> bool {
+        self.0 == 0
+    }
+
+    /// For GPU types, the 0-based GPU slot; `None` for the CPU.
+    #[inline]
+    pub const fn gpu_slot(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for CeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_cpu() {
+            write!(f, "CPU")
+        } else {
+            write!(f, "GPU{}", self.0 - 1)
+        }
+    }
+}
+
+/// Static capability description of one computing element.
+///
+/// Clock speeds are expressed relative to a *nominal* clock of `1.0`
+/// (paper §V-A: "the simulated job execution time is scaled up or down
+/// by the corresponding dominant CE's clock speed, which is specified
+/// relative to a nominal clock speed"). Memory is in GB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeSpec {
+    /// Which CE family this element belongs to.
+    pub ce_type: CeType,
+    /// Clock speed relative to the nominal clock (1.0 = nominal).
+    pub clock: f64,
+    /// Memory dedicated to this CE, in GB (GPU memory for GPUs, RAM for
+    /// the CPU).
+    pub memory: f64,
+    /// Number of cores in the CE.
+    pub cores: u32,
+    /// Whether the CE is *dedicated*: able to run only one job at a
+    /// time (2011-era GPUs), as opposed to a *non-dedicated* CE whose
+    /// cores can be shared by several concurrent jobs (CPUs).
+    pub dedicated: bool,
+}
+
+impl CeSpec {
+    /// A non-dedicated CPU element.
+    pub fn cpu(clock: f64, memory: f64, cores: u32) -> Self {
+        CeSpec {
+            ce_type: CeType::CPU,
+            clock,
+            memory,
+            cores,
+            dedicated: false,
+        }
+    }
+
+    /// A dedicated GPU element in the given GPU slot.
+    pub fn gpu(slot: u8, clock: f64, memory: f64, cores: u32) -> Self {
+        CeSpec {
+            ce_type: CeType::gpu(slot),
+            clock,
+            memory,
+            cores,
+            dedicated: true,
+        }
+    }
+
+    /// Validity check used by debug assertions and property tests:
+    /// positive clock and memory, at least one core.
+    pub fn is_valid(&self) -> bool {
+        self.clock > 0.0
+            && self.clock.is_finite()
+            && self.memory >= 0.0
+            && self.memory.is_finite()
+            && self.cores >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_type_is_type_zero() {
+        assert_eq!(CeType::CPU, CeType(0));
+        assert!(CeType::CPU.is_cpu());
+        assert_eq!(CeType::CPU.gpu_slot(), None);
+    }
+
+    #[test]
+    fn gpu_slots_map_to_types_one_up() {
+        assert_eq!(CeType::gpu(0), CeType(1));
+        assert_eq!(CeType::gpu(1), CeType(2));
+        assert_eq!(CeType::gpu(0).gpu_slot(), Some(0));
+        assert_eq!(CeType::gpu(2).gpu_slot(), Some(2));
+        assert!(!CeType::gpu(0).is_cpu());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CeType::CPU.to_string(), "CPU");
+        assert_eq!(CeType::gpu(0).to_string(), "GPU0");
+        assert_eq!(CeType::gpu(1).to_string(), "GPU1");
+    }
+
+    #[test]
+    fn cpu_constructor_is_non_dedicated() {
+        let c = CeSpec::cpu(1.5, 8.0, 4);
+        assert!(!c.dedicated);
+        assert_eq!(c.ce_type, CeType::CPU);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn gpu_constructor_is_dedicated() {
+        let g = CeSpec::gpu(0, 1.2, 4.0, 448);
+        assert!(g.dedicated);
+        assert_eq!(g.ce_type, CeType(1));
+        assert!(g.is_valid());
+    }
+
+    #[test]
+    fn invalid_specs_detected() {
+        let mut c = CeSpec::cpu(1.0, 4.0, 2);
+        c.clock = 0.0;
+        assert!(!c.is_valid());
+        c.clock = f64::NAN;
+        assert!(!c.is_valid());
+        c.clock = 1.0;
+        c.cores = 0;
+        assert!(!c.is_valid());
+        c.cores = 1;
+        c.memory = -1.0;
+        assert!(!c.is_valid());
+    }
+}

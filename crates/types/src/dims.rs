@@ -1,0 +1,439 @@
+//! Embedding of node capabilities and job requirements into the CAN's
+//! d-dimensional coordinate space (paper §II-A, §III-A).
+//!
+//! "Each dimension of the CAN represents the amount of that resource,
+//! so that nodes can be sorted according to the values for each
+//! resource." A symmetric multi-core system uses 5 dimensions (CPU
+//! clock, memory, disk, cores, plus a random *virtual* dimension); each
+//! supported GPU family adds 3 more (GPU clock, GPU memory, GPU cores),
+//! giving the 5-, 8-, 11- and 14-dimensional CANs of the evaluation.
+
+use crate::ce::CeType;
+use crate::job::JobSpec;
+use crate::node::NodeSpec;
+
+/// Largest coordinate value produced by normalization. Coordinates live
+/// in the half-open unit interval `[0, 1)`; capping below 1 keeps even
+/// "maxed-out" resources strictly inside the CAN space.
+pub const MAX_COORD: f64 = 0.999_999;
+
+/// What a CAN dimension measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimKind {
+    /// CPU clock speed (relative to nominal).
+    CpuClock,
+    /// CPU (main) memory, GB.
+    CpuMemory,
+    /// Node-level disk space, GB.
+    Disk,
+    /// Number of CPU cores.
+    CpuCores,
+    /// Random virtual dimension distinguishing identical nodes and
+    /// spreading load (paper §II-B).
+    Virtual,
+    /// GPU clock of the given GPU slot.
+    GpuClock(u8),
+    /// GPU memory of the given GPU slot, GB.
+    GpuMemory(u8),
+    /// GPU core count of the given GPU slot.
+    GpuCores(u8),
+}
+
+impl DimKind {
+    /// The CE type whose resources this dimension describes, or `None`
+    /// for the node-level virtual dimension. Disk is grouped with the
+    /// CPU (paper §III-A lists disk among the CPU's characteristics).
+    pub fn ce_type(self) -> Option<CeType> {
+        match self {
+            DimKind::CpuClock | DimKind::CpuMemory | DimKind::Disk | DimKind::CpuCores => {
+                Some(CeType::CPU)
+            }
+            DimKind::Virtual => None,
+            DimKind::GpuClock(s) | DimKind::GpuMemory(s) | DimKind::GpuCores(s) => {
+                Some(CeType::gpu(s))
+            }
+        }
+    }
+}
+
+/// Upper bounds used to normalize raw resource quantities into `[0,1)`
+/// coordinates. Values at or above the bound map to [`MAX_COORD`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalization {
+    /// Maximum CPU clock (relative units).
+    pub cpu_clock: f64,
+    /// Maximum CPU memory, GB.
+    pub cpu_memory: f64,
+    /// Maximum disk, GB.
+    pub disk: f64,
+    /// Maximum CPU core count.
+    pub cpu_cores: f64,
+    /// Maximum GPU clock (relative units).
+    pub gpu_clock: f64,
+    /// Maximum GPU memory, GB.
+    pub gpu_memory: f64,
+    /// Maximum GPU core count.
+    pub gpu_cores: f64,
+}
+
+impl Normalization {
+    /// Bounds matching the synthetic workload of the evaluation
+    /// (`pgrid-workload`): clocks up to 4× nominal, 32 GB RAM, 2 TB
+    /// disk, 8 CPU cores, 6 GB GPU memory, 512 GPU cores.
+    pub fn paper_defaults() -> Self {
+        Normalization {
+            cpu_clock: 4.0,
+            cpu_memory: 32.0,
+            disk: 2048.0,
+            cpu_cores: 8.0,
+            gpu_clock: 4.0,
+            gpu_memory: 6.0,
+            gpu_cores: 512.0,
+        }
+    }
+
+    /// Scales used by the dominant-CE demand computation
+    /// ([`JobSpec::dominant_ce`]): one shared memory scale and one
+    /// shared core scale so CPU and GPU demands are comparable.
+    pub fn demand_scales(&self) -> (f64, f64) {
+        (
+            self.cpu_memory.max(self.gpu_memory),
+            self.cpu_cores.max(self.gpu_cores),
+        )
+    }
+
+    fn scale_for(&self, kind: DimKind) -> f64 {
+        match kind {
+            DimKind::CpuClock => self.cpu_clock,
+            DimKind::CpuMemory => self.cpu_memory,
+            DimKind::Disk => self.disk,
+            DimKind::CpuCores => self.cpu_cores,
+            DimKind::Virtual => 1.0,
+            DimKind::GpuClock(_) => self.gpu_clock,
+            DimKind::GpuMemory(_) => self.gpu_memory,
+            DimKind::GpuCores(_) => self.gpu_cores,
+        }
+    }
+
+    /// Normalizes a raw quantity for the given dimension into `[0,1)`.
+    #[inline]
+    pub fn normalize(&self, kind: DimKind, raw: f64) -> f64 {
+        let s = self.scale_for(kind);
+        debug_assert!(s > 0.0, "normalization scale must be positive");
+        (raw / s).clamp(0.0, MAX_COORD)
+    }
+}
+
+/// The mapping between resources and CAN dimensions for a grid
+/// supporting a fixed number of GPU families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionLayout {
+    gpu_slots: u8,
+    norm: Normalization,
+    kinds: Vec<DimKind>,
+}
+
+impl DimensionLayout {
+    /// Index of the virtual dimension (always dimension 4).
+    pub const VIRTUAL_DIM: usize = 4;
+
+    /// Builds the layout for `gpu_slots` supported GPU families.
+    /// `gpu_slots = 0, 1, 2, 3` yields the paper's 5-, 8-, 11- and
+    /// 14-dimensional CANs.
+    pub fn new(gpu_slots: u8, norm: Normalization) -> Self {
+        let mut kinds = vec![
+            DimKind::CpuClock,
+            DimKind::CpuMemory,
+            DimKind::Disk,
+            DimKind::CpuCores,
+            DimKind::Virtual,
+        ];
+        for s in 0..gpu_slots {
+            kinds.push(DimKind::GpuClock(s));
+            kinds.push(DimKind::GpuMemory(s));
+            kinds.push(DimKind::GpuCores(s));
+        }
+        DimensionLayout {
+            gpu_slots,
+            norm,
+            kinds,
+        }
+    }
+
+    /// The paper's experimental layout for a given total dimension
+    /// count (must be 5, 8, 11 or 14).
+    pub fn with_dims(d: usize) -> Self {
+        assert!(
+            d >= 5 && (d - 5).is_multiple_of(3),
+            "CAN dimension count must be 5 + 3k, got {d}"
+        );
+        DimensionLayout::new(((d - 5) / 3) as u8, Normalization::paper_defaults())
+    }
+
+    /// Total number of CAN dimensions `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of supported GPU families.
+    #[inline]
+    pub fn gpu_slots(&self) -> u8 {
+        self.gpu_slots
+    }
+
+    /// The normalization bounds in use.
+    #[inline]
+    pub fn normalization(&self) -> &Normalization {
+        &self.norm
+    }
+
+    /// What dimension `i` measures.
+    #[inline]
+    pub fn kind(&self, i: usize) -> DimKind {
+        self.kinds[i]
+    }
+
+    /// All dimension kinds in order.
+    #[inline]
+    pub fn kinds(&self) -> &[DimKind] {
+        &self.kinds
+    }
+
+    /// All CE types representable in this layout (CPU first).
+    pub fn ce_types(&self) -> Vec<CeType> {
+        let mut v = vec![CeType::CPU];
+        v.extend((0..self.gpu_slots).map(CeType::gpu));
+        v
+    }
+
+    /// The job's dominant CE under this layout's normalization.
+    pub fn dominant_ce(&self, job: &JobSpec) -> CeType {
+        let (m, c) = self.norm.demand_scales();
+        job.dominant_ce(m, c)
+    }
+
+    /// Embeds a node's capabilities as a CAN coordinate. `virtual_value`
+    /// is the node's random virtual coordinate in `[0,1)`. Missing GPU
+    /// slots map to the origin of their dimensions, so jobs requiring
+    /// that GPU route past them.
+    pub fn node_coord(&self, node: &NodeSpec, virtual_value: f64) -> Vec<f64> {
+        debug_assert!((0.0..1.0).contains(&virtual_value));
+        self.kinds
+            .iter()
+            .map(|&k| match k {
+                DimKind::CpuClock => self.norm.normalize(k, node.cpu().clock),
+                DimKind::CpuMemory => self.norm.normalize(k, node.cpu().memory),
+                DimKind::Disk => self.norm.normalize(k, node.disk),
+                DimKind::CpuCores => self.norm.normalize(k, f64::from(node.cpu().cores)),
+                DimKind::Virtual => virtual_value.clamp(0.0, MAX_COORD),
+                DimKind::GpuClock(s) => node
+                    .ce(CeType::gpu(s))
+                    .map_or(0.0, |g| self.norm.normalize(k, g.clock)),
+                DimKind::GpuMemory(s) => node
+                    .ce(CeType::gpu(s))
+                    .map_or(0.0, |g| self.norm.normalize(k, g.memory)),
+                DimKind::GpuCores(s) => node
+                    .ce(CeType::gpu(s))
+                    .map_or(0.0, |g| self.norm.normalize(k, f64::from(g.cores))),
+            })
+            .collect()
+    }
+
+    /// Embeds a job's requirements as the CAN coordinate it is routed
+    /// to. Unconstrained resources map to 0 ("any amount acceptable"),
+    /// so every node beyond the coordinate satisfies the job.
+    /// `virtual_value` spreads otherwise-identical jobs across the
+    /// virtual dimension.
+    pub fn job_coord(&self, job: &JobSpec, virtual_value: f64) -> Vec<f64> {
+        debug_assert!((0.0..1.0).contains(&virtual_value));
+        self.kinds
+            .iter()
+            .map(|&k| match k {
+                DimKind::CpuClock => job
+                    .req(CeType::CPU)
+                    .and_then(|r| r.min_clock)
+                    .map_or(0.0, |v| self.norm.normalize(k, v)),
+                DimKind::CpuMemory => job
+                    .req(CeType::CPU)
+                    .and_then(|r| r.min_memory)
+                    .map_or(0.0, |v| self.norm.normalize(k, v)),
+                DimKind::Disk => job
+                    .min_disk
+                    .map_or(0.0, |v| self.norm.normalize(k, v)),
+                DimKind::CpuCores => job
+                    .req(CeType::CPU)
+                    .and_then(|r| r.min_cores)
+                    .map_or(0.0, |v| self.norm.normalize(k, f64::from(v))),
+                DimKind::Virtual => virtual_value.clamp(0.0, MAX_COORD),
+                DimKind::GpuClock(s) => job
+                    .req(CeType::gpu(s))
+                    .and_then(|r| r.min_clock)
+                    .map_or(0.0, |v| self.norm.normalize(k, v)),
+                DimKind::GpuMemory(s) => job
+                    .req(CeType::gpu(s))
+                    .and_then(|r| r.min_memory)
+                    .map_or(0.0, |v| self.norm.normalize(k, v)),
+                DimKind::GpuCores(s) => job
+                    .req(CeType::gpu(s))
+                    .and_then(|r| r.min_cores)
+                    .map_or(0.0, |v| self.norm.normalize(k, f64::from(v))),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ce::CeSpec;
+    use crate::ids::JobId;
+    use crate::job::CeRequirement;
+
+    #[test]
+    fn paper_dimension_counts() {
+        assert_eq!(DimensionLayout::with_dims(5).dims(), 5);
+        assert_eq!(DimensionLayout::with_dims(8).dims(), 8);
+        assert_eq!(DimensionLayout::with_dims(11).dims(), 11);
+        assert_eq!(DimensionLayout::with_dims(14).dims(), 14);
+        assert_eq!(DimensionLayout::with_dims(11).gpu_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension count")]
+    fn rejects_non_paper_dimension_counts() {
+        DimensionLayout::with_dims(7);
+    }
+
+    #[test]
+    fn eleven_dim_layout_matches_paper_example() {
+        // "if a machine has two GPUs (different CEs) in addition to a
+        // CPU ... the total number of CAN dimensions required is 11"
+        let l = DimensionLayout::with_dims(11);
+        assert_eq!(l.kind(0), DimKind::CpuClock);
+        assert_eq!(l.kind(1), DimKind::CpuMemory);
+        assert_eq!(l.kind(2), DimKind::Disk);
+        assert_eq!(l.kind(3), DimKind::CpuCores);
+        assert_eq!(l.kind(4), DimKind::Virtual);
+        assert_eq!(l.kind(5), DimKind::GpuClock(0));
+        assert_eq!(l.kind(8), DimKind::GpuClock(1));
+        assert_eq!(l.kind(10), DimKind::GpuCores(1));
+        assert_eq!(DimensionLayout::VIRTUAL_DIM, 4);
+        assert_eq!(l.kind(DimensionLayout::VIRTUAL_DIM), DimKind::Virtual);
+    }
+
+    #[test]
+    fn dim_kind_ce_types() {
+        assert_eq!(DimKind::CpuClock.ce_type(), Some(CeType::CPU));
+        assert_eq!(DimKind::Disk.ce_type(), Some(CeType::CPU));
+        assert_eq!(DimKind::Virtual.ce_type(), None);
+        assert_eq!(DimKind::GpuMemory(1).ce_type(), Some(CeType::gpu(1)));
+    }
+
+    #[test]
+    fn node_coords_are_in_unit_interval() {
+        let l = DimensionLayout::with_dims(11);
+        let n = NodeSpec::new(
+            CeSpec::cpu(4.0, 32.0, 8),
+            vec![CeSpec::gpu(0, 4.0, 6.0, 512)],
+            2048.0,
+        );
+        let c = l.node_coord(&n, 0.5);
+        assert_eq!(c.len(), 11);
+        for &x in &c {
+            assert!((0.0..1.0).contains(&x), "coordinate {x} out of range");
+        }
+        // Maxed-out resources hit MAX_COORD, not 1.0.
+        assert_eq!(c[0], MAX_COORD);
+    }
+
+    #[test]
+    fn missing_gpu_maps_to_origin() {
+        let l = DimensionLayout::with_dims(11);
+        let n = NodeSpec::cpu_only(2.0, 8.0, 4, 100.0);
+        let c = l.node_coord(&n, 0.25);
+        for x in &c[5..11] {
+            assert_eq!(*x, 0.0);
+        }
+    }
+
+    #[test]
+    fn job_coord_unconstrained_is_origin() {
+        let l = DimensionLayout::with_dims(8);
+        let j = JobSpec::new(JobId(0), vec![], None, 60.0);
+        let c = l.job_coord(&j, 0.0);
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn satisfying_node_dominates_job_coordinate() {
+        // The CAN-routing invariant: if a node satisfies a job, the
+        // node's coordinate is >= the job's coordinate on every real
+        // dimension.
+        let l = DimensionLayout::with_dims(8);
+        let j = JobSpec::new(
+            JobId(1),
+            vec![
+                CeRequirement {
+                    ce_type: CeType::CPU,
+                    min_clock: Some(1.0),
+                    min_memory: Some(4.0),
+                    min_cores: Some(2),
+                },
+                CeRequirement {
+                    ce_type: CeType::gpu(0),
+                    min_clock: Some(0.8),
+                    min_memory: Some(1.0),
+                    min_cores: Some(64),
+                },
+            ],
+            Some(50.0),
+            60.0,
+        );
+        let n = NodeSpec::new(
+            CeSpec::cpu(2.0, 8.0, 4),
+            vec![CeSpec::gpu(0, 1.0, 2.0, 128)],
+            100.0,
+        );
+        assert!(j.satisfied_by(&n));
+        let jc = l.job_coord(&j, 0.0);
+        let nc = l.node_coord(&n, 0.9);
+        for i in 0..l.dims() {
+            if i == DimensionLayout::VIRTUAL_DIM {
+                continue;
+            }
+            assert!(
+                nc[i] >= jc[i],
+                "dimension {i}: node {} < job {}",
+                nc[i],
+                jc[i]
+            );
+        }
+    }
+
+    #[test]
+    fn demand_scales_are_shared_maxima() {
+        let n = Normalization::paper_defaults();
+        let (m, c) = n.demand_scales();
+        assert_eq!(m, 32.0);
+        assert_eq!(c, 512.0);
+    }
+
+    #[test]
+    fn normalize_clamps() {
+        let n = Normalization::paper_defaults();
+        assert_eq!(n.normalize(DimKind::CpuClock, 100.0), MAX_COORD);
+        assert_eq!(n.normalize(DimKind::CpuClock, -1.0), 0.0);
+        let half = n.normalize(DimKind::CpuClock, 2.0);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ce_types_enumeration() {
+        let l = DimensionLayout::with_dims(11);
+        assert_eq!(
+            l.ce_types(),
+            vec![CeType::CPU, CeType::gpu(0), CeType::gpu(1)]
+        );
+    }
+}

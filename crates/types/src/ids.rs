@@ -1,0 +1,73 @@
+//! Compact identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Identifier of a grid node (peer) in the CAN.
+///
+/// Node ids are dense small integers assigned by whatever created the
+/// node population (the workload generator or the CAN churn driver), so
+/// they can index into `Vec`-based side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for use with `Vec`-based side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Index form for use with `Vec`-based side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_ordering_follows_numeric_value() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<NodeId> = [NodeId(1), NodeId(2), NodeId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(42).to_string(), "n42");
+        assert_eq!(JobId(7).to_string(), "j7");
+    }
+
+    #[test]
+    fn idx_round_trip() {
+        assert_eq!(NodeId(9).idx(), 9);
+        assert_eq!(JobId(11).idx(), 11);
+    }
+}

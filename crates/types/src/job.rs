@@ -1,0 +1,328 @@
+//! Job descriptions: per-CE-type resource requirements, the dominant-CE
+//! rule, and runtime scaling.
+
+use crate::ce::CeType;
+use crate::ids::JobId;
+use crate::node::NodeSpec;
+
+/// Resource requirements a job places on one CE type.
+///
+/// Every field is optional: an omitted requirement means "any amount of
+/// that resource is acceptable" (paper §V-A). The probability that each
+/// resource of a generated job is specified is the *job constraint
+/// ratio*.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CeRequirement {
+    /// CE family the requirement applies to.
+    pub ce_type: CeType,
+    /// Minimum clock speed (relative to nominal).
+    pub min_clock: Option<f64>,
+    /// Minimum memory in GB.
+    pub min_memory: Option<f64>,
+    /// Minimum number of cores. This doubles as the number of cores the
+    /// job occupies while running on a non-dedicated CE (a dedicated CE
+    /// is wholly occupied regardless).
+    pub min_cores: Option<u32>,
+}
+
+impl CeRequirement {
+    /// A requirement on the given CE type with no constrained resources.
+    pub fn any(ce_type: CeType) -> Self {
+        CeRequirement {
+            ce_type,
+            ..Default::default()
+        }
+    }
+
+    /// Number of cores the job occupies on this CE while running.
+    /// Unspecified core requirements occupy a single core.
+    #[inline]
+    pub fn occupied_cores(&self) -> u32 {
+        self.min_cores.unwrap_or(1).max(1)
+    }
+
+    /// "How much of the other resources" this requirement asks for —
+    /// the quantity the dominant-CE rule maximizes (paper §III-B).
+    /// Memory and cores are combined after normalization so that
+    /// neither unit dominates artificially.
+    pub fn demand(&self, mem_scale: f64, core_scale: f64) -> f64 {
+        let mem = self.min_memory.unwrap_or(0.0) / mem_scale.max(f64::MIN_POSITIVE);
+        let cores = f64::from(self.min_cores.unwrap_or(0)) / core_scale.max(f64::MIN_POSITIVE);
+        mem + cores
+    }
+}
+
+/// A grid job: independent (no inter-job communication), possibly
+/// multi-threaded, requiring one or more CE types.
+///
+/// ```
+/// use pgrid_types::{CeRequirement, CeType, JobId, JobSpec, NodeSpec, CeSpec};
+/// // A CUDA-style job: one CPU control core + a GPU kernel.
+/// let job = JobSpec::new(
+///     JobId(0),
+///     vec![
+///         CeRequirement { ce_type: CeType::CPU, min_cores: Some(1), ..Default::default() },
+///         CeRequirement { ce_type: CeType::gpu(0), min_cores: Some(128), ..Default::default() },
+///     ],
+///     None,
+///     3600.0,
+/// );
+/// let node = NodeSpec::new(
+///     CeSpec::cpu(2.0, 8.0, 4),
+///     vec![CeSpec::gpu(0, 2.0, 4.0, 448)],
+///     100.0,
+/// );
+/// assert!(job.satisfied_by(&node));
+/// assert_eq!(job.dominant_ce(32.0, 512.0), CeType::gpu(0));
+/// assert_eq!(job.runtime_on(2.0), 1800.0); // twice the clock, half the time
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job identifier.
+    pub id: JobId,
+    /// Per-CE-type requirements. At most one entry per CE type.
+    pub ce_reqs: Vec<CeRequirement>,
+    /// Minimum node-level disk space in GB, if constrained.
+    pub min_disk: Option<f64>,
+    /// Execution time, in seconds, on a dominant CE running at the
+    /// nominal clock (1.0).
+    pub nominal_runtime: f64,
+}
+
+impl JobSpec {
+    /// Builds a job spec, normalizing the requirement list (merging is
+    /// not attempted — duplicates are a caller bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two requirements name the same CE type.
+    pub fn new(
+        id: JobId,
+        ce_reqs: Vec<CeRequirement>,
+        min_disk: Option<f64>,
+        nominal_runtime: f64,
+    ) -> Self {
+        for (i, a) in ce_reqs.iter().enumerate() {
+            for b in &ce_reqs[i + 1..] {
+                assert!(
+                    a.ce_type != b.ce_type,
+                    "duplicate requirement for CE type {:?}",
+                    a.ce_type
+                );
+            }
+        }
+        JobSpec {
+            id,
+            ce_reqs,
+            min_disk,
+            nominal_runtime,
+        }
+    }
+
+    /// The requirement the job places on the given CE type, if any.
+    #[inline]
+    pub fn req(&self, ty: CeType) -> Option<&CeRequirement> {
+        self.ce_reqs.iter().find(|r| r.ce_type == ty)
+    }
+
+    /// The job's **dominant CE** type (paper §III-B): the CE requiring
+    /// the most of the other resources (memory, cores). Ties are broken
+    /// in favour of the *higher* CE type so that an accelerator the job
+    /// explicitly asks for wins over an incidental CPU requirement; a
+    /// job with no CE requirements at all defaults to the CPU.
+    ///
+    /// `mem_scale`/`core_scale` normalize the two resource axes; use
+    /// [`crate::dims::Normalization::demand_scales`].
+    pub fn dominant_ce(&self, mem_scale: f64, core_scale: f64) -> CeType {
+        self.ce_reqs
+            .iter()
+            .max_by(|a, b| {
+                let da = a.demand(mem_scale, core_scale);
+                let db = b.demand(mem_scale, core_scale);
+                da.partial_cmp(&db)
+                    .expect("demands are finite")
+                    .then(a.ce_type.cmp(&b.ce_type))
+            })
+            .map_or(CeType::CPU, |r| r.ce_type)
+    }
+
+    /// Whether `node` satisfies *all* of the job's requirements — the
+    /// condition for the node to be a potential run node.
+    pub fn satisfied_by(&self, node: &NodeSpec) -> bool {
+        if let Some(d) = self.min_disk {
+            if node.disk < d {
+                return false;
+            }
+        }
+        self.ce_reqs.iter().all(|r| match node.ce(r.ce_type) {
+            None => false,
+            Some(ce) => {
+                r.min_clock.is_none_or(|c| ce.clock >= c)
+                    && r.min_memory.is_none_or(|m| ce.memory >= m)
+                    && r.min_cores.is_none_or(|n| ce.cores >= n)
+            }
+        })
+    }
+
+    /// Simulated execution time on a dominant CE with the given clock:
+    /// the nominal runtime scaled down by faster clocks and up by
+    /// slower ones (paper §V-A).
+    #[inline]
+    pub fn runtime_on(&self, dominant_clock: f64) -> f64 {
+        debug_assert!(dominant_clock > 0.0);
+        self.nominal_runtime / dominant_clock
+    }
+
+    /// Validity check for property tests.
+    pub fn is_valid(&self) -> bool {
+        self.nominal_runtime > 0.0
+            && self.nominal_runtime.is_finite()
+            && self.min_disk.is_none_or(|d| d >= 0.0 && d.is_finite())
+            && self.ce_reqs.iter().all(|r| {
+                r.min_clock.is_none_or(|c| c > 0.0 && c.is_finite())
+                    && r.min_memory.is_none_or(|m| m >= 0.0 && m.is_finite())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ce::CeSpec;
+
+    fn cuda_job() -> JobSpec {
+        // A CUDA-style job: small CPU footprint, big GPU footprint.
+        JobSpec::new(
+            JobId(0),
+            vec![
+                CeRequirement {
+                    ce_type: CeType::CPU,
+                    min_clock: None,
+                    min_memory: Some(1.0),
+                    min_cores: Some(1),
+                },
+                CeRequirement {
+                    ce_type: CeType::gpu(0),
+                    min_clock: Some(1.0),
+                    min_memory: Some(2.0),
+                    min_cores: Some(128),
+                },
+            ],
+            Some(10.0),
+            3600.0,
+        )
+    }
+
+    fn het_node() -> NodeSpec {
+        NodeSpec::new(
+            CeSpec::cpu(1.5, 8.0, 4),
+            vec![CeSpec::gpu(0, 1.2, 4.0, 448)],
+            500.0,
+        )
+    }
+
+    #[test]
+    fn dominant_ce_is_the_gpu_for_cuda_style_jobs() {
+        // Paper's motivating example: a CUDA job requires CPU + GPU but
+        // the GPU is dominant.
+        let j = cuda_job();
+        assert_eq!(j.dominant_ce(16.0, 512.0), CeType::gpu(0));
+    }
+
+    #[test]
+    fn dominant_ce_defaults_to_cpu_without_requirements() {
+        let j = JobSpec::new(JobId(1), vec![], None, 60.0);
+        assert_eq!(j.dominant_ce(16.0, 512.0), CeType::CPU);
+    }
+
+    #[test]
+    fn dominant_ce_tie_breaks_toward_accelerator() {
+        let j = JobSpec::new(
+            JobId(2),
+            vec![
+                CeRequirement::any(CeType::CPU),
+                CeRequirement::any(CeType::gpu(1)),
+            ],
+            None,
+            60.0,
+        );
+        assert_eq!(j.dominant_ce(16.0, 512.0), CeType::gpu(1));
+    }
+
+    #[test]
+    fn satisfaction_checks_every_axis() {
+        let j = cuda_job();
+        let n = het_node();
+        assert!(j.satisfied_by(&n));
+
+        // Not enough GPU memory.
+        let weak_gpu = NodeSpec::new(
+            CeSpec::cpu(1.5, 8.0, 4),
+            vec![CeSpec::gpu(0, 1.2, 1.0, 448)],
+            500.0,
+        );
+        assert!(!j.satisfied_by(&weak_gpu));
+
+        // Missing the GPU entirely.
+        let cpu_only = NodeSpec::cpu_only(3.0, 32.0, 8, 1000.0);
+        assert!(!j.satisfied_by(&cpu_only));
+
+        // Not enough disk.
+        let mut small_disk = het_node();
+        small_disk.disk = 5.0;
+        assert!(!j.satisfied_by(&small_disk));
+    }
+
+    #[test]
+    fn unspecified_requirements_accept_anything() {
+        let j = JobSpec::new(
+            JobId(3),
+            vec![CeRequirement::any(CeType::CPU)],
+            None,
+            60.0,
+        );
+        let weakest = NodeSpec::cpu_only(0.1, 0.1, 1, 0.0);
+        assert!(j.satisfied_by(&weakest));
+    }
+
+    #[test]
+    fn runtime_scales_inversely_with_clock() {
+        let j = cuda_job();
+        assert!((j.runtime_on(1.0) - 3600.0).abs() < 1e-9);
+        assert!((j.runtime_on(2.0) - 1800.0).abs() < 1e-9);
+        assert!((j.runtime_on(0.5) - 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupied_cores_defaults_to_one() {
+        assert_eq!(CeRequirement::any(CeType::CPU).occupied_cores(), 1);
+        let r = CeRequirement {
+            ce_type: CeType::CPU,
+            min_cores: Some(4),
+            ..Default::default()
+        };
+        assert_eq!(r.occupied_cores(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate requirement")]
+    fn rejects_duplicate_ce_requirements() {
+        JobSpec::new(
+            JobId(4),
+            vec![
+                CeRequirement::any(CeType::CPU),
+                CeRequirement::any(CeType::CPU),
+            ],
+            None,
+            60.0,
+        );
+    }
+
+    #[test]
+    fn validity() {
+        assert!(cuda_job().is_valid());
+        let mut j = cuda_job();
+        j.nominal_runtime = 0.0;
+        assert!(!j.is_valid());
+    }
+}

@@ -1,0 +1,35 @@
+//! Heterogeneous computing-element (CE), node, and job model for the
+//! P2P desktop grid of *"Supporting Computing Element Heterogeneity in
+//! P2P Grids"* (Lee, Keleher, Sussman — IEEE CLUSTER 2011).
+//!
+//! The paper models a grid node as a set of **computing elements**: a
+//! (possibly multi-core) CPU plus zero or more GPUs of distinct types.
+//! Each CE has its own clock speed, memory and core count, and is either
+//! *dedicated* (runs a single job at a time, like a 2011-era GPU) or
+//! *non-dedicated* (multiple jobs may share its cores, like a CPU).
+//!
+//! Jobs carry per-CE-type resource requirements; the CE a job mostly
+//! computes on is its **dominant CE** and drives both the job's runtime
+//! scaling and the matchmaker's scoring (paper §III-B).
+//!
+//! This crate also defines the [`DimensionLayout`] that embeds node
+//! capabilities and job requirements into the d-dimensional CAN
+//! coordinate space (paper §III-A: 5 dims for a CPU-only system,
+//! +3 dims per supported GPU type, +1 random *virtual* dimension), and
+//! the paper's scoring equations (Eqs. 1–4) in [`score`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ce;
+pub mod dims;
+pub mod ids;
+pub mod job;
+pub mod node;
+pub mod score;
+
+pub use ce::{CeSpec, CeType};
+pub use dims::{DimKind, DimensionLayout, Normalization};
+pub use ids::{JobId, NodeId};
+pub use job::{CeRequirement, JobSpec};
+pub use node::NodeSpec;

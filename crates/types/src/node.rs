@@ -1,0 +1,157 @@
+//! Grid node capability descriptions.
+
+use crate::ce::{CeSpec, CeType};
+
+/// Static resource capabilities of one grid node.
+///
+/// A node always has exactly one CPU element and zero or more GPU
+/// elements of *distinct* types (paper §V-A: "Each node potentially has
+/// a single-/multi-core CPU (1, 2, 4 or 8 cores), and may include up to
+/// two different types of GPU"). Disk space is a node-level resource
+/// grouped with the CPU's dimensions in the CAN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// The node's computing elements. Index 0 is the CPU by
+    /// construction; see [`NodeSpec::new`].
+    ces: Vec<CeSpec>,
+    /// Available disk space in GB (node-level resource).
+    pub disk: f64,
+}
+
+impl NodeSpec {
+    /// Builds a node spec from a CPU element, optional GPU elements and
+    /// disk space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is not a CPU-type element, if any entry of
+    /// `gpus` is not a GPU-type element, or if two GPUs share a type —
+    /// the paper's model attaches at most one CE *per type* to a node.
+    pub fn new(cpu: CeSpec, gpus: Vec<CeSpec>, disk: f64) -> Self {
+        assert!(cpu.ce_type.is_cpu(), "first CE must be the CPU");
+        let mut ces = Vec::with_capacity(1 + gpus.len());
+        ces.push(cpu);
+        for g in gpus {
+            assert!(!g.ce_type.is_cpu(), "GPU list must not contain a CPU");
+            assert!(
+                !ces.iter().any(|c| c.ce_type == g.ce_type),
+                "duplicate CE type {:?} on one node",
+                g.ce_type
+            );
+            ces.push(g);
+        }
+        NodeSpec { ces, disk }
+    }
+
+    /// Convenience constructor for a CPU-only node.
+    pub fn cpu_only(clock: f64, memory: f64, cores: u32, disk: f64) -> Self {
+        NodeSpec::new(CeSpec::cpu(clock, memory, cores), Vec::new(), disk)
+    }
+
+    /// All computing elements; index 0 is always the CPU.
+    #[inline]
+    pub fn ces(&self) -> &[CeSpec] {
+        &self.ces
+    }
+
+    /// The node's CPU element.
+    #[inline]
+    pub fn cpu(&self) -> &CeSpec {
+        &self.ces[0]
+    }
+
+    /// The element of the given type, if the node has one.
+    #[inline]
+    pub fn ce(&self, ty: CeType) -> Option<&CeSpec> {
+        self.ces.iter().find(|c| c.ce_type == ty)
+    }
+
+    /// Whether the node has a CE of the given type.
+    #[inline]
+    pub fn has_ce(&self, ty: CeType) -> bool {
+        self.ce(ty).is_some()
+    }
+
+    /// Number of GPU elements attached to the node.
+    #[inline]
+    pub fn gpu_count(&self) -> usize {
+        self.ces.len() - 1
+    }
+
+    /// Validity check for debug assertions and property tests.
+    pub fn is_valid(&self) -> bool {
+        !self.ces.is_empty()
+            && self.ces[0].ce_type.is_cpu()
+            && self.disk >= 0.0
+            && self.disk.is_finite()
+            && self.ces.iter().all(CeSpec::is_valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeSpec {
+        NodeSpec::new(
+            CeSpec::cpu(1.5, 8.0, 4),
+            vec![CeSpec::gpu(0, 1.2, 4.0, 448), CeSpec::gpu(1, 0.9, 2.0, 240)],
+            500.0,
+        )
+    }
+
+    #[test]
+    fn cpu_is_first_element() {
+        let n = sample();
+        assert!(n.cpu().ce_type.is_cpu());
+        assert_eq!(n.ces().len(), 3);
+        assert_eq!(n.gpu_count(), 2);
+    }
+
+    #[test]
+    fn lookup_by_type() {
+        let n = sample();
+        assert!(n.has_ce(CeType::CPU));
+        assert!(n.has_ce(CeType::gpu(0)));
+        assert!(n.has_ce(CeType::gpu(1)));
+        assert!(!n.has_ce(CeType::gpu(2)));
+        assert_eq!(n.ce(CeType::gpu(1)).unwrap().cores, 240);
+    }
+
+    #[test]
+    fn cpu_only_node() {
+        let n = NodeSpec::cpu_only(1.0, 4.0, 2, 100.0);
+        assert_eq!(n.gpu_count(), 0);
+        assert!(n.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "first CE must be the CPU")]
+    fn rejects_gpu_as_cpu() {
+        NodeSpec::new(CeSpec::gpu(0, 1.0, 1.0, 100), vec![], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate CE type")]
+    fn rejects_duplicate_gpu_types() {
+        NodeSpec::new(
+            CeSpec::cpu(1.0, 4.0, 2),
+            vec![CeSpec::gpu(0, 1.0, 1.0, 100), CeSpec::gpu(0, 2.0, 2.0, 200)],
+            10.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "GPU list must not contain a CPU")]
+    fn rejects_cpu_in_gpu_list() {
+        NodeSpec::new(CeSpec::cpu(1.0, 4.0, 2), vec![CeSpec::cpu(1.0, 4.0, 2)], 10.0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(sample().is_valid());
+        let mut n = sample();
+        n.disk = f64::INFINITY;
+        assert!(!n.is_valid());
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's scoring and decision functions (Equations 1–4, §III-B).
+//!
+//! * Eq. 1 — score of a **dedicated** CE: queue length / clock.
+//! * Eq. 2 — score of a **non-dedicated** CE: core utilization / clock.
+//! * Eq. 3 — job-pushing objective `F_D(N, C)` over aggregated load.
+//! * Eq. 4 — probabilistic stopping rule `P(N)`.
+//!
+//! Lower scores are better for Eqs. 1–3 ("these score functions prefer
+//! the least utilized node for the dominant CE type, relative to its CE
+//! clock speed").
+
+/// Eq. 1 — score of a dedicated CE (e.g. a 2011-era GPU that runs one
+/// job at a time): the number of running + queued jobs divided by the
+/// CE's clock speed.
+#[inline]
+pub fn score_dedicated(job_queue_size: usize, clock: f64) -> f64 {
+    debug_assert!(clock > 0.0);
+    job_queue_size as f64 / clock
+}
+
+/// Eq. 2 — score of a non-dedicated CE (e.g. a multi-core CPU): the
+/// fraction of cores required by running + waiting jobs, divided by the
+/// CE's clock speed.
+#[inline]
+pub fn score_non_dedicated(required_cores: u32, number_of_cores: u32, clock: f64) -> f64 {
+    debug_assert!(clock > 0.0);
+    debug_assert!(number_of_cores > 0);
+    (f64::from(required_cores) / f64::from(number_of_cores)) / clock
+}
+
+/// Eq. 3 — the objective minimized when choosing the dimension and
+/// target node to push a job toward:
+/// `F_D(N, C) = AI.SumOfRequiredCores / AI.NumberOfCores²`,
+/// where `AI` is the aggregated load information for CE type `C` beyond
+/// neighbor `N` along dimension `D`. The squared denominator makes
+/// regions with plentiful cores attractive even when moderately loaded.
+///
+/// An empty region (`number_of_cores == 0`) cannot host the job's
+/// dominant CE at all and scores `+inf`.
+#[inline]
+pub fn objective_fd(sum_of_required_cores: f64, number_of_cores: f64) -> f64 {
+    debug_assert!(sum_of_required_cores >= 0.0);
+    debug_assert!(number_of_cores >= 0.0);
+    if number_of_cores <= 0.0 {
+        f64::INFINITY
+    } else {
+        sum_of_required_cores / (number_of_cores * number_of_cores)
+    }
+}
+
+/// Eq. 4 — the probability that job pushing *stops* at the current
+/// node: `P(N) = 1 / (1 + AI_TD(N).NumberOfNodes)^SF`, where
+/// `number_of_nodes` counts nodes in the outer region along the chosen
+/// target dimension and `SF` is the stopping factor.
+///
+/// Few remaining candidate nodes ⇒ high stopping probability; a rich
+/// outer region ⇒ keep pushing. A larger stopping factor stops sooner.
+#[inline]
+pub fn stop_probability(number_of_nodes: u64, stopping_factor: f64) -> f64 {
+    debug_assert!(stopping_factor >= 0.0);
+    (1.0 + number_of_nodes as f64).powf(stopping_factor).recip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_prefers_short_queues_and_fast_clocks() {
+        // Idle CE scores 0 regardless of clock.
+        assert_eq!(score_dedicated(0, 1.0), 0.0);
+        // Same queue, faster clock wins (lower score).
+        assert!(score_dedicated(4, 2.0) < score_dedicated(4, 1.0));
+        // Same clock, shorter queue wins.
+        assert!(score_dedicated(1, 1.0) < score_dedicated(3, 1.0));
+        assert_eq!(score_dedicated(3, 1.5), 2.0);
+    }
+
+    #[test]
+    fn eq2_is_utilization_over_clock() {
+        // 4 of 8 cores required at clock 2.0 -> (0.5)/2 = 0.25
+        assert_eq!(score_non_dedicated(4, 8, 2.0), 0.25);
+        // Oversubscription pushes the score above 1/clock.
+        assert!(score_non_dedicated(16, 8, 1.0) > 1.0);
+        assert_eq!(score_non_dedicated(0, 8, 3.0), 0.0);
+    }
+
+    #[test]
+    fn eq3_prefers_many_cores_quadratically() {
+        // Same load, twice the cores -> 4x lower objective.
+        let small = objective_fd(10.0, 10.0);
+        let big = objective_fd(10.0, 20.0);
+        assert!((small / big - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_empty_region_is_infinitely_bad() {
+        assert_eq!(objective_fd(0.0, 0.0), f64::INFINITY);
+        assert_eq!(objective_fd(5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn eq3_idle_region_scores_zero() {
+        assert_eq!(objective_fd(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn eq4_matches_closed_form() {
+        // SF = 1: P = 1/(1+n)
+        assert!((stop_probability(0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((stop_probability(1, 1.0) - 0.5).abs() < 1e-12);
+        assert!((stop_probability(9, 1.0) - 0.1).abs() < 1e-12);
+        // SF = 2 stops sooner than SF = 1 for the same region.
+        assert!(stop_probability(9, 2.0) < stop_probability(9, 1.0));
+    }
+
+    #[test]
+    fn eq4_is_a_probability() {
+        for n in [0u64, 1, 5, 100, 10_000] {
+            for sf in [0.0, 0.5, 1.0, 2.0, 4.0] {
+                let p = stop_probability(n, sf);
+                assert!((0.0..=1.0).contains(&p), "P({n}, {sf}) = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_monotone_decreasing_in_nodes() {
+        let mut prev = f64::INFINITY;
+        for n in 0..50 {
+            let p = stop_probability(n, 1.5);
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the CE/node/job model.
+
+use pgrid_types::*;
+use proptest::prelude::*;
+
+fn arb_cpu() -> impl Strategy<Value = CeSpec> {
+    (0.1f64..4.0, 0.5f64..64.0, 1u32..16).prop_map(|(clock, mem, cores)| {
+        CeSpec::cpu(clock, mem, cores)
+    })
+}
+
+fn arb_gpu(slot: u8) -> impl Strategy<Value = CeSpec> {
+    (0.1f64..4.0, 0.5f64..8.0, 32u32..1024).prop_map(move |(clock, mem, cores)| {
+        CeSpec::gpu(slot, clock, mem, cores)
+    })
+}
+
+fn arb_node() -> impl Strategy<Value = NodeSpec> {
+    (
+        arb_cpu(),
+        prop::option::of(arb_gpu(0)),
+        prop::option::of(arb_gpu(1)),
+        1.0f64..4096.0,
+    )
+        .prop_map(|(cpu, g0, g1, disk)| {
+            let gpus: Vec<CeSpec> = [g0, g1].into_iter().flatten().collect();
+            NodeSpec::new(cpu, gpus, disk)
+        })
+}
+
+fn arb_req(ty: CeType) -> impl Strategy<Value = CeRequirement> {
+    (
+        prop::option::of(0.1f64..4.0),
+        prop::option::of(0.5f64..8.0),
+        prop::option::of(1u32..512),
+    )
+        .prop_map(move |(clock, mem, cores)| CeRequirement {
+            ce_type: ty,
+            min_clock: clock,
+            min_memory: mem,
+            min_cores: cores,
+        })
+}
+
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (
+        arb_req(CeType::CPU),
+        prop::option::of(arb_req(CeType::gpu(0))),
+        prop::option::of(0.1f64..1024.0),
+        60.0f64..7200.0,
+    )
+        .prop_map(|(cpu, gpu, disk, runtime)| {
+            let mut reqs = vec![cpu];
+            reqs.extend(gpu);
+            JobSpec::new(JobId(0), reqs, disk, runtime)
+        })
+}
+
+proptest! {
+    /// Node coordinates always live in [0, 1).
+    #[test]
+    fn node_coords_in_unit_interval(node in arb_node(), v in 0.0f64..0.999) {
+        let layout = DimensionLayout::with_dims(11);
+        for x in layout.node_coord(&node, v) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// Job coordinates always live in [0, 1) and are the origin for
+    /// unconstrained dimensions.
+    #[test]
+    fn job_coords_in_unit_interval(job in arb_job(), v in 0.0f64..0.999) {
+        let layout = DimensionLayout::with_dims(11);
+        let c = layout.job_coord(&job, v);
+        for x in &c {
+            prop_assert!((0.0..1.0).contains(x));
+        }
+        // GPU1 dims must be 0: the generator never constrains GPU1.
+        prop_assert_eq!(c[8], 0.0);
+        prop_assert_eq!(c[9], 0.0);
+        prop_assert_eq!(c[10], 0.0);
+    }
+
+    /// Strengthening a node's resources never breaks a job it already
+    /// satisfies (satisfaction is monotone in capability).
+    #[test]
+    fn satisfaction_is_monotone(node in arb_node(), job in arb_job(), boost in 1.0f64..3.0) {
+        if job.satisfied_by(&node) {
+            let stronger = NodeSpec::new(
+                {
+                    let mut c = node.cpu().clone();
+                    c.clock *= boost;
+                    c.memory *= boost;
+                    c.cores *= 2;
+                    c
+                },
+                node.ces()[1..]
+                    .iter()
+                    .map(|g| {
+                        let mut g = g.clone();
+                        g.clock *= boost;
+                        g.memory *= boost;
+                        g.cores *= 2;
+                        g
+                    })
+                    .collect(),
+                node.disk * boost,
+            );
+            prop_assert!(job.satisfied_by(&stronger));
+        }
+    }
+
+    /// The dominant CE is always one the job actually requires.
+    #[test]
+    fn dominant_ce_is_a_required_ce(job in arb_job()) {
+        let layout = DimensionLayout::with_dims(11);
+        let dom = layout.dominant_ce(&job);
+        prop_assert!(
+            job.req(dom).is_some() || (dom.is_cpu() && job.ce_reqs.is_empty())
+        );
+    }
+
+    /// Runtime scaling is exactly inverse in the clock.
+    #[test]
+    fn runtime_scaling_inverse(job in arb_job(), clock in 0.1f64..8.0) {
+        let r = job.runtime_on(clock);
+        prop_assert!((r * clock - job.nominal_runtime).abs() < 1e-6);
+    }
+
+    /// Eq. 1 and Eq. 2 are monotone: more load or less clock never
+    /// lowers the score.
+    #[test]
+    fn scores_are_monotone(
+        q in 0usize..50,
+        extra in 1usize..10,
+        clock in 0.1f64..4.0,
+        used in 0u32..32,
+        more in 1u32..8,
+        total in 1u32..33,
+    ) {
+        prop_assert!(
+            score::score_dedicated(q + extra, clock) >= score::score_dedicated(q, clock)
+        );
+        prop_assert!(
+            score::score_dedicated(q, clock * 2.0) <= score::score_dedicated(q, clock)
+        );
+        let total = total.max(1);
+        prop_assert!(
+            score::score_non_dedicated(used + more, total, clock)
+                >= score::score_non_dedicated(used, total, clock)
+        );
+    }
+
+    /// Eq. 4 is a probability, monotone decreasing in region size and
+    /// in the stopping factor.
+    #[test]
+    fn stop_probability_properties(n in 0u64..100_000, sf in 0.0f64..8.0) {
+        let p = score::stop_probability(n, sf);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(score::stop_probability(n + 1, sf) <= p);
+        prop_assert!(score::stop_probability(n, sf + 0.5) <= p + 1e-12);
+    }
+
+    /// Normalization round-trip: normalize is monotone and clamped.
+    #[test]
+    fn normalization_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let n = Normalization::paper_defaults();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            n.normalize(DimKind::CpuMemory, lo) <= n.normalize(DimKind::CpuMemory, hi)
+        );
+    }
+}

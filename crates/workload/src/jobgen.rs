@@ -1,0 +1,296 @@
+//! Synthetic job stream with the paper's constraint-ratio model.
+
+use pgrid_simcore::SimRng;
+use pgrid_types::{CeRequirement, CeType, JobId, JobSpec, NodeSpec};
+
+/// Job generator configuration.
+///
+/// Jobs come in *kinds*: CPU-bound jobs (no accelerator) and
+/// GPU-dominant jobs targeting one GPU family (the CUDA model of
+/// §III-B — "a job using the CUDA library may require a CPU and a GPU,
+/// but ... the majority of the computation is done on the GPU").
+/// A job's parallelism (its core requirement on the kind's CE) is
+/// always known; the remaining resources (clock, memory, disk) are
+/// each specified with probability equal to the **job constraint
+/// ratio**, the knob Figure 6 sweeps.
+#[derive(Debug, Clone)]
+pub struct JobGenConfig {
+    /// Number of GPU families jobs may ask for.
+    pub gpu_slots: u8,
+    /// Fraction of jobs that are CPU-bound (no accelerator). The rest
+    /// are GPU-dominant, split across families by [`Self::gpu_mix`].
+    pub cpu_fraction: f64,
+    /// Relative frequency of each GPU family among GPU jobs (defaults
+    /// mirror the node generator's attach rates).
+    pub gpu_mix: Vec<f64>,
+    /// The *job constraint ratio*: the probability that each optional
+    /// resource requirement is specified (paper §V-A).
+    pub constraint_ratio: f64,
+    /// Geometric decay of requirement-tier probabilities (requirements
+    /// skew low, like capabilities).
+    pub tier_decay: f64,
+    /// Mean inter-arrival time of the Poisson submission process,
+    /// seconds (the evaluation varies 2–4 s).
+    pub mean_interarrival: f64,
+    /// Runtime range at nominal clock, seconds (paper: 0.5–1.5 h).
+    pub runtime_range: (f64, f64),
+    /// Requirement tiers (subsets of the node capability tiers so that
+    /// top-end nodes can satisfy any single requirement).
+    pub cpu_clock_tiers: Vec<f64>,
+    /// CPU memory requirement tiers, GB.
+    pub cpu_memory_tiers: Vec<f64>,
+    /// Disk requirement tiers, GB.
+    pub disk_tiers: Vec<f64>,
+    /// CPU core requirement tiers.
+    pub cpu_core_tiers: Vec<u32>,
+    /// GPU clock requirement tiers.
+    pub gpu_clock_tiers: Vec<f64>,
+    /// GPU memory requirement tiers, GB.
+    pub gpu_memory_tiers: Vec<f64>,
+    /// GPU core requirement tiers.
+    pub gpu_core_tiers: Vec<u32>,
+}
+
+impl JobGenConfig {
+    /// Evaluation defaults for the given constraint ratio and mean
+    /// inter-arrival time.
+    pub fn paper_defaults(gpu_slots: u8, constraint_ratio: f64, mean_interarrival: f64) -> Self {
+        JobGenConfig {
+            gpu_slots,
+            cpu_fraction: if gpu_slots == 0 { 1.0 } else { 0.55 },
+            gpu_mix: vec![0.40, 0.25, 0.15][..gpu_slots as usize].to_vec(),
+            constraint_ratio,
+            tier_decay: 0.5,
+            mean_interarrival,
+            runtime_range: (1800.0, 5400.0),
+            cpu_clock_tiers: vec![1.0, 1.5, 2.0, 3.0],
+            cpu_memory_tiers: vec![2.0, 4.0, 8.0, 16.0],
+            disk_tiers: vec![64.0, 128.0, 256.0, 512.0],
+            cpu_core_tiers: vec![1, 2, 4],
+            gpu_clock_tiers: vec![1.0, 2.0, 3.0],
+            gpu_memory_tiers: vec![1.0, 2.0, 4.0],
+            gpu_core_tiers: vec![128, 240, 448],
+        }
+    }
+
+    fn maybe_f(&self, rng: &mut SimRng, tiers: &[f64]) -> Option<f64> {
+        rng.chance(self.constraint_ratio)
+            .then(|| tiers[rng.skewed_tier(tiers.len(), self.tier_decay)])
+    }
+
+    /// Samples one job spec (without arrival time).
+    pub fn sample(&self, id: JobId, rng: &mut SimRng) -> JobSpec {
+        let is_cpu_job = self.gpu_slots == 0 || rng.chance(self.cpu_fraction);
+        let min_disk = self.maybe_f(rng, &self.disk_tiers);
+        let mut ce_reqs = Vec::with_capacity(2);
+        if is_cpu_job {
+            // CPU-bound job: parallelism always known, other resources
+            // specified with the constraint ratio.
+            ce_reqs.push(CeRequirement {
+                ce_type: CeType::CPU,
+                min_clock: self.maybe_f(rng, &self.cpu_clock_tiers),
+                min_memory: self.maybe_f(rng, &self.cpu_memory_tiers),
+                min_cores: Some(
+                    self.cpu_core_tiers[rng.skewed_tier(self.cpu_core_tiers.len(), self.tier_decay)],
+                ),
+            });
+        } else {
+            // GPU-dominant job (CUDA model): one control thread on the
+            // CPU, the bulk of the requirements on one GPU family.
+            let slot = rng.weighted_choice(&self.gpu_mix) as u8;
+            ce_reqs.push(CeRequirement {
+                ce_type: CeType::CPU,
+                min_clock: None,
+                min_memory: None,
+                min_cores: Some(1),
+            });
+            ce_reqs.push(CeRequirement {
+                ce_type: CeType::gpu(slot),
+                min_clock: self.maybe_f(rng, &self.gpu_clock_tiers),
+                min_memory: self.maybe_f(rng, &self.gpu_memory_tiers),
+                min_cores: Some(
+                    self.gpu_core_tiers[rng.skewed_tier(self.gpu_core_tiers.len(), self.tier_decay)],
+                ),
+            });
+        }
+        let runtime = rng.uniform(self.runtime_range.0, self.runtime_range.1);
+        JobSpec::new(id, ce_reqs, min_disk, runtime)
+    }
+}
+
+/// A timed job stream: Poisson arrivals of sampled jobs, optionally
+/// rejection-resampled so every emitted job is satisfiable by at least
+/// one node of a reference population (keeping the simulation in the
+/// steady-state regime the paper requires).
+pub struct JobStream {
+    cfg: JobGenConfig,
+    rng: SimRng,
+    next_id: u32,
+    clock: f64,
+    population: Option<Vec<NodeSpec>>,
+    max_resample: usize,
+}
+
+impl JobStream {
+    /// A stream without satisfiability filtering.
+    pub fn new(cfg: JobGenConfig, seed: u64) -> Self {
+        JobStream {
+            cfg,
+            rng: SimRng::sub_stream(seed, 0x10B5),
+            next_id: 0,
+            clock: 0.0,
+            population: None,
+            max_resample: 64,
+        }
+    }
+
+    /// A stream that re-samples any job no node of `population` could
+    /// ever satisfy (at most 64 attempts, then the last sample is
+    /// emitted regardless and the caller's matchmaker must cope).
+    pub fn with_population(cfg: JobGenConfig, seed: u64, population: Vec<NodeSpec>) -> Self {
+        let mut s = Self::new(cfg, seed);
+        s.population = Some(population);
+        s
+    }
+
+    /// Draws the next `(arrival_time, job)` pair.
+    pub fn next_job(&mut self) -> (f64, JobSpec) {
+        self.clock += self.rng.exponential(self.cfg.mean_interarrival);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let mut job = self.cfg.sample(id, &mut self.rng);
+        if let Some(pop) = &self.population {
+            let mut tries = 0;
+            while tries < self.max_resample && !pop.iter().any(|n| job.satisfied_by(n)) {
+                job = self.cfg.sample(id, &mut self.rng);
+                tries += 1;
+            }
+        }
+        (self.clock, job)
+    }
+
+    /// Generates a complete batch of `n` jobs.
+    pub fn take_jobs(&mut self, n: usize) -> Vec<(f64, JobSpec)> {
+        (0..n).map(|_| self.next_job()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nodegen::{generate_nodes, NodeGenConfig};
+
+    fn cfg(ratio: f64) -> JobGenConfig {
+        JobGenConfig::paper_defaults(2, ratio, 3.0)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = JobStream::new(cfg(0.6), 9);
+        let mut b = JobStream::new(cfg(0.6), 9);
+        for _ in 0..50 {
+            let (ta, ja) = a.next_job();
+            let (tb, jb) = b.next_job();
+            assert_eq!(ta, tb);
+            assert_eq!(ja, jb);
+        }
+    }
+
+    #[test]
+    fn zero_ratio_jobs_only_specify_parallelism() {
+        let mut s = JobStream::new(cfg(0.0), 10);
+        for _ in 0..100 {
+            let (_, j) = s.next_job();
+            assert!(j.min_disk.is_none());
+            for r in &j.ce_reqs {
+                assert!(r.min_clock.is_none() && r.min_memory.is_none());
+                assert!(r.min_cores.is_some(), "parallelism is always known");
+            }
+        }
+    }
+
+    #[test]
+    fn full_ratio_jobs_are_heavily_constrained() {
+        let mut s = JobStream::new(cfg(1.0), 11);
+        for _ in 0..50 {
+            let (_, j) = s.next_job();
+            assert!(j.min_disk.is_some());
+            assert!(j.ce_reqs.len() <= 2, "CPU-bound, or CPU + one accelerator");
+            let target = j.ce_reqs.last().unwrap();
+            assert!(target.min_clock.is_some() && target.min_memory.is_some());
+        }
+    }
+
+    #[test]
+    fn job_kind_mix_matches_cpu_fraction() {
+        let mut s = JobStream::new(cfg(0.6), 12);
+        let mut cpu_jobs = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let (_, j) = s.next_job();
+            if j.ce_reqs.len() == 1 {
+                cpu_jobs += 1;
+            }
+        }
+        let frac = cpu_jobs as f64 / n as f64;
+        assert!((frac - 0.55).abs() < 0.04, "CPU-job fraction {frac}");
+    }
+
+    #[test]
+    fn runtimes_are_in_paper_range() {
+        let mut s = JobStream::new(cfg(0.5), 13);
+        for _ in 0..200 {
+            let (_, j) = s.next_job();
+            assert!((1800.0..5400.0).contains(&j.nominal_runtime));
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_increasing_with_correct_mean() {
+        let mut s = JobStream::new(cfg(0.5), 14);
+        let jobs = s.take_jobs(5000);
+        let mut prev = 0.0;
+        for (t, _) in &jobs {
+            assert!(*t >= prev);
+            prev = *t;
+        }
+        let mean_gap = jobs.last().unwrap().0 / 5000.0;
+        assert!(
+            (mean_gap - 3.0).abs() < 0.25,
+            "mean inter-arrival {mean_gap} should be ~3"
+        );
+    }
+
+    #[test]
+    fn population_filter_guarantees_satisfiability() {
+        let nodes = generate_nodes(&NodeGenConfig::paper_defaults(2), 200, 15);
+        let mut s = JobStream::with_population(cfg(0.8), 16, nodes.clone());
+        for _ in 0..300 {
+            let (_, j) = s.next_job();
+            assert!(
+                nodes.iter().any(|n| j.satisfied_by(n)),
+                "job {j:?} unsatisfiable"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_jobs_have_gpu_dominant_ce() {
+        // Every GPU-kind job (CPU + accelerator requirement) must be
+        // classified GPU-dominant by the paper's rule, and every
+        // CPU-bound job CPU-dominant.
+        let mut s = JobStream::new(cfg(1.0), 17);
+        let mut gpu_jobs = 0;
+        for _ in 0..200 {
+            let (_, j) = s.next_job();
+            let dom = j.dominant_ce(32.0, 512.0);
+            if j.ce_reqs.len() == 2 {
+                gpu_jobs += 1;
+                assert!(!dom.is_cpu(), "GPU job classified CPU-dominant: {j:?}");
+            } else {
+                assert!(dom.is_cpu(), "CPU job classified GPU-dominant: {j:?}");
+            }
+        }
+        assert!(gpu_jobs > 50, "expected a healthy share of GPU jobs");
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic workload generation matching the paper's evaluation setup
+//! (§V-A):
+//!
+//! * **Nodes** — "Each node potentially has a single-/multi-core CPU
+//!   (1, 2, 4 or 8 cores), and may include up to two different types of
+//!   GPU. [...] a high percentage of the nodes [...] have relatively
+//!   low resource capabilities [...] which is a common node capability
+//!   distribution in grid environments."
+//! * **Jobs** — "a job may specify requirements for all 10 distinct
+//!   resource types, \[but\] any of them may be omitted"; the *job
+//!   constraint ratio* is the probability each resource type is
+//!   specified. Runtimes are uniform in [0.5 h, 1.5 h] at nominal
+//!   clock; submissions form a Poisson process.
+//!
+//! Exact tier values are not printed in the paper; the defaults here
+//! are 2011-plausible desktop hardware and are recorded in
+//! `EXPERIMENTS.md` as reproduction parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jobgen;
+pub mod nodegen;
+pub mod profiles;
+pub mod trace;
+
+pub use jobgen::{JobGenConfig, JobStream};
+pub use nodegen::{generate_nodes, NodeGenConfig};
+pub use profiles::{default_scenario, EvictionConfig, LoadBalanceScenario};
+pub use trace::{read_jobs, read_nodes, write_jobs, write_nodes, TraceError};

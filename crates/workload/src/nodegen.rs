@@ -1,0 +1,208 @@
+//! Synthetic heterogeneous node population.
+
+use pgrid_simcore::SimRng;
+use pgrid_types::{CeSpec, NodeSpec};
+
+/// Tiered, skew-sampled node generator configuration.
+///
+/// Every capability is drawn from a small set of tiers with
+/// geometrically decreasing probability (decay < 1), reproducing the
+/// paper's "most nodes are weak" grid capability distribution.
+#[derive(Debug, Clone)]
+pub struct NodeGenConfig {
+    /// Number of GPU families the grid supports (0–3; the paper's
+    /// 11-dimensional experiments use 2).
+    pub gpu_slots: u8,
+    /// Probability that a node carries a GPU of each family
+    /// (independent per family; indexed by slot).
+    pub gpu_attach_prob: Vec<f64>,
+    /// Geometric decay of tier probabilities (smaller = more skew
+    /// toward the weakest tier).
+    pub tier_decay: f64,
+    /// CPU clock tiers, relative to nominal.
+    pub cpu_clock_tiers: Vec<f64>,
+    /// CPU memory tiers, GB.
+    pub cpu_memory_tiers: Vec<f64>,
+    /// Disk tiers, GB.
+    pub disk_tiers: Vec<f64>,
+    /// CPU core-count tiers (the paper's 1/2/4/8).
+    pub cpu_core_tiers: Vec<u32>,
+    /// GPU clock tiers, relative to nominal.
+    pub gpu_clock_tiers: Vec<f64>,
+    /// GPU memory tiers, GB.
+    pub gpu_memory_tiers: Vec<f64>,
+    /// GPU core-count tiers.
+    pub gpu_core_tiers: Vec<u32>,
+    /// Generate *shared* GPUs: non-dedicated CEs able to run several
+    /// concurrent jobs up to their core capacity. The paper notes this
+    /// as upcoming hardware ("the next version of Nvidia GPUs will run
+    /// multiple simultaneous jobs, but it is not yet available",
+    /// §III-B); enabling it explores that future. Default: false
+    /// (2011-era dedicated GPUs).
+    pub shared_gpus: bool,
+}
+
+impl NodeGenConfig {
+    /// The evaluation defaults: up to two GPU families, skew 0.55.
+    pub fn paper_defaults(gpu_slots: u8) -> Self {
+        assert!(gpu_slots <= 3, "at most 3 GPU families supported");
+        NodeGenConfig {
+            gpu_slots,
+            gpu_attach_prob: vec![0.40, 0.25, 0.15][..gpu_slots as usize].to_vec(),
+            tier_decay: 0.55,
+            cpu_clock_tiers: vec![1.0, 1.5, 2.0, 3.0, 4.0],
+            cpu_memory_tiers: vec![2.0, 4.0, 8.0, 16.0, 32.0],
+            disk_tiers: vec![64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0],
+            cpu_core_tiers: vec![1, 2, 4, 8],
+            gpu_clock_tiers: vec![1.0, 2.0, 3.0, 4.0],
+            gpu_memory_tiers: vec![1.0, 2.0, 4.0, 6.0],
+            gpu_core_tiers: vec![128, 240, 448, 512],
+            shared_gpus: false,
+        }
+    }
+
+    /// Variant with Fermi-style *shared* GPUs (see
+    /// [`NodeGenConfig::shared_gpus`]).
+    pub fn with_shared_gpus(mut self) -> Self {
+        self.shared_gpus = true;
+        self
+    }
+
+    /// A "dense" variant for dimension-scaling experiments: every node
+    /// carries every GPU family, so all CAN dimensions are populated
+    /// and splits exercise the full space.
+    pub fn dense(gpu_slots: u8) -> Self {
+        let mut cfg = Self::paper_defaults(gpu_slots);
+        cfg.gpu_attach_prob = vec![1.0; gpu_slots as usize];
+        cfg
+    }
+
+    fn pick_f(&self, rng: &mut SimRng, tiers: &[f64]) -> f64 {
+        tiers[rng.skewed_tier(tiers.len(), self.tier_decay)]
+    }
+
+    fn pick_u(&self, rng: &mut SimRng, tiers: &[u32]) -> u32 {
+        tiers[rng.skewed_tier(tiers.len(), self.tier_decay)]
+    }
+
+    /// Samples one node.
+    pub fn sample(&self, rng: &mut SimRng) -> NodeSpec {
+        let cpu = CeSpec::cpu(
+            self.pick_f(rng, &self.cpu_clock_tiers),
+            self.pick_f(rng, &self.cpu_memory_tiers),
+            self.pick_u(rng, &self.cpu_core_tiers),
+        );
+        let mut gpus = Vec::new();
+        for slot in 0..self.gpu_slots {
+            if rng.chance(self.gpu_attach_prob[slot as usize]) {
+                let mut gpu = CeSpec::gpu(
+                    slot,
+                    self.pick_f(rng, &self.gpu_clock_tiers),
+                    self.pick_f(rng, &self.gpu_memory_tiers),
+                    self.pick_u(rng, &self.gpu_core_tiers),
+                );
+                if self.shared_gpus {
+                    gpu.dedicated = false;
+                }
+                gpus.push(gpu);
+            }
+        }
+        let disk = self.pick_f(rng, &self.disk_tiers);
+        NodeSpec::new(cpu, gpus, disk)
+    }
+}
+
+/// Generates a population of `n` nodes.
+pub fn generate_nodes(cfg: &NodeGenConfig, n: usize, seed: u64) -> Vec<NodeSpec> {
+    let mut rng = SimRng::sub_stream(seed, 0x0DE5);
+    (0..n).map(|_| cfg.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_types::CeType;
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = NodeGenConfig::paper_defaults(2);
+        let a = generate_nodes(&cfg, 50, 7);
+        let b = generate_nodes(&cfg, 50, 7);
+        assert_eq!(a, b);
+        let c = generate_nodes(&cfg, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_nodes_valid() {
+        let cfg = NodeGenConfig::paper_defaults(2);
+        for n in generate_nodes(&cfg, 500, 1) {
+            assert!(n.is_valid());
+            assert!(n.gpu_count() <= 2);
+        }
+    }
+
+    #[test]
+    fn cpu_cores_come_from_paper_tiers() {
+        let cfg = NodeGenConfig::paper_defaults(2);
+        for n in generate_nodes(&cfg, 300, 2) {
+            assert!([1, 2, 4, 8].contains(&n.cpu().cores));
+        }
+    }
+
+    #[test]
+    fn capability_distribution_is_skewed_low() {
+        let cfg = NodeGenConfig::paper_defaults(0);
+        let nodes = generate_nodes(&cfg, 2000, 3);
+        let weak = nodes.iter().filter(|n| n.cpu().clock <= 1.5).count();
+        let strong = nodes.iter().filter(|n| n.cpu().clock >= 3.0).count();
+        assert!(
+            weak > 2 * strong,
+            "weak ({weak}) should far outnumber strong ({strong})"
+        );
+    }
+
+    #[test]
+    fn gpu_attachment_rates_follow_config() {
+        let cfg = NodeGenConfig::paper_defaults(2);
+        let nodes = generate_nodes(&cfg, 4000, 4);
+        let with_gpu0 = nodes.iter().filter(|n| n.has_ce(CeType::gpu(0))).count() as f64;
+        let with_gpu1 = nodes.iter().filter(|n| n.has_ce(CeType::gpu(1))).count() as f64;
+        let r0 = with_gpu0 / 4000.0;
+        let r1 = with_gpu1 / 4000.0;
+        assert!((r0 - 0.40).abs() < 0.05, "gpu0 rate {r0}");
+        assert!((r1 - 0.25).abs() < 0.05, "gpu1 rate {r1}");
+    }
+
+    #[test]
+    fn dense_population_has_every_gpu() {
+        let cfg = NodeGenConfig::dense(3);
+        for n in generate_nodes(&cfg, 100, 5) {
+            assert_eq!(n.gpu_count(), 3);
+        }
+    }
+
+    #[test]
+    fn shared_gpus_are_non_dedicated() {
+        let cfg = NodeGenConfig::dense(2).with_shared_gpus();
+        for n in generate_nodes(&cfg, 50, 9) {
+            for ce in n.ces() {
+                if !ce.ce_type.is_cpu() {
+                    assert!(!ce.dedicated, "shared GPUs must be non-dedicated");
+                }
+            }
+        }
+        // Default remains dedicated.
+        let cfg = NodeGenConfig::dense(2);
+        let n = &generate_nodes(&cfg, 1, 9)[0];
+        assert!(n.ces()[1].dedicated);
+    }
+
+    #[test]
+    fn zero_gpu_slots_yields_cpu_only_grid() {
+        let cfg = NodeGenConfig::paper_defaults(0);
+        for n in generate_nodes(&cfg, 100, 6) {
+            assert_eq!(n.gpu_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Working directly with the CAN substrate (paper §II-A, §IV): joins
+//! that split zones, the split-history take-over plan, graceful leaves
+//! vs crashes, heartbeat schemes, and broken-link accounting.
+//!
+//! This mirrors the paper's Figures 2 and 3 on a small 2-dimensional
+//! CAN you can print and follow.
+//!
+//! Run with: `cargo run --release --example can_membership`
+
+use p2p_ce_grid::prelude::*;
+
+fn main() {
+    // A 2-D CAN with the compact heartbeat scheme.
+    let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+
+    // Four nodes join at the quadrant centers: the split tree cuts the
+    // space like Figure 3 (vertical first, then horizontal).
+    let a = can.join(vec![0.25, 0.25]).unwrap();
+    let b = can.join(vec![0.75, 0.25]).unwrap();
+    let c = can.join(vec![0.25, 0.75]).unwrap();
+    let d = can.join(vec![0.75, 0.75]).unwrap();
+    println!("zones after four joins:");
+    for id in can.members() {
+        println!("  {id}: {:?}  neighbors {:?}", can.zone(id), can.true_neighbors(id));
+    }
+
+    // Take-over plans are predetermined by the split history —
+    // "node A and node C are take-over nodes for each other" (§IV-B).
+    println!("\ntake-over plans (who inherits whose zone; the compact");
+    println!("scheme sends full state exactly to these targets):");
+    for id in can.members() {
+        println!("  {id} -> {:?}", can.takeover_targets(id));
+    }
+
+    // Heartbeats run every 60 simulated seconds.
+    can.advance_to(can.now() + 180.0);
+    println!(
+        "\nafter 3 heartbeat rounds: {} messages sent, {} broken links",
+        can.accounting().total().messages,
+        can.broken_links()
+    );
+
+    // A graceful leave hands the zone to the sibling (Figure 3): b's
+    // zone merges back.
+    can.leave(b, true);
+    println!("\nafter {b} leaves gracefully:");
+    for id in can.members() {
+        println!("  {id}: {:?}", can.zone(id));
+    }
+    assert_eq!(can.broken_links(), 0, "graceful leaves repair instantly");
+
+    // A crash is only discovered via the failure timeout; the heir
+    // recovers from the victim's cached full heartbeat.
+    can.advance_to(can.now() + 120.0); // make sure caches are fresh
+    can.leave(d, false);
+    println!("\n{d} crashed; zone ownership transfers immediately in ground");
+    println!("truth, but neighbors only learn after the failure timeout:");
+    println!("  broken links right after the crash: {}", can.broken_links());
+    can.advance_to(can.now() + 200.0); // > fail_timeout
+    println!("  broken links after detection + take-over: {}", can.broken_links());
+
+    // Routing still reaches every point of the space.
+    let p = vec![0.9, 0.9];
+    let owner = can.owner_at(&p).unwrap();
+    let route = p2p_ce_grid::can::route(&can, a, &p).unwrap();
+    println!("\nrouting from {a} to {p:?}: owner {owner}, {} hops", route.hops);
+    assert_eq!(route.owner, owner);
+    let _ = c;
+}

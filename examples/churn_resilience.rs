@@ -1,0 +1,50 @@
+//! Failure resilience under churn (the paper's §IV / Figure 7 story):
+//! run the same high-churn workload under the three heartbeat schemes
+//! and watch broken links accumulate — vanilla repairs through
+//! redundancy, compact saves bytes but loses repair ability, adaptive
+//! recovers most of it with on-demand full updates.
+//!
+//! Run with: `cargo run --release --example churn_resilience`
+
+use p2p_ce_grid::prelude::*;
+
+fn main() {
+    let nodes = 200;
+    println!(
+        "11-dimensional CAN, {nodes} initial nodes, churn event every 10s\n\
+         (several events per 60s heartbeat period = the paper's high-churn regime)\n"
+    );
+    let mut reports = Vec::new();
+    for scheme in HeartbeatScheme::ALL {
+        let mut cfg = ChurnConfig::new(11, scheme, nodes).high_churn();
+        cfg.stage2_duration = 5000.0;
+        cfg.sample_interval = 500.0;
+        reports.push(run_churn(&cfg, uniform_coords(11)));
+    }
+
+    println!("broken links over time:");
+    println!("{:>8} {:>9} {:>9} {:>9}", "t(s)", "Vanilla", "Compact", "Adaptive");
+    let len = reports.iter().map(|r| r.broken_series.len()).min().unwrap();
+    for i in 0..len {
+        print!("{:>8.0}", reports[0].broken_series[i].time);
+        for r in &reports {
+            print!(" {:>9}", r.broken_series[i].broken_links);
+        }
+        println!();
+    }
+
+    println!("\nsteady state and protocol cost:");
+    for r in &reports {
+        println!(
+            "  {:>8}: {:6.1} broken links, {:8.1} KB/node/min heartbeat volume, {} on-demand full-update rounds",
+            r.scheme.label(),
+            r.steady_broken_links(),
+            r.kb_per_node_min,
+            r.full_update_rounds,
+        );
+    }
+    println!(
+        "\nAdaptive pays nearly compact's (low) cost while staying far closer to\n\
+         vanilla's resilience — the paper's §IV-C trade-off."
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a small heterogeneous P2P grid, submit a stream of
+//! jobs, and compare the paper's decentralized matchmaker (can-het)
+//! with the centralized baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use p2p_ce_grid::prelude::*;
+
+fn main() {
+    // The paper's default scenario is 1000 nodes / 20 000 jobs on an
+    // 11-dimensional CAN; scale it down 10x for a quick demo while
+    // keeping the same load level.
+    let mut scenario = default_scenario().scaled_down(10);
+    scenario.jobs = 2000;
+    println!(
+        "grid: {} heterogeneous nodes ({} CAN dimensions, up to {} GPU families)",
+        scenario.nodes,
+        scenario.dims,
+        scenario.gpu_slots()
+    );
+    println!(
+        "workload: {} jobs, Poisson arrivals every {:.0}s on average, constraint ratio {:.0}%\n",
+        scenario.jobs,
+        scenario.job_gen.mean_interarrival,
+        100.0 * scenario.job_gen.constraint_ratio
+    );
+
+    for choice in SchedulerChoice::ALL {
+        let result = run_load_balance(&scenario, choice);
+        let cdf = result.cdf();
+        println!(
+            "{:>8}: {:5.1}% of jobs started instantly; mean wait {:7.1}s; p99 wait {:8.1}s",
+            choice.label(),
+            100.0 * cdf.fraction_zero(),
+            result.mean_wait(),
+            cdf.quantile(0.99),
+        );
+    }
+
+    println!(
+        "\nThe decentralized heterogeneity-aware matchmaker (can-het) tracks the\n\
+         centralized scheduler with perfect information, while the CE-oblivious\n\
+         prior scheme (can-hom) falls behind — the paper's headline result."
+    );
+}

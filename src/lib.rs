@@ -1,0 +1,10 @@
+//! Root facade of the `p2p-ce-grid` workspace: re-exports the public
+//! API of the [`pgrid`] crate so examples and integration tests can use
+//! a single import path.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! the per-figure reproduction results.
+
+#![forbid(unsafe_code)]
+
+pub use pgrid::*;

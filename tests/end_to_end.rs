@@ -1,0 +1,114 @@
+//! End-to-end integration: the full pipeline from workload generation
+//! through CAN construction, matchmaking, execution, and metrics.
+
+use p2p_ce_grid::prelude::*;
+
+fn quick_scenario() -> LoadBalanceScenario {
+    let mut s = default_scenario().scaled_down(10); // 100 nodes
+    s.jobs = 1500;
+    s
+}
+
+#[test]
+fn every_scheduler_completes_the_workload() {
+    let s = quick_scenario();
+    for choice in SchedulerChoice::ALL {
+        let r = run_load_balance(&s, choice);
+        assert_eq!(r.wait_times.len(), s.jobs, "{}", choice.label());
+        assert!(
+            r.wait_times.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "{}: invalid wait times",
+            choice.label()
+        );
+        assert!(r.makespan > 0.0);
+    }
+}
+
+#[test]
+fn simulations_are_reproducible_across_runs() {
+    let s = quick_scenario();
+    for choice in SchedulerChoice::ALL {
+        let a = run_load_balance(&s, choice);
+        let b = run_load_balance(&s, choice);
+        assert_eq!(a.wait_times, b.wait_times, "{}", choice.label());
+        assert_eq!(a.fallback_placements, b.fallback_placements);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_workloads() {
+    let s = quick_scenario();
+    let a = run_load_balance(&s, SchedulerChoice::Central);
+    let b = run_load_balance(&s.clone().with_seed(999), SchedulerChoice::Central);
+    assert_ne!(a.wait_times, b.wait_times);
+}
+
+#[test]
+fn heavier_load_never_improves_waits() {
+    // Mean wait should not decrease when jobs arrive faster.
+    let light = quick_scenario().with_interarrival(60.0);
+    let heavy = quick_scenario().with_interarrival(20.0);
+    for choice in SchedulerChoice::ALL {
+        let l = run_load_balance(&light, choice);
+        let h = run_load_balance(&heavy, choice);
+        assert!(
+            h.mean_wait() >= l.mean_wait() * 0.9,
+            "{}: heavy {} < light {}",
+            choice.label(),
+            h.mean_wait(),
+            l.mean_wait()
+        );
+    }
+}
+
+#[test]
+fn tighter_constraints_never_improve_waits() {
+    let loose = quick_scenario().with_constraint_ratio(0.2);
+    let tight = quick_scenario().with_constraint_ratio(0.9);
+    for choice in SchedulerChoice::ALL {
+        let l = run_load_balance(&loose, choice);
+        let t = run_load_balance(&tight, choice);
+        assert!(
+            t.mean_wait() >= l.mean_wait() * 0.9,
+            "{}: tight {} < loose {}",
+            choice.label(),
+            t.mean_wait(),
+            l.mean_wait()
+        );
+    }
+}
+
+#[test]
+fn cdf_of_results_is_well_formed() {
+    let r = run_load_balance(&quick_scenario(), SchedulerChoice::CanHet);
+    let cdf = r.cdf();
+    assert_eq!(cdf.len(), 1500);
+    assert!(cdf.fraction_zero() > 0.0, "some jobs start instantly");
+    let curve = cdf.curve(cdf.max().unwrap().max(1.0), 50);
+    for w in curve.windows(2) {
+        assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+    }
+    assert!((curve.last().unwrap().1 - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn ablations_run_and_full_features_win_or_tie() {
+    let s = quick_scenario();
+    let full = run_load_balance_ablated(&s, HetFeatures::all());
+    let crippled = run_load_balance_ablated(
+        &s,
+        HetFeatures {
+            acceptable_nodes: false,
+            dominant_ce: false,
+            per_ce_ai: false,
+        },
+    );
+    // The full algorithm should not be substantially worse than the
+    // fully-ablated variant.
+    assert!(
+        full.mean_wait() <= crippled.mean_wait() * 1.2 + 60.0,
+        "full {} vs crippled {}",
+        full.mean_wait(),
+        crippled.mean_wait()
+    );
+}

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-crate invariants.
+
+use p2p_ce_grid::can::geom::Zone;
+use p2p_ce_grid::can::split_tree::SplitTree;
+use p2p_ce_grid::prelude::*;
+use p2p_ce_grid::sched::StaticGrid;
+use proptest::prelude::*;
+
+fn unit_point(dims: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..0.999, dims)
+}
+
+proptest! {
+    /// Splitting a zone partitions it: every point lands in exactly one
+    /// half, and volumes add up.
+    #[test]
+    fn zone_split_partitions(
+        p in unit_point(4),
+        dim in 0usize..4,
+        at in 0.05f64..0.95,
+    ) {
+        let z = Zone::unit(4);
+        let (lo, hi) = z.split(dim, at);
+        prop_assert!((lo.volume() + hi.volume() - z.volume()).abs() < 1e-12);
+        prop_assert_eq!(lo.contains(&p) as u8 + hi.contains(&p) as u8, 1);
+        prop_assert_eq!(lo.merge(&hi), Some(z));
+    }
+
+    /// Zone abutment is symmetric and never holds for overlapping or
+    /// identical zones.
+    #[test]
+    fn zone_abutment_symmetry(
+        a_lo in unit_point(3),
+        b_lo in unit_point(3),
+        side in 0.05f64..0.4,
+    ) {
+        let mk = |lo: &[f64]| {
+            Zone::from_bounds(
+                lo.to_vec(),
+                lo.iter().map(|x| x + side).collect(),
+            )
+        };
+        let a = mk(&a_lo);
+        let b = mk(&b_lo);
+        prop_assert_eq!(a.abuts(&b), b.abuts(&a));
+        prop_assert!(!a.abuts(&a), "a zone never abuts itself");
+    }
+
+    /// The split tree keeps zones partitioning the space and ownership
+    /// lookups consistent through arbitrary join/leave sequences.
+    #[test]
+    fn split_tree_partition_under_churn(ops in prop::collection::vec((unit_point(3), any::<bool>()), 1..60)) {
+        let mut tree = SplitTree::new(3, NodeId(0));
+        let mut coords = vec![(NodeId(0), vec![0.01, 0.01, 0.01])];
+        let mut next = 1u32;
+        for (p, join) in ops {
+            if join || tree.len() <= 1 {
+                let host = tree.owner_at(&p).unwrap();
+                let hc = coords.iter().find(|(n, _)| *n == host).unwrap().1.clone();
+                let zone = tree.zone(host).clone();
+                let plane = if zone.contains(&hc) {
+                    p2p_ce_grid::can::split_tree::choose_split_plane(&zone, &hc, &p)
+                } else {
+                    Some(p2p_ce_grid::can::split_tree::choose_split_plane_free(&zone))
+                };
+                if let Some((dim, at)) = plane {
+                    let id = NodeId(next);
+                    next += 1;
+                    tree.split(host, &hc, id, &p, dim, at);
+                    coords.push((id, p));
+                }
+            } else {
+                let victim = tree.members().min().unwrap();
+                tree.remove(victim);
+                coords.retain(|(n, _)| *n != victim);
+            }
+            tree.check_invariants();
+        }
+        // Ownership is total: every probe point has exactly one owner.
+        let probe = vec![0.37, 0.91, 0.12];
+        prop_assert!(tree.owner_at(&probe).is_some());
+    }
+
+    /// A generated job is satisfied by a node if and only if the
+    /// node's coordinate dominates the job's coordinate on every real
+    /// dimension (the CAN-routing correctness property of §II-B).
+    #[test]
+    fn satisfaction_matches_coordinate_dominance(node_seed in 0u64..5000, job_seed in 0u64..5000) {
+        let layout = DimensionLayout::with_dims(11);
+        let mut nrng = SimRng::seed_from_u64(node_seed);
+        let mut jrng = SimRng::seed_from_u64(job_seed);
+        let node = NodeGenConfig::paper_defaults(2).sample(&mut nrng);
+        let job = JobGenConfig::paper_defaults(2, 0.7, 3.0).sample(JobId(0), &mut jrng);
+        let nc = layout.node_coord(&node, 0.5);
+        let jc = layout.job_coord(&job, 0.5);
+        let dominates = (0..layout.dims())
+            .filter(|&d| d != DimensionLayout::VIRTUAL_DIM)
+            .all(|d| nc[d] >= jc[d]);
+        prop_assert_eq!(
+            job.satisfied_by(&node),
+            dominates,
+            "node {:?} vs job {:?}",
+            node,
+            job
+        );
+    }
+
+    /// Event queue pops are globally time-ordered regardless of the
+    /// scheduling order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(*t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// CDF quantile and fraction_at are inverse-consistent.
+    #[test]
+    fn cdf_quantile_consistency(samples in prop::collection::vec(0.0f64..1e5, 1..200), q in 0.01f64..1.0) {
+        let cdf = Cdf::new(samples);
+        let x = cdf.quantile(q);
+        prop_assert!(cdf.fraction_at(x) >= q - 1e-9);
+    }
+
+    /// Summary::merge is equivalent to sequential accumulation.
+    #[test]
+    fn summary_merge_associative(xs in prop::collection::vec(-1e3f64..1e3, 2..100), split in 1usize..99) {
+        let split = split.min(xs.len() - 1);
+        let whole = Summary::from_iter(xs.iter().copied());
+        let mut a = Summary::from_iter(xs[..split].iter().copied());
+        let b = Summary::from_iter(xs[split..].iter().copied());
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated population builds a valid static grid whose zones
+    /// partition the space and contain their owners' coordinates, and
+    /// routing always finds the owner.
+    #[test]
+    fn static_grid_builds_from_any_population(seed in 0u64..1000, n in 10usize..80) {
+        let layout = DimensionLayout::with_dims(8);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(1), n, seed);
+        let grid = StaticGrid::build(layout, pop, seed);
+        grid.check_invariants();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..5 {
+            let p: Vec<f64> = (0..8).map(|_| rng.unit() * 0.99).collect();
+            let r = grid.route_to(NodeId(0), &p);
+            prop_assert_eq!(r.owner, grid.owner_at(&p));
+        }
+    }
+}
