@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the CAN substrate: joins, routing, heartbeat
 //! rounds, churn-event processing and the broken-link metric.
+//!
+//! Plain stopwatch harness (run with `cargo bench --bench can_ops`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pgrid::prelude::*;
+use pgrid_bench::stopwatch::bench;
 
 fn build_can(n: usize, d: usize, scheme: HeartbeatScheme) -> CanSim {
     let mut sim = CanSim::new(ProtocolConfig::new(d, scheme));
@@ -18,84 +20,63 @@ fn build_can(n: usize, d: usize, scheme: HeartbeatScheme) -> CanSim {
     sim
 }
 
-fn bench_join(c: &mut Criterion) {
-    let mut g = c.benchmark_group("can");
-    g.sample_size(20);
-    g.bench_function("join_500_nodes_11d", |b| {
-        b.iter(|| build_can(500, 11, HeartbeatScheme::Compact).len())
+fn bench_join() {
+    bench("can/join_500_nodes_11d", 3, || {
+        build_can(500, 11, HeartbeatScheme::Compact).len()
     });
-    g.finish();
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing() {
     let sim = build_can(1000, 11, HeartbeatScheme::Vanilla);
     let members = sim.members();
     let mut rng = SimRng::seed_from_u64(11);
-    c.bench_function("can/route_1000_nodes_11d", |b| {
-        b.iter(|| {
-            let p: Vec<f64> = (0..11).map(|_| rng.unit()).collect();
-            let start = members[rng.below(members.len())];
-            pgrid::can::route(&sim, start, &p).unwrap().hops
-        })
+    bench("can/route_1000_nodes_11d", 2000, || {
+        let p: Vec<f64> = (0..11).map(|_| rng.unit()).collect();
+        let start = members[rng.below(members.len())];
+        pgrid::can::route(&sim, start, &p).unwrap().hops
     });
 }
 
-fn bench_heartbeat_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("can/heartbeat_period_500_nodes");
-    group.sample_size(10);
+fn bench_heartbeat_round() {
     for scheme in HeartbeatScheme::ALL {
-        group.bench_function(scheme.label(), |b| {
-            b.iter_batched(
-                || build_can(500, 11, scheme),
-                |mut sim| {
-                    let t = sim.now() + 60.0;
-                    sim.advance_to(t);
-                    sim.len()
-                },
-                BatchSize::PerIteration,
-            )
+        let label = format!("can/heartbeat_period_500_nodes/{}", scheme.label());
+        bench(&label, 3, || {
+            let mut sim = build_can(500, 11, scheme);
+            let t = sim.now() + 60.0;
+            sim.advance_to(t);
+            sim.len()
         });
     }
-    group.finish();
 }
 
-fn bench_churn_event(c: &mut Criterion) {
-    let mut g = c.benchmark_group("can_churn");
-    g.sample_size(10);
-    g.bench_function("churn_event_300_nodes_11d", |b| {
-        b.iter_batched(
-            || (build_can(300, 11, HeartbeatScheme::Adaptive), SimRng::seed_from_u64(3)),
-            |(mut sim, mut rng)| {
-                for _ in 0..10 {
-                    sim.advance_to(sim.now() + 10.0);
-                    if rng.chance(0.5) {
-                        let _ = sim.join((0..11).map(|_| rng.unit()).collect());
-                    } else {
-                        let m = sim.members();
-                        sim.leave(m[rng.below(m.len())], rng.chance(0.5));
-                    }
-                }
-                sim.len()
-            },
-            BatchSize::PerIteration,
-        )
+fn bench_churn_event() {
+    bench("can_churn/churn_event_300_nodes_11d", 3, || {
+        let mut sim = build_can(300, 11, HeartbeatScheme::Adaptive);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10 {
+            sim.advance_to(sim.now() + 10.0);
+            if rng.chance(0.5) {
+                let _ = sim.join((0..11).map(|_| rng.unit()).collect());
+            } else {
+                let m = sim.members();
+                sim.leave(m[rng.below(m.len())], rng.chance(0.5));
+            }
+        }
+        sim.len()
     });
-    g.finish();
 }
 
-fn bench_broken_links_metric(c: &mut Criterion) {
+fn bench_broken_links_metric() {
     let sim = build_can(1000, 11, HeartbeatScheme::Compact);
-    c.bench_function("can/broken_links_metric_1000_nodes", |b| {
-        b.iter(|| sim.broken_links())
+    bench("can/broken_links_metric_1000_nodes", 200, || {
+        sim.broken_links()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_join,
-    bench_routing,
-    bench_heartbeat_round,
-    bench_churn_event,
-    bench_broken_links_metric
-);
-criterion_main!(benches);
+fn main() {
+    bench_join();
+    bench_routing();
+    bench_heartbeat_round();
+    bench_churn_event();
+    bench_broken_links_metric();
+}

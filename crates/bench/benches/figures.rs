@@ -1,83 +1,68 @@
 //! One benchmark per paper figure: times a reduced-scale regeneration
 //! of each experiment, so `cargo bench` exercises every figure's full
 //! code path. (The full-scale tables come from the fig* binaries.)
+//!
+//! Plain stopwatch harness (run with `cargo bench --bench figures`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pgrid::experiments;
 use pgrid::prelude::*;
+use pgrid_bench::stopwatch::bench;
 
-fn bench_fig5_cell(c: &mut Criterion) {
+fn bench_fig5_cell() {
     // One Figure 5 cell (3 s inter-arrival) at reduced scale, all
     // three schedulers.
     let mut s = default_scenario().scaled_down(20); // 50 nodes
     s.jobs = 500;
-    let mut group = c.benchmark_group("figures/fig5_cell_50_nodes");
-    group.sample_size(10);
     for choice in SchedulerChoice::ALL {
-        group.bench_function(choice.label(), |b| {
-            b.iter(|| run_load_balance(&s, choice).mean_wait())
-        });
+        let label = format!("figures/fig5_cell_50_nodes/{}", choice.label());
+        bench(&label, 3, || run_load_balance(&s, choice).mean_wait());
     }
-    group.finish();
 }
 
-fn bench_fig6_cell(c: &mut Criterion) {
+fn bench_fig6_cell() {
     let mut s = default_scenario().scaled_down(20).with_constraint_ratio(0.8);
     s.jobs = 500;
-    let mut group = c.benchmark_group("figures/fig6_cell_ratio80");
-    group.sample_size(10);
-    group.bench_function("can-het", |b| {
-        b.iter(|| run_load_balance(&s, SchedulerChoice::CanHet).mean_wait())
+    bench("figures/fig6_cell_ratio80/can-het", 3, || {
+        run_load_balance(&s, SchedulerChoice::CanHet).mean_wait()
     });
-    group.finish();
 }
 
-fn bench_fig7_series(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures/fig7_churn_100_nodes");
-    group.sample_size(10);
+fn bench_fig7_series() {
     for scheme in HeartbeatScheme::ALL {
-        group.bench_function(scheme.label(), |b| {
-            b.iter(|| {
-                let mut cfg = ChurnConfig::new(11, scheme, 100).high_churn();
-                cfg.stage2_duration = 1000.0;
-                cfg.sample_interval = 250.0;
-                run_churn(&cfg, uniform_coords(11)).steady_broken_links()
-            })
+        let label = format!("figures/fig7_churn_100_nodes/{}", scheme.label());
+        bench(&label, 3, || {
+            let mut cfg = ChurnConfig::new(11, scheme, 100).high_churn();
+            cfg.stage2_duration = 1000.0;
+            cfg.sample_interval = 250.0;
+            run_churn(&cfg, uniform_coords(11)).steady_broken_links()
         });
     }
-    group.finish();
 }
 
-fn bench_fig8_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures/fig8_cell_100_nodes_11d");
-    group.sample_size(10);
+fn bench_fig8_cell() {
     for scheme in HeartbeatScheme::ALL {
-        group.bench_function(scheme.label(), |b| {
-            b.iter(|| {
-                let mut cfg = ChurnConfig::new(11, scheme, 100);
-                cfg.event_gap = 2.0 * cfg.heartbeat_period;
-                cfg.stage2_duration = 600.0;
-                cfg.sample_interval = 600.0;
-                run_churn(&cfg, uniform_coords(11)).kb_per_node_min
-            })
+        let label = format!("figures/fig8_cell_100_nodes_11d/{}", scheme.label());
+        bench(&label, 3, || {
+            let mut cfg = ChurnConfig::new(11, scheme, 100);
+            cfg.event_gap = 2.0 * cfg.heartbeat_period;
+            cfg.stage2_duration = 600.0;
+            cfg.sample_interval = 600.0;
+            run_churn(&cfg, uniform_coords(11)).kb_per_node_min
         });
     }
-    group.finish();
 }
 
-fn bench_scaling_exponent(c: &mut Criterion) {
+fn bench_scaling_exponent() {
     let pts: Vec<(f64, f64)> = (1..=14).map(|i| (i as f64, (i * i) as f64)).collect();
-    c.bench_function("figures/scaling_exponent_fit", |b| {
-        b.iter(|| experiments::scaling_exponent(&pts))
+    bench("figures/scaling_exponent_fit", 10_000, || {
+        experiments::scaling_exponent(&pts)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fig5_cell,
-    bench_fig6_cell,
-    bench_fig7_series,
-    bench_fig8_cell,
-    bench_scaling_exponent
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig5_cell();
+    bench_fig6_cell();
+    bench_fig7_series();
+    bench_fig8_cell();
+    bench_scaling_exponent();
+}

@@ -1,10 +1,12 @@
 //! Matchmaking latency per job for the three schedulers on a
 //! 1000-node, 11-dimensional grid (the Figure 5/6 configuration).
+//!
+//! Plain stopwatch harness (run with `cargo bench --bench matchmaking`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pgrid::prelude::*;
 use pgrid::sched::StaticGrid;
 use pgrid::types::DimensionLayout;
+use pgrid_bench::stopwatch::bench;
 
 fn setup() -> (StaticGrid, Vec<JobSpec>) {
     let scenario = default_scenario();
@@ -20,20 +22,17 @@ fn setup() -> (StaticGrid, Vec<JobSpec>) {
     (grid, jobs)
 }
 
-fn bench_place(c: &mut Criterion) {
+fn bench_place() {
     let (grid, jobs) = setup();
-    let mut group = c.benchmark_group("matchmaking/place_1000_nodes");
     {
         let mut m = PushingMatchmaker::heterogeneous(&grid, PushParams::default());
         m.refresh(&grid, 0.0);
         let mut rng = SimRng::seed_from_u64(1);
         let mut i = 0usize;
-        group.bench_function("can-het", |b| {
-            b.iter(|| {
-                let j = &jobs[i % jobs.len()];
-                i += 1;
-                m.place(&grid, j, &mut rng).node
-            })
+        bench("matchmaking/place_1000_nodes/can-het", 5000, || {
+            let j = &jobs[i % jobs.len()];
+            i += 1;
+            m.place(&grid, j, &mut rng).node
         });
     }
     {
@@ -41,40 +40,35 @@ fn bench_place(c: &mut Criterion) {
         m.refresh(&grid, 0.0);
         let mut rng = SimRng::seed_from_u64(2);
         let mut i = 0usize;
-        group.bench_function("can-hom", |b| {
-            b.iter(|| {
-                let j = &jobs[i % jobs.len()];
-                i += 1;
-                m.place(&grid, j, &mut rng).node
-            })
+        bench("matchmaking/place_1000_nodes/can-hom", 5000, || {
+            let j = &jobs[i % jobs.len()];
+            i += 1;
+            m.place(&grid, j, &mut rng).node
         });
     }
     {
         let mut m = CentralMatchmaker;
         let mut rng = SimRng::seed_from_u64(3);
         let mut i = 0usize;
-        group.bench_function("central", |b| {
-            b.iter(|| {
-                let j = &jobs[i % jobs.len()];
-                i += 1;
-                m.place(&grid, j, &mut rng).node
-            })
+        bench("matchmaking/place_1000_nodes/central", 5000, || {
+            let j = &jobs[i % jobs.len()];
+            i += 1;
+            m.place(&grid, j, &mut rng).node
         });
     }
-    group.finish();
 }
 
-fn bench_ai_refresh(c: &mut Criterion) {
+fn bench_ai_refresh() {
     let (grid, _) = setup();
     let mut m = PushingMatchmaker::heterogeneous(&grid, PushParams::default());
-    c.bench_function("matchmaking/ai_refresh_1000_nodes", |b| {
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 60.0;
-            m.refresh(&grid, t);
-        })
+    let mut t = 0.0;
+    bench("matchmaking/ai_refresh_1000_nodes", 200, || {
+        t += 60.0;
+        m.refresh(&grid, t);
     });
 }
 
-criterion_group!(benches, bench_place, bench_ai_refresh);
-criterion_main!(benches);
+fn main() {
+    bench_place();
+    bench_ai_refresh();
+}

@@ -16,7 +16,6 @@
 use crate::can::{run_churn, uniform_coords, ChurnConfig, ChurnReport, HeartbeatScheme};
 use crate::sched::{run_load_balance, SchedulerChoice, SimResult};
 use crate::workload::{default_scenario, LoadBalanceScenario};
-use parking_lot::Mutex;
 
 /// Experiment scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,27 +28,59 @@ pub enum Scale {
 
 /// Runs `configs.len()` independent jobs in parallel, preserving input
 /// order in the output.
+///
+/// Work distribution is an atomic claim counter: each worker claims
+/// the next unclaimed index with one `fetch_add` and takes the config
+/// out of that index's private slot, so there is no shared work-queue
+/// lock and no lock on a results vector — workers accumulate `(index,
+/// result)` pairs locally and the pairs are merged after the joins.
 fn parallel_map<C: Send, R: Send>(configs: Vec<C>, f: impl Fn(C) -> R + Sync) -> Vec<R> {
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..configs.len()).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, C)>> = Mutex::new(configs.into_iter().enumerate().collect());
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = configs.len();
     let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(|t| t.get())
         .unwrap_or(4)
-        .min(16);
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let item = work.lock().pop();
-                let Some((i, cfg)) = item else { break };
-                let r = f(cfg);
-                results.lock()[i] = Some(r);
-            });
+        .min(16)
+        .min(n);
+    if threads <= 1 {
+        return configs.into_iter().map(f).collect();
+    }
+    // One slot per config; each is locked exactly once by the claiming
+    // worker (claims never collide), so the mutexes are uncontended.
+    let slots: Vec<std::sync::Mutex<Option<C>>> = configs
+        .into_iter()
+        .map(|c| std::sync::Mutex::new(Some(c)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let mut merged: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let cfg = slots[i]
+                            .lock()
+                            .expect("work slot poisoned")
+                            .take()
+                            .expect("slot claimed twice");
+                        local.push((i, f(cfg)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                merged[i] = Some(r);
+            }
         }
-    })
-    .expect("worker panicked");
-    results
-        .into_inner()
+    });
+    merged
         .into_iter()
         .map(|r| r.expect("all work items completed"))
         .collect()

@@ -66,7 +66,7 @@ pub mod prelude {
         Normalization,
     };
     pub use crate::workload::{
-        default_scenario, generate_nodes, JobGenConfig, JobStream, LoadBalanceScenario,
-        NodeGenConfig,
+        default_scenario, generate_nodes, EvictionConfig, JobGenConfig, JobStream,
+        LoadBalanceScenario, NodeGenConfig,
     };
 }

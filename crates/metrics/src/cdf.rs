@@ -95,7 +95,14 @@ impl Cdf {
         assert!(points >= 2);
         (0..points)
             .map(|i| {
-                let x = x_max * i as f64 / (points - 1) as f64;
+                // Pin the endpoint: x_max * i / (points - 1) can round
+                // below x_max at i = points - 1, silently excluding the
+                // maximal sample from the final curve point.
+                let x = if i == points - 1 {
+                    x_max
+                } else {
+                    x_max * i as f64 / (points - 1) as f64
+                };
                 (x, 100.0 * self.fraction_at(x))
             })
             .collect()

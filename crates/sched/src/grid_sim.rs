@@ -78,6 +78,12 @@ pub struct SimResult {
     /// Jobs killed by evictions and resubmitted (their wait time is
     /// measured from the final placement).
     pub resubmissions: u64,
+    /// Node that ran each job (its final placement, for jobs that were
+    /// evicted and resubmitted), indexed like `wait_times`.
+    pub placed_nodes: Vec<NodeId>,
+    /// Total events processed by the simulation loop — the numerator
+    /// of the events/sec throughput metric.
+    pub events_fired: u64,
 }
 
 impl SimResult {
@@ -198,6 +204,7 @@ fn run_with(
         jobs.iter().enumerate().map(|(i, (_, j))| (j.id, i)).collect();
     assert_eq!(index_of.len(), jobs.len(), "job ids must be unique");
     let mut wait_times: Vec<f64> = vec![f64::NAN; jobs.len()];
+    let mut placed_nodes: Vec<NodeId> = vec![NodeId(0); jobs.len()];
     let mut placed_at: Vec<f64> = vec![0.0; jobs.len()];
     let mut dominant_clock: Vec<f64> = vec![1.0; jobs.len()];
     let mut route_hops = Summary::new();
@@ -242,6 +249,7 @@ fn run_with(
                 route_hops.add(rh as f64);
                 pushes.add(ps as f64);
                 fallbacks += u64::from(fallback);
+                placed_nodes[idx as usize] = node;
                 placed_at[idx as usize] = now;
                 let ce = grid.layout().dominant_ce(job);
                 dominant_clock[idx as usize] = grid
@@ -337,6 +345,8 @@ fn run_with(
         node_busy_seconds,
         evictions,
         resubmissions,
+        placed_nodes,
+        events_fired: queue.fired(),
     }
 }
 

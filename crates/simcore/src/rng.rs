@@ -1,14 +1,12 @@
 //! Seedable randomness and the hand-rolled distributions the synthetic
 //! workload model needs.
 //!
-//! Everything is built on [`rand::rngs::StdRng`] seeded explicitly, so
-//! that a `(seed, configuration)` pair fully determines a simulation.
-//! Distributions are implemented here rather than pulled from
-//! `rand_distr` to keep the dependency footprint to the approved list
-//! and the sampling algorithms stable across dependency upgrades.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! Everything is built on a vendored xoshiro256++ generator seeded
+//! explicitly, so that a `(seed, configuration)` pair fully determines
+//! a simulation with **zero external dependencies**: the sampling
+//! algorithms can never shift underneath us through a crate upgrade,
+//! and the workspace builds in fully offline environments.
+//! Distributions are implemented here for the same reason.
 
 /// The workspace's random number generator.
 ///
@@ -21,7 +19,8 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    /// xoshiro256++ state (never all-zero: seeded via SplitMix64).
+    s: [u64; 4],
 }
 
 /// SplitMix64 step — used to derive independent sub-stream seeds from a
@@ -43,11 +42,19 @@ pub fn sub_seed(master: u64, stream: u64) -> u64 {
 }
 
 impl SimRng {
-    /// A generator seeded from a 64-bit seed.
+    /// A generator seeded from a 64-bit seed (state expanded with
+    /// SplitMix64, the reference seeding procedure for xoshiro).
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(x.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+        };
+        let s = [next(), next(), next(), next()];
+        // SplitMix64 output over distinct inputs is never all-zero in
+        // practice; guard anyway so the generator cannot degenerate.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        SimRng { s }
     }
 
     /// An independent sub-stream generator (see [`sub_seed`]).
@@ -55,10 +62,10 @@ impl SimRng {
         SimRng::seed_from_u64(sub_seed(master, stream))
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` (53 random mantissa bits).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -68,11 +75,12 @@ impl SimRng {
         lo + (hi - lo) * self.unit()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (widening-multiply range reduction;
+    /// the modulo bias is below 2⁻⁶⁴·n — immaterial for simulation).
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -140,10 +148,24 @@ impl SimRng {
         }
     }
 
-    /// Raw 64-bit output (for deriving ids, virtual coordinates, ...).
+    /// Raw 64-bit output (for deriving ids, virtual coordinates, ...):
+    /// one xoshiro256++ step.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
     }
 }
 
