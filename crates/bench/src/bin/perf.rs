@@ -1,0 +1,199 @@
+//! Perf-regression harness for the matchmaking hot path.
+//!
+//! Runs the quick-scale Figure 5 / Figure 6 / Figure 7 cells
+//! *single-threaded* (one simulation at a time, so wall-clock numbers
+//! are not confounded by scheduling) and reports wall-clock plus
+//! events/sec for each, then writes `BENCH_hotpath.json` at the repo
+//! root.
+//!
+//! Baseline protocol: the first ever run records itself as the
+//! baseline; every later run preserves the `baseline` object from the
+//! existing file verbatim and reports its speedup against it. To
+//! re-baseline, delete the file and run twice (before/after).
+
+use pgrid::prelude::*;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Cell {
+    name: String,
+    wall_secs: f64,
+    /// Simulation events fired (0 for churn cells, which don't count).
+    events: u64,
+}
+
+impl Cell {
+    fn events_per_sec(&self) -> Option<f64> {
+        (self.events > 0).then(|| self.events as f64 / self.wall_secs)
+    }
+}
+
+fn quick_scenario() -> LoadBalanceScenario {
+    // Mirrors experiments::fig5/fig6 Quick scale: 100 nodes, 2000 jobs.
+    let mut s = default_scenario().scaled_down(10);
+    s.jobs = 2000;
+    s
+}
+
+fn run_wait_cell(name: String, sc: &LoadBalanceScenario, choice: SchedulerChoice) -> Cell {
+    let t = Instant::now();
+    let r = run_load_balance(sc, choice);
+    Cell {
+        name,
+        wall_secs: t.elapsed().as_secs_f64(),
+        events: r.events_fired,
+    }
+}
+
+fn main() {
+    let out = repo_root_json();
+    println!("=== Hot-path perf harness (quick-scale fig5/fig6/fig7, single-threaded) ===\n");
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Figure 5: inter-arrival sweep at constraint ratio 0.6.
+    let base = quick_scenario();
+    let factor = base.job_gen.mean_interarrival / 3.0;
+    for ia in [2.0, 3.0, 4.0] {
+        let sc = base.clone().with_interarrival(ia * factor);
+        for choice in SchedulerChoice::ALL {
+            cells.push(run_wait_cell(
+                format!("fig5/ia{ia:.0}/{}", choice.label()),
+                &sc,
+                choice,
+            ));
+            report(cells.last().unwrap());
+        }
+    }
+
+    // Figure 6: constraint-ratio sweep at inter-arrival 3 s.
+    for ratio in [0.8, 0.6, 0.4] {
+        let sc = base.clone().with_constraint_ratio(ratio);
+        for choice in SchedulerChoice::ALL {
+            cells.push(run_wait_cell(
+                format!("fig6/r{:02}/{}", (ratio * 100.0) as u32, choice.label()),
+                &sc,
+                choice,
+            ));
+            report(cells.last().unwrap());
+        }
+    }
+
+    // Figure 7: high-churn broken links, 11-d CAN, one cell per scheme.
+    for scheme in HeartbeatScheme::ALL {
+        let mut cfg = ChurnConfig::new(11, scheme, 150).high_churn();
+        cfg.stage2_duration = 3000.0;
+        cfg.sample_interval = 250.0;
+        let t = Instant::now();
+        let r = run_churn(&cfg, uniform_coords(11));
+        let _ = r.final_nodes;
+        cells.push(Cell {
+            name: format!("fig7/{scheme:?}").to_lowercase(),
+            wall_secs: t.elapsed().as_secs_f64(),
+            events: 0,
+        });
+        report(cells.last().unwrap());
+    }
+
+    let fig5_wall: f64 = cells
+        .iter()
+        .filter(|c| c.name.starts_with("fig5/"))
+        .map(|c| c.wall_secs)
+        .sum();
+    let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+    println!("\nfig5 total: {fig5_wall:.3} s   all cells: {total_wall:.3} s");
+
+    let baseline = read_baseline(&out).unwrap_or_else(|| {
+        println!(
+            "(no existing {} — this run becomes the baseline)",
+            out.display()
+        );
+        cells
+            .iter()
+            .map(|c| (c.name.clone(), c.wall_secs))
+            .chain(std::iter::once(("fig5_total".to_string(), fig5_wall)))
+            .collect()
+    });
+    if let Some(&b) = baseline
+        .iter()
+        .find(|(n, _)| n == "fig5_total")
+        .map(|(_, v)| v)
+        .as_ref()
+    {
+        println!(
+            "fig5 speedup vs baseline: {:.2}x ({b:.3} s -> {fig5_wall:.3} s)",
+            b / fig5_wall
+        );
+    }
+
+    let json = render_json(&cells, fig5_wall, &baseline);
+    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
+    println!("wrote {}", out.display());
+}
+
+fn report(c: &Cell) {
+    match c.events_per_sec() {
+        Some(eps) => println!(
+            "{:<24} {:>9.3} s   {:>12.0} events/s",
+            c.name, c.wall_secs, eps
+        ),
+        None => println!("{:<24} {:>9.3} s", c.name, c.wall_secs),
+    }
+}
+
+fn repo_root_json() -> PathBuf {
+    // crates/bench -> repo root, independent of the invocation cwd.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_hotpath.json")
+}
+
+/// Extracts the flat `"baseline": { "name": secs, ... }` object from a
+/// previous run's file (our own output format — no general JSON parser
+/// needed, and no serde dependency).
+fn read_baseline(path: &Path) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let start = text.find("\"baseline\": {")? + "\"baseline\": {".len();
+    let end = start + text[start..].find('}')?;
+    let mut pairs = Vec::new();
+    for entry in text[start..end].split(',') {
+        let (k, v) = entry.split_once(':')?;
+        let name = k.trim().trim_matches('"').to_string();
+        let secs: f64 = v.trim().parse().ok()?;
+        pairs.push((name, secs));
+    }
+    (!pairs.is_empty()).then_some(pairs)
+}
+
+fn render_json(cells: &[Cell], fig5_wall: f64, baseline: &[(String, f64)]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"harness\": \"cargo run --release -p pgrid-bench --bin perf\","
+    );
+    let _ = writeln!(s, "  \"fig5_total_wall_secs\": {fig5_wall:.6},");
+    if let Some((_, b)) = baseline.iter().find(|(n, _)| n == "fig5_total") {
+        let _ = writeln!(s, "  \"fig5_speedup_vs_baseline\": {:.4},", b / fig5_wall);
+    }
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let eps = c
+            .events_per_sec()
+            .map_or("null".to_string(), |e| format!("{e:.1}"));
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {} }}{comma}",
+            c.name, c.wall_secs, c.events, eps
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"baseline\": {{");
+    for (i, (name, secs)) in baseline.iter().enumerate() {
+        let comma = if i + 1 == baseline.len() { "" } else { "," };
+        let _ = writeln!(s, "    \"{name}\": {secs:.6}{comma}");
+    }
+    let _ = writeln!(s, "  }}");
+    s.push_str("}\n");
+    s
+}
