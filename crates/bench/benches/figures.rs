@@ -20,7 +20,9 @@ fn bench_fig5_cell() {
 }
 
 fn bench_fig6_cell() {
-    let mut s = default_scenario().scaled_down(20).with_constraint_ratio(0.8);
+    let mut s = default_scenario()
+        .scaled_down(20)
+        .with_constraint_ratio(0.8);
     s.jobs = 500;
     bench("figures/fig6_cell_ratio80/can-het", 3, || {
         run_load_balance(&s, SchedulerChoice::CanHet).mean_wait()

@@ -14,11 +14,7 @@ fn setup() -> (StaticGrid, Vec<JobSpec>) {
     let pop = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
     let grid = StaticGrid::build(layout, pop.clone(), scenario.seed);
     let mut stream = JobStream::with_population(scenario.job_gen.clone(), scenario.seed, pop);
-    let jobs = stream
-        .take_jobs(512)
-        .into_iter()
-        .map(|(_, j)| j)
-        .collect();
+    let jobs = stream.take_jobs(512).into_iter().map(|(_, j)| j).collect();
     (grid, jobs)
 }
 

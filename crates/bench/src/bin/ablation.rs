@@ -55,7 +55,13 @@ fn main() {
             },
         ),
     ];
-    let mut table = Table::new(["variant", "mean wait(s)", "p95(s)", "p99(s)", "zero-wait(%)"]);
+    let mut table = Table::new([
+        "variant",
+        "mean wait(s)",
+        "p95(s)",
+        "p99(s)",
+        "zero-wait(%)",
+    ]);
     for (name, features) in variants {
         let r = run_load_balance_ablated(&scenario, features);
         let cdf = r.cdf();

@@ -37,7 +37,10 @@ fn main() {
             pop.clone(),
         );
         let jobs = stream.take_jobs(jobs_n);
-        for (name, policy) in [("best-rate", TsPolicy::BestRate), ("random", TsPolicy::Random)] {
+        for (name, policy) in [
+            ("best-rate", TsPolicy::BestRate),
+            ("random", TsPolicy::Random),
+        ] {
             let r = run_time_shared(&pop, &jobs, &layout, policy, 2011);
             table.row([
                 format!("{ia}"),

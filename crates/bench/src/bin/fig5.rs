@@ -15,5 +15,10 @@ fn main() {
     let csv = out.join("fig5.csv");
     save_wait_csv(&csv, "interarrival_s", &cells).expect("write csv");
     let svgs = save_wait_svgs(&out, "fig5", "interarrival_s", &cells).expect("write svg");
-    println!("CSV written to {}; {} SVG plots in {}", csv.display(), svgs.len(), out.display());
+    println!(
+        "CSV written to {}; {} SVG plots in {}",
+        csv.display(),
+        svgs.len(),
+        out.display()
+    );
 }

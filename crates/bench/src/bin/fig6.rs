@@ -15,5 +15,10 @@ fn main() {
     let csv = out.join("fig6.csv");
     save_wait_csv(&csv, "constraint_ratio", &cells).expect("write csv");
     let svgs = save_wait_svgs(&out, "fig6", "constraint_ratio", &cells).expect("write svg");
-    println!("CSV written to {}; {} SVG plots in {}", csv.display(), svgs.len(), out.display());
+    println!(
+        "CSV written to {}; {} SVG plots in {}",
+        csv.display(),
+        svgs.len(),
+        out.display()
+    );
 }

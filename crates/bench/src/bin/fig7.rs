@@ -13,5 +13,9 @@ fn main() {
     let csv = out.join("fig7.csv");
     save_fig7_csv(&csv, &reports).expect("write csv");
     save_fig7_svg(&out.join("fig7.svg"), &reports).expect("write svg");
-    println!("CSV written to {}; SVG plot in {}", csv.display(), out.display());
+    println!(
+        "CSV written to {}; SVG plot in {}",
+        csv.display(),
+        out.display()
+    );
 }

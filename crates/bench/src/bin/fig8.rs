@@ -13,5 +13,9 @@ fn main() {
     let csv = out.join("fig8.csv");
     save_fig8_csv(&csv, &cells).expect("write csv");
     save_fig8_svgs(&out, &cells).expect("write svg");
-    println!("CSV written to {}; SVG plots in {}", csv.display(), out.display());
+    println!(
+        "CSV written to {}; SVG plots in {}",
+        csv.display(),
+        out.display()
+    );
 }

@@ -20,13 +20,7 @@ fn main() {
         }
     };
     println!("=== Stopping-factor (SF) sensitivity, can-het ({scale:?}) ===\n");
-    let mut table = Table::new([
-        "SF",
-        "mean wait(s)",
-        "p99(s)",
-        "zero-wait(%)",
-        "pushes/job",
-    ]);
+    let mut table = Table::new(["SF", "mean wait(s)", "p99(s)", "zero-wait(%)", "pushes/job"]);
     for sf in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let mut s = base.clone();
         s.stopping_factor = sf;

@@ -80,11 +80,7 @@ pub fn render_wait_cell(param_name: &str, cell: &WaitTimeCell) -> String {
 }
 
 /// Writes the full CDF curves of a set of wait-time cells to CSV.
-pub fn save_wait_csv(
-    path: &Path,
-    param_name: &str,
-    cells: &[WaitTimeCell],
-) -> std::io::Result<()> {
+pub fn save_wait_csv(path: &Path, param_name: &str, cells: &[WaitTimeCell]) -> std::io::Result<()> {
     let mut csv = CsvWriter::new(&[param_name, "scheme", "wait_s", "cum_percent"]);
     for cell in cells {
         for r in &cell.results {

@@ -175,11 +175,7 @@ impl Adjacency {
             self.relink(relocator, y, reloc_zone.abuts(zones(y)));
         }
         // The absorber and relocator may or may not abut now.
-        self.relink(
-            relocator,
-            absorber,
-            reloc_zone.abuts(&absorber_zone),
-        );
+        self.relink(relocator, absorber, reloc_zone.abuts(&absorber_zone));
     }
 
     /// Removes a node and all its edges (used by `on_merge` and when
@@ -290,7 +286,9 @@ mod tests {
                         adj.on_merge(victim, owner, |n| tree.zone(n));
                     }
                     ZoneChange::Relocated {
-                        relocator, absorber, ..
+                        relocator,
+                        absorber,
+                        ..
                     } => {
                         adj.on_relocate(victim, relocator, absorber, |n| tree.zone(n));
                     }
@@ -371,11 +369,32 @@ mod tests {
         let mut tree = SplitTree::new(2, NodeId(0));
         let mut adj = Adjacency::new();
         adj.insert_first(NodeId(0));
-        tree.split(NodeId(0), &vec![0.2, 0.2], NodeId(1), &vec![0.8, 0.2], 0, 0.5);
+        tree.split(
+            NodeId(0),
+            &vec![0.2, 0.2],
+            NodeId(1),
+            &vec![0.8, 0.2],
+            0,
+            0.5,
+        );
         adj.on_split(NodeId(0), NodeId(1), |n| tree.zone(n));
-        tree.split(NodeId(0), &vec![0.2, 0.2], NodeId(2), &vec![0.2, 0.8], 1, 0.5);
+        tree.split(
+            NodeId(0),
+            &vec![0.2, 0.2],
+            NodeId(2),
+            &vec![0.2, 0.8],
+            1,
+            0.5,
+        );
         adj.on_split(NodeId(0), NodeId(2), |n| tree.zone(n));
-        tree.split(NodeId(1), &vec![0.8, 0.2], NodeId(3), &vec![0.8, 0.8], 1, 0.5);
+        tree.split(
+            NodeId(1),
+            &vec![0.8, 0.2],
+            NodeId(3),
+            &vec![0.8, 0.8],
+            1,
+            0.5,
+        );
         adj.on_split(NodeId(1), NodeId(3), |n| tree.zone(n));
         assert_eq!(adj.mean_degree(), 2.0);
         assert!(adj.are_neighbors(NodeId(0), NodeId(1)));

@@ -401,19 +401,19 @@ impl CanSim {
         // Join traffic: request routed to the host, reply carrying the
         // host's neighbor table.
         let host_k = self.nodes[&host].table.len();
-        self.acct
-            .record(MsgKind::Join, self.cfg.wire.full_update_request(self.cfg.dims));
-        self.acct
-            .record(MsgKind::Join, self.cfg.wire.join_reply(self.cfg.dims, host_k));
+        self.acct.record(
+            MsgKind::Join,
+            self.cfg.wire.full_update_request(self.cfg.dims),
+        );
+        self.acct.record(
+            MsgKind::Join,
+            self.cfg.wire.join_reply(self.cfg.dims, host_k),
+        );
 
         // Seed the joiner's table from the host's (pre-split) view.
         let host_entries: Vec<(NodeId, Zone)> = {
             let hn = self.nodes.get_mut(&host).unwrap();
-            let entries = hn
-                .table
-                .iter()
-                .map(|(n, e)| (*n, e.zone.clone()))
-                .collect();
+            let entries = hn.table.iter().map(|(n, e)| (*n, e.zone.clone())).collect();
             hn.set_zone(new_host_zone.clone());
             entries
         };
@@ -487,7 +487,9 @@ impl CanSim {
                 }
             }
             ZoneChange::Relocated {
-                relocator, absorber, ..
+                relocator,
+                absorber,
+                ..
             } => {
                 let tree = self.tree.as_ref().unwrap();
                 self.adj
@@ -537,11 +539,14 @@ impl CanSim {
     /// Executes a merge take-over at `t`: the heir syncs its zone to
     /// ground truth, adopts the departed node's neighbor records, and
     /// announces the change.
-    fn apply_merge(&mut self, departed: NodeId, heir: NodeId, payload: Option<Payload>, t: SimTime) {
-        let alive = self
-            .tree
-            .as_ref()
-            .is_some_and(|tr| tr.contains(heir))
+    fn apply_merge(
+        &mut self,
+        departed: NodeId,
+        heir: NodeId,
+        payload: Option<Payload>,
+        t: SimTime,
+    ) {
+        let alive = self.tree.as_ref().is_some_and(|tr| tr.contains(heir))
             && self.nodes.contains_key(&heir);
         if !alive {
             return; // the heir itself is gone; later events take over
@@ -769,10 +774,7 @@ impl CanSim {
         if self.cfg.scheme != HeartbeatScheme::Adaptive {
             return;
         }
-        let wants = self
-            .nodes
-            .get(&id)
-            .is_some_and(|n| n.wants_full_update);
+        let wants = self.nodes.get(&id).is_some_and(|n| n.wants_full_update);
         if !wants {
             return;
         }
@@ -1006,9 +1008,10 @@ mod tests {
                 let truth_nbrs = sim.true_neighbors(id);
                 let local = sim.local(id).unwrap();
                 for q in &truth_nbrs {
-                    let e = local.table.get(q).unwrap_or_else(|| {
-                        panic!("{}: {id} missing {q}", scheme.label())
-                    });
+                    let e = local
+                        .table
+                        .get(q)
+                        .unwrap_or_else(|| panic!("{}: {id} missing {q}", scheme.label()));
                     assert_eq!(
                         &e.zone,
                         sim.zone(*q),
@@ -1031,9 +1034,8 @@ mod tests {
 
     #[test]
     fn message_loss_drops_and_counts() {
-        let mut sim = CanSim::new(
-            ProtocolConfig::new(3, HeartbeatScheme::Vanilla).with_message_loss(0.5),
-        );
+        let mut sim =
+            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Vanilla).with_message_loss(0.5));
         let mut rng = SimRng::seed_from_u64(47);
         let mut joined = 0;
         while joined < 30 {

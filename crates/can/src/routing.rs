@@ -20,8 +20,14 @@ use std::collections::{HashSet, VecDeque};
 /// enumeration. Implemented by the CAN simulators ([`crate::CanSim`])
 /// and by the static grid used for matchmaking.
 pub trait RoutingView {
+    /// Iterator over a node's neighbor ids. Views with precomputed
+    /// topology (the static grid) yield borrowed slices with no
+    /// allocation; dynamic views may materialize a `Vec`.
+    type NeighborIter<'a>: Iterator<Item = NodeId>
+    where
+        Self: 'a;
     /// Neighbor ids of `id`.
-    fn route_neighbors(&self, id: NodeId) -> Vec<NodeId>;
+    fn route_neighbors(&self, id: NodeId) -> Self::NeighborIter<'_>;
     /// Distance from `id`'s zone to the point (0 when inside).
     fn zone_distance(&self, id: NodeId, p: &Point) -> f64;
     /// Whether `id`'s zone contains the point.
@@ -45,7 +51,10 @@ pub fn route<V: RoutingView>(view: &V, start: NodeId, p: &Point) -> Option<Route
     let mut dist = view.zone_distance(current, p);
     loop {
         if view.zone_contains(current, p) {
-            return Some(Route { owner: current, hops });
+            return Some(Route {
+                owner: current,
+                hops,
+            });
         }
         // Greedy step: strictly closer neighbor.
         let mut best: Option<(NodeId, f64)> = None;
@@ -100,11 +109,7 @@ fn bfs_route<V: RoutingView>(
 /// no global fallback. The success rate of this router is the
 /// end-to-end consequence of broken links: what Figure 7 costs the
 /// application layer.
-pub fn route_local(
-    sim: &crate::protocol::CanSim,
-    start: NodeId,
-    p: &Point,
-) -> Option<Route> {
+pub fn route_local(sim: &crate::protocol::CanSim, start: NodeId, p: &Point) -> Option<Route> {
     let mut current = start;
     let mut hops = 0usize;
     let max_hops = 4 * (sim.len() + 4);
@@ -112,7 +117,10 @@ pub fn route_local(
     loop {
         let node = sim.local(current)?;
         if node.zone.contains(p) {
-            return Some(Route { owner: current, hops });
+            return Some(Route {
+                owner: current,
+                hops,
+            });
         }
         if hops >= max_hops {
             return None; // routing loop: treat as failure
@@ -146,11 +154,7 @@ pub fn route_local(
 /// Measures [`route_local`] success over random (start, target) pairs:
 /// the fraction of routes that terminate at the ground-truth owner of
 /// the target point.
-pub fn local_routing_success(
-    sim: &crate::protocol::CanSim,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn local_routing_success(sim: &crate::protocol::CanSim, trials: usize, seed: u64) -> f64 {
     let mut rng = pgrid_simcore::SimRng::sub_stream(seed, 0x407E);
     let members = sim.members();
     if members.is_empty() {
@@ -172,8 +176,9 @@ pub fn local_routing_success(
 }
 
 impl RoutingView for crate::protocol::CanSim {
-    fn route_neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        self.true_neighbors(id)
+    type NeighborIter<'a> = std::vec::IntoIter<NodeId>;
+    fn route_neighbors(&self, id: NodeId) -> Self::NeighborIter<'_> {
+        self.true_neighbors(id).into_iter()
     }
     fn zone_distance(&self, id: NodeId, p: &Point) -> f64 {
         self.zone(id).distance_to(p)
@@ -264,8 +269,7 @@ mod tests {
     #[test]
     fn local_routing_suffers_under_lossy_compact() {
         let run = |scheme: HeartbeatScheme| {
-            let mut sim =
-                CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
+            let mut sim = CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
             let mut rng = SimRng::seed_from_u64(17);
             let mut joined = 0;
             while joined < 120 {
@@ -299,8 +303,7 @@ mod tests {
     #[test]
     fn adaptive_recovers_from_message_loss() {
         let run = |scheme: HeartbeatScheme| {
-            let mut sim =
-                CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
+            let mut sim = CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
             let mut rng = SimRng::seed_from_u64(23);
             let mut joined = 0;
             while joined < 100 {

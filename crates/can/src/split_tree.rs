@@ -61,8 +61,7 @@ pub fn choose_split_plane(
             }
         } else {
             let at = 0.5 * (hc + jc);
-            if zone.lo(d) < at && at < zone.hi(d) && fallback.is_none_or(|(_, _, bs)| side > bs)
-            {
+            if zone.lo(d) < at && at < zone.hi(d) && fallback.is_none_or(|(_, _, bs)| side > bs) {
                 fallback = Some((d, at, side));
             }
         }
@@ -267,7 +266,11 @@ impl SplitTree {
                     return Some(*owner);
                 }
                 Slot::Internal {
-                    dim, at, lower, upper, ..
+                    dim,
+                    at,
+                    lower,
+                    upper,
+                    ..
                 } => {
                     idx = if p[*dim] < *at { *lower } else { *upper };
                 }
@@ -441,10 +444,7 @@ impl SplitTree {
     ///
     /// Panics if `owner` is not a member.
     pub fn remove(&mut self, owner: NodeId) -> ZoneChange {
-        let leaf_idx = self
-            .leaf_of
-            .remove(&owner)
-            .expect("remove of non-member");
+        let leaf_idx = self.leaf_of.remove(&owner).expect("remove of non-member");
         let departed_zone = match &self.slots[leaf_idx] {
             Slot::Leaf { zone, .. } => zone.clone(),
             _ => unreachable!(),
@@ -459,7 +459,9 @@ impl SplitTree {
             self.root = None;
             return ZoneChange::Emptied;
         };
-        let sib = self.sibling_of(leaf_idx).expect("non-root leaf has sibling");
+        let sib = self
+            .sibling_of(leaf_idx)
+            .expect("non-root leaf has sibling");
         match &self.slots[sib] {
             Slot::Leaf { owner: s, zone, .. } => {
                 // Merge: sibling leaf takes over; parent becomes a leaf.
@@ -786,7 +788,9 @@ mod tests {
         let mut next = 1u32;
         let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic LCG-ish stream
         for step in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let join = t.len() <= 2 || (x >> 33).is_multiple_of(2);
             if join {
                 let id = NodeId(next);

@@ -25,11 +25,7 @@ impl Args {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{a}'"));
             };
-            if SWITCHES.contains(&key)
-                && raw
-                    .get(i + 1)
-                    .is_none_or(|next| next.starts_with("--"))
-            {
+            if SWITCHES.contains(&key) && raw.get(i + 1).is_none_or(|next| next.starts_with("--")) {
                 switches.push(key.to_string());
                 i += 1;
                 continue;

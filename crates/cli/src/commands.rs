@@ -44,7 +44,11 @@ pub fn info() -> String {
     let _ = writeln!(out, "  jobs               {}", s.jobs);
     let _ = writeln!(out, "  CAN dimensions     {}", s.dims);
     let _ = writeln!(out, "  GPU families       {}", s.gpu_slots());
-    let _ = writeln!(out, "  inter-arrival      {} s", s.job_gen.mean_interarrival);
+    let _ = writeln!(
+        out,
+        "  inter-arrival      {} s",
+        s.job_gen.mean_interarrival
+    );
     let _ = writeln!(out, "  constraint ratio   {}", s.job_gen.constraint_ratio);
     let _ = writeln!(out, "  stopping factor    {}", s.stopping_factor);
     let _ = writeln!(out, "  AI refresh period  {} s", s.ai_refresh_period);
@@ -226,8 +230,7 @@ pub fn trace(rest: &[String]) -> Result<String, String> {
             let out_path = args.get("out").map(str::to_string);
             args.reject_unknown()?;
             let slots = ((dims.saturating_sub(5)) / 3) as u8;
-            let mut stream =
-                JobStream::new(JobGenConfig::paper_defaults(slots, ratio, ia), seed);
+            let mut stream = JobStream::new(JobGenConfig::paper_defaults(slots, ratio, ia), seed);
             let jobs = stream.take_jobs(count);
             let text = trace::write_jobs(&jobs);
             emit(text, out_path)
@@ -300,13 +303,10 @@ pub fn replay(
     }
     let mut results = Vec::new();
     for &choice in schedulers {
-        let mut grid =
-            pgrid::sched::StaticGrid::build(layout.clone(), population.to_vec(), seed);
+        let mut grid = pgrid::sched::StaticGrid::build(layout.clone(), population.to_vec(), seed);
         let params = PushParams::default();
         let mut matchmaker: Box<dyn Matchmaker> = match choice {
-            SchedulerChoice::CanHet => {
-                Box::new(PushingMatchmaker::heterogeneous(&grid, params))
-            }
+            SchedulerChoice::CanHet => Box::new(PushingMatchmaker::heterogeneous(&grid, params)),
             SchedulerChoice::CanHom => Box::new(PushingMatchmaker::homogeneous(&grid, params)),
             SchedulerChoice::Central => Box::new(CentralMatchmaker),
         };
@@ -379,8 +379,14 @@ mod tests {
         let raw = |v: Vec<&str>| v.into_iter().map(String::from).collect::<Vec<_>>();
         let err = trace(&raw(vec!["replay"])).unwrap_err();
         assert!(err.contains("--nodes"));
-        let err = trace(&raw(vec!["replay", "--nodes", "/nonexistent", "--jobs", "/nonexistent"]))
-            .unwrap_err();
+        let err = trace(&raw(vec![
+            "replay",
+            "--nodes",
+            "/nonexistent",
+            "--jobs",
+            "/nonexistent",
+        ]))
+        .unwrap_err();
         assert!(err.contains("cannot read") || err.contains("nonexistent"));
     }
 

@@ -118,11 +118,7 @@ pub fn fig5(scale: Scale) -> Vec<WaitTimeCell> {
     let params = [2.0, 3.0, 4.0];
     let configs: Vec<(f64, LoadBalanceScenario, SchedulerChoice)> = params
         .iter()
-        .flat_map(|&ia| {
-            SchedulerChoice::ALL
-                .into_iter()
-                .map(move |sch| (ia, sch))
-        })
+        .flat_map(|&ia| SchedulerChoice::ALL.into_iter().map(move |sch| (ia, sch)))
         .map(|(ia, sch)| (ia, base.clone().with_interarrival(ia * factor), sch))
         .collect();
     let results = parallel_map(configs, |(_, sc, sch)| run_load_balance(&sc, sch));
@@ -273,10 +269,7 @@ pub struct ReplicatedWaits {
 /// Runs the same scenario under every scheduler across `seeds`
 /// independent seeds, reporting mean ± stddev of the headline
 /// statistics — quantifies how much of a figure's shape is seed noise.
-pub fn replicate_waits(
-    base: &LoadBalanceScenario,
-    seeds: &[u64],
-) -> Vec<ReplicatedWaits> {
+pub fn replicate_waits(base: &LoadBalanceScenario, seeds: &[u64]) -> Vec<ReplicatedWaits> {
     assert!(!seeds.is_empty());
     let mut configs = Vec::new();
     for &choice in &SchedulerChoice::ALL {
@@ -304,12 +297,8 @@ pub fn replicate_waits(
                 zero_wait_pct: Replicated::from_samples(
                     &rows.iter().map(|r| r.1).collect::<Vec<_>>(),
                 ),
-                mean_wait: Replicated::from_samples(
-                    &rows.iter().map(|r| r.2).collect::<Vec<_>>(),
-                ),
-                p99_wait: Replicated::from_samples(
-                    &rows.iter().map(|r| r.3).collect::<Vec<_>>(),
-                ),
+                mean_wait: Replicated::from_samples(&rows.iter().map(|r| r.2).collect::<Vec<_>>()),
+                p99_wait: Replicated::from_samples(&rows.iter().map(|r| r.3).collect::<Vec<_>>()),
             }
         })
         .collect()
@@ -377,8 +366,7 @@ mod tests {
     fn scaling_exponent_recovers_powers() {
         let linear: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64)).collect();
         assert!((scaling_exponent(&linear) - 1.0).abs() < 1e-9);
-        let quad: Vec<(f64, f64)> =
-            (1..=10).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        let quad: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
         assert!((scaling_exponent(&quad) - 2.0).abs() < 1e-9);
     }
 

@@ -57,8 +57,8 @@ pub mod prelude {
     pub use crate::experiments::{self, Scale};
     pub use crate::metrics::{Cdf, CsvWriter, Summary, Table, TimeSeries};
     pub use crate::sched::{
-        run_load_balance, run_load_balance_ablated, CentralMatchmaker, HetFeatures,
-        Matchmaker, PushParams, PushingMatchmaker, SchedulerChoice, SimResult, StaticGrid,
+        run_load_balance, run_load_balance_ablated, CentralMatchmaker, HetFeatures, Matchmaker,
+        PushParams, PushingMatchmaker, SchedulerChoice, SimResult, StaticGrid,
     };
     pub use crate::simcore::{EventQueue, SimRng};
     pub use crate::types::{

@@ -55,9 +55,7 @@ impl Buckets {
                 if x < lo || x >= hi {
                     None
                 } else {
-                    Some(
-                        (((x - lo) / (hi - lo)) * count as f64).min(count as f64 - 1.0) as usize,
-                    )
+                    Some((((x - lo) / (hi - lo)) * count as f64).min(count as f64 - 1.0) as usize)
                 }
             }
             Buckets::Log { lo, hi, count } => {

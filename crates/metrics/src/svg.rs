@@ -178,10 +178,7 @@ impl LineChart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">"#
         );
-        let _ = write!(
-            svg,
-            r#"<rect width="{w}" height="{h}" fill="{SURFACE}"/>"#
-        );
+        let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="{SURFACE}"/>"#);
         // Title (primary ink).
         let _ = write!(
             svg,
@@ -339,7 +336,14 @@ impl RectMap {
     /// # Panics
     ///
     /// Panics on a degenerate or out-of-unit box.
-    pub fn rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, label: impl Into<String>) -> &mut Self {
+    pub fn rect(
+        &mut self,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        label: impl Into<String>,
+    ) -> &mut Self {
         assert!(x0 < x1 && y0 < y1, "degenerate rect");
         assert!((0.0..=1.0).contains(&x0) && x1 <= 1.0 && (0.0..=1.0).contains(&y0) && y1 <= 1.0);
         self.rects.push((x0, y0, x1, y1, label.into()));
@@ -465,7 +469,10 @@ mod tests {
         let blue = svg.find("#2a78d6").unwrap();
         let aqua = svg.find("#1baf7a").unwrap();
         let yellow = svg.find("#eda100").unwrap();
-        assert!(blue < aqua && aqua < yellow, "slots assigned in fixed order");
+        assert!(
+            blue < aqua && aqua < yellow,
+            "slots assigned in fixed order"
+        );
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub struct AiTable {
     n: usize,
     /// `[node][dim][ce_idx]` flattened.
     data: Vec<AiEntry>,
-    /// Precomputed outward face-neighbor lists `[node][dim]`.
-    outward: Vec<Vec<Vec<NodeId>>>,
+    /// Scratch buffer of per-node local loads reused across refreshes
+    /// (`[node][ce_idx]` flattened; fully overwritten each refresh).
+    locals: Vec<AiEntry>,
     /// Processing order per dimension (descending upper zone bound).
     order: Vec<Vec<NodeId>>,
     /// Simulation time of the last refresh.
@@ -86,13 +87,6 @@ impl AiTable {
             AiGrouping::PerCe => grid.layout().ce_types(),
             AiGrouping::Pooled => vec![CeType::CPU], // single slot
         };
-        let outward: Vec<Vec<Vec<NodeId>>> = (0..n)
-            .map(|i| {
-                (0..dims)
-                    .map(|d| grid.outward_neighbors(NodeId(i as u32), d))
-                    .collect()
-            })
-            .collect();
         let order: Vec<Vec<NodeId>> = (0..dims)
             .map(|d| {
                 let mut ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
@@ -106,13 +100,14 @@ impl AiTable {
                 ids
             })
             .collect();
+        let slots = 1.max(ce_types_len(grouping, grid));
         AiTable {
             grouping,
             ce_types,
             dims,
             n,
-            data: vec![AiEntry::default(); n * dims * 1.max(ce_types_len(grouping, grid))],
-            outward,
+            data: vec![AiEntry::default(); n * dims * slots],
+            locals: vec![AiEntry::default(); n * slots],
             order,
             refreshed_at: 0.0,
         }
@@ -182,8 +177,9 @@ impl AiTable {
     /// use data up to a full period old.
     pub fn refresh(&mut self, grid: &StaticGrid, now: f64) {
         let slots = self.slots();
-        // Cache local loads once per node.
-        let mut locals = vec![AiEntry::default(); self.n * slots];
+        // Cache local loads once per node, into the reusable scratch
+        // buffer (every entry is overwritten before any is read).
+        let mut locals = std::mem::take(&mut self.locals);
         for i in 0..self.n {
             for s in 0..slots {
                 locals[i * slots + s] = self.local(grid, NodeId(i as u32), s);
@@ -194,7 +190,7 @@ impl AiTable {
                 let node = self.order[d][oi];
                 for s in 0..slots {
                     let mut acc = AiEntry::default();
-                    for &m in &self.outward[node.idx()][d] {
+                    for &m in grid.outward_neighbors(node, d) {
                         acc.absorb(&locals[m.idx() * slots + s]);
                         let beyond = self.data[self.idx(m, d, s)];
                         acc.absorb(&beyond);
@@ -204,6 +200,7 @@ impl AiTable {
                 }
             }
         }
+        self.locals = locals;
         self.refreshed_at = now;
     }
 
@@ -291,9 +288,8 @@ mod tests {
         let mut ai = AiTable::new(&g, AiGrouping::PerCe);
         ai.refresh(&g, 0.0);
         // Some node must observe the loaded region beyond it.
-        let seen = (0..60u32).any(|i| {
-            (0..5).any(|d| ai.beyond(NodeId(i), d, Ct::CPU).required_cores > 0.0)
-        });
+        let seen = (0..60u32)
+            .any(|i| (0..5).any(|d| ai.beyond(NodeId(i), d, Ct::CPU).required_cores > 0.0));
         assert!(seen, "load at the corner must appear in someone's AI");
     }
 
@@ -363,7 +359,7 @@ mod tests {
                 return *e;
             }
             let mut acc = AiEntry::default();
-            for m in g.outward_neighbors(n, d) {
+            for &m in g.outward_neighbors(n, d) {
                 let rt = g.runtime(m);
                 if let Some((cores, req)) = rt.load_of(ty) {
                     acc.absorb(&AiEntry {

@@ -5,6 +5,13 @@
 //! grid is built once by sequential joins and neighbor knowledge is
 //! exact. (Staleness still enters through the periodically-refreshed
 //! aggregated load information; see [`crate::aggregate`].)
+//!
+//! Because the topology never changes after [`StaticGrid::build`], all
+//! neighbor relations are cached in CSR (compressed sparse row) form:
+//! one flat arena of sorted neighbor ids with per-node offsets, and a
+//! second arena bucketing each node's neighbors by abutting face
+//! `(dim, dir)`. The matchmaking hot path reads borrowed slices out of
+//! these arenas — no per-query allocation or sorting.
 
 use pgrid_can::adjacency::Adjacency;
 use pgrid_can::geom::Point;
@@ -22,6 +29,19 @@ pub struct StaticGrid {
     adj: Adjacency,
     coords: Vec<Point>,
     runtimes: Vec<NodeRuntime>,
+    /// CSR offsets into `nbr_arena`, length `len() + 1`.
+    nbr_off: Vec<u32>,
+    /// All neighbor lists concatenated, each sorted ascending.
+    nbr_arena: Vec<NodeId>,
+    /// CSR offsets into `face_arena`, length `len() * dims * 2 + 1`;
+    /// bucket index = `(node * dims + dim) * 2 + (dir < 0)`.
+    face_off: Vec<u32>,
+    /// Face-neighbor buckets concatenated, each sorted ascending.
+    face_arena: Vec<NodeId>,
+    /// Nodes currently donating cycles (not evicted), ascending id —
+    /// maintained incrementally by [`StaticGrid::evict_node`] /
+    /// [`StaticGrid::restore_node`].
+    available: Vec<NodeId>,
 }
 
 impl StaticGrid {
@@ -70,17 +90,59 @@ impl StaticGrid {
             }
             assert!(placed, "could not place node {i} after 64 retries");
         }
-        let runtimes = population
+        let runtimes: Vec<NodeRuntime> = population
             .into_iter()
             .enumerate()
             .map(|(i, spec)| NodeRuntime::new(NodeId(i as u32), spec))
             .collect();
+        let n = runtimes.len();
+
+        // Freeze the adjacency into CSR arenas: sorted neighbor slices
+        // plus per-(dim, dir) face buckets, so steady-state queries
+        // never allocate or re-sort.
+        let mut nbr_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut nbr_arena: Vec<NodeId> = Vec::new();
+        let mut face_off: Vec<u32> = Vec::with_capacity(n * dims * 2 + 1);
+        let mut face_arena: Vec<NodeId> = Vec::new();
+        nbr_off.push(0);
+        face_off.push(0);
+        let mut sorted: Vec<NodeId> = Vec::new();
+        let mut faces: Vec<Option<(usize, i8)>> = Vec::new();
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            sorted.clear();
+            sorted.extend(adj.neighbors(id));
+            sorted.sort_unstable();
+            nbr_arena.extend_from_slice(&sorted);
+            nbr_off.push(nbr_arena.len() as u32);
+            let z = tree.zone(id);
+            faces.clear();
+            faces.extend(sorted.iter().map(|&m| z.abut_dim(tree.zone(m))));
+            for d in 0..dims {
+                for dir in [1i8, -1] {
+                    // Scanning the sorted list keeps each bucket sorted.
+                    for (k, &m) in sorted.iter().enumerate() {
+                        if faces[k] == Some((d, dir)) {
+                            face_arena.push(m);
+                        }
+                    }
+                    face_off.push(face_arena.len() as u32);
+                }
+            }
+        }
+        let available: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+
         StaticGrid {
             layout,
             tree,
             adj,
             coords,
             runtimes,
+            nbr_off,
+            nbr_arena,
+            face_off,
+            face_arena,
+            available,
         }
     }
 
@@ -105,6 +167,10 @@ impl StaticGrid {
     }
 
     /// Mutable execution runtime of a node.
+    ///
+    /// Availability must not be toggled through this handle — use
+    /// [`StaticGrid::evict_node`] / [`StaticGrid::restore_node`], which
+    /// keep the availability index in sync.
     pub fn runtime_mut(&mut self, id: NodeId) -> &mut NodeRuntime {
         &mut self.runtimes[id.idx()]
     }
@@ -119,32 +185,48 @@ impl StaticGrid {
         &self.coords[id.idx()]
     }
 
-    /// Ground-truth neighbors, sorted.
-    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.adj.neighbors(id).collect();
-        v.sort_unstable();
-        v
+    /// Ground-truth neighbors, sorted ascending (borrowed from the CSR
+    /// cache; no allocation).
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        let i = id.idx();
+        &self.nbr_arena[self.nbr_off[i] as usize..self.nbr_off[i + 1] as usize]
     }
 
     /// Neighbors abutting on the face along `dim` in direction `dir`
-    /// (+1 = away from the origin).
-    pub fn face_neighbors(&self, id: NodeId, dim: usize, dir: i8) -> Vec<NodeId> {
-        let z = self.tree.zone(id);
-        let mut v: Vec<NodeId> = self
-            .adj
-            .neighbors(id)
-            .filter(|&n| {
-                let nz = self.tree.zone(n);
-                z.abut_dim(nz) == Some((dim, dir))
-            })
-            .collect();
-        v.sort_unstable();
-        v
+    /// (+1 = away from the origin), sorted ascending (borrowed).
+    pub fn face_neighbors(&self, id: NodeId, dim: usize, dir: i8) -> &[NodeId] {
+        debug_assert!(dir == 1 || dir == -1);
+        let b = (id.idx() * self.layout.dims() + dim) * 2 + usize::from(dir < 0);
+        &self.face_arena[self.face_off[b] as usize..self.face_off[b + 1] as usize]
     }
 
     /// Neighbors on the *outward* (away from origin) face along `dim`.
-    pub fn outward_neighbors(&self, id: NodeId, dim: usize) -> Vec<NodeId> {
+    pub fn outward_neighbors(&self, id: NodeId, dim: usize) -> &[NodeId] {
         self.face_neighbors(id, dim, 1)
+    }
+
+    /// Nodes currently donating cycles (not evicted), ascending id.
+    /// Maintained incrementally — O(1) to read, never rebuilt.
+    pub fn available_nodes(&self) -> &[NodeId] {
+        &self.available
+    }
+
+    /// Takes a node offline (volunteer eviction), returning the jobs it
+    /// was running or queueing, and updates the availability index.
+    pub fn evict_node(&mut self, id: NodeId) -> Vec<pgrid_types::JobSpec> {
+        if let Ok(pos) = self.available.binary_search(&id) {
+            self.available.remove(pos);
+        }
+        self.runtimes[id.idx()].evict()
+    }
+
+    /// Brings an evicted node back online and updates the availability
+    /// index.
+    pub fn restore_node(&mut self, id: NodeId) {
+        if let Err(pos) = self.available.binary_search(&id) {
+            self.available.insert(pos, id);
+        }
+        self.runtimes[id.idx()].restore();
     }
 
     /// The zone of a node.
@@ -173,12 +255,47 @@ impl StaticGrid {
         let reference = Adjacency::recompute(self.tree.members(), |n| self.tree.zone(n));
         assert!(self.adj.same_as(&reference), "adjacency diverged");
         assert_eq!(self.tree.len(), self.runtimes.len());
+        // CSR caches must equal a from-scratch recompute of the
+        // adjacency and face relations.
+        let dims = self.layout.dims();
+        for i in 0..self.len() {
+            let id = NodeId(i as u32);
+            let mut expect: Vec<NodeId> = reference.neighbors(id).collect();
+            expect.sort_unstable();
+            assert_eq!(
+                self.neighbors(id),
+                &expect[..],
+                "CSR neighbor slice diverged for {id}"
+            );
+            let z = self.tree.zone(id);
+            for d in 0..dims {
+                for dir in [1i8, -1] {
+                    let want: Vec<NodeId> = expect
+                        .iter()
+                        .copied()
+                        .filter(|&m| z.abut_dim(self.tree.zone(m)) == Some((d, dir)))
+                        .collect();
+                    assert_eq!(
+                        self.face_neighbors(id, d, dir),
+                        &want[..],
+                        "CSR face bucket diverged for {id} dim {d} dir {dir}"
+                    );
+                }
+            }
+        }
+        // The availability index must mirror per-runtime state exactly.
+        let avail: Vec<NodeId> = (0..self.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.runtime(n).available())
+            .collect();
+        assert_eq!(self.available, avail, "availability index diverged");
     }
 }
 
 impl RoutingView for StaticGrid {
-    fn route_neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        self.neighbors(id)
+    type NeighborIter<'a> = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+    fn route_neighbors(&self, id: NodeId) -> Self::NeighborIter<'_> {
+        self.neighbors(id).iter().copied()
     }
     fn zone_distance(&self, id: NodeId, p: &Point) -> f64 {
         self.tree.zone(id).distance_to(p)
@@ -250,11 +367,48 @@ mod tests {
         for i in 0..120 {
             let id = NodeId(i);
             for d in 0..11 {
-                for n in g.outward_neighbors(id, d) {
+                for &n in g.outward_neighbors(id, d) {
                     assert_eq!(g.zone(id).hi(d), g.zone(n).lo(d));
                 }
             }
         }
+    }
+
+    #[test]
+    fn face_buckets_partition_the_neighbor_set() {
+        // Every neighbor abuts on exactly one face, so the union of all
+        // face buckets must be exactly the neighbor list.
+        let g = grid(120);
+        for i in 0..120 {
+            let id = NodeId(i);
+            let mut from_faces: Vec<NodeId> = Vec::new();
+            for d in 0..11 {
+                for dir in [1i8, -1] {
+                    from_faces.extend_from_slice(g.face_neighbors(id, d, dir));
+                }
+            }
+            from_faces.sort_unstable();
+            assert_eq!(from_faces, g.neighbors(id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn eviction_maintains_the_availability_index() {
+        let mut g = grid(60);
+        assert_eq!(g.available_nodes().len(), 60);
+        g.evict_node(NodeId(17));
+        g.evict_node(NodeId(3));
+        assert_eq!(g.available_nodes().len(), 58);
+        assert!(!g.runtime(NodeId(17)).available());
+        g.check_invariants();
+        g.restore_node(NodeId(17));
+        assert_eq!(g.available_nodes().len(), 59);
+        assert!(g.runtime(NodeId(17)).available());
+        g.check_invariants();
+        // Idempotent: double-restore and double-evict do not corrupt.
+        g.restore_node(NodeId(17));
+        g.evict_node(NodeId(3));
+        g.check_invariants();
     }
 
     #[test]

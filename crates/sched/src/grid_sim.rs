@@ -119,11 +119,18 @@ impl SimResult {
 /// scheduler, draining every job to completion.
 pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
+    // Generate the population once: the job stream borrows it for
+    // satisfiability filtering, then hands it back for the grid build —
+    // no clone. (Stream and grid use independent RNG sub-streams, so
+    // the construction order does not affect either.)
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
-    let mut grid = StaticGrid::build(layout, population.clone(), scenario.seed);
     let mut stream =
         JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
     let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
+    let population = stream
+        .into_population()
+        .expect("stream built with population");
+    let mut grid = StaticGrid::build(layout, population, scenario.seed);
 
     let params = PushParams {
         stopping_factor: scenario.stopping_factor,
@@ -152,10 +159,13 @@ pub fn run_load_balance_ablated(
 ) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
-    let mut grid = StaticGrid::build(layout, population.clone(), scenario.seed);
     let mut stream =
         JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
     let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
+    let population = stream
+        .into_population()
+        .expect("stream built with population");
+    let mut grid = StaticGrid::build(layout, population, scenario.seed);
     let params = PushParams {
         stopping_factor: scenario.stopping_factor,
         ..PushParams::default()
@@ -184,7 +194,15 @@ pub fn run_trace(
     seed: u64,
     choice: SchedulerChoice,
 ) -> SimResult {
-    run_with(grid, matchmaker, jobs, ai_refresh_period, seed, choice, None)
+    run_with(
+        grid,
+        matchmaker,
+        jobs,
+        ai_refresh_period,
+        seed,
+        choice,
+        None,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -200,13 +218,22 @@ fn run_with(
     use std::collections::HashMap;
     let mut rng = SimRng::sub_stream(seed, 0x5C4ED);
     let mut queue: EventQueue<Ev> = EventQueue::new();
-    let index_of: HashMap<JobId, usize> =
-        jobs.iter().enumerate().map(|(i, (_, j))| (j.id, i)).collect();
+    let index_of: HashMap<JobId, usize> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (_, j))| (j.id, i))
+        .collect();
     assert_eq!(index_of.len(), jobs.len(), "job ids must be unique");
     let mut wait_times: Vec<f64> = vec![f64::NAN; jobs.len()];
     let mut placed_nodes: Vec<NodeId> = vec![NodeId(0); jobs.len()];
     let mut placed_at: Vec<f64> = vec![0.0; jobs.len()];
     let mut dominant_clock: Vec<f64> = vec![1.0; jobs.len()];
+    // A job's dominant CE depends only on the job and the layout —
+    // compute it once per trace instead of on every (re)arrival.
+    let dominant_ce: Vec<pgrid_types::CeType> = jobs
+        .iter()
+        .map(|(_, j)| grid.layout().dominant_ce(j))
+        .collect();
     let mut route_hops = Summary::new();
     let mut pushes = Summary::new();
     let mut fallbacks = 0u64;
@@ -251,12 +278,9 @@ fn run_with(
                 fallbacks += u64::from(fallback);
                 placed_nodes[idx as usize] = node;
                 placed_at[idx as usize] = now;
-                let ce = grid.layout().dominant_ce(job);
-                dominant_clock[idx as usize] = grid
-                    .runtime(node)
-                    .spec
-                    .ce(ce)
-                    .map_or(1.0, |c| c.clock);
+                let ce = dominant_ce[idx as usize];
+                dominant_clock[idx as usize] =
+                    grid.runtime(node).spec.ce(ce).map_or(1.0, |c| c.clock);
                 let rt = grid.runtime_mut(node);
                 rt.enqueue(job.clone(), now);
                 for started in rt.start_ready() {
@@ -292,15 +316,14 @@ fn run_with(
             }
             Ev::Evict => {
                 let ev = eviction.expect("Evict event without config");
-                // Pick an available victim, if any.
-                let available: Vec<NodeId> = (0..grid.len() as u32)
-                    .map(NodeId)
-                    .filter(|&n| grid.runtime(n).available())
-                    .collect();
+                // Pick an available victim, if any, from the grid's
+                // incrementally-maintained index (ascending node id,
+                // matching the order a full scan would produce).
+                let available = grid.available_nodes();
                 if !available.is_empty() {
                     let victim = available[evict_rng.below(available.len())];
                     evictions += 1;
-                    let killed = grid.runtime_mut(victim).evict();
+                    let killed = grid.evict_node(victim);
                     for job in killed {
                         let jidx = index_of[&job.id];
                         submit_gen[jidx] += 1; // invalidate pending Finish
@@ -309,14 +332,11 @@ fn run_with(
                     }
                     queue.schedule(now + ev.outage, Ev::Restore(victim));
                 }
-                queue.schedule(
-                    now + evict_rng.exponential(ev.mean_interval),
-                    Ev::Evict,
-                );
+                queue.schedule(now + evict_rng.exponential(ev.mean_interval), Ev::Evict);
             }
             Ev::Restore(node) => {
+                grid.restore_node(node);
                 let rt = grid.runtime_mut(node);
-                rt.restore();
                 for started in rt.start_ready() {
                     let sidx = index_of[&started.job.id];
                     wait_times[sidx] = now - placed_at[sidx];

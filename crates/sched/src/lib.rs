@@ -20,8 +20,7 @@ pub use grid_sim::{
     run_load_balance, run_load_balance_ablated, run_trace, SchedulerChoice, SimResult,
 };
 pub use matchmakers::{
-    CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushMode, PushParams,
-    PushingMatchmaker,
+    CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushMode, PushParams, PushingMatchmaker,
 };
 pub use node_runtime::{NodeRuntime, Started};
 pub use timeshare::{run_time_shared, TimeSharedNode, TsCompletion, TsPolicy, TsResult};

@@ -96,6 +96,12 @@ pub struct PushingMatchmaker {
     features: HetFeatures,
     ai: AiTable,
     params: PushParams,
+    /// Generation-stamped visited set reused across placements: node
+    /// `n` is visited in the current placement iff
+    /// `visited_gen[n] == cur_gen`. Replaces a per-placement `HashSet`
+    /// so the push loop allocates nothing.
+    visited_gen: Vec<u32>,
+    cur_gen: u32,
 }
 
 impl PushingMatchmaker {
@@ -116,6 +122,8 @@ impl PushingMatchmaker {
             features,
             ai: AiTable::new(grid, grouping),
             params,
+            visited_gen: vec![0; grid.len()],
+            cur_gen: 0,
         }
     }
 
@@ -130,6 +138,8 @@ impl PushingMatchmaker {
             },
             ai: AiTable::new(grid, AiGrouping::Pooled),
             params,
+            visited_gen: vec![0; grid.len()],
+            cur_gen: 0,
         }
     }
 
@@ -145,10 +155,7 @@ impl PushingMatchmaker {
     /// Clock of the ranking CE on a node (0 if absent — never chosen
     /// over a node that has it, among satisfying nodes it exists).
     fn ranking_clock(grid: &StaticGrid, node: NodeId, ce: CeType) -> f64 {
-        grid.runtime(node)
-            .spec
-            .ce(ce)
-            .map_or(0.0, |c| c.clock)
+        grid.runtime(node).spec.ce(ce).map_or(0.0, |c| c.clock)
     }
 
     /// Eq. 1/2 score of a node for the ranking CE; can-hom uses the
@@ -188,65 +195,77 @@ impl PushingMatchmaker {
     }
 
     /// Candidate pool at a pushing step: the current node plus its
-    /// neighbors.
-    fn neighborhood(grid: &StaticGrid, current: NodeId) -> Vec<NodeId> {
-        let mut v = vec![current];
-        v.extend(grid.neighbors(current));
-        v
+    /// neighbors, as a non-allocating iterator over the CSR cache.
+    fn neighborhood(
+        grid: &StaticGrid,
+        current: NodeId,
+    ) -> impl Iterator<Item = NodeId> + Clone + '_ {
+        std::iter::once(current).chain(grid.neighbors(current).iter().copied())
     }
 
+    /// Single-pass selection over `cands`: prefer free nodes among the
+    /// startable (Algorithm 1 lines 5–8), then the fastest clock for
+    /// the ranking CE, tie-broken toward the lower node id.
     fn pick_startable(
         &self,
         grid: &StaticGrid,
-        cands: &[NodeId],
+        cands: impl Iterator<Item = NodeId>,
         job: &JobSpec,
         ce: CeType,
     ) -> Option<NodeId> {
-        let startable: Vec<NodeId> = cands
-            .iter()
-            .copied()
-            .filter(|&n| self.can_start_now(grid, n, job))
-            .collect();
-        if startable.is_empty() {
-            return None;
+        let mut best_startable: Option<(NodeId, f64)> = None;
+        let mut best_free: Option<(NodeId, f64)> = None;
+        for n in cands {
+            if !self.can_start_now(grid, n, job) {
+                continue;
+            }
+            let clock = Self::ranking_clock(grid, n, ce);
+            let beats = |best: Option<(NodeId, f64)>| match best {
+                None => true,
+                Some((bn, bc)) => match clock.total_cmp(&bc) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => n < bn,
+                    std::cmp::Ordering::Less => false,
+                },
+            };
+            if beats(best_startable) {
+                best_startable = Some((n, clock));
+            }
+            if grid.runtime(n).is_free() && beats(best_free) {
+                best_free = Some((n, clock));
+            }
         }
-        // Prefer free nodes among the startable (Algorithm 1 lines
-        // 5–8), then the fastest clock for the ranking CE.
-        let free: Vec<NodeId> = startable
-            .iter()
-            .copied()
-            .filter(|&n| grid.runtime(n).is_free())
-            .collect();
-        let pool = if free.is_empty() { &startable } else { &free };
-        pool.iter()
-            .copied()
-            .max_by(|&a, &b| {
-                Self::ranking_clock(grid, a, ce)
-                    .total_cmp(&Self::ranking_clock(grid, b, ce))
-                    .then(b.cmp(&a)) // deterministic tie-break: lower id
-            })
+        best_free.or(best_startable).map(|(n, _)| n)
     }
 
     fn pick_min_score(
         &self,
         grid: &StaticGrid,
-        cands: &[NodeId],
+        cands: impl Iterator<Item = NodeId> + Clone,
         job: &JobSpec,
         ce: CeType,
     ) -> Option<NodeId> {
         let best = |available_only: bool| {
-            cands
-                .iter()
-                .copied()
-                .filter(|&n| {
-                    let rt = grid.runtime(n);
-                    (!available_only || rt.available()) && job.satisfied_by(&rt.spec)
-                })
-                .min_by(|&a, &b| {
-                    self.node_score(grid, a, ce)
-                        .total_cmp(&self.node_score(grid, b, ce))
-                        .then(a.cmp(&b))
-                })
+            let mut best: Option<(NodeId, f64)> = None;
+            for n in cands.clone() {
+                let rt = grid.runtime(n);
+                if (available_only && !rt.available()) || !job.satisfied_by(&rt.spec) {
+                    continue;
+                }
+                let score = self.node_score(grid, n, ce);
+                let take = match best {
+                    None => true,
+                    Some((bn, bs)) => match score.total_cmp(&bs) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => n < bn,
+                        std::cmp::Ordering::Greater => false,
+                    },
+                };
+                if take {
+                    best = Some((n, score));
+                }
+            }
+            best.map(|(n, _)| n)
         };
         // Prefer nodes currently donating cycles; if every satisfying
         // candidate is evicted, queue on one anyway (it will run the
@@ -333,24 +352,32 @@ impl Matchmaker for PushingMatchmaker {
         let route = grid.route_to(entry, &coord);
         let mut current = route.owner;
         let mut pushes = 0usize;
-        let mut visited: std::collections::HashSet<NodeId> =
-            std::collections::HashSet::from([current]);
+        // Open a fresh visited generation (wrap: clear stale stamps so
+        // generation 1 starts from an all-unvisited state again).
+        if self.visited_gen.len() < grid.len() {
+            self.visited_gen.resize(grid.len(), 0);
+        }
+        self.cur_gen = self.cur_gen.wrapping_add(1);
+        if self.cur_gen == 0 {
+            self.visited_gen.fill(0);
+            self.cur_gen = 1;
+        }
+        self.visited_gen[current.idx()] = self.cur_gen;
         let dims = grid.layout().dims();
         // Push targets must stay in the job's feasible region: a
         // zone entirely below the job's coordinate along some real
         // dimension can never contain a satisfying node.
         let reaches = |n: NodeId| {
             let z = grid.zone(n);
-            (0..dims).all(|d| {
-                d == pgrid_types::DimensionLayout::VIRTUAL_DIM || z.hi(d) > coord[d]
-            })
+            (0..dims).all(|d| d == pgrid_types::DimensionLayout::VIRTUAL_DIM || z.hi(d) > coord[d])
         };
 
         loop {
-            let cands = Self::neighborhood(grid, current);
             // 2. A node that can start the job immediately ends the
             // search (Algorithm 1 lines 3–9).
-            if let Some(node) = self.pick_startable(grid, &cands, job, ce) {
+            if let Some(node) =
+                self.pick_startable(grid, Self::neighborhood(grid, current), job, ce)
+            {
                 return Placement {
                     node,
                     route_hops: route.hops,
@@ -369,8 +396,8 @@ impl Matchmaker for PushingMatchmaker {
                 for d in 0..dims {
                     let dirs: &[i8] = if d == vd { &[1, -1] } else { &[1] };
                     for &dir in dirs {
-                        for n in grid.face_neighbors(current, d, dir) {
-                            if !reaches(n) || visited.contains(&n) {
+                        for &n in grid.face_neighbors(current, d, dir) {
+                            if !reaches(n) || self.visited_gen[n.idx()] == self.cur_gen {
                                 continue;
                             }
                             let fd = if dir == 1 {
@@ -406,7 +433,9 @@ impl Matchmaker for PushingMatchmaker {
                 // neighborhood (Algorithm 1 line 14). If the
                 // neighborhood cannot run the job at all, keep pushing
                 // toward capability instead of stranding the job.
-                if let Some(node) = self.pick_min_score(grid, &cands, job, ce) {
+                if let Some(node) =
+                    self.pick_min_score(grid, Self::neighborhood(grid, current), job, ce)
+                {
                     return Placement {
                         node,
                         route_hops: route.hops,
@@ -420,13 +449,12 @@ impl Matchmaker for PushingMatchmaker {
             }
             let (target, _, _) = best.expect("push target exists");
             current = target;
-            visited.insert(target);
+            self.visited_gen[target.idx()] = self.cur_gen;
             pushes += 1;
         }
 
-        let all: Vec<NodeId> = (0..grid.len() as u32).map(NodeId).collect();
         let node = self
-            .pick_min_score(grid, &all, job, ce)
+            .pick_min_score(grid, (0..grid.len() as u32).map(NodeId), job, ce)
             .expect("job must be satisfiable by some node");
         Placement {
             node,
@@ -463,15 +491,13 @@ impl Matchmaker for CentralMatchmaker {
                 if best_free.is_none_or(|(_, c)| clock > c) {
                     best_free = Some((rt.id, clock));
                 }
-            } else if rt.is_acceptable(job)
-                && best_acceptable.is_none_or(|(_, c)| clock > c) {
-                    best_acceptable = Some((rt.id, clock));
-                }
+            } else if rt.is_acceptable(job) && best_acceptable.is_none_or(|(_, c)| clock > c) {
+                best_acceptable = Some((rt.id, clock));
+            }
             let score = rt.score(ce).unwrap_or(f64::INFINITY);
-            if rt.available()
-                && best_score.is_none_or(|(_, s)| score < s) {
-                    best_score = Some((rt.id, score));
-                }
+            if rt.available() && best_score.is_none_or(|(_, s)| score < s) {
+                best_score = Some((rt.id, score));
+            }
             // Last resort when every satisfying node is evicted.
             if best_any.is_none_or(|(_, s)| score < s) {
                 best_any = Some((rt.id, score));
@@ -550,12 +576,7 @@ mod tests {
             3600.0,
         );
         let p = m.place(&g, &job, &mut rng);
-        let chosen_clock = g
-            .runtime(p.node)
-            .spec
-            .ce(CeType::gpu(0))
-            .unwrap()
-            .clock;
+        let chosen_clock = g.runtime(p.node).spec.ce(CeType::gpu(0)).unwrap().clock;
         // No satisfying free node can have a faster GPU0.
         for rt in g.runtimes() {
             if rt.is_free() && job.satisfied_by(&rt.spec) {
@@ -570,8 +591,7 @@ mod tests {
         let g = grid(150);
         let jobcfg = JobGenConfig::paper_defaults(2, 0.8, 3.0);
         let pop: Vec<_> = g.runtimes().iter().map(|r| r.spec.clone()).collect();
-        let mut stream =
-            pgrid_workload::jobgen::JobStream::with_population(jobcfg, 3, pop);
+        let mut stream = pgrid_workload::jobgen::JobStream::with_population(jobcfg, 3, pop);
         let mut het = PushingMatchmaker::heterogeneous(&g, PushParams::default());
         let mut hom = PushingMatchmaker::homogeneous(&g, PushParams::default());
         let mut central = CentralMatchmaker;

@@ -318,9 +318,7 @@ impl NodeRuntime {
         let job = self.running.swap_remove(idx);
         for r in &job.ce_reqs {
             let occupied = r.occupied_cores();
-            let ce = self
-                .ce_state_mut(r.ce_type)
-                .expect("release on missing CE");
+            let ce = self.ce_state_mut(r.ce_type).expect("release on missing CE");
             debug_assert!(ce.running_jobs > 0);
             ce.running_jobs -= 1;
             if ce.dedicated {

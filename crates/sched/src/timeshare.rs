@@ -220,13 +220,20 @@ impl TsResult {
         if self.completions.is_empty() {
             return 1.0;
         }
-        self.completions.iter().map(TsCompletion::slowdown).sum::<f64>()
+        self.completions
+            .iter()
+            .map(TsCompletion::slowdown)
+            .sum::<f64>()
             / self.completions.len() as f64
     }
 
     /// The given slowdown quantile (nearest rank).
     pub fn slowdown_quantile(&self, q: f64) -> f64 {
-        let mut s: Vec<f64> = self.completions.iter().map(TsCompletion::slowdown).collect();
+        let mut s: Vec<f64> = self
+            .completions
+            .iter()
+            .map(TsCompletion::slowdown)
+            .collect();
         s.sort_by(|a, b| a.total_cmp(b));
         if s.is_empty() {
             return 1.0;
@@ -313,25 +320,14 @@ pub fn run_time_shared(
                             .max_by(|&&a, &&b| {
                                 let ra = nodes[a].prospective_rate(job);
                                 let rb = nodes[b].prospective_rate(job);
-                                let ca = nodes[a]
-                                    .spec
-                                    .ce(dominant)
-                                    .map_or(0.0, |c| c.clock);
-                                let cb = nodes[b]
-                                    .spec
-                                    .ce(dominant)
-                                    .map_or(0.0, |c| c.clock);
-                                ra.total_cmp(&rb)
-                                    .then(ca.total_cmp(&cb))
-                                    .then(b.cmp(&a))
+                                let ca = nodes[a].spec.ce(dominant).map_or(0.0, |c| c.clock);
+                                let cb = nodes[b].spec.ce(dominant).map_or(0.0, |c| c.clock);
+                                ra.total_cmp(&rb).then(ca.total_cmp(&cb)).then(b.cmp(&a))
                             })
                             .unwrap()
                     }
                 };
-                let clock = nodes[chosen]
-                    .spec
-                    .ce(dominant)
-                    .map_or(1.0, |c| c.clock);
+                let clock = nodes[chosen].spec.ce(dominant).map_or(1.0, |c| c.clock);
                 let node = &mut nodes[chosen];
                 node.advance(now);
                 let done = node.harvest(now);
@@ -497,21 +493,14 @@ mod tests {
         use pgrid_workload::nodegen::{generate_nodes, NodeGenConfig};
         let layout = DimensionLayout::with_dims(11);
         let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), 60, 41);
-        let mut stream = JobStream::with_population(
-            JobGenConfig::paper_defaults(2, 0.5, 20.0),
-            41,
-            pop.clone(),
-        );
+        let mut stream =
+            JobStream::with_population(JobGenConfig::paper_defaults(2, 0.5, 20.0), 41, pop.clone());
         let jobs = stream.take_jobs(400);
         for policy in [TsPolicy::BestRate, TsPolicy::Random] {
             let r = run_time_shared(&pop, &jobs, &layout, policy, 41);
             assert_eq!(r.completions.len(), 400);
             for c in &r.completions {
-                assert!(
-                    c.slowdown() >= 1.0 - 1e-6,
-                    "slowdown below 1: {:?}",
-                    c
-                );
+                assert!(c.slowdown() >= 1.0 - 1e-6, "slowdown below 1: {:?}", c);
             }
             assert!(r.makespan > 0.0);
         }
@@ -543,10 +532,30 @@ mod tests {
     fn slowdown_quantiles_are_order_statistics() {
         let r = TsResult {
             completions: vec![
-                TsCompletion { job_id: JobId(0), finished_at: 1.0, ideal_duration: 1.0, actual_duration: 1.0 },
-                TsCompletion { job_id: JobId(1), finished_at: 2.0, ideal_duration: 1.0, actual_duration: 2.0 },
-                TsCompletion { job_id: JobId(2), finished_at: 3.0, ideal_duration: 1.0, actual_duration: 4.0 },
-                TsCompletion { job_id: JobId(3), finished_at: 4.0, ideal_duration: 1.0, actual_duration: 8.0 },
+                TsCompletion {
+                    job_id: JobId(0),
+                    finished_at: 1.0,
+                    ideal_duration: 1.0,
+                    actual_duration: 1.0,
+                },
+                TsCompletion {
+                    job_id: JobId(1),
+                    finished_at: 2.0,
+                    ideal_duration: 1.0,
+                    actual_duration: 2.0,
+                },
+                TsCompletion {
+                    job_id: JobId(2),
+                    finished_at: 3.0,
+                    ideal_duration: 1.0,
+                    actual_duration: 4.0,
+                },
+                TsCompletion {
+                    job_id: JobId(3),
+                    finished_at: 4.0,
+                    ideal_duration: 1.0,
+                    actual_duration: 8.0,
+                },
             ],
             makespan: 4.0,
         };
@@ -558,7 +567,10 @@ mod tests {
 
     #[test]
     fn empty_result_defaults_to_unity() {
-        let r = TsResult { completions: vec![], makespan: 0.0 };
+        let r = TsResult {
+            completions: vec![],
+            makespan: 0.0,
+        };
         assert_eq!(r.mean_slowdown(), 1.0);
         assert_eq!(r.slowdown_quantile(0.5), 1.0);
     }
@@ -569,11 +581,8 @@ mod tests {
         use pgrid_workload::nodegen::{generate_nodes, NodeGenConfig};
         let layout = DimensionLayout::with_dims(11);
         let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), 30, 44);
-        let mut stream = JobStream::with_population(
-            JobGenConfig::paper_defaults(2, 0.5, 10.0),
-            44,
-            pop.clone(),
-        );
+        let mut stream =
+            JobStream::with_population(JobGenConfig::paper_defaults(2, 0.5, 10.0), 44, pop.clone());
         let jobs = stream.take_jobs(200);
         let a = run_time_shared(&pop, &jobs, &layout, TsPolicy::Random, 44);
         let b = run_time_shared(&pop, &jobs, &layout, TsPolicy::Random, 44);

@@ -258,9 +258,7 @@ impl DimensionLayout {
                     .req(CeType::CPU)
                     .and_then(|r| r.min_memory)
                     .map_or(0.0, |v| self.norm.normalize(k, v)),
-                DimKind::Disk => job
-                    .min_disk
-                    .map_or(0.0, |v| self.norm.normalize(k, v)),
+                DimKind::Disk => job.min_disk.map_or(0.0, |v| self.norm.normalize(k, v)),
                 DimKind::CpuCores => job
                     .req(CeType::CPU)
                     .and_then(|r| r.min_cores)

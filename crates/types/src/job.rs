@@ -275,12 +275,7 @@ mod tests {
 
     #[test]
     fn unspecified_requirements_accept_anything() {
-        let j = JobSpec::new(
-            JobId(3),
-            vec![CeRequirement::any(CeType::CPU)],
-            None,
-            60.0,
-        );
+        let j = JobSpec::new(JobId(3), vec![CeRequirement::any(CeType::CPU)], None, 60.0);
         let weakest = NodeSpec::cpu_only(0.1, 0.1, 1, 0.0);
         assert!(j.satisfied_by(&weakest));
     }

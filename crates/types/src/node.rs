@@ -144,7 +144,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "GPU list must not contain a CPU")]
     fn rejects_cpu_in_gpu_list() {
-        NodeSpec::new(CeSpec::cpu(1.0, 4.0, 2), vec![CeSpec::cpu(1.0, 4.0, 2)], 10.0);
+        NodeSpec::new(
+            CeSpec::cpu(1.0, 4.0, 2),
+            vec![CeSpec::cpu(1.0, 4.0, 2)],
+            10.0,
+        );
     }
 
     #[test]

@@ -4,15 +4,13 @@ use pgrid_types::*;
 use proptest::prelude::*;
 
 fn arb_cpu() -> impl Strategy<Value = CeSpec> {
-    (0.1f64..4.0, 0.5f64..64.0, 1u32..16).prop_map(|(clock, mem, cores)| {
-        CeSpec::cpu(clock, mem, cores)
-    })
+    (0.1f64..4.0, 0.5f64..64.0, 1u32..16)
+        .prop_map(|(clock, mem, cores)| CeSpec::cpu(clock, mem, cores))
 }
 
 fn arb_gpu(slot: u8) -> impl Strategy<Value = CeSpec> {
-    (0.1f64..4.0, 0.5f64..8.0, 32u32..1024).prop_map(move |(clock, mem, cores)| {
-        CeSpec::gpu(slot, clock, mem, cores)
-    })
+    (0.1f64..4.0, 0.5f64..8.0, 32u32..1024)
+        .prop_map(move |(clock, mem, cores)| CeSpec::gpu(slot, clock, mem, cores))
 }
 
 fn arb_node() -> impl Strategy<Value = NodeSpec> {

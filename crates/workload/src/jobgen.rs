@@ -91,7 +91,8 @@ impl JobGenConfig {
                 min_clock: self.maybe_f(rng, &self.cpu_clock_tiers),
                 min_memory: self.maybe_f(rng, &self.cpu_memory_tiers),
                 min_cores: Some(
-                    self.cpu_core_tiers[rng.skewed_tier(self.cpu_core_tiers.len(), self.tier_decay)],
+                    self.cpu_core_tiers
+                        [rng.skewed_tier(self.cpu_core_tiers.len(), self.tier_decay)],
                 ),
             });
         } else {
@@ -109,7 +110,8 @@ impl JobGenConfig {
                 min_clock: self.maybe_f(rng, &self.gpu_clock_tiers),
                 min_memory: self.maybe_f(rng, &self.gpu_memory_tiers),
                 min_cores: Some(
-                    self.gpu_core_tiers[rng.skewed_tier(self.gpu_core_tiers.len(), self.tier_decay)],
+                    self.gpu_core_tiers
+                        [rng.skewed_tier(self.gpu_core_tiers.len(), self.tier_decay)],
                 ),
             });
         }
@@ -151,6 +153,12 @@ impl JobStream {
         let mut s = Self::new(cfg, seed);
         s.population = Some(population);
         s
+    }
+
+    /// Recovers the reference population, letting callers reuse the
+    /// `Vec` (e.g. to build the grid) instead of cloning it up front.
+    pub fn into_population(self) -> Option<Vec<NodeSpec>> {
+        self.population
     }
 
     /// Draws the next `(arrival_time, job)` pair.

@@ -75,7 +75,11 @@ pub fn write_nodes(nodes: &[NodeSpec]) -> String {
 pub fn write_jobs(jobs: &[(f64, JobSpec)]) -> String {
     let mut out = String::from("# p2p-ce-grid job trace\n");
     for (t, j) in jobs {
-        let _ = write!(out, "job t={} id={} runtime={}", t, j.id.0, j.nominal_runtime);
+        let _ = write!(
+            out,
+            "job t={} id={} runtime={}",
+            t, j.id.0, j.nominal_runtime
+        );
         if let Some(d) = j.min_disk {
             let _ = write!(out, " disk={d}");
         }
@@ -233,8 +237,7 @@ pub fn read_jobs(text: &str) -> Result<Vec<(f64, JobSpec)>, TraceError> {
                 _ => {
                     let ty = parse_ce_type(k, line_no)?;
                     let subs = subfields(v, line_no)?;
-                    let get =
-                        |name: &str| subs.iter().find(|(n, _)| n == name).map(|(_, x)| *x);
+                    let get = |name: &str| subs.iter().find(|(n, _)| n == name).map(|(_, x)| *x);
                     reqs.push(CeRequirement {
                         ce_type: ty,
                         min_clock: get("clock"),

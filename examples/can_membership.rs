@@ -21,7 +21,11 @@ fn main() {
     let d = can.join(vec![0.75, 0.75]).unwrap();
     println!("zones after four joins:");
     for id in can.members() {
-        println!("  {id}: {:?}  neighbors {:?}", can.zone(id), can.true_neighbors(id));
+        println!(
+            "  {id}: {:?}  neighbors {:?}",
+            can.zone(id),
+            can.true_neighbors(id)
+        );
     }
 
     // Take-over plans are predetermined by the split history —
@@ -55,15 +59,24 @@ fn main() {
     can.leave(d, false);
     println!("\n{d} crashed; zone ownership transfers immediately in ground");
     println!("truth, but neighbors only learn after the failure timeout:");
-    println!("  broken links right after the crash: {}", can.broken_links());
+    println!(
+        "  broken links right after the crash: {}",
+        can.broken_links()
+    );
     can.advance_to(can.now() + 200.0); // > fail_timeout
-    println!("  broken links after detection + take-over: {}", can.broken_links());
+    println!(
+        "  broken links after detection + take-over: {}",
+        can.broken_links()
+    );
 
     // Routing still reaches every point of the space.
     let p = vec![0.9, 0.9];
     let owner = can.owner_at(&p).unwrap();
     let route = p2p_ce_grid::can::route(&can, a, &p).unwrap();
-    println!("\nrouting from {a} to {p:?}: owner {owner}, {} hops", route.hops);
+    println!(
+        "\nrouting from {a} to {p:?}: owner {owner}, {} hops",
+        route.hops
+    );
     assert_eq!(route.owner, owner);
     let _ = c;
 }

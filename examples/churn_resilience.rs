@@ -23,7 +23,10 @@ fn main() {
     }
 
     println!("broken links over time:");
-    println!("{:>8} {:>9} {:>9} {:>9}", "t(s)", "Vanilla", "Compact", "Adaptive");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9}",
+        "t(s)", "Vanilla", "Compact", "Adaptive"
+    );
     let len = reports.iter().map(|r| r.broken_series.len()).min().unwrap();
     for i in 0..len {
         print!("{:>8.0}", reports[0].broken_series[i].time);

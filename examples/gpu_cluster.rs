@@ -39,10 +39,7 @@ fn main() {
     for _ in 0..10 {
         population.push(NodeSpec::new(
             CeSpec::cpu(3.0, 32.0, 8),
-            vec![
-                CeSpec::gpu(0, 4.0, 6.0, 512),
-                CeSpec::gpu(1, 3.0, 4.0, 240),
-            ],
+            vec![CeSpec::gpu(0, 4.0, 6.0, 512), CeSpec::gpu(1, 3.0, 4.0, 240)],
             2048.0,
         ));
     }

@@ -48,10 +48,10 @@ fn digest(r: &SimResult) -> u64 {
     for &n in &r.placed_nodes {
         h.u64(n.0 as u64);
     }
-    h.u64(r.route_hops.count() as u64);
+    h.u64(r.route_hops.count());
     h.f64(r.route_hops.mean());
     h.f64(r.route_hops.max().unwrap_or(-1.0));
-    h.u64(r.pushes.count() as u64);
+    h.u64(r.pushes.count());
     h.f64(r.pushes.mean());
     h.f64(r.pushes.max().unwrap_or(-1.0));
     h.u64(r.fallback_placements);

@@ -42,7 +42,14 @@ fn run_mm1(rho: f64, n: usize, seed: u64) -> (f64, f64) {
     let jobs = mm1_jobs(n, lambda, mu, seed);
     let mut grid = StaticGrid::build(layout, vec![node], seed);
     let mut mm = CentralMatchmaker;
-    let result = run_trace(&mut grid, &mut mm, &jobs, 1e9, seed, SchedulerChoice::Central);
+    let result = run_trace(
+        &mut grid,
+        &mut mm,
+        &jobs,
+        1e9,
+        seed,
+        SchedulerChoice::Central,
+    );
     let measured = result.mean_wait();
     let analytic = rho / (1.0 - rho) * (1.0 / mu);
     (measured, analytic)
