@@ -1,0 +1,49 @@
+//! Chaos harness: runs the three scripted fault scenarios (crash flash
+//! crowd, rolling partition, 20 % loss + high churn) for every
+//! heartbeat scheme, then each scheduler under fail-stop crashes with
+//! the job-conservation ledger armed, and prints the resilience
+//! tables. Exits non-zero if any invariant checker reports a
+//! violation, so CI can use `chaos --quick` as a smoke gate.
+//!
+//! Deterministic: the same seed always reproduces the same tables.
+
+use pgrid::experiments;
+use pgrid_bench::{parse_cli, render_chaos, render_crash_recovery, save_chaos_csv};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (scale, out) = parse_cli();
+    println!(
+        "=== Chaos harness: scripted faults, seed {} ({scale:?}) ===\n",
+        experiments::CHAOS_SEED
+    );
+
+    println!("--- CAN maintenance under chaos ---");
+    let reports = experiments::chaos_suite(scale);
+    println!("{}", render_chaos(&reports));
+    let csv = out.join("chaos.csv");
+    save_chaos_csv(&csv, &reports).expect("write csv");
+
+    println!("--- Crash-safe job recovery (conservation ledger armed) ---");
+    let cells = experiments::crash_recovery_suite(scale);
+    println!("{}", render_crash_recovery(&cells));
+    println!("CSV written to {}", csv.display());
+
+    let violations: Vec<String> = reports
+        .iter()
+        .flat_map(|r| {
+            r.violations
+                .iter()
+                .map(move |v| format!("{}/{}: {v}", r.name, r.scheme.label()))
+        })
+        .collect();
+    if violations.is_empty() {
+        println!("invariants: ok (zero violations)");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

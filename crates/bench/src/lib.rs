@@ -19,23 +19,53 @@ use pgrid::metrics::{Cdf, CsvWriter, Table};
 use pgrid::prelude::*;
 use std::path::{Path, PathBuf};
 
+/// Usage string shared by every bench binary.
+pub const USAGE: &str = "usage: <bench> [--quick] [--out DIR]\n\n  \
+--quick    reduced smoke-run configuration (default: paper scale)\n  \
+--out DIR  write CSV/SVG results under DIR (default: results/)\n";
+
+/// Parses the common bench arguments (program name already stripped).
+///
+/// Strict: any argument other than `--quick` and `--out DIR` is an
+/// error, so a typo'd flag (`--qiuck`) fails fast instead of silently
+/// launching a multi-minute paper-scale run.
+pub fn parse_args(raw: &[String]) -> Result<(Scale, PathBuf), String> {
+    let mut scale = Scale::Paper;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                let Some(dir) = raw.get(i + 1) else {
+                    return Err("flag '--out' needs a value".into());
+                };
+                out = PathBuf::from(dir);
+                i += 1;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok((scale, out))
+}
+
 /// Parses the common CLI: `--quick` selects [`Scale::Quick`]; an
-/// optional `--out DIR` overrides the results directory.
+/// optional `--out DIR` overrides the results directory. Unknown flags
+/// print usage and exit non-zero.
 pub fn parse_cli() -> (Scale, PathBuf) {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Paper
-    };
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
-    std::fs::create_dir_all(&out).expect("create results dir");
-    (scale, out)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok((scale, out)) => {
+            std::fs::create_dir_all(&out).expect("create results dir");
+            (scale, out)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Renders one wait-time cell (a sub-figure of Fig 5/6) as the CDF
@@ -220,6 +250,116 @@ pub fn save_fig8_csv(path: &Path, cells: &[CostCell]) -> std::io::Result<()> {
     csv.save(path)
 }
 
+/// Renders the chaos-resilience table: one row per scenario x scheme,
+/// with link damage, healing outcome, fault-layer drop counts, repair
+/// traffic and invariant verdicts.
+pub fn render_chaos(reports: &[ChaosReport]) -> String {
+    let mut table = Table::new([
+        "scenario",
+        "scheme",
+        "broken peak",
+        "broken after",
+        "gaps after",
+        "recovery(s)",
+        "dropped",
+        "repairs",
+        "probes",
+        "msgs/node/min",
+        "verdict",
+    ]);
+    for r in reports {
+        table.row([
+            r.name.to_string(),
+            r.scheme.label().to_string(),
+            r.broken_peak.to_string(),
+            r.broken_after.to_string(),
+            r.gaps_after.to_string(),
+            r.recovery_time
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.dropped_messages.to_string(),
+            r.repair_messages.to_string(),
+            r.gap_probes.to_string(),
+            format!("{:.1}", r.msgs_per_node_min),
+            if r.violations.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATIONS", r.violations.len())
+            },
+        ]);
+    }
+    table.render()
+}
+
+/// Writes the chaos-resilience table to CSV.
+pub fn save_chaos_csv(path: &Path, reports: &[ChaosReport]) -> std::io::Result<()> {
+    let mut csv = CsvWriter::new(&[
+        "scenario",
+        "scheme",
+        "broken_peak",
+        "broken_after",
+        "gaps_after",
+        "recovery_s",
+        "dropped_messages",
+        "partition_drops",
+        "frozen_drops",
+        "repair_messages",
+        "gap_probes",
+        "msgs_per_node_min",
+        "violations",
+    ]);
+    for r in reports {
+        csv.row(&[
+            r.name,
+            r.scheme.label(),
+            &r.broken_peak.to_string(),
+            &r.broken_after.to_string(),
+            &r.gaps_after.to_string(),
+            &r.recovery_time
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_default(),
+            &r.dropped_messages.to_string(),
+            &r.partition_drops.to_string(),
+            &r.frozen_drops.to_string(),
+            &r.repair_messages.to_string(),
+            &r.gap_probes.to_string(),
+            &format!("{:.2}", r.msgs_per_node_min),
+            &r.violations.len().to_string(),
+        ]);
+    }
+    csv.save(path)
+}
+
+/// Renders the crash-recovery table: one row per scheduler under
+/// fail-stop crashes, with the job-conservation ledger armed.
+pub fn render_crash_recovery(cells: &[pgrid::experiments::CrashRecoveryCell]) -> String {
+    let mut table = Table::new([
+        "scheduler",
+        "crashes",
+        "killed run/queued",
+        "requeued",
+        "failed",
+        "completed",
+        "wasted(s)",
+        "wait calm(s)",
+        "wait chaos(s)",
+    ]);
+    for c in cells {
+        table.row([
+            c.choice.label().to_string(),
+            c.stats.crashes.to_string(),
+            format!("{}/{}", c.stats.killed_running, c.stats.killed_queued),
+            c.stats.requeued.to_string(),
+            c.stats.permanently_failed.to_string(),
+            c.completed.to_string(),
+            format!("{:.0}", c.stats.wasted_seconds),
+            format!("{:.1}", c.calm_mean_wait),
+            format!("{:.1}", c.chaos_mean_wait),
+        ]);
+    }
+    table.render()
+}
+
 /// Saves one SVG per wait-time cell (the Figure 5/6 sub-plots), with
 /// the paper's 80–100% CDF window.
 pub fn save_wait_svgs(
@@ -402,6 +542,73 @@ mod tests {
             parameter: 3.0,
             results,
         }]
+    }
+
+    #[test]
+    fn parse_args_accepts_known_flags_and_rejects_typos() {
+        let to_v = |raw: &[&str]| raw.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (scale, out) = parse_args(&to_v(&["--quick", "--out", "/tmp/x"])).unwrap();
+        assert_eq!(scale, Scale::Quick);
+        assert_eq!(out, PathBuf::from("/tmp/x"));
+        let (scale, out) = parse_args(&[]).unwrap();
+        assert_eq!(scale, Scale::Paper);
+        assert_eq!(out, PathBuf::from("results"));
+        // A typo'd flag must fail fast, not silently launch a
+        // paper-scale run.
+        assert!(parse_args(&to_v(&["--qiuck"])).is_err());
+        assert!(parse_args(&to_v(&["--out"])).is_err());
+        assert!(parse_args(&to_v(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn chaos_render_and_csv() {
+        let reports = experiments::chaos_suite(Scale::Quick);
+        assert_eq!(reports.len(), 9, "3 scenarios x 3 schemes");
+        let text = render_chaos(&reports);
+        assert!(text.contains("flash-crowd"));
+        assert!(text.contains("rolling-partition"));
+        assert!(text.contains("lossy-churn"));
+        assert!(text.contains("Adaptive"));
+        let dir = std::env::temp_dir().join("pgrid_bench_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("chaos.csv");
+        save_chaos_csv(&csv, &reports).unwrap();
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("scenario,scheme,broken_peak"));
+        assert_eq!(body.lines().count(), 10);
+        // Adaptive is self-healing: it must come back clean.
+        for r in reports
+            .iter()
+            .filter(|r| r.scheme == HeartbeatScheme::Adaptive)
+        {
+            assert!(r.violations.is_empty(), "{}: {:?}", r.name, r.violations);
+            assert_eq!(r.broken_after, 0, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn crash_recovery_renders_all_schedulers() {
+        let mut s = default_scenario().scaled_down(20);
+        s.jobs = 200;
+        let chaos = pgrid::sched::CrashChaosConfig::new(500.0);
+        let cells: Vec<pgrid::experiments::CrashRecoveryCell> = SchedulerChoice::ALL
+            .into_iter()
+            .map(|choice| {
+                let calm = run_load_balance(&s, choice);
+                let stormy = pgrid::sched::run_load_balance_chaos(&s, choice, &chaos);
+                pgrid::experiments::CrashRecoveryCell {
+                    choice,
+                    calm_mean_wait: calm.mean_wait(),
+                    chaos_mean_wait: stormy.mean_wait(),
+                    completed: stormy.wait_times.len(),
+                    stats: stormy.recovery.unwrap(),
+                }
+            })
+            .collect();
+        let text = render_crash_recovery(&cells);
+        assert!(text.contains("can-het"));
+        assert!(text.contains("crashes"));
+        assert!(text.contains("requeued"));
     }
 
     #[test]

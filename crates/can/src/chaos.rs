@@ -1,0 +1,452 @@
+//! Scripted chaos scenarios over the CAN maintenance protocol.
+//!
+//! A chaos run has three phases: **bootstrap** (sequential joins plus a
+//! settle window, fault-free), a **fault phase** during which a scripted
+//! [`FaultPlan`] fires node-level faults (crashes, rejoins, freezes)
+//! while the network model applies message-class faults and scheduled
+//! partitions, and a **recovery phase** of `recovery_periods` heartbeat
+//! periods with the network healthy again. The run then audits the
+//! overlay: ground-truth invariants must always hold, and a
+//! self-healing scheme (see [`HeartbeatScheme::self_healing`]) must
+//! have rebuilt full neighbor coverage.
+//!
+//! Everything is seeded and replayable: the same [`ChaosConfig`]
+//! produces the same [`ChaosReport`] bit for bit.
+
+use crate::churn::uniform_coords;
+use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig};
+use pgrid_simcore::fault::{ClassFaults, FaultPlan, MsgClass, NodeFault, Partition};
+use pgrid_simcore::{SimRng, SimTime};
+
+/// Fraction-of-members partition scheduled in fault-phase-relative
+/// time. The victim group is sampled at the fault-phase start so the
+/// caller does not need to know node ids in advance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSpec {
+    /// Fraction of the then-current membership to isolate (0..1).
+    pub fraction: f64,
+    /// Window start, seconds after the fault phase begins.
+    pub from: SimTime,
+    /// Window end, seconds after the fault phase begins.
+    pub until: SimTime,
+}
+
+/// Configuration of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Human-readable scenario name (appears in the resilience table).
+    pub name: &'static str,
+    /// CAN dimensionality.
+    pub dims: usize,
+    /// Heartbeat scheme under test.
+    pub scheme: HeartbeatScheme,
+    /// Bootstrap population.
+    pub initial_nodes: usize,
+    /// Spacing between bootstrap joins (seconds).
+    pub bootstrap_spacing: f64,
+    /// Fault-free settle window after bootstrap (seconds).
+    pub settle_time: f64,
+    /// Heartbeat period (seconds).
+    pub heartbeat_period: f64,
+    /// Failure-detection timeout (seconds).
+    pub fail_timeout: f64,
+    /// Length of the fault phase (seconds).
+    pub fault_duration: f64,
+    /// Message-class faults active during the fault phase only.
+    pub net_faults: Vec<(MsgClass, ClassFaults)>,
+    /// Partitions, in fault-phase-relative time.
+    pub partitions: Vec<PartitionSpec>,
+    /// Node-level fault script, in fault-phase-relative time.
+    pub plan: FaultPlan,
+    /// Gap between background churn events during the fault phase
+    /// (`None` disables churn).
+    pub churn_gap: Option<f64>,
+    /// Fraction of churn departures that are graceful.
+    pub graceful_fraction: f64,
+    /// Recovery allowance after the fault phase, in heartbeat periods.
+    pub recovery_periods: f64,
+    /// Broken-link sampling interval (seconds).
+    pub sample_interval: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// Baseline scenario skeleton: 60 nodes in 3 dimensions, 60 s
+    /// heartbeats, 150 s failure timeout, a 900 s fault phase and a
+    /// 20-period recovery allowance.
+    pub fn new(name: &'static str, scheme: HeartbeatScheme, seed: u64) -> Self {
+        ChaosConfig {
+            name,
+            dims: 3,
+            scheme,
+            initial_nodes: 60,
+            bootstrap_spacing: 1.0,
+            settle_time: 300.0,
+            heartbeat_period: 60.0,
+            fail_timeout: 150.0,
+            fault_duration: 900.0,
+            net_faults: Vec::new(),
+            partitions: Vec::new(),
+            plan: FaultPlan::new(seed),
+            churn_gap: None,
+            graceful_fraction: 0.5,
+            recovery_periods: 20.0,
+            sample_interval: 60.0,
+            seed,
+        }
+    }
+
+    /// Scenario 1 — **flash crowd of crashes**: ~18 % of the members
+    /// crash simultaneously shortly into the fault phase, followed by
+    /// a partial wave of rejoins.
+    pub fn flash_crowd(scheme: HeartbeatScheme, seed: u64) -> Self {
+        let mut cfg = ChaosConfig::new("flash-crowd", scheme, seed);
+        cfg.plan = FaultPlan::new(seed)
+            .with(60.0, NodeFault::Crash { count: 11 })
+            .with(360.0, NodeFault::Rejoin { count: 6 });
+        cfg
+    }
+
+    /// Scenario 2 — **rolling partition**: two successive windows each
+    /// isolate a different fifth of the membership for longer than the
+    /// failure timeout, so both sides fully expire each other.
+    pub fn rolling_partition(scheme: HeartbeatScheme, seed: u64) -> Self {
+        let mut cfg = ChaosConfig::new("rolling-partition", scheme, seed);
+        cfg.partitions = vec![
+            PartitionSpec {
+                fraction: 0.2,
+                from: 0.0,
+                until: 400.0,
+            },
+            PartitionSpec {
+                fraction: 0.2,
+                from: 450.0,
+                until: 850.0,
+            },
+        ];
+        cfg
+    }
+
+    /// Scenario 3 — **lossy churn**: 20 % uniform message loss across
+    /// every class while join/leave churn runs several events per
+    /// heartbeat period, with a freeze thrown in.
+    pub fn lossy_churn(scheme: HeartbeatScheme, seed: u64) -> Self {
+        let mut cfg = ChaosConfig::new("lossy-churn", scheme, seed);
+        cfg.net_faults = MsgClass::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    ClassFaults {
+                        drop: 0.2,
+                        ..ClassFaults::IDEAL
+                    },
+                )
+            })
+            .collect();
+        cfg.churn_gap = Some(cfg.heartbeat_period / 6.0);
+        cfg.plan = FaultPlan::new(seed).with(
+            300.0,
+            NodeFault::Freeze {
+                count: 4,
+                duration: 250.0,
+            },
+        );
+        cfg
+    }
+
+    /// The three scripted scenarios of the chaos bench, in order.
+    pub fn scenarios(scheme: HeartbeatScheme, seed: u64) -> Vec<ChaosConfig> {
+        vec![
+            ChaosConfig::flash_crowd(scheme, seed),
+            ChaosConfig::rolling_partition(scheme, seed),
+            ChaosConfig::lossy_churn(scheme, seed),
+        ]
+    }
+}
+
+/// Outcome of one chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Scheme measured.
+    pub scheme: HeartbeatScheme,
+    /// Peak directed broken-link count observed during the fault phase.
+    pub broken_peak: usize,
+    /// Directed broken links at the end of the recovery phase.
+    pub broken_after: usize,
+    /// Nodes with an uncovered boundary region after recovery.
+    pub gaps_after: usize,
+    /// Seconds after the fault phase ended until broken links first
+    /// sampled zero (`None` if they never did).
+    pub recovery_time: Option<f64>,
+    /// Alive members at the end.
+    pub final_nodes: usize,
+    /// Messages dropped by the fault model, all classes.
+    pub dropped_messages: u64,
+    /// Messages dropped by scheduled partitions (subset of the above).
+    pub partition_drops: u64,
+    /// Messages discarded because the receiver was frozen.
+    pub frozen_drops: u64,
+    /// Targeted take-over repair messages sent.
+    pub repair_messages: u64,
+    /// Routed gap probes sent (adaptive only).
+    pub gap_probes: u64,
+    /// Adaptive full-update request rounds.
+    pub full_update_rounds: u64,
+    /// Heartbeat-scheme traffic during the run, messages per node per
+    /// minute (Figure 8 metric, here under chaos).
+    pub msgs_per_node_min: f64,
+    /// Invariant violations (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+/// Runs one scripted chaos scenario.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let mut proto = ProtocolConfig::new(cfg.dims, cfg.scheme);
+    proto.heartbeat_period = cfg.heartbeat_period;
+    proto.fail_timeout = cfg.fail_timeout;
+    proto.loss_seed = pgrid_simcore::rng::sub_seed(cfg.seed, 0xFA17);
+    let mut sim = CanSim::new(proto);
+    let mut rng = SimRng::sub_stream(cfg.seed, 0xC4A5);
+    let mut victim_rng = SimRng::sub_stream(cfg.plan.seed, 0x71C7);
+    let mut coords = uniform_coords(cfg.dims);
+
+    // Bootstrap + settle, fault-free.
+    let mut joined = 0;
+    while joined < cfg.initial_nodes {
+        if sim.join(coords(&mut rng)).is_ok() {
+            joined += 1;
+        }
+        sim.advance_to(sim.now() + cfg.bootstrap_spacing);
+    }
+    sim.advance_to(sim.now() + cfg.settle_time);
+    sim.reset_accounting();
+
+    // Arm the network: class faults active only inside the window,
+    // partitions anchored to absolute time.
+    let fault_start = sim.now();
+    let fault_end = fault_start + cfg.fault_duration;
+    for &(class, faults) in &cfg.net_faults {
+        sim.network_mut().set_class(class, faults);
+    }
+    if !cfg.net_faults.is_empty() {
+        sim.network_mut().set_window(fault_start, fault_end);
+    }
+    for spec in &cfg.partitions {
+        let members = sim.members();
+        let count = ((members.len() as f64 * spec.fraction).round() as usize)
+            .clamp(1, members.len().saturating_sub(2));
+        let mut pool: Vec<u32> = members.iter().map(|n| n.0).collect();
+        let mut group = Vec::with_capacity(count);
+        for _ in 0..count {
+            group.push(pool.swap_remove(victim_rng.below(pool.len())));
+        }
+        sim.network_mut().add_partition(Partition::isolate(
+            group,
+            fault_start + spec.from,
+            fault_start + spec.until,
+        ));
+    }
+
+    // Interleave scripted fault events, background churn, and samples.
+    let mut broken_peak = 0usize;
+    let mut events = cfg.plan.events.clone();
+    events.reverse(); // pop() yields earliest-first
+    let mut next_churn = cfg.churn_gap.map(|g| fault_start + g);
+    let mut next_sample = fault_start;
+    let min_nodes = (cfg.initial_nodes / 2).max(4);
+    loop {
+        let t_event = events.last().map(|e| fault_start + e.at);
+        let t_churn = next_churn.filter(|&t| t < fault_end);
+        let due = [t_event, t_churn, Some(next_sample)]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
+        if due > fault_end {
+            break;
+        }
+        sim.advance_to(due);
+        if Some(due) == t_event {
+            let ev = events.pop().expect("event present");
+            apply_fault(&mut sim, ev.fault, &mut victim_rng, &mut coords, min_nodes);
+        } else if Some(due) == t_churn {
+            let join = sim.len() <= min_nodes || rng.chance(0.5);
+            if join {
+                let _ = sim.join(coords(&mut rng));
+            } else {
+                let members = sim.members();
+                let victim = members[rng.below(members.len())];
+                sim.leave(victim, rng.chance(cfg.graceful_fraction));
+            }
+            next_churn = Some(due + cfg.churn_gap.expect("churn active"));
+        } else {
+            broken_peak = broken_peak.max(sim.broken_links());
+            next_sample += cfg.sample_interval;
+        }
+    }
+    sim.advance_to(fault_end);
+    broken_peak = broken_peak.max(sim.broken_links());
+
+    // Recovery phase: network healthy, overlay left to converge.
+    let recovery_end = fault_end + cfg.recovery_periods * cfg.heartbeat_period;
+    let mut recovery_time = None;
+    let mut t = fault_end;
+    while t < recovery_end {
+        t = (t + cfg.sample_interval).min(recovery_end);
+        sim.advance_to(t);
+        if recovery_time.is_none() && sim.broken_links() == 0 {
+            recovery_time = Some(t - fault_end);
+        }
+    }
+
+    // Audit. Ground-truth invariants hold unconditionally; full
+    // local-view recovery is demanded only of self-healing schemes.
+    sim.check_invariants();
+    let broken_after = sim.broken_links();
+    let gaps_after = sim
+        .members()
+        .iter()
+        .filter(|id| sim.local(**id).is_some_and(|n| n.has_boundary_gap()))
+        .count();
+    let mut violations = Vec::new();
+    if cfg.scheme.self_healing() {
+        if broken_after > 0 {
+            violations.push(format!(
+                "{broken_after} broken links remain {} periods after faults ended",
+                cfg.recovery_periods
+            ));
+        }
+        if gaps_after > 0 {
+            violations.push(format!(
+                "{gaps_after} nodes still have uncovered boundary regions after recovery"
+            ));
+        }
+    }
+    for id in sim.members() {
+        if sim.is_frozen(id) {
+            violations.push(format!("node {id} still frozen after recovery"));
+        }
+    }
+
+    ChaosReport {
+        name: cfg.name,
+        scheme: cfg.scheme,
+        broken_peak,
+        broken_after,
+        gaps_after,
+        recovery_time,
+        final_nodes: sim.len(),
+        dropped_messages: sim.dropped_messages(),
+        partition_drops: sim.network().partition_drops(),
+        frozen_drops: sim.frozen_drops(),
+        repair_messages: sim.repair_messages(),
+        gap_probes: sim.gap_probes(),
+        full_update_rounds: sim.full_update_rounds(),
+        msgs_per_node_min: sim.accounting().heartbeat_msgs_per_node_min(),
+        violations,
+    }
+}
+
+fn apply_fault(
+    sim: &mut CanSim,
+    fault: NodeFault,
+    victim_rng: &mut SimRng,
+    coords: &mut impl FnMut(&mut SimRng) -> crate::geom::Point,
+    min_nodes: usize,
+) {
+    match fault {
+        NodeFault::Crash { count } => {
+            for _ in 0..count {
+                if sim.len() <= min_nodes {
+                    break;
+                }
+                let members = sim.members();
+                let victim = members[victim_rng.below(members.len())];
+                sim.leave(victim, false);
+            }
+        }
+        NodeFault::Rejoin { count } => {
+            for _ in 0..count {
+                let _ = sim.join(coords(victim_rng));
+            }
+        }
+        NodeFault::Freeze { count, duration } => {
+            let members = sim.members();
+            let mut pool = members;
+            for _ in 0..count.min(pool.len().saturating_sub(min_nodes)) {
+                let victim = pool.swap_remove(victim_rng.below(pool.len()));
+                sim.freeze(victim, duration);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mut cfg: ChaosConfig) -> ChaosConfig {
+        cfg.initial_nodes = 40;
+        cfg.settle_time = 120.0;
+        cfg
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let cfg = quick(ChaosConfig::flash_crowd(HeartbeatScheme::Adaptive, 11));
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a, b, "same seed must reproduce the same report");
+    }
+
+    #[test]
+    fn adaptive_survives_every_scenario() {
+        for cfg in ChaosConfig::scenarios(HeartbeatScheme::Adaptive, 5) {
+            let report = run_chaos(&quick(cfg));
+            assert!(
+                report.violations.is_empty(),
+                "{}: {:?}",
+                report.name,
+                report.violations
+            );
+            assert_eq!(report.broken_after, 0);
+        }
+    }
+
+    #[test]
+    fn faults_actually_fire() {
+        let report = run_chaos(&quick(ChaosConfig::flash_crowd(
+            HeartbeatScheme::Compact,
+            7,
+        )));
+        assert!(report.broken_peak > 0, "a crash flash crowd breaks links");
+        let report = run_chaos(&quick(ChaosConfig::rolling_partition(
+            HeartbeatScheme::Vanilla,
+            7,
+        )));
+        assert!(report.partition_drops > 0, "partitions drop traffic");
+        let report = run_chaos(&quick(ChaosConfig::lossy_churn(
+            HeartbeatScheme::Adaptive,
+            7,
+        )));
+        assert!(report.dropped_messages > 0, "loss drops traffic");
+        assert!(report.frozen_drops > 0, "freezes silently eat messages");
+    }
+
+    #[test]
+    fn non_healing_schemes_report_without_violating() {
+        // Compact decay is expected (paper Figure 7), not a violation.
+        let report = run_chaos(&quick(ChaosConfig::rolling_partition(
+            HeartbeatScheme::Compact,
+            13,
+        )));
+        assert!(report.violations.is_empty());
+        assert!(
+            report.broken_after > 0,
+            "compact cannot rebuild expired links"
+        );
+    }
+}

@@ -17,13 +17,16 @@
 //! * [`wire`] + [`accounting`] — the byte-level message model and the
 //!   per-node-per-minute cost metrics of Figure 8;
 //! * [`routing`] — greedy CAN routing;
-//! * [`churn`] — the two-stage churn experiments behind Figures 7–8.
+//! * [`churn`] — the two-stage churn experiments behind Figures 7–8;
+//! * [`chaos`] — scripted fault scenarios (crash flash crowds, rolling
+//!   partitions, lossy churn) with invariant auditing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accounting;
 pub mod adjacency;
+pub mod chaos;
 pub mod churn;
 pub mod geom;
 pub mod membership;
@@ -34,6 +37,7 @@ pub mod wire;
 
 pub use accounting::{Accounting, Counter};
 pub use adjacency::Adjacency;
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, PartitionSpec};
 pub use churn::{run_churn, uniform_coords, BrokenSample, ChurnConfig, ChurnReport};
 pub use geom::{Point, Zone};
 pub use membership::{LocalNode, NeighborEntry, Payload};

@@ -67,6 +67,12 @@ pub struct LocalNode {
     /// locally (a neighbor expired without replacement information, or
     /// this node's zone changed); triggers a full-update request round.
     pub wants_full_update: bool,
+    /// Neighbors pruned by the last zone change(s): they no longer abut
+    /// *by our possibly-stale records*, but if that record was wrong
+    /// they would otherwise keep a stale record of us forever (nothing
+    /// else announces our new zone to them). The next zone-dirty round
+    /// sends them the update too, then clears this list.
+    pub zone_change_audience: Vec<NodeId>,
 }
 
 impl LocalNode {
@@ -80,6 +86,7 @@ impl LocalNode {
             cache: HashMap::new(),
             zone_dirty: false,
             wants_full_update: false,
+            zone_change_audience: Vec::new(),
         }
     }
 
@@ -195,66 +202,60 @@ impl LocalNode {
             .collect()
     }
 
-    /// Sample-based check that the region a departed/expired neighbor
-    /// used to cover (as far as this node's boundary is concerned) is
-    /// covered by the remaining table entries. Samples the shared face
-    /// at its center plus two offsets per free dimension, displaced
-    /// half-way into the departed zone — under the split-tree take-over
-    /// discipline the inheriting zone always contains those points.
+    /// Exact check that the region a departed/expired neighbor used to
+    /// cover (as far as this node's boundary is concerned) is covered
+    /// by the remaining table entries, evaluated half-way into the
+    /// departed zone — under the split-tree take-over discipline the
+    /// inheriting zones always reach that depth.
     ///
-    /// Returns `false` (a suspected broken link) when some sample point
-    /// is covered by no known neighbor. This is the *local detection*
-    /// that triggers the adaptive scheme's full-update request; routine
-    /// expiries whose region is already re-covered stay silent.
-    #[allow(clippy::needless_range_loop)] // d indexes multiple structures
+    /// Returns `false` (a suspected broken link) when some part of the
+    /// region is covered by no known neighbor. This is the *local
+    /// detection* that triggers the adaptive scheme's full-update
+    /// request; routine expiries whose region is already re-covered
+    /// stay silent.
     pub fn covers_face_region(&self, departed_zone: &Zone) -> bool {
         let Some((d0, dir)) = self.zone.abut_dim(departed_zone) else {
             return true; // no longer on our boundary: nothing to cover
         };
         let dims = self.zone.dims();
-        // Depth coordinate: half-way into the departed zone.
-        let depth = 0.5 * (departed_zone.lo(d0) + departed_zone.hi(d0));
         debug_assert!(dir == 1 || dir == -1);
-        // Face extent: overlap of the two zones in every other dim.
-        let mut center: Vec<f64> = vec![0.0; dims];
-        center[d0] = depth;
-        let mut spans: Vec<(usize, f64, f64)> = Vec::with_capacity(dims - 1);
+        // Region: overlap of the two zones in every free dim, pinned
+        // half-way into the departed zone in the abutment dim.
+        let depth = 0.5 * (departed_zone.lo(d0) + departed_zone.hi(d0));
+        let mut lo: Vec<f64> = vec![0.0; dims];
+        let mut hi: Vec<f64> = vec![0.0; dims];
         for d in 0..dims {
             if d == d0 {
-                continue;
+                lo[d] = depth;
+                hi[d] = depth;
+            } else {
+                lo[d] = self.zone.lo(d).max(departed_zone.lo(d));
+                hi[d] = self.zone.hi(d).min(departed_zone.hi(d));
+                debug_assert!(hi[d] > lo[d], "abutting zones overlap positively");
             }
-            let lo = self.zone.lo(d).max(departed_zone.lo(d));
-            let hi = self.zone.hi(d).min(departed_zone.hi(d));
-            debug_assert!(hi > lo, "abutting zones overlap positively");
-            center[d] = 0.5 * (lo + hi);
-            spans.push((d, lo, hi));
         }
-        let covered = |p: &[f64]| self.table.values().any(|e| e.zone.contains(p));
-        if !covered(&center) {
-            return false;
-        }
-        let mut probe = center.clone();
-        for &(d, lo, hi) in &spans {
-            let len = hi - lo;
-            for x in [lo + 0.01 * len, hi - 0.01 * len] {
-                probe[d] = x;
-                if !covered(&probe) {
-                    return false;
-                }
-            }
-            probe[d] = center[d];
-        }
-        true
+        uncovered_point(&mut lo, &mut hi, d0, &self.sorted_zones()).is_none()
     }
 
-    /// Sample-based check for uncovered regions anywhere on this
-    /// node's own boundary (used after a take-over changed our zone).
+    /// Exact check for uncovered regions anywhere on this node's own
+    /// boundary (the adaptive scheme's level-triggered gap detector).
     /// Faces on the CAN domain boundary (0 or 1) have no outside and
     /// are skipped.
     pub fn has_boundary_gap(&self) -> bool {
+        self.boundary_gap_sample().is_some()
+    }
+
+    /// Like [`LocalNode::has_boundary_gap`], but returns a point inside
+    /// the first uncovered region just outside the zone — the routed
+    /// gap probe's target. Coverage is decided exactly: each face is
+    /// split along the boundaries of the recorded zones that reach it,
+    /// so a gap is found no matter how small a fraction of the face it
+    /// occupies (coarser point-sampling provably misses slivers, which
+    /// then never heal).
+    pub fn boundary_gap_sample(&self) -> Option<Vec<f64>> {
         let dims = self.zone.dims();
         const EPS: f64 = 1e-9;
-        let covered = |p: &[f64]| self.table.values().any(|e| e.zone.contains(p));
+        let zones = self.sorted_zones();
         for d0 in 0..dims {
             for (boundary, outside) in [
                 (self.zone.lo(d0), self.zone.lo(d0) - EPS),
@@ -263,39 +264,47 @@ impl LocalNode {
                 if boundary <= 0.0 || boundary >= 1.0 {
                     continue; // domain edge: no neighbor possible
                 }
-                let mut probe: Vec<f64> = (0..dims)
-                    .map(|d| 0.5 * (self.zone.lo(d) + self.zone.hi(d)))
-                    .collect();
-                probe[d0] = outside;
-                if !covered(&probe) {
-                    return true;
-                }
-                for d in 0..dims {
-                    if d == d0 {
-                        continue;
-                    }
-                    let len = self.zone.side(d);
-                    let mid = 0.5 * (self.zone.lo(d) + self.zone.hi(d));
-                    for x in [self.zone.lo(d) + 0.01 * len, self.zone.hi(d) - 0.01 * len] {
-                        probe[d] = x;
-                        if !covered(&probe) {
-                            return true;
-                        }
-                    }
-                    probe[d] = mid;
+                let mut lo: Vec<f64> = (0..dims).map(|d| self.zone.lo(d)).collect();
+                let mut hi: Vec<f64> = (0..dims).map(|d| self.zone.hi(d)).collect();
+                lo[d0] = outside;
+                hi[d0] = outside;
+                if let Some(p) = uncovered_point(&mut lo, &mut hi, d0, &zones) {
+                    return Some(p);
                 }
             }
         }
-        false
+        None
+    }
+
+    /// Recorded zones in ascending id order — the table is a `HashMap`,
+    /// and the coverage recursion's *choice* of split planes (hence the
+    /// exact gap point returned) must not depend on iteration order.
+    fn sorted_zones(&self) -> Vec<&Zone> {
+        let mut v: Vec<(&NodeId, &Zone)> = self.table.iter().map(|(id, e)| (id, &e.zone)).collect();
+        v.sort_by_key(|(id, _)| **id);
+        v.into_iter().map(|(_, z)| z).collect()
     }
 
     /// Installs a new zone after a split or take-over: prunes table
     /// entries that (by our own knowledge) no longer abut, and marks
-    /// the zone dirty so the next round advertises it.
+    /// the zone dirty so the next round advertises it. Pruned ids are
+    /// remembered in [`LocalNode::zone_change_audience`] so the
+    /// announcement also reaches them — our record of *their* zone may
+    /// have been the stale one, and a peer that never hears the change
+    /// keeps a stale record of us indefinitely.
     pub fn set_zone(&mut self, zone: Zone) {
         self.zone = zone;
         let own = self.zone.clone();
-        self.table.retain(|_, e| own.abuts(&e.zone));
+        let mut pruned = Vec::new();
+        self.table.retain(|id, e| {
+            let keep = own.abuts(&e.zone);
+            if !keep {
+                pruned.push(*id);
+            }
+            keep
+        });
+        pruned.sort_unstable(); // retain() walks a HashMap: order it
+        self.zone_change_audience.extend(pruned);
         self.zone_dirty = true;
     }
 
@@ -326,6 +335,80 @@ impl LocalNode {
         v.sort_unstable();
         v
     }
+}
+
+/// Exact coverage test of an axis-aligned region (degenerate — a single
+/// coordinate — in dim `d0`) against a union of zones: returns a point
+/// of the region no zone contains, or `None` when fully covered.
+///
+/// Classic recursive splitting: a zone that covers the whole region
+/// settles it; a zone that meets the region without covering it must
+/// have a bound strictly inside, and the region is split there and both
+/// halves decided independently; a region no zone meets is a gap, and
+/// its center is returned. Termination: every split plane is a zone
+/// bound, so the recursion explores at most the (finite) arrangement of
+/// zone bounds restricted to the region — in a CAN face tiling that is
+/// roughly one cell per neighbor sharing the face.
+fn uncovered_point(lo: &mut [f64], hi: &mut [f64], d0: usize, zones: &[&Zone]) -> Option<Vec<f64>> {
+    if let Some(&z) = zones.iter().find(|z| zone_meets_region(z, lo, hi, d0)) {
+        if zone_covers_region(z, lo, hi, d0) {
+            return None;
+        }
+        for j in (0..lo.len()).filter(|&j| j != d0) {
+            for cut in [z.lo(j), z.hi(j)] {
+                if lo[j] < cut && cut < hi[j] {
+                    let (olo, ohi) = (lo[j], hi[j]);
+                    hi[j] = cut;
+                    let below = uncovered_point(lo, hi, d0, zones);
+                    hi[j] = ohi;
+                    if below.is_some() {
+                        return below;
+                    }
+                    lo[j] = cut;
+                    let above = uncovered_point(lo, hi, d0, zones);
+                    lo[j] = olo;
+                    return above;
+                }
+            }
+        }
+        // meets ∧ ¬covers guarantees a strict interior cut in some
+        // free dim; bounds are compared exactly, so this is unreachable.
+        unreachable!("zone meets region without covering or cutting it");
+    }
+    Some(
+        (0..lo.len())
+            .map(|j| {
+                if j == d0 {
+                    lo[j]
+                } else {
+                    0.5 * (lo[j] + hi[j])
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Whether `z` contains the entire region (see [`uncovered_point`]).
+fn zone_covers_region(z: &Zone, lo: &[f64], hi: &[f64], d0: usize) -> bool {
+    (0..lo.len()).all(|j| {
+        if j == d0 {
+            z.lo(j) <= lo[j] && lo[j] < z.hi(j)
+        } else {
+            z.lo(j) <= lo[j] && hi[j] <= z.hi(j)
+        }
+    })
+}
+
+/// Whether `z` overlaps the region with positive extent in every free
+/// dim (and contains its pinned coordinate in `d0`).
+fn zone_meets_region(z: &Zone, lo: &[f64], hi: &[f64], d0: usize) -> bool {
+    (0..lo.len()).all(|j| {
+        if j == d0 {
+            z.lo(j) <= lo[j] && lo[j] < z.hi(j)
+        } else {
+            z.lo(j) < hi[j] && lo[j] < z.hi(j)
+        }
+    })
 }
 
 #[cfg(test)]

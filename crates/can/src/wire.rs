@@ -108,6 +108,14 @@ impl WireModel {
     pub fn join_reply(&self, d: usize, k: usize) -> u64 {
         self.full_heartbeat(d, k)
     }
+
+    /// A targeted **take-over repair**: a take-over actor announcing its
+    /// new zone (and the departed node's identity) to the departed
+    /// node's former neighbors. Same layout as a zone update. O(d).
+    #[inline]
+    pub fn takeover_repair(&self, d: usize) -> u64 {
+        self.zone_update(d)
+    }
 }
 
 /// Categories of maintenance traffic, accounted separately so Figure 8
@@ -125,17 +133,23 @@ pub enum MsgKind {
     Join,
     /// Graceful-leave handoff.
     Handoff,
+    /// Targeted take-over repair announcements (compact/adaptive).
+    Repair,
 }
 
 impl MsgKind {
     /// Whether this category counts toward the *heartbeat-scheme* cost
     /// reported in Figure 8 (heartbeats plus the adaptive on-demand
-    /// machinery; join/handoff churn traffic is the same for all
-    /// schemes and excluded).
+    /// machinery, including the targeted take-over repairs the compact
+    /// schemes pay for resilience; join/handoff churn traffic is the
+    /// same for all schemes and excluded).
     pub fn is_heartbeat_cost(self) -> bool {
         matches!(
             self,
-            MsgKind::Heartbeat | MsgKind::FullUpdateRequest | MsgKind::FullUpdateResponse
+            MsgKind::Heartbeat
+                | MsgKind::FullUpdateRequest
+                | MsgKind::FullUpdateResponse
+                | MsgKind::Repair
         )
     }
 }
@@ -196,8 +210,15 @@ mod tests {
         assert!(MsgKind::Heartbeat.is_heartbeat_cost());
         assert!(MsgKind::FullUpdateRequest.is_heartbeat_cost());
         assert!(MsgKind::FullUpdateResponse.is_heartbeat_cost());
+        assert!(MsgKind::Repair.is_heartbeat_cost());
         assert!(!MsgKind::Join.is_heartbeat_cost());
         assert!(!MsgKind::Handoff.is_heartbeat_cost());
+    }
+
+    #[test]
+    fn repair_is_zone_update_sized() {
+        let w = WireModel::default();
+        assert_eq!(w.takeover_repair(6), w.zone_update(6));
     }
 
     #[test]

@@ -23,6 +23,11 @@ USAGE:
       Run one CAN maintenance simulation under churn and print broken-link
       and message-cost statistics.
 
+  pgrid chaos    [--scenario flash-crowd|rolling-partition|lossy-churn|all]
+                 [--scheme vanilla|compact|adaptive|all] [--nodes N] [--seed S]
+      Run scripted fault scenarios through the chaos harness and print the
+      resilience table; exits non-zero on any invariant violation.
+
   pgrid trace gen-nodes  [--count N] [--dims D] [--seed S] [--out FILE]
   pgrid trace gen-jobs   [--count N] [--dims D] [--ratio R] [--interarrival S]
                          [--seed S] [--out FILE]
@@ -60,7 +65,7 @@ pub fn info() -> String {
     );
     let _ = writeln!(
         out,
-        "extensions: sf_sweep lossy_network routing_under_churn future_gpus contention_model"
+        "extensions: sf_sweep lossy_network routing_under_churn future_gpus contention_model chaos"
     );
     out
 }
@@ -200,6 +205,81 @@ pub fn churn(args: Args) -> Result<String, String> {
         ]);
     }
     out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `pgrid chaos`
+pub fn chaos(args: Args) -> Result<String, String> {
+    let schemes = match args.get("scheme").unwrap_or("all") {
+        "vanilla" => vec![HeartbeatScheme::Vanilla],
+        "compact" => vec![HeartbeatScheme::Compact],
+        "adaptive" => vec![HeartbeatScheme::Adaptive],
+        "all" => HeartbeatScheme::ALL.to_vec(),
+        other => return Err(format!("unknown scheme '{other}'")),
+    };
+    let scenario = args.get("scenario").unwrap_or("all").to_string();
+    let nodes: usize = args.get_or("nodes", 60)?;
+    let seed: u64 = args.get_or("seed", 41)?;
+    args.reject_unknown()?;
+
+    let mut reports = Vec::new();
+    for scheme in schemes {
+        let mut configs = ChaosConfig::scenarios(scheme, seed);
+        if scenario != "all" {
+            configs.retain(|c| c.name == scenario);
+            if configs.is_empty() {
+                return Err(format!(
+                    "unknown scenario '{scenario}' (flash-crowd | rolling-partition | \
+                     lossy-churn | all)"
+                ));
+            }
+        }
+        for mut cfg in configs {
+            cfg.initial_nodes = nodes;
+            reports.push(run_chaos(&cfg));
+        }
+    }
+
+    let mut out = format!("chaos: {nodes} nodes, seed {seed}\n\n");
+    let mut table = Table::new([
+        "scenario",
+        "scheme",
+        "broken peak",
+        "broken after",
+        "gaps after",
+        "recovery(s)",
+        "dropped",
+        "verdict",
+    ]);
+    let mut violations = Vec::new();
+    for r in &reports {
+        table.row([
+            r.name.to_string(),
+            r.scheme.label().to_string(),
+            r.broken_peak.to_string(),
+            r.broken_after.to_string(),
+            r.gaps_after.to_string(),
+            r.recovery_time
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.dropped_messages.to_string(),
+            if r.violations.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATIONS", r.violations.len())
+            },
+        ]);
+        for v in &r.violations {
+            violations.push(format!("{}/{}: {v}", r.name, r.scheme.label()));
+        }
+    }
+    out.push_str(&table.render());
+    if !violations.is_empty() {
+        return Err(format!(
+            "invariant violations:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
     Ok(out)
 }
 
@@ -372,6 +452,25 @@ mod tests {
         assert!(err.contains("--loss"));
         let err = churn(a(&["--scheme", "telepathy"])).unwrap_err();
         assert!(err.contains("telepathy"));
+    }
+
+    #[test]
+    fn chaos_runs_small_and_rejects_bad_args() {
+        let out = chaos(a(&[
+            "--scheme",
+            "adaptive",
+            "--scenario",
+            "flash-crowd",
+            "--nodes",
+            "36",
+        ]))
+        .unwrap();
+        assert!(out.contains("flash-crowd"));
+        assert!(out.contains("Adaptive"));
+        assert!(out.contains("ok"));
+        assert!(chaos(a(&["--scheme", "bogus"])).is_err());
+        assert!(chaos(a(&["--scenario", "bogus"])).is_err());
+        assert!(chaos(a(&["--bogus", "1"])).is_err());
     }
 
     #[test]

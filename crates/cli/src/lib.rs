@@ -6,6 +6,8 @@
 //!   style) with configurable population, workload and scheduler;
 //! * `pgrid churn` — one CAN churn simulation (Figure 7/8 style) with
 //!   configurable scheme, churn rate and message loss;
+//! * `pgrid chaos` — scripted fault scenarios through the chaos
+//!   harness, failing on any invariant violation;
 //! * `pgrid trace` — generate node/job traces, or replay previously
 //!   saved traces through a scheduler;
 //! * `pgrid info` — the built-in scenario defaults and experiment
@@ -48,6 +50,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<String, String> {
     match cmd.as_str() {
         "simulate" => commands::simulate(args::Args::parse(&rest)?),
         "churn" => commands::churn(args::Args::parse(&rest)?),
+        "chaos" => commands::chaos(args::Args::parse(&rest)?),
         "trace" => commands::trace(&rest),
         "info" => Ok(commands::info()),
         "help" | "--help" | "-h" => Ok(commands::help()),

@@ -13,8 +13,14 @@
 //! threads (each simulation itself is single-threaded and
 //! deterministic, so results do not depend on scheduling).
 
-use crate::can::{run_churn, uniform_coords, ChurnConfig, ChurnReport, HeartbeatScheme};
-use crate::sched::{run_load_balance, SchedulerChoice, SimResult};
+use crate::can::{
+    run_chaos, run_churn, uniform_coords, ChaosConfig, ChaosReport, ChurnConfig, ChurnReport,
+    HeartbeatScheme,
+};
+use crate::sched::{
+    run_load_balance, run_load_balance_chaos, CrashChaosConfig, RecoveryStats, SchedulerChoice,
+    SimResult,
+};
 use crate::workload::{default_scenario, LoadBalanceScenario};
 
 /// Experiment scale selector.
@@ -219,6 +225,78 @@ pub fn fig8(scale: Scale) -> Vec<CostCell> {
             msgs_per_node_min: report.msgs_per_node_min,
             kb_per_node_min: report.kb_per_node_min,
             mean_degree: report.mean_degree,
+        }
+    })
+}
+
+// ------------------------------------------------------------------ Chaos
+
+/// Seed shared by every chaos-suite run (the historical seed that
+/// exposed the compact-scheme stale-zone bug the targeted repair
+/// message fixes).
+pub const CHAOS_SEED: u64 = 41;
+
+/// Chaos resilience suite over the CAN maintenance layer: the three
+/// scripted fault scenarios (crash flash crowd, rolling partition,
+/// 20 % loss + high churn) for every heartbeat scheme.
+///
+/// Deterministic: the same scale always produces the same reports.
+pub fn chaos_suite(scale: Scale) -> Vec<ChaosReport> {
+    let (nodes, settle) = match scale {
+        Scale::Paper => (60, 300.0),
+        Scale::Quick => (40, 120.0),
+    };
+    let mut configs = Vec::new();
+    for scheme in HeartbeatScheme::ALL {
+        for mut cfg in ChaosConfig::scenarios(scheme, CHAOS_SEED) {
+            cfg.initial_nodes = nodes;
+            cfg.settle_time = settle;
+            configs.push(cfg);
+        }
+    }
+    parallel_map(configs, |cfg| run_chaos(&cfg))
+}
+
+/// One crash-recovery measurement: a scheduler run with and without
+/// fail-stop node crashes.
+#[derive(Debug, Clone)]
+pub struct CrashRecoveryCell {
+    /// Scheduler measured.
+    pub choice: SchedulerChoice,
+    /// Mean wait with no faults, seconds.
+    pub calm_mean_wait: f64,
+    /// Mean wait under crashes (survivors only), seconds.
+    pub chaos_mean_wait: f64,
+    /// Jobs that reached completion.
+    pub completed: usize,
+    /// Crash/recovery accounting of the chaos run.
+    pub stats: RecoveryStats,
+}
+
+/// Crash-safe job recovery suite: each scheduler under frequent
+/// fail-stop crashes, with the job-conservation ledger armed (the run
+/// panics if any job is lost or double-completed).
+pub fn crash_recovery_suite(scale: Scale) -> Vec<CrashRecoveryCell> {
+    let scenario = scenario_for(scale);
+    let mean_interval = match scale {
+        Scale::Paper => 600.0,
+        Scale::Quick => 400.0,
+    };
+    let chaos = CrashChaosConfig::new(mean_interval);
+    let configs: Vec<SchedulerChoice> = SchedulerChoice::ALL.to_vec();
+    parallel_map(configs, move |choice| {
+        let calm = run_load_balance(&scenario, choice);
+        let stormy = run_load_balance_chaos(&scenario, choice, &chaos);
+        let stats = stormy
+            .recovery
+            .clone()
+            .expect("chaos run reports recovery stats");
+        CrashRecoveryCell {
+            choice,
+            calm_mean_wait: calm.mean_wait(),
+            chaos_mean_wait: stormy.mean_wait(),
+            completed: stormy.wait_times.len(),
+            stats,
         }
     })
 }

@@ -51,14 +51,15 @@ pub mod experiments;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::can::{
-        run_churn, uniform_coords, CanSim, ChurnConfig, ChurnReport, HeartbeatScheme,
-        ProtocolConfig, WireModel,
+        run_chaos, run_churn, uniform_coords, CanSim, ChaosConfig, ChaosReport, ChurnConfig,
+        ChurnReport, HeartbeatScheme, PartitionSpec, ProtocolConfig, WireModel,
     };
     pub use crate::experiments::{self, Scale};
     pub use crate::metrics::{Cdf, CsvWriter, Summary, Table, TimeSeries};
     pub use crate::sched::{
-        run_load_balance, run_load_balance_ablated, CentralMatchmaker, HetFeatures, Matchmaker,
-        PushParams, PushingMatchmaker, SchedulerChoice, SimResult, StaticGrid,
+        run_load_balance, run_load_balance_ablated, run_load_balance_chaos, CentralMatchmaker,
+        CrashChaosConfig, HetFeatures, Matchmaker, PushParams, PushingMatchmaker, RecoveryStats,
+        SchedulerChoice, SimResult, StaticGrid,
     };
     pub use crate::simcore::{EventQueue, SimRng};
     pub use crate::types::{

@@ -220,6 +220,23 @@ impl StaticGrid {
         self.runtimes[id.idx()].evict()
     }
 
+    /// Fail-stop crash of a node: takes it offline like
+    /// [`StaticGrid::evict_node`], but returns the killed jobs split
+    /// into `(running, queued)` — a crash loses the running jobs'
+    /// partial execution, and nothing in the system learns of either
+    /// loss until a failure-detection timeout elapses (the caller
+    /// models the delay; contrast with graceful eviction, where the
+    /// departing volunteer hands its jobs back immediately).
+    pub fn crash_node(
+        &mut self,
+        id: NodeId,
+    ) -> (Vec<pgrid_types::JobSpec>, Vec<pgrid_types::JobSpec>) {
+        if let Ok(pos) = self.available.binary_search(&id) {
+            self.available.remove(pos);
+        }
+        self.runtimes[id.idx()].evict_split()
+    }
+
     /// Brings an evicted node back online and updates the availability
     /// index.
     pub fn restore_node(&mut self, id: NodeId) {

@@ -13,6 +13,8 @@ use pgrid_workload::jobgen::JobStream;
 use pgrid_workload::nodegen::generate_nodes;
 use pgrid_workload::profiles::{EvictionConfig, LoadBalanceScenario};
 
+use crate::recovery::{CrashChaosConfig, JobLedger, RecoveryStats};
+
 /// Which matchmaker a simulation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerChoice {
@@ -53,6 +55,11 @@ enum Ev {
     Evict,
     /// An evicted node returns.
     Restore(NodeId),
+    /// Fail-stop crash of one node (chaos model): jobs die silently.
+    Crash,
+    /// The failure detector notices that a job's `gen`-th submission
+    /// died with its node; stale generations are ignored.
+    DetectLoss(u32, u32),
 }
 
 /// Result of one load-balancing simulation.
@@ -84,6 +91,11 @@ pub struct SimResult {
     /// Total events processed by the simulation loop — the numerator
     /// of the events/sec throughput metric.
     pub events_fired: u64,
+    /// Crash-recovery accounting — `Some` only for
+    /// [`run_load_balance_chaos`] runs; `None` otherwise, and excluded
+    /// from every digest/baseline so the fault layer stays strictly
+    /// opt-in.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl SimResult {
@@ -149,6 +161,48 @@ pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice)
         scenario.seed,
         choice,
         scenario.eviction.as_ref(),
+        None,
+    )
+}
+
+/// Chaos entry point: the scenario's workload under fail-stop node
+/// crashes with delayed loss detection, bounded-retry re-matching, and
+/// exponential backoff (see [`CrashChaosConfig`]). Every surviving job
+/// completes exactly once; jobs that exhaust their retry budget are
+/// counted in [`RecoveryStats::permanently_failed`] and excluded from
+/// the wait-time population.
+pub fn run_load_balance_chaos(
+    scenario: &LoadBalanceScenario,
+    choice: SchedulerChoice,
+    chaos: &CrashChaosConfig,
+) -> SimResult {
+    let layout = DimensionLayout::with_dims(scenario.dims);
+    let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
+    let mut stream =
+        JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
+    let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
+    let population = stream
+        .into_population()
+        .expect("stream built with population");
+    let mut grid = StaticGrid::build(layout, population, scenario.seed);
+    let params = PushParams {
+        stopping_factor: scenario.stopping_factor,
+        ..PushParams::default()
+    };
+    let mut matchmaker: Box<dyn Matchmaker> = match choice {
+        SchedulerChoice::CanHet => Box::new(PushingMatchmaker::heterogeneous(&grid, params)),
+        SchedulerChoice::CanHom => Box::new(PushingMatchmaker::homogeneous(&grid, params)),
+        SchedulerChoice::Central => Box::new(CentralMatchmaker),
+    };
+    run_with(
+        &mut grid,
+        matchmaker.as_mut(),
+        &jobs,
+        scenario.ai_refresh_period,
+        scenario.seed,
+        choice,
+        scenario.eviction.as_ref(),
+        Some(chaos),
     )
 }
 
@@ -179,6 +233,7 @@ pub fn run_load_balance_ablated(
         scenario.seed,
         SchedulerChoice::CanHet,
         scenario.eviction.as_ref(),
+        None,
     )
 }
 
@@ -202,6 +257,7 @@ pub fn run_trace(
         seed,
         choice,
         None,
+        None,
     )
 }
 
@@ -214,6 +270,7 @@ fn run_with(
     seed: u64,
     choice: SchedulerChoice,
     eviction: Option<&EvictionConfig>,
+    chaos: Option<&CrashChaosConfig>,
 ) -> SimResult {
     use std::collections::HashMap;
     let mut rng = SimRng::sub_stream(seed, 0x5C4ED);
@@ -243,6 +300,13 @@ fn run_with(
     let mut evictions = 0u64;
     let mut resubmissions = 0u64;
     let mut evict_rng = SimRng::sub_stream(seed, 0xE71C);
+    // Crash-recovery state (all inert — and the rng untouched — when
+    // `chaos` is None, so fault-free runs are bit-identical).
+    let mut crash_rng = SimRng::sub_stream(seed, 0xC8A5);
+    let mut started_at: Vec<f64> = vec![0.0; jobs.len()];
+    let mut attempts: Vec<u32> = vec![0; jobs.len()];
+    let mut ledger = JobLedger::new(jobs.len());
+    let mut rec = RecoveryStats::default();
 
     matchmaker.refresh(grid, 0.0);
     for (i, (t, _)) in jobs.iter().enumerate() {
@@ -251,6 +315,9 @@ fn run_with(
     queue.schedule(ai_refresh_period, Ev::AiRefresh);
     if let Some(ev) = eviction {
         queue.schedule(evict_rng.exponential(ev.mean_interval), Ev::Evict);
+    }
+    if let Some(ch) = chaos {
+        queue.schedule(crash_rng.exponential(ch.mean_interval), Ev::Crash);
     }
 
     let mut remaining = jobs.len();
@@ -286,6 +353,7 @@ fn run_with(
                 for started in rt.start_ready() {
                     let jidx = index_of[&started.job.id];
                     wait_times[jidx] = now - placed_at[jidx];
+                    started_at[jidx] = now;
                     let dur = started.job.runtime_on(dominant_clock[jidx]);
                     node_busy_seconds[node.idx()] += dur;
                     queue.schedule(
@@ -301,11 +369,13 @@ fn run_with(
                 }
                 remaining -= 1;
                 makespan = now;
+                ledger.complete(jidx);
                 let rt = grid.runtime_mut(node);
                 rt.finish(job_id);
                 for started in rt.start_ready() {
                     let sidx = index_of[&started.job.id];
                     wait_times[sidx] = now - placed_at[sidx];
+                    started_at[sidx] = now;
                     let dur = started.job.runtime_on(dominant_clock[sidx]);
                     node_busy_seconds[node.idx()] += dur;
                     queue.schedule(
@@ -340,6 +410,7 @@ fn run_with(
                 for started in rt.start_ready() {
                     let sidx = index_of[&started.job.id];
                     wait_times[sidx] = now - placed_at[sidx];
+                    started_at[sidx] = now;
                     let dur = started.job.runtime_on(dominant_clock[sidx]);
                     node_busy_seconds[node.idx()] += dur;
                     queue.schedule(
@@ -348,12 +419,85 @@ fn run_with(
                     );
                 }
             }
+            Ev::Crash => {
+                let ch = chaos.expect("Crash event without config");
+                let available = grid.available_nodes();
+                if !available.is_empty() {
+                    let victim = available[crash_rng.below(available.len())];
+                    rec.crashes += 1;
+                    let (running, queued) = grid.crash_node(victim);
+                    // Running jobs lose their partial execution; the
+                    // busy time charged up-front for the un-run
+                    // remainder is returned to the node's account.
+                    for job in &running {
+                        let jidx = index_of[&job.id];
+                        let dur = job.runtime_on(dominant_clock[jidx]);
+                        let done = now - started_at[jidx];
+                        node_busy_seconds[victim.idx()] -= (started_at[jidx] + dur) - now;
+                        rec.wasted_seconds += done;
+                        rec.killed_running += 1;
+                    }
+                    rec.killed_queued += queued.len() as u64;
+                    // Nothing reacts until the failure detector fires:
+                    // each loss surfaces only after `detect_timeout`.
+                    for job in running.iter().chain(queued.iter()) {
+                        let jidx = index_of[&job.id];
+                        submit_gen[jidx] += 1; // invalidate pending Finish
+                        queue.schedule(
+                            now + ch.detect_timeout,
+                            Ev::DetectLoss(jidx as u32, submit_gen[jidx]),
+                        );
+                    }
+                    queue.schedule(now + ch.outage, Ev::Restore(victim));
+                }
+                queue.schedule(now + crash_rng.exponential(ch.mean_interval), Ev::Crash);
+            }
+            Ev::DetectLoss(idx, gen) => {
+                let ch = chaos.expect("DetectLoss event without config");
+                let jidx = idx as usize;
+                if submit_gen[jidx] != gen {
+                    continue; // superseded meanwhile
+                }
+                attempts[jidx] += 1;
+                rec.max_attempts = rec.max_attempts.max(attempts[jidx]);
+                if attempts[jidx] > ch.max_retries {
+                    ledger.fail(jidx);
+                    rec.permanently_failed += 1;
+                    remaining -= 1;
+                } else {
+                    rec.requeued += 1;
+                    queue.schedule(now + ch.backoff(attempts[jidx]), Ev::Arrival(idx));
+                }
+            }
         }
     }
 
+    let recovery = if let Some(_ch) = chaos {
+        // Conservation invariant: every job completed xor permanently
+        // failed. Failed jobs are then dropped from the wait-time and
+        // placement populations (their stale pre-crash waits would
+        // otherwise pollute the distribution).
+        ledger.check_conserved();
+        let keep: Vec<bool> = (0..wait_times.len())
+            .map(|i| !ledger.is_failed(i))
+            .collect();
+        let mut i = 0;
+        wait_times.retain(|_| {
+            i += 1;
+            keep[i - 1]
+        });
+        i = 0;
+        placed_nodes.retain(|_| {
+            i += 1;
+            keep[i - 1]
+        });
+        Some(rec)
+    } else {
+        None
+    };
     debug_assert!(
         wait_times.iter().all(|w| !w.is_nan()),
-        "every job must have started"
+        "every surviving job must have started"
     );
     SimResult {
         scheduler: choice,
@@ -367,6 +511,7 @@ fn run_with(
         resubmissions,
         placed_nodes,
         events_fired: queue.fired(),
+        recovery,
     }
 }
 
@@ -489,6 +634,69 @@ mod tests {
         assert_eq!(a.wait_times, b.wait_times);
         assert_eq!(a.evictions, b.evictions);
         assert_eq!(a.resubmissions, b.resubmissions);
+    }
+
+    #[test]
+    fn plain_runs_report_no_recovery() {
+        let r = run_load_balance(&tiny(), SchedulerChoice::Central);
+        assert!(r.recovery.is_none());
+    }
+
+    #[test]
+    fn chaos_crashes_fire_and_jobs_are_conserved() {
+        let s = tiny();
+        let chaos = CrashChaosConfig::new(400.0); // frequent crashes
+        for choice in SchedulerChoice::ALL {
+            let r = run_load_balance_chaos(&s, choice, &chaos);
+            let rec = r.recovery.as_ref().expect("chaos run reports stats");
+            assert!(rec.crashes > 0, "{}: no crashes happened", choice.label());
+            assert!(
+                rec.jobs_lost() > 0,
+                "{}: crashes should kill some jobs",
+                choice.label()
+            );
+            assert!(
+                rec.requeued > 0,
+                "{}: losses should be re-matched",
+                choice.label()
+            );
+            // Conservation: every job completed or permanently failed;
+            // failed ones are excluded from the wait population.
+            assert_eq!(
+                r.wait_times.len() as u64 + rec.permanently_failed,
+                400,
+                "{}",
+                choice.label()
+            );
+            assert!(r.wait_times.iter().all(|w| w.is_finite() && *w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let s = tiny();
+        let chaos = CrashChaosConfig::new(500.0);
+        let a = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &chaos);
+        let b = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &chaos);
+        assert_eq!(a.wait_times, b.wait_times);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn chaos_costs_are_visible_in_waits() {
+        let s = tiny();
+        let calm = run_load_balance(&s, SchedulerChoice::CanHet);
+        let chaos = CrashChaosConfig::new(300.0);
+        let stormy = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &chaos);
+        assert!(
+            stormy.mean_wait() >= calm.mean_wait() * 0.9,
+            "crashes should not improve waits: calm {} stormy {}",
+            calm.mean_wait(),
+            stormy.mean_wait()
+        );
+        let rec = stormy.recovery.unwrap();
+        assert!(rec.wasted_seconds >= 0.0);
+        assert!(rec.max_attempts >= 1);
     }
 
     #[test]

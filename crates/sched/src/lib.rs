@@ -12,15 +12,18 @@ pub mod grid;
 pub mod grid_sim;
 pub mod matchmakers;
 pub mod node_runtime;
+pub mod recovery;
 pub mod timeshare;
 
 pub use aggregate::{AiEntry, AiGrouping, AiTable};
 pub use grid::StaticGrid;
 pub use grid_sim::{
-    run_load_balance, run_load_balance_ablated, run_trace, SchedulerChoice, SimResult,
+    run_load_balance, run_load_balance_ablated, run_load_balance_chaos, run_trace, SchedulerChoice,
+    SimResult,
 };
 pub use matchmakers::{
     CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushMode, PushParams, PushingMatchmaker,
 };
 pub use node_runtime::{NodeRuntime, Started};
+pub use recovery::{CrashChaosConfig, JobLedger, RecoveryStats};
 pub use timeshare::{run_time_shared, TimeSharedNode, TsCompletion, TsPolicy, TsResult};

@@ -93,14 +93,27 @@ impl NodeRuntime {
     /// it was running or queueing (the grid resubmits them; running
     /// work is lost, as on a real desktop reclaim).
     pub fn evict(&mut self) -> Vec<JobSpec> {
+        let (mut running, queued) = self.evict_split();
+        running.extend(queued);
+        running
+    }
+
+    /// Like [`NodeRuntime::evict`], but keeps the running and queued
+    /// jobs separate: crash accounting charges the partial execution of
+    /// *running* jobs as wasted work, while queued jobs lose only their
+    /// place in line.
+    pub fn evict_split(&mut self) -> (Vec<JobSpec>, Vec<JobSpec>) {
         self.available = false;
-        let mut out: Vec<JobSpec> = std::mem::take(&mut self.running);
-        out.extend(std::mem::take(&mut self.queue).into_iter().map(|w| w.job));
+        let running: Vec<JobSpec> = std::mem::take(&mut self.running);
+        let queued: Vec<JobSpec> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .map(|w| w.job)
+            .collect();
         for ce in &mut self.ces {
             ce.used_cores = 0;
             ce.running_jobs = 0;
         }
-        out
+        (running, queued)
     }
 
     /// Brings the node back online. Call

@@ -1,0 +1,238 @@
+//! Crash-safe job recovery for the load-balancing simulation.
+//!
+//! The volunteer-eviction model in [`crate::grid_sim`] is *graceful*:
+//! the node announces its withdrawal and its jobs are handed back for
+//! immediate resubmission. A **crash** is fail-stop and silent — the
+//! node's running and queued jobs are simply gone, and nothing learns
+//! of it until a failure-detection timeout elapses (the same timeout
+//! discipline the CAN heartbeat layer uses for neighbor liveness).
+//! Detected losses are re-matched from scratch with exponential
+//! backoff and a bounded retry budget; jobs that exhaust the budget
+//! are reported permanently failed rather than silently dropped.
+//!
+//! [`JobLedger`] enforces the conservation invariant mid-chaos: every
+//! job ends exactly-once completed or exactly-once permanently failed
+//! — never lost, never double-completed.
+
+/// Crash-fault model for [`crate::grid_sim::run_load_balance_chaos`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashChaosConfig {
+    /// Mean seconds between crashes (Poisson arrivals).
+    pub mean_interval: f64,
+    /// Seconds a crashed node stays down before rejoining.
+    pub outage: f64,
+    /// Seconds until a lost job's absence is detected (failure
+    /// timeout: nothing reacts to a crash before this elapses).
+    pub detect_timeout: f64,
+    /// Backoff before the first re-match attempt; attempt `k` waits
+    /// `retry_base * 2^(k-1)`, capped at [`CrashChaosConfig::retry_cap`].
+    pub retry_base: f64,
+    /// Upper bound on the exponential backoff, seconds.
+    pub retry_cap: f64,
+    /// Re-match attempts granted per job before it is declared
+    /// permanently failed.
+    pub max_retries: u32,
+}
+
+impl CrashChaosConfig {
+    /// Defaults mirroring the maintenance layer's failure detector:
+    /// 150 s detection, 30 s base backoff capped at 10 min, 5 retries,
+    /// half-hour outages.
+    pub fn new(mean_interval: f64) -> Self {
+        assert!(mean_interval > 0.0);
+        CrashChaosConfig {
+            mean_interval,
+            outage: 1800.0,
+            detect_timeout: 150.0,
+            retry_base: 30.0,
+            retry_cap: 600.0,
+            max_retries: 5,
+        }
+    }
+
+    /// Backoff before re-match attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        debug_assert!(attempt >= 1);
+        let factor = 2.0_f64.powi(attempt.saturating_sub(1).min(62) as i32);
+        (self.retry_base * factor).min(self.retry_cap)
+    }
+}
+
+/// Re-execution cost and outcome accounting of one chaos run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Node crashes that occurred.
+    pub crashes: u64,
+    /// Jobs killed by crashes while *running* (their partial execution
+    /// is wasted work).
+    pub killed_running: u64,
+    /// Jobs killed by crashes while still *queued* (no cycles wasted,
+    /// but they still pay detection plus backoff).
+    pub killed_queued: u64,
+    /// Re-match attempts actually scheduled.
+    pub requeued: u64,
+    /// Jobs that exhausted their retry budget.
+    pub permanently_failed: u64,
+    /// Execution seconds thrown away by crashes (work done by killed
+    /// running jobs that must be redone).
+    pub wasted_seconds: f64,
+    /// Highest re-match attempt number any job needed.
+    pub max_attempts: u32,
+}
+
+impl RecoveryStats {
+    /// Total jobs killed by crashes, running or queued.
+    pub fn jobs_lost(&self) -> u64 {
+        self.killed_running + self.killed_queued
+    }
+}
+
+/// Terminal state of a job in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobFate {
+    Pending,
+    Completed,
+    Failed,
+}
+
+/// Exactly-once-or-failed accounting over a fixed job population.
+///
+/// The simulation records every terminal transition here; illegal
+/// transitions (completing a failed job, double-completion, failing a
+/// completed job) panic immediately, and [`JobLedger::check_conserved`]
+/// asserts at drain time that no job was lost.
+#[derive(Debug, Clone)]
+pub struct JobLedger {
+    fates: Vec<JobFate>,
+    completed: u64,
+    failed: u64,
+}
+
+impl JobLedger {
+    /// Ledger over `n` jobs, all pending.
+    pub fn new(n: usize) -> Self {
+        JobLedger {
+            fates: vec![JobFate::Pending; n],
+            completed: 0,
+            failed: 0,
+        }
+    }
+
+    /// Records completion of job `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job already completed or failed.
+    pub fn complete(&mut self, idx: usize) {
+        assert_eq!(
+            self.fates[idx],
+            JobFate::Pending,
+            "job {idx} reached a second terminal state (complete)"
+        );
+        self.fates[idx] = JobFate::Completed;
+        self.completed += 1;
+    }
+
+    /// Records permanent failure of job `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job already completed or failed.
+    pub fn fail(&mut self, idx: usize) {
+        assert_eq!(
+            self.fates[idx],
+            JobFate::Pending,
+            "job {idx} reached a second terminal state (fail)"
+        );
+        self.fates[idx] = JobFate::Failed;
+        self.failed += 1;
+    }
+
+    /// Whether job `idx` failed permanently.
+    pub fn is_failed(&self, idx: usize) -> bool {
+        self.fates[idx] == JobFate::Failed
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Jobs permanently failed so far.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Conservation invariant at drain time: every job reached exactly
+    /// one terminal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when some job is still pending or the counters disagree
+    /// with the per-job states.
+    pub fn check_conserved(&self) {
+        let pending = self
+            .fates
+            .iter()
+            .filter(|f| **f == JobFate::Pending)
+            .count();
+        assert_eq!(pending, 0, "{pending} jobs lost (neither done nor failed)");
+        assert_eq!(
+            self.completed + self.failed,
+            self.fates.len() as u64,
+            "ledger counters diverged from per-job fates"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let c = CrashChaosConfig::new(1000.0);
+        assert_eq!(c.backoff(1), 30.0);
+        assert_eq!(c.backoff(2), 60.0);
+        assert_eq!(c.backoff(3), 120.0);
+        assert_eq!(c.backoff(5), 480.0);
+        assert_eq!(c.backoff(6), 600.0, "capped");
+        assert_eq!(c.backoff(40), 600.0, "no overflow at large attempts");
+    }
+
+    #[test]
+    fn ledger_counts_and_conserves() {
+        let mut l = JobLedger::new(3);
+        l.complete(0);
+        l.fail(1);
+        l.complete(2);
+        assert_eq!(l.completed(), 2);
+        assert_eq!(l.failed(), 1);
+        assert!(l.is_failed(1) && !l.is_failed(0));
+        l.check_conserved();
+    }
+
+    #[test]
+    #[should_panic(expected = "second terminal state")]
+    fn double_completion_panics() {
+        let mut l = JobLedger::new(1);
+        l.complete(0);
+        l.complete(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "second terminal state")]
+    fn completing_failed_job_panics() {
+        let mut l = JobLedger::new(1);
+        l.fail(0);
+        l.complete(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs lost")]
+    fn lost_job_fails_conservation() {
+        let mut l = JobLedger::new(2);
+        l.complete(0);
+        l.check_conserved();
+    }
+}

@@ -10,7 +10,11 @@
 //! * [`rng`] — seedable random-number utilities and the hand-rolled
 //!   distributions the workload model needs (exponential inter-arrival
 //!   times, uniform runtimes, weighted discrete choices, and the skewed
-//!   "most nodes are weak" capability distribution).
+//!   "most nodes are weak" capability distribution);
+//! * [`fault`] — deterministic fault injection: a seeded
+//!   [`fault::NetworkModel`] (per-class loss, duplication, latency
+//!   jitter, scheduled partitions) and scripted node-level
+//!   [`fault::FaultPlan`]s (crash, rejoin, freeze), all replayable.
 //!
 //! Simulations in this workspace are single-threaded and deterministic;
 //! parallelism happens one level up, across independent simulation
@@ -20,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 
 pub use event::{EventQueue, SimTime};
+pub use fault::{ClassFaults, FaultPlan, MsgClass, NetworkModel, NodeFault, Partition};
 pub use rng::SimRng;

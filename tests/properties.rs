@@ -162,4 +162,59 @@ proptest! {
             prop_assert_eq!(r.owner, grid.owner_at(&p));
         }
     }
+
+    /// After a randomized crash episode the self-healing (adaptive)
+    /// scheme restores every node's boundary coverage and all
+    /// ground-truth links within a bounded number of heartbeat
+    /// periods — the chaos harness's own invariant checker must report
+    /// a clean run for any fault seed.
+    #[test]
+    fn adaptive_recovers_full_coverage_after_random_crashes(
+        seed in 0u64..500,
+        crashes in 3u32..12,
+        rejoins in 0u32..6,
+    ) {
+        use p2p_ce_grid::simcore::fault::{FaultPlan, NodeFault};
+        let mut cfg = ChaosConfig::new("prop-crashes", HeartbeatScheme::Adaptive, seed);
+        cfg.initial_nodes = 36;
+        cfg.settle_time = 120.0;
+        cfg.plan = FaultPlan::new(seed)
+            .with(60.0, NodeFault::Crash { count: crashes as usize })
+            .with(400.0, NodeFault::Rejoin { count: rejoins as usize });
+        let report = run_chaos(&cfg);
+        prop_assert!(
+            report.violations.is_empty(),
+            "seed {}: {:?}", seed, report.violations
+        );
+        prop_assert_eq!(report.broken_after, 0);
+        prop_assert_eq!(report.gaps_after, 0);
+        // Recovery must happen within the harness's bounded recovery
+        // window (recovery_periods heartbeat periods).
+        prop_assert!(report.recovery_time.is_some());
+    }
+
+    /// Under randomized fail-stop node crashes, no job is ever lost or
+    /// double-completed: every submitted job either completes exactly
+    /// once or is explicitly accounted as permanently failed after
+    /// bounded retries. (The conservation ledger inside the simulator
+    /// panics on any violation; the counts must also reconcile.)
+    #[test]
+    fn crash_recovery_conserves_every_job(
+        seed in 0u64..1000,
+        mean_interval in 200.0f64..2000.0,
+    ) {
+        let mut s = default_scenario().scaled_down(20); // 50 nodes
+        s.jobs = 300;
+        s.seed = seed;
+        let chaos = CrashChaosConfig::new(mean_interval);
+        let r = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &chaos);
+        let rec = r.recovery.as_ref().expect("chaos run reports stats");
+        prop_assert_eq!(
+            r.wait_times.len() as u64 + rec.permanently_failed,
+            s.jobs as u64,
+            "every job completes once or is accounted failed"
+        );
+        prop_assert!(r.wait_times.iter().all(|w| w.is_finite() && *w >= 0.0));
+        prop_assert!(rec.requeued >= rec.jobs_lost().saturating_sub(rec.permanently_failed));
+    }
 }
