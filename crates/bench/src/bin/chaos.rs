@@ -5,28 +5,44 @@
 //! tables. Exits non-zero if any invariant checker reports a
 //! violation, so CI can use `chaos --quick` as a smoke gate.
 //!
+//! `--seed` overrides the historical scenario seed (41); `--budget`
+//! caps wall-clock — the crash-recovery suite is skipped once the cap
+//! is exceeded (the CAN suite and its invariant verdicts always run).
+//!
 //! Deterministic: the same seed always reproduces the same tables.
 
 use pgrid::experiments;
-use pgrid_bench::{parse_cli, render_chaos, render_crash_recovery, save_chaos_csv};
+use pgrid_bench::{
+    parse_seeded_cli, render_chaos, render_crash_recovery, save_chaos_csv, CHAOS_USAGE,
+};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let (scale, out) = parse_cli();
+    let args = parse_seeded_cli(false, CHAOS_USAGE);
+    let seed = args.seed.unwrap_or(experiments::CHAOS_SEED);
+    let started = Instant::now();
     println!(
-        "=== Chaos harness: scripted faults, seed {} ({scale:?}) ===\n",
-        experiments::CHAOS_SEED
+        "=== Chaos harness: scripted faults, seed {seed} ({:?}) ===\n",
+        args.scale
     );
 
     println!("--- CAN maintenance under chaos ---");
-    let reports = experiments::chaos_suite(scale);
+    let reports = experiments::chaos_suite_seeded(args.scale, seed);
     println!("{}", render_chaos(&reports));
-    let csv = out.join("chaos.csv");
+    let csv = args.out.join("chaos.csv");
     save_chaos_csv(&csv, &reports).expect("write csv");
 
-    println!("--- Crash-safe job recovery (conservation ledger armed) ---");
-    let cells = experiments::crash_recovery_suite(scale);
-    println!("{}", render_crash_recovery(&cells));
+    if args
+        .budget
+        .is_none_or(|b| started.elapsed().as_secs_f64() <= b)
+    {
+        println!("--- Crash-safe job recovery (conservation ledger armed) ---");
+        let cells = experiments::crash_recovery_suite(args.scale);
+        println!("{}", render_crash_recovery(&cells));
+    } else {
+        println!("(crash-recovery suite skipped: wall budget exceeded)");
+    }
     println!("CSV written to {}", csv.display());
 
     let violations: Vec<String> = reports

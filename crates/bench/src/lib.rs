@@ -68,6 +68,158 @@ pub fn parse_cli() -> (Scale, PathBuf) {
     }
 }
 
+/// Usage string for the `chaos` binary (seeded flag set).
+pub const CHAOS_USAGE: &str = "usage: chaos [--quick] [--out DIR] [--seed N] [--budget SECS]\n\n  \
+--quick        reduced smoke-run configuration (default: paper scale)\n  \
+--out DIR      write CSV results under DIR (default: results/)\n  \
+--seed N       chaos-scenario seed (default: 41, the historical repro seed)\n  \
+--budget SECS  wall-clock cap; the crash-recovery suite is skipped once exceeded\n";
+
+/// Usage string for the `fuzz` binary.
+pub const FUZZ_USAGE: &str =
+    "usage: fuzz [--quick] [--out DIR] [--seed N] [--seeds N] [--budget SECS]\n\n  \
+--quick        smoke schedule grammar and a smaller default sweep\n  \
+--out DIR      write shrunk repro traces under DIR (default: results/)\n  \
+--seed N       first schedule seed of the sweep (default: 1)\n  \
+--seeds N      number of seeds to attempt (default: 16 quick / 64 paper)\n  \
+--budget SECS  wall-clock budget for the sweep (default: 120 quick / 900 paper)\n";
+
+/// Arguments of the seeded bench binaries (`chaos`, `fuzz`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeededArgs {
+    /// Experiment scale (`--quick` selects [`Scale::Quick`]).
+    pub scale: Scale,
+    /// Results directory (`--out`).
+    pub out: PathBuf,
+    /// Explicit seed (`--seed`), if given.
+    pub seed: Option<u64>,
+    /// Wall-clock budget in seconds (`--budget`), if given.
+    pub budget: Option<f64>,
+    /// Sweep width (`--seeds`), if given — fuzz binary only.
+    pub seeds: Option<usize>,
+}
+
+/// Parses the seeded bench arguments (program name already stripped).
+///
+/// Strict like [`parse_args`]: unknown flags, missing values, and
+/// unparseable numbers are errors. `--seeds` is only accepted when
+/// `allow_seeds` is set (the chaos binary has no sweep width).
+pub fn parse_seeded_args(raw: &[String], allow_seeds: bool) -> Result<SeededArgs, String> {
+    let mut args = SeededArgs {
+        scale: Scale::Paper,
+        out: PathBuf::from("results"),
+        seed: None,
+        budget: None,
+        seeds: None,
+    };
+    let mut i = 0;
+    let value = |raw: &[String], i: usize, flag: &str| -> Result<String, String> {
+        raw.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("flag '{flag}' needs a value"))
+    };
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--out" => {
+                args.out = PathBuf::from(value(raw, i, "--out")?);
+                i += 1;
+            }
+            "--seed" => {
+                let v = value(raw, i, "--seed")?;
+                args.seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed wants an unsigned integer, got '{v}'"))?,
+                );
+                i += 1;
+            }
+            "--budget" => {
+                let v = value(raw, i, "--budget")?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--budget wants seconds, got '{v}'"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(format!("--budget wants a positive finite value, got '{v}'"));
+                }
+                args.budget = Some(secs);
+                i += 1;
+            }
+            "--seeds" if allow_seeds => {
+                let v = value(raw, i, "--seeds")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--seeds wants a positive integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--seeds wants at least 1".into());
+                }
+                args.seeds = Some(n);
+                i += 1;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// CLI wrapper over [`parse_seeded_args`]: parse errors print `usage`
+/// and exit with status 2; the results directory is created on success.
+pub fn parse_seeded_cli(allow_seeds: bool, usage: &str) -> SeededArgs {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match parse_seeded_args(&raw, allow_seeds) {
+        Ok(args) => {
+            std::fs::create_dir_all(&args.out).expect("create results dir");
+            args
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Renders a fuzz sweep: one row per clean seed, then the failure
+/// block (if any) with the shrink statistics.
+pub fn render_fuzz(summary: &FuzzSummary) -> String {
+    let mut table = Table::new(["seed", "scheme", "nodes", "events", "broken peak", "digest"]);
+    for r in &summary.runs {
+        table.row([
+            r.seed.to_string(),
+            r.scheme.clone(),
+            r.nodes.to_string(),
+            r.events.to_string(),
+            r.broken_peak.to_string(),
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "clean seeds: {}/{} requested{}\n",
+        summary.runs.len(),
+        summary.seeds_requested,
+        if summary.hit_wall_budget {
+            " (wall budget hit)"
+        } else {
+            ""
+        }
+    ));
+    if let Some(f) = &summary.failure {
+        out.push_str(&format!(
+            "FAILURE at seed {}: {} violation(s); shrunk {} -> {} fault events in {} replay probes\n",
+            f.seed,
+            f.violations.len(),
+            f.original_events,
+            f.shrunk.events.len(),
+            f.probes,
+        ));
+        for v in &f.shrunk_violations {
+            out.push_str(&format!("  shrunk repro still violates: {v}\n"));
+        }
+    }
+    out
+}
+
 /// Renders one wait-time cell (a sub-figure of Fig 5/6) as the CDF
 /// table the paper plots: rows are wait-time thresholds, columns the
 /// three schemes' cumulative percentages.
@@ -558,6 +710,68 @@ mod tests {
         assert!(parse_args(&to_v(&["--qiuck"])).is_err());
         assert!(parse_args(&to_v(&["--out"])).is_err());
         assert!(parse_args(&to_v(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn seeded_parser_is_strict() {
+        let to_v = |raw: &[&str]| raw.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = parse_seeded_args(
+            &to_v(&[
+                "--quick", "--out", "/tmp/x", "--seed", "7", "--seeds", "12", "--budget", "30",
+            ]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(args.scale, Scale::Quick);
+        assert_eq!(args.out, PathBuf::from("/tmp/x"));
+        assert_eq!(args.seed, Some(7));
+        assert_eq!(args.seeds, Some(12));
+        assert_eq!(args.budget, Some(30.0));
+
+        let args = parse_seeded_args(&[], false).unwrap();
+        assert_eq!(args.scale, Scale::Paper);
+        assert_eq!(args.seed, None);
+
+        // Unknown flags, missing values, and garbage numbers fail fast.
+        assert!(parse_seeded_args(&to_v(&["--sede", "7"]), true).is_err());
+        assert!(parse_seeded_args(&to_v(&["--seed"]), true).is_err());
+        assert!(parse_seeded_args(&to_v(&["--seed", "-1"]), true).is_err());
+        assert!(parse_seeded_args(&to_v(&["--seeds", "0"]), true).is_err());
+        assert!(parse_seeded_args(&to_v(&["--budget", "0"]), true).is_err());
+        assert!(parse_seeded_args(&to_v(&["--budget", "inf"]), true).is_err());
+        // --seeds is fuzz-only: the chaos binary must reject it.
+        assert!(parse_seeded_args(&to_v(&["--seeds", "4"]), false).is_err());
+    }
+
+    #[test]
+    fn fuzz_render_covers_clean_and_failing_sweeps() {
+        let mut cfg = pgrid::fuzz::FuzzConfig::new(100, 2);
+        cfg.wall_budget = 600.0;
+        let summary = pgrid::fuzz::fuzz_search(&cfg);
+        assert!(summary.failure.is_none(), "{:#?}", summary.failure);
+        let text = render_fuzz(&summary);
+        assert!(text.contains("clean seeds: 2/2 requested"));
+        assert!(text.contains("broken peak"));
+
+        // A synthetic failure renders the shrink statistics.
+        let shrunk = pgrid::simcore::dst::generate(100, &ScheduleBudget::smoke());
+        let failing = FuzzSummary {
+            runs: Vec::new(),
+            failure: Some(FuzzFailure {
+                seed: 9,
+                violations: vec!["CAN: oops".into()],
+                shrunk,
+                shrunk_violations: vec!["CAN: oops".into()],
+                original_events: 4,
+                probes: 17,
+            }),
+            seeds_requested: 5,
+            hit_wall_budget: false,
+        };
+        let text = render_fuzz(&failing);
+        assert!(text.contains("FAILURE at seed 9"));
+        assert!(text.contains("17 replay probes"));
+        assert!(text.contains("shrunk repro still violates: CAN: oops"));
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Executor for generated fault schedules ([`FaultSchedule`]) with
+//! per-heartbeat oracle checks — the CAN half of the DST harness.
+//!
+//! [`run_schedule`] mirrors the three-phase chaos flow
+//! (bootstrap/settle → fault phase → recovery), but instead of a
+//! single end-of-run audit it evaluates the [`crate::oracles`] at
+//! **every heartbeat boundary** from the start of the fault phase to
+//! the end of recovery, and it folds the entire observable trajectory
+//! (boundary broken-link counts, final zones, fault counters,
+//! violations) into an FNV digest so replays can be compared bit for
+//! bit.
+//!
+//! The executor reuses the chaos harness's RNG sub-streams (`0xFA17`
+//! message fates, `0xC4A5` coordinates/churn, `0x71C7` victims), so a
+//! schedule transliterated from a scripted scenario reproduces the
+//! same victim choices.
+
+use crate::churn::uniform_coords;
+use crate::oracles;
+use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig};
+use pgrid_simcore::dst::{FaultSchedule, Fnv};
+use pgrid_simcore::fault::{NodeFault, Partition};
+use pgrid_simcore::SimRng;
+
+/// Cap on recorded step-oracle violations; past this the run keeps
+/// going but stops accumulating strings (shrinking only needs one).
+const MAX_VIOLATIONS: usize = 24;
+
+/// Parses a heartbeat-scheme label as used in trace files
+/// (case-insensitive: traces use `vanilla`, figures use `Vanilla`).
+pub fn scheme_from_label(label: &str) -> Option<HeartbeatScheme> {
+    HeartbeatScheme::ALL
+        .iter()
+        .copied()
+        .find(|s| s.label().eq_ignore_ascii_case(label))
+}
+
+/// Outcome of one schedule execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Oracle violations, in discovery order (empty on a clean run).
+    pub violations: Vec<String>,
+    /// Peak directed broken-link count at any heartbeat boundary.
+    pub broken_peak: usize,
+    /// Directed broken links at the end of recovery.
+    pub broken_after: usize,
+    /// Alive members at the end.
+    pub final_nodes: usize,
+    /// Messages dropped by the fault model, all classes.
+    pub dropped_messages: u64,
+    /// Messages dropped by scheduled partitions.
+    pub partition_drops: u64,
+    /// Messages discarded because the receiver was frozen.
+    pub frozen_drops: u64,
+    /// FNV-1a digest of the full observable trajectory.
+    pub digest: u64,
+}
+
+/// Runs one fault schedule end to end, checking the cross-layer
+/// oracles at every heartbeat boundary.
+///
+/// Panics if `schedule.scheme` is not a known label or the schedule
+/// violates an executor precondition — use
+/// [`FaultSchedule::validate`] / [`FaultSchedule::parse`] first.
+pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
+    let scheme = scheme_from_label(&schedule.scheme)
+        .unwrap_or_else(|| panic!("unknown heartbeat scheme `{}`", schedule.scheme));
+    let mut proto = ProtocolConfig::new(schedule.dims, scheme);
+    proto.heartbeat_period = schedule.heartbeat_period;
+    proto.fail_timeout = schedule.fail_timeout;
+    proto.loss_seed = pgrid_simcore::rng::sub_seed(schedule.seed, 0xFA17);
+    let mut sim = CanSim::new(proto);
+    let mut rng = SimRng::sub_stream(schedule.seed, 0xC4A5);
+    let mut victim_rng = SimRng::sub_stream(schedule.seed, 0x71C7);
+    let mut coords = uniform_coords(schedule.dims);
+
+    let mut digest = Fnv::new();
+    let mut violations: Vec<String> = Vec::new();
+    let record = |violations: &mut Vec<String>, msg: String| {
+        if violations.len() < MAX_VIOLATIONS {
+            violations.push(msg);
+        }
+    };
+
+    // Bootstrap + settle, fault-free.
+    let mut joined = 0;
+    while joined < schedule.nodes {
+        if sim.join(coords(&mut rng)).is_ok() {
+            joined += 1;
+        }
+        sim.advance_to(sim.now() + 1.0);
+    }
+    sim.advance_to(sim.now() + schedule.settle_time);
+    sim.reset_accounting();
+
+    // Arm the network.
+    let fault_start = sim.now();
+    let fault_end = fault_start + schedule.fault_duration;
+    for &(class, faults) in &schedule.class_faults {
+        sim.network_mut().set_class(class, faults);
+    }
+    if !schedule.class_faults.is_empty() {
+        sim.network_mut().set_window(fault_start, fault_end);
+    }
+    for window in &schedule.partitions {
+        let members = sim.members();
+        let count = ((members.len() as f64 * window.fraction).round() as usize)
+            .clamp(1, members.len().saturating_sub(2));
+        let mut pool: Vec<u32> = members.iter().map(|n| n.0).collect();
+        let mut group = Vec::with_capacity(count);
+        for _ in 0..count {
+            group.push(pool.swap_remove(victim_rng.below(pool.len())));
+        }
+        sim.network_mut().add_partition(Partition::isolate(
+            group,
+            fault_start + window.from,
+            fault_start + window.until,
+        ));
+    }
+
+    // Fault phase: interleave scripted events, churn, and per-heartbeat
+    // oracle checks.
+    let min_nodes = (schedule.nodes / 2).max(4);
+    let mut events = schedule.events.clone();
+    events.reverse(); // pop() yields earliest-first
+    let mut next_churn = schedule.churn_gap.map(|g| fault_start + g);
+    let mut next_check = fault_start;
+    let mut broken_peak = 0usize;
+    let mut prev_now = sim.now();
+    loop {
+        let t_event = events.last().map(|e| fault_start + e.at);
+        let t_churn = next_churn.filter(|&t| t < fault_end);
+        let due = [t_event, t_churn, Some(next_check)]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
+        if due > fault_end {
+            break;
+        }
+        sim.advance_to(due);
+        if sim.now() < prev_now {
+            record(
+                &mut violations,
+                format!("time ran backwards: {} after {}", sim.now(), prev_now),
+            );
+        }
+        prev_now = sim.now();
+        if Some(due) == t_event {
+            let ev = events.pop().expect("event present");
+            apply_fault(&mut sim, ev.fault, &mut victim_rng, &mut coords, min_nodes);
+        } else if Some(due) == t_churn {
+            let join = sim.len() <= min_nodes || rng.chance(0.5);
+            if join {
+                let _ = sim.join(coords(&mut rng));
+            } else {
+                let members = sim.members();
+                let victim = members[rng.below(members.len())];
+                sim.leave(victim, rng.chance(schedule.graceful_fraction));
+            }
+            next_churn = Some(due + schedule.churn_gap.expect("churn active"));
+        } else {
+            let broken = sim.broken_links();
+            broken_peak = broken_peak.max(broken);
+            digest.write_usize(broken);
+            for msg in oracles::step_violations(&sim) {
+                record(&mut violations, msg);
+            }
+            sim.check_invariants();
+            next_check += schedule.heartbeat_period;
+        }
+    }
+    sim.advance_to(fault_end);
+    broken_peak = broken_peak.max(sim.broken_links());
+
+    // Recovery phase: network healthy again, oracles still on watch.
+    let recovery_end = fault_end + schedule.recovery_periods * schedule.heartbeat_period;
+    let mut t = fault_end;
+    while t < recovery_end {
+        t = (t + schedule.heartbeat_period).min(recovery_end);
+        sim.advance_to(t);
+        digest.write_usize(sim.broken_links());
+        for msg in oracles::step_violations(&sim) {
+            record(&mut violations, msg);
+        }
+        sim.check_invariants();
+    }
+
+    // Quiescence audit.
+    for msg in oracles::quiescence_violations(&sim, scheme, schedule.recovery_periods) {
+        record(&mut violations, msg);
+    }
+
+    // Fold the final observable state into the digest.
+    let members = sim.members();
+    digest.write_f64(sim.now());
+    digest.write_usize(members.len());
+    for &id in &members {
+        digest.write_u64(u64::from(id.0));
+        let z = sim.zone(id);
+        for d in 0..z.dims() {
+            digest.write_f64(z.lo(d));
+            digest.write_f64(z.hi(d));
+        }
+    }
+    digest.write_usize(sim.broken_links());
+    digest.write_usize(sim.stale_entries());
+    digest.write_u64(sim.dropped_messages());
+    digest.write_u64(sim.duplicated_messages());
+    digest.write_u64(sim.network().partition_drops());
+    digest.write_u64(sim.frozen_drops());
+    digest.write_u64(sim.repair_messages());
+    digest.write_u64(sim.gap_probes());
+    digest.write_u64(sim.full_update_rounds());
+    for msg in &violations {
+        digest.write_str(msg);
+    }
+
+    ScheduleReport {
+        broken_peak,
+        broken_after: sim.broken_links(),
+        final_nodes: sim.len(),
+        dropped_messages: sim.dropped_messages(),
+        partition_drops: sim.network().partition_drops(),
+        frozen_drops: sim.frozen_drops(),
+        digest: digest.finish(),
+        violations,
+    }
+}
+
+fn apply_fault(
+    sim: &mut CanSim,
+    fault: NodeFault,
+    victim_rng: &mut SimRng,
+    coords: &mut impl FnMut(&mut SimRng) -> crate::geom::Point,
+    min_nodes: usize,
+) {
+    match fault {
+        NodeFault::Crash { count } => {
+            for _ in 0..count {
+                if sim.len() <= min_nodes {
+                    break;
+                }
+                let members = sim.members();
+                let victim = members[victim_rng.below(members.len())];
+                sim.leave(victim, false);
+            }
+        }
+        NodeFault::Rejoin { count } => {
+            for _ in 0..count {
+                let _ = sim.join(coords(victim_rng));
+            }
+        }
+        NodeFault::Freeze { count, duration } => {
+            let members = sim.members();
+            let mut pool = members;
+            for _ in 0..count.min(pool.len().saturating_sub(min_nodes)) {
+                let victim = pool.swap_remove(victim_rng.below(pool.len()));
+                sim.freeze(victim, duration);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_simcore::dst::{generate, ScheduleBudget};
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let budget = ScheduleBudget::smoke();
+        for seed in [3, 17, 29] {
+            let s = generate(seed, &budget);
+            let a = run_schedule(&s);
+            let b = run_schedule(&s);
+            assert_eq!(a, b, "seed {seed} must replay identically");
+        }
+    }
+
+    #[test]
+    fn generated_schedules_pass_on_the_current_protocol() {
+        let budget = ScheduleBudget::smoke();
+        for seed in 100..106 {
+            let s = generate(seed, &budget);
+            let report = run_schedule(&s);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed} ({} / {}):\n{:#?}",
+                s.scheme,
+                s.nodes,
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_actually_hurt() {
+        // A transliteration of the flash-crowd scenario must break
+        // links at peak, proving the executor applies its events.
+        let budget = ScheduleBudget::default();
+        let mut hurt = false;
+        for seed in 0..10 {
+            let s = generate(seed, &budget);
+            let report = run_schedule(&s);
+            if report.broken_peak > 0 || report.dropped_messages > 0 {
+                hurt = true;
+                break;
+            }
+        }
+        assert!(hurt, "ten generated schedules never perturbed the overlay");
+    }
+
+    #[test]
+    fn unknown_scheme_panics_cleanly() {
+        let mut s = generate(1, &ScheduleBudget::smoke());
+        s.scheme = "laser".into();
+        let err = std::panic::catch_unwind(|| run_schedule(&s)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("laser"), "{msg}");
+    }
+}

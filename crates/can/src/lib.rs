@@ -19,7 +19,10 @@
 //! * [`routing`] — greedy CAN routing;
 //! * [`churn`] — the two-stage churn experiments behind Figures 7–8;
 //! * [`chaos`] — scripted fault scenarios (crash flash crowds, rolling
-//!   partitions, lossy churn) with invariant auditing.
+//!   partitions, lossy churn) with invariant auditing;
+//! * [`oracles`] + [`dst`] — cross-layer invariant oracles checked at
+//!   every heartbeat boundary, and the executor that replays generated
+//!   [`pgrid_simcore::dst::FaultSchedule`]s against them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +31,10 @@ pub mod accounting;
 pub mod adjacency;
 pub mod chaos;
 pub mod churn;
+pub mod dst;
 pub mod geom;
 pub mod membership;
+pub mod oracles;
 pub mod protocol;
 pub mod routing;
 pub mod split_tree;
@@ -39,6 +44,7 @@ pub use accounting::{Accounting, Counter};
 pub use adjacency::Adjacency;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, PartitionSpec};
 pub use churn::{run_churn, uniform_coords, BrokenSample, ChurnConfig, ChurnReport};
+pub use dst::{run_schedule, scheme_from_label, ScheduleReport};
 pub use geom::{Point, Zone};
 pub use membership::{LocalNode, NeighborEntry, Payload};
 pub use protocol::{CanSim, HeartbeatScheme, JoinError, ProtocolConfig};

@@ -1,0 +1,212 @@
+//! Cross-layer invariant oracles over a live [`CanSim`].
+//!
+//! The chaos scenarios audit the overlay once, at the end of a run.
+//! The DST harness instead checks these oracles at **every heartbeat
+//! boundary**, because many protocol bugs (the seed-41 stale-zone bug
+//! among them) produce transient ground-truth corruption that a
+//! final-state audit can miss.
+//!
+//! Two oracle families:
+//!
+//! * [`step_violations`] — must hold at *all* times, under any fault
+//!   load: the member zones exactly tile the unit space with no open
+//!   overlap, the ground-truth neighbor relation is symmetric, and
+//!   every member's take-over plan points at live members.
+//! * [`quiescence_violations`] — must hold only after the recovery
+//!   allowance: self-healing schemes (see
+//!   [`HeartbeatScheme::self_healing`]) have rebuilt full local
+//!   coverage (no broken links, no boundary gaps), and no node of any
+//!   scheme is still frozen. Vanilla/compact link decay is expected
+//!   behavior (paper Figure 7), not a violation.
+//!
+//! Each violation is rendered as a human-readable string carrying the
+//! simulation time, so a shrunk trace's report reads as a story.
+
+use crate::protocol::{CanSim, HeartbeatScheme};
+
+/// Cap on reported violations per oracle call, so a badly corrupted
+/// overlay cannot balloon a report (shrinking only needs "non-empty").
+const MAX_PER_CHECK: usize = 8;
+
+/// Relative slack on the tiling volume sum (zones are built by exact
+/// halving, so the sum is exact in practice; the slack only absorbs
+/// benign last-bit noise from `volume()`'s product).
+const VOLUME_TOL: f64 = 1e-9;
+
+/// Oracles that must hold at every heartbeat boundary, under any fault
+/// load. Returns human-readable violations (empty when healthy).
+pub fn step_violations(sim: &CanSim) -> Vec<String> {
+    let mut v = Vec::new();
+    zone_tiling(sim, &mut v);
+    neighbor_symmetry(sim, &mut v);
+    takeover_reachability(sim, &mut v);
+    v
+}
+
+/// The member zones partition the unit d-cube: volumes sum to 1 and no
+/// two zones overlap on an open set.
+fn zone_tiling(sim: &CanSim, out: &mut Vec<String>) {
+    let members = sim.members();
+    if members.is_empty() {
+        return;
+    }
+    let now = sim.now();
+    let sum: f64 = members.iter().map(|&id| sim.zone(id).volume()).sum();
+    if (sum - 1.0).abs() > VOLUME_TOL {
+        out.push(format!(
+            "t={now}: member zones cover volume {sum}, not 1 (space not tiled)"
+        ));
+    }
+    let mut reported = 0usize;
+    for (i, &a) in members.iter().enumerate() {
+        let za = sim.zone(a);
+        for &b in &members[i + 1..] {
+            let zb = sim.zone(b);
+            let open_overlap = (0..za.dims()).all(|d| za.lo(d) < zb.hi(d) && zb.lo(d) < za.hi(d));
+            if open_overlap {
+                out.push(format!("t={now}: zones of {a} and {b} overlap"));
+                reported += 1;
+                if reported >= MAX_PER_CHECK {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The ground-truth neighbor relation (zone abutment) is symmetric.
+fn neighbor_symmetry(sim: &CanSim, out: &mut Vec<String>) {
+    let now = sim.now();
+    let mut reported = 0usize;
+    for &a in &sim.members() {
+        for b in sim.true_neighbors(a) {
+            if sim.true_neighbors(b).binary_search(&a).is_err() {
+                out.push(format!(
+                    "t={now}: neighbor table asymmetric: {a} sees {b} but not vice versa"
+                ));
+                reported += 1;
+                if reported >= MAX_PER_CHECK {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Every member's take-over plan names live members only, and (when
+/// more than one node is alive) is non-empty — otherwise a crash of
+/// that node would orphan its zone.
+fn takeover_reachability(sim: &CanSim, out: &mut Vec<String>) {
+    let now = sim.now();
+    let members = sim.members();
+    let mut reported = 0usize;
+    for &id in &members {
+        let targets = sim.takeover_targets(id);
+        if members.len() > 1 && targets.is_empty() {
+            out.push(format!(
+                "t={now}: node {id} has no take-over target; its zone would orphan"
+            ));
+            reported += 1;
+        }
+        for t in targets {
+            if !sim.is_member(t) {
+                out.push(format!(
+                    "t={now}: take-over plan of {id} names dead node {t}"
+                ));
+                reported += 1;
+            }
+        }
+        if reported >= MAX_PER_CHECK {
+            return;
+        }
+    }
+}
+
+/// Oracles that must hold after the recovery allowance: convergence for
+/// self-healing schemes, thaw for everyone.
+pub fn quiescence_violations(
+    sim: &CanSim,
+    scheme: HeartbeatScheme,
+    recovery_periods: f64,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    if scheme.self_healing() {
+        let broken = sim.broken_links();
+        if broken > 0 {
+            v.push(format!(
+                "{broken} broken links remain {recovery_periods} periods after faults ended"
+            ));
+        }
+        let gaps = sim
+            .members()
+            .iter()
+            .filter(|id| sim.local(**id).is_some_and(|n| n.has_boundary_gap()))
+            .count();
+        if gaps > 0 {
+            v.push(format!(
+                "{gaps} nodes still have uncovered boundary regions after recovery"
+            ));
+        }
+    }
+    for id in sim.members() {
+        if sim.is_frozen(id) {
+            v.push(format!("node {id} still frozen after recovery"));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::uniform_coords;
+    use crate::protocol::ProtocolConfig;
+    use pgrid_simcore::SimRng;
+
+    fn grown(n: usize, scheme: HeartbeatScheme) -> CanSim {
+        let mut sim = CanSim::new(ProtocolConfig::new(2, scheme));
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut coords = uniform_coords(2);
+        let mut joined = 0;
+        while joined < n {
+            if sim.join(coords(&mut rng)).is_ok() {
+                joined += 1;
+            }
+            sim.advance_to(sim.now() + 1.0);
+        }
+        sim.advance_to(sim.now() + 200.0);
+        sim
+    }
+
+    #[test]
+    fn healthy_overlay_passes_every_oracle() {
+        let sim = grown(24, HeartbeatScheme::Adaptive);
+        assert!(step_violations(&sim).is_empty());
+        assert!(quiescence_violations(&sim, HeartbeatScheme::Adaptive, 20.0).is_empty());
+    }
+
+    #[test]
+    fn oracles_hold_through_crashes() {
+        let mut sim = grown(24, HeartbeatScheme::Adaptive);
+        for _ in 0..6 {
+            let members = sim.members();
+            sim.leave(members[0], false);
+            // Ground-truth step oracles must hold immediately, mid-churn.
+            let v = step_violations(&sim);
+            assert!(v.is_empty(), "{v:?}");
+            sim.advance_to(sim.now() + 30.0);
+        }
+    }
+
+    #[test]
+    fn frozen_node_fails_quiescence() {
+        let mut sim = grown(12, HeartbeatScheme::Vanilla);
+        let victim = sim.members()[0];
+        sim.freeze(victim, 10_000.0);
+        let v = quiescence_violations(&sim, HeartbeatScheme::Vanilla, 20.0);
+        assert!(
+            v.iter().any(|m| m.contains("still frozen")),
+            "freeze must be reported: {v:?}"
+        );
+    }
+}

@@ -28,6 +28,15 @@ USAGE:
       Run scripted fault scenarios through the chaos harness and print the
       resilience table; exits non-zero on any invariant violation.
 
+  pgrid fuzz     [--seeds N] [--seed S] [--budget SECS] [--out DIR]
+  pgrid fuzz     --replay FILE
+      Fuzz random fault schedules through the cross-layer invariant oracles
+      (CAN zone tiling / neighbor symmetry / take-over / quiescence, scheduler
+      job conservation, event-queue monotonicity). On a violation the schedule
+      is shrunk to a near-minimal repro and written as a replayable trace
+      under DIR; exits non-zero. --replay re-executes a saved trace and
+      checks it against its recorded digest.
+
   pgrid trace gen-nodes  [--count N] [--dims D] [--seed S] [--out FILE]
   pgrid trace gen-jobs   [--count N] [--dims D] [--ratio R] [--interarrival S]
                          [--seed S] [--out FILE]
@@ -283,6 +292,111 @@ pub fn chaos(args: Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `pgrid fuzz`
+pub fn fuzz(args: Args) -> Result<String, String> {
+    if let Some(path) = args.get("replay").map(str::to_string) {
+        args.reject_unknown()?;
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (schedule, report) = replay_trace(&text)?;
+        let mut out = format!(
+            "replayed {path}: seed {}, scheme {}, {} nodes, {} fault events\n  \
+             digest 0x{:016x}  broken peak {}\n",
+            schedule.seed,
+            schedule.scheme,
+            schedule.nodes,
+            schedule.events.len(),
+            report.digest,
+            report.broken_peak,
+        );
+        if let Some(expect) = schedule.expect_digest {
+            if expect != report.digest {
+                return Err(format!(
+                    "digest mismatch: trace expects 0x{expect:016x}, replay produced 0x{:016x}",
+                    report.digest
+                ));
+            }
+            out.push_str("  digest matches the trace's recorded value\n");
+        }
+        if !report.violations.is_empty() {
+            return Err(format!(
+                "replay violations:\n  {}",
+                report.violations.join("\n  ")
+            ));
+        }
+        out.push_str("invariants: ok\n");
+        return Ok(out);
+    }
+
+    let start: u64 = args.get_or("seed", 1)?;
+    let seeds: usize = args.get_or("seeds", 16)?;
+    let budget: f64 = args.get_or("budget", 60.0)?;
+    let out_dir = args.get("out").unwrap_or("results").to_string();
+    args.reject_unknown()?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if !(budget.is_finite() && budget > 0.0) {
+        return Err(format!(
+            "--budget must be positive and finite, got {budget}"
+        ));
+    }
+
+    let mut cfg = FuzzConfig::new(start, seeds);
+    cfg.wall_budget = budget;
+    let summary = fuzz_search(&cfg);
+
+    let mut out = format!(
+        "fuzz: seeds {start}..{}, wall budget {budget}s\n\n",
+        start + seeds as u64
+    );
+    let mut table = Table::new(["seed", "scheme", "nodes", "events", "broken peak", "digest"]);
+    for r in &summary.runs {
+        table.row([
+            r.seed.to_string(),
+            r.scheme.clone(),
+            r.nodes.to_string(),
+            r.events.to_string(),
+            r.broken_peak.to_string(),
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "clean seeds: {}/{} requested{}\n",
+        summary.runs.len(),
+        summary.seeds_requested,
+        if summary.hit_wall_budget {
+            " (wall budget hit)"
+        } else {
+            ""
+        }
+    ));
+    match summary.failure {
+        None => {
+            out.push_str("invariants: ok (zero violations)\n");
+            Ok(out)
+        }
+        Some(f) => {
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+            let path = std::path::Path::new(&out_dir).join(format!("fuzz_seed{}.trace", f.seed));
+            std::fs::write(&path, f.shrunk.to_text())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            Err(format!(
+                "seed {} violated {} invariant(s); shrunk {} -> {} fault events, \
+                 repro trace written to {}\n  {}",
+                f.seed,
+                f.violations.len(),
+                f.original_events,
+                f.shrunk.events.len(),
+                path.display(),
+                f.violations.join("\n  ")
+            ))
+        }
+    }
+}
+
 /// `pgrid trace ...`
 pub fn trace(rest: &[String]) -> Result<String, String> {
     let Some(sub) = rest.first() else {
@@ -471,6 +585,42 @@ mod tests {
         assert!(chaos(a(&["--scheme", "bogus"])).is_err());
         assert!(chaos(a(&["--scenario", "bogus"])).is_err());
         assert!(chaos(a(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_runs_a_tiny_clean_sweep() {
+        // Seeds 100.. are exercised as clean in the core fuzz tests.
+        let out = fuzz(a(&["--seed", "100", "--seeds", "2", "--budget", "300"])).unwrap();
+        assert!(out.contains("clean seeds: 2/2 requested"), "{out}");
+        assert!(out.contains("invariants: ok"));
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_args() {
+        assert!(fuzz(a(&["--seeds", "0"])).is_err());
+        assert!(fuzz(a(&["--budget", "-3"])).is_err());
+        assert!(fuzz(a(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_replays_a_saved_trace_and_checks_its_digest() {
+        let dir = std::env::temp_dir().join("pgrid_cli_fuzz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.trace");
+        let mut schedule =
+            pgrid::simcore::dst::generate(100, &pgrid::simcore::ScheduleBudget::smoke());
+        schedule.expect_digest = Some(pgrid::fuzz::run_case(&schedule).digest);
+        std::fs::write(&path, schedule.to_text()).unwrap();
+
+        let out = fuzz(a(&["--replay", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("digest matches"), "{out}");
+        assert!(out.contains("invariants: ok"));
+
+        // A corrupted recorded digest must fail the replay.
+        schedule.expect_digest = Some(0xdead_beef);
+        std::fs::write(&path, schedule.to_text()).unwrap();
+        let err = fuzz(a(&["--replay", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
     }
 
     #[test]

@@ -241,14 +241,25 @@ pub const CHAOS_SEED: u64 = 41;
 /// 20 % loss + high churn) for every heartbeat scheme.
 ///
 /// Deterministic: the same scale always produces the same reports.
+/// Runs at the historical [`CHAOS_SEED`]; use [`chaos_suite_seeded`]
+/// to sweep other seeds.
 pub fn chaos_suite(scale: Scale) -> Vec<ChaosReport> {
+    chaos_suite_seeded(scale, CHAOS_SEED)
+}
+
+/// [`chaos_suite`] at an explicit scenario seed (the `chaos` binary's
+/// `--seed` flag lands here).
+///
+/// Deterministic: the same `(scale, seed)` pair always produces the
+/// same reports.
+pub fn chaos_suite_seeded(scale: Scale, seed: u64) -> Vec<ChaosReport> {
     let (nodes, settle) = match scale {
         Scale::Paper => (60, 300.0),
         Scale::Quick => (40, 120.0),
     };
     let mut configs = Vec::new();
     for scheme in HeartbeatScheme::ALL {
-        for mut cfg in ChaosConfig::scenarios(scheme, CHAOS_SEED) {
+        for mut cfg in ChaosConfig::scenarios(scheme, seed) {
             cfg.initial_nodes = nodes;
             cfg.settle_time = settle;
             configs.push(cfg);

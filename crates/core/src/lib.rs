@@ -47,6 +47,7 @@ pub use pgrid_types as types;
 pub use pgrid_workload as workload;
 
 pub mod experiments;
+pub mod fuzz;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
@@ -54,14 +55,20 @@ pub mod prelude {
         run_chaos, run_churn, uniform_coords, CanSim, ChaosConfig, ChaosReport, ChurnConfig,
         ChurnReport, HeartbeatScheme, PartitionSpec, ProtocolConfig, WireModel,
     };
+    pub use crate::can::{run_schedule, scheme_from_label, ScheduleReport};
     pub use crate::experiments::{self, Scale};
+    pub use crate::fuzz::{
+        fuzz_search, replay_trace, run_case, CaseReport, FuzzConfig, FuzzFailure, FuzzSummary,
+    };
     pub use crate::metrics::{Cdf, CsvWriter, Summary, Table, TimeSeries};
     pub use crate::sched::{
         run_load_balance, run_load_balance_ablated, run_load_balance_chaos, CentralMatchmaker,
         CrashChaosConfig, HetFeatures, Matchmaker, PushParams, PushingMatchmaker, RecoveryStats,
         SchedulerChoice, SimResult, StaticGrid,
     };
-    pub use crate::simcore::{EventQueue, SimRng};
+    pub use crate::simcore::{
+        EventQueue, FaultSchedule, Fnv, ScheduleBudget, SimRng, TraceParseError,
+    };
     pub use crate::types::{
         CeRequirement, CeSpec, CeType, DimensionLayout, JobId, JobSpec, NodeId, NodeSpec,
         Normalization,

@@ -18,9 +18,19 @@ use pgrid_can::geom::Point;
 use pgrid_can::routing::{route, Route, RoutingView};
 use pgrid_can::split_tree::SplitTree;
 use pgrid_simcore::SimRng;
-use pgrid_types::{DimensionLayout, NodeId, NodeSpec};
+use pgrid_types::{CeType, DimensionLayout, NodeId, NodeSpec};
 
 use crate::node_runtime::NodeRuntime;
+
+/// Ordering of the per-CE availability lists: static clock of the CE
+/// descending, node id ascending on ties — so a matchmaker scanning a
+/// list front-to-back visits the fastest nodes first and breaks clock
+/// ties toward the lowest id, exactly like a full ascending-id scan
+/// keeping the first strict maximum.
+fn ce_order(runtimes: &[NodeRuntime], ty: CeType, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+    let clock = |n: NodeId| runtimes[n.idx()].spec.ce(ty).map_or(0.0, |c| c.clock);
+    clock(b).total_cmp(&clock(a)).then(a.cmp(&b))
+}
 
 /// A fixed-population CAN grid with per-node execution state.
 pub struct StaticGrid {
@@ -42,6 +52,13 @@ pub struct StaticGrid {
     /// maintained incrementally by [`StaticGrid::evict_node`] /
     /// [`StaticGrid::restore_node`].
     available: Vec<NodeId>,
+    /// Per-CE-type availability index: `ce_avail[t]` lists the
+    /// available nodes whose spec includes CE type `t`, ordered by
+    /// (static clock desc, id asc) — see [`ce_order`]. Maintained
+    /// incrementally alongside `available`, so the centralized
+    /// matchmaker reads its candidates pre-ranked instead of scanning
+    /// every runtime.
+    ce_avail: Vec<Vec<NodeId>>,
 }
 
 impl StaticGrid {
@@ -132,6 +149,25 @@ impl StaticGrid {
         }
         let available: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
 
+        // Per-CE availability lists, ranked once at build time (specs
+        // are immutable, so the ordering never needs re-sorting).
+        let max_ty = runtimes
+            .iter()
+            .flat_map(|rt| rt.spec.ces())
+            .map(|c| c.ce_type.0 as usize)
+            .max()
+            .unwrap_or(0);
+        let mut ce_avail: Vec<Vec<NodeId>> = vec![Vec::new(); max_ty + 1];
+        for rt in &runtimes {
+            for c in rt.spec.ces() {
+                ce_avail[c.ce_type.0 as usize].push(rt.id);
+            }
+        }
+        for (t, list) in ce_avail.iter_mut().enumerate() {
+            let ty = CeType(t as u8);
+            list.sort_by(|&a, &b| ce_order(&runtimes, ty, a, b));
+        }
+
         StaticGrid {
             layout,
             tree,
@@ -143,6 +179,37 @@ impl StaticGrid {
             face_off,
             face_arena,
             available,
+            ce_avail,
+        }
+    }
+
+    /// Removes `id` from every per-CE list it appears in (no-op if
+    /// already absent, mirroring the idempotent availability index).
+    fn ce_index_remove(&mut self, id: NodeId) {
+        let Self {
+            runtimes, ce_avail, ..
+        } = self;
+        let runtimes: &[NodeRuntime] = runtimes;
+        for c in runtimes[id.idx()].spec.ces() {
+            let list = &mut ce_avail[c.ce_type.0 as usize];
+            if let Ok(pos) = list.binary_search_by(|&e| ce_order(runtimes, c.ce_type, e, id)) {
+                list.remove(pos);
+            }
+        }
+    }
+
+    /// Re-inserts `id` into every per-CE list at its rank (no-op if
+    /// already present).
+    fn ce_index_insert(&mut self, id: NodeId) {
+        let Self {
+            runtimes, ce_avail, ..
+        } = self;
+        let runtimes: &[NodeRuntime] = runtimes;
+        for c in runtimes[id.idx()].spec.ces() {
+            let list = &mut ce_avail[c.ce_type.0 as usize];
+            if let Err(pos) = list.binary_search_by(|&e| ce_order(runtimes, c.ce_type, e, id)) {
+                list.insert(pos, id);
+            }
         }
     }
 
@@ -211,12 +278,22 @@ impl StaticGrid {
         &self.available
     }
 
+    /// Available nodes possessing CE type `ty`, ordered by (static
+    /// clock desc, id asc) — the centralized matchmaker's pre-ranked
+    /// candidate list. Empty for unknown CE types. O(1) to read.
+    pub fn ce_available(&self, ty: CeType) -> &[NodeId] {
+        self.ce_avail
+            .get(ty.0 as usize)
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
     /// Takes a node offline (volunteer eviction), returning the jobs it
     /// was running or queueing, and updates the availability index.
     pub fn evict_node(&mut self, id: NodeId) -> Vec<pgrid_types::JobSpec> {
         if let Ok(pos) = self.available.binary_search(&id) {
             self.available.remove(pos);
         }
+        self.ce_index_remove(id);
         self.runtimes[id.idx()].evict()
     }
 
@@ -234,6 +311,7 @@ impl StaticGrid {
         if let Ok(pos) = self.available.binary_search(&id) {
             self.available.remove(pos);
         }
+        self.ce_index_remove(id);
         self.runtimes[id.idx()].evict_split()
     }
 
@@ -243,6 +321,7 @@ impl StaticGrid {
         if let Err(pos) = self.available.binary_search(&id) {
             self.available.insert(pos, id);
         }
+        self.ce_index_insert(id);
         self.runtimes[id.idx()].restore();
     }
 
@@ -306,6 +385,29 @@ impl StaticGrid {
             .filter(|&n| self.runtime(n).available())
             .collect();
         assert_eq!(self.available, avail, "availability index diverged");
+        // Every per-CE list must equal a from-scratch recompute: the
+        // available holders of that CE in (clock desc, id asc) order.
+        for rt in &self.runtimes {
+            for c in rt.spec.ces() {
+                assert!(
+                    (c.ce_type.0 as usize) < self.ce_avail.len(),
+                    "CE type {} outside the per-CE index",
+                    c.ce_type.0
+                );
+            }
+        }
+        for (t, list) in self.ce_avail.iter().enumerate() {
+            let ty = CeType(t as u8);
+            let mut expect: Vec<NodeId> = (0..self.len() as u32)
+                .map(NodeId)
+                .filter(|&n| self.runtime(n).available() && self.runtime(n).spec.ce(ty).is_some())
+                .collect();
+            expect.sort_by(|&a, &b| ce_order(&self.runtimes, ty, a, b));
+            assert_eq!(
+                list, &expect,
+                "per-CE availability index diverged for CE type {t}"
+            );
+        }
     }
 }
 
@@ -425,6 +527,38 @@ mod tests {
         // Idempotent: double-restore and double-evict do not corrupt.
         g.restore_node(NodeId(17));
         g.evict_node(NodeId(3));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn ce_index_is_ranked_and_tracks_eviction() {
+        let mut g = grid(80);
+        // Every node has a CPU, so the CPU list covers the full grid,
+        // ranked clock-descending with id-ascending tie-breaks.
+        let cpu = g.ce_available(CeType::CPU);
+        assert_eq!(cpu.len(), 80);
+        for w in cpu.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ca = g.runtime(a).spec.ce(CeType::CPU).unwrap().clock;
+            let cb = g.runtime(b).spec.ce(CeType::CPU).unwrap().clock;
+            assert!(ca > cb || (ca == cb && a < b), "{a}/{b} out of order");
+        }
+        // GPU lists contain exactly the holders of that GPU family.
+        for slot in 0..2u8 {
+            let ty = CeType::gpu(slot);
+            for &n in g.ce_available(ty) {
+                assert!(g.runtime(n).spec.ce(ty).is_some());
+            }
+        }
+        // Eviction removes the node from every list it was in; restore
+        // puts it back at the same rank.
+        let victim = cpu[3];
+        let before: Vec<NodeId> = g.ce_available(CeType::CPU).to_vec();
+        g.evict_node(victim);
+        assert!(!g.ce_available(CeType::CPU).contains(&victim));
+        g.check_invariants();
+        g.restore_node(victim);
+        assert_eq!(g.ce_available(CeType::CPU), &before[..]);
         g.check_invariants();
     }
 

@@ -477,38 +477,67 @@ impl Matchmaker for CentralMatchmaker {
     }
 
     fn place(&mut self, grid: &StaticGrid, job: &JobSpec, _rng: &mut SimRng) -> Placement {
+        // Walk the per-CE availability index instead of scanning every
+        // runtime: [`StaticGrid::ce_available`] lists the available
+        // holders of the dominant CE pre-ranked by (clock desc, id
+        // asc). Any node satisfying the job necessarily possesses its
+        // dominant CE, so the list covers every candidate the old
+        // full scan would have preferred; the first free satisfying
+        // node in list order IS the fastest free node with
+        // lowest-id tie-break, and likewise for acceptable nodes.
         let ce = grid.layout().dominant_ce(job);
-        let mut best_free: Option<(NodeId, f64)> = None;
-        let mut best_acceptable: Option<(NodeId, f64)> = None;
+        let mut best_acceptable: Option<NodeId> = None;
         let mut best_score: Option<(NodeId, f64)> = None;
-        let mut best_any: Option<(NodeId, f64)> = None;
-        for rt in grid.runtimes() {
+        for &id in grid.ce_available(ce) {
+            let rt = grid.runtime(id);
             if !job.satisfied_by(&rt.spec) {
                 continue;
             }
-            let clock = rt.spec.ce(ce).map_or(0.0, |c| c.clock);
             if rt.is_free() {
-                if best_free.is_none_or(|(_, c)| clock > c) {
-                    best_free = Some((rt.id, clock));
-                }
-            } else if rt.is_acceptable(job) && best_acceptable.is_none_or(|(_, c)| clock > c) {
-                best_acceptable = Some((rt.id, clock));
+                return Placement {
+                    node: id,
+                    route_hops: 0,
+                    pushes: 0,
+                    fallback: false,
+                };
             }
+            if best_acceptable.is_none() && rt.is_acceptable(job) {
+                best_acceptable = Some(id);
+            }
+            // Busy-node ranking is by Eq. 1/2 score, not clock, so it
+            // needs its own running minimum; (score asc, id asc) makes
+            // the choice independent of the list's clock ordering.
             let score = rt.score(ce).unwrap_or(f64::INFINITY);
-            if rt.available() && best_score.is_none_or(|(_, s)| score < s) {
-                best_score = Some((rt.id, score));
-            }
-            // Last resort when every satisfying node is evicted.
-            if best_any.is_none_or(|(_, s)| score < s) {
-                best_any = Some((rt.id, score));
+            let better = match best_score {
+                None => true,
+                Some((bn, bs)) => score < bs || (score == bs && id < bn),
+            };
+            if better {
+                best_score = Some((id, score));
             }
         }
-        let node = best_free
-            .or(best_acceptable)
-            .or(best_score)
-            .or(best_any)
-            .expect("job must be satisfiable by some node")
-            .0;
+        let node = best_acceptable
+            .or(best_score.map(|(n, _)| n))
+            .or_else(|| {
+                // Last resort when every satisfying node is evicted:
+                // fall back to the full scan over all runtimes.
+                let mut best_any: Option<(NodeId, f64)> = None;
+                for rt in grid.runtimes() {
+                    if !job.satisfied_by(&rt.spec) {
+                        continue;
+                    }
+                    let score = rt.score(ce).unwrap_or(f64::INFINITY);
+                    let better = match best_any {
+                        None => true,
+                        Some((bn, bs)) => score < bs || (score == bs && rt.id < bn),
+                    };
+                    if better {
+                        best_any = Some((rt.id, score));
+                    }
+                }
+                best_any.map(|(n, _)| n)
+            })
+            .expect("job must be satisfiable by some node");
         Placement {
             node,
             route_hops: 0,
@@ -652,6 +681,77 @@ mod tests {
                 m2.place(&g, &easy_job(i), &mut r2)
             );
         }
+    }
+
+    /// The pre-index `CentralMatchmaker::place`: a full ascending-id
+    /// scan over every runtime. Kept verbatim as the reference the
+    /// indexed fast path is diffed against.
+    fn naive_central_place(grid: &StaticGrid, job: &JobSpec) -> NodeId {
+        let ce = grid.layout().dominant_ce(job);
+        let mut best_free: Option<(NodeId, f64)> = None;
+        let mut best_acceptable: Option<(NodeId, f64)> = None;
+        let mut best_score: Option<(NodeId, f64)> = None;
+        let mut best_any: Option<(NodeId, f64)> = None;
+        for rt in grid.runtimes() {
+            if !job.satisfied_by(&rt.spec) {
+                continue;
+            }
+            let clock = rt.spec.ce(ce).map_or(0.0, |c| c.clock);
+            if rt.is_free() {
+                if best_free.is_none_or(|(_, c)| clock > c) {
+                    best_free = Some((rt.id, clock));
+                }
+            } else if rt.is_acceptable(job) && best_acceptable.is_none_or(|(_, c)| clock > c) {
+                best_acceptable = Some((rt.id, clock));
+            }
+            let score = rt.score(ce).unwrap_or(f64::INFINITY);
+            if rt.available() && best_score.is_none_or(|(_, s)| score < s) {
+                best_score = Some((rt.id, score));
+            }
+            if best_any.is_none_or(|(_, s)| score < s) {
+                best_any = Some((rt.id, score));
+            }
+        }
+        best_free
+            .or(best_acceptable)
+            .or(best_score)
+            .or(best_any)
+            .expect("job must be satisfiable by some node")
+            .0
+    }
+
+    #[test]
+    fn indexed_central_matches_naive_scan_exactly() {
+        // Diff the indexed fast path against the naive reference while
+        // the grid cycles through every node state the scan can meet:
+        // free, busy, queued-up, and evicted.
+        let mut g = grid(120);
+        let jobcfg = JobGenConfig::paper_defaults(2, 0.8, 3.0);
+        let pop: Vec<_> = g.runtimes().iter().map(|r| r.spec.clone()).collect();
+        let mut stream = pgrid_workload::jobgen::JobStream::with_population(jobcfg, 11, pop);
+        let mut central = CentralMatchmaker;
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut churn = SimRng::seed_from_u64(23);
+        for round in 0..400 {
+            let (_, job) = stream.next_job();
+            let fast = central.place(&g, &job, &mut rng).node;
+            let naive = naive_central_place(&g, &job);
+            assert_eq!(fast, naive, "round {round}: index and scan disagree");
+            // Occupy the chosen node so later rounds see busy/queued
+            // nodes, and churn availability to exercise the index
+            // maintenance (restore is a no-op for never-evicted ids).
+            g.runtime_mut(fast).enqueue(job, round as f64);
+            g.runtime_mut(fast).start_ready();
+            if round % 7 == 0 {
+                let victim = NodeId(churn.below(120) as u32);
+                g.evict_node(victim);
+            }
+            if round % 11 == 0 {
+                let back = NodeId(churn.below(120) as u32);
+                g.restore_node(back);
+            }
+        }
+        g.check_invariants();
     }
 
     #[test]

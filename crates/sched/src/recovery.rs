@@ -50,11 +50,27 @@ impl CrashChaosConfig {
         }
     }
 
+    /// Absolute ceiling on any computed backoff, in seconds (one day).
+    ///
+    /// [`CrashChaosConfig::retry_cap`] is the *configured* cap; this
+    /// constant is the hard one, so that an absurd configuration
+    /// (`retry_cap = f64::INFINITY`, a huge `retry_base`) can never
+    /// turn the exponential into an infinite or multi-year delay that
+    /// would starve a retry forever.
+    pub const HARD_BACKOFF_CAP: f64 = 86_400.0;
+
     /// Backoff before re-match attempt `attempt` (1-based).
+    ///
+    /// The exponent is clamped so the doubling cannot overflow `f64`
+    /// at large attempt counts, and the result is clamped to
+    /// `min(retry_cap, HARD_BACKOFF_CAP)` — always finite, whatever
+    /// the attempt count or configuration.
     pub fn backoff(&self, attempt: u32) -> f64 {
         debug_assert!(attempt >= 1);
         let factor = 2.0_f64.powi(attempt.saturating_sub(1).min(62) as i32);
-        (self.retry_base * factor).min(self.retry_cap)
+        (self.retry_base * factor)
+            .min(self.retry_cap)
+            .min(Self::HARD_BACKOFF_CAP)
     }
 }
 
@@ -198,6 +214,27 @@ mod tests {
         assert_eq!(c.backoff(5), 480.0);
         assert_eq!(c.backoff(6), 600.0, "capped");
         assert_eq!(c.backoff(40), 600.0, "no overflow at large attempts");
+    }
+
+    #[test]
+    fn backoff_is_finite_under_absurd_configs() {
+        // Pathological attempt counts must never overflow to inf.
+        let c = CrashChaosConfig::new(1000.0);
+        assert_eq!(c.backoff(u32::MAX), 600.0);
+
+        // An unbounded configured cap falls back to the hard cap.
+        let mut wild = CrashChaosConfig::new(1000.0);
+        wild.retry_cap = f64::INFINITY;
+        assert_eq!(wild.backoff(64), CrashChaosConfig::HARD_BACKOFF_CAP);
+        assert_eq!(wild.backoff(u32::MAX), CrashChaosConfig::HARD_BACKOFF_CAP);
+
+        // Even an absurd base stays finite and within the hard cap.
+        wild.retry_base = 1e300;
+        let b = wild.backoff(u32::MAX);
+        assert!(b.is_finite() && b <= CrashChaosConfig::HARD_BACKOFF_CAP);
+
+        // Sane configs are untouched by the hard cap.
+        assert_eq!(c.backoff(6), 600.0);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`fault`] — deterministic fault injection: a seeded
 //!   [`fault::NetworkModel`] (per-class loss, duplication, latency
 //!   jitter, scheduled partitions) and scripted node-level
-//!   [`fault::FaultPlan`]s (crash, rejoin, freeze), all replayable.
+//!   [`fault::FaultPlan`]s (crash, rejoin, freeze), all replayable;
+//! * [`dst`] — deterministic-simulation-testing primitives: seeded
+//!   random fault schedules under a [`dst::ScheduleBudget`], a
+//!   replayable text trace format, and a delta-debugging shrinker.
 //!
 //! Simulations in this workspace are single-threaded and deterministic;
 //! parallelism happens one level up, across independent simulation
@@ -23,10 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dst;
 pub mod event;
 pub mod fault;
 pub mod rng;
 
+pub use dst::{
+    FaultSchedule, Fnv, PartitionWindow, ScheduleBudget, ShrinkOutcome, TraceParseError,
+};
 pub use event::{EventQueue, SimTime};
 pub use fault::{ClassFaults, FaultPlan, MsgClass, NetworkModel, NodeFault, Partition};
 pub use rng::SimRng;
