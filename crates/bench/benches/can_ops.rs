@@ -7,7 +7,7 @@ use pgrid::prelude::*;
 use pgrid_bench::stopwatch::bench;
 
 fn build_can(n: usize, d: usize, scheme: HeartbeatScheme) -> CanSim {
-    let mut sim = CanSim::new(ProtocolConfig::new(d, scheme));
+    let mut sim = CanSim::new(ProtocolConfig::new(d, scheme)).expect("valid protocol config");
     let mut rng = SimRng::seed_from_u64(7);
     let mut joined = 0;
     while joined < n {

@@ -27,7 +27,8 @@ fn main() {
     ]);
     for loss in [0.0, 0.05, 0.1, 0.2] {
         for scheme in HeartbeatScheme::ALL {
-            let mut sim = CanSim::new(ProtocolConfig::new(11, scheme).with_message_loss(loss));
+            let mut sim = CanSim::new(ProtocolConfig::new(11, scheme).with_message_loss(loss))
+                .expect("valid protocol config");
             let mut rng = SimRng::seed_from_u64(2011);
             let mut joined = 0;
             while joined < nodes {

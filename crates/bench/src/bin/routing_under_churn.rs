@@ -26,7 +26,7 @@ fn main() {
         let mut proto = ProtocolConfig::new(cfg.dims, cfg.scheme);
         proto.heartbeat_period = cfg.heartbeat_period;
         proto.fail_timeout = cfg.fail_timeout;
-        let mut sim = CanSim::new(proto);
+        let mut sim = CanSim::new(proto).expect("valid protocol config");
         let mut rng = SimRng::sub_stream(cfg.seed, 0xC0DE);
         let mut gen = uniform_coords(cfg.dims);
         let mut joined = 0;

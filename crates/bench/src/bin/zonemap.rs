@@ -17,7 +17,8 @@ fn snapshot(can: &CanSim, title: &str) -> RectMap {
 
 fn main() {
     let (_scale, out) = parse_cli();
-    let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+    let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact))
+        .expect("valid protocol config");
     let mut rng = SimRng::seed_from_u64(2011);
     let mut files = Vec::new();
     for (i, n) in [4usize, 16, 64].iter().enumerate() {

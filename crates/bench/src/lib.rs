@@ -14,7 +14,7 @@
 
 #![forbid(unsafe_code)]
 
-use pgrid::experiments::{CostCell, WaitTimeCell};
+use pgrid::experiments::{CostCell, DetectorCell, WaitTimeCell};
 use pgrid::metrics::{Cdf, CsvWriter, Table};
 use pgrid::prelude::*;
 use std::path::{Path, PathBuf};
@@ -74,6 +74,12 @@ pub const CHAOS_USAGE: &str = "usage: chaos [--quick] [--out DIR] [--seed N] [--
 --out DIR      write CSV results under DIR (default: results/)\n  \
 --seed N       chaos-scenario seed (default: 41, the historical repro seed)\n  \
 --budget SECS  wall-clock cap; the crash-recovery suite is skipped once exceeded\n";
+
+/// Usage string for the `detector` binary (seeded flag set).
+pub const DETECTOR_USAGE: &str = "usage: detector [--quick] [--out DIR] [--seed N]\n\n  \
+--quick    reduced smoke-run sweep (default: paper scale)\n  \
+--out DIR  write CSV results under DIR (default: results/)\n  \
+--seed N   detector-scenario seed (default: 71)\n";
 
 /// Usage string for the `fuzz` binary.
 pub const FUZZ_USAGE: &str =
@@ -482,6 +488,88 @@ pub fn save_chaos_csv(path: &Path, reports: &[ChaosReport]) -> std::io::Result<(
     csv.save(path)
 }
 
+/// Renders the failure-detector sweep: two rows per jitter × freeze
+/// cell (fixed rule, then adaptive), plus a false-positive summary
+/// line comparing the two rules across the whole sweep.
+pub fn render_detector(cells: &[DetectorCell]) -> String {
+    let mut table = Table::new([
+        "stress",
+        "freeze(s)",
+        "rule",
+        "suspicions",
+        "probes",
+        "expelled",
+        "false pos",
+        "revived",
+        "lag(s)",
+        "broken link-s",
+        "stale KAs",
+    ]);
+    for c in cells {
+        for arm in [&c.fixed, &c.adaptive] {
+            table.row([
+                format!("{:.1}", c.link_stress),
+                format!("{:.0}", c.freeze_secs),
+                arm.mode.label().to_string(),
+                arm.suspicions.to_string(),
+                arm.probe_requests.to_string(),
+                arm.live_expulsions.to_string(),
+                arm.false_expulsions.to_string(),
+                arm.revivals.to_string(),
+                arm.detection_lag
+                    .map(|l| format!("{l:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.0}", arm.broken_link_seconds),
+                arm.stale_keepalives.to_string(),
+            ]);
+        }
+    }
+    let fixed_fp: u64 = cells.iter().map(|c| c.fixed.false_expulsions).sum();
+    let adaptive_fp: u64 = cells.iter().map(|c| c.adaptive.false_expulsions).sum();
+    let mut out = table.render();
+    out.push_str(&format!(
+        "false-positive expulsions across the sweep: fixed {fixed_fp}, adaptive {adaptive_fp}\n"
+    ));
+    out
+}
+
+/// Writes the detector sweep to CSV, one row per cell × rule.
+pub fn save_detector_csv(path: &Path, cells: &[DetectorCell]) -> std::io::Result<()> {
+    let mut csv = CsvWriter::new(&[
+        "link_stress",
+        "freeze_s",
+        "rule",
+        "suspicions",
+        "probe_requests",
+        "live_expulsions",
+        "false_expulsions",
+        "revivals",
+        "detection_lag_s",
+        "broken_link_seconds",
+        "stale_keepalives",
+    ]);
+    for c in cells {
+        for arm in [&c.fixed, &c.adaptive] {
+            csv.row(&[
+                &format!("{}", c.link_stress),
+                &format!("{}", c.freeze_secs),
+                arm.mode.label(),
+                &arm.suspicions.to_string(),
+                &arm.probe_requests.to_string(),
+                &arm.live_expulsions.to_string(),
+                &arm.false_expulsions.to_string(),
+                &arm.revivals.to_string(),
+                &arm.detection_lag
+                    .map(|l| format!("{l:.2}"))
+                    .unwrap_or_default(),
+                &format!("{:.1}", arm.broken_link_seconds),
+                &arm.stale_keepalives.to_string(),
+            ]);
+        }
+    }
+    csv.save(path)
+}
+
 /// Renders the crash-recovery table: one row per scheduler under
 /// fail-stop crashes, with the job-conservation ledger armed.
 pub fn render_crash_recovery(cells: &[pgrid::experiments::CrashRecoveryCell]) -> String {
@@ -798,6 +886,23 @@ mod tests {
             assert!(r.violations.is_empty(), "{}: {:?}", r.name, r.violations);
             assert_eq!(r.broken_after, 0, "{}", r.name);
         }
+    }
+
+    #[test]
+    fn detector_render_and_csv() {
+        let cells = experiments::detector_suite(Scale::Quick);
+        let text = render_detector(&cells);
+        assert!(text.contains("false pos"));
+        assert!(text.contains("fixed"));
+        assert!(text.contains("adaptive"));
+        assert!(text.contains("false-positive expulsions across the sweep"));
+        let dir = std::env::temp_dir().join("pgrid_bench_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("detector.csv");
+        save_detector_csv(&csv, &cells).unwrap();
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("link_stress,freeze_s,rule"));
+        assert_eq!(body.lines().count(), 1 + 2 * cells.len());
     }
 
     #[test]

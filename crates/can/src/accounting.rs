@@ -26,6 +26,12 @@ pub struct Accounting {
     last_time: SimTime,
     alive: usize,
     window_start: SimTime,
+    /// Keepalives received from senders the receiver does not know —
+    /// ghost traffic, typically an expelled-but-alive node still
+    /// heartbeating at peers that already evicted it. Kept out of the
+    /// per-kind counters (those meter *sent* traffic); the detector
+    /// experiment reports it directly.
+    pub stale_keepalives: u64,
 }
 
 impl Accounting {
@@ -52,6 +58,7 @@ impl Accounting {
         self.last_time = now;
         self.window_start = now;
         self.alive = alive;
+        self.stale_keepalives = 0;
     }
 
     /// Records one sent message.

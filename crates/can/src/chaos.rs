@@ -209,7 +209,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     proto.heartbeat_period = cfg.heartbeat_period;
     proto.fail_timeout = cfg.fail_timeout;
     proto.loss_seed = pgrid_simcore::rng::sub_seed(cfg.seed, 0xFA17);
-    let mut sim = CanSim::new(proto);
+    let mut sim = CanSim::new(proto).expect("valid protocol config");
     let mut rng = SimRng::sub_stream(cfg.seed, 0xC4A5);
     let mut victim_rng = SimRng::sub_stream(cfg.plan.seed, 0x71C7);
     let mut coords = uniform_coords(cfg.dims);

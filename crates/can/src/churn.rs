@@ -151,7 +151,7 @@ pub fn run_churn(
     proto.fail_timeout = cfg.fail_timeout;
     proto.message_loss = cfg.message_loss;
     proto.loss_seed = pgrid_simcore::rng::sub_seed(cfg.seed, 0x7055);
-    let mut sim = CanSim::new(proto);
+    let mut sim = CanSim::new(proto).expect("valid protocol config");
     let mut rng = SimRng::sub_stream(cfg.seed, 0xC0DE);
 
     // Stage 1: sequential joins.

@@ -17,9 +17,9 @@
 
 use crate::churn::uniform_coords;
 use crate::oracles;
-use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig};
+use crate::protocol::{CanSim, DetectorConfig, HeartbeatScheme, ProtocolConfig};
 use pgrid_simcore::dst::{FaultSchedule, Fnv};
-use pgrid_simcore::fault::{NodeFault, Partition};
+use pgrid_simcore::fault::{LinkDegrade, NodeFault, Partition};
 use pgrid_simcore::SimRng;
 
 /// Cap on recorded step-oracle violations; past this the run keeps
@@ -52,6 +52,14 @@ pub struct ScheduleReport {
     pub partition_drops: u64,
     /// Messages discarded because the receiver was frozen.
     pub frozen_drops: u64,
+    /// Suspicions raised by the failure detector (0 when disarmed).
+    pub suspicions: u64,
+    /// Live nodes actively expelled by the detector.
+    pub live_expulsions: u64,
+    /// Expelled nodes that later revived through the epoch fence.
+    pub revivals: u64,
+    /// Keepalives received from already-evicted senders (ghost traffic).
+    pub stale_keepalives: u64,
     /// FNV-1a digest of the full observable trajectory.
     pub digest: u64,
 }
@@ -69,7 +77,13 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     proto.heartbeat_period = schedule.heartbeat_period;
     proto.fail_timeout = schedule.fail_timeout;
     proto.loss_seed = pgrid_simcore::rng::sub_seed(schedule.seed, 0xFA17);
-    let mut sim = CanSim::new(proto);
+    proto.detector = match schedule.detector.as_deref() {
+        None => None,
+        Some("fixed") => Some(DetectorConfig::fixed()),
+        Some("adaptive") => Some(DetectorConfig::adaptive()),
+        Some(other) => panic!("unknown detector mode `{other}`"),
+    };
+    let mut sim = CanSim::new(proto).expect("valid protocol config");
     let mut rng = SimRng::sub_stream(schedule.seed, 0xC4A5);
     let mut victim_rng = SimRng::sub_stream(schedule.seed, 0x71C7);
     let mut coords = uniform_coords(schedule.dims);
@@ -117,6 +131,28 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
             fault_start + window.until,
         ));
     }
+    for window in &schedule.degrades {
+        // Sample `pairs` distinct directed member pairs from the victim
+        // stream, so a replay degrades the same links.
+        let members = sim.members();
+        let max_pairs = members.len() * members.len().saturating_sub(1);
+        let mut pairs = Vec::new();
+        for _ in 0..window.pairs.min(max_pairs) {
+            let from = members[victim_rng.below(members.len())].0;
+            let mut to = members[victim_rng.below(members.len())].0;
+            while to == from {
+                to = members[victim_rng.below(members.len())].0;
+            }
+            pairs.push((from, to));
+        }
+        sim.network_mut().add_degrade(LinkDegrade::new(
+            pairs,
+            window.drop,
+            window.jitter,
+            fault_start + window.from,
+            fault_start + window.until,
+        ));
+    }
 
     // Fault phase: interleave scripted events, churn, and per-heartbeat
     // oracle checks.
@@ -125,6 +161,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     events.reverse(); // pop() yields earliest-first
     let mut next_churn = schedule.churn_gap.map(|g| fault_start + g);
     let mut next_check = fault_start;
+    let mut ledger = oracles::EpochLedger::new();
     let mut broken_peak = 0usize;
     let mut prev_now = sim.now();
     loop {
@@ -162,7 +199,11 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
             let broken = sim.broken_links();
             broken_peak = broken_peak.max(broken);
             digest.write_usize(broken);
+            digest.write_u64(epoch_checksum(&sim));
             for msg in oracles::step_violations(&sim) {
+                record(&mut violations, msg);
+            }
+            for msg in ledger.check(&sim) {
                 record(&mut violations, msg);
             }
             sim.check_invariants();
@@ -179,7 +220,11 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
         t = (t + schedule.heartbeat_period).min(recovery_end);
         sim.advance_to(t);
         digest.write_usize(sim.broken_links());
+        digest.write_u64(epoch_checksum(&sim));
         for msg in oracles::step_violations(&sim) {
+            record(&mut violations, msg);
+        }
+        for msg in ledger.check(&sim) {
             record(&mut violations, msg);
         }
         sim.check_invariants();
@@ -196,6 +241,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     digest.write_usize(members.len());
     for &id in &members {
         digest.write_u64(u64::from(id.0));
+        digest.write_u64(sim.local(id).expect("member has local state").epoch);
         let z = sim.zone(id);
         for d in 0..z.dims() {
             digest.write_f64(z.lo(d));
@@ -211,6 +257,16 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     digest.write_u64(sim.repair_messages());
     digest.write_u64(sim.gap_probes());
     digest.write_u64(sim.full_update_rounds());
+    digest.write_u64(sim.network().degrade_drops());
+    digest.write_u64(sim.suspicions());
+    digest.write_u64(sim.live_expulsions());
+    digest.write_u64(sim.false_expulsions());
+    digest.write_u64(sim.revivals());
+    digest.write_usize(sim.zombie_count());
+    digest.write_u64(sim.probe_requests());
+    digest.write_u64(sim.probe_vouches());
+    let stale_keepalives = sim.accounting().stale_keepalives;
+    digest.write_u64(stale_keepalives);
     for msg in &violations {
         digest.write_str(msg);
     }
@@ -222,9 +278,28 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
         dropped_messages: sim.dropped_messages(),
         partition_drops: sim.network().partition_drops(),
         frozen_drops: sim.frozen_drops(),
+        suspicions: sim.suspicions(),
+        live_expulsions: sim.live_expulsions(),
+        revivals: sim.revivals(),
+        stale_keepalives,
         digest: digest.finish(),
         violations,
     }
+}
+
+/// Wrapping sum of every live claim epoch — members and unrevived
+/// zombies alike — folded into the digest at each heartbeat boundary so
+/// a replay divergence in epoch fencing is caught at the boundary where
+/// it first appears.
+fn epoch_checksum(sim: &CanSim) -> u64 {
+    let mut sum = 0u64;
+    for m in sim.members() {
+        sum = sum.wrapping_add(sim.local(m).expect("member has local state").epoch);
+    }
+    for z in sim.zombie_ids() {
+        sum = sum.wrapping_add(sim.zombie(z).expect("listed zombie").epoch);
+    }
+    sum
 }
 
 fn apply_fault(
@@ -308,6 +383,64 @@ mod tests {
             }
         }
         assert!(hurt, "ten generated schedules never perturbed the overlay");
+    }
+
+    #[test]
+    fn detector_schedules_replay_and_pass_oracles() {
+        use pgrid_simcore::dst::DegradeWindow;
+        let budget = ScheduleBudget::smoke();
+        for (seed, mode) in [(7u64, "fixed"), (8, "adaptive"), (9, "adaptive")] {
+            let mut s = generate(seed, &budget);
+            s.detector = Some(mode.to_string());
+            s.degrades = vec![DegradeWindow {
+                pairs: 3,
+                drop: 0.5,
+                jitter: 20.0,
+                from: 0.0,
+                until: s.fault_duration * 0.8,
+            }];
+            s.validate().expect("forced schedule stays valid");
+            let a = run_schedule(&s);
+            let b = run_schedule(&s);
+            assert_eq!(a, b, "seed {seed}/{mode} must replay identically");
+            assert!(
+                a.violations.is_empty(),
+                "seed {seed}/{mode}:\n{:#?}",
+                a.violations
+            );
+        }
+    }
+
+    #[test]
+    fn armed_detector_leaves_faultfree_digest_untouched_when_silent() {
+        // A schedule whose only difference is the detector knob must
+        // diverge *only* through detector behavior; with no faults able
+        // to trip it, the armed replay is bit-identical to the legacy
+        // passive run.
+        let budget = ScheduleBudget::smoke();
+        let mut s = generate(42, &budget);
+        s.events.clear();
+        s.partitions.clear();
+        s.class_faults.clear();
+        s.degrades.clear();
+        s.churn_gap = None;
+        s.detector = None;
+        let baseline = run_schedule(&s);
+        for mode in ["fixed", "adaptive"] {
+            s.detector = Some(mode.to_string());
+            let armed = run_schedule(&s);
+            assert_eq!(armed.suspicions, 0, "{mode}: fault-free run stays silent");
+            assert_eq!(armed.live_expulsions, 0, "{mode}");
+            assert!(
+                armed.violations.is_empty(),
+                "{mode}: {:#?}",
+                armed.violations
+            );
+            assert_eq!(
+                armed.digest, baseline.digest,
+                "{mode}: arming the detector must not perturb a fault-free trajectory"
+            );
+        }
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use churn::{run_churn, uniform_coords, BrokenSample, ChurnConfig, ChurnRepor
 pub use dst::{run_schedule, scheme_from_label, ScheduleReport};
 pub use geom::{Point, Zone};
 pub use membership::{LocalNode, NeighborEntry, Payload};
-pub use protocol::{CanSim, HeartbeatScheme, JoinError, ProtocolConfig};
+pub use protocol::{
+    CanSim, ConfigError, DetectorConfig, DetectorMode, HeartbeatScheme, JoinError, ProtocolConfig,
+};
 pub use routing::{route, Route, RoutingView};
 pub use split_tree::{SplitTree, TakeoverPlan, ZoneChange};
 pub use wire::{MsgKind, WireModel};

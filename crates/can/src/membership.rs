@@ -11,7 +11,10 @@
 use crate::geom::{Point, Zone};
 use pgrid_simcore::SimTime;
 use pgrid_types::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// EWMA weight for per-link heartbeat inter-arrival statistics.
+const GAP_ALPHA: f64 = 0.25;
 
 /// What a node believes about one neighbor.
 #[derive(Debug, Clone)]
@@ -26,6 +29,65 @@ pub struct NeighborEntry {
     /// speaks for itself; their expiry is not evidence of a broken
     /// link, so it does not trigger adaptive full-update rounds.
     pub confirmed: bool,
+    /// The neighbor's zone-ownership epoch as last advertised
+    /// first-hand (0 until an epoch-carrying message arrives). A
+    /// first-hand announcement with a *lower* epoch than this is fenced
+    /// off: it proves the sender is alive but must not roll the
+    /// recorded zone back to a pre-take-over claim.
+    pub epoch: u64,
+    /// EWMA of observed first-hand inter-arrival gaps, seconds.
+    pub gap_mean: f64,
+    /// EWMA variance of the inter-arrival gaps.
+    pub gap_var: f64,
+    /// Number of first-hand gaps observed (adaptive suspicion falls
+    /// back to the fixed timeout until enough samples accumulate).
+    pub gaps: u32,
+}
+
+impl NeighborEntry {
+    fn fresh(zone: Zone, now: SimTime, confirmed: bool, epoch: u64) -> Self {
+        NeighborEntry {
+            zone,
+            last_heard: now,
+            confirmed,
+            epoch,
+            gap_mean: 0.0,
+            gap_var: 0.0,
+            gaps: 0,
+        }
+    }
+
+    /// An unconfirmed entry built from second-hand information (an
+    /// indirect-probe vouch): like a gossiped record, it must confirm
+    /// first-hand before it can keep the link alive indefinitely.
+    pub fn fresh_second_hand(zone: Zone, heard_at: SimTime, epoch: u64) -> Self {
+        NeighborEntry::fresh(zone, heard_at, false, epoch)
+    }
+
+    /// Folds one observed first-hand inter-arrival gap into the EWMA
+    /// statistics.
+    fn record_gap(&mut self, gap: f64) {
+        if self.gaps == 0 {
+            self.gap_mean = gap;
+            self.gap_var = 0.0;
+        } else {
+            let d = gap - self.gap_mean;
+            self.gap_mean += GAP_ALPHA * d;
+            self.gap_var = (1.0 - GAP_ALPHA) * (self.gap_var + GAP_ALPHA * d * d);
+        }
+        self.gaps = self.gaps.saturating_add(1);
+    }
+
+    /// Per-link adaptive silence threshold: EWMA mean plus `k_var`
+    /// standard deviations, clamped to `[period * k_min, cap]`. With
+    /// fewer than 3 observed gaps the statistics are meaningless and
+    /// the fixed cap applies.
+    pub fn suspicion_timeout(&self, period: f64, k_min: f64, k_var: f64, cap: f64) -> f64 {
+        if self.gaps < 3 {
+            return cap;
+        }
+        (self.gap_mean + k_var * self.gap_var.sqrt()).clamp(period * k_min, cap)
+    }
 }
 
 /// A full-state snapshot of a node: its zone plus its complete neighbor
@@ -37,6 +99,8 @@ pub struct Payload {
     pub from: NodeId,
     /// The sender's zone at snapshot time.
     pub zone: Zone,
+    /// The sender's zone-ownership epoch at snapshot time.
+    pub epoch: u64,
     /// The sender's neighbor table (ids and zones as the sender knew
     /// them — possibly already stale).
     pub neighbors: Vec<(NodeId, Zone)>,
@@ -73,6 +137,19 @@ pub struct LocalNode {
     /// else announces our new zone to them). The next zone-dirty round
     /// sends them the update too, then clears this list.
     pub zone_change_audience: Vec<NodeId>,
+    /// This node's zone-ownership epoch. Bumped on every zone change
+    /// (split, take-over, hand-off) so `(epoch, id)` totally orders
+    /// competing ownership claims: a take-over heir always ends up with
+    /// an epoch strictly above the expelled owner's, and a revived node
+    /// seeing a higher epoch for its old zone knows its death was
+    /// declared and its state is stale.
+    pub epoch: u64,
+    /// Suspicion ledger of the two-phase failure detector: suspects
+    /// mapped to their expulsion deadline. Populated when a neighbor's
+    /// silence crosses its per-link threshold; cleared by any
+    /// first-hand contact or an indirect-probe vouch. Ordered map so
+    /// iteration is deterministic.
+    pub suspects: BTreeMap<NodeId, SimTime>,
 }
 
 impl LocalNode {
@@ -87,37 +164,71 @@ impl LocalNode {
             zone_dirty: false,
             wants_full_update: false,
             zone_change_audience: Vec::new(),
+            epoch: 1,
+            suspects: BTreeMap::new(),
         }
     }
 
     /// Records first-hand contact from `from` owning `zone` — inserts
     /// or refreshes the entry if the zone abuts ours, removes it
-    /// otherwise (the sender drifted away).
+    /// otherwise (the sender drifted away). Epoch-less variant of
+    /// [`LocalNode::hear_fenced`] (epoch 0 never fences).
     pub fn hear_with_zone(&mut self, from: NodeId, zone: &Zone, now: SimTime) {
+        self.hear_fenced(from, zone, 0, now);
+    }
+
+    /// Records first-hand, epoch-carrying contact. Any first-hand
+    /// contact proves liveness: it refreshes `last_heard`, folds the
+    /// observed inter-arrival gap into the per-link statistics, and
+    /// absolves a pending suspicion. The *zone claim* is epoch-fenced:
+    /// an announcement with a lower epoch than the recorded one (a
+    /// not-yet-revived zombie re-announcing its seized zone) must not
+    /// roll the record back, so only the liveness refresh applies.
+    pub fn hear_fenced(&mut self, from: NodeId, zone: &Zone, epoch: u64, now: SimTime) {
         if from == self.id {
             return;
         }
-        if self.zone.abuts(zone) {
-            self.table.insert(
-                from,
-                NeighborEntry {
-                    zone: zone.clone(),
-                    last_heard: now,
-                    confirmed: true,
-                },
-            );
-        } else {
-            self.table.remove(&from);
+        self.suspects.remove(&from);
+        if let Some(e) = self.table.get_mut(&from) {
+            if e.confirmed && now > e.last_heard {
+                let gap = now - e.last_heard;
+                e.record_gap(gap);
+            }
+            e.last_heard = e.last_heard.max(now);
+            e.confirmed = true;
+            if epoch != 0 && epoch < e.epoch {
+                return; // stale ownership claim: liveness only
+            }
+            e.epoch = e.epoch.max(epoch);
+            if self.zone.abuts(zone) {
+                e.zone = zone.clone();
+            } else {
+                self.table.remove(&from);
+            }
+        } else if self.zone.abuts(zone) {
+            self.table
+                .insert(from, NeighborEntry::fresh(zone.clone(), now, true, epoch));
         }
     }
 
     /// Records a bare keepalive: refreshes `last_heard` if the sender
     /// is already known (a keepalive carries no zone, so an unknown
-    /// sender cannot be added).
-    pub fn hear_keepalive(&mut self, from: NodeId, now: SimTime) {
+    /// sender cannot be added). Returns whether the sender was known —
+    /// a keepalive from an unknown sender is ghost traffic (typically a
+    /// node still heartbeating at neighbors that already expelled it)
+    /// and the caller accounts it.
+    pub fn hear_keepalive(&mut self, from: NodeId, now: SimTime) -> bool {
+        self.suspects.remove(&from);
         if let Some(e) = self.table.get_mut(&from) {
-            e.last_heard = now;
+            if e.confirmed && now > e.last_heard {
+                let gap = now - e.last_heard;
+                e.record_gap(gap);
+            }
+            e.last_heard = e.last_heard.max(now);
             e.confirmed = true;
+            true
+        } else {
+            false
         }
     }
 
@@ -134,14 +245,8 @@ impl LocalNode {
                 continue;
             }
             if self.zone.abuts(mz) {
-                self.table.insert(
-                    *m,
-                    NeighborEntry {
-                        zone: mz.clone(),
-                        last_heard: now,
-                        confirmed: false,
-                    },
-                );
+                self.table
+                    .insert(*m, NeighborEntry::fresh(mz.clone(), now, false, 0));
                 repaired += 1;
             }
         }
@@ -163,14 +268,8 @@ impl LocalNode {
             if let Some(e) = self.table.get_mut(m) {
                 e.last_heard = e.last_heard.max(now);
             } else if self.zone.abuts(mz) {
-                self.table.insert(
-                    *m,
-                    NeighborEntry {
-                        zone: mz.clone(),
-                        last_heard: now,
-                        confirmed: false,
-                    },
-                );
+                self.table
+                    .insert(*m, NeighborEntry::fresh(mz.clone(), now, false, 0));
             }
         }
     }
@@ -180,7 +279,7 @@ impl LocalNode {
     /// first-hand information.
     pub fn merge_payload_records(&mut self, payload: &Payload, now: SimTime) -> usize {
         let repaired = self.merge_records(&payload.neighbors, now);
-        self.hear_with_zone(payload.from, &payload.zone, now);
+        self.hear_fenced(payload.from, &payload.zone, payload.epoch, now);
         repaired
     }
 
@@ -294,6 +393,7 @@ impl LocalNode {
     /// keeps a stale record of us indefinitely.
     pub fn set_zone(&mut self, zone: Zone) {
         self.zone = zone;
+        self.epoch += 1;
         let own = self.zone.clone();
         let mut pruned = Vec::new();
         self.table.retain(|id, e| {
@@ -318,6 +418,7 @@ impl LocalNode {
         Payload {
             from: self.id,
             zone: self.zone.clone(),
+            epoch: self.epoch,
             neighbors: self
                 .table
                 .iter()
@@ -466,6 +567,7 @@ mod tests {
         let payload = Payload {
             from: NodeId(1),
             zone: z(&[0.5, 0.0], &[1.0, 0.5]),
+            epoch: 1,
             neighbors: vec![
                 (NodeId(2), z(&[0.5, 0.5], &[1.0, 1.0])),
                 (NodeId(3), z(&[0.9, 0.9], &[1.0, 1.0])), // does not abut us
@@ -488,6 +590,7 @@ mod tests {
         let payload = Payload {
             from: NodeId(1),
             zone: z(&[0.5, 0.0], &[1.0, 0.5]),
+            epoch: 1,
             neighbors: vec![(NodeId(2), z(&[0.5, 0.5], &[1.0, 1.0]))],
             sent_at: 100.0,
         };
@@ -532,6 +635,72 @@ mod tests {
         assert_eq!(snap.neighbors.len(), 1);
         assert_eq!(snap.sent_at, 12.0);
         assert_eq!(snap.neighbors[0].0, NodeId(1));
+    }
+
+    #[test]
+    fn keepalive_from_unknown_sender_is_reported() {
+        let mut n = node();
+        assert!(!n.hear_keepalive(NodeId(9), 5.0), "unknown sender");
+        n.hear_with_zone(NodeId(9), &z(&[0.5, 0.0], &[1.0, 1.0]), 10.0);
+        assert!(n.hear_keepalive(NodeId(9), 20.0), "known sender");
+    }
+
+    #[test]
+    fn first_hand_gaps_feed_the_link_statistics() {
+        let mut n = node();
+        let zn = z(&[0.5, 0.0], &[1.0, 1.0]);
+        n.hear_with_zone(NodeId(1), &zn, 0.0);
+        for t in [60.0, 120.0, 180.0, 240.0] {
+            n.hear_keepalive(NodeId(1), t);
+        }
+        let e = &n.table[&NodeId(1)];
+        assert_eq!(e.gaps, 4);
+        assert!((e.gap_mean - 60.0).abs() < 1e-9, "steady 60 s cadence");
+        assert!(e.gap_var < 1e-9);
+        // Stable link: threshold clamps to the floor, far below the cap.
+        let th = e.suspicion_timeout(60.0, 1.5, 4.0, 150.0);
+        assert!((th - 90.0).abs() < 1e-9, "clamped to 1.5 periods, got {th}");
+        // Too few samples: the cap applies.
+        let mut fresh = node();
+        fresh.hear_with_zone(NodeId(1), &zn, 0.0);
+        assert_eq!(
+            fresh.table[&NodeId(1)].suspicion_timeout(60.0, 1.5, 4.0, 150.0),
+            150.0
+        );
+    }
+
+    #[test]
+    fn lower_epoch_zone_claim_is_fenced_but_counts_as_liveness() {
+        let mut n = node();
+        let old = z(&[0.5, 0.0], &[1.0, 0.5]);
+        let grown = z(&[0.5, 0.0], &[1.0, 1.0]);
+        n.hear_fenced(NodeId(1), &old, 3, 10.0);
+        // The heir announces its grown zone at a higher epoch...
+        n.hear_fenced(NodeId(1), &grown, 5, 20.0);
+        assert_eq!(n.table[&NodeId(1)].zone, grown);
+        // ...then a stale claim at the old epoch arrives late: liveness
+        // refreshes, the zone does not roll back.
+        n.hear_fenced(NodeId(1), &old, 3, 30.0);
+        assert_eq!(n.table[&NodeId(1)].zone, grown, "fenced");
+        assert_eq!(n.table[&NodeId(1)].last_heard, 30.0);
+        assert_eq!(n.table[&NodeId(1)].epoch, 5);
+    }
+
+    #[test]
+    fn first_hand_contact_absolves_suspicion() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 0.0);
+        n.suspects.insert(NodeId(1), 200.0);
+        n.hear_keepalive(NodeId(1), 90.0);
+        assert!(n.suspects.is_empty(), "contact clears suspicion");
+    }
+
+    #[test]
+    fn set_zone_bumps_epoch() {
+        let mut n = node();
+        assert_eq!(n.epoch, 1);
+        n.set_zone(z(&[0.0, 0.0], &[0.5, 0.5]));
+        assert_eq!(n.epoch, 2);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! simulation time, so a shrunk trace's report reads as a story.
 
 use crate::protocol::{CanSim, HeartbeatScheme};
+use pgrid_types::NodeId;
+use std::collections::HashMap;
 
 /// Cap on reported violations per oracle call, so a badly corrupted
 /// overlay cannot balloon a report (shrinking only needs "non-empty").
@@ -40,7 +42,103 @@ pub fn step_violations(sim: &CanSim) -> Vec<String> {
     zone_tiling(sim, &mut v);
     neighbor_symmetry(sim, &mut v);
     takeover_reachability(sim, &mut v);
+    ownership_exclusivity(sim, &mut v);
     v
+}
+
+/// No two live processes hold an *unfenced* claim on overlapping
+/// space. Members' ground-truth zones are disjoint by construction
+/// (checked by [`zone_tiling`]); an expelled-but-alive zombie still
+/// believes it owns its old zone, which is only safe because every
+/// current owner of any part of that region carries a strictly higher
+/// epoch — so the zombie's claim can never win a fencing comparison,
+/// and on contact the zombie refutes its own death instead of
+/// reasserting the zone.
+fn ownership_exclusivity(sim: &CanSim, out: &mut Vec<String>) {
+    let now = sim.now();
+    let mut reported = 0usize;
+    for z in sim.zombie_ids() {
+        let zn = sim.zombie(z).expect("listed zombie");
+        if sim.is_member(z) {
+            out.push(format!(
+                "t={now}: zombie {z} is simultaneously a live member"
+            ));
+            reported += 1;
+        }
+        for m in sim.members() {
+            let mz = sim.zone(m);
+            let overlap =
+                (0..mz.dims()).all(|d| mz.lo(d) < zn.zone.hi(d) && zn.zone.lo(d) < mz.hi(d));
+            if !overlap {
+                continue;
+            }
+            // The member's effective claim is its local epoch or, while
+            // a crash take-over is still undetected, the ground-truth
+            // fence floor the take-over already owes it — the member
+            // fences locally as soon as the detection timeout fires.
+            let me = sim
+                .local(m)
+                .expect("member has local state")
+                .epoch
+                .max(sim.fence_floor(m));
+            if me <= zn.epoch {
+                out.push(format!(
+                    "t={now}: member {m} (epoch {me}) and zombie {z} (epoch {e}) hold \
+                     competing claims on overlapping space — stale claim not fenced",
+                    e = zn.epoch
+                ));
+                reported += 1;
+            }
+            if reported >= MAX_PER_CHECK {
+                return;
+            }
+        }
+    }
+}
+
+/// Stateful cross-boundary oracle: every node's ownership-epoch claim
+/// is monotone over the whole run. The DST executor feeds it at every
+/// heartbeat boundary; a claim that moves backwards means some path
+/// (take-over, hand-off, revival) failed to fence a new incarnation
+/// above an old one.
+#[derive(Debug, Default)]
+pub struct EpochLedger {
+    seen: HashMap<NodeId, u64>,
+}
+
+impl EpochLedger {
+    /// An empty ledger (no claims observed yet).
+    pub fn new() -> Self {
+        EpochLedger::default()
+    }
+
+    /// Folds the current boundary's claims in; returns violations for
+    /// any claim that regressed below an earlier observation.
+    pub fn check(&mut self, sim: &CanSim) -> Vec<String> {
+        let now = sim.now();
+        let mut v = Vec::new();
+        let mut claims: Vec<(NodeId, u64)> = sim
+            .members()
+            .iter()
+            .map(|&m| (m, sim.local(m).expect("member has local state").epoch))
+            .collect();
+        claims.extend(
+            sim.zombie_ids()
+                .iter()
+                .map(|&z| (z, sim.zombie(z).expect("listed zombie").epoch)),
+        );
+        for (id, epoch) in claims {
+            let e = self.seen.entry(id).or_insert(0);
+            if epoch < *e {
+                v.push(format!(
+                    "t={now}: node {id} claim epoch regressed {prev} -> {epoch}",
+                    prev = *e
+                ));
+            }
+            *e = (*e).max(epoch);
+        }
+        v
+    }
 }
 
 /// The member zones partition the unit d-cube: volumes sum to 1 and no
@@ -153,6 +251,12 @@ pub fn quiescence_violations(
             v.push(format!("node {id} still frozen after recovery"));
         }
     }
+    // A zombie that outlives the recovery allowance means revival is
+    // wedged: with faults over, its epoch query should discover the
+    // higher claim and rejoin within a round.
+    for z in sim.zombie_ids() {
+        v.push(format!("node {z} still an unrevived zombie after recovery"));
+    }
     v
 }
 
@@ -164,7 +268,7 @@ mod tests {
     use pgrid_simcore::SimRng;
 
     fn grown(n: usize, scheme: HeartbeatScheme) -> CanSim {
-        let mut sim = CanSim::new(ProtocolConfig::new(2, scheme));
+        let mut sim = CanSim::new(ProtocolConfig::new(2, scheme)).expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(9);
         let mut coords = uniform_coords(2);
         let mut joined = 0;

@@ -73,6 +73,140 @@ impl HeartbeatScheme {
     }
 }
 
+/// Which rule turns neighbor silence into a declaration of death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorMode {
+    /// Classic single fixed timeout: a take-over target expels a
+    /// neighbor the moment its silence exceeds `fail_timeout`.
+    Fixed,
+    /// Two-phase suspicion pipeline: per-link adaptive timeouts learned
+    /// from heartbeat inter-arrival statistics raise a *suspicion*,
+    /// indirect probes through `indirect_probes` other neighbors try to
+    /// refute it, and expulsion waits out `probe_grace` on top of the
+    /// fixed timeout — one lossy link cannot expel a live node.
+    Adaptive,
+}
+
+impl DetectorMode {
+    /// Short lowercase label for tables, CSV, and the schedule grammar.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectorMode::Fixed => "fixed",
+            DetectorMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Failure-detector configuration. `None` on [`ProtocolConfig`] keeps
+/// the legacy passive behavior: silent neighbors are merely dropped
+/// from local tables (broken links) and ground-truth ownership never
+/// changes without an explicit [`CanSim::leave`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Detection rule.
+    pub mode: DetectorMode,
+    /// Lower clamp of the adaptive threshold, in heartbeat periods
+    /// (a link can never be declared suspicious faster than this).
+    pub k_min: f64,
+    /// Standard-deviation multiplier of the adaptive threshold.
+    pub k_var: f64,
+    /// How many other neighbors are asked to probe a suspect before it
+    /// is declared dead (adaptive mode).
+    pub indirect_probes: usize,
+    /// Extra seconds a suspicion must survive unrefuted past the fixed
+    /// timeout before the suspect is expelled (adaptive mode).
+    pub probe_grace: f64,
+}
+
+impl DetectorConfig {
+    /// The fixed-timeout detector with expulsion armed.
+    pub fn fixed() -> Self {
+        DetectorConfig {
+            mode: DetectorMode::Fixed,
+            k_min: 1.5,
+            k_var: 4.0,
+            indirect_probes: 0,
+            probe_grace: 0.0,
+        }
+    }
+
+    /// The adaptive + indirect-probe detector with the evaluation
+    /// defaults: 1.5-period floor, 4 σ, 3 probe helpers, one-period
+    /// grace.
+    pub fn adaptive() -> Self {
+        DetectorConfig {
+            mode: DetectorMode::Adaptive,
+            k_min: 1.5,
+            k_var: 4.0,
+            indirect_probes: 3,
+            probe_grace: 60.0,
+        }
+    }
+}
+
+/// A rejected [`ProtocolConfig`] (see [`ProtocolConfig::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `heartbeat_period` must be positive and finite.
+    NonPositivePeriod(f64),
+    /// `fail_timeout` must be finite and strictly above the period.
+    TimeoutNotAbovePeriod {
+        /// Configured heartbeat period.
+        period: f64,
+        /// Configured (rejected) failure timeout.
+        timeout: f64,
+    },
+    /// `message_loss` must lie in `[0, 1)`.
+    LossOutOfRange(f64),
+    /// Detector bounds are inverted: `k_min` must be at least 1 and
+    /// `k_min * heartbeat_period` must not exceed `fail_timeout`.
+    InvertedDetectorBounds {
+        /// Configured `k_min`.
+        k_min: f64,
+        /// Configured heartbeat period.
+        period: f64,
+        /// Configured failure timeout.
+        timeout: f64,
+    },
+    /// Detector scalars (`k_var`, `probe_grace`) must be finite and
+    /// non-negative.
+    NegativeDetectorParam(&'static str, f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositivePeriod(p) => {
+                write!(f, "heartbeat period must be positive and finite, got {p}")
+            }
+            ConfigError::TimeoutNotAbovePeriod { period, timeout } => write!(
+                f,
+                "fail timeout ({timeout}) must be finite and exceed the heartbeat period ({period})"
+            ),
+            ConfigError::LossOutOfRange(p) => {
+                write!(f, "message loss probability must be in [0, 1), got {p}")
+            }
+            ConfigError::InvertedDetectorBounds {
+                k_min,
+                period,
+                timeout,
+            } => write!(
+                f,
+                "detector bounds inverted: need 1 <= k_min and k_min * period <= fail timeout, \
+                 got k_min={k_min}, period={period}, timeout={timeout}"
+            ),
+            ConfigError::NegativeDetectorParam(name, v) => {
+                write!(
+                    f,
+                    "detector parameter {name} must be finite and >= 0, got {v}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Protocol parameters.
 #[derive(Debug, Clone)]
 pub struct ProtocolConfig {
@@ -102,6 +236,14 @@ pub struct ProtocolConfig {
     /// source. Strictly opt-in: with no faults configured the model
     /// consumes no randomness and perturbs nothing.
     pub net: Option<NetworkModel>,
+    /// Failure-detector configuration. `None` (the default) keeps the
+    /// legacy passive behavior: expiry breaks links locally but never
+    /// changes ground-truth ownership. `Some` arms detector-driven
+    /// expulsion: a take-over target that declares a neighbor dead
+    /// seizes its zone (epoch-fenced), and a wrongly expelled node
+    /// later refutes its own death and rejoins through the bootstrap
+    /// path. The fault-free path draws zero RNG either way.
+    pub detector: Option<DetectorConfig>,
 }
 
 impl ProtocolConfig {
@@ -117,6 +259,7 @@ impl ProtocolConfig {
             message_loss: 0.0,
             loss_seed: 0x105E,
             net: None,
+            detector: None,
         }
     }
 
@@ -134,6 +277,45 @@ impl ProtocolConfig {
     pub fn with_network(mut self, net: NetworkModel) -> Self {
         self.net = Some(net);
         self
+    }
+
+    /// Arms detector-driven expulsion (see [`DetectorConfig`]).
+    pub fn with_detector(mut self, det: DetectorConfig) -> Self {
+        self.detector = Some(det);
+        self
+    }
+
+    /// Checks the timing and detector parameters for degenerate
+    /// combinations. [`CanSim::new`] runs this and returns the error
+    /// instead of panicking, so binaries can report bad flags cleanly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.heartbeat_period > 0.0 && self.heartbeat_period.is_finite()) {
+            return Err(ConfigError::NonPositivePeriod(self.heartbeat_period));
+        }
+        if !(self.fail_timeout > self.heartbeat_period && self.fail_timeout.is_finite()) {
+            return Err(ConfigError::TimeoutNotAbovePeriod {
+                period: self.heartbeat_period,
+                timeout: self.fail_timeout,
+            });
+        }
+        if !(0.0..1.0).contains(&self.message_loss) {
+            return Err(ConfigError::LossOutOfRange(self.message_loss));
+        }
+        if let Some(det) = &self.detector {
+            if !(det.k_min >= 1.0 && det.k_min * self.heartbeat_period <= self.fail_timeout) {
+                return Err(ConfigError::InvertedDetectorBounds {
+                    k_min: det.k_min,
+                    period: self.heartbeat_period,
+                    timeout: self.fail_timeout,
+                });
+            }
+            for (name, v) in [("k_var", det.k_var), ("probe_grace", det.probe_grace)] {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(ConfigError::NegativeDetectorParam(name, v));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -163,17 +345,33 @@ enum Ev {
 enum Msg {
     /// Full-state heartbeat payload.
     Full(Payload),
-    /// Zone-carrying update from a node whose zone changed.
-    Zone(NodeId, Zone),
+    /// Zone-carrying update from a node whose zone changed, fenced by
+    /// the sender's ownership epoch.
+    Zone(NodeId, Zone, u64),
     /// O(1) compact keepalive.
     Keepalive(NodeId),
     /// Targeted take-over repair: `from` announces its post-take-over
-    /// zone and the departed node's identity to the departed node's
-    /// former neighbors.
+    /// zone (at its new epoch) and the departed node's identity to the
+    /// departed node's former neighbors.
     Repair {
         from: NodeId,
         zone: Zone,
+        epoch: u64,
         departed: NodeId,
+    },
+    /// Indirect-probe request: `origin` suspects `suspect` and asks the
+    /// receiver to check on it.
+    ProbeReq { origin: NodeId, suspect: NodeId },
+    /// Indirect-probe ping relayed by a helper to the suspect; a live
+    /// suspect answers `origin` directly with a zone update.
+    ProbePing { origin: NodeId },
+    /// A helper vouches for a suspect it heard from recently: its
+    /// recorded zone/epoch and when it last heard the suspect.
+    ProbeVouch {
+        suspect: NodeId,
+        zone: Zone,
+        epoch: u64,
+        heard_at: SimTime,
     },
 }
 
@@ -187,6 +385,11 @@ impl Msg {
 #[derive(Debug)]
 struct Pending {
     departed: NodeId,
+    /// The victim's ownership epoch at departure: the take-over actors
+    /// fence their own epochs strictly above it so any of the victim's
+    /// claims still in flight (or a later zombie re-announcement) lose
+    /// the epoch comparison.
+    departed_epoch: u64,
     kind: PendingKind,
 }
 
@@ -207,7 +410,7 @@ enum PendingKind {
 ///
 /// ```
 /// use pgrid_can::{CanSim, HeartbeatScheme, ProtocolConfig};
-/// let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Adaptive));
+/// let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Adaptive)).unwrap();
 /// let a = can.join(vec![0.2, 0.5]).unwrap();
 /// let b = can.join(vec![0.8, 0.5]).unwrap();
 /// assert!(can.true_neighbors(a).contains(&b));
@@ -236,13 +439,39 @@ pub struct CanSim {
     frozen_drops: u64,
     repair_messages: u64,
     gap_probes: u64,
+    /// Expelled-but-actually-alive nodes: their process keeps running
+    /// (ticks, freeze/thaw), but ground truth no longer knows them.
+    /// They revive through the epoch-query/bootstrap-rejoin path.
+    zombies: HashMap<NodeId, LocalNode>,
+    suspicions: u64,
+    probe_requests: u64,
+    probe_vouches: u64,
+    live_expulsions: u64,
+    false_expulsions: u64,
+    revivals: u64,
+    detection_lag_sum: f64,
+    detections: u64,
+    /// When each currently-silent node went silent (crash or freeze);
+    /// consumed by the first suspicion to measure detection latency.
+    /// Only maintained while a detector is configured.
+    silent_since: HashMap<NodeId, SimTime>,
+    /// Ground-truth fence bookkeeping: the highest epoch any *previous*
+    /// owner claimed on space currently assigned to this node. A crash
+    /// take-over moves ground-truth ownership immediately but the heir
+    /// only fences its local epoch once it detects the death; if the
+    /// heir dies inside that window, the in-flight fence would be lost
+    /// with the pending record — this floor survives, folding into
+    /// `departed_epoch` at every removal so the fence always reaches
+    /// whoever ends up owning the space.
+    fence_floors: HashMap<NodeId, u64>,
 }
 
 impl CanSim {
-    /// An empty CAN.
-    pub fn new(cfg: ProtocolConfig) -> Self {
-        assert!(cfg.heartbeat_period > 0.0);
-        assert!(cfg.fail_timeout > cfg.heartbeat_period);
+    /// An empty CAN. Rejects degenerate configurations (zero heartbeat
+    /// period, a failure timeout at or below the period, inverted
+    /// detector bounds) instead of panicking.
+    pub fn new(cfg: ProtocolConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut net = cfg
             .net
             .clone()
@@ -250,7 +479,7 @@ impl CanSim {
         if cfg.message_loss > 0.0 {
             net.set_loss(cfg.message_loss);
         }
-        CanSim {
+        Ok(CanSim {
             cfg,
             tree: None,
             adj: Adjacency::new(),
@@ -270,7 +499,18 @@ impl CanSim {
             frozen_drops: 0,
             repair_messages: 0,
             gap_probes: 0,
-        }
+            zombies: HashMap::new(),
+            suspicions: 0,
+            probe_requests: 0,
+            probe_vouches: 0,
+            live_expulsions: 0,
+            false_expulsions: 0,
+            revivals: 0,
+            detection_lag_sum: 0.0,
+            detections: 0,
+            silent_since: HashMap::new(),
+            fence_floors: HashMap::new(),
+        })
     }
 
     /// Current simulation time.
@@ -400,6 +640,62 @@ impl CanSim {
         self.gap_probes
     }
 
+    /// Suspicions raised by the failure detector.
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// Indirect-probe requests dispatched to helpers.
+    pub fn probe_requests(&self) -> u64 {
+        self.probe_requests
+    }
+
+    /// Indirect-probe vouches received by suspicion origins.
+    pub fn probe_vouches(&self) -> u64 {
+        self.probe_vouches
+    }
+
+    /// Detector-driven expulsions of nodes that were still alive
+    /// (frozen or merely slow); ground truth reassigned their zone.
+    pub fn live_expulsions(&self) -> u64 {
+        self.live_expulsions
+    }
+
+    /// The avoidable subset of [`CanSim::live_expulsions`]: the victim
+    /// was not even frozen — jitter or loss alone starved the link.
+    pub fn false_expulsions(&self) -> u64 {
+        self.false_expulsions
+    }
+
+    /// Expelled nodes that refuted their own death via the epoch query
+    /// and rejoined through the bootstrap path.
+    pub fn revivals(&self) -> u64 {
+        self.revivals
+    }
+
+    /// Expelled-but-alive nodes currently awaiting revival.
+    pub fn zombie_count(&self) -> usize {
+        self.zombies.len()
+    }
+
+    /// Sorted ids of expelled-but-alive nodes awaiting revival.
+    pub fn zombie_ids(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.zombies.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A zombie's local state (diagnostics/oracles).
+    pub fn zombie(&self, id: NodeId) -> Option<&LocalNode> {
+        self.zombies.get(&id)
+    }
+
+    /// Mean seconds from a node going silent (crash or freeze) to the
+    /// first suspicion raised against it; `None` with no samples.
+    pub fn mean_detection_lag(&self) -> Option<f64> {
+        (self.detections > 0).then(|| self.detection_lag_sum / self.detections as f64)
+    }
+
     /// The network fault model (drop/duplication counters, partitions).
     pub fn network(&self) -> &NetworkModel {
         &self.net
@@ -421,6 +717,9 @@ impl CanSim {
             let until = self.now + duration;
             let e = self.frozen.entry(id).or_insert(until);
             *e = e.max(until);
+            if self.cfg.detector.is_some() {
+                self.silent_since.entry(id).or_insert(self.now);
+            }
         }
     }
 
@@ -482,7 +781,13 @@ impl CanSim {
                     };
                     match pending.kind {
                         PendingKind::Merge { heir, payload } => {
-                            self.apply_merge(pending.departed, heir, payload, tt);
+                            self.apply_merge(
+                                pending.departed,
+                                pending.departed_epoch,
+                                heir,
+                                payload,
+                                tt,
+                            );
                         }
                         PendingKind::Relocate {
                             relocator,
@@ -491,6 +796,7 @@ impl CanSim {
                         } => {
                             self.apply_relocate(
                                 pending.departed,
+                                pending.departed_epoch,
                                 relocator,
                                 absorber,
                                 payload_x,
@@ -507,20 +813,37 @@ impl CanSim {
     /// A new node with the given coordinate joins the CAN at the
     /// current time. Returns its id.
     pub fn join(&mut self, coord: Point) -> Result<NodeId, JoinError> {
-        assert_eq!(coord.len(), self.cfg.dims, "coordinate dimensionality");
         let id = NodeId(self.next_id);
-        let t = self.now;
+        self.join_as(id, coord, 0, self.now)?;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// The join protocol under a caller-chosen identity and epoch base:
+    /// fresh joins allocate a new id with base 0 (first claim at epoch
+    /// 1); a revived zombie re-enters under its old id with its
+    /// pre-death epoch as the base, so every claim of the new
+    /// incarnation fences above every claim of the old one.
+    fn join_as(
+        &mut self,
+        id: NodeId,
+        coord: Point,
+        base_epoch: u64,
+        t: SimTime,
+    ) -> Result<(), JoinError> {
+        assert_eq!(coord.len(), self.cfg.dims, "coordinate dimensionality");
         let Some(tree) = self.tree.as_mut() else {
             // First member owns the whole space.
             let zone = Zone::unit(self.cfg.dims);
             self.tree = Some(SplitTree::new(self.cfg.dims, id));
             self.adj.insert_first(id);
-            self.nodes.insert(id, LocalNode::new(id, coord, zone));
-            self.next_id += 1;
+            let mut first = LocalNode::new(id, coord, zone);
+            first.epoch = base_epoch + 1;
+            self.nodes.insert(id, first);
             self.acct.advance(t, self.nodes.len());
             self.queue
                 .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
-            return Ok(id);
+            return Ok(());
         };
 
         let host = tree.owner_at(&coord).expect("non-empty tree");
@@ -539,7 +862,6 @@ impl CanSim {
         };
 
         let (new_host_zone, joiner_zone) = tree.split(host, &host_coord, id, &coord, dim, at);
-        self.next_id += 1;
         let tree = self.tree.as_ref().unwrap();
         self.adj.on_split(host, id, |n| tree.zone(n));
 
@@ -576,10 +898,22 @@ impl CanSim {
             entries
         };
         let mut joiner = LocalNode::new(id, coord, joiner_zone);
+        // The joiner's region was carved out of the host's: inheriting
+        // the host's (just-bumped) epoch keeps every region's claim
+        // epochs monotone through splits — a zombie fenced below the
+        // host stays fenced below whoever splits off part of its old
+        // zone later.
+        let host_epoch = self.nodes[&host].epoch;
+        joiner.epoch = (base_epoch + 1).max(host_epoch);
+        // Any fence the host still owes on its zone covers the carved
+        // region too: the obligation follows the space.
+        if let Some(&f) = self.fence_floors.get(&host) {
+            self.raise_floor(id, f);
+        }
         for (n, z) in &host_entries {
             joiner.hear_with_zone(*n, z, t);
         }
-        joiner.hear_with_zone(host, &new_host_zone, t);
+        joiner.hear_fenced(host, &new_host_zone, host_epoch, t);
         joiner.zone_dirty = true; // introduce ourselves with our zone
         if self.cfg.scheme == HeartbeatScheme::Adaptive && joiner.has_boundary_gap() {
             // The host's table did not cover our whole boundary: ask
@@ -594,7 +928,48 @@ impl CanSim {
         self.send_round(id, t);
         self.queue
             .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
-        Ok(id)
+        Ok(())
+    }
+
+    /// The ground-truth fence floor on `id`'s zone: the highest epoch
+    /// any previous owner ever claimed on space currently assigned to
+    /// `id`. The owner's local claim only exceeds it once its take-over
+    /// applies; until then the floor is what keeps stale claims fenced.
+    pub fn fence_floor(&self, id: NodeId) -> u64 {
+        self.fence_floors.get(&id).copied().unwrap_or(0)
+    }
+
+    fn raise_floor(&mut self, id: NodeId, at_least: u64) {
+        let f = self.fence_floors.entry(id).or_insert(0);
+        *f = (*f).max(at_least);
+    }
+
+    /// Records the fence obligations of a zone change: whoever ground
+    /// truth just assigned the departed space to must eventually claim
+    /// above `departed_epoch`, and the absorber of a relocator's old
+    /// region must additionally clear every claim the relocator made
+    /// there. Kept outside the (possibly deferred) local take-over so
+    /// an actor dying before it acts cannot lose the fence.
+    fn record_fences(&mut self, change: &ZoneChange, departed_epoch: u64) {
+        match *change {
+            ZoneChange::Emptied => {}
+            ZoneChange::Merged { owner: heir, .. } => {
+                self.raise_floor(heir, departed_epoch);
+            }
+            ZoneChange::Relocated {
+                relocator,
+                absorber,
+                ..
+            } => {
+                // Take-over plans name live members, so the relocator
+                // is present at plan time.
+                let r_claims = self.nodes[&relocator]
+                    .epoch
+                    .max(self.fence_floor(relocator));
+                self.raise_floor(relocator, departed_epoch);
+                self.raise_floor(absorber, departed_epoch.max(r_claims));
+            }
+        }
     }
 
     /// Member `id` departs. `graceful` departures hand their state to
@@ -606,8 +981,15 @@ impl CanSim {
             return;
         };
         self.frozen.remove(&id);
+        if !graceful && self.cfg.detector.is_some() {
+            self.silent_since.entry(id).or_insert(t);
+        }
+        let departed_epoch = departing
+            .epoch
+            .max(self.fence_floors.remove(&id).unwrap_or(0));
         let tree = self.tree.as_mut().expect("member implies tree");
         let change = tree.remove(id);
+        self.record_fences(&change, departed_epoch);
         match change {
             ZoneChange::Emptied => {
                 self.tree = None;
@@ -624,7 +1006,7 @@ impl CanSim {
                     // acknowledged — retransmitted under loss.
                     let snap = departing.snapshot(t);
                     self.record_handoff(id, heir, snap.neighbors.len(), t);
-                    self.apply_merge(id, heir, Some(snap), t);
+                    self.apply_merge(id, departed_epoch, heir, Some(snap), t);
                 } else {
                     // Crash: the heir only notices after the failure
                     // timeout, then recovers from its cached copy of
@@ -637,6 +1019,7 @@ impl CanSim {
                         t,
                         Pending {
                             departed: id,
+                            departed_epoch,
                             kind: PendingKind::Merge { heir, payload },
                         },
                     );
@@ -654,7 +1037,7 @@ impl CanSim {
                 if graceful {
                     let snap = departing.snapshot(t);
                     self.record_handoff(id, relocator, snap.neighbors.len(), t);
-                    self.apply_relocate(id, relocator, absorber, Some(snap), t);
+                    self.apply_relocate(id, departed_epoch, relocator, absorber, Some(snap), t);
                 } else {
                     let payload = self
                         .nodes
@@ -664,6 +1047,7 @@ impl CanSim {
                         t,
                         Pending {
                             departed: id,
+                            departed_epoch,
                             kind: PendingKind::Relocate {
                                 relocator,
                                 absorber,
@@ -708,6 +1092,7 @@ impl CanSim {
     fn apply_merge(
         &mut self,
         departed: NodeId,
+        departed_epoch: u64,
         heir: NodeId,
         payload: Option<Payload>,
         t: SimTime,
@@ -720,6 +1105,9 @@ impl CanSim {
         let zone = self.tree.as_ref().unwrap().zone(heir).clone();
         {
             let hn = self.nodes.get_mut(&heir).unwrap();
+            // Fence: the heir's post-take-over epoch must exceed every
+            // claim the departed node ever made (set_zone bumps by 1).
+            hn.epoch = hn.epoch.max(departed_epoch);
             hn.set_zone(zone);
             if let Some(p) = &payload {
                 hn.adopt_records(&p.neighbors, t);
@@ -749,6 +1137,7 @@ impl CanSim {
     fn apply_relocate(
         &mut self,
         departed: NodeId,
+        departed_epoch: u64,
         relocator: NodeId,
         absorber: NodeId,
         payload_x: Option<Payload>,
@@ -759,6 +1148,14 @@ impl CanSim {
         };
         let r_alive = tree_has(relocator, self);
         let a_alive = tree_has(absorber, self);
+        // The absorber inherits the relocator's *old* region, so its
+        // post-take-over epoch must also exceed every claim the
+        // relocator made there before moving.
+        let r_pre_epoch = if r_alive {
+            self.nodes[&relocator].epoch
+        } else {
+            0
+        };
         // The relocator ships its old-position state to the absorber.
         let r_old = if r_alive {
             let snap = self.nodes[&relocator].snapshot(t);
@@ -772,6 +1169,7 @@ impl CanSim {
             let rn = self.nodes.get_mut(&relocator).unwrap();
             rn.table.clear();
             rn.cache.clear();
+            rn.epoch = rn.epoch.max(departed_epoch);
             rn.set_zone(zone);
             if let Some(p) = &payload_x {
                 rn.adopt_records(&p.neighbors, t);
@@ -781,6 +1179,7 @@ impl CanSim {
         if a_alive {
             let zone = self.tree.as_ref().unwrap().zone(absorber).clone();
             let an = self.nodes.get_mut(&absorber).unwrap();
+            an.epoch = an.epoch.max(departed_epoch).max(r_pre_epoch);
             an.set_zone(zone);
             if let Some(p) = &r_old {
                 an.adopt_records(&p.neighbors, t);
@@ -789,18 +1188,20 @@ impl CanSim {
             an.table.remove(&relocator);
             an.cache.remove(&relocator);
         }
-        // They introduce their new zones to each other.
+        // They introduce their new zones (and epochs) to each other.
         if r_alive && a_alive {
             let rz = self.tree.as_ref().unwrap().zone(relocator).clone();
             let az = self.tree.as_ref().unwrap().zone(absorber).clone();
+            let re = self.nodes[&relocator].epoch;
+            let ae = self.nodes[&absorber].epoch;
             self.nodes
                 .get_mut(&relocator)
                 .unwrap()
-                .hear_with_zone(absorber, &az, t);
+                .hear_fenced(absorber, &az, ae, t);
             self.nodes
                 .get_mut(&absorber)
                 .unwrap()
-                .hear_with_zone(relocator, &rz, t);
+                .hear_fenced(relocator, &rz, re, t);
         }
         // Targeted repairs (compact/adaptive): the relocator announces
         // its new position to the departed node's former neighbors and
@@ -831,6 +1232,11 @@ impl CanSim {
 
     fn do_tick(&mut self, id: NodeId, t: SimTime) {
         if !self.nodes.contains_key(&id) {
+            if self.zombies.contains_key(&id) {
+                // Expelled but alive: the process keeps running on its
+                // own tick chain until it discovers its death.
+                self.zombie_tick(id, t);
+            }
             return; // departed; let the stale tick die
         }
         // A frozen node's process is paused: it neither sends nor
@@ -844,14 +1250,31 @@ impl CanSim {
             }
             Some(_) => {
                 self.frozen.remove(&id);
+                self.silent_since.remove(&id);
                 thawed = true;
             }
             None => {}
         }
+        // 0. Suspicion phase (adaptive detector): raise suspicions at
+        // the learned per-link threshold — typically well before the
+        // hard timeout — and fan out indirect probes so other links get
+        // a chance to refute before we expel.
+        if let Some(det) = self.cfg.detector {
+            if det.mode == DetectorMode::Adaptive {
+                self.raise_suspicions(id, &det, t);
+            }
+        }
         // 1. Expire silent neighbors (local failure detection).
+        let mut confirmed_expired: Vec<NodeId>;
         {
             let n = self.nodes.get_mut(&id).unwrap();
             let expired = n.expire(t, self.cfg.fail_timeout);
+            confirmed_expired = expired
+                .iter()
+                .filter(|(_, e)| e.confirmed)
+                .map(|(p, _)| *p)
+                .collect();
+            confirmed_expired.sort_unstable();
             if self.cfg.scheme == HeartbeatScheme::Adaptive {
                 // A first-hand neighbor vanished without the remaining
                 // table covering the region it owned — or a previously
@@ -867,6 +1290,43 @@ impl CanSim {
                     || n.has_boundary_gap()
                 {
                     n.wants_full_update = true;
+                }
+            }
+        }
+        // 1b. Expulsion phase. Fixed mode expels straight from expiry;
+        // adaptive mode only expels suspects whose probe deadline
+        // passed without any refutation (first-hand contact or an
+        // indirect vouch both absolve). Either way a node only acts on
+        // peers it would inherit from — the take-over plan is the
+        // authority on who seizes a zone.
+        if let Some(det) = self.cfg.detector {
+            let overdue: Vec<NodeId> = match det.mode {
+                DetectorMode::Fixed => confirmed_expired,
+                DetectorMode::Adaptive => {
+                    let n = self.nodes.get_mut(&id).unwrap();
+                    let due: Vec<NodeId> = n
+                        .suspects
+                        .iter()
+                        .filter(|(_, &dl)| dl <= t)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    for s in &due {
+                        n.suspects.remove(s);
+                    }
+                    due
+                }
+            };
+            for suspect in overdue {
+                let in_plan = self.tree.as_ref().is_some_and(|tr| tr.contains(suspect))
+                    && self
+                        .tree
+                        .as_ref()
+                        .unwrap()
+                        .takeover_plan(suspect)
+                        .targets()
+                        .contains(&id);
+                if in_plan {
+                    self.expel(suspect, t);
                 }
             }
         }
@@ -886,6 +1346,279 @@ impl CanSim {
         // 5. Next round.
         self.queue
             .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
+    }
+
+    /// Adaptive-detector phase 1 for node `id`: every confirmed ward
+    /// (a peer whose take-over plan names us) whose silence exceeds its
+    /// learned per-link threshold becomes a suspect with an expulsion
+    /// deadline of `max(last_heard + fail_timeout, now + probe_grace)`
+    /// — never earlier than the fixed detector would act — and up to
+    /// `indirect_probes` other neighbors are asked to probe it.
+    ///
+    /// Only take-over targets suspect: a ward sends its targets a full
+    /// heartbeat every round, so silence on that link is meaningful —
+    /// whereas an ordinary table entry can decay routinely when zones
+    /// drift apart (the ex-neighbor rightly stops sending), and
+    /// treating that as suspicion would make the detector chatter on a
+    /// fault-free overlay. Expulsion is target-gated anyway; this keeps
+    /// detection and action in the same hands.
+    fn raise_suspicions(&mut self, id: NodeId, det: &DetectorConfig, t: SimTime) {
+        let period = self.cfg.heartbeat_period;
+        let cap = self.cfg.fail_timeout;
+        let mut fresh: Vec<(NodeId, SimTime)> = {
+            let n = &self.nodes[&id];
+            n.table
+                .iter()
+                .filter(|(p, e)| e.confirmed && !n.suspects.contains_key(p))
+                .filter(|(_, e)| {
+                    t - e.last_heard > e.suspicion_timeout(period, det.k_min, det.k_var, cap)
+                })
+                .filter(|(p, _)| {
+                    self.tree.as_ref().is_some_and(|tr| {
+                        tr.contains(**p) && tr.takeover_plan(**p).targets().contains(&id)
+                    })
+                })
+                .map(|(&p, e)| (p, (e.last_heard + cap).max(t + det.probe_grace)))
+                .collect()
+        };
+        if fresh.is_empty() {
+            return;
+        }
+        fresh.sort_unstable_by_key(|a| a.0);
+        let helpers: Vec<NodeId> = {
+            let n = &self.nodes[&id];
+            let mut v: Vec<NodeId> = n
+                .table
+                .iter()
+                .filter(|(p, e)| {
+                    e.confirmed
+                        && !n.suspects.contains_key(p)
+                        && !fresh.iter().any(|(s, _)| s == *p)
+                })
+                .map(|(&p, _)| p)
+                .collect();
+            v.sort_unstable();
+            v.truncate(det.indirect_probes);
+            v
+        };
+        for &(s, deadline) in &fresh {
+            self.nodes
+                .get_mut(&id)
+                .unwrap()
+                .suspects
+                .insert(s, deadline);
+            self.suspicions += 1;
+            // First suspicion against a genuinely silent node closes
+            // its detection-latency sample.
+            if let Some(t0) = self.silent_since.remove(&s) {
+                self.detection_lag_sum += t - t0;
+                self.detections += 1;
+            }
+            for &h in &helpers {
+                self.acct
+                    .record(MsgKind::Probe, self.cfg.wire.probe_request(self.cfg.dims));
+                self.probe_requests += 1;
+                self.post(
+                    id,
+                    h,
+                    Msg::ProbeReq {
+                        origin: id,
+                        suspect: s,
+                    },
+                    t,
+                );
+            }
+        }
+    }
+
+    /// Expels a declared-dead member: ground-truth ownership moves to
+    /// the take-over plan's actors *now* (the detector already waited
+    /// out its timeout), the victim's local process keeps running as a
+    /// zombie, and the seized zone's epoch is fenced above every claim
+    /// the victim ever made — so a wrong expulsion is survivable: the
+    /// zombie later discovers the higher epoch and rejoins cleanly.
+    fn expel(&mut self, suspect: NodeId, t: SimTime) {
+        let Some(victim) = self.nodes.remove(&suspect) else {
+            return; // already expelled or genuinely departed
+        };
+        self.live_expulsions += 1;
+        // Expelling a frozen (actually unresponsive) node is the
+        // detector doing its job; expelling an awake one means jitter
+        // or loss fooled it — the avoidable kind the adaptive pipeline
+        // exists to prevent.
+        if !self.frozen.contains_key(&suspect) {
+            self.false_expulsions += 1;
+        }
+        if let Some(t0) = self.silent_since.remove(&suspect) {
+            // Fixed mode has no suspicion phase: detection coincides
+            // with expulsion.
+            self.detection_lag_sum += t - t0;
+            self.detections += 1;
+        }
+        // The fence must clear the victim's own claims *and* any floor
+        // it still owed on space it had been assigned but never fenced.
+        let departed_epoch = victim
+            .epoch
+            .max(self.fence_floors.remove(&suspect).unwrap_or(0));
+        // The victim's process is still running (it merely looks dead
+        // from here): park it as a zombie, keeping its frozen-until
+        // state and its tick chain.
+        self.zombies.insert(suspect, victim);
+        let tree = self.tree.as_mut().expect("member implies tree");
+        let change = tree.remove(suspect);
+        self.record_fences(&change, departed_epoch);
+        match change {
+            ZoneChange::Emptied => {
+                self.tree = None;
+                self.adj.remove_node(suspect);
+                self.acct.advance(t, 0);
+            }
+            ZoneChange::Merged { owner: heir, .. } => {
+                let tree = self.tree.as_ref().unwrap();
+                self.adj.on_merge(suspect, heir, |n| tree.zone(n));
+                self.acct.advance(t, self.nodes.len());
+                let payload = self
+                    .nodes
+                    .get(&heir)
+                    .and_then(|hn| hn.cache.get(&suspect).cloned());
+                self.apply_merge(suspect, departed_epoch, heir, payload, t);
+            }
+            ZoneChange::Relocated {
+                relocator,
+                absorber,
+                ..
+            } => {
+                let tree = self.tree.as_ref().unwrap();
+                self.adj
+                    .on_relocate(suspect, relocator, absorber, |n| tree.zone(n));
+                self.acct.advance(t, self.nodes.len());
+                let payload = self
+                    .nodes
+                    .get(&relocator)
+                    .and_then(|rn| rn.cache.get(&suspect).cloned());
+                self.apply_relocate(suspect, departed_epoch, relocator, absorber, payload, t);
+            }
+        }
+    }
+
+    /// One tick of an expelled-but-alive node. While frozen it stays
+    /// paused; once awake it tries to learn the fate of its old zone
+    /// through the bootstrap each round, and on discovering a higher
+    /// epoch refutes its own death and rejoins.
+    fn zombie_tick(&mut self, id: NodeId, t: SimTime) {
+        if self.frozen_at(id, t) {
+            self.queue
+                .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
+            return;
+        }
+        self.frozen.remove(&id);
+        // The zombie does not know it is dead: it keeps up its rounds.
+        // Its zone never changed from its own point of view, so the
+        // round degrades to bare keepalives — which land at peers that
+        // already evicted it and are counted as ghost traffic
+        // (`Accounting::stale_keepalives`) rather than re-seeding stale
+        // records (a keepalive carries no zone to re-add).
+        let peers: Vec<NodeId> = {
+            let zn = &self.zombies[&id];
+            let mut v: Vec<NodeId> = zn
+                .table
+                .iter()
+                .filter(|(_, e)| e.confirmed)
+                .map(|(&p, _)| p)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for p in peers {
+            self.acct
+                .record(MsgKind::Heartbeat, self.cfg.wire.compact_keepalive());
+            self.post(id, p, Msg::Keepalive(id), t);
+        }
+        if self.try_revive(id, t) {
+            return; // join_as started a fresh tick chain
+        }
+        self.queue
+            .schedule(t + self.cfg.heartbeat_period, Ev::Tick(id));
+    }
+
+    /// A thawed zombie's revival attempt: query the bootstrap (lowest-id
+    /// live, awake member — the rendezvous every join routes through)
+    /// for the current claim on its old coordinate. A higher epoch is
+    /// proof the overlay declared us dead and moved on: discard all
+    /// stale state and rejoin through the normal bootstrap path under
+    /// the same identity, epoch-fenced above both incarnations. If the
+    /// query cannot complete — partitioned away, message lost, nobody
+    /// awake — stay a zombie and retry next round; that is exactly what
+    /// makes revival split-brain-safe: a zombie that cannot *reach* the
+    /// surviving overlay can never rejoin it, so two owners never
+    /// coexist.
+    fn try_revive(&mut self, id: NodeId, t: SimTime) -> bool {
+        if self.nodes.is_empty() {
+            // The overlay died out entirely: no conflicting claim can
+            // exist anywhere, so the zombie restarts it as first member
+            // (ground truth, not a message exchange).
+            let stale = self.zombies.remove(&id).unwrap();
+            self.revivals += 1;
+            self.silent_since.remove(&id);
+            let epoch = stale.epoch;
+            self.join_as(id, stale.coord.clone(), epoch, t)
+                .expect("first member cannot be inseparable");
+            return true;
+        }
+        let Some(boot) = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|b| !self.frozen_at(*b, t))
+            .min()
+        else {
+            return false; // everyone asleep: retry next round
+        };
+        // Epoch query and reply, each subject to the network fault
+        // model (partitions included).
+        self.acct
+            .record(MsgKind::Probe, self.cfg.wire.probe_request(self.cfg.dims));
+        if self
+            .net
+            .fate(t, id.0, boot.0, MsgClass::Heartbeat)
+            .dropped()
+        {
+            return false;
+        }
+        let coord = self.zombies[&id].coord.clone();
+        let Some(owner) = self.tree.as_ref().and_then(|tr| tr.owner_at(&coord)) else {
+            return false;
+        };
+        let claim_epoch = self.nodes[&owner].epoch;
+        self.acct
+            .record(MsgKind::Probe, self.cfg.wire.probe_vouch(self.cfg.dims));
+        if self
+            .net
+            .fate(t, boot.0, id.0, MsgClass::Heartbeat)
+            .dropped()
+        {
+            return false;
+        }
+        let stale = self.zombies.remove(&id).unwrap();
+        if claim_epoch <= stale.epoch {
+            // No higher claim (should not happen under take-over
+            // fencing): keep waiting rather than risk two owners.
+            self.zombies.insert(id, stale);
+            return false;
+        }
+        self.revivals += 1;
+        self.silent_since.remove(&id);
+        let base = stale.epoch.max(claim_epoch);
+        match self.join_as(id, stale.coord.clone(), base, t) {
+            Ok(()) => true,
+            Err(_) => {
+                // Inseparable split against the current owner: stay a
+                // zombie and retry next round.
+                self.revivals -= 1;
+                self.zombies.insert(id, stale);
+                false
+            }
+        }
     }
 
     /// Sends one heartbeat round from `id` to everyone it knows, plus
@@ -943,7 +1676,7 @@ impl CanSim {
                 self.post(id, r, Msg::Full(payload.clone()), t);
             } else if zone_dirty {
                 self.acct.record(MsgKind::Heartbeat, wire.zone_update(d));
-                self.post(id, r, Msg::Zone(id, payload.zone.clone()), t);
+                self.post(id, r, Msg::Zone(id, payload.zone.clone(), payload.epoch), t);
             } else {
                 self.acct
                     .record(MsgKind::Heartbeat, wire.compact_keepalive());
@@ -975,6 +1708,7 @@ impl CanSim {
             return;
         }
         let zone = tree.zone(actor).clone();
+        let epoch = self.nodes[&actor].epoch;
         let mut recipients: Vec<NodeId> = audience
             .iter()
             .map(|(n, _)| *n)
@@ -992,6 +1726,7 @@ impl CanSim {
                 Msg::Repair {
                     from: actor,
                     zone: zone.clone(),
+                    epoch,
                     departed,
                 },
                 t,
@@ -1036,30 +1771,38 @@ impl CanSim {
         // *accepted* (abutting) announcement earns the reply, which
         // bounds the exchange: a rejected one means we are not
         // neighbors and there is no record to keep fresh.
-        let mut introduce_to: Option<(NodeId, Zone)> = None;
+        let mut introduce_to: Option<(NodeId, Zone, u64)> = None;
+        let mut probe_sends: Vec<(NodeId, Msg)> = Vec::new();
         match msg {
             Msg::Full(payload) => {
                 n.cache.insert(payload.from, payload.clone());
                 self.repairs += n.merge_payload_records(payload, t) as u64;
             }
-            Msg::Zone(from, zone) => {
+            Msg::Zone(from, zone, epoch) => {
                 let unknown = !n.table.contains_key(from);
-                n.hear_with_zone(*from, zone, t);
+                n.hear_fenced(*from, zone, *epoch, t);
                 if unknown && n.table.contains_key(from) {
-                    introduce_to = Some((*from, n.zone.clone()));
+                    introduce_to = Some((*from, n.zone.clone(), n.epoch));
                 }
             }
             Msg::Keepalive(from) => {
-                n.hear_keepalive(*from, t);
+                if !n.hear_keepalive(*from, t) {
+                    // Ghost traffic: typically an expelled-but-alive
+                    // node still heartbeating at peers that already
+                    // evicted it. Counted so the detector experiment
+                    // can report it instead of losing the signal.
+                    self.acct.stale_keepalives += 1;
+                }
             }
             Msg::Repair {
                 from,
                 zone,
+                epoch,
                 departed,
             } => {
                 n.table.remove(departed);
                 n.cache.remove(departed);
-                n.hear_with_zone(*from, zone, t);
+                n.hear_fenced(*from, zone, *epoch, t);
                 // A repair always earns a reply: the take-over actor
                 // inherited the departed node's records of its former
                 // neighborhood — us included — and adopted records can
@@ -1067,13 +1810,87 @@ impl CanSim {
                 // chance to refresh them first-hand; its keepalives to
                 // us would otherwise keep a stale adopted zone alive
                 // indefinitely.
-                introduce_to = Some((*from, n.zone.clone()));
+                introduce_to = Some((*from, n.zone.clone(), n.epoch));
+            }
+            Msg::ProbeReq { origin, suspect } => {
+                if let Some(det) = &self.cfg.detector {
+                    if let Some(e) = n.table.get(suspect) {
+                        let thr = e.suspicion_timeout(
+                            self.cfg.heartbeat_period,
+                            det.k_min,
+                            det.k_var,
+                            self.cfg.fail_timeout,
+                        );
+                        if e.confirmed && t - e.last_heard <= thr {
+                            // We heard the suspect recently enough to
+                            // vouch for it: one lossy origin→suspect
+                            // link must not expel a live node.
+                            probe_sends.push((
+                                *origin,
+                                Msg::ProbeVouch {
+                                    suspect: *suspect,
+                                    zone: e.zone.clone(),
+                                    epoch: e.epoch,
+                                    heard_at: e.last_heard,
+                                },
+                            ));
+                        }
+                        // Relay a ping either way: a live suspect
+                        // answers the origin directly with a fresher
+                        // zone update than any vouch.
+                        probe_sends.push((*suspect, Msg::ProbePing { origin: *origin }));
+                    }
+                }
+            }
+            Msg::ProbePing { origin } => {
+                // We are the suspect and evidently alive: answer the
+                // suspecting origin directly with our zone and epoch.
+                introduce_to = Some((*origin, n.zone.clone(), n.epoch));
+            }
+            Msg::ProbeVouch {
+                suspect,
+                zone,
+                epoch,
+                heard_at,
+            } => {
+                self.probe_vouches += 1;
+                n.suspects.remove(suspect);
+                // Second-hand liveness: push `last_heard` forward to the
+                // voucher's observation, but do NOT feed the per-link
+                // gap statistics (they measure *our* link) and do not
+                // roll the zone claim back past the recorded epoch.
+                if let Some(e) = n.table.get_mut(suspect) {
+                    if *epoch >= e.epoch {
+                        e.last_heard = e.last_heard.max(*heard_at);
+                        e.epoch = *epoch;
+                    }
+                } else if n.zone.abuts(zone) {
+                    // Already expired here: re-seed an unconfirmed
+                    // entry from the vouched record so the link does
+                    // not stay torn while the suspect is alive.
+                    n.table.insert(
+                        *suspect,
+                        crate::membership::NeighborEntry::fresh_second_hand(
+                            zone.clone(),
+                            *heard_at,
+                            *epoch,
+                        ),
+                    );
+                }
             }
         }
-        if let Some((peer, own_zone)) = introduce_to {
+        for (dest, pm) in probe_sends {
+            let bytes = match pm {
+                Msg::ProbeVouch { .. } => self.cfg.wire.probe_vouch(self.cfg.dims),
+                _ => self.cfg.wire.probe_request(self.cfg.dims),
+            };
+            self.acct.record(MsgKind::Probe, bytes);
+            self.post(to, dest, pm, t);
+        }
+        if let Some((peer, own_zone, own_epoch)) = introduce_to {
             self.acct
                 .record(MsgKind::Heartbeat, self.cfg.wire.zone_update(self.cfg.dims));
-            self.post(to, peer, Msg::Zone(to, own_zone), t);
+            self.post(to, peer, Msg::Zone(to, own_zone, own_epoch), t);
         }
     }
 
@@ -1118,7 +1935,9 @@ impl CanSim {
                 self.frozen_drops += 1;
                 continue; // responder paused: request falls on deaf ears
             }
-            let Some(requester_zone) = self.nodes.get(&id).map(|n| n.zone.clone()) else {
+            let Some((requester_zone, requester_epoch)) =
+                self.nodes.get(&id).map(|n| (n.zone.clone(), n.epoch))
+            else {
                 return;
             };
             let Some(rn) = self.nodes.get_mut(&r) else {
@@ -1129,7 +1948,7 @@ impl CanSim {
             // for the responder — this is how a node that everyone
             // expired (e.g. thawing from a long freeze) re-introduces
             // itself to peers whose keepalives could never re-add it.
-            rn.hear_with_zone(id, &requester_zone, t);
+            rn.hear_fenced(id, &requester_zone, requester_epoch, t);
             let resp = rn.snapshot(t);
             self.acct.record(
                 MsgKind::FullUpdateResponse,
@@ -1177,14 +1996,22 @@ impl CanSim {
             self.frozen_drops += 1;
             return;
         }
-        let Some(prober_zone) = self.nodes.get(&id).map(|n| n.zone.clone()) else {
+        let Some((prober_zone, prober_epoch)) =
+            self.nodes.get(&id).map(|n| (n.zone.clone(), n.epoch))
+        else {
             return;
         };
         if let Some(on) = self.nodes.get_mut(&route.owner) {
-            on.hear_with_zone(id, &prober_zone, t);
+            on.hear_fenced(id, &prober_zone, prober_epoch, t);
             let owner_zone = on.zone.clone();
+            let owner_epoch = on.epoch;
             self.acct.record(MsgKind::Heartbeat, wire.zone_update(d));
-            self.post(route.owner, id, Msg::Zone(route.owner, owner_zone), t);
+            self.post(
+                route.owner,
+                id,
+                Msg::Zone(route.owner, owner_zone, owner_epoch),
+                t,
+            );
         }
     }
 
@@ -1290,6 +2117,16 @@ impl CanSim {
         } else {
             assert!(self.nodes.is_empty());
         }
+        for z in self.zombies.keys() {
+            assert!(
+                !self.nodes.contains_key(z),
+                "zombie {z:?} is simultaneously a live member"
+            );
+            assert!(
+                self.tree.as_ref().is_none_or(|tr| !tr.contains(*z)),
+                "zombie {z:?} still owns a zone"
+            );
+        }
     }
 }
 
@@ -1303,7 +2140,7 @@ mod tests {
     }
 
     fn build(scheme: HeartbeatScheme, n: usize, d: usize, seed: u64) -> (CanSim, SimRng) {
-        let mut sim = CanSim::new(ProtocolConfig::new(d, scheme));
+        let mut sim = CanSim::new(ProtocolConfig::new(d, scheme)).expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(seed);
         let mut joined = 0;
         while joined < n {
@@ -1540,7 +2377,8 @@ mod tests {
     #[test]
     fn message_loss_drops_and_counts() {
         let mut sim =
-            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Vanilla).with_message_loss(0.5));
+            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Vanilla).with_message_loss(0.5))
+                .expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(47);
         let mut joined = 0;
         while joined < 30 {
@@ -1566,7 +2404,8 @@ mod tests {
         // acknowledged exchanges. Dropped transmissions are counted per
         // class, retried, and the exchange still succeeds.
         let mut sim =
-            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact).with_message_loss(0.5));
+            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact).with_message_loss(0.5))
+                .expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(53);
         let mut joined = 0;
         while joined < 40 {
@@ -1655,7 +2494,8 @@ mod tests {
             },
         );
         let mut sim =
-            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact).with_network(net));
+            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact).with_network(net))
+                .expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(71);
         let mut joined = 0;
         while joined < 30 {
@@ -1681,7 +2521,8 @@ mod tests {
             },
         );
         let mut sim =
-            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact).with_network(net));
+            CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact).with_network(net))
+                .expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(73);
         let mut joined = 0;
         while joined < 30 {
@@ -1758,7 +2599,8 @@ mod tests {
 
     #[test]
     fn join_error_on_identical_coordinate() {
-        let mut sim = CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Vanilla));
+        let mut sim = CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Vanilla))
+            .expect("valid protocol config");
         sim.join(vec![0.5, 0.5, 0.5]).unwrap();
         let err = sim.join(vec![0.5, 0.5, 0.5]);
         assert_eq!(err, Err(JoinError::Inseparable));
@@ -1766,7 +2608,8 @@ mod tests {
 
     #[test]
     fn empty_can_after_all_leave() {
-        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact))
+            .expect("valid protocol config");
         let a = sim.join(vec![0.2, 0.2]).unwrap();
         let b = sim.join(vec![0.8, 0.8]).unwrap();
         sim.leave(a, true);
@@ -1781,7 +2624,8 @@ mod tests {
 
     #[test]
     fn graceful_leave_transfers_zone_to_heir() {
-        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact))
+            .expect("valid protocol config");
         let a = sim.join(vec![0.25, 0.5]).unwrap();
         let b = sim.join(vec![0.75, 0.5]).unwrap();
         sim.leave(b, true);
@@ -1801,5 +2645,194 @@ mod tests {
         sim.advance_to(sim.now() + 200.0);
         sim.check_invariants();
         assert_eq!(sim.broken_links(), 0, "cached payload should suffice");
+    }
+
+    // ---- failure detector, expulsion, and revival ----
+
+    fn build_detector(det: DetectorConfig, n: usize, seed: u64) -> (CanSim, SimRng) {
+        let cfg = ProtocolConfig::new(3, HeartbeatScheme::Adaptive).with_detector(det);
+        let mut sim = CanSim::new(cfg).expect("valid protocol config");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut joined = 0;
+        while joined < n {
+            let c = uniform_coord(&mut rng, 3);
+            if sim.join(c).is_ok() {
+                joined += 1;
+            }
+            sim.advance_to(sim.now() + 1.0);
+        }
+        sim.advance_to(sim.now() + 300.0); // settle: links learn their cadence
+        (sim, rng)
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_combinations() {
+        let mut cfg = ProtocolConfig::new(2, HeartbeatScheme::Compact);
+        cfg.heartbeat_period = 0.0;
+        assert!(matches!(
+            CanSim::new(cfg),
+            Err(ConfigError::NonPositivePeriod(_))
+        ));
+
+        let mut cfg = ProtocolConfig::new(2, HeartbeatScheme::Compact);
+        cfg.fail_timeout = cfg.heartbeat_period; // not strictly above
+        assert!(matches!(
+            CanSim::new(cfg),
+            Err(ConfigError::TimeoutNotAbovePeriod { .. })
+        ));
+
+        // k_min inverted bounds: floor above the hard cap.
+        let mut det = DetectorConfig::adaptive();
+        det.k_min = 10.0; // 10 periods > 2.5-period timeout
+        let cfg = ProtocolConfig::new(2, HeartbeatScheme::Adaptive).with_detector(det);
+        assert!(matches!(
+            CanSim::new(cfg),
+            Err(ConfigError::InvertedDetectorBounds { .. })
+        ));
+
+        let mut det = DetectorConfig::adaptive();
+        det.k_var = f64::NAN;
+        let cfg = ProtocolConfig::new(2, HeartbeatScheme::Adaptive).with_detector(det);
+        assert!(matches!(
+            CanSim::new(cfg),
+            Err(ConfigError::NegativeDetectorParam("k_var", _))
+        ));
+
+        // Errors render as human-readable messages for the binaries.
+        let Err(e) = CanSim::new(
+            ProtocolConfig::new(2, HeartbeatScheme::Compact).with_detector({
+                let mut d = DetectorConfig::fixed();
+                d.k_min = 0.5;
+                d
+            }),
+        ) else {
+            panic!("k_min below 1 must be rejected");
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("k_min"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn long_freeze_is_expelled_then_revives_with_fenced_epoch() {
+        for det in [DetectorConfig::fixed(), DetectorConfig::adaptive()] {
+            let (mut sim, _) = build_detector(det, 24, 43);
+            let victim = sim.members()[7];
+            let pre_epoch = sim.local(victim).unwrap().epoch;
+            sim.freeze(victim, 900.0); // far past the 150 s timeout
+            sim.advance_to(sim.now() + 600.0);
+            assert!(
+                !sim.is_member(victim),
+                "{:?}: frozen node should have been expelled",
+                det.mode
+            );
+            assert_eq!(sim.zombie_count(), 1);
+            assert!(sim.live_expulsions() >= 1);
+            assert_eq!(
+                sim.false_expulsions(),
+                0,
+                "{:?}: expelling a frozen node is not a false positive",
+                det.mode
+            );
+            assert!(
+                sim.mean_detection_lag().is_some(),
+                "detection latency sample expected"
+            );
+            sim.check_invariants();
+            assert!(crate::oracles::step_violations(&sim).is_empty());
+
+            // Thaw: the zombie discovers the higher epoch on its old
+            // zone, refutes its own death, and rejoins under the same
+            // identity with a strictly higher epoch.
+            sim.advance_to(sim.now() + 600.0);
+            assert!(
+                sim.is_member(victim),
+                "{:?}: thawed zombie should have revived",
+                det.mode
+            );
+            assert_eq!(sim.zombie_count(), 0);
+            assert_eq!(sim.revivals(), 1);
+            assert!(
+                sim.local(victim).unwrap().epoch > pre_epoch,
+                "{:?}: revived epoch must fence above the old incarnation",
+                det.mode
+            );
+            sim.check_invariants();
+            assert!(crate::oracles::step_violations(&sim).is_empty());
+
+            // And the overlay heals completely around the round trip.
+            sim.advance_to(sim.now() + 1200.0);
+            assert_eq!(sim.broken_links(), 0, "{:?}", det.mode);
+        }
+    }
+
+    #[test]
+    fn awake_zombie_keepalives_are_counted_as_ghost_traffic() {
+        let (mut sim, _) = build_detector(DetectorConfig::fixed(), 20, 47);
+        let victim = sim.members()[5];
+        sim.freeze(victim, 400.0);
+        sim.advance_to(sim.now() + 350.0);
+        assert!(!sim.is_member(victim), "expelled while frozen");
+        // First awake zombie tick: it still heartbeats at its stale
+        // table (ghost traffic at peers that evicted it), then learns
+        // of its death and rejoins.
+        sim.advance_to(sim.now() + 300.0);
+        assert!(sim.is_member(victim), "revived");
+        assert!(
+            sim.accounting().stale_keepalives > 0,
+            "ghost keepalives after expulsion must be counted"
+        );
+    }
+
+    #[test]
+    fn suspicion_is_absolved_by_contact_before_the_deadline() {
+        // A freeze shorter than the hard timeout: the adaptive detector
+        // suspects (silence exceeds the learned threshold) but the node
+        // thaws and re-announces before the expulsion deadline — with
+        // the probe grace, nobody expels it.
+        let mut det = DetectorConfig::adaptive();
+        det.probe_grace = 120.0; // two periods of grace
+        let (mut sim, _) = build_detector(det, 24, 53);
+        let victim = sim.members()[3];
+        sim.freeze(victim, 100.0);
+        sim.advance_to(sim.now() + 600.0);
+        assert!(sim.suspicions() >= 1, "short freeze should raise suspicion");
+        assert!(
+            sim.is_member(victim),
+            "contact before the deadline must absolve the suspect"
+        );
+        assert_eq!(sim.live_expulsions(), 0);
+        assert_eq!(sim.zombie_count(), 0);
+    }
+
+    #[test]
+    fn fault_free_run_with_detector_matches_baseline_traffic() {
+        // The detector must be invisible without faults: no suspicions,
+        // no probes, and byte-for-byte identical maintenance traffic.
+        let (mut base, _) = build(HeartbeatScheme::Adaptive, 30, 3, 59);
+        let cfg = ProtocolConfig::new(3, HeartbeatScheme::Adaptive)
+            .with_detector(DetectorConfig::adaptive());
+        let mut armed = CanSim::new(cfg).expect("valid protocol config");
+        {
+            let mut rng = SimRng::seed_from_u64(59);
+            let mut joined = 0;
+            while joined < 30 {
+                let c = uniform_coord(&mut rng, 3);
+                if armed.join(c).is_ok() {
+                    joined += 1;
+                }
+                armed.advance_to(armed.now() + 1.0);
+            }
+        }
+        let horizon = 4000.0;
+        base.advance_to(horizon);
+        armed.advance_to(horizon);
+        assert_eq!(armed.suspicions(), 0);
+        assert_eq!(armed.live_expulsions(), 0);
+        assert_eq!(armed.probe_requests(), 0);
+        assert_eq!(base.accounting().total(), armed.accounting().total());
+        assert_eq!(
+            base.accounting().heartbeat_msgs_per_node_min(),
+            armed.accounting().heartbeat_msgs_per_node_min()
+        );
     }
 }

@@ -195,7 +195,8 @@ mod tests {
     use pgrid_simcore::SimRng;
 
     fn build(n: usize, d: usize, seed: u64) -> CanSim {
-        let mut sim = CanSim::new(ProtocolConfig::new(d, HeartbeatScheme::Vanilla));
+        let mut sim = CanSim::new(ProtocolConfig::new(d, HeartbeatScheme::Vanilla))
+            .expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(seed);
         let mut joined = 0;
         while joined < n {
@@ -269,7 +270,8 @@ mod tests {
     #[test]
     fn local_routing_suffers_under_lossy_compact() {
         let run = |scheme: HeartbeatScheme| {
-            let mut sim = CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
+            let mut sim = CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2))
+                .expect("valid protocol config");
             let mut rng = SimRng::seed_from_u64(17);
             let mut joined = 0;
             while joined < 120 {
@@ -305,7 +307,8 @@ mod tests {
     #[test]
     fn adaptive_recovers_from_message_loss() {
         let run = |scheme: HeartbeatScheme| {
-            let mut sim = CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2));
+            let mut sim = CanSim::new(ProtocolConfig::new(4, scheme).with_message_loss(0.2))
+                .expect("valid protocol config");
             let mut rng = SimRng::seed_from_u64(23);
             let mut joined = 0;
             while joined < 100 {
@@ -327,7 +330,8 @@ mod tests {
 
     #[test]
     fn single_node_routes_to_itself() {
-        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Vanilla));
+        let mut sim = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Vanilla))
+            .expect("valid protocol config");
         let a = sim.join(vec![0.5, 0.5]).unwrap();
         let r = route(&sim, a, &vec![0.9, 0.1]).unwrap();
         assert_eq!(r.owner, a);

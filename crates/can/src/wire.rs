@@ -116,6 +116,23 @@ impl WireModel {
     pub fn takeover_repair(&self, d: usize) -> u64 {
         self.zone_update(d)
     }
+
+    /// An indirect-probe **request/ping** (and a revived node's epoch
+    /// query): two identities plus the suspect's recorded zone so the
+    /// helper knows which incarnation is in question — same layout as a
+    /// full-update request. O(d).
+    #[inline]
+    pub fn probe_request(&self, d: usize) -> u64 {
+        self.full_update_request(d)
+    }
+
+    /// An indirect-probe **vouch** (and the epoch-query reply): one
+    /// node record — the suspect's zone, epoch (in the record header)
+    /// and last-heard stamp. O(d).
+    #[inline]
+    pub fn probe_vouch(&self, d: usize) -> u64 {
+        self.header + self.node_record(d)
+    }
 }
 
 /// Categories of maintenance traffic, accounted separately so Figure 8
@@ -135,6 +152,9 @@ pub enum MsgKind {
     Handoff,
     /// Targeted take-over repair announcements (compact/adaptive).
     Repair,
+    /// Failure-detector traffic: indirect-probe requests, relayed
+    /// pings, vouches, and revival epoch queries.
+    Probe,
 }
 
 impl MsgKind {
@@ -150,6 +170,7 @@ impl MsgKind {
                 | MsgKind::FullUpdateRequest
                 | MsgKind::FullUpdateResponse
                 | MsgKind::Repair
+                | MsgKind::Probe
         )
     }
 }
@@ -211,8 +232,16 @@ mod tests {
         assert!(MsgKind::FullUpdateRequest.is_heartbeat_cost());
         assert!(MsgKind::FullUpdateResponse.is_heartbeat_cost());
         assert!(MsgKind::Repair.is_heartbeat_cost());
+        assert!(MsgKind::Probe.is_heartbeat_cost());
         assert!(!MsgKind::Join.is_heartbeat_cost());
         assert!(!MsgKind::Handoff.is_heartbeat_cost());
+    }
+
+    #[test]
+    fn probe_traffic_is_small() {
+        let w = WireModel::default();
+        assert_eq!(w.probe_request(6), w.full_update_request(6));
+        assert!(w.probe_vouch(6) < w.full_heartbeat(6, 12));
     }
 
     #[test]

@@ -69,7 +69,7 @@ proptest! {
         scheme_idx in 0usize..3,
     ) {
         let scheme = HeartbeatScheme::ALL[scheme_idx];
-        let mut sim = CanSim::new(ProtocolConfig::new(4, scheme));
+        let mut sim = CanSim::new(ProtocolConfig::new(4, scheme)).expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(seed);
         let mut joined = 0;
         while joined < n {
@@ -135,7 +135,7 @@ proptest! {
     /// take-over targets (heir + absorber), for any join history.
     #[test]
     fn takeover_targets_bounded_by_two(seed in 0u64..3000, n in 1usize..60) {
-        let mut sim = CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact));
+        let mut sim = CanSim::new(ProtocolConfig::new(3, HeartbeatScheme::Compact)).expect("valid protocol config");
         let mut rng = SimRng::seed_from_u64(seed);
         let mut joined = 0;
         while joined < n {

@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Boolean switches recognized without a value.
-const SWITCHES: &[&str] = &["shared-gpus", "quiet", "csv"];
+const SWITCHES: &[&str] = &["shared-gpus", "quiet", "csv", "quick"];
 
 impl Args {
     /// Parses a raw argument list.

@@ -28,6 +28,12 @@ USAGE:
       Run scripted fault scenarios through the chaos harness and print the
       resilience table; exits non-zero on any invariant violation.
 
+  pgrid detector [--seed S] [--quick]
+      Sweep asymmetric link stress against process-freeze length, running
+      every cell under both the fixed-timeout and the adaptive suspicion
+      failure detectors; prints the false-positive / detection-latency
+      table and errors if the adaptive rule is ever worse.
+
   pgrid fuzz     [--seeds N] [--seed S] [--budget SECS] [--out DIR]
   pgrid fuzz     --replay FILE
       Fuzz random fault schedules through the cross-layer invariant oracles
@@ -290,6 +296,69 @@ pub fn chaos(args: Args) -> Result<String, String> {
         ));
     }
     Ok(out)
+}
+
+/// `pgrid detector`
+pub fn detector(args: Args) -> Result<String, String> {
+    let seed: u64 = args.get_or("seed", pgrid::experiments::DETECTOR_SEED)?;
+    let scale = if args.switch("quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    args.reject_unknown()?;
+
+    let cells = pgrid::experiments::detector_suite_seeded(scale, seed);
+    let mut out = format!("detector sweep: seed {seed} ({scale:?})\n\n");
+    let mut table = Table::new([
+        "stress",
+        "freeze(s)",
+        "rule",
+        "suspicions",
+        "probes",
+        "expelled",
+        "false pos",
+        "revived",
+        "lag(s)",
+    ]);
+    let mut regressions = Vec::new();
+    for c in &cells {
+        for arm in [&c.fixed, &c.adaptive] {
+            table.row([
+                format!("{:.1}", c.link_stress),
+                format!("{:.0}", c.freeze_secs),
+                arm.mode.label().to_string(),
+                arm.suspicions.to_string(),
+                arm.probe_requests.to_string(),
+                arm.live_expulsions.to_string(),
+                arm.false_expulsions.to_string(),
+                arm.revivals.to_string(),
+                arm.detection_lag
+                    .map(|l| format!("{l:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        if c.adaptive.false_expulsions > c.fixed.false_expulsions {
+            regressions.push(format!(
+                "stress {:.1} freeze {:.0}: adaptive false positives {} exceed fixed {}",
+                c.link_stress, c.freeze_secs, c.adaptive.false_expulsions, c.fixed.false_expulsions
+            ));
+        }
+    }
+    out.push_str(&table.render());
+    let fixed_fp: u64 = cells.iter().map(|c| c.fixed.false_expulsions).sum();
+    let adaptive_fp: u64 = cells.iter().map(|c| c.adaptive.false_expulsions).sum();
+    out.push_str(&format!(
+        "false-positive expulsions: fixed {fixed_fp}, adaptive {adaptive_fp}\n"
+    ));
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "detector regressions:\n  {}",
+            regressions.join("\n  ")
+        ))
+    }
 }
 
 /// `pgrid fuzz`
@@ -585,6 +654,16 @@ mod tests {
         assert!(chaos(a(&["--scheme", "bogus"])).is_err());
         assert!(chaos(a(&["--scenario", "bogus"])).is_err());
         assert!(chaos(a(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn detector_runs_quick_and_rejects_bad_args() {
+        let out = detector(a(&["--quick"])).unwrap();
+        assert!(out.contains("false-positive expulsions"), "{out}");
+        assert!(out.contains("fixed"));
+        assert!(out.contains("adaptive"));
+        assert!(detector(a(&["--bogus", "1"])).is_err());
+        assert!(detector(a(&["--seed", "nope"])).is_err());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   configurable scheme, churn rate and message loss;
 //! * `pgrid chaos` — scripted fault scenarios through the chaos
 //!   harness, failing on any invariant violation;
+//! * `pgrid detector` — fixed-timeout vs adaptive-suspicion failure
+//!   detection under asymmetric link stress and process freezes;
 //! * `pgrid fuzz` — seeded fault-schedule fuzzing with delta-debugged
 //!   repros, plus bit-exact replay of saved traces;
 //! * `pgrid trace` — generate node/job traces, or replay previously
@@ -53,6 +55,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<String, String> {
         "simulate" => commands::simulate(args::Args::parse(&rest)?),
         "churn" => commands::churn(args::Args::parse(&rest)?),
         "chaos" => commands::chaos(args::Args::parse(&rest)?),
+        "detector" => commands::detector(args::Args::parse(&rest)?),
         "fuzz" => commands::fuzz(args::Args::parse(&rest)?),
         "trace" => commands::trace(&rest),
         "info" => Ok(commands::info()),

@@ -14,13 +14,15 @@
 //! deterministic, so results do not depend on scheduling).
 
 use crate::can::{
-    run_chaos, run_churn, uniform_coords, ChaosConfig, ChaosReport, ChurnConfig, ChurnReport,
-    HeartbeatScheme,
+    run_chaos, run_churn, uniform_coords, CanSim, ChaosConfig, ChaosReport, ChurnConfig,
+    ChurnReport, DetectorConfig, DetectorMode, HeartbeatScheme, ProtocolConfig,
 };
 use crate::sched::{
     run_load_balance, run_load_balance_chaos, CrashChaosConfig, RecoveryStats, SchedulerChoice,
     SimResult,
 };
+use crate::simcore::fault::LinkDegrade;
+use crate::simcore::SimRng;
 use crate::workload::{default_scenario, LoadBalanceScenario};
 
 /// Experiment scale selector.
@@ -268,6 +270,199 @@ pub fn chaos_suite_seeded(scale: Scale, seed: u64) -> Vec<ChaosReport> {
     parallel_map(configs, |cfg| run_chaos(&cfg))
 }
 
+// --------------------------------------------------------------- Detector
+
+/// Seed shared by every detector-suite run.
+pub const DETECTOR_SEED: u64 = 71;
+
+/// Measurements of one failure-detector arm in a [`DetectorCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorArm {
+    /// Detection rule under test.
+    pub mode: DetectorMode,
+    /// Suspicions raised (adaptive arm only; fixed has no suspicion
+    /// phase).
+    pub suspicions: u64,
+    /// Indirect-probe requests sent.
+    pub probe_requests: u64,
+    /// Live nodes actively expelled.
+    pub live_expulsions: u64,
+    /// Expulsions of nodes that were *not* frozen — the avoidable
+    /// false positives a jittery link tricks the detector into.
+    pub false_expulsions: u64,
+    /// Expelled nodes that revived through the epoch fence.
+    pub revivals: u64,
+    /// Mean seconds from a node going silent to its first suspicion
+    /// (or expulsion, for the fixed rule); `None` when nothing was
+    /// detected.
+    pub detection_lag: Option<f64>,
+    /// Integral of directed broken links over the run, link-seconds.
+    pub broken_link_seconds: f64,
+    /// Keepalives received from already-expelled senders.
+    pub stale_keepalives: u64,
+}
+
+/// One cell of the detector sweep: both detection rules under the same
+/// seed, link stress, and freeze scenario.
+#[derive(Debug, Clone)]
+pub struct DetectorCell {
+    /// Drop probability injected on each victim's ward→target links
+    /// (0 = clean network).
+    pub link_stress: f64,
+    /// Freeze length in seconds (0 = nobody freezes). Compare against
+    /// the 150 s fail timeout: short freezes must *not* be expelled.
+    pub freeze_secs: f64,
+    /// Fixed-timeout arm.
+    pub fixed: DetectorArm,
+    /// Adaptive suspicion-pipeline arm.
+    pub adaptive: DetectorArm,
+}
+
+/// Runs one detector arm: grow, settle, degrade the ward links of a
+/// few victims (asymmetric — only their outbound heartbeats suffer),
+/// freeze another group mid-stress, then let the overlay recover.
+fn run_detector_arm(
+    mode: DetectorMode,
+    link_stress: f64,
+    freeze_secs: f64,
+    nodes: usize,
+    stress_rounds: usize,
+    seed: u64,
+) -> DetectorArm {
+    let dims = 3;
+    let mut cfg = ProtocolConfig::new(dims, HeartbeatScheme::Adaptive);
+    cfg.loss_seed = crate::simcore::rng::sub_seed(seed, 0xFA17);
+    cfg.detector = Some(match mode {
+        DetectorMode::Fixed => DetectorConfig::fixed(),
+        DetectorMode::Adaptive => DetectorConfig::adaptive(),
+    });
+    let period = cfg.heartbeat_period;
+    let mut sim = CanSim::new(cfg).expect("valid protocol config");
+    let mut rng = SimRng::sub_stream(seed, 0xC4A5);
+    let mut victim_rng = SimRng::sub_stream(seed, 0x71C7);
+    let mut coords = uniform_coords(dims);
+    let mut joined = 0;
+    while joined < nodes {
+        if sim.join(coords(&mut rng)).is_ok() {
+            joined += 1;
+        }
+        sim.advance_to(sim.now() + 1.0);
+    }
+    sim.advance_to(sim.now() + 5.0 * period);
+    sim.reset_accounting();
+
+    let t0 = sim.now();
+    let stress_end = t0 + stress_rounds as f64 * period;
+    let members = sim.members();
+    // Victim selection is shared by both arms (same sub-stream, same
+    // member set at t0), so the two rules face the identical scenario.
+    let mut pool = members.clone();
+    let mut pick = |pool: &mut Vec<crate::types::NodeId>, n: usize| {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n.min(pool.len()) {
+            out.push(pool.swap_remove(victim_rng.below(pool.len())));
+        }
+        out
+    };
+    let jitter_victims = pick(&mut pool, (members.len() / 6).max(2));
+    let freeze_victims = pick(&mut pool, 2);
+    if link_stress > 0.0 {
+        for &v in &jitter_victims {
+            let pairs: Vec<(u32, u32)> = sim
+                .takeover_targets(v)
+                .into_iter()
+                .map(|t| (v.0, t.0))
+                .collect();
+            if pairs.is_empty() {
+                continue;
+            }
+            sim.network_mut().add_degrade(LinkDegrade::new(
+                pairs,
+                link_stress,
+                period / 2.0,
+                t0,
+                stress_end,
+            ));
+        }
+    }
+
+    // Drive period by period, freezing the freeze wave two rounds in
+    // and integrating the broken-link count as we go.
+    let freeze_at = t0 + 2.0 * period;
+    let mut frozen = false;
+    let recovery_end = stress_end + 20.0 * period;
+    let mut t = t0;
+    let mut broken_link_seconds = 0.0;
+    while t < recovery_end {
+        t += period;
+        if freeze_secs > 0.0 && !frozen && t >= freeze_at {
+            for &v in &freeze_victims {
+                if sim.is_member(v) {
+                    sim.freeze(v, freeze_secs);
+                }
+            }
+            frozen = true;
+        }
+        sim.advance_to(t);
+        broken_link_seconds += sim.broken_links() as f64 * period;
+    }
+
+    DetectorArm {
+        mode,
+        suspicions: sim.suspicions(),
+        probe_requests: sim.probe_requests(),
+        live_expulsions: sim.live_expulsions(),
+        false_expulsions: sim.false_expulsions(),
+        revivals: sim.revivals(),
+        detection_lag: sim.mean_detection_lag(),
+        broken_link_seconds,
+        stale_keepalives: sim.accounting().stale_keepalives,
+    }
+}
+
+/// Failure-detector comparison sweep (jitter × freeze): for every cell
+/// the *same* scenario runs once under the fixed-timeout rule and once
+/// under the adaptive suspicion pipeline. The headline claim is that
+/// adaptive+indirect strictly reduces false-positive expulsions under
+/// asymmetric link stress while never missing a real (long-freeze)
+/// failure.
+pub fn detector_suite(scale: Scale) -> Vec<DetectorCell> {
+    detector_suite_seeded(scale, DETECTOR_SEED)
+}
+
+/// [`detector_suite`] at an explicit seed (the `detector` binary's
+/// `--seed` flag lands here).
+pub fn detector_suite_seeded(scale: Scale, seed: u64) -> Vec<DetectorCell> {
+    let (nodes, stress_rounds, stresses, freezes): (usize, usize, Vec<f64>, Vec<f64>) = match scale
+    {
+        // Freeze levels bracket the 150 s fail timeout: 90 s must be
+        // tolerated, 300 s must be expelled and revived.
+        Scale::Paper => (48, 20, vec![0.0, 0.4, 0.8], vec![0.0, 90.0, 300.0]),
+        Scale::Quick => (24, 10, vec![0.0, 0.8], vec![0.0, 300.0]),
+    };
+    let mut configs = Vec::new();
+    for &stress in &stresses {
+        for &freeze in &freezes {
+            for mode in [DetectorMode::Fixed, DetectorMode::Adaptive] {
+                configs.push((mode, stress, freeze));
+            }
+        }
+    }
+    let arms = parallel_map(configs.clone(), move |(mode, stress, freeze)| {
+        run_detector_arm(mode, stress, freeze, nodes, stress_rounds, seed)
+    });
+    configs
+        .chunks(2)
+        .zip(arms.chunks(2))
+        .map(|(cfg, pair)| DetectorCell {
+            link_stress: cfg[0].1,
+            freeze_secs: cfg[0].2,
+            fixed: pair[0].clone(),
+            adaptive: pair[1].clone(),
+        })
+        .collect()
+}
+
 /// One crash-recovery measurement: a scheduler run with and without
 /// fail-stop node crashes.
 #[derive(Debug, Clone)]
@@ -463,6 +658,65 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..64).collect::<Vec<i32>>(), |x| x * 2);
         assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detector_sweep_separates_adaptive_from_fixed() {
+        let cells = detector_suite(Scale::Quick);
+        assert_eq!(cells.len(), 4, "2 stress × 2 freeze levels");
+        for cell in &cells {
+            // The adaptive pipeline never expels *more* live nodes than
+            // the fixed timeout under the identical scenario.
+            assert!(
+                cell.adaptive.false_expulsions <= cell.fixed.false_expulsions,
+                "stress {} freeze {}: adaptive {} > fixed {}",
+                cell.link_stress,
+                cell.freeze_secs,
+                cell.adaptive.false_expulsions,
+                cell.fixed.false_expulsions
+            );
+            if cell.link_stress == 0.0 && cell.freeze_secs == 0.0 {
+                for arm in [&cell.fixed, &cell.adaptive] {
+                    assert_eq!(arm.suspicions, 0, "clean cell stays silent");
+                    assert_eq!(arm.live_expulsions, 0);
+                }
+            }
+            if cell.freeze_secs > 150.0 {
+                // A freeze past the fail timeout is a *real* failure:
+                // both rules must expel, and the victims must revive
+                // through the epoch fence after thawing.
+                for arm in [&cell.fixed, &cell.adaptive] {
+                    assert!(
+                        arm.live_expulsions > 0,
+                        "stress {} freeze {} ({:?}): long freeze not expelled",
+                        cell.link_stress,
+                        cell.freeze_secs,
+                        arm.mode
+                    );
+                    assert!(
+                        arm.revivals > 0,
+                        "stress {} freeze {} ({:?}): no revival",
+                        cell.link_stress,
+                        cell.freeze_secs,
+                        arm.mode
+                    );
+                }
+            }
+        }
+        // Under asymmetric link stress the fixed timeout must produce
+        // false positives somewhere that the adaptive rule avoids —
+        // the experiment's headline separation.
+        let stressed: Vec<&DetectorCell> = cells.iter().filter(|c| c.link_stress > 0.0).collect();
+        assert!(
+            stressed.iter().any(|c| c.fixed.false_expulsions > 0),
+            "link stress never tricked the fixed timeout: {stressed:?}"
+        );
+        assert!(
+            stressed
+                .iter()
+                .any(|c| c.adaptive.false_expulsions < c.fixed.false_expulsions),
+            "adaptive never strictly beat fixed: {stressed:?}"
+        );
     }
 
     #[test]

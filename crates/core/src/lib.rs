@@ -53,7 +53,8 @@ pub mod fuzz;
 pub mod prelude {
     pub use crate::can::{
         run_chaos, run_churn, uniform_coords, CanSim, ChaosConfig, ChaosReport, ChurnConfig,
-        ChurnReport, HeartbeatScheme, PartitionSpec, ProtocolConfig, WireModel,
+        ChurnReport, DetectorConfig, DetectorMode, HeartbeatScheme, PartitionSpec, ProtocolConfig,
+        WireModel,
     };
     pub use crate::can::{run_schedule, scheme_from_label, ScheduleReport};
     pub use crate::experiments::{self, Scale};
@@ -64,7 +65,7 @@ pub mod prelude {
     pub use crate::sched::{
         run_load_balance, run_load_balance_ablated, run_load_balance_chaos, CentralMatchmaker,
         CrashChaosConfig, HetFeatures, Matchmaker, PushParams, PushingMatchmaker, RecoveryStats,
-        SchedulerChoice, SimResult, StaticGrid,
+        SchedulerChoice, SimResult, StaticGrid, SuspicionConfig,
     };
     pub use crate::simcore::{
         EventQueue, FaultSchedule, Fnv, ScheduleBudget, SimRng, TraceParseError,

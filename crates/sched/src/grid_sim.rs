@@ -439,12 +439,14 @@ fn run_with(
                     }
                     rec.killed_queued += queued.len() as u64;
                     // Nothing reacts until the failure detector fires:
-                    // each loss surfaces only after `detect_timeout`.
+                    // each loss surfaces only after the detection delay
+                    // (fixed timeout, or suspect + grace when the
+                    // suspicion pipeline is armed).
                     for job in running.iter().chain(queued.iter()) {
                         let jidx = index_of[&job.id];
                         submit_gen[jidx] += 1; // invalidate pending Finish
                         queue.schedule(
-                            now + ch.detect_timeout,
+                            now + ch.detection_delay(),
                             Ev::DetectLoss(jidx as u32, submit_gen[jidx]),
                         );
                     }
@@ -680,6 +682,36 @@ mod tests {
         let b = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &chaos);
         assert_eq!(a.wait_times, b.wait_times);
         assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn suspicion_timing_shapes_recovery_latency() {
+        use crate::recovery::SuspicionConfig;
+        let s = tiny();
+        // Armed with the default pipeline (90 + 60 = 150 s) the run is
+        // bit-identical to the legacy fixed timeout — the knob changes
+        // *when* losses surface, nothing else.
+        let fixed = CrashChaosConfig::new(400.0);
+        let mut armed = fixed.clone();
+        armed.suspicion = Some(SuspicionConfig::new());
+        let a = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &fixed);
+        let b = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &armed);
+        assert_eq!(a.wait_times, b.wait_times);
+        assert_eq!(a.recovery, b.recovery);
+
+        // A vouch-backed early confirm still conserves every job.
+        let mut eager = fixed.clone();
+        eager.suspicion = Some(SuspicionConfig {
+            suspect_after: 60.0,
+            confirm_grace: 15.0,
+        });
+        let c = run_load_balance_chaos(&s, SchedulerChoice::CanHet, &eager);
+        let rec = c.recovery.as_ref().expect("chaos run reports stats");
+        assert_eq!(
+            c.wait_times.len() as u64 + rec.permanently_failed,
+            400,
+            "suspicion-armed runs conserve jobs"
+        );
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub use matchmakers::{
     CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushMode, PushParams, PushingMatchmaker,
 };
 pub use node_runtime::{NodeRuntime, Started};
-pub use recovery::{CrashChaosConfig, JobLedger, RecoveryStats};
+pub use recovery::{CrashChaosConfig, JobLedger, RecoveryStats, SuspicionConfig};
 pub use timeshare::{run_time_shared, TimeSharedNode, TsCompletion, TsPolicy, TsResult};

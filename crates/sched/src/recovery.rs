@@ -14,6 +14,41 @@
 //! job ends exactly-once completed or exactly-once permanently failed
 //! — never lost, never double-completed.
 
+/// Two-phase detection timing mirroring the CAN layer's suspicion
+/// pipeline: a lost node is *suspected* after `suspect_after` seconds
+/// of silence, then given `confirm_grace` seconds for an indirect
+/// probe to clear it before the loss is confirmed and recovery starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuspicionConfig {
+    /// Seconds of silence before a crashed node is suspected.
+    pub suspect_after: f64,
+    /// Grace window for indirect confirmation after suspicion.
+    pub confirm_grace: f64,
+}
+
+impl SuspicionConfig {
+    /// Defaults matching the CAN adaptive detector: suspicion at the
+    /// adaptive floor (1.5 heartbeat periods) plus a one-period probe
+    /// grace.
+    pub fn new() -> Self {
+        SuspicionConfig {
+            suspect_after: 90.0,
+            confirm_grace: 60.0,
+        }
+    }
+
+    /// Total seconds from crash to confirmed loss.
+    pub fn total(&self) -> f64 {
+        self.suspect_after + self.confirm_grace
+    }
+}
+
+impl Default for SuspicionConfig {
+    fn default() -> Self {
+        SuspicionConfig::new()
+    }
+}
+
 /// Crash-fault model for [`crate::grid_sim::run_load_balance_chaos`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrashChaosConfig {
@@ -24,6 +59,11 @@ pub struct CrashChaosConfig {
     /// Seconds until a lost job's absence is detected (failure
     /// timeout: nothing reacts to a crash before this elapses).
     pub detect_timeout: f64,
+    /// When set, losses surface through the two-phase suspicion
+    /// pipeline instead of the fixed `detect_timeout`; `None` keeps
+    /// the legacy fixed-timeout timing (and its golden digests)
+    /// bit-identical.
+    pub suspicion: Option<SuspicionConfig>,
     /// Backoff before the first re-match attempt; attempt `k` waits
     /// `retry_base * 2^(k-1)`, capped at [`CrashChaosConfig::retry_cap`].
     pub retry_base: f64,
@@ -44,9 +84,20 @@ impl CrashChaosConfig {
             mean_interval,
             outage: 1800.0,
             detect_timeout: 150.0,
+            suspicion: None,
             retry_base: 30.0,
             retry_cap: 600.0,
             max_retries: 5,
+        }
+    }
+
+    /// Seconds between a crash and the moment recovery reacts to it:
+    /// the suspicion pipeline's suspect-plus-grace total when armed,
+    /// the fixed `detect_timeout` otherwise.
+    pub fn detection_delay(&self) -> f64 {
+        match &self.suspicion {
+            Some(s) => s.total(),
+            None => self.detect_timeout,
         }
     }
 
@@ -235,6 +286,23 @@ mod tests {
 
         // Sane configs are untouched by the hard cap.
         assert_eq!(c.backoff(6), 600.0);
+    }
+
+    #[test]
+    fn detection_delay_prefers_the_suspicion_pipeline() {
+        let mut c = CrashChaosConfig::new(1000.0);
+        assert_eq!(c.detection_delay(), 150.0, "legacy fixed timeout");
+        c.suspicion = Some(SuspicionConfig::new());
+        assert_eq!(c.detection_delay(), 150.0, "defaults add up to the same");
+        c.suspicion = Some(SuspicionConfig {
+            suspect_after: 90.0,
+            confirm_grace: 20.0,
+        });
+        assert_eq!(
+            c.detection_delay(),
+            110.0,
+            "a vouch-backed early confirm reacts faster than the fixed timeout"
+        );
     }
 
     #[test]

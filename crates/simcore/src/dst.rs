@@ -115,6 +115,26 @@ pub struct PartitionWindow {
     pub until: SimTime,
 }
 
+/// A scheduled directed-link degradation in fault-phase-relative time.
+/// The executor samples `pairs` directed member pairs from the schedule
+/// seed (so the trace needs no node ids) and degrades them with extra
+/// loss and jitter over the window — the asymmetric-lag shape that
+/// stresses a per-link adaptive failure detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeWindow {
+    /// Number of directed member pairs to degrade (>= 1).
+    pub pairs: usize,
+    /// Extra drop probability on the degraded links (in `[0, 1)`).
+    pub drop: f64,
+    /// Extra uniform `[0, jitter)` delay on surviving transmissions.
+    pub jitter: f64,
+    /// Window start, seconds after the fault phase begins.
+    pub from: SimTime,
+    /// Window end, seconds after the fault phase begins; must satisfy
+    /// `from < until <= fault_duration`.
+    pub until: SimTime,
+}
+
 /// One fully-specified, self-contained chaos run.
 ///
 /// Everything an executor needs is here; replaying the same schedule
@@ -149,8 +169,14 @@ pub struct FaultSchedule {
     pub class_faults: Vec<(MsgClass, ClassFaults)>,
     /// Partition windows, in fault-phase-relative time.
     pub partitions: Vec<PartitionWindow>,
+    /// Directed-link degradation windows, in fault-phase-relative time.
+    pub degrades: Vec<DegradeWindow>,
     /// Node-level fault events, in fault-phase-relative time.
     pub events: Vec<FaultEvent>,
+    /// Failure-detector mode label (`fixed` / `adaptive`); `None` runs
+    /// the legacy passive expiry. Kept as a string so `simcore` stays
+    /// independent of `can`, mirroring `scheme`.
+    pub detector: Option<String>,
     /// When `Some`, also run a scheduler crash-recovery phase with this
     /// mean crash interval (seconds) and check the ledger oracles.
     pub sched_crash_interval: Option<f64>,
@@ -229,6 +255,33 @@ impl FaultSchedule {
                 ));
             }
         }
+        for d in &self.degrades {
+            if d.pairs == 0 {
+                return Err("degrade pairs must be >= 1".into());
+            }
+            if !(0.0..1.0).contains(&d.drop) {
+                return Err(format!("degrade drop must be in [0, 1), got {}", d.drop));
+            }
+            if !(d.jitter.is_finite() && d.jitter >= 0.0) {
+                return Err(format!(
+                    "degrade jitter must be finite >= 0, got {}",
+                    d.jitter
+                ));
+            }
+            if !(d.from >= 0.0 && d.from < d.until && d.until <= self.fault_duration) {
+                return Err(format!(
+                    "degrade window [{}, {}] must satisfy 0 <= from < until <= {}",
+                    d.from, d.until, self.fault_duration
+                ));
+            }
+        }
+        if let Some(mode) = &self.detector {
+            if mode != "fixed" && mode != "adaptive" {
+                return Err(format!(
+                    "detector mode must be `fixed` or `adaptive`, got `{mode}`"
+                ));
+            }
+        }
         for e in &self.events {
             if !(e.at.is_finite() && e.at >= 0.0 && e.at <= self.fault_duration) {
                 return Err(format!(
@@ -259,13 +312,17 @@ impl FaultSchedule {
     // -- shrinker support ---------------------------------------------------
 
     /// Number of independently-removable schedule elements, in the
-    /// fixed order: events, partitions, class faults, churn, sched.
+    /// fixed order: events, partitions, class faults, churn, sched,
+    /// degrades, detector (new kinds appended to keep the order
+    /// stable).
     fn element_count(&self) -> usize {
         self.events.len()
             + self.partitions.len()
             + self.class_faults.len()
             + usize::from(self.churn_gap.is_some())
             + usize::from(self.sched_crash_interval.is_some())
+            + self.degrades.len()
+            + usize::from(self.detector.is_some())
     }
 
     /// The schedule with only the elements whose `keep` flag is set
@@ -297,6 +354,15 @@ impl FaultSchedule {
         }
         if self.sched_crash_interval.is_some() && !it.next().unwrap_or(true) {
             out.sched_crash_interval = None;
+        }
+        out.degrades = self
+            .degrades
+            .iter()
+            .copied()
+            .filter(|_| it.next().unwrap_or(true))
+            .collect();
+        if self.detector.is_some() && !it.next().unwrap_or(true) {
+            out.detector = None;
         }
         out.expect_digest = None;
         out
@@ -347,6 +413,17 @@ pub struct ScheduleBudget {
     pub max_jitter: f64,
     /// Probability each message class gets a fault entry.
     pub class_fault_chance: f64,
+    /// Maximum directed-link degradation windows per schedule.
+    pub max_degrades: usize,
+    /// Maximum directed pairs one degradation window covers.
+    pub max_degrade_pairs: usize,
+    /// Maximum extra drop probability on a degraded link (below 1).
+    pub max_degrade_drop: f64,
+    /// Maximum extra jitter on a degraded link (seconds).
+    pub max_degrade_jitter: f64,
+    /// Probability the schedule arms a failure detector (then split
+    /// evenly between `fixed` and `adaptive`).
+    pub detector_chance: f64,
     /// Probability the schedule runs background churn.
     pub churn_chance: f64,
     /// Probability the schedule appends a scheduler crash phase.
@@ -376,6 +453,11 @@ impl Default for ScheduleBudget {
             max_delay: 5.0,
             max_jitter: 10.0,
             class_fault_chance: 0.4,
+            max_degrades: 2,
+            max_degrade_pairs: 4,
+            max_degrade_drop: 0.6,
+            max_degrade_jitter: 30.0,
+            detector_chance: 0.5,
             churn_chance: 0.4,
             sched_chance: 0.3,
             min_fault_duration: 300.0,
@@ -483,6 +565,31 @@ pub fn generate(seed: u64, budget: &ScheduleBudget) -> FaultSchedule {
     } else {
         None
     };
+    // Drawn in the historical stream position (before the detector
+    // extensions below), so pre-existing seeds keep their schedules.
+    let graceful_fraction = rng.uniform(0.0, 1.0);
+
+    let mut degrades = Vec::new();
+    for _ in 0..rng.below(budget.max_degrades + 1) {
+        let from = rng.uniform(0.0, fault_duration * 0.5);
+        let until = rng.uniform(from + 1.0, fault_duration);
+        degrades.push(DegradeWindow {
+            pairs: 1 + rng.below(budget.max_degrade_pairs.max(1)),
+            drop: rng.uniform(0.0, budget.max_degrade_drop),
+            jitter: if rng.chance(0.5) {
+                rng.uniform(0.0, budget.max_degrade_jitter)
+            } else {
+                0.0
+            },
+            from,
+            until,
+        });
+    }
+    let detector = if rng.chance(budget.detector_chance) {
+        Some(["fixed", "adaptive"][rng.below(2)].to_string())
+    } else {
+        None
+    };
 
     let schedule = FaultSchedule {
         seed,
@@ -494,11 +601,13 @@ pub fn generate(seed: u64, budget: &ScheduleBudget) -> FaultSchedule {
         fail_timeout,
         fault_duration,
         recovery_periods: 20.0,
-        graceful_fraction: rng.uniform(0.0, 1.0),
+        graceful_fraction,
         churn_gap,
         class_faults,
         partitions,
+        degrades,
         events,
+        detector,
         sched_crash_interval,
         expect_digest: None,
     };
@@ -582,6 +691,16 @@ impl FaultSchedule {
                 "partition fraction={} from={} until={}",
                 p.fraction, p.from, p.until
             );
+        }
+        for d in &self.degrades {
+            let _ = writeln!(
+                out,
+                "degrade pairs={} drop={} jitter={} from={} until={}",
+                d.pairs, d.drop, d.jitter, d.from, d.until
+            );
+        }
+        if let Some(mode) = &self.detector {
+            let _ = writeln!(out, "detector mode={mode}");
         }
         for e in &self.events {
             match e.fault {
@@ -669,7 +788,9 @@ impl FaultSchedule {
                     churn_gap: None,
                     class_faults: Vec::new(),
                     partitions: Vec::new(),
+                    degrades: Vec::new(),
                     events: Vec::new(),
+                    detector: None,
                     sched_crash_interval: None,
                     expect_digest: None,
                 });
@@ -708,6 +829,14 @@ impl FaultSchedule {
                     from: get_f64("from")?,
                     until: get_f64("until")?,
                 }),
+                "degrade" => sched.degrades.push(DegradeWindow {
+                    pairs: get_usize("pairs")?,
+                    drop: get_f64("drop")?,
+                    jitter: get_f64("jitter")?,
+                    from: get_f64("from")?,
+                    until: get_f64("until")?,
+                }),
+                "detector" => sched.detector = Some(get("mode")?.to_string()),
                 "event" => {
                     let at = get_f64("at")?;
                     let fault = match get("kind")? {
@@ -762,9 +891,10 @@ pub struct ShrinkOutcome {
 
 /// Minimizes a failing schedule with complement-removal delta
 /// debugging (ddmin) over its removable elements — node-fault events,
-/// partition windows, per-class fault entries, the churn toggle, and
-/// the scheduler-phase toggle — followed by a greedy count-reduction
-/// pass on the surviving events.
+/// partition windows, per-class fault entries, the churn toggle, the
+/// scheduler-phase toggle, link-degrade windows, and the detector
+/// toggle — followed by a greedy count-reduction pass on the surviving
+/// events.
 ///
 /// `still_fails` must return `true` when the candidate schedule still
 /// exhibits the failure. The original schedule is assumed failing. The
@@ -888,7 +1018,15 @@ mod tests {
                 from: 50.0,
                 until: 400.0,
             }],
+            degrades: vec![DegradeWindow {
+                pairs: 3,
+                drop: 0.4,
+                jitter: 25.0,
+                from: 30.0,
+                until: 500.0,
+            }],
             events: vec![crash_at(60.0, 8), crash_at(120.0, 2), crash_at(300.0, 5)],
+            detector: Some("adaptive".into()),
             sched_crash_interval: Some(450.0),
             expect_digest: Some(0xdead_beef),
         }
@@ -909,7 +1047,35 @@ mod tests {
             for &(_, f) in &a.class_faults {
                 assert!(f.drop < budget.max_drop);
             }
+            assert!(a.degrades.len() <= budget.max_degrades);
+            for d in &a.degrades {
+                assert!(d.pairs >= 1 && d.pairs <= budget.max_degrade_pairs);
+                assert!(d.drop < budget.max_degrade_drop);
+            }
         }
+    }
+
+    #[test]
+    fn generation_samples_degrades_and_detectors() {
+        let budget = ScheduleBudget::default();
+        let schedules: Vec<FaultSchedule> = (0..40).map(|s| generate(s, &budget)).collect();
+        assert!(
+            schedules.iter().any(|s| !s.degrades.is_empty()),
+            "some seed should draw a degrade window"
+        );
+        assert!(
+            schedules
+                .iter()
+                .any(|s| s.detector.as_deref() == Some("fixed"))
+                && schedules
+                    .iter()
+                    .any(|s| s.detector.as_deref() == Some("adaptive")),
+            "both detector modes should appear across seeds"
+        );
+        assert!(
+            schedules.iter().any(|s| s.detector.is_none()),
+            "the legacy passive mode should still appear"
+        );
     }
 
     #[test]
@@ -958,6 +1124,16 @@ mod tests {
         s.partitions[0].until = s.fault_duration + 1.0;
         let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
         assert!(e.message.contains("partition window"), "{e}");
+
+        let mut s = base_schedule();
+        s.degrades[0].until = s.fault_duration + 1.0;
+        let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
+        assert!(e.message.contains("degrade window"), "{e}");
+
+        let mut s = base_schedule();
+        s.detector = Some("psychic".into());
+        let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
+        assert!(e.message.contains("detector mode"), "{e}");
     }
 
     #[test]
@@ -969,6 +1145,8 @@ mod tests {
         assert_eq!(outcome.schedule.events[0].at, 120.0);
         assert!(outcome.schedule.partitions.is_empty());
         assert!(outcome.schedule.class_faults.is_empty());
+        assert!(outcome.schedule.degrades.is_empty());
+        assert!(outcome.schedule.detector.is_none());
         assert!(outcome.schedule.churn_gap.is_none());
         assert!(outcome.schedule.sched_crash_interval.is_none());
         assert!(outcome.schedule.expect_digest.is_none());

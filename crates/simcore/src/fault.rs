@@ -173,6 +173,72 @@ impl Partition {
     }
 }
 
+/// A scheduled *directed* link degradation: while active, transmissions
+/// from a listed source to a listed destination suffer extra loss and
+/// jitter on top of whatever the per-class fault rates do. Unlike a
+/// [`Partition`] the cut is asymmetric — degrading `a → b` leaves
+/// `b → a` untouched — which is exactly the shape that separates an
+/// adaptive per-link detector from a fixed-timeout one: the victim's
+/// heartbeats straggle while everyone else's arrive on time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDegrade {
+    /// Directed `(from, to)` pairs, sorted for binary search.
+    pairs: Vec<(u32, u32)>,
+    drop: f64,
+    jitter: f64,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl LinkDegrade {
+    /// Degrades the listed directed pairs over `[from, until)` with an
+    /// extra `drop` probability and uniform `[0, jitter)` delay.
+    pub fn new(
+        mut pairs: Vec<(u32, u32)>,
+        drop: f64,
+        jitter: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(from < until, "degrade window must be non-empty");
+        assert!(
+            (0.0..1.0).contains(&drop),
+            "degrade drop must be in [0, 1), got {drop}"
+        );
+        assert!(
+            jitter >= 0.0 && jitter.is_finite(),
+            "degrade jitter must be finite and non-negative, got {jitter}"
+        );
+        pairs.sort_unstable();
+        pairs.dedup();
+        LinkDegrade {
+            pairs,
+            drop,
+            jitter,
+            from,
+            until,
+        }
+    }
+
+    /// Window start, in simulation seconds.
+    #[inline]
+    pub fn from(&self) -> SimTime {
+        self.from
+    }
+
+    /// Window end (exclusive), in simulation seconds.
+    #[inline]
+    pub fn until(&self) -> SimTime {
+        self.until
+    }
+
+    /// Whether a transmission from `x` to `y` at `now` is degraded.
+    #[inline]
+    pub fn applies(&self, now: SimTime, x: u32, y: u32) -> bool {
+        now >= self.from && now < self.until && self.pairs.binary_search(&(x, y)).is_ok()
+    }
+}
+
 /// The fate of one transmission: how many copies arrive and after what
 /// delay. `copies == 0` means the message was lost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -222,6 +288,7 @@ impl Delivery {
 pub struct NetworkModel {
     classes: [ClassFaults; 4],
     partitions: Vec<Partition>,
+    degrades: Vec<LinkDegrade>,
     /// When set, class fault rates apply only inside `[start, end)`;
     /// outside the window the link is ideal (partitions keep their own
     /// windows). Lets a chaos scenario bracket its fault phase without
@@ -231,6 +298,7 @@ pub struct NetworkModel {
     dropped: [u64; 4],
     duplicated: u64,
     partition_drops: u64,
+    degrade_drops: u64,
 }
 
 impl NetworkModel {
@@ -240,11 +308,13 @@ impl NetworkModel {
         NetworkModel {
             classes: [ClassFaults::IDEAL; 4],
             partitions: Vec::new(),
+            degrades: Vec::new(),
             window: None,
             rng: SimRng::seed_from_u64(seed),
             dropped: [0; 4],
             duplicated: 0,
             partition_drops: 0,
+            degrade_drops: 0,
         }
     }
 
@@ -263,6 +333,12 @@ impl NetworkModel {
     /// Adds a scheduled partition.
     pub fn with_partition(mut self, p: Partition) -> Self {
         self.add_partition(p);
+        self
+    }
+
+    /// Adds a scheduled directed link degradation.
+    pub fn with_degrade(mut self, d: LinkDegrade) -> Self {
+        self.add_degrade(d);
         self
     }
 
@@ -292,6 +368,11 @@ impl NetworkModel {
         self.partitions.push(p);
     }
 
+    /// Adds a scheduled directed link degradation (in-place).
+    pub fn add_degrade(&mut self, d: LinkDegrade) {
+        self.degrades.push(d);
+    }
+
     /// Restricts class fault rates to `[start, end)`.
     pub fn set_window(&mut self, start: SimTime, end: SimTime) {
         assert!(start < end, "fault window must be non-empty");
@@ -301,7 +382,9 @@ impl NetworkModel {
     /// Whether the model can never perturb a message: no class faults
     /// configured and no partitions scheduled.
     pub fn is_ideal(&self) -> bool {
-        self.partitions.is_empty() && self.classes.iter().all(ClassFaults::is_ideal)
+        self.partitions.is_empty()
+            && self.degrades.is_empty()
+            && self.classes.iter().all(ClassFaults::is_ideal)
     }
 
     #[inline]
@@ -317,6 +400,22 @@ impl NetworkModel {
         self.partitions.iter().any(|p| p.severs(now, from, to))
     }
 
+    /// Combined `(drop, jitter)` of every degrade window covering the
+    /// `from → to` link at `now`. Overlapping windows compose as
+    /// independent losses; jitters add.
+    #[inline]
+    fn degradation(&self, now: SimTime, from: u32, to: u32) -> (f64, f64) {
+        let mut drop = 0.0f64;
+        let mut jitter = 0.0f64;
+        for d in &self.degrades {
+            if d.applies(now, from, to) {
+                drop = 1.0 - (1.0 - drop) * (1.0 - d.drop);
+                jitter += d.jitter;
+            }
+        }
+        (drop, jitter)
+    }
+
     /// Decides the fate of one datagram transmission from `from` to
     /// `to` at time `now`. Consults the RNG only for fault dimensions
     /// whose rate is non-zero, so an ideal model (or an idle fault
@@ -330,25 +429,45 @@ impl NetworkModel {
                 delay: 0.0,
             };
         }
-        let f = self.classes[class.index()];
-        if f.is_ideal() || !self.faults_active(now) {
-            return Delivery::IMMEDIATE;
-        }
-        if f.drop > 0.0 && self.rng.chance(f.drop) {
+        let (deg_drop, deg_jitter) = if self.degrades.is_empty() {
+            (0.0, 0.0)
+        } else {
+            self.degradation(now, from, to)
+        };
+        if deg_drop > 0.0 && self.rng.chance(deg_drop) {
+            self.degrade_drops += 1;
             self.dropped[class.index()] += 1;
             return Delivery {
                 copies: 0,
                 delay: 0.0,
             };
         }
-        let mut copies = 1u8;
-        if f.duplicate > 0.0 && self.rng.chance(f.duplicate) {
-            copies = 2;
-            self.duplicated += 1;
+        let f = self.classes[class.index()];
+        let class_active = !f.is_ideal() && self.faults_active(now);
+        if !class_active && deg_jitter == 0.0 {
+            return Delivery::IMMEDIATE;
         }
-        let mut delay = f.delay;
-        if f.jitter > 0.0 {
-            delay += self.rng.unit() * f.jitter;
+        let mut copies = 1u8;
+        let mut delay = 0.0;
+        if class_active {
+            if f.drop > 0.0 && self.rng.chance(f.drop) {
+                self.dropped[class.index()] += 1;
+                return Delivery {
+                    copies: 0,
+                    delay: 0.0,
+                };
+            }
+            if f.duplicate > 0.0 && self.rng.chance(f.duplicate) {
+                copies = 2;
+                self.duplicated += 1;
+            }
+            delay = f.delay;
+            if f.jitter > 0.0 {
+                delay += self.rng.unit() * f.jitter;
+            }
+        }
+        if deg_jitter > 0.0 {
+            delay += self.rng.unit() * deg_jitter;
         }
         Delivery { copies, delay }
     }
@@ -374,12 +493,21 @@ impl NetworkModel {
             self.dropped[class.index()] += u64::from(cap - 1);
             return cap;
         }
+        let (deg_drop, _) = if self.degrades.is_empty() {
+            (0.0, 0.0)
+        } else {
+            self.degradation(now, from, to)
+        };
         let f = self.classes[class.index()];
-        if f.drop <= 0.0 || !self.faults_active(now) {
+        let class_drop = if self.faults_active(now) { f.drop } else { 0.0 };
+        // Independent loss processes: a transmission survives only if
+        // neither the class fault nor the degraded link eats it.
+        let drop = 1.0 - (1.0 - class_drop) * (1.0 - deg_drop);
+        if drop <= 0.0 {
             return 1;
         }
         let mut sends = 1;
-        while sends < cap && self.rng.chance(f.drop) {
+        while sends < cap && self.rng.chance(drop) {
             self.dropped[class.index()] += 1;
             sends += 1;
         }
@@ -405,6 +533,12 @@ impl NetworkModel {
     /// counts).
     pub fn partition_drops(&self) -> u64 {
         self.partition_drops
+    }
+
+    /// Transmissions eaten by a degraded link so far (subset of the
+    /// drop counts).
+    pub fn degrade_drops(&self) -> u64 {
+        self.degrade_drops
     }
 }
 
@@ -661,6 +795,93 @@ mod tests {
                 d.delay
             );
         }
+    }
+
+    #[test]
+    fn degrade_is_directed_and_windowed() {
+        let d = LinkDegrade::new(vec![(1, 2)], 0.9, 0.0, 10.0, 20.0);
+        assert!(d.applies(15.0, 1, 2));
+        assert!(!d.applies(15.0, 2, 1), "reverse direction is untouched");
+        assert!(!d.applies(9.9, 1, 2), "before the window");
+        assert!(!d.applies(20.0, 1, 2), "window end is exclusive");
+        assert!(!d.applies(15.0, 1, 3), "unlisted pair is untouched");
+    }
+
+    #[test]
+    fn degraded_link_drops_and_jitters_only_the_listed_direction() {
+        let mut m = NetworkModel::ideal(12).with_degrade(LinkDegrade::new(
+            vec![(0, 1)],
+            0.5,
+            4.0,
+            0.0,
+            1000.0,
+        ));
+        assert!(!m.is_ideal());
+        let mut dropped = 0usize;
+        let mut jittered = 0usize;
+        for i in 0..1000 {
+            let fwd = m.fate(i as f64 % 900.0, 0, 1, MsgClass::Heartbeat);
+            if fwd.dropped() {
+                dropped += 1;
+            } else if fwd.delay > 0.0 {
+                assert!(fwd.delay < 4.0, "jitter bounded: {}", fwd.delay);
+                jittered += 1;
+            }
+            let rev = m.fate(i as f64 % 900.0, 1, 0, MsgClass::Heartbeat);
+            assert_eq!(rev, Delivery::IMMEDIATE, "reverse direction is ideal");
+        }
+        assert!(
+            (350..650).contains(&dropped),
+            "forward drop ~0.5, got {dropped}"
+        );
+        assert!(jittered > 300, "survivors carry jitter, got {jittered}");
+        assert_eq!(m.degrade_drops(), dropped as u64);
+        assert_eq!(m.dropped_total(), dropped as u64);
+    }
+
+    #[test]
+    fn degrade_outside_window_consumes_no_rng() {
+        let mut m = NetworkModel::ideal(13).with_degrade(LinkDegrade::new(
+            vec![(0, 1)],
+            0.9,
+            5.0,
+            100.0,
+            200.0,
+        ));
+        let pristine = m.rng.clone();
+        for i in 0..500 {
+            assert_eq!(m.fate(50.0, 0, i, MsgClass::Heartbeat), Delivery::IMMEDIATE);
+            assert_eq!(m.reliable_sends(50.0, 0, i, MsgClass::Join, 8), 1);
+        }
+        let mut a = pristine;
+        let mut b = m.rng.clone();
+        assert_eq!(a.next_u64(), b.next_u64(), "RNG untouched outside window");
+    }
+
+    #[test]
+    fn degrade_composes_with_class_loss_in_reliable_sends() {
+        let mut m = NetworkModel::ideal(14).with_degrade(LinkDegrade::new(
+            vec![(0, 1)],
+            0.5,
+            0.0,
+            0.0,
+            1e9,
+        ));
+        let total: u32 = (0..2000)
+            .map(|_| m.reliable_sends(1.0, 0, 1, MsgClass::Join, 64))
+            .sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 2.0).abs() < 0.15, "mean sends {mean} should be ~2");
+        let untouched: u32 = (0..100)
+            .map(|_| m.reliable_sends(1.0, 1, 0, MsgClass::Join, 64))
+            .sum();
+        assert_eq!(untouched, 100, "reverse direction needs one send");
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade drop")]
+    fn full_degrade_loss_is_rejected() {
+        let _ = LinkDegrade::new(vec![(0, 1)], 1.0, 0.0, 0.0, 10.0);
     }
 
     #[test]

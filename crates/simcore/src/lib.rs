@@ -32,8 +32,11 @@ pub mod fault;
 pub mod rng;
 
 pub use dst::{
-    FaultSchedule, Fnv, PartitionWindow, ScheduleBudget, ShrinkOutcome, TraceParseError,
+    DegradeWindow, FaultSchedule, Fnv, PartitionWindow, ScheduleBudget, ShrinkOutcome,
+    TraceParseError,
 };
 pub use event::{EventQueue, SimTime};
-pub use fault::{ClassFaults, FaultPlan, MsgClass, NetworkModel, NodeFault, Partition};
+pub use fault::{
+    ClassFaults, FaultPlan, LinkDegrade, MsgClass, NetworkModel, NodeFault, Partition,
+};
 pub use rng::SimRng;

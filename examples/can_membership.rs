@@ -11,7 +11,8 @@ use p2p_ce_grid::prelude::*;
 
 fn main() {
     // A 2-D CAN with the compact heartbeat scheme.
-    let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact));
+    let mut can = CanSim::new(ProtocolConfig::new(2, HeartbeatScheme::Compact))
+        .expect("valid protocol config");
 
     // Four nodes join at the quadrant centers: the split tree cuts the
     // space like Figure 3 (vertical first, then horizontal).
