@@ -2,9 +2,10 @@
 //!
 //! Runs the quick-scale Figure 5 / Figure 6 / Figure 7 cells
 //! *single-threaded* (one simulation at a time, so wall-clock numbers
-//! are not confounded by scheduling) and reports wall-clock plus
-//! events/sec for each, then writes `BENCH_hotpath.json` at the repo
-//! root.
+//! are not confounded by scheduling), plus an `ai_refresh` scratch-vs-
+//! incremental microbenchmark at n ∈ {256, 1024, 4096}, and reports
+//! wall-clock plus events/sec for each, then writes
+//! `BENCH_hotpath.json` at the repo root.
 //!
 //! Baseline protocol: the first ever run records itself as the
 //! baseline; every later run preserves the `baseline` object from the
@@ -43,6 +44,101 @@ fn run_wait_cell(name: String, sc: &LoadBalanceScenario, choice: SchedulerChoice
         name,
         wall_secs: t.elapsed().as_secs_f64(),
         events: r.events_fired,
+    }
+}
+
+/// One random load mutation against `grid`, mirroring the churn mix of
+/// the simulator's quick-fig5 runs (mostly placements and completions,
+/// occasional volunteer eviction/restore).
+fn churn_event(
+    grid: &mut StaticGrid,
+    stream: &mut JobStream,
+    running: &mut Vec<(NodeId, JobId)>,
+    evicted: &mut Vec<NodeId>,
+    rng: &mut SimRng,
+) {
+    let n = grid.len();
+    match rng.below(20) {
+        0 => {
+            let victim = NodeId(rng.below(n) as u32);
+            grid.evict_node(victim);
+            running.retain(|&(node, _)| node != victim);
+            evicted.push(victim);
+        }
+        1 => {
+            if let Some(back) = evicted.pop() {
+                grid.restore_node(back);
+                let started = grid.with_runtime_mut(back, |rt| rt.start_ready());
+                running.extend(started.into_iter().map(|s| (back, s.job.id)));
+            }
+        }
+        2..=7 => {
+            if !running.is_empty() {
+                let k = rng.below(running.len());
+                let (node, jid) = running.swap_remove(k);
+                let started = grid.with_runtime_mut(node, |rt| {
+                    rt.finish(jid);
+                    rt.start_ready()
+                });
+                running.extend(started.into_iter().map(|s| (node, s.job.id)));
+            }
+        }
+        _ => {
+            let (_, job) = stream.next_job();
+            let target = (0..32)
+                .map(|_| NodeId(rng.below(n) as u32))
+                .find(|&t| job.satisfied_by(&grid.runtime(t).spec));
+            if let Some(target) = target {
+                let started = grid.with_runtime_mut(target, |rt| {
+                    rt.enqueue(job, 0.0);
+                    rt.start_ready()
+                });
+                running.extend(started.into_iter().map(|s| (target, s.job.id)));
+            }
+        }
+    }
+}
+
+/// Scratch-vs-incremental `AiTable::refresh` at several grid sizes
+/// under a fixed per-tick churn budget. Both tables see the identical
+/// grid each tick; `events` counts refresh ticks.
+fn run_ai_refresh_cells(cells: &mut Vec<Cell>) {
+    const TICKS: u64 = 150;
+    const MUTATIONS_PER_TICK: usize = 32;
+    for n in [256usize, 1024, 4096] {
+        let layout = DimensionLayout::with_dims(11);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), n, 99);
+        let jobcfg = JobGenConfig::paper_defaults(2, 0.6, 3.0);
+        let mut stream = JobStream::with_population(jobcfg, 99, pop.clone());
+        let mut grid = StaticGrid::build(layout, pop, 99);
+        let mut inc = AiTable::new(&grid, AiGrouping::PerCe);
+        let mut scr = AiTable::new(&grid, AiGrouping::PerCe);
+        inc.refresh(&grid, 0.0);
+        scr.refresh_scratch(&grid, 0.0);
+        let mut rng = SimRng::seed_from_u64(0xA1F0 ^ n as u64);
+        let mut running: Vec<(NodeId, JobId)> = Vec::new();
+        let mut evicted: Vec<NodeId> = Vec::new();
+        let (mut inc_secs, mut scr_secs) = (0.0f64, 0.0f64);
+        for tick in 0..TICKS {
+            for _ in 0..MUTATIONS_PER_TICK {
+                churn_event(&mut grid, &mut stream, &mut running, &mut evicted, &mut rng);
+            }
+            let now = tick as f64;
+            let t = Instant::now();
+            inc.refresh(&grid, now);
+            inc_secs += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            scr.refresh_scratch(&grid, now);
+            scr_secs += t.elapsed().as_secs_f64();
+        }
+        for (variant, secs) in [("incremental", inc_secs), ("scratch", scr_secs)] {
+            cells.push(Cell {
+                name: format!("ai_refresh/n{n}/{variant}"),
+                wall_secs: secs,
+                events: TICKS,
+            });
+            report(cells.last().unwrap());
+        }
     }
 }
 
@@ -94,6 +190,10 @@ fn main() {
         });
         report(cells.last().unwrap());
     }
+
+    // AI-refresh microbenchmark: incremental vs from-scratch refresh
+    // under fixed churn, at growing grid sizes.
+    run_ai_refresh_cells(&mut cells);
 
     let fig5_wall: f64 = cells
         .iter()

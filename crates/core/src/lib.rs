@@ -63,9 +63,9 @@ pub mod prelude {
     };
     pub use crate::metrics::{Cdf, CsvWriter, Summary, Table, TimeSeries};
     pub use crate::sched::{
-        run_load_balance, run_load_balance_ablated, run_load_balance_chaos, CentralMatchmaker,
-        CrashChaosConfig, HetFeatures, Matchmaker, PushParams, PushingMatchmaker, RecoveryStats,
-        SchedulerChoice, SimResult, StaticGrid, SuspicionConfig,
+        run_load_balance, run_load_balance_ablated, run_load_balance_chaos, AiEntry, AiGrouping,
+        AiTable, CentralMatchmaker, CrashChaosConfig, HetFeatures, Matchmaker, PushParams,
+        PushingMatchmaker, RecoveryStats, SchedulerChoice, SimResult, StaticGrid, SuspicionConfig,
     };
     pub use crate::simcore::{
         EventQueue, FaultSchedule, Fnv, ScheduleBudget, SimRng, TraceParseError,

@@ -36,6 +36,15 @@ pub struct AiEntry {
 }
 
 impl AiEntry {
+    /// The all-zero entry: an empty region. Also returned by
+    /// [`AiTable::beyond`] for CE types the layout does not carry.
+    pub const EMPTY: AiEntry = AiEntry {
+        nodes: 0,
+        cores: 0.0,
+        required_cores: 0.0,
+        free_nodes: 0,
+    };
+
     /// Element-wise accumulation.
     pub fn absorb(&mut self, other: &AiEntry) {
         self.nodes += other.nodes;
@@ -48,6 +57,18 @@ impl AiEntry {
     pub fn objective(&self) -> f64 {
         pgrid_types::score::objective_fd(self.required_cores, self.cores)
     }
+}
+
+/// Bit-exact equality: `f64` fields compared via `to_bits`, so the
+/// incremental refresh's early exit can never conflate values that
+/// merely compare `==` (e.g. `0.0` vs `-0.0`) — skipped entries are
+/// guaranteed byte-identical to what a from-scratch rebuild would
+/// write.
+fn bits_eq(a: &AiEntry, b: &AiEntry) -> bool {
+    a.nodes == b.nodes
+        && a.free_nodes == b.free_nodes
+        && a.cores.to_bits() == b.cores.to_bits()
+        && a.required_cores.to_bits() == b.required_cores.to_bits()
 }
 
 /// How the AI table groups computing elements.
@@ -68,11 +89,22 @@ pub struct AiTable {
     n: usize,
     /// `[node][dim][ce_idx]` flattened.
     data: Vec<AiEntry>,
-    /// Scratch buffer of per-node local loads reused across refreshes
-    /// (`[node][ce_idx]` flattened; fully overwritten each refresh).
+    /// Per-node local loads as of the last refresh (`[node][ce_idx]`
+    /// flattened). The incremental path recomputes only dirty nodes'
+    /// rows and keeps the rest.
     locals: Vec<AiEntry>,
     /// Processing order per dimension (descending upper zone bound).
     order: Vec<Vec<NodeId>>,
+    /// Grid load-clock value at the last refresh (`None` before the
+    /// first — the first refresh always builds from scratch).
+    synced_clock: Option<u64>,
+    /// Scratch: nodes whose local entry changed in the current refresh.
+    changed_locals: Vec<NodeId>,
+    /// Scratch: generation-stamped "needs recompute" flags; node `i`
+    /// needs a recompute in the current (refresh, dimension) pass iff
+    /// `needs_gen[i] == cur_gen`. Stamps replace per-pass clearing.
+    needs_gen: Vec<u32>,
+    cur_gen: u32,
     /// Simulation time of the last refresh.
     pub refreshed_at: f64,
 }
@@ -109,6 +141,10 @@ impl AiTable {
             data: vec![AiEntry::default(); n * dims * slots],
             locals: vec![AiEntry::default(); n * slots],
             order,
+            synced_clock: None,
+            changed_locals: Vec::new(),
+            needs_gen: vec![0; n],
+            cur_gen: 0,
             refreshed_at: 0.0,
         }
     }
@@ -122,14 +158,13 @@ impl AiTable {
         (node.idx() * self.dims + dim) * self.slots() + ce_idx
     }
 
-    fn ce_index(&self, ce: CeType) -> usize {
+    /// Slot index of a CE type; `None` when the layout does not carry
+    /// it (e.g. a GPU family outside the grid's dimension layout) — a
+    /// query for such a type sees an empty region, not a panic.
+    fn ce_index(&self, ce: CeType) -> Option<usize> {
         match self.grouping {
-            AiGrouping::Pooled => 0,
-            AiGrouping::PerCe => self
-                .ce_types
-                .iter()
-                .position(|&t| t == ce)
-                .expect("CE type outside layout"),
+            AiGrouping::Pooled => Some(0),
+            AiGrouping::PerCe => self.ce_types.iter().position(|&t| t == ce),
         }
     }
 
@@ -170,12 +205,118 @@ impl AiTable {
         }
     }
 
-    /// Recomputes every entry from the grid's current load state,
-    /// stamping the refresh time. In the real system this information
-    /// flows inward one heartbeat hop per period; recomputing on the
-    /// heartbeat period preserves the essential property — decisions
-    /// use data up to a full period old.
+    /// Brings every entry up to date with the grid's current load
+    /// state, stamping the refresh time. In the real system this
+    /// information flows inward one heartbeat hop per period;
+    /// recomputing on the heartbeat period preserves the essential
+    /// property — decisions use data up to a full period old.
+    ///
+    /// The work is proportional to *churn*, not grid size: only nodes
+    /// dirtied since the last refresh (tracked by
+    /// [`StaticGrid::load_clock`]) get their local entry recomputed,
+    /// and per dimension only entries reachable from a changed local
+    /// along the inward propagation front are rebuilt, with an early
+    /// exit wherever the recomputed entry is bit-identical to the old
+    /// one. Every rebuilt entry is *recomputed* by the same `absorb`
+    /// sequence in the same order as [`AiTable::refresh_scratch`] —
+    /// never patched by adding a delta — so the result is bit-identical
+    /// to a from-scratch build (see `DESIGN.md` §10 for the induction
+    /// argument).
     pub fn refresh(&mut self, grid: &StaticGrid, now: f64) {
+        let clock = grid.load_clock();
+        let Some(synced) = self.synced_clock else {
+            self.refresh_scratch(grid, now);
+            return;
+        };
+        self.refreshed_at = now;
+        if clock == synced {
+            // No load mutation since the last sync: a rebuild would
+            // recompute identical bits from identical inputs.
+            return;
+        }
+        let slots = self.slots();
+        // Phase 1: recompute the local entry of every dirty node,
+        // recording the nodes whose row actually changed (a mutation
+        // that nets out — e.g. evict immediately followed by restore of
+        // an idle node — changes nothing downstream).
+        let mut changed_locals = std::mem::take(&mut self.changed_locals);
+        changed_locals.clear();
+        let mut locals = std::mem::take(&mut self.locals);
+        for i in 0..self.n {
+            let id = NodeId(i as u32);
+            if grid.node_load_clock(id) <= synced {
+                continue;
+            }
+            let mut changed = false;
+            for s in 0..slots {
+                let e = self.local(grid, id, s);
+                if !bits_eq(&e, &locals[i * slots + s]) {
+                    locals[i * slots + s] = e;
+                    changed = true;
+                }
+            }
+            if changed {
+                changed_locals.push(id);
+            }
+        }
+        // Phase 2, per dimension: an entry depends only on the locals
+        // and beyond-entries of its outward face neighbors, so the set
+        // of entries that *can* change is exactly the inward closure of
+        // the changed locals. Seed the inward neighbors of every
+        // changed local, then walk the precomputed descending-`hi`
+        // order (outward regions first — each node's outward neighbors
+        // have strictly larger `hi`, hence are already final). A node
+        // whose recomputed entries all match the old bits stops the
+        // propagation front.
+        for d in 0..self.dims {
+            self.cur_gen = self.cur_gen.wrapping_add(1);
+            if self.cur_gen == 0 {
+                self.needs_gen.fill(0);
+                self.cur_gen = 1;
+            }
+            let gen = self.cur_gen;
+            for &m in &changed_locals {
+                for &p in grid.face_neighbors(m, d, -1) {
+                    self.needs_gen[p.idx()] = gen;
+                }
+            }
+            for oi in 0..self.order[d].len() {
+                let node = self.order[d][oi];
+                if self.needs_gen[node.idx()] != gen {
+                    continue;
+                }
+                let mut changed = false;
+                for s in 0..slots {
+                    // Identical absorb sequence to the scratch build.
+                    let mut acc = AiEntry::default();
+                    for &m in grid.outward_neighbors(node, d) {
+                        acc.absorb(&locals[m.idx() * slots + s]);
+                        let beyond = self.data[self.idx(m, d, s)];
+                        acc.absorb(&beyond);
+                    }
+                    let i = self.idx(node, d, s);
+                    if !bits_eq(&acc, &self.data[i]) {
+                        self.data[i] = acc;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    for &p in grid.face_neighbors(node, d, -1) {
+                        self.needs_gen[p.idx()] = gen;
+                    }
+                }
+            }
+        }
+        self.locals = locals;
+        self.changed_locals = changed_locals;
+        self.synced_clock = Some(clock);
+    }
+
+    /// Recomputes every entry from scratch, ignoring the dirty set —
+    /// the reference implementation the incremental path is proved
+    /// bit-identical against (differential harness, golden digests),
+    /// and the baseline side of the `ai-refresh` perf scenario.
+    pub fn refresh_scratch(&mut self, grid: &StaticGrid, now: f64) {
         let slots = self.slots();
         // Cache local loads once per node, into the reusable scratch
         // buffer (every entry is overwritten before any is read).
@@ -201,18 +342,56 @@ impl AiTable {
             }
         }
         self.locals = locals;
+        self.synced_clock = Some(grid.load_clock());
         self.refreshed_at = now;
     }
 
     /// The aggregated load of the region beyond `node` along `dim` for
-    /// CE type `ce` (pooled tables ignore `ce`).
+    /// CE type `ce` (pooled tables ignore `ce`). A CE type outside the
+    /// layout reads as an empty region.
     pub fn beyond(&self, node: NodeId, dim: usize, ce: CeType) -> &AiEntry {
-        &self.data[self.idx(node, dim, self.ce_index(ce))]
+        match self.ce_index(ce) {
+            Some(s) => &self.data[self.idx(node, dim, s)],
+            None => &AiEntry::EMPTY,
+        }
     }
 
     /// The grouping in use.
     pub fn grouping(&self) -> AiGrouping {
         self.grouping
+    }
+
+    /// Number of dimensions covered.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The CE types backing the table's slots (one pooled slot for
+    /// [`AiGrouping::Pooled`]). Diagnostic surface for the differential
+    /// harness.
+    pub fn slot_types(&self) -> &[CeType] {
+        &self.ce_types
+    }
+
+    /// The entry for `(node, dim, slot)`, `slot` indexing
+    /// [`AiTable::slot_types`]. Diagnostic surface for the differential
+    /// and property harnesses.
+    pub fn entry_at(&self, node: NodeId, dim: usize, slot: usize) -> &AiEntry {
+        &self.data[self.idx(node, dim, slot)]
+    }
+
+    /// Recomputes the local (single-node) entry for `slot` from the
+    /// grid's *current* state, without consulting or modifying the
+    /// table — lets harnesses check the dirty-set invariant (a node
+    /// absent from the dirty set must have an unchanged local entry).
+    pub fn local_of(&self, grid: &StaticGrid, node: NodeId, slot: usize) -> AiEntry {
+        self.local(grid, node, slot)
+    }
+
+    /// The grid load-clock value of the last refresh (`None` before the
+    /// first).
+    pub fn synced_clock(&self) -> Option<u64> {
+        self.synced_clock
     }
 }
 
@@ -283,8 +462,10 @@ mod tests {
             None,
             60.0,
         );
-        g.runtime_mut(top).enqueue(job, 0.0);
-        g.runtime_mut(top).start_ready();
+        g.with_runtime_mut(top, |rt| {
+            rt.enqueue(job, 0.0);
+            rt.start_ready();
+        });
         let mut ai = AiTable::new(&g, AiGrouping::PerCe);
         ai.refresh(&g, 0.0);
         // Some node must observe the loaded region beyond it.
@@ -340,8 +521,10 @@ mod tests {
                 60.0,
             );
             if job.satisfied_by(&g.runtime(target).spec) {
-                g.runtime_mut(target).enqueue(job, 0.0);
-                g.runtime_mut(target).start_ready();
+                g.with_runtime_mut(target, |rt| {
+                    rt.enqueue(job, 0.0);
+                    rt.start_ready();
+                });
             }
         }
         let mut ai = AiTable::new(&g, AiGrouping::PerCe);
@@ -395,6 +578,102 @@ mod tests {
         assert_eq!(ai.refreshed_at, 0.0);
         ai.refresh(&g, 360.0);
         assert_eq!(ai.refreshed_at, 360.0);
+        assert_eq!(ai.synced_clock(), Some(g.load_clock()));
+        // A no-churn refresh still advances the stamp.
+        ai.refresh(&g, 720.0);
+        assert_eq!(ai.refreshed_at, 720.0);
+    }
+
+    /// Regression for the `ce_index` panic: an 8-dimension layout
+    /// carries CPU + one GPU family; querying the table for a GPU type
+    /// it lacks must read as an empty region, not panic.
+    #[test]
+    fn unknown_ce_type_reads_empty_not_panic() {
+        let g = grid(40, 8);
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.refresh(&g, 0.0);
+        assert_eq!(g.layout().gpu_slots(), 1, "8-dim layout: one GPU slot");
+        for missing in [CeType::gpu(1), CeType::gpu(7)] {
+            let e = ai.beyond(NodeId(0), 0, missing);
+            assert_eq!(e.nodes, 0);
+            assert_eq!(e.cores, 0.0);
+            assert_eq!(e.required_cores, 0.0);
+            assert_eq!(e.free_nodes, 0);
+            assert_eq!(
+                e.objective(),
+                f64::INFINITY,
+                "empty region: never pushed toward"
+            );
+        }
+        // The carried types still resolve.
+        assert!(ai.beyond(NodeId(0), 0, CeType::CPU).nodes > 0 || g.len() == 1);
+        // Pooled tables ignore the CE type entirely.
+        let mut pooled = AiTable::new(&g, AiGrouping::Pooled);
+        pooled.refresh(&g, 0.0);
+        assert_eq!(
+            pooled.beyond(NodeId(0), 0, CeType::gpu(7)).nodes,
+            pooled.beyond(NodeId(0), 0, CeType::CPU).nodes
+        );
+    }
+
+    /// Mini-differential: after scattered load mutations, evictions and
+    /// restores, the incremental refresh must be bit-identical to a
+    /// from-scratch rebuild on a shadow table (the full-size harness
+    /// lives in `tests/ai_refresh_differential.rs`).
+    #[test]
+    fn incremental_refresh_matches_scratch_after_churn() {
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        let mut g = grid(80, 11);
+        let mut inc = AiTable::new(&g, AiGrouping::PerCe);
+        let mut scr = AiTable::new(&g, AiGrouping::PerCe);
+        inc.refresh(&g, 0.0);
+        scr.refresh_scratch(&g, 0.0);
+        let mut rng = pgrid_simcore::SimRng::seed_from_u64(99);
+        for round in 1..=40u64 {
+            // A couple of mutations between refreshes.
+            for _ in 0..3 {
+                let target = NodeId(rng.below(80) as u32);
+                match rng.below(4) {
+                    0 => {
+                        g.evict_node(target);
+                    }
+                    1 => g.restore_node(target),
+                    _ => {
+                        let job = JobSpec::new(
+                            JobId((round * 8 + rng.below(8) as u64 * 997) as u32),
+                            vec![CeRequirement {
+                                ce_type: Ct::CPU,
+                                min_cores: Some(1),
+                                ..Default::default()
+                            }],
+                            None,
+                            60.0,
+                        );
+                        if job.satisfied_by(&g.runtime(target).spec) {
+                            g.with_runtime_mut(target, |rt| {
+                                rt.enqueue(job, 0.0);
+                                rt.start_ready();
+                            });
+                        }
+                    }
+                }
+            }
+            let now = round as f64;
+            inc.refresh(&g, now);
+            scr.refresh_scratch(&g, now);
+            for i in 0..80u32 {
+                for d in 0..11 {
+                    for s in 0..inc.slot_types().len() {
+                        let a = inc.entry_at(NodeId(i), d, s);
+                        let b = scr.entry_at(NodeId(i), d, s);
+                        assert!(
+                            super::bits_eq(a, b),
+                            "round {round} node {i} dim {d} slot {s}: {a:?} != {b:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct StaticGrid {
     /// matchmaker reads its candidates pre-ranked instead of scanning
     /// every runtime.
     ce_avail: Vec<Vec<NodeId>>,
+    /// Monotone load-mutation clock: bumped once per mutation of any
+    /// node's load state (job placement, completion, eviction,
+    /// restore). Consumers such as [`crate::aggregate::AiTable`]
+    /// remember the clock value they last synced at; a node is *dirty*
+    /// for a consumer iff its stamp exceeds that value.
+    load_clock: u64,
+    /// Per-node stamp of the last load mutation (`<= load_clock`).
+    node_clock: Vec<u64>,
 }
 
 impl StaticGrid {
@@ -173,14 +181,35 @@ impl StaticGrid {
             tree,
             adj,
             coords,
-            runtimes,
             nbr_off,
             nbr_arena,
             face_off,
             face_arena,
             available,
             ce_avail,
+            load_clock: 0,
+            node_clock: vec![0; n],
+            runtimes,
         }
+    }
+
+    /// Stamps a node as dirty: every load-mutation path funnels through
+    /// here so no change can escape the dirty set.
+    fn touch(&mut self, id: NodeId) {
+        self.load_clock += 1;
+        self.node_clock[id.idx()] = self.load_clock;
+    }
+
+    /// The current value of the load-mutation clock.
+    pub fn load_clock(&self) -> u64 {
+        self.load_clock
+    }
+
+    /// The load-mutation clock value at which `id` was last mutated
+    /// (0 = never). A node is *dirty* relative to a sync point `c` iff
+    /// `node_load_clock(id) > c`.
+    pub fn node_load_clock(&self, id: NodeId) -> u64 {
+        self.node_clock[id.idx()]
     }
 
     /// Removes `id` from every per-CE list it appears in (no-op if
@@ -233,13 +262,18 @@ impl StaticGrid {
         &self.runtimes[id.idx()]
     }
 
-    /// Mutable execution runtime of a node.
+    /// Runs a mutation against a node's runtime, stamping the node in
+    /// the dirty set first. This is the *only* mutable runtime access —
+    /// a raw `&mut NodeRuntime` getter would let a load change slip
+    /// past the incremental AI refresh, so none is offered.
     ///
     /// Availability must not be toggled through this handle — use
     /// [`StaticGrid::evict_node`] / [`StaticGrid::restore_node`], which
-    /// keep the availability index in sync.
-    pub fn runtime_mut(&mut self, id: NodeId) -> &mut NodeRuntime {
-        &mut self.runtimes[id.idx()]
+    /// keep the availability index in sync (and stamp the dirty set
+    /// themselves).
+    pub fn with_runtime_mut<R>(&mut self, id: NodeId, f: impl FnOnce(&mut NodeRuntime) -> R) -> R {
+        self.touch(id);
+        f(&mut self.runtimes[id.idx()])
     }
 
     /// All runtimes (for the centralized scheduler's global scan).
@@ -294,6 +328,7 @@ impl StaticGrid {
             self.available.remove(pos);
         }
         self.ce_index_remove(id);
+        self.touch(id);
         self.runtimes[id.idx()].evict()
     }
 
@@ -312,6 +347,7 @@ impl StaticGrid {
             self.available.remove(pos);
         }
         self.ce_index_remove(id);
+        self.touch(id);
         self.runtimes[id.idx()].evict_split()
     }
 
@@ -322,6 +358,7 @@ impl StaticGrid {
             self.available.insert(pos, id);
         }
         self.ce_index_insert(id);
+        self.touch(id);
         self.runtimes[id.idx()].restore();
     }
 
@@ -408,6 +445,11 @@ impl StaticGrid {
                 "per-CE availability index diverged for CE type {t}"
             );
         }
+        // Dirty-set stamps never run ahead of the global clock.
+        assert!(
+            self.node_clock.iter().all(|&c| c <= self.load_clock),
+            "node load stamp ahead of the load clock"
+        );
     }
 }
 
@@ -559,6 +601,29 @@ mod tests {
         g.check_invariants();
         g.restore_node(victim);
         assert_eq!(g.ce_available(CeType::CPU), &before[..]);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn load_clock_stamps_every_mutation_path() {
+        let mut g = grid(40);
+        assert_eq!(g.load_clock(), 0, "fresh grid: no mutations yet");
+        assert!((0..40u32).all(|i| g.node_load_clock(NodeId(i)) == 0));
+        // with_runtime_mut stamps before handing out the runtime.
+        g.with_runtime_mut(NodeId(7), |rt| {
+            assert!(rt.is_free());
+        });
+        assert_eq!(g.load_clock(), 1);
+        assert_eq!(g.node_load_clock(NodeId(7)), 1);
+        assert_eq!(g.node_load_clock(NodeId(8)), 0, "only the target moves");
+        // Eviction, crash and restore stamp too.
+        g.evict_node(NodeId(3));
+        assert_eq!(g.node_load_clock(NodeId(3)), 2);
+        g.restore_node(NodeId(3));
+        assert_eq!(g.node_load_clock(NodeId(3)), 3);
+        g.crash_node(NodeId(9));
+        assert_eq!(g.node_load_clock(NodeId(9)), 4);
+        assert_eq!(g.load_clock(), 4);
         g.check_invariants();
     }
 

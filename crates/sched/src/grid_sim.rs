@@ -348,9 +348,11 @@ fn run_with(
                 let ce = dominant_ce[idx as usize];
                 dominant_clock[idx as usize] =
                     grid.runtime(node).spec.ce(ce).map_or(1.0, |c| c.clock);
-                let rt = grid.runtime_mut(node);
-                rt.enqueue(job.clone(), now);
-                for started in rt.start_ready() {
+                let started = grid.with_runtime_mut(node, |rt| {
+                    rt.enqueue(job.clone(), now);
+                    rt.start_ready()
+                });
+                for started in started {
                     let jidx = index_of[&started.job.id];
                     wait_times[jidx] = now - placed_at[jidx];
                     started_at[jidx] = now;
@@ -370,9 +372,11 @@ fn run_with(
                 remaining -= 1;
                 makespan = now;
                 ledger.complete(jidx);
-                let rt = grid.runtime_mut(node);
-                rt.finish(job_id);
-                for started in rt.start_ready() {
+                let started = grid.with_runtime_mut(node, |rt| {
+                    rt.finish(job_id);
+                    rt.start_ready()
+                });
+                for started in started {
                     let sidx = index_of[&started.job.id];
                     wait_times[sidx] = now - placed_at[sidx];
                     started_at[sidx] = now;
@@ -406,8 +410,8 @@ fn run_with(
             }
             Ev::Restore(node) => {
                 grid.restore_node(node);
-                let rt = grid.runtime_mut(node);
-                for started in rt.start_ready() {
+                let started = grid.with_runtime_mut(node, |rt| rt.start_ready());
+                for started in started {
                     let sidx = index_of[&started.job.id];
                     wait_times[sidx] = now - placed_at[sidx];
                     started_at[sidx] = now;

@@ -740,8 +740,10 @@ mod tests {
             // Occupy the chosen node so later rounds see busy/queued
             // nodes, and churn availability to exercise the index
             // maintenance (restore is a no-op for never-evicted ids).
-            g.runtime_mut(fast).enqueue(job, round as f64);
-            g.runtime_mut(fast).start_ready();
+            g.with_runtime_mut(fast, |rt| {
+                rt.enqueue(job, round as f64);
+                rt.start_ready();
+            });
             if round % 7 == 0 {
                 let victim = NodeId(churn.below(120) as u32);
                 g.evict_node(victim);

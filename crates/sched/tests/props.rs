@@ -1,0 +1,172 @@
+//! Property tests for the incremental AI refresh: arbitrary
+//! interleavings of `evict_node` / `restore_node` / job placement /
+//! completion / `refresh` must preserve
+//!
+//! 1. **incremental ≡ from-scratch** — the incrementally-maintained
+//!    table is bit-identical to a shadow rebuilt from scratch at every
+//!    refresh point, and
+//! 2. **the dirty-set invariant** — a node whose load clock has not
+//!    advanced past the table's sync point (i.e. absent from the dirty
+//!    set) has a bit-unchanged local entry, so no mutation path can
+//!    escape the tracking.
+
+use pgrid_sched::{AiEntry, AiGrouping, AiTable, StaticGrid};
+use pgrid_types::{CeRequirement, CeType, DimensionLayout, JobId, JobSpec};
+use pgrid_workload::nodegen::{generate_nodes, NodeGenConfig};
+use proptest::prelude::*;
+
+fn bits_eq(a: &AiEntry, b: &AiEntry) -> bool {
+    a.nodes == b.nodes
+        && a.free_nodes == b.free_nodes
+        && a.cores.to_bits() == b.cores.to_bits()
+        && a.required_cores.to_bits() == b.required_cores.to_bits()
+}
+
+fn cpu_job(id: u32) -> JobSpec {
+    JobSpec::new(
+        JobId(id),
+        vec![CeRequirement {
+            ce_type: CeType::CPU,
+            min_cores: Some(1),
+            ..Default::default()
+        }],
+        None,
+        60.0,
+    )
+}
+
+/// Snapshot of every node's local entries plus the sync point.
+struct LocalSnapshot {
+    synced: u64,
+    locals: Vec<AiEntry>,
+}
+
+fn snapshot_locals(ai: &AiTable, grid: &StaticGrid, n: usize) -> LocalSnapshot {
+    let slots = ai.slot_types().len();
+    let mut locals = Vec::with_capacity(n * slots);
+    for i in 0..n as u32 {
+        for s in 0..slots {
+            locals.push(ai.local_of(grid, pgrid_types::NodeId(i), s));
+        }
+    }
+    LocalSnapshot {
+        synced: ai.synced_clock().expect("snapshot after a refresh"),
+        locals,
+    }
+}
+
+proptest! {
+    /// Random op interleavings keep the incremental table bit-identical
+    /// to the scratch shadow and never let a mutation slip past the
+    /// dirty set, for both groupings.
+    #[test]
+    fn interleavings_preserve_equivalence_and_dirty_set(
+        ops in prop::collection::vec((0u32..5, 0usize..1024), 1..70),
+        grouping_pooled in any::<bool>(),
+    ) {
+        let n = 40usize;
+        let layout = DimensionLayout::with_dims(8);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(1), n, 31);
+        let mut grid = StaticGrid::build(layout, pop, 31);
+        let grouping = if grouping_pooled { AiGrouping::Pooled } else { AiGrouping::PerCe };
+        let mut inc = AiTable::new(&grid, grouping);
+        let mut scr = AiTable::new(&grid, grouping);
+        inc.refresh(&grid, 0.0);
+        scr.refresh_scratch(&grid, 0.0);
+        let slots = inc.slot_types().len();
+        let mut snap = snapshot_locals(&inc, &grid, n);
+        let mut running: Vec<(pgrid_types::NodeId, JobId)> = Vec::new();
+        let mut next_id = 0u32;
+        let mut now = 0.0f64;
+
+        for &(op, arg) in &ops {
+            let node = pgrid_types::NodeId((arg % n) as u32);
+            match op {
+                0 => {
+                    grid.evict_node(node);
+                    running.retain(|&(nd, _)| nd != node);
+                }
+                1 => {
+                    grid.restore_node(node);
+                    let started = grid.with_runtime_mut(node, |rt| rt.start_ready());
+                    running.extend(started.into_iter().map(|s| (node, s.job.id)));
+                }
+                2 => {
+                    // Every generated node carries a CPU, so a 1-core
+                    // CPU job is universally satisfiable.
+                    let job = cpu_job(next_id);
+                    next_id += 1;
+                    let started = grid.with_runtime_mut(node, |rt| {
+                        rt.enqueue(job, now);
+                        rt.start_ready()
+                    });
+                    running.extend(started.into_iter().map(|s| (node, s.job.id)));
+                }
+                3 => {
+                    if !running.is_empty() {
+                        let (nd, jid) = running.swap_remove(arg % running.len());
+                        let started = grid.with_runtime_mut(nd, |rt| {
+                            rt.finish(jid);
+                            rt.start_ready()
+                        });
+                        running.extend(started.into_iter().map(|s| (nd, s.job.id)));
+                    }
+                }
+                _ => {
+                    // Dirty-set invariant, checked against the *last*
+                    // sync point right before the next refresh: a node
+                    // the dirty set does not contain must have a
+                    // bit-unchanged local entry.
+                    for i in 0..n as u32 {
+                        let id = pgrid_types::NodeId(i);
+                        if grid.node_load_clock(id) <= snap.synced {
+                            for s in 0..slots {
+                                let cur = inc.local_of(&grid, id, s);
+                                let old = &snap.locals[i as usize * slots + s];
+                                prop_assert!(
+                                    bits_eq(&cur, old),
+                                    "node {id} slot {s}: local changed without a dirty stamp \
+                                     ({old:?} -> {cur:?})"
+                                );
+                            }
+                        }
+                    }
+                    now += 1.0;
+                    inc.refresh(&grid, now);
+                    scr.refresh_scratch(&grid, now);
+                    for i in 0..n as u32 {
+                        let id = pgrid_types::NodeId(i);
+                        for d in 0..inc.dims() {
+                            for s in 0..slots {
+                                prop_assert!(
+                                    bits_eq(inc.entry_at(id, d, s), scr.entry_at(id, d, s)),
+                                    "node {id} dim {d} slot {s}: incremental {:?} != scratch {:?}",
+                                    inc.entry_at(id, d, s),
+                                    scr.entry_at(id, d, s)
+                                );
+                            }
+                        }
+                    }
+                    snap = snapshot_locals(&inc, &grid, n);
+                }
+            }
+        }
+        // Closing refresh: whatever the tail of the op list did, the
+        // tables must reconverge bit-exactly.
+        now += 1.0;
+        inc.refresh(&grid, now);
+        scr.refresh_scratch(&grid, now);
+        for i in 0..n as u32 {
+            let id = pgrid_types::NodeId(i);
+            for d in 0..inc.dims() {
+                for s in 0..slots {
+                    prop_assert!(
+                        bits_eq(inc.entry_at(id, d, s), scr.entry_at(id, d, s)),
+                        "final: node {id} dim {d} slot {s} diverged"
+                    );
+                }
+            }
+        }
+        grid.check_invariants();
+    }
+}

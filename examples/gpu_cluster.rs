@@ -101,9 +101,10 @@ fn main() {
             placement.pushes,
         );
         let node = placement.node;
-        let rt = grid.runtime_mut(node);
-        rt.enqueue(job, 0.0);
-        rt.start_ready();
+        grid.with_runtime_mut(node, |rt| {
+            rt.enqueue(job, 0.0);
+            rt.start_ready();
+        });
         matchmaker.refresh(&grid, 0.0);
     }
 

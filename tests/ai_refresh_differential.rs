@@ -1,0 +1,177 @@
+//! Differential harness for the incremental `AiTable::refresh`.
+//!
+//! Drives a long random job stream (placements, completions, volunteer
+//! evictions, restores) through a static grid and, after **every**
+//! event, compares the incrementally-refreshed table against a
+//! from-scratch rebuild on a shadow table — every entry, every
+//! dimension, both the per-CE and pooled groupings, bit-exact
+//! (`f64::to_bits`). Any divergence means the dirty-set propagation
+//! skipped an entry it shouldn't have, or the recompute deviated from
+//! the scratch build's `absorb` order.
+
+use p2p_ce_grid::prelude::*;
+
+/// Bit-exact entry comparison (the differential oracle).
+fn entries_same(a: &AiEntry, b: &AiEntry) -> bool {
+    a.nodes == b.nodes
+        && a.free_nodes == b.free_nodes
+        && a.cores.to_bits() == b.cores.to_bits()
+        && a.required_cores.to_bits() == b.required_cores.to_bits()
+}
+
+/// Asserts `inc` (incremental) equals `scr` (scratch shadow) on every
+/// `(node, dim, slot)` entry, bit for bit.
+fn assert_tables_identical(inc: &AiTable, scr: &AiTable, n: usize, event: usize, label: &str) {
+    assert_eq!(inc.slot_types(), scr.slot_types());
+    for i in 0..n as u32 {
+        for d in 0..inc.dims() {
+            for s in 0..inc.slot_types().len() {
+                let a = inc.entry_at(NodeId(i), d, s);
+                let b = scr.entry_at(NodeId(i), d, s);
+                assert!(
+                    entries_same(a, b),
+                    "{label} event {event}: node {i} dim {d} slot {s}: \
+                     incremental {a:?} != scratch {b:?}"
+                );
+            }
+        }
+    }
+}
+
+struct Harness {
+    grid: StaticGrid,
+    stream: JobStream,
+    /// `(node, job)` pairs currently *running* (started, not merely
+    /// queued) — the only jobs `NodeRuntime::finish` accepts.
+    running: Vec<(NodeId, JobId)>,
+    evicted: Vec<NodeId>,
+    rng: SimRng,
+}
+
+impl Harness {
+    fn new(n: usize, seed: u64) -> Self {
+        let layout = DimensionLayout::with_dims(11);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), n, seed);
+        let jobcfg = JobGenConfig::paper_defaults(2, 0.6, 3.0);
+        let stream = JobStream::with_population(jobcfg, seed, pop.clone());
+        let grid = StaticGrid::build(layout, pop, seed);
+        Harness {
+            grid,
+            stream,
+            running: Vec::new(),
+            evicted: Vec::new(),
+            rng: SimRng::seed_from_u64(seed ^ 0xD1FF),
+        }
+    }
+
+    /// Applies one random load-mutating event; returns a short label.
+    fn step(&mut self) -> &'static str {
+        let n = self.grid.len();
+        match self.rng.below(10) {
+            // Evictions and restores are rarer than job churn, like in
+            // the simulator's eviction model.
+            0 => {
+                let victim = NodeId(self.rng.below(n) as u32);
+                self.grid.evict_node(victim);
+                self.running.retain(|&(node, _)| node != victim);
+                if !self.evicted.contains(&victim) {
+                    self.evicted.push(victim);
+                }
+                "evict"
+            }
+            1 => {
+                if let Some(&back) = self.evicted.last() {
+                    self.evicted.pop();
+                    self.grid.restore_node(back);
+                    let started = self.grid.with_runtime_mut(back, |rt| rt.start_ready());
+                    self.running
+                        .extend(started.into_iter().map(|s| (back, s.job.id)));
+                }
+                "restore"
+            }
+            2..=3 => {
+                // Complete a random running job.
+                if !self.running.is_empty() {
+                    let k = self.rng.below(self.running.len());
+                    let (node, jid) = self.running.swap_remove(k);
+                    let started = self.grid.with_runtime_mut(node, |rt| {
+                        rt.finish(jid);
+                        rt.start_ready()
+                    });
+                    self.running
+                        .extend(started.into_iter().map(|s| (node, s.job.id)));
+                }
+                "complete"
+            }
+            _ => {
+                // Place a job on a random satisfying node (the stream
+                // only emits jobs satisfiable by someone in the
+                // population).
+                let (_, job) = self.stream.next_job();
+                let target = (0..32)
+                    .map(|_| NodeId(self.rng.below(n) as u32))
+                    .find(|&t| job.satisfied_by(&self.grid.runtime(t).spec));
+                if let Some(target) = target {
+                    let started = self.grid.with_runtime_mut(target, |rt| {
+                        rt.enqueue(job, 0.0);
+                        rt.start_ready()
+                    });
+                    self.running
+                        .extend(started.into_iter().map(|s| (target, s.job.id)));
+                }
+                "place"
+            }
+        }
+    }
+}
+
+/// The headline test: 450 events, a refresh + full differential check
+/// after every single one, for both groupings at once.
+#[test]
+fn incremental_refresh_is_bit_identical_to_scratch_after_every_event() {
+    let n = 140;
+    let mut h = Harness::new(n, 4242);
+    let mut inc_per = AiTable::new(&h.grid, AiGrouping::PerCe);
+    let mut scr_per = AiTable::new(&h.grid, AiGrouping::PerCe);
+    let mut inc_pool = AiTable::new(&h.grid, AiGrouping::Pooled);
+    let mut scr_pool = AiTable::new(&h.grid, AiGrouping::Pooled);
+    for event in 0..450 {
+        let label = h.step();
+        let now = event as f64;
+        inc_per.refresh(&h.grid, now);
+        scr_per.refresh_scratch(&h.grid, now);
+        inc_pool.refresh(&h.grid, now);
+        scr_pool.refresh_scratch(&h.grid, now);
+        assert_tables_identical(&inc_per, &scr_per, n, event, label);
+        assert_tables_identical(&inc_pool, &scr_pool, n, event, label);
+    }
+    h.grid.check_invariants();
+    assert!(
+        h.grid.load_clock() > 400,
+        "the stream must actually have mutated load state"
+    );
+}
+
+/// Batched variant: several events accumulate in the dirty set before
+/// each refresh, so the propagation front regularly covers multiple
+/// seeds and overlapping regions.
+#[test]
+fn incremental_refresh_survives_batched_churn() {
+    let n = 100;
+    let mut h = Harness::new(n, 777);
+    let mut inc = AiTable::new(&h.grid, AiGrouping::PerCe);
+    let mut scr = AiTable::new(&h.grid, AiGrouping::PerCe);
+    let mut event = 0;
+    for round in 0..110 {
+        let batch = 1 + (round % 7);
+        for _ in 0..batch {
+            h.step();
+            event += 1;
+        }
+        let now = event as f64;
+        inc.refresh(&h.grid, now);
+        scr.refresh_scratch(&h.grid, now);
+        assert_tables_identical(&inc, &scr, n, event, "batched");
+    }
+    assert!(event >= 400, "batched stream should cover 400+ events");
+}

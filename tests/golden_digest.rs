@@ -113,6 +113,34 @@ fn golden_digests_with_eviction() {
     }
 }
 
+/// Refresh-heavy digests: the AI table is refreshed 4× as often (15 s
+/// period vs the default 60 s) under eviction churn, so the
+/// incremental `AiTable::refresh` fast path runs many more times per
+/// trajectory, most of them over sparse dirty sets. Recorded with the
+/// from-scratch rebuild *before* the incremental path landed; the
+/// incremental path must reproduce them bit-exactly (its recompute
+/// builds every f64 sum by the same `absorb` sequence in the same
+/// order, so any divergence is a real behavior change).
+const REFRESH_HEAVY: [(&str, u64); 3] = [
+    ("can-het+fast-ai", 0x2178d2ea890a3142),
+    ("can-hom+fast-ai", 0x05830d3374b924a9),
+    ("central+fast-ai", 0x9c925b1212f5d140),
+];
+
+#[test]
+fn golden_digests_refresh_heavy() {
+    let mut s = quick_scenario().with_eviction(EvictionConfig::new(900.0));
+    s.ai_refresh_period = 15.0;
+    // Double the arrival rate so queues build up and the aggregated
+    // entries carry non-trivial load (a light grid's AI is near-static
+    // and would under-exercise the incremental propagation).
+    s.job_gen.mean_interarrival /= 2.0;
+    for (choice, (label, expected)) in SchedulerChoice::ALL.into_iter().zip(REFRESH_HEAVY) {
+        let r = run_load_balance(&s, choice);
+        check(label, expected, &r);
+    }
+}
+
 #[test]
 fn digest_is_sensitive_to_results() {
     let r = run_load_balance(&quick_scenario(), SchedulerChoice::Central);
