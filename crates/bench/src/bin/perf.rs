@@ -1,4 +1,5 @@
-//! Perf-regression harness for the matchmaking hot path.
+//! Perf-regression harness for the matchmaking and heartbeat hot
+//! paths.
 //!
 //! Runs the quick-scale Figure 5 / Figure 6 / Figure 7 cells
 //! *single-threaded* (one simulation at a time, so wall-clock numbers
@@ -9,13 +10,31 @@
 //!
 //! Baseline protocol: the first ever run records itself as the
 //! baseline; every later run preserves the `baseline` object from the
-//! existing file verbatim and reports its speedup against it. To
+//! existing file verbatim (appending entries only for cells the
+//! baseline has never seen) and reports its speedup against it. To
 //! re-baseline, delete the file and run twice (before/after).
+//!
+//! Flags (unknown flags exit 2):
+//!
+//! * `--cell <substring>` — run only cells whose name contains the
+//!   substring; the JSON file is left untouched.
+//! * `--check` — regression gate: after running, compare every cell
+//!   that has a baseline entry and fail (exit 1) when one slipped more
+//!   than 1.3× beyond it, normalized by the machine factor (the median
+//!   wall/baseline ratio across gated cells, clamped to ≥ 1): a cell
+//!   that regressed relative to the *rest of this run* fires the gate,
+//!   a uniformly slower CI runner does not. Leaves the JSON untouched.
 
 use pgrid::prelude::*;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::time::Instant;
+
+/// Gate threshold: a cell may cost at most this many times its
+/// baseline (after machine-factor normalization) before `--check`
+/// fails the run.
+const GATE_RATIO: f64 = 1.3;
 
 struct Cell {
     name: String,
@@ -102,10 +121,17 @@ fn churn_event(
 /// Scratch-vs-incremental `AiTable::refresh` at several grid sizes
 /// under a fixed per-tick churn budget. Both tables see the identical
 /// grid each tick; `events` counts refresh ticks.
-fn run_ai_refresh_cells(cells: &mut Vec<Cell>) {
+fn run_ai_refresh_cells(cells: &mut Vec<Cell>, want: &dyn Fn(&str) -> bool) {
     const TICKS: u64 = 150;
     const MUTATIONS_PER_TICK: usize = 32;
     for n in [256usize, 1024, 4096] {
+        // Both variants share one churned grid, so a size is skipped
+        // only when the filter matches neither of its cells.
+        if !want(&format!("ai_refresh/n{n}/incremental"))
+            && !want(&format!("ai_refresh/n{n}/scratch"))
+        {
+            continue;
+        }
         let layout = DimensionLayout::with_dims(11);
         let pop = generate_nodes(&NodeGenConfig::paper_defaults(2), n, 99);
         let jobcfg = JobGenConfig::paper_defaults(2, 0.6, 3.0);
@@ -132,8 +158,12 @@ fn run_ai_refresh_cells(cells: &mut Vec<Cell>) {
             scr_secs += t.elapsed().as_secs_f64();
         }
         for (variant, secs) in [("incremental", inc_secs), ("scratch", scr_secs)] {
+            let name = format!("ai_refresh/n{n}/{variant}");
+            if !want(&name) {
+                continue;
+            }
             cells.push(Cell {
-                name: format!("ai_refresh/n{n}/{variant}"),
+                name,
                 wall_secs: secs,
                 events: TICKS,
             });
@@ -142,9 +172,35 @@ fn run_ai_refresh_cells(cells: &mut Vec<Cell>) {
     }
 }
 
-fn main() {
-    let out = repo_root_json();
-    println!("=== Hot-path perf harness (quick-scale fig5/fig6/fig7, single-threaded) ===\n");
+struct Args {
+    /// Run only cells whose name contains this substring.
+    cell: Option<String>,
+    /// Regression-gate mode: compare against the baseline and fail on
+    /// a slip beyond [`GATE_RATIO`].
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cell: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cell" => {
+                args.cell = Some(it.next().ok_or("--cell requires a value")?);
+            }
+            "--check" => args.check = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs every benchmark cell whose name passes `want`, in the fixed
+/// harness order.
+fn run_cells(want: &dyn Fn(&str) -> bool) -> Vec<Cell> {
     let mut cells: Vec<Cell> = Vec::new();
 
     // Figure 5: inter-arrival sweep at constraint ratio 0.6.
@@ -153,11 +209,11 @@ fn main() {
     for ia in [2.0, 3.0, 4.0] {
         let sc = base.clone().with_interarrival(ia * factor);
         for choice in SchedulerChoice::ALL {
-            cells.push(run_wait_cell(
-                format!("fig5/ia{ia:.0}/{}", choice.label()),
-                &sc,
-                choice,
-            ));
+            let name = format!("fig5/ia{ia:.0}/{}", choice.label());
+            if !want(&name) {
+                continue;
+            }
+            cells.push(run_wait_cell(name, &sc, choice));
             report(cells.last().unwrap());
         }
     }
@@ -166,54 +222,120 @@ fn main() {
     for ratio in [0.8, 0.6, 0.4] {
         let sc = base.clone().with_constraint_ratio(ratio);
         for choice in SchedulerChoice::ALL {
-            cells.push(run_wait_cell(
-                format!("fig6/r{:02}/{}", (ratio * 100.0) as u32, choice.label()),
-                &sc,
-                choice,
-            ));
+            let name = format!("fig6/r{:02}/{}", (ratio * 100.0) as u32, choice.label());
+            if !want(&name) {
+                continue;
+            }
+            cells.push(run_wait_cell(name, &sc, choice));
             report(cells.last().unwrap());
         }
     }
 
-    // Figure 7: high-churn broken links, 11-d CAN, one cell per scheme.
-    for scheme in HeartbeatScheme::ALL {
-        let mut cfg = ChurnConfig::new(11, scheme, 150).high_churn();
-        cfg.stage2_duration = 3000.0;
-        cfg.sample_interval = 250.0;
+    // Figure 7: high-churn broken links, 11-d CAN — one cell per
+    // scheme at the classic population, plus a large-population cell
+    // (compact keeps its runtime sane at n=4096) that stresses the
+    // per-message fan-out the heartbeat fast path is built for.
+    // `events` counts datagrams applied to a live receiver.
+    let mut fig7: Vec<(String, ChurnConfig)> = HeartbeatScheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            let mut cfg = ChurnConfig::new(11, scheme, 150).high_churn();
+            cfg.stage2_duration = 3000.0;
+            cfg.sample_interval = 250.0;
+            (format!("fig7/{scheme:?}").to_lowercase(), cfg)
+        })
+        .collect();
+    {
+        let mut cfg = ChurnConfig::new(11, HeartbeatScheme::Compact, 4096).high_churn();
+        // Tightened bootstrap and window: at n=4096 the default 1 s
+        // join spacing alone would dwarf the measured churn phase.
+        cfg.bootstrap_spacing = 0.25;
+        cfg.stage2_duration = 300.0;
+        cfg.sample_interval = 150.0;
+        fig7.push(("fig7/n4096/compact".to_string(), cfg));
+    }
+    for (name, cfg) in fig7 {
+        if !want(&name) {
+            continue;
+        }
         let t = Instant::now();
-        let r = run_churn(&cfg, uniform_coords(11));
-        let _ = r.final_nodes;
+        let r = run_churn(&cfg, uniform_coords(cfg.dims));
         cells.push(Cell {
-            name: format!("fig7/{scheme:?}").to_lowercase(),
+            name,
             wall_secs: t.elapsed().as_secs_f64(),
-            events: 0,
+            events: r.delivered_messages,
         });
         report(cells.last().unwrap());
     }
 
     // AI-refresh microbenchmark: incremental vs from-scratch refresh
     // under fixed churn, at growing grid sizes.
-    run_ai_refresh_cells(&mut cells);
+    run_ai_refresh_cells(&mut cells, want);
+    cells
+}
 
-    let fig5_wall: f64 = cells
+fn fig5_total(cells: &[Cell]) -> f64 {
+    cells
         .iter()
         .filter(|c| c.name.starts_with("fig5/"))
         .map(|c| c.wall_secs)
-        .sum();
-    let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
-    println!("\nfig5 total: {fig5_wall:.3} s   all cells: {total_wall:.3} s");
+        .sum()
+}
 
-    let baseline = read_baseline(&out).unwrap_or_else(|| {
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: perf [--cell <substring>] [--check]");
+            return ExitCode::from(2);
+        }
+    };
+    let out = repo_root_json();
+    println!("=== Hot-path perf harness (quick-scale fig5/fig6/fig7, single-threaded) ===\n");
+    let cells = run_cells(&|name| args.cell.as_deref().is_none_or(|f| name.contains(f)));
+
+    let fig5_wall = fig5_total(&cells);
+    let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+    if args.cell.is_none() {
+        println!("\nfig5 total: {fig5_wall:.3} s   all cells: {total_wall:.3} s");
+    }
+
+    if args.cell.is_some() {
+        // A filtered run is for iterating on one cell: no baseline
+        // bookkeeping, and never touch the JSON.
+        return ExitCode::SUCCESS;
+    }
+
+    if args.check {
+        let Some(baseline) = read_baseline(&out) else {
+            eprintln!(
+                "--check: no baseline in {} — commit one first",
+                out.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        return run_gate(cells, &baseline);
+    }
+
+    let mut baseline = read_baseline(&out).unwrap_or_else(|| {
         println!(
             "(no existing {} — this run becomes the baseline)",
             out.display()
         );
-        cells
-            .iter()
-            .map(|c| (c.name.clone(), c.wall_secs))
-            .chain(std::iter::once(("fig5_total".to_string(), fig5_wall)))
-            .collect()
+        Vec::new()
     });
+    // Preserve recorded entries verbatim; cells the baseline has never
+    // seen (newly added benchmarks) enter at this run's numbers.
+    for (name, secs) in cells
+        .iter()
+        .map(|c| (c.name.as_str(), c.wall_secs))
+        .chain(std::iter::once(("fig5_total", fig5_wall)))
+    {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            baseline.push((name.to_string(), secs));
+        }
+    }
     if let Some(&b) = baseline
         .iter()
         .find(|(n, _)| n == "fig5_total")
@@ -229,6 +351,92 @@ fn main() {
     let json = render_json(&cells, fig5_wall, &baseline);
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// The `--check` regression gate. Every cell with a baseline entry is
+/// gated on `wall / baseline`, normalized by the machine factor — the
+/// median ratio across gated cells, clamped to ≥ 1 — so a uniformly
+/// slower runner shifts every ratio together and stays green, while a
+/// single cell regressing against the rest of the run fires.
+///
+/// Wall-clock noise on sub-100 ms cells easily exceeds the gate
+/// threshold, so a cell is only *failed* after it stays over budget
+/// across retries taking the per-cell minimum — the minimum is the
+/// run least disturbed by the machine, and a true regression cannot
+/// dip below it.
+fn run_gate(mut cells: Vec<Cell>, baseline: &[(String, f64)]) -> ExitCode {
+    const RETRIES: usize = 2;
+    for attempt in 0..=RETRIES {
+        let rows = gate_rows(&cells, baseline);
+        if rows.is_empty() {
+            eprintln!("--check: no cell matches a baseline entry");
+            return ExitCode::FAILURE;
+        }
+        let (machine, allowed) = gate_budget(&rows);
+        let failing: Vec<&str> = rows
+            .iter()
+            .filter(|(_, b, w)| w / b > allowed)
+            .map(|(n, _, _)| n.as_str())
+            .collect();
+        if failing.is_empty() || attempt == RETRIES {
+            println!("\n--check: machine factor {machine:.2}, allowed ratio {allowed:.2}");
+            for (name, b, w) in &rows {
+                let ratio = w / b;
+                let verdict = if ratio > allowed { "FAIL" } else { "ok" };
+                println!("  {verdict:<4} {name:<28} {b:>9.3}s -> {w:>9.3}s  ({ratio:.2}x)");
+            }
+            return if failing.is_empty() {
+                println!("--check: all gated cells within budget");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("--check: perf regression beyond {GATE_RATIO}x (machine-normalized)");
+                ExitCode::FAILURE
+            };
+        }
+        // Re-run just the over-budget cells and keep each cell's best
+        // time. `fig5_total` is a sum, so it re-runs all fig5 cells.
+        println!(
+            "\n--check: {} cell(s) over budget, retrying ({}/{RETRIES}): {}",
+            failing.len(),
+            attempt + 1,
+            failing.join(", ")
+        );
+        let targets: Vec<String> = failing.iter().map(|s| s.to_string()).collect();
+        let rerun = run_cells(&|name| {
+            targets.iter().any(|t| t == name)
+                || (targets.iter().any(|t| t == "fig5_total") && name.starts_with("fig5/"))
+        });
+        for fresh in rerun {
+            if let Some(old) = cells.iter_mut().find(|c| c.name == fresh.name) {
+                old.wall_secs = old.wall_secs.min(fresh.wall_secs);
+            }
+        }
+    }
+    unreachable!("loop returns on success, exhaustion, or empty rows");
+}
+
+/// Pairs every measured cell (plus the synthetic `fig5_total` sum)
+/// with its baseline entry: `(name, baseline_secs, wall_secs)`.
+fn gate_rows(cells: &[Cell], baseline: &[(String, f64)]) -> Vec<(String, f64, f64)> {
+    let lookup = |name: &str| baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let mut rows: Vec<(String, f64, f64)> = cells
+        .iter()
+        .filter_map(|c| lookup(&c.name).map(|b| (c.name.clone(), b, c.wall_secs)))
+        .collect();
+    if let Some(b) = lookup("fig5_total") {
+        rows.push(("fig5_total".to_string(), b, fig5_total(cells)));
+    }
+    rows
+}
+
+/// Machine factor (median ratio clamped to ≥ 1) and the resulting
+/// allowed per-cell ratio.
+fn gate_budget(rows: &[(String, f64, f64)]) -> (f64, f64) {
+    let mut ratios: Vec<f64> = rows.iter().map(|(_, b, w)| w / b).collect();
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let machine = ratios[ratios.len() / 2].max(1.0);
+    (machine, GATE_RATIO * machine)
 }
 
 fn report(c: &Cell) {

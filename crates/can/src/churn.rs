@@ -13,7 +13,7 @@
 //! the Figure 8 message-cost rates.
 
 use crate::geom::Point;
-use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig};
+use crate::protocol::{CanSim, DetectorConfig, HeartbeatScheme, ProtocolConfig};
 use pgrid_simcore::{SimRng, SimTime};
 
 /// Configuration of one churn experiment.
@@ -49,6 +49,10 @@ pub struct ChurnConfig {
     /// Failure-injection: probability that any protocol message is
     /// dropped in flight (see [`crate::ProtocolConfig::message_loss`]).
     pub message_loss: f64,
+    /// Failure-detector configuration threaded into the protocol
+    /// (`None` keeps the legacy passive behavior — the fig7/fig8
+    /// experiments of the paper).
+    pub detector: Option<DetectorConfig>,
 }
 
 impl ChurnConfig {
@@ -69,6 +73,7 @@ impl ChurnConfig {
             heartbeat_period: 60.0,
             fail_timeout: 150.0,
             message_loss: 0.0,
+            detector: None,
         }
     }
 
@@ -124,6 +129,15 @@ pub struct ChurnReport {
     pub full_update_rounds: u64,
     /// Second-hand repairs performed.
     pub repairs: u64,
+    /// Datagrams actually applied to a live receiver over the whole
+    /// run (heartbeats, zone updates, keepalives, repairs, probes) —
+    /// the per-event unit of the heartbeat hot path, so perf cells can
+    /// report events/sec like the load-balance cells do.
+    pub delivered_messages: u64,
+    /// FNV-1a digest of the final observable simulator state (members,
+    /// epochs, zones, every fault/detector counter); pins the exact
+    /// trajectory for golden tests.
+    pub state_digest: u64,
 }
 
 impl ChurnReport {
@@ -150,6 +164,7 @@ pub fn run_churn(
     proto.heartbeat_period = cfg.heartbeat_period;
     proto.fail_timeout = cfg.fail_timeout;
     proto.message_loss = cfg.message_loss;
+    proto.detector = cfg.detector;
     proto.loss_seed = pgrid_simcore::rng::sub_seed(cfg.seed, 0x7055);
     let mut sim = CanSim::new(proto).expect("valid protocol config");
     let mut rng = SimRng::sub_stream(cfg.seed, 0xC0DE);
@@ -205,6 +220,8 @@ pub fn run_churn(
     let final_nodes = sim.len();
     let full_update_rounds = sim.full_update_rounds();
     let repairs = sim.repairs();
+    let delivered_messages = sim.delivered_messages();
+    let state_digest = sim.state_digest();
     let acct = sim.accounting();
     ChurnReport {
         scheme: cfg.scheme,
@@ -216,6 +233,8 @@ pub fn run_churn(
         final_nodes,
         full_update_rounds,
         repairs,
+        delivered_messages,
+        state_digest,
     }
 }
 

@@ -235,38 +235,10 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
         record(&mut violations, msg);
     }
 
-    // Fold the final observable state into the digest.
-    let members = sim.members();
-    digest.write_f64(sim.now());
-    digest.write_usize(members.len());
-    for &id in &members {
-        digest.write_u64(u64::from(id.0));
-        digest.write_u64(sim.local(id).expect("member has local state").epoch);
-        let z = sim.zone(id);
-        for d in 0..z.dims() {
-            digest.write_f64(z.lo(d));
-            digest.write_f64(z.hi(d));
-        }
-    }
-    digest.write_usize(sim.broken_links());
-    digest.write_usize(sim.stale_entries());
-    digest.write_u64(sim.dropped_messages());
-    digest.write_u64(sim.duplicated_messages());
-    digest.write_u64(sim.network().partition_drops());
-    digest.write_u64(sim.frozen_drops());
-    digest.write_u64(sim.repair_messages());
-    digest.write_u64(sim.gap_probes());
-    digest.write_u64(sim.full_update_rounds());
-    digest.write_u64(sim.network().degrade_drops());
-    digest.write_u64(sim.suspicions());
-    digest.write_u64(sim.live_expulsions());
-    digest.write_u64(sim.false_expulsions());
-    digest.write_u64(sim.revivals());
-    digest.write_usize(sim.zombie_count());
-    digest.write_u64(sim.probe_requests());
-    digest.write_u64(sim.probe_vouches());
+    // Fold the final observable state into the digest (the shared
+    // byte sequence in `CanSim::fold_observable_state`).
+    sim.fold_observable_state(&mut digest);
     let stale_keepalives = sim.accounting().stale_keepalives;
-    digest.write_u64(stale_keepalives);
     for msg in &violations {
         digest.write_str(msg);
     }

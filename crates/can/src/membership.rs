@@ -12,6 +12,7 @@ use crate::geom::{Point, Zone};
 use pgrid_simcore::SimTime;
 use pgrid_types::NodeId;
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 /// EWMA weight for per-link heartbeat inter-arrival statistics.
 const GAP_ALPHA: f64 = 0.25;
@@ -122,7 +123,7 @@ pub struct LocalNode {
     pub table: HashMap<NodeId, NeighborEntry>,
     /// Cached full-state payloads from nodes whose zone this node may
     /// have to take over (refreshed by their full heartbeats).
-    pub cache: HashMap<NodeId, Payload>,
+    pub cache: HashMap<NodeId, Rc<Payload>>,
     /// Set when this node's zone changed (join split it, or a take-over
     /// grew/moved it): the next heartbeat round carries the new zone to
     /// every neighbor rather than a bare keepalive.
@@ -150,6 +151,14 @@ pub struct LocalNode {
     /// first-hand contact or an indirect-probe vouch. Ordered map so
     /// iteration is deterministic.
     pub suspects: BTreeMap<NodeId, SimTime>,
+    /// Memoized [`LocalNode::boundary_gap_sample`] result. The exact
+    /// coverage recursion depends only on the own zone and the recorded
+    /// neighbor zones, so the cache is invalidated by exactly the
+    /// mutations that touch those (insert, remove, zone change) and
+    /// liveness-only traffic (keepalives, refreshes) keeps it hot. The
+    /// adaptive scheme queries the gap every tick; in steady state this
+    /// turns an allocation + recursion into a field read.
+    gap_cache: Option<Option<Point>>,
 }
 
 impl LocalNode {
@@ -166,6 +175,7 @@ impl LocalNode {
             zone_change_audience: Vec::new(),
             epoch: 1,
             suspects: BTreeMap::new(),
+            gap_cache: None,
         }
     }
 
@@ -201,13 +211,21 @@ impl LocalNode {
             }
             e.epoch = e.epoch.max(epoch);
             if self.zone.abuts(zone) {
-                e.zone = zone.clone();
+                // Skip the store (and the cache invalidation) when the
+                // advertised zone matches the record — the steady-state
+                // case; equal bounds mean bit-identical state.
+                if e.zone != *zone {
+                    e.zone = zone.clone();
+                    self.gap_cache = None;
+                }
             } else {
                 self.table.remove(&from);
+                self.gap_cache = None;
             }
         } else if self.zone.abuts(zone) {
             self.table
                 .insert(from, NeighborEntry::fresh(zone.clone(), now, true, epoch));
+            self.gap_cache = None;
         }
     }
 
@@ -247,6 +265,7 @@ impl LocalNode {
             if self.zone.abuts(mz) {
                 self.table
                     .insert(*m, NeighborEntry::fresh(mz.clone(), now, false, 0));
+                self.gap_cache = None;
                 repaired += 1;
             }
         }
@@ -270,6 +289,7 @@ impl LocalNode {
             } else if self.zone.abuts(mz) {
                 self.table
                     .insert(*m, NeighborEntry::fresh(mz.clone(), now, false, 0));
+                self.gap_cache = None;
             }
         }
     }
@@ -283,6 +303,30 @@ impl LocalNode {
         repaired
     }
 
+    /// Allocation-free equivalent of building `resp.snapshot(now)` and
+    /// merging it via [`LocalNode::merge_payload_records`]: reads the
+    /// responder's confirmed records straight out of its table (same
+    /// iteration order as the snapshot would have captured), cloning a
+    /// zone only when an entry is actually inserted. The synchronous
+    /// full-update exchange is the one place both endpoints are in hand
+    /// at once, so no payload needs to be materialized.
+    pub fn merge_from_node(&mut self, resp: &LocalNode, now: SimTime) -> usize {
+        let mut repaired = 0;
+        for (m, e) in resp.table.iter().filter(|(_, e)| e.confirmed) {
+            if *m == self.id || self.table.contains_key(m) {
+                continue;
+            }
+            if self.zone.abuts(&e.zone) {
+                self.table
+                    .insert(*m, NeighborEntry::fresh(e.zone.clone(), now, false, 0));
+                self.gap_cache = None;
+                repaired += 1;
+            }
+        }
+        self.hear_fenced(resp.id, &resp.zone, resp.epoch, now);
+        repaired
+    }
+
     /// Drops entries not heard from within `timeout`; returns the
     /// expired `(id, entry)` pairs. Also forgets their cached payloads.
     pub fn expire(&mut self, now: SimTime, timeout: f64) -> Vec<(NodeId, NeighborEntry)> {
@@ -292,6 +336,9 @@ impl LocalNode {
             .filter(|(_, e)| now - e.last_heard > timeout)
             .map(|(id, _)| *id)
             .collect();
+        if !ids.is_empty() {
+            self.gap_cache = None;
+        }
         ids.into_iter()
             .map(|id| {
                 self.cache.remove(&id);
@@ -342,6 +389,26 @@ impl LocalNode {
     /// are skipped.
     pub fn has_boundary_gap(&self) -> bool {
         self.boundary_gap_sample().is_some()
+    }
+
+    /// Memoized [`LocalNode::has_boundary_gap`] for the protocol's
+    /// per-tick hot path. Returns exactly what the uncached check
+    /// would: every coverage-relevant mutation clears the cache, so a
+    /// hit can only replay a result the exact recursion computed for
+    /// this same (zone, table) state.
+    pub fn has_boundary_gap_cached(&mut self) -> bool {
+        self.boundary_gap_sample_cached().is_some()
+    }
+
+    /// Memoized [`LocalNode::boundary_gap_sample`] (see
+    /// [`LocalNode::has_boundary_gap_cached`]).
+    pub fn boundary_gap_sample_cached(&mut self) -> Option<Point> {
+        if let Some(cached) = &self.gap_cache {
+            return cached.clone();
+        }
+        let p = self.boundary_gap_sample();
+        self.gap_cache = Some(p.clone());
+        p
     }
 
     /// Like [`LocalNode::has_boundary_gap`], but returns a point inside
@@ -406,6 +473,33 @@ impl LocalNode {
         pruned.sort_unstable(); // retain() walks a HashMap: order it
         self.zone_change_audience.extend(pruned);
         self.zone_dirty = true;
+        self.gap_cache = None;
+    }
+
+    /// Removes `id` from the table (take-over cleanup, targeted
+    /// repair). All external table removals route through here so the
+    /// gap cache can never go stale.
+    pub fn forget(&mut self, id: NodeId) {
+        if self.table.remove(&id).is_some() {
+            self.gap_cache = None;
+        }
+    }
+
+    /// Clears the whole table (relocation: the node leaves its old
+    /// neighborhood entirely).
+    pub fn forget_all(&mut self) {
+        if !self.table.is_empty() {
+            self.gap_cache = None;
+        }
+        self.table.clear();
+    }
+
+    /// Inserts (or overwrites with) an unconfirmed second-hand record —
+    /// the indirect-probe vouch path.
+    pub fn reseed_second_hand(&mut self, id: NodeId, zone: Zone, heard_at: SimTime, epoch: u64) {
+        self.table
+            .insert(id, NeighborEntry::fresh_second_hand(zone, heard_at, epoch));
+        self.gap_cache = None;
     }
 
     /// Snapshot of this node's full state for a heartbeat/handoff.
@@ -435,6 +529,14 @@ impl LocalNode {
         let mut v: Vec<NodeId> = self.table.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Allocation-free [`LocalNode::known_neighbors`]: fills `out`
+    /// (cleared first) with the sorted table ids, reusing its capacity.
+    pub fn known_neighbors_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.table.keys().copied());
+        out.sort_unstable();
     }
 }
 
@@ -710,5 +812,59 @@ mod tests {
         n.hear_with_zone(NodeId(1), &z(&[0.5, 0.3], &[1.0, 0.6]), 0.0);
         n.hear_with_zone(NodeId(3), &z(&[0.5, 0.6], &[1.0, 1.0]), 0.0);
         assert_eq!(n.known_neighbors(), vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn known_neighbors_into_matches_allocating_form() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(5), &z(&[0.5, 0.0], &[1.0, 0.3]), 0.0);
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.3], &[1.0, 0.6]), 0.0);
+        let mut out = vec![NodeId(99), NodeId(98)]; // stale scratch
+        n.known_neighbors_into(&mut out);
+        assert_eq!(out, n.known_neighbors());
+        n.hear_with_zone(NodeId(3), &z(&[0.5, 0.6], &[1.0, 1.0]), 0.0);
+        n.known_neighbors_into(&mut out);
+        assert_eq!(out, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn gap_cache_matches_exact_recomputation_across_mutations() {
+        let mut n = node();
+        assert!(n.has_boundary_gap_cached(), "empty table: face uncovered");
+        assert!(n.has_boundary_gap_cached(), "cache hit answers the same");
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 10.0);
+        assert!(!n.has_boundary_gap_cached(), "insert invalidates");
+        // Liveness-only traffic must not disturb a valid cache.
+        n.hear_keepalive(NodeId(1), 20.0);
+        assert!(!n.has_boundary_gap_cached());
+        // Re-announcing the identical zone keeps the cache hot too.
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 25.0);
+        assert!(!n.has_boundary_gap_cached());
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 0.5]), 30.0);
+        assert!(
+            n.has_boundary_gap_cached(),
+            "recorded-zone change invalidates"
+        );
+        assert_eq!(n.boundary_gap_sample_cached(), n.boundary_gap_sample());
+        n.reseed_second_hand(NodeId(2), z(&[0.5, 0.5], &[1.0, 1.0]), 40.0, 0);
+        assert!(!n.has_boundary_gap_cached(), "reseed invalidates");
+        n.forget(NodeId(2));
+        assert!(n.has_boundary_gap_cached(), "forget invalidates");
+        n.hear_with_zone(NodeId(2), &z(&[0.5, 0.5], &[1.0, 1.0]), 50.0);
+        assert!(!n.has_boundary_gap_cached());
+        let expired = n.expire(1000.0, 150.0);
+        assert_eq!(expired.len(), 2);
+        assert!(n.has_boundary_gap_cached(), "expiry invalidates");
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 1000.0);
+        assert!(!n.has_boundary_gap_cached());
+        n.set_zone(z(&[0.0, 0.0], &[0.5, 0.5]));
+        assert_eq!(
+            n.has_boundary_gap_cached(),
+            n.has_boundary_gap(),
+            "set_zone invalidates"
+        );
+        n.forget_all();
+        assert!(n.has_boundary_gap_cached(), "forget_all invalidates");
+        assert_eq!(n.boundary_gap_sample_cached(), n.boundary_gap_sample());
     }
 }

@@ -23,10 +23,12 @@ use crate::geom::{Point, Zone};
 use crate::membership::{LocalNode, Payload};
 use crate::split_tree::{SplitTree, ZoneChange};
 use crate::wire::{MsgKind, WireModel};
+use pgrid_simcore::dst::Fnv;
 use pgrid_simcore::fault::{MsgClass, NetworkModel};
 use pgrid_simcore::{EventQueue, SimTime};
 use pgrid_types::NodeId;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Retry bound for acknowledged exchanges (join, handoff) under loss:
 /// after this many transmissions the exchange is forced through —
@@ -343,8 +345,11 @@ enum Ev {
 /// reified.
 #[derive(Debug, Clone)]
 enum Msg {
-    /// Full-state heartbeat payload.
-    Full(Payload),
+    /// Full-state heartbeat payload. Reference-counted: one round's
+    /// payload is shared by every receiver (and any delayed in-flight
+    /// copy), so fan-out costs a refcount bump instead of a deep clone
+    /// of every neighbor zone.
+    Full(Rc<Payload>),
     /// Zone-carrying update from a node whose zone changed, fenced by
     /// the sender's ownership epoch.
     Zone(NodeId, Zone, u64),
@@ -397,12 +402,12 @@ struct Pending {
 enum PendingKind {
     Merge {
         heir: NodeId,
-        payload: Option<Payload>,
+        payload: Option<Rc<Payload>>,
     },
     Relocate {
         relocator: NodeId,
         absorber: NodeId,
-        payload_x: Option<Payload>,
+        payload_x: Option<Rc<Payload>>,
     },
 }
 
@@ -437,6 +442,10 @@ pub struct CanSim {
     next_msg: u64,
     frozen: HashMap<NodeId, SimTime>,
     frozen_drops: u64,
+    /// Datagrams applied to a live, unfrozen receiver — the per-event
+    /// unit of the heartbeat hot path (perf cells report this as their
+    /// event count).
+    delivered: u64,
     repair_messages: u64,
     gap_probes: u64,
     /// Expelled-but-actually-alive nodes: their process keeps running
@@ -464,6 +473,13 @@ pub struct CanSim {
     /// `departed_epoch` at every removal so the fence always reaches
     /// whoever ends up owning the space.
     fence_floors: HashMap<NodeId, u64>,
+    /// Arena-reused buffer for each heartbeat round's receiver list
+    /// (taken at round start, returned with its capacity at round end,
+    /// cleared before reuse): the round builds into recycled capacity
+    /// instead of allocating a fresh `Vec` per node per round.
+    scratch_receivers: Vec<NodeId>,
+    /// Arena-reused buffer for the round's sorted take-over targets.
+    scratch_targets: Vec<NodeId>,
 }
 
 impl CanSim {
@@ -497,6 +513,7 @@ impl CanSim {
             next_msg: 0,
             frozen: HashMap::new(),
             frozen_drops: 0,
+            delivered: 0,
             repair_messages: 0,
             gap_probes: 0,
             zombies: HashMap::new(),
@@ -510,6 +527,8 @@ impl CanSim {
             detections: 0,
             silent_since: HashMap::new(),
             fence_floors: HashMap::new(),
+            scratch_receivers: Vec::new(),
+            scratch_targets: Vec::new(),
         })
     }
 
@@ -629,6 +648,14 @@ impl CanSim {
         self.frozen_drops
     }
 
+    /// Datagrams applied to a live, unfrozen receiver since the start
+    /// of the simulation (heartbeats, zone updates, keepalives,
+    /// repairs, probes). This is the per-event unit of the heartbeat
+    /// hot path, so perf cells can report events/sec.
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered
+    }
+
     /// Targeted take-over repair messages sent so far.
     pub fn repair_messages(&self) -> u64 {
         self.repair_messages
@@ -671,6 +698,53 @@ impl CanSim {
     /// and rejoined through the bootstrap path.
     pub fn revivals(&self) -> u64 {
         self.revivals
+    }
+
+    /// Folds the complete observable simulator state into `digest`:
+    /// the member set with epochs and exact zone bounds, then every
+    /// fault/detector counter. This is the byte sequence the DST
+    /// harness has always pinned; it is shared with the churn driver's
+    /// [`crate::ChurnReport::state_digest`] so both golden suites pin
+    /// the same trajectory definition. Takes `&mut self` only because
+    /// message accounting advances its window to `now` when read.
+    pub fn fold_observable_state(&mut self, digest: &mut Fnv) {
+        let members = self.members();
+        digest.write_f64(self.now());
+        digest.write_usize(members.len());
+        for &id in &members {
+            digest.write_u64(u64::from(id.0));
+            digest.write_u64(self.local(id).expect("member has local state").epoch);
+            let z = self.zone(id);
+            for d in 0..z.dims() {
+                digest.write_f64(z.lo(d));
+                digest.write_f64(z.hi(d));
+            }
+        }
+        digest.write_usize(self.broken_links());
+        digest.write_usize(self.stale_entries());
+        digest.write_u64(self.dropped_messages());
+        digest.write_u64(self.duplicated_messages());
+        digest.write_u64(self.network().partition_drops());
+        digest.write_u64(self.frozen_drops());
+        digest.write_u64(self.repair_messages());
+        digest.write_u64(self.gap_probes());
+        digest.write_u64(self.full_update_rounds());
+        digest.write_u64(self.network().degrade_drops());
+        digest.write_u64(self.suspicions());
+        digest.write_u64(self.live_expulsions());
+        digest.write_u64(self.false_expulsions());
+        digest.write_u64(self.revivals());
+        digest.write_usize(self.zombie_count());
+        digest.write_u64(self.probe_requests());
+        digest.write_u64(self.probe_vouches());
+        digest.write_u64(self.accounting().stale_keepalives);
+    }
+
+    /// FNV-1a digest over [`CanSim::fold_observable_state`] alone.
+    pub fn state_digest(&mut self) -> u64 {
+        let mut d = Fnv::new();
+        self.fold_observable_state(&mut d);
+        d.finish()
     }
 
     /// Expelled-but-alive nodes currently awaiting revival.
@@ -729,7 +803,9 @@ impl CanSim {
     }
 
     fn frozen_at(&self, id: NodeId, t: SimTime) -> bool {
-        self.frozen.get(&id).is_some_and(|&until| t < until)
+        // Freezes exist only in chaos/DST runs; skip the hash lookup on
+        // the per-message fast path when none are scheduled.
+        !self.frozen.is_empty() && self.frozen.get(&id).is_some_and(|&until| t < until)
     }
 
     /// The paper's failure-resilience metric: the number of
@@ -915,7 +991,7 @@ impl CanSim {
         }
         joiner.hear_fenced(host, &new_host_zone, host_epoch, t);
         joiner.zone_dirty = true; // introduce ourselves with our zone
-        if self.cfg.scheme == HeartbeatScheme::Adaptive && joiner.has_boundary_gap() {
+        if self.cfg.scheme == HeartbeatScheme::Adaptive && joiner.has_boundary_gap_cached() {
             // The host's table did not cover our whole boundary: ask
             // for full updates at our first round.
             joiner.wants_full_update = true;
@@ -1006,7 +1082,7 @@ impl CanSim {
                     // acknowledged — retransmitted under loss.
                     let snap = departing.snapshot(t);
                     self.record_handoff(id, heir, snap.neighbors.len(), t);
-                    self.apply_merge(id, departed_epoch, heir, Some(snap), t);
+                    self.apply_merge(id, departed_epoch, heir, Some(Rc::new(snap)), t);
                 } else {
                     // Crash: the heir only notices after the failure
                     // timeout, then recovers from its cached copy of
@@ -1037,7 +1113,14 @@ impl CanSim {
                 if graceful {
                     let snap = departing.snapshot(t);
                     self.record_handoff(id, relocator, snap.neighbors.len(), t);
-                    self.apply_relocate(id, departed_epoch, relocator, absorber, Some(snap), t);
+                    self.apply_relocate(
+                        id,
+                        departed_epoch,
+                        relocator,
+                        absorber,
+                        Some(Rc::new(snap)),
+                        t,
+                    );
                 } else {
                     let payload = self
                         .nodes
@@ -1094,7 +1177,7 @@ impl CanSim {
         departed: NodeId,
         departed_epoch: u64,
         heir: NodeId,
-        payload: Option<Payload>,
+        payload: Option<Rc<Payload>>,
         t: SimTime,
     ) {
         let alive = self.tree.as_ref().is_some_and(|tr| tr.contains(heir))
@@ -1112,9 +1195,9 @@ impl CanSim {
             if let Some(p) = &payload {
                 hn.adopt_records(&p.neighbors, t);
             }
-            hn.table.remove(&departed);
+            hn.forget(departed);
             hn.cache.remove(&departed);
-            if self.cfg.scheme == HeartbeatScheme::Adaptive && hn.has_boundary_gap() {
+            if self.cfg.scheme == HeartbeatScheme::Adaptive && hn.has_boundary_gap_cached() {
                 hn.wants_full_update = true;
             }
         }
@@ -1140,7 +1223,7 @@ impl CanSim {
         departed_epoch: u64,
         relocator: NodeId,
         absorber: NodeId,
-        payload_x: Option<Payload>,
+        payload_x: Option<Rc<Payload>>,
         t: SimTime,
     ) {
         let tree_has = |n: NodeId, s: &Self| {
@@ -1167,14 +1250,14 @@ impl CanSim {
         if r_alive {
             let zone = self.tree.as_ref().unwrap().zone(relocator).clone();
             let rn = self.nodes.get_mut(&relocator).unwrap();
-            rn.table.clear();
+            rn.forget_all();
             rn.cache.clear();
             rn.epoch = rn.epoch.max(departed_epoch);
             rn.set_zone(zone);
             if let Some(p) = &payload_x {
                 rn.adopt_records(&p.neighbors, t);
             }
-            rn.table.remove(&departed);
+            rn.forget(departed);
         }
         if a_alive {
             let zone = self.tree.as_ref().unwrap().zone(absorber).clone();
@@ -1184,8 +1267,8 @@ impl CanSim {
             if let Some(p) = &r_old {
                 an.adopt_records(&p.neighbors, t);
             }
-            an.table.remove(&departed);
-            an.table.remove(&relocator);
+            an.forget(departed);
+            an.forget(relocator);
             an.cache.remove(&relocator);
         }
         // They introduce their new zones (and epochs) to each other.
@@ -1217,10 +1300,11 @@ impl CanSim {
         }
         for actor in [relocator, absorber] {
             if tree_has(actor, self) {
-                if self.cfg.scheme == HeartbeatScheme::Adaptive
-                    && self.nodes[&actor].has_boundary_gap()
-                {
-                    self.nodes.get_mut(&actor).unwrap().wants_full_update = true;
+                if self.cfg.scheme == HeartbeatScheme::Adaptive {
+                    let n = self.nodes.get_mut(&actor).unwrap();
+                    if n.has_boundary_gap_cached() {
+                        n.wants_full_update = true;
+                    }
                 }
                 self.send_round(actor, t);
                 self.maybe_full_update(actor, t);
@@ -1265,16 +1349,20 @@ impl CanSim {
             }
         }
         // 1. Expire silent neighbors (local failure detection).
-        let mut confirmed_expired: Vec<NodeId>;
+        let mut confirmed_expired: Vec<NodeId> = Vec::new();
         {
             let n = self.nodes.get_mut(&id).unwrap();
             let expired = n.expire(t, self.cfg.fail_timeout);
-            confirmed_expired = expired
-                .iter()
-                .filter(|(_, e)| e.confirmed)
-                .map(|(p, _)| *p)
-                .collect();
-            confirmed_expired.sort_unstable();
+            // The confirmed-expiry list only feeds the expulsion phase
+            // below; without a detector, skip collecting and sorting it.
+            if self.cfg.detector.is_some() {
+                confirmed_expired = expired
+                    .iter()
+                    .filter(|(_, e)| e.confirmed)
+                    .map(|(p, _)| *p)
+                    .collect();
+                confirmed_expired.sort_unstable();
+            }
             if self.cfg.scheme == HeartbeatScheme::Adaptive {
                 // A first-hand neighbor vanished without the remaining
                 // table covering the region it owned — or a previously
@@ -1287,7 +1375,7 @@ impl CanSim {
                 if expired
                     .iter()
                     .any(|(_, e)| e.confirmed && !n.covers_face_region(&e.zone))
-                    || n.has_boundary_gap()
+                    || n.has_boundary_gap_cached()
                 {
                     n.wants_full_update = true;
                 }
@@ -1421,7 +1509,7 @@ impl CanSim {
                 self.post(
                     id,
                     h,
-                    Msg::ProbeReq {
+                    &Msg::ProbeReq {
                         origin: id,
                         suspect: s,
                     },
@@ -1532,7 +1620,7 @@ impl CanSim {
         for p in peers {
             self.acct
                 .record(MsgKind::Heartbeat, self.cfg.wire.compact_keepalive());
-            self.post(id, p, Msg::Keepalive(id), t);
+            self.post(id, p, &Msg::Keepalive(id), t);
         }
         if self.try_revive(id, t) {
             return; // join_as started a fresh tick chain
@@ -1630,11 +1718,26 @@ impl CanSim {
         if !tree.contains(id) || self.frozen_at(id, t) {
             return;
         }
-        let mut targets = tree.takeover_plan(id).targets();
+        // Round-invariant state, read once per round instead of per
+        // message: the take-over plan (at most heir + absorber — pushed
+        // straight into scratch, replicating `TakeoverPlan::targets`'s
+        // order and dedup), the scheme, and the three wire sizes.
+        let mut targets = std::mem::take(&mut self.scratch_targets);
+        targets.clear();
+        let plan = tree.takeover_plan(id);
+        if let Some(h) = plan.heir {
+            targets.push(h);
+        }
+        if let Some(a) = plan.absorber {
+            if plan.absorber != plan.heir {
+                targets.push(a);
+            }
+        }
         targets.sort_unstable();
-        let (receivers, payload, zone_dirty) = {
+        let mut receivers = std::mem::take(&mut self.scratch_receivers);
+        let (payload, zone_dirty) = {
             let n = self.nodes.get_mut(&id).unwrap();
-            let mut receivers = n.known_neighbors();
+            n.known_neighbors_into(&mut receivers);
             for &tg in &targets {
                 if tg != id && !receivers.contains(&tg) {
                     receivers.push(tg);
@@ -1654,35 +1757,40 @@ impl CanSim {
                     }
                 }
             }
-            let payload = n.snapshot(t);
-            (receivers, payload, dirty)
+            (n.snapshot(t), dirty)
         };
         let d = self.cfg.dims;
         let k = payload.neighbors.len();
-        let wire = self.cfg.wire.clone();
-        for r in receivers {
+        let full_bytes = self.cfg.wire.full_heartbeat(d, k);
+        let zone_bytes = self.cfg.wire.zone_update(d);
+        let keepalive_bytes = self.cfg.wire.compact_keepalive();
+        let is_vanilla = self.cfg.scheme == HeartbeatScheme::Vanilla;
+        // Each variant this round can send is built exactly once;
+        // `post` borrows it per receiver. (The receiver's own copy of a
+        // full payload is made where it is stored, in `apply_msg`.)
+        let zone_msg =
+            (!is_vanilla && zone_dirty).then(|| Msg::Zone(id, payload.zone.clone(), payload.epoch));
+        let keepalive_msg = Msg::Keepalive(id);
+        let full_msg = Msg::Full(Rc::new(payload));
+        for &r in &receivers {
             if r == id {
                 continue;
             }
-            let full = match self.cfg.scheme {
-                HeartbeatScheme::Vanilla => true,
-                HeartbeatScheme::Compact | HeartbeatScheme::Adaptive => {
-                    targets.binary_search(&r).is_ok()
-                }
-            };
+            let full = is_vanilla || targets.binary_search(&r).is_ok();
             if full {
-                self.acct
-                    .record(MsgKind::Heartbeat, wire.full_heartbeat(d, k));
-                self.post(id, r, Msg::Full(payload.clone()), t);
+                self.acct.record(MsgKind::Heartbeat, full_bytes);
+                self.post(id, r, &full_msg, t);
             } else if zone_dirty {
-                self.acct.record(MsgKind::Heartbeat, wire.zone_update(d));
-                self.post(id, r, Msg::Zone(id, payload.zone.clone(), payload.epoch), t);
+                self.acct.record(MsgKind::Heartbeat, zone_bytes);
+                self.post(id, r, zone_msg.as_ref().expect("built when dirty"), t);
             } else {
-                self.acct
-                    .record(MsgKind::Heartbeat, wire.compact_keepalive());
-                self.post(id, r, Msg::Keepalive(id), t);
+                self.acct.record(MsgKind::Heartbeat, keepalive_bytes);
+                self.post(id, r, &keepalive_msg, t);
             }
         }
+        // Return the buffers' capacity to the arena for the next round.
+        self.scratch_targets = targets;
+        self.scratch_receivers = receivers;
     }
 
     /// Sends targeted take-over repairs: `actor` (a take-over heir,
@@ -1717,28 +1825,33 @@ impl CanSim {
         recipients.sort_unstable();
         recipients.dedup();
         let bytes = self.cfg.wire.takeover_repair(self.cfg.dims);
+        let msg = Msg::Repair {
+            from: actor,
+            zone,
+            epoch,
+            departed,
+        };
         for r in recipients {
             self.acct.record(MsgKind::Repair, bytes);
             self.repair_messages += 1;
-            self.post(
-                actor,
-                r,
-                Msg::Repair {
-                    from: actor,
-                    zone: zone.clone(),
-                    epoch,
-                    departed,
-                },
-                t,
-            );
+            self.post(actor, r, &msg, t);
         }
     }
 
     /// Routes one datagram through the network fault model: it may be
     /// dropped, duplicated, or delayed. Immediate deliveries apply
     /// inline (the fault-free fast path); delayed copies go through the
-    /// event queue.
-    fn post(&mut self, from: NodeId, to: NodeId, msg: Msg, t: SimTime) {
+    /// event queue. Borrows the message — a round's invariant payload
+    /// is built once and posted to every receiver; only a *delayed*
+    /// copy is cloned, into the in-flight buffer.
+    fn post(&mut self, from: NodeId, to: NodeId, msg: &Msg, t: SimTime) {
+        if self.net.is_ideal() {
+            // An inert fault plan always yields exactly one immediate
+            // copy (`fate` would return `Delivery::IMMEDIATE` without
+            // touching the RNG or any counter), so skip it entirely.
+            self.apply_msg(to, msg, t);
+            return;
+        }
         let fate = self.net.fate(t, from.0, to.0, msg.class());
         for _ in 0..fate.copies {
             if fate.delay > 0.0 {
@@ -1747,7 +1860,7 @@ impl CanSim {
                 self.in_flight.insert(seq, (to, msg.clone()));
                 self.queue.schedule(t + fate.delay, Ev::Deliver(seq));
             } else {
-                self.apply_msg(to, &msg, t);
+                self.apply_msg(to, msg, t);
             }
         }
     }
@@ -1762,6 +1875,7 @@ impl CanSim {
         let Some(n) = self.nodes.get_mut(&to) else {
             return; // receiver departed while the message was in flight
         };
+        self.delivered += 1;
         // When a zone-carrying message comes from a peer we did not
         // know, introduce ourselves back. The sender has us in its
         // table (or it would not have sent), but its record of our zone
@@ -1775,7 +1889,7 @@ impl CanSim {
         let mut probe_sends: Vec<(NodeId, Msg)> = Vec::new();
         match msg {
             Msg::Full(payload) => {
-                n.cache.insert(payload.from, payload.clone());
+                n.cache.insert(payload.from, Rc::clone(payload));
                 self.repairs += n.merge_payload_records(payload, t) as u64;
             }
             Msg::Zone(from, zone, epoch) => {
@@ -1800,7 +1914,7 @@ impl CanSim {
                 epoch,
                 departed,
             } => {
-                n.table.remove(departed);
+                n.forget(*departed);
                 n.cache.remove(departed);
                 n.hear_fenced(*from, zone, *epoch, t);
                 // A repair always earns a reply: the take-over actor
@@ -1868,14 +1982,7 @@ impl CanSim {
                     // Already expired here: re-seed an unconfirmed
                     // entry from the vouched record so the link does
                     // not stay torn while the suspect is alive.
-                    n.table.insert(
-                        *suspect,
-                        crate::membership::NeighborEntry::fresh_second_hand(
-                            zone.clone(),
-                            *heard_at,
-                            *epoch,
-                        ),
-                    );
+                    n.reseed_second_hand(*suspect, zone.clone(), *heard_at, *epoch);
                 }
             }
         }
@@ -1885,12 +1992,12 @@ impl CanSim {
                 _ => self.cfg.wire.probe_request(self.cfg.dims),
             };
             self.acct.record(MsgKind::Probe, bytes);
-            self.post(to, dest, pm, t);
+            self.post(to, dest, &pm, t);
         }
         if let Some((peer, own_zone, own_epoch)) = introduce_to {
             self.acct
                 .record(MsgKind::Heartbeat, self.cfg.wire.zone_update(self.cfg.dims));
-            self.post(to, peer, Msg::Zone(to, own_zone, own_epoch), t);
+            self.post(to, peer, &Msg::Zone(to, own_zone, own_epoch), t);
         }
     }
 
@@ -1925,6 +2032,13 @@ impl CanSim {
         };
         let d = self.cfg.dims;
         let wire = self.cfg.wire.clone();
+        // Loop-invariant: nothing below changes the requester's zone or
+        // epoch (responses only merge into its *table*), so clone once.
+        let Some((requester_zone, requester_epoch)) =
+            self.nodes.get(&id).map(|n| (n.zone.clone(), n.epoch))
+        else {
+            return;
+        };
         for r in receivers {
             self.acct
                 .record(MsgKind::FullUpdateRequest, wire.full_update_request(d));
@@ -1935,12 +2049,13 @@ impl CanSim {
                 self.frozen_drops += 1;
                 continue; // responder paused: request falls on deaf ears
             }
-            let Some((requester_zone, requester_epoch)) =
-                self.nodes.get(&id).map(|n| (n.zone.clone(), n.epoch))
-            else {
-                return;
-            };
-            let Some(rn) = self.nodes.get_mut(&r) else {
+            // Both endpoints of the synchronous exchange at once: the
+            // response is merged straight from the responder's table
+            // (`merge_from_node`) instead of materializing a snapshot
+            // payload per responder. `receivers` never contains `id`,
+            // so the keys are disjoint.
+            let [requester, responder] = self.nodes.get_disjoint_mut([&id, &r]);
+            let Some(rn) = responder else {
                 continue; // receiver is gone
             };
             // The request carries the requester's identity and zone
@@ -1949,16 +2064,14 @@ impl CanSim {
             // expired (e.g. thawing from a long freeze) re-introduces
             // itself to peers whose keepalives could never re-add it.
             rn.hear_fenced(id, &requester_zone, requester_epoch, t);
-            let resp = rn.snapshot(t);
-            self.acct.record(
-                MsgKind::FullUpdateResponse,
-                wire.full_update_response(d, resp.neighbors.len()),
-            );
+            let k = rn.table.values().filter(|e| e.confirmed).count();
+            self.acct
+                .record(MsgKind::FullUpdateResponse, wire.full_update_response(d, k));
             if self.net.fate(t, r.0, id.0, MsgClass::FullUpdate).dropped() {
                 continue; // response dropped in flight
             }
-            if let Some(n) = self.nodes.get_mut(&id) {
-                self.repairs += n.merge_payload_records(&resp, t) as u64;
+            if let Some(n) = requester {
+                self.repairs += n.merge_from_node(rn, t) as u64;
             }
         }
         // Routed gap probe: when the request round could not close a
@@ -1971,7 +2084,11 @@ impl CanSim {
         // join request is routed; the owner introduces itself and
         // learns the prober in return. Level-triggered detection
         // retries next round if the probe is lost or routing stalls.
-        let Some(p) = self.nodes.get(&id).and_then(|n| n.boundary_gap_sample()) else {
+        let Some(p) = self
+            .nodes
+            .get_mut(&id)
+            .and_then(|n| n.boundary_gap_sample_cached())
+        else {
             return;
         };
         let Some(route) = self.route_probe(id, &p, t) else {
@@ -2009,7 +2126,7 @@ impl CanSim {
             self.post(
                 route.owner,
                 id,
-                Msg::Zone(route.owner, owner_zone, owner_epoch),
+                &Msg::Zone(route.owner, owner_zone, owner_epoch),
                 t,
             );
         }

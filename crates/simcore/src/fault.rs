@@ -294,6 +294,12 @@ pub struct NetworkModel {
     /// windows). Lets a chaos scenario bracket its fault phase without
     /// reconfiguring rates mid-run.
     window: Option<(SimTime, SimTime)>,
+    /// Cached "this plan is inert" flag: true iff no class faults, no
+    /// partitions, and no degrades are configured. Recomputed on every
+    /// mutation (configuration is rare) so the per-message fast path in
+    /// [`NetworkModel::fate`] is a single branch instead of a walk over
+    /// the class array and schedule vectors.
+    ideal: bool,
     rng: SimRng,
     dropped: [u64; 4],
     duplicated: u64,
@@ -310,6 +316,7 @@ impl NetworkModel {
             partitions: Vec::new(),
             degrades: Vec::new(),
             window: None,
+            ideal: true,
             rng: SimRng::seed_from_u64(seed),
             dropped: [0; 4],
             duplicated: 0,
@@ -350,12 +357,14 @@ impl NetworkModel {
             class.drop = p;
             class.validate();
         }
+        self.recompute_ideal();
     }
 
     /// Sets the fault rates of one class (in-place).
     pub fn set_class(&mut self, class: MsgClass, faults: ClassFaults) {
         faults.validate();
         self.classes[class.index()] = faults;
+        self.recompute_ideal();
     }
 
     /// Fault rates currently configured for `class`.
@@ -366,11 +375,13 @@ impl NetworkModel {
     /// Adds a scheduled partition (in-place).
     pub fn add_partition(&mut self, p: Partition) {
         self.partitions.push(p);
+        self.ideal = false;
     }
 
     /// Adds a scheduled directed link degradation (in-place).
     pub fn add_degrade(&mut self, d: LinkDegrade) {
         self.degrades.push(d);
+        self.ideal = false;
     }
 
     /// Restricts class fault rates to `[start, end)`.
@@ -380,11 +391,18 @@ impl NetworkModel {
     }
 
     /// Whether the model can never perturb a message: no class faults
-    /// configured and no partitions scheduled.
+    /// configured and no partitions or degrades scheduled. O(1) — the
+    /// flag is maintained by the configuration mutators, so callers may
+    /// consult it per message (or per round) for free.
+    #[inline]
     pub fn is_ideal(&self) -> bool {
-        self.partitions.is_empty()
+        self.ideal
+    }
+
+    fn recompute_ideal(&mut self) {
+        self.ideal = self.partitions.is_empty()
             && self.degrades.is_empty()
-            && self.classes.iter().all(ClassFaults::is_ideal)
+            && self.classes.iter().all(ClassFaults::is_ideal);
     }
 
     #[inline]
@@ -421,6 +439,14 @@ impl NetworkModel {
     /// whose rate is non-zero, so an ideal model (or an idle fault
     /// window) leaves the random stream untouched.
     pub fn fate(&mut self, now: SimTime, from: u32, to: u32, class: MsgClass) -> Delivery {
+        // Inert plan: nothing below can fire (no partitions or degrades
+        // to check, every class ideal), so skip straight to the answer
+        // the slow path would compute. The slow path touches neither
+        // the RNG nor any counter in this configuration, so the early
+        // exit is bit-identical — `ideal_model_consumes_no_rng` pins it.
+        if self.ideal {
+            return Delivery::IMMEDIATE;
+        }
         if !self.partitions.is_empty() && self.severed(now, from, to) {
             self.partition_drops += 1;
             self.dropped[class.index()] += 1;
@@ -488,6 +514,9 @@ impl NetworkModel {
         cap: u32,
     ) -> u32 {
         assert!(cap >= 1);
+        if self.ideal {
+            return 1;
+        }
         if !self.partitions.is_empty() && self.severed(now, from, to) {
             self.partition_drops += u64::from(cap);
             self.dropped[class.index()] += u64::from(cap - 1);
@@ -638,6 +667,33 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64(), "RNG must be untouched");
         assert!(m.is_ideal());
         assert_eq!(m.dropped_total(), 0);
+    }
+
+    #[test]
+    fn ideal_flag_tracks_every_mutation() {
+        let mut m = NetworkModel::ideal(21);
+        assert!(m.is_ideal());
+        m.set_loss(0.2);
+        assert!(!m.is_ideal());
+        m.set_loss(0.0);
+        assert!(m.is_ideal(), "clearing loss restores the fast path");
+        m.set_class(
+            MsgClass::Join,
+            ClassFaults {
+                delay: 0.5,
+                ..ClassFaults::IDEAL
+            },
+        );
+        assert!(!m.is_ideal());
+        m.set_class(MsgClass::Join, ClassFaults::IDEAL);
+        assert!(m.is_ideal());
+        m.add_partition(Partition::isolate(vec![1], 0.0, 10.0));
+        assert!(!m.is_ideal(), "a scheduled partition disables the flag");
+        let mut d = NetworkModel::ideal(22);
+        d.add_degrade(LinkDegrade::new(vec![(0, 1)], 0.5, 0.0, 0.0, 10.0));
+        assert!(!d.is_ideal(), "a scheduled degrade disables the flag");
+        // Builder forms route through the same mutators.
+        assert!(!NetworkModel::ideal(23).with_loss(0.1).is_ideal());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Golden digests for the heartbeat hot path: fig7-shape churn runs
+//! (fault-free, high churn) for all three heartbeat schemes, with the
+//! failure detector off, fixed, and adaptive — nine trajectories in
+//! all. Each digest folds the full broken-link series, the fig8
+//! message-cost rates, the delivered-message count, and the final
+//! observable simulator state (`CanSim::fold_observable_state`), so a
+//! hot-path "optimization" that reorders a single message, skips one
+//! delivery, or shifts one RNG draw fails loudly.
+//!
+//! These constants were recorded with the pre-optimization delivery
+//! machinery (per-message fault fate, per-receiver payload clones,
+//! uncached gap checks) specifically so the zero-cost dispatch and
+//! batched-construction refactor can prove itself bit-identical.
+//! Digests may only be re-recorded for a change that is *supposed* to
+//! alter trajectories, never for a refactor.
+//!
+//! To re-record after such a change:
+//! `PGRID_PRINT_DIGESTS=1 cargo test --test heartbeat_digest -- --nocapture`
+
+use p2p_ce_grid::prelude::*;
+
+/// 64-bit FNV-1a.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Digests every behavior-bearing field of a churn report.
+fn digest(r: &ChurnReport) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(r.dims as u64);
+    h.u64(r.broken_series.len() as u64);
+    for s in &r.broken_series {
+        h.f64(s.time);
+        h.u64(s.broken_links as u64);
+        h.u64(s.nodes as u64);
+    }
+    h.f64(r.msgs_per_node_min);
+    h.f64(r.kb_per_node_min);
+    h.f64(r.mean_degree);
+    h.u64(r.final_nodes as u64);
+    h.u64(r.full_update_rounds);
+    h.u64(r.repairs);
+    h.u64(r.delivered_messages);
+    h.u64(r.state_digest);
+    h.0
+}
+
+/// The fig7 cell shape (11-dim CAN, high churn, fault-free) at test
+/// scale: 48 nodes and a 1500 s measurement window keep the nine runs
+/// inside a debug-build test budget while still exercising hundreds of
+/// heartbeat rounds per scheme.
+fn fig7_shape(scheme: HeartbeatScheme, detector: Option<DetectorConfig>) -> ChurnConfig {
+    let mut cfg = ChurnConfig::new(11, scheme, 48).high_churn();
+    cfg.stage2_duration = 1500.0;
+    cfg.sample_interval = 250.0;
+    cfg.detector = detector;
+    cfg
+}
+
+fn check(label: &str, expected: u64, r: &ChurnReport) {
+    let got = digest(r);
+    if std::env::var_os("PGRID_PRINT_DIGESTS").is_some() {
+        println!("(\"{label}\", 0x{got:016x}),");
+        return;
+    }
+    assert_eq!(
+        got, expected,
+        "{label}: digest 0x{got:016x} != recorded 0x{expected:016x} — \
+         the heartbeat trajectory changed; see file header"
+    );
+}
+
+// The three tables are intentionally identical: in a *fault-free* run
+// every departure is either graceful or a crash that reassigns its
+// zone in ground truth immediately, so an armed detector never finds a
+// silent-but-owning neighbor to suspect and must stay perfectly
+// trajectory-neutral (no extra messages, no RNG draws). The armed
+// variants pin exactly that neutrality — a refactor that makes the
+// detector-armed tick path touch the RNG or reorder a message breaks
+// the `+fixed`/`+adaptive` rows even though the detector never fires.
+const NO_DETECTOR: [(&str, u64); 3] = [
+    ("vanilla", 0x7b9152e37ac9760b),
+    ("compact", 0xf6b920f41afbcf65),
+    ("adaptive", 0x8c3c80fd5b8fac58),
+];
+
+const FIXED_DETECTOR: [(&str, u64); 3] = [
+    ("vanilla+fixed", 0x7b9152e37ac9760b),
+    ("compact+fixed", 0xf6b920f41afbcf65),
+    ("adaptive+fixed", 0x8c3c80fd5b8fac58),
+];
+
+const ADAPTIVE_DETECTOR: [(&str, u64); 3] = [
+    ("vanilla+adaptive", 0x7b9152e37ac9760b),
+    ("compact+adaptive", 0xf6b920f41afbcf65),
+    ("adaptive+adaptive", 0x8c3c80fd5b8fac58),
+];
+
+#[test]
+fn heartbeat_digests_no_detector() {
+    for (scheme, (label, expected)) in HeartbeatScheme::ALL.into_iter().zip(NO_DETECTOR) {
+        let cfg = fig7_shape(scheme, None);
+        let r = run_churn(&cfg, uniform_coords(cfg.dims));
+        check(label, expected, &r);
+    }
+}
+
+#[test]
+fn heartbeat_digests_fixed_detector() {
+    for (scheme, (label, expected)) in HeartbeatScheme::ALL.into_iter().zip(FIXED_DETECTOR) {
+        let cfg = fig7_shape(scheme, Some(DetectorConfig::fixed()));
+        let r = run_churn(&cfg, uniform_coords(cfg.dims));
+        check(label, expected, &r);
+    }
+}
+
+#[test]
+fn heartbeat_digests_adaptive_detector() {
+    for (scheme, (label, expected)) in HeartbeatScheme::ALL.into_iter().zip(ADAPTIVE_DETECTOR) {
+        let cfg = fig7_shape(scheme, Some(DetectorConfig::adaptive()));
+        let r = run_churn(&cfg, uniform_coords(cfg.dims));
+        check(label, expected, &r);
+    }
+}
+
+#[test]
+fn digest_is_sensitive_to_results() {
+    let cfg = fig7_shape(HeartbeatScheme::Compact, None);
+    let r = run_churn(&cfg, uniform_coords(cfg.dims));
+    let mut tweaked = r.clone();
+    tweaked.delivered_messages += 1;
+    assert_ne!(digest(&r), digest(&tweaked));
+    let mut tweaked = r.clone();
+    tweaked.state_digest ^= 1;
+    assert_ne!(digest(&r), digest(&tweaked));
+    assert!(
+        !r.broken_series.is_empty(),
+        "fig7 shape must produce a series"
+    );
+    let mut tweaked = r.clone();
+    tweaked.broken_series[0].broken_links += 1;
+    assert_ne!(digest(&r), digest(&tweaked));
+}
