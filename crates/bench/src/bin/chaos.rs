@@ -1,9 +1,12 @@
 //! Chaos harness: runs the three scripted fault scenarios (crash flash
 //! crowd, rolling partition, 20 % loss + high churn) for every
-//! heartbeat scheme, then each scheduler under fail-stop crashes with
-//! the job-conservation ledger armed, and prints the resilience
-//! tables. Exits non-zero if any invariant checker reports a
-//! violation, so CI can use `chaos --quick` as a smoke gate.
+//! heartbeat scheme, then the warm-standby takeover sweep (the same
+//! take-over storm vanilla vs replicated, pooled over repeat seeds),
+//! then each scheduler under fail-stop crashes with the
+//! job-conservation ledger armed, and prints the resilience tables.
+//! Exits non-zero if any invariant checker reports a violation, so CI
+//! can use `chaos --quick` as a smoke gate — the quick gate covers a
+//! replicated take-over cell too.
 //!
 //! `--seed` overrides the historical scenario seed (41); `--budget`
 //! caps wall-clock — the crash-recovery suite is skipped once the cap
@@ -13,7 +16,8 @@
 
 use pgrid::experiments;
 use pgrid_bench::{
-    parse_seeded_cli, render_chaos, render_crash_recovery, save_chaos_csv, CHAOS_USAGE,
+    parse_seeded_cli, render_chaos, render_crash_recovery, render_takeover, save_chaos_csv,
+    save_takeover_csv, CHAOS_USAGE,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -33,6 +37,13 @@ fn main() -> ExitCode {
     let csv = args.out.join("chaos.csv");
     save_chaos_csv(&csv, &reports).expect("write csv");
 
+    println!("--- Warm-standby takeover sweep (vanilla vs replicated) ---");
+    let takeover_seed = args.seed.unwrap_or(experiments::TAKEOVER_SEED);
+    let cells = experiments::takeover_suite_seeded(args.scale, takeover_seed);
+    println!("{}", render_takeover(&cells));
+    let takeover_csv = args.out.join("takeover.csv");
+    save_takeover_csv(&takeover_csv, &cells).expect("write csv");
+
     if args
         .budget
         .is_none_or(|b| started.elapsed().as_secs_f64() <= b)
@@ -43,9 +54,13 @@ fn main() -> ExitCode {
     } else {
         println!("(crash-recovery suite skipped: wall budget exceeded)");
     }
-    println!("CSV written to {}", csv.display());
+    println!(
+        "CSV written to {} and {}",
+        csv.display(),
+        takeover_csv.display()
+    );
 
-    let violations: Vec<String> = reports
+    let mut violations: Vec<String> = reports
         .iter()
         .flat_map(|r| {
             r.violations
@@ -53,6 +68,20 @@ fn main() -> ExitCode {
                 .map(move |v| format!("{}/{}: {v}", r.name, r.scheme.label()))
         })
         .collect();
+    for c in &cells {
+        for arm in [&c.vanilla, &c.replicated] {
+            let label = if arm.replicated {
+                "replicated"
+            } else {
+                "vanilla"
+            };
+            violations.extend(
+                arm.violations
+                    .iter()
+                    .map(|v| format!("takeover/{}/{label}: {v}", c.scheme.label())),
+            );
+        }
+    }
     if violations.is_empty() {
         println!("invariants: ok (zero violations)");
         ExitCode::SUCCESS

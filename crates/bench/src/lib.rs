@@ -14,7 +14,7 @@
 
 #![forbid(unsafe_code)]
 
-use pgrid::experiments::{CostCell, DetectorCell, WaitTimeCell};
+use pgrid::experiments::{CostCell, DetectorCell, TakeoverArm, TakeoverCell, WaitTimeCell};
 use pgrid::metrics::{Cdf, CsvWriter, Table};
 use pgrid::prelude::*;
 use std::path::{Path, PathBuf};
@@ -419,6 +419,7 @@ pub fn render_chaos(reports: &[ChaosReport]) -> String {
         "broken after",
         "gaps after",
         "recovery(s)",
+        "relearn(hb)",
         "dropped",
         "repairs",
         "probes",
@@ -434,6 +435,9 @@ pub fn render_chaos(reports: &[ChaosReport]) -> String {
             r.gaps_after.to_string(),
             r.recovery_time
                 .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.relearn_mean_heartbeats
+                .map(|m| format!("{m:.2}"))
                 .unwrap_or_else(|| "-".into()),
             r.dropped_messages.to_string(),
             r.repair_messages.to_string(),
@@ -463,6 +467,8 @@ pub fn save_chaos_csv(path: &Path, reports: &[ChaosReport]) -> std::io::Result<(
         "frozen_drops",
         "repair_messages",
         "gap_probes",
+        "relearn_mean_hb",
+        "relearn_unresolved",
         "msgs_per_node_min",
         "violations",
     ]);
@@ -481,9 +487,124 @@ pub fn save_chaos_csv(path: &Path, reports: &[ChaosReport]) -> std::io::Result<(
             &r.frozen_drops.to_string(),
             &r.repair_messages.to_string(),
             &r.gap_probes.to_string(),
+            &r.relearn_mean_heartbeats
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_default(),
+            &r.relearn_unresolved.to_string(),
             &format!("{:.2}", r.msgs_per_node_min),
             &r.violations.len().to_string(),
         ]);
+    }
+    csv.save(path)
+}
+
+/// Renders the warm-standby takeover sweep: two rows per scheme
+/// (vanilla arm, then replicated), with promotion/fence counters, the
+/// re-learn window, and post-crash misdirection — plus a pooled
+/// summary line comparing the two arms across every scheme.
+pub fn render_takeover(cells: &[TakeoverCell]) -> String {
+    let mut table = Table::new([
+        "scheme",
+        "arm",
+        "takeovers",
+        "promoted",
+        "fenced",
+        "agg",
+        "relearn(hb)",
+        "unresolved",
+        "misdirect",
+        "msgs/node/min",
+        "verdict",
+    ]);
+    for c in cells {
+        for arm in [&c.vanilla, &c.replicated] {
+            table.row([
+                c.scheme.label().to_string(),
+                if arm.replicated {
+                    "replicated".to_string()
+                } else {
+                    "vanilla".to_string()
+                },
+                arm.takeovers.to_string(),
+                arm.replica_promotions.to_string(),
+                arm.stale_replica_rejects.to_string(),
+                arm.agg_promotions.to_string(),
+                arm.relearn_mean_heartbeats
+                    .map(|m| format!("{m:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                arm.relearn_unresolved.to_string(),
+                format!("{:.1}%", 100.0 * arm.misdirect_rate),
+                format!("{:.1}", arm.msgs_per_node_min),
+                if arm.violations.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("{} VIOLATIONS", arm.violations.len())
+                },
+            ]);
+        }
+    }
+    let pooled = |pick: fn(&TakeoverCell) -> &TakeoverArm| {
+        let resolved: usize = cells.iter().map(|c| pick(c).relearn_resolved).sum();
+        cells
+            .iter()
+            .filter_map(|c| {
+                pick(c)
+                    .relearn_mean_heartbeats
+                    .map(|m| m * pick(c).relearn_resolved as f64)
+            })
+            .sum::<f64>()
+            / resolved.max(1) as f64
+    };
+    let mut out = table.render();
+    out.push_str(&format!(
+        "pooled re-learn window: vanilla {:.2} heartbeats, replicated {:.2} heartbeats\n",
+        pooled(|c| &c.vanilla),
+        pooled(|c| &c.replicated),
+    ));
+    out
+}
+
+/// Writes the takeover sweep to CSV, one row per scheme × arm.
+pub fn save_takeover_csv(path: &Path, cells: &[TakeoverCell]) -> std::io::Result<()> {
+    let mut csv = CsvWriter::new(&[
+        "scheme",
+        "arm",
+        "takeovers",
+        "replica_promotions",
+        "stale_replica_rejects",
+        "agg_promotions",
+        "relearn_mean_hb",
+        "relearn_resolved",
+        "relearn_unresolved",
+        "misdirect_rate",
+        "broken_peak",
+        "msgs_per_node_min",
+        "violations",
+    ]);
+    for c in cells {
+        for arm in [&c.vanilla, &c.replicated] {
+            csv.row(&[
+                c.scheme.label(),
+                if arm.replicated {
+                    "replicated"
+                } else {
+                    "vanilla"
+                },
+                &arm.takeovers.to_string(),
+                &arm.replica_promotions.to_string(),
+                &arm.stale_replica_rejects.to_string(),
+                &arm.agg_promotions.to_string(),
+                &arm.relearn_mean_heartbeats
+                    .map(|m| format!("{m:.3}"))
+                    .unwrap_or_default(),
+                &arm.relearn_resolved.to_string(),
+                &arm.relearn_unresolved.to_string(),
+                &format!("{:.4}", arm.misdirect_rate),
+                &arm.broken_peak.to_string(),
+                &format!("{:.2}", arm.msgs_per_node_min),
+                &arm.violations.len().to_string(),
+            ]);
+        }
     }
     csv.save(path)
 }
@@ -871,12 +992,14 @@ mod tests {
         assert!(text.contains("rolling-partition"));
         assert!(text.contains("lossy-churn"));
         assert!(text.contains("Adaptive"));
+        assert!(text.contains("relearn(hb)"));
         let dir = std::env::temp_dir().join("pgrid_bench_lib_test");
         std::fs::create_dir_all(&dir).unwrap();
         let csv = dir.join("chaos.csv");
         save_chaos_csv(&csv, &reports).unwrap();
         let body = std::fs::read_to_string(&csv).unwrap();
         assert!(body.starts_with("scenario,scheme,broken_peak"));
+        assert!(body.lines().next().unwrap().contains("relearn_mean_hb"));
         assert_eq!(body.lines().count(), 10);
         // Adaptive is self-healing: it must come back clean.
         for r in reports
@@ -886,6 +1009,24 @@ mod tests {
             assert!(r.violations.is_empty(), "{}: {:?}", r.name, r.violations);
             assert_eq!(r.broken_after, 0, "{}", r.name);
         }
+    }
+
+    #[test]
+    fn takeover_render_and_csv() {
+        let cells = experiments::takeover_suite(Scale::Quick);
+        assert_eq!(cells.len(), 3, "one cell per heartbeat scheme");
+        let text = render_takeover(&cells);
+        assert!(text.contains("vanilla"));
+        assert!(text.contains("replicated"));
+        assert!(text.contains("relearn(hb)"));
+        assert!(text.contains("pooled re-learn window"));
+        let dir = std::env::temp_dir().join("pgrid_bench_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("takeover.csv");
+        save_takeover_csv(&csv, &cells).unwrap();
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("scheme,arm,takeovers"));
+        assert_eq!(body.lines().count(), 1 + 2 * cells.len());
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! produces the same [`ChaosReport`] bit for bit.
 
 use crate::churn::uniform_coords;
-use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig};
+use crate::protocol::{CanSim, HeartbeatScheme, ProtocolConfig, ReplicationConfig};
+use crate::routing::route_local;
 use pgrid_simcore::fault::{ClassFaults, FaultPlan, MsgClass, NodeFault, Partition};
 use pgrid_simcore::{SimRng, SimTime};
+use pgrid_types::NodeId;
 
 /// Fraction-of-members partition scheduled in fault-phase-relative
 /// time. The victim group is sampled at the fault-phase start so the
@@ -58,6 +60,13 @@ pub struct ChaosConfig {
     pub partitions: Vec<PartitionSpec>,
     /// Node-level fault script, in fault-phase-relative time.
     pub plan: FaultPlan,
+    /// Correlated crash waves, in fault-phase-relative time: at each
+    /// instant, `count` victims crash and each victim's *designated
+    /// take-over heir* crashes with it, forcing second-choice heirs to
+    /// adopt zones they were never the primary replica target for.
+    pub correlated_crashes: Vec<(SimTime, usize)>,
+    /// Arm warm-standby zone replication ([`ReplicationConfig::standby`]).
+    pub replication: bool,
     /// Gap between background churn events during the fault phase
     /// (`None` disables churn).
     pub churn_gap: Option<f64>,
@@ -89,6 +98,8 @@ impl ChaosConfig {
             net_faults: Vec::new(),
             partitions: Vec::new(),
             plan: FaultPlan::new(seed),
+            correlated_crashes: Vec::new(),
+            replication: false,
             churn_gap: None,
             graceful_fraction: 0.5,
             recovery_periods: 20.0,
@@ -156,6 +167,38 @@ impl ChaosConfig {
         cfg
     }
 
+    /// Scenario 4 — **take-over storm** (not part of the default
+    /// [`ChaosConfig::scenarios`] trio): two crash waves bracketing a
+    /// correlated owner+heir wave, under moderate heartbeat loss so
+    /// cached payloads go stale. Run vanilla vs
+    /// [`ChaosConfig::replicated`] to measure the re-learn window and
+    /// post-crash misdirection that warm-standby replication removes.
+    pub fn takeover_storm(scheme: HeartbeatScheme, seed: u64) -> Self {
+        let mut cfg = ChaosConfig::new("takeover-storm", scheme, seed);
+        cfg.net_faults = vec![(
+            MsgClass::Heartbeat,
+            ClassFaults {
+                drop: 0.3,
+                ..ClassFaults::IDEAL
+            },
+        )];
+        cfg.plan = FaultPlan::new(seed)
+            .with(60.0, NodeFault::Crash { count: 5 })
+            .with(600.0, NodeFault::Crash { count: 3 });
+        cfg.correlated_crashes = vec![(330.0, 3)];
+        // Join/leave churn keeps the victims' neighborhoods moving, so
+        // a heartbeat cache that missed a (lossy) refresh is genuinely
+        // stale — the case acked replica deltas are built to survive.
+        cfg.churn_gap = Some(cfg.heartbeat_period / 3.0);
+        cfg
+    }
+
+    /// Arms warm-standby replication on this scenario.
+    pub fn replicated(mut self) -> Self {
+        self.replication = true;
+        self
+    }
+
     /// The three scripted scenarios of the chaos bench, in order.
     pub fn scenarios(scheme: HeartbeatScheme, seed: u64) -> Vec<ChaosConfig> {
         vec![
@@ -199,8 +242,122 @@ pub struct ChaosReport {
     /// Heartbeat-scheme traffic during the run, messages per node per
     /// minute (Figure 8 metric, here under chaos).
     pub msgs_per_node_min: f64,
+    /// Crash take-overs applied during the run.
+    pub takeovers: usize,
+    /// Warm replicas promoted by take-over actors (0 when disarmed).
+    pub replica_promotions: u64,
+    /// Promotions whose replica carried a non-empty scheduler-aggregate
+    /// slice — the adopted zone's matchmaking state survived the crash.
+    pub agg_promotions: usize,
+    /// Replica promotions refused by the epoch fence.
+    pub stale_replica_rejects: u64,
+    /// Mean **re-learn window** over resolved take-overs: heartbeat
+    /// periods from a take-over until the actor's local table covered
+    /// every ground-truth neighbor of its adopted zone (`None` when no
+    /// take-over resolved). Sampled at boundary granularity, so a heir
+    /// that promotes a warm replica scores ~0.
+    pub relearn_mean_heartbeats: Option<f64>,
+    /// Take-overs whose re-learn window resolved (the count behind the
+    /// mean — lets sweeps pool means across runs).
+    pub relearn_resolved: usize,
+    /// Take-overs whose actor never reached full neighbor coverage by
+    /// the end of the run (non-healing schemes can leave these).
+    pub relearn_unresolved: usize,
+    /// Post-crash **misdirection rate**: fraction of local-table routes
+    /// to the center of each freshly adopted zone (from a deterministic
+    /// panel of sources, at the first sample boundary after each
+    /// take-over) that failed or terminated at the wrong owner.
+    pub misdirect_rate: f64,
+    /// Misdirection probes attempted (8 per take-over).
+    pub misdirect_probes: usize,
+    /// Misdirection probes that failed or landed on the wrong owner.
+    pub misdirect_misses: usize,
     /// Invariant violations (empty on a clean run).
     pub violations: Vec<String>,
+}
+
+/// Accumulates the per-take-over robustness metrics by polling the
+/// simulator's take-over log at sample boundaries. Read-only: polling
+/// never perturbs the trajectory.
+#[derive(Debug, Default)]
+struct TakeoverWatch {
+    seen: usize,
+    pending: Vec<(NodeId, crate::geom::Zone, SimTime)>,
+    windows: Vec<f64>,
+    unresolved: usize,
+    probes_total: usize,
+    probes_misdirected: usize,
+}
+
+impl TakeoverWatch {
+    /// Ingests new take-over records (probing misdirection once per
+    /// record) and retires pending ones whose actor has regained full
+    /// knowledge of the adopted zone's current neighborhood.
+    fn poll(&mut self, sim: &CanSim, heartbeat_period: f64) {
+        let now = sim.now();
+        let log = sim.takeover_log();
+        for rec in &log[self.seen..] {
+            self.pending
+                .push((rec.actor, rec.departed_zone.clone(), rec.at));
+            // Misdirection probe: route to the adopted zone from a
+            // deterministic panel of low-id members.
+            let target = rec.departed_zone.center();
+            let truth = sim.owner_at(&target);
+            let mut sources = sim.members();
+            sources.sort();
+            for src in sources.into_iter().take(8) {
+                self.probes_total += 1;
+                let landed = route_local(sim, src, &target).map(|r| r.owner);
+                if landed != truth {
+                    self.probes_misdirected += 1;
+                }
+            }
+        }
+        self.seen = log.len();
+        self.pending.retain(|(actor, adopted, at)| {
+            if !sim.is_member(*actor) {
+                return false; // actor itself gone; window unmeasurable
+            }
+            let Some(node) = sim.local(*actor) else {
+                return false;
+            };
+            // "Correct placement in the adopted zone": the actor knows
+            // every current ground-truth neighbor whose zone abuts the
+            // region it adopted — missing entries elsewhere are general
+            // overlay healing, not re-learning of the dead owner's
+            // neighborhood.
+            let settled = sim
+                .true_neighbors(*actor)
+                .iter()
+                .filter(|n| sim.zone(**n).abuts(adopted))
+                .all(|n| node.table.contains_key(n));
+            if settled {
+                self.windows.push(((now - *at) / heartbeat_period).max(0.0));
+            }
+            !settled
+        });
+    }
+
+    fn finish(mut self, sim: &CanSim, heartbeat_period: f64) -> RelearnStats {
+        self.poll(sim, heartbeat_period);
+        self.unresolved += self.pending.len();
+        RelearnStats {
+            mean: (!self.windows.is_empty())
+                .then(|| self.windows.iter().sum::<f64>() / self.windows.len() as f64),
+            resolved: self.windows.len(),
+            unresolved: self.unresolved,
+            probes: self.probes_total,
+            misses: self.probes_misdirected,
+        }
+    }
+}
+
+struct RelearnStats {
+    mean: Option<f64>,
+    resolved: usize,
+    unresolved: usize,
+    probes: usize,
+    misses: usize,
 }
 
 /// Runs one scripted chaos scenario.
@@ -209,6 +366,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     proto.heartbeat_period = cfg.heartbeat_period;
     proto.fail_timeout = cfg.fail_timeout;
     proto.loss_seed = pgrid_simcore::rng::sub_seed(cfg.seed, 0xFA17);
+    if cfg.replication {
+        proto = proto.with_replication(ReplicationConfig::standby());
+    }
     let mut sim = CanSim::new(proto).expect("valid protocol config");
     let mut rng = SimRng::sub_stream(cfg.seed, 0xC4A5);
     let mut victim_rng = SimRng::sub_stream(cfg.plan.seed, 0x71C7);
@@ -224,6 +384,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
     sim.advance_to(sim.now() + cfg.settle_time);
     sim.reset_accounting();
+    if cfg.replication {
+        // Stand-in for the scheduler layer: each owner publishes an
+        // opaque zone-local aggregate slice (see `CanSim::set_agg_slice`)
+        // so promotions can be audited for carrying matchmaking state.
+        for id in sim.members() {
+            sim.set_agg_slice(id, vec![u64::from(id.0), 4, 2, 1]);
+        }
+    }
 
     // Arm the network: class faults active only inside the window,
     // partitions anchored to absolute time.
@@ -255,13 +423,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut broken_peak = 0usize;
     let mut events = cfg.plan.events.clone();
     events.reverse(); // pop() yields earliest-first
+    let mut correlated = cfg.correlated_crashes.clone();
+    correlated.reverse();
+    let mut watch = TakeoverWatch::default();
     let mut next_churn = cfg.churn_gap.map(|g| fault_start + g);
     let mut next_sample = fault_start;
     let min_nodes = (cfg.initial_nodes / 2).max(4);
     loop {
         let t_event = events.last().map(|e| fault_start + e.at);
+        let t_corr = correlated.last().map(|&(at, _)| fault_start + at);
         let t_churn = next_churn.filter(|&t| t < fault_end);
-        let due = [t_event, t_churn, Some(next_sample)]
+        let due = [t_event, t_corr, t_churn, Some(next_sample)]
             .into_iter()
             .flatten()
             .fold(f64::INFINITY, f64::min);
@@ -272,6 +444,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         if Some(due) == t_event {
             let ev = events.pop().expect("event present");
             apply_fault(&mut sim, ev.fault, &mut victim_rng, &mut coords, min_nodes);
+        } else if Some(due) == t_corr {
+            let (_, count) = correlated.pop().expect("correlated wave present");
+            correlated_crash(&mut sim, count, &mut victim_rng, min_nodes);
         } else if Some(due) == t_churn {
             let join = sim.len() <= min_nodes || rng.chance(0.5);
             if join {
@@ -284,6 +459,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             next_churn = Some(due + cfg.churn_gap.expect("churn active"));
         } else {
             broken_peak = broken_peak.max(sim.broken_links());
+            watch.poll(&sim, cfg.heartbeat_period);
             next_sample += cfg.sample_interval;
         }
     }
@@ -297,6 +473,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     while t < recovery_end {
         t = (t + cfg.sample_interval).min(recovery_end);
         sim.advance_to(t);
+        watch.poll(&sim, cfg.heartbeat_period);
         if recovery_time.is_none() && sim.broken_links() == 0 {
             recovery_time = Some(t - fault_end);
         }
@@ -331,6 +508,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         }
     }
 
+    let relearn = watch.finish(&sim, cfg.heartbeat_period);
+
     ChaosReport {
         name: cfg.name,
         scheme: cfg.scheme,
@@ -346,7 +525,45 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         gap_probes: sim.gap_probes(),
         full_update_rounds: sim.full_update_rounds(),
         msgs_per_node_min: sim.accounting().heartbeat_msgs_per_node_min(),
+        takeovers: sim.takeover_log().len(),
+        replica_promotions: sim.replica_promotions(),
+        agg_promotions: sim
+            .takeover_log()
+            .iter()
+            .filter(|r| r.replica_agg.as_ref().is_some_and(|a| !a.is_empty()))
+            .count(),
+        stale_replica_rejects: sim.stale_replica_rejects(),
+        relearn_mean_heartbeats: relearn.mean,
+        relearn_resolved: relearn.resolved,
+        relearn_unresolved: relearn.unresolved,
+        misdirect_rate: if relearn.probes == 0 {
+            0.0
+        } else {
+            relearn.misses as f64 / relearn.probes as f64
+        },
+        misdirect_probes: relearn.probes,
+        misdirect_misses: relearn.misses,
         violations,
+    }
+}
+
+/// Crashes `count` randomly chosen owners together with each owner's
+/// first designated take-over heir — the correlated rack-failure case
+/// where the zone must fall to a second-choice heir.
+fn correlated_crash(sim: &mut CanSim, count: usize, victim_rng: &mut SimRng, min_nodes: usize) {
+    for _ in 0..count {
+        if sim.len() <= min_nodes + 1 {
+            break;
+        }
+        let members = sim.members();
+        let owner = members[victim_rng.below(members.len())];
+        let heirs = sim.takeover_targets(owner);
+        sim.leave(owner, false);
+        if let Some(&heir) = heirs.first() {
+            if sim.is_member(heir) && sim.len() > min_nodes {
+                sim.leave(heir, false);
+            }
+        }
     }
 }
 
@@ -434,6 +651,76 @@ mod tests {
         )));
         assert!(report.dropped_messages > 0, "loss drops traffic");
         assert!(report.frozen_drops > 0, "freezes silently eat messages");
+    }
+
+    #[test]
+    fn takeover_storm_replication_shrinks_the_relearn_window() {
+        let vanilla = run_chaos(&quick(ChaosConfig::takeover_storm(
+            HeartbeatScheme::Adaptive,
+            17,
+        )));
+        let replicated = run_chaos(&quick(
+            ChaosConfig::takeover_storm(HeartbeatScheme::Adaptive, 17).replicated(),
+        ));
+        assert!(vanilla.takeovers > 0, "the storm must force take-overs");
+        assert_eq!(vanilla.replica_promotions, 0, "disarmed run cannot promote");
+        assert!(
+            replicated.replica_promotions > 0,
+            "armed heirs promote warm replicas: {replicated:?}"
+        );
+        assert!(
+            replicated.agg_promotions > 0,
+            "some promotion must carry the adopted zone's aggregate slice"
+        );
+        let v = vanilla.relearn_mean_heartbeats.expect("vanilla resolves");
+        let r = replicated
+            .relearn_mean_heartbeats
+            .expect("replicated resolves");
+        assert!(
+            r < v,
+            "warm replicas must shrink the re-learn window: replicated {r} vs vanilla {v}"
+        );
+        assert!(
+            replicated.violations.is_empty(),
+            "{:?}",
+            replicated.violations
+        );
+    }
+
+    #[test]
+    fn correlated_crashes_hit_second_choice_heirs() {
+        // Owner+heir die together: promotions still happen (from the
+        // second-choice heir's replica) and the deterministic replay
+        // holds.
+        let cfg = quick(ChaosConfig::takeover_storm(HeartbeatScheme::Compact, 23).replicated());
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a, b, "takeover storm must replay bit-identically");
+        assert!(a.takeovers > 0);
+    }
+
+    #[test]
+    fn ghost_keepalive_pingback_heals_stale_cover_tears() {
+        // Regression: at paper scale, seeds 53 and 55 each left one
+        // permanent broken link in the adaptive replicated arm — a
+        // dropped split announce let a keepalive-refreshed record's
+        // stale zone bits *cover* the joiner's region, so no boundary
+        // gap ever opened and adaptive probing stayed blind while the
+        // hidden joiner's keepalives were discarded as ghost traffic.
+        // The unknown-sender ping-back (Keepalive → ProbePing → Zone)
+        // is what heals these; without it this test fails.
+        for seed in [53, 55] {
+            let mut cfg = ChaosConfig::takeover_storm(HeartbeatScheme::Adaptive, seed).replicated();
+            cfg.initial_nodes = 60;
+            cfg.settle_time = 300.0;
+            let report = run_chaos(&cfg);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            assert!(report.takeovers > 0, "seed {seed}: storm must take over");
+        }
     }
 
     #[test]

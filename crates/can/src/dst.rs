@@ -17,7 +17,7 @@
 
 use crate::churn::uniform_coords;
 use crate::oracles;
-use crate::protocol::{CanSim, DetectorConfig, HeartbeatScheme, ProtocolConfig};
+use crate::protocol::{CanSim, DetectorConfig, HeartbeatScheme, ProtocolConfig, ReplicationConfig};
 use pgrid_simcore::dst::{FaultSchedule, Fnv};
 use pgrid_simcore::fault::{LinkDegrade, NodeFault, Partition};
 use pgrid_simcore::SimRng;
@@ -60,6 +60,11 @@ pub struct ScheduleReport {
     pub revivals: u64,
     /// Keepalives received from already-evicted senders (ghost traffic).
     pub stale_keepalives: u64,
+    /// Warm replicas promoted by take-over actors (0 when replication
+    /// is disarmed).
+    pub replica_promotions: u64,
+    /// Replica promotions refused by the epoch fence.
+    pub stale_replica_rejects: u64,
     /// FNV-1a digest of the full observable trajectory.
     pub digest: u64,
 }
@@ -83,6 +88,11 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
         Some("adaptive") => Some(DetectorConfig::adaptive()),
         Some(other) => panic!("unknown detector mode `{other}`"),
     };
+    match schedule.replication.as_deref() {
+        None => {}
+        Some("standby") => proto = proto.with_replication(ReplicationConfig::standby()),
+        Some(other) => panic!("unknown replication mode `{other}`"),
+    }
     let mut sim = CanSim::new(proto).expect("valid protocol config");
     let mut rng = SimRng::sub_stream(schedule.seed, 0xC4A5);
     let mut victim_rng = SimRng::sub_stream(schedule.seed, 0x71C7);
@@ -162,6 +172,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     let mut next_churn = schedule.churn_gap.map(|g| fault_start + g);
     let mut next_check = fault_start;
     let mut ledger = oracles::EpochLedger::new();
+    let mut replica_ledger = oracles::ReplicaLedger::new();
     let mut broken_peak = 0usize;
     let mut prev_now = sim.now();
     loop {
@@ -206,6 +217,9 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
             for msg in ledger.check(&sim) {
                 record(&mut violations, msg);
             }
+            for msg in replica_ledger.check(&sim) {
+                record(&mut violations, msg);
+            }
             sim.check_invariants();
             next_check += schedule.heartbeat_period;
         }
@@ -225,6 +239,9 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
             record(&mut violations, msg);
         }
         for msg in ledger.check(&sim) {
+            record(&mut violations, msg);
+        }
+        for msg in replica_ledger.check(&sim) {
             record(&mut violations, msg);
         }
         sim.check_invariants();
@@ -254,6 +271,14 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
         live_expulsions: sim.live_expulsions(),
         revivals: sim.revivals(),
         stale_keepalives,
+        // Replication counters are report-level only — they are covered
+        // by `ScheduleReport` equality in replay tests and deliberately
+        // kept out of the digest so an armed fault-free run stays
+        // bit-identical to the legacy disarmed trajectory (divergence in
+        // a *faulty* run still surfaces through the per-boundary broken
+        // counts, epoch checksums, and final observable state).
+        replica_promotions: sim.replica_promotions(),
+        stale_replica_rejects: sim.stale_replica_rejects(),
         digest: digest.finish(),
         violations,
     }
@@ -381,6 +406,55 @@ mod tests {
                 a.violations
             );
         }
+    }
+
+    #[test]
+    fn replicated_schedules_replay_and_pass_oracles() {
+        // Forced warm-standby replication over crash-bearing schedules:
+        // replays stay bit-identical, the freshness oracle stays quiet,
+        // and at least one seed actually promotes a warm replica.
+        let budget = ScheduleBudget::smoke();
+        let mut promoted = 0u64;
+        for seed in [7u64, 8, 9, 23] {
+            let mut s = generate(seed, &budget);
+            s.replication = Some("standby".to_string());
+            s.validate().expect("forced schedule stays valid");
+            let a = run_schedule(&s);
+            let b = run_schedule(&s);
+            assert_eq!(a, b, "seed {seed} must replay identically");
+            assert!(a.violations.is_empty(), "seed {seed}:\n{:#?}", a.violations);
+            promoted += a.replica_promotions;
+        }
+        assert!(
+            promoted > 0,
+            "some crash across these seeds should promote a warm replica"
+        );
+    }
+
+    #[test]
+    fn armed_replication_leaves_faultfree_digest_untouched() {
+        // With no crash to take over, arming replication must not
+        // perturb the trajectory at all: the extra replica traffic is
+        // invisible to the pinned observable state.
+        let budget = ScheduleBudget::smoke();
+        let mut s = generate(42, &budget);
+        s.events.clear();
+        s.partitions.clear();
+        s.class_faults.clear();
+        s.degrades.clear();
+        s.churn_gap = None;
+        s.detector = None;
+        s.replication = None;
+        let baseline = run_schedule(&s);
+        s.replication = Some("standby".to_string());
+        let armed = run_schedule(&s);
+        assert_eq!(armed.replica_promotions, 0, "nothing to promote");
+        assert_eq!(armed.stale_replica_rejects, 0);
+        assert!(armed.violations.is_empty(), "{:#?}", armed.violations);
+        assert_eq!(
+            armed.digest, baseline.digest,
+            "arming replication must not perturb a fault-free trajectory"
+        );
     }
 
     #[test]

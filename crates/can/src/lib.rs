@@ -46,9 +46,11 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport, PartitionSpec};
 pub use churn::{run_churn, uniform_coords, BrokenSample, ChurnConfig, ChurnReport};
 pub use dst::{run_schedule, scheme_from_label, ScheduleReport};
 pub use geom::{Point, Zone};
-pub use membership::{LocalNode, NeighborEntry, Payload};
+pub use membership::{LocalNode, NeighborEntry, Payload, ReplicaPayload, ZoneReplica};
+pub use oracles::{EpochLedger, ReplicaLedger};
 pub use protocol::{
     CanSim, ConfigError, DetectorConfig, DetectorMode, HeartbeatScheme, JoinError, ProtocolConfig,
+    ReplicationConfig, TakeoverRecord,
 };
 pub use routing::{route, Route, RoutingView};
 pub use split_tree::{SplitTree, TakeoverPlan, ZoneChange};

@@ -109,6 +109,54 @@ pub struct Payload {
     pub sent_at: SimTime,
 }
 
+/// A warm-standby copy of another node's zone state, held by one of its
+/// take-over targets. Where the legacy [`LocalNode::cache`] keeps the
+/// owner's last *full heartbeat* (refreshed wholesale every round), a
+/// replica is an explicitly versioned snapshot shipped incrementally:
+/// the owner bumps `version` only when its replicated content actually
+/// changed, and the heir acks each version back, so both sides know
+/// exactly how fresh the standby copy is when a crash promotes it.
+#[derive(Debug, Clone)]
+pub struct ZoneReplica {
+    /// The owner's zone at snapshot time.
+    pub zone: Zone,
+    /// The owner's zone-ownership epoch at snapshot time. A replica
+    /// stamped below the owner's epoch at death describes pre-take-over
+    /// geometry and must not be promoted (the epoch fence).
+    pub epoch: u64,
+    /// The owner's replica version counter at snapshot time (monotone;
+    /// bumped only on content change).
+    pub version: u64,
+    /// The owner's confirmed neighbor summary (ids and zones).
+    pub neighbors: Vec<(NodeId, Zone)>,
+    /// The zone-local slice of the scheduler aggregate, opaque to the
+    /// CAN layer (bit-exact words fed by [`crate::CanSim::set_agg_slice`]).
+    pub agg: Vec<u64>,
+    /// When this copy was stored at the heir.
+    pub stored_at: SimTime,
+}
+
+/// The wire form of a replica delta: what a [`ZoneReplica`] looks like
+/// in flight, piggybacked on the owner's heartbeat round to each
+/// take-over target whose acked version lags the current one.
+#[derive(Debug, Clone)]
+pub struct ReplicaPayload {
+    /// The replicating owner.
+    pub from: NodeId,
+    /// The owner's zone at snapshot time.
+    pub zone: Zone,
+    /// The owner's zone-ownership epoch at snapshot time.
+    pub epoch: u64,
+    /// The owner's replica version counter at snapshot time.
+    pub version: u64,
+    /// The owner's confirmed neighbor summary.
+    pub neighbors: Vec<(NodeId, Zone)>,
+    /// The opaque zone-local aggregate slice.
+    pub agg: Vec<u64>,
+    /// Snapshot time.
+    pub sent_at: SimTime,
+}
+
 /// The local protocol state of one CAN member.
 #[derive(Debug)]
 pub struct LocalNode {
@@ -145,6 +193,28 @@ pub struct LocalNode {
     /// seeing a higher epoch for its old zone knows its death was
     /// declared and its state is stale.
     pub epoch: u64,
+    /// Warm-standby replicas of other nodes' zone state, keyed by
+    /// owner: populated by versioned replica deltas when replication is
+    /// armed. Unlike [`LocalNode::cache`] entries, replicas survive
+    /// neighbor expiry — the heir must still hold the copy when the
+    /// deferred take-over fires, well after the owner went silent.
+    pub replicas: HashMap<NodeId, ZoneReplica>,
+    /// This node's outgoing replica version counter: 0 until the first
+    /// armed round publishes a snapshot, bumped on every content change
+    /// after that.
+    pub replica_version: u64,
+    /// Content hash of the last published replica snapshot (0 = never
+    /// computed); an unchanged hash keeps the version stable so
+    /// steady-state rounds piggyback nothing.
+    pub replica_hash: u64,
+    /// Highest replica version each take-over target has acked back.
+    /// A target lagging the current version gets the delta re-sent
+    /// every round — natural retransmission under loss.
+    pub replica_acked: HashMap<NodeId, u64>,
+    /// The zone-local slice of the scheduler aggregate this node
+    /// replicates alongside its zone state — opaque bits owned by the
+    /// layer above (see [`crate::CanSim::set_agg_slice`]).
+    pub agg_slice: Vec<u64>,
     /// Suspicion ledger of the two-phase failure detector: suspects
     /// mapped to their expulsion deadline. Populated when a neighbor's
     /// silence crosses its per-link threshold; cleared by any
@@ -173,10 +243,37 @@ impl LocalNode {
             zone_dirty: false,
             wants_full_update: false,
             zone_change_audience: Vec::new(),
+            replicas: HashMap::new(),
+            replica_version: 0,
+            replica_hash: 0,
+            replica_acked: HashMap::new(),
+            agg_slice: Vec::new(),
             epoch: 1,
             suspects: BTreeMap::new(),
             gap_cache: None,
         }
+    }
+
+    /// Stores (or refreshes) a warm-standby replica of `from`'s zone
+    /// state. Fenced: an incoming snapshot whose `(epoch, version)` is
+    /// lexicographically below the stored copy's is stale — a delayed
+    /// or duplicated delta from before the owner's last content change
+    /// — and must never roll the standby back. Returns whether the
+    /// snapshot was accepted.
+    pub fn store_replica(&mut self, from: NodeId, rep: ZoneReplica) -> bool {
+        if let Some(existing) = self.replicas.get(&from) {
+            if (rep.epoch, rep.version) < (existing.epoch, existing.version) {
+                return false;
+            }
+        }
+        self.replicas.insert(from, rep);
+        true
+    }
+
+    /// Removes and returns the stored replica of `owner`'s zone state,
+    /// if any — the promotion path of a crash take-over.
+    pub fn take_replica(&mut self, owner: NodeId) -> Option<ZoneReplica> {
+        self.replicas.remove(&owner)
     }
 
     /// Records first-hand contact from `from` owning `zone` — inserts
@@ -486,12 +583,18 @@ impl LocalNode {
     }
 
     /// Clears the whole table (relocation: the node leaves its old
-    /// neighborhood entirely).
+    /// neighborhood entirely). Standby replicas go with it — they were
+    /// held for owners near the *old* position, whose take-over plans
+    /// no longer name this node — and so do the acks collected for the
+    /// old position's replica, forcing a fresh delta to the new
+    /// position's targets.
     pub fn forget_all(&mut self) {
         if !self.table.is_empty() {
             self.gap_cache = None;
         }
         self.table.clear();
+        self.replicas.clear();
+        self.replica_acked.clear();
     }
 
     /// Inserts (or overwrites with) an unconfirmed second-hand record —
@@ -825,6 +928,59 @@ mod tests {
         n.hear_with_zone(NodeId(3), &z(&[0.5, 0.6], &[1.0, 1.0]), 0.0);
         n.known_neighbors_into(&mut out);
         assert_eq!(out, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    fn replica(epoch: u64, version: u64) -> ZoneReplica {
+        ZoneReplica {
+            zone: z(&[0.5, 0.0], &[1.0, 1.0]),
+            epoch,
+            version,
+            neighbors: vec![(NodeId(7), z(&[0.0, 0.0], &[0.5, 1.0]))],
+            agg: vec![3, 1, 4],
+            stored_at: 60.0,
+        }
+    }
+
+    #[test]
+    fn replica_store_fences_stale_epoch_and_version() {
+        let mut n = node();
+        assert!(n.store_replica(NodeId(1), replica(2, 5)));
+        // Same epoch, older version: a delayed duplicate — rejected.
+        assert!(!n.store_replica(NodeId(1), replica(2, 4)));
+        assert_eq!(n.replicas[&NodeId(1)].version, 5);
+        // Lower epoch entirely: pre-take-over geometry — rejected even
+        // at a (meaningless across epochs) higher version counter.
+        assert!(!n.store_replica(NodeId(1), replica(1, 9)));
+        // Fresher content advances the copy.
+        assert!(n.store_replica(NodeId(1), replica(2, 6)));
+        assert!(n.store_replica(NodeId(1), replica(3, 1)));
+        assert_eq!(n.replicas[&NodeId(1)].epoch, 3);
+        assert_eq!(n.replicas[&NodeId(1)].version, 1);
+    }
+
+    #[test]
+    fn replica_survives_expiry_but_not_relocation() {
+        let mut n = node();
+        n.hear_with_zone(NodeId(1), &z(&[0.5, 0.0], &[1.0, 1.0]), 0.0);
+        assert!(n.store_replica(NodeId(1), replica(2, 5)));
+        n.replica_acked.insert(NodeId(1), 5);
+        // The owner goes silent: expiry tears the table entry (and
+        // would drop a cached payload) but the standby copy must still
+        // be there when the deferred take-over fires.
+        let expired = n.expire(1000.0, 150.0);
+        assert_eq!(expired.len(), 1);
+        assert!(n.replicas.contains_key(&NodeId(1)), "replica survives");
+        assert_eq!(
+            n.take_replica(NodeId(1)).map(|r| r.version),
+            Some(5),
+            "promotion takes the stored copy"
+        );
+        assert!(n.take_replica(NodeId(1)).is_none(), "taken once");
+        // Relocation clears the store: the node left the neighborhood.
+        assert!(n.store_replica(NodeId(1), replica(2, 6)));
+        n.forget_all();
+        assert!(n.replicas.is_empty());
+        assert!(n.replica_acked.is_empty());
     }
 
     #[test]

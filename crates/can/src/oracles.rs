@@ -141,6 +141,75 @@ impl EpochLedger {
     }
 }
 
+/// Stateful cross-boundary `replica-freshness` oracle: every crash
+/// take-over's promoted warm replica is exactly as fresh as the fence
+/// allows. The DST executor feeds it at every heartbeat boundary; it
+/// audits the [`crate::TakeoverRecord`]s appended since the last call:
+///
+/// * a promoted replica must never be **older than the last version
+///   the dead owner saw acked** by that heir — the owner stopped
+///   re-sending once the ack arrived, so a lower promoted version
+///   means the heir's store went backwards;
+/// * a promoted replica's epoch must never **exceed** the fence the
+///   take-over raised (`departed_epoch`) — that would be a replica
+///   from the future, i.e. store corruption;
+/// * a promoted replica must carry the victim's **final incarnation**
+///   (`epoch >= victim_epoch`) — anything older escaped the promotion
+///   fence (the second-choice-heir chain of PR 4).
+///
+/// A crash take-over with *no* promotion is not a violation: the heir
+/// may never have heard a delta (bootstrap, loss, or a freeze), or a
+/// revival may have reset its store — that is a liveness miss the
+/// benchmarks measure, not a safety breach.
+#[derive(Debug, Default)]
+pub struct ReplicaLedger {
+    seen: usize,
+}
+
+impl ReplicaLedger {
+    /// An empty ledger (no take-over records audited yet).
+    pub fn new() -> Self {
+        ReplicaLedger::default()
+    }
+
+    /// Audits take-over records appended since the last call; returns
+    /// violations (empty when every promotion respected the fence).
+    pub fn check(&mut self, sim: &CanSim) -> Vec<String> {
+        let mut v = Vec::new();
+        let log = sim.takeover_log();
+        for rec in &log[self.seen.min(log.len())..] {
+            let at = rec.at;
+            let (departed, actor) = (rec.departed, rec.actor);
+            if let (Some(p), Some(a)) = (rec.promoted_version, rec.owner_acked_version) {
+                if p < a {
+                    v.push(format!(
+                        "t={at}: {actor} promoted replica v{p} of {departed} but the \
+                         owner had seen v{a} acked — the heir's store went backwards"
+                    ));
+                }
+            }
+            if let Some(pe) = rec.promoted_epoch {
+                if pe > rec.departed_epoch {
+                    v.push(format!(
+                        "t={at}: {actor} promoted a replica of {departed} at epoch {pe} \
+                         above the take-over fence {f} — replica from the future",
+                        f = rec.departed_epoch
+                    ));
+                }
+                if pe < rec.victim_epoch {
+                    v.push(format!(
+                        "t={at}: {actor} promoted a stale replica of {departed} \
+                         (epoch {pe} < victim epoch {ve}) that escaped the fence",
+                        ve = rec.victim_epoch
+                    ));
+                }
+            }
+        }
+        self.seen = log.len();
+        v
+    }
+}
+
 /// The member zones partition the unit d-cube: volumes sum to 1 and no
 /// two zones overlap on an open set.
 fn zone_tiling(sim: &CanSim, out: &mut Vec<String>) {
@@ -300,6 +369,40 @@ mod tests {
             assert!(v.is_empty(), "{v:?}");
             sim.advance_to(sim.now() + 30.0);
         }
+    }
+
+    #[test]
+    fn replica_ledger_accepts_fenced_promotions_and_is_incremental() {
+        use crate::protocol::ReplicationConfig;
+        let cfg = ProtocolConfig::new(2, HeartbeatScheme::Compact)
+            .with_replication(ReplicationConfig::standby());
+        let mut sim = CanSim::new(cfg).expect("valid protocol config");
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut coords = uniform_coords(2);
+        let mut joined = 0;
+        while joined < 20 {
+            if sim.join(coords(&mut rng)).is_ok() {
+                joined += 1;
+            }
+            sim.advance_to(sim.now() + 1.0);
+        }
+        sim.advance_to(sim.now() + 200.0);
+        let mut ledger = ReplicaLedger::new();
+        assert!(ledger.check(&sim).is_empty(), "no take-overs yet");
+        for _ in 0..4 {
+            let victim = sim.members()[1];
+            sim.leave(victim, false);
+            sim.advance_to(sim.now() + 200.0);
+            let v = ledger.check(&sim);
+            assert!(v.is_empty(), "{v:?}");
+        }
+        assert!(
+            sim.replica_promotions() >= 1,
+            "warm promotions expected under clean crashes"
+        );
+        // The cursor advanced: a second pass re-audits nothing.
+        assert_eq!(ledger.seen, sim.takeover_log().len());
+        assert!(ledger.check(&sim).is_empty());
     }
 
     #[test]

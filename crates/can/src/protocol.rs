@@ -20,7 +20,7 @@
 use crate::accounting::Accounting;
 use crate::adjacency::Adjacency;
 use crate::geom::{Point, Zone};
-use crate::membership::{LocalNode, Payload};
+use crate::membership::{LocalNode, Payload, ReplicaPayload, ZoneReplica};
 use crate::split_tree::{SplitTree, ZoneChange};
 use crate::wire::{MsgKind, WireModel};
 use pgrid_simcore::dst::Fnv;
@@ -146,6 +146,30 @@ impl DetectorConfig {
     }
 }
 
+/// Warm-standby zone replication configuration. `None` on
+/// [`ProtocolConfig`] keeps the legacy behavior: a crash take-over
+/// recovers only from the heir's best-effort heartbeat cache. `Some`
+/// arms incremental replication: every node piggybacks a *versioned*
+/// snapshot of its zone state (zone, epoch, confirmed-neighbor summary,
+/// and the opaque scheduler-aggregate slice) onto its heartbeat rounds
+/// to its take-over targets, re-sending only while a target's ack lags
+/// the current version — so a crash promotes a warm, fence-checked
+/// replica instead of re-learning the zone from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Cap on the neighbor-summary length carried by one replica delta
+    /// (the summary is sorted by id and truncated; must be >= 1).
+    pub max_neighbors: usize,
+}
+
+impl ReplicationConfig {
+    /// The evaluation default: warm-standby replication with a summary
+    /// cap comfortably above any realistic CAN neighbor degree.
+    pub fn standby() -> Self {
+        ReplicationConfig { max_neighbors: 64 }
+    }
+}
+
 /// A rejected [`ProtocolConfig`] (see [`ProtocolConfig::validate`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
@@ -173,6 +197,10 @@ pub enum ConfigError {
     /// Detector scalars (`k_var`, `probe_grace`) must be finite and
     /// non-negative.
     NegativeDetectorParam(&'static str, f64),
+    /// Replication is armed with a zero-length neighbor summary: a
+    /// replica that names no neighbors can never seed the adopted
+    /// zone's table, defeating the point of the subsystem.
+    EmptyReplicaSummary,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -201,6 +229,13 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "detector parameter {name} must be finite and >= 0, got {v}"
+                )
+            }
+            ConfigError::EmptyReplicaSummary => {
+                write!(
+                    f,
+                    "replication max_neighbors must be >= 1 (a replica with no \
+                     neighbor summary cannot seed an adopted zone)"
                 )
             }
         }
@@ -246,6 +281,13 @@ pub struct ProtocolConfig {
     /// later refutes its own death and rejoins through the bootstrap
     /// path. The fault-free path draws zero RNG either way.
     pub detector: Option<DetectorConfig>,
+    /// Warm-standby zone replication. `None` (the default) keeps the
+    /// legacy cache-only crash recovery; `Some` arms versioned replica
+    /// deltas piggybacked on heartbeat rounds and fence-checked
+    /// promotion on crash take-overs. Replica traffic never touches
+    /// neighbor tables or ownership state, so a fault-free armed run
+    /// follows the exact disarmed trajectory.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl ProtocolConfig {
@@ -262,6 +304,7 @@ impl ProtocolConfig {
             loss_seed: 0x105E,
             net: None,
             detector: None,
+            replication: None,
         }
     }
 
@@ -284,6 +327,12 @@ impl ProtocolConfig {
     /// Arms detector-driven expulsion (see [`DetectorConfig`]).
     pub fn with_detector(mut self, det: DetectorConfig) -> Self {
         self.detector = Some(det);
+        self
+    }
+
+    /// Arms warm-standby zone replication (see [`ReplicationConfig`]).
+    pub fn with_replication(mut self, rep: ReplicationConfig) -> Self {
+        self.replication = Some(rep);
         self
     }
 
@@ -315,6 +364,11 @@ impl ProtocolConfig {
                 if !(v.is_finite() && v >= 0.0) {
                     return Err(ConfigError::NegativeDetectorParam(name, v));
                 }
+            }
+        }
+        if let Some(rep) = &self.replication {
+            if rep.max_neighbors == 0 {
+                return Err(ConfigError::EmptyReplicaSummary);
             }
         }
         Ok(())
@@ -378,12 +432,43 @@ enum Msg {
         epoch: u64,
         heard_at: SimTime,
     },
+    /// Warm-standby replica delta: the sender's versioned zone snapshot
+    /// shipped to a take-over target. Reference-counted for the same
+    /// fan-out reason as `Full`.
+    ReplicaDelta(Rc<ReplicaPayload>),
+    /// The heir confirms it stored the owner's snapshot at the given
+    /// epoch/version, so the owner stops re-sending it.
+    ReplicaAck {
+        from: NodeId,
+        owner: NodeId,
+        epoch: u64,
+        version: u64,
+    },
 }
 
 impl Msg {
     fn class(&self) -> MsgClass {
         MsgClass::Heartbeat // all datagram heartbeat-round traffic
     }
+}
+
+/// Context captured from a crash victim at the moment of death, used
+/// by the take-over path to fence replica promotion and to log the
+/// ground truth the `replica-freshness` oracle checks against.
+#[derive(Debug, Clone)]
+struct CrashCtx {
+    /// The victim's ownership epoch when it died. A replica stamped
+    /// below this is from an earlier incarnation of the zone and must
+    /// be rejected at promotion.
+    victim_epoch: u64,
+    /// The victim's zone at death (ground truth from the split tree,
+    /// captured before removal).
+    victim_zone: Zone,
+    /// The per-heir replica versions the victim had seen acked, sorted
+    /// by heir id. The freshness oracle pins that a promoted replica is
+    /// never older than the last version the dead owner saw acked by
+    /// that heir.
+    owner_acked: Vec<(NodeId, u64)>,
 }
 
 /// A crash take-over waiting for the failure-detection timeout.
@@ -395,6 +480,9 @@ struct Pending {
     /// claims still in flight (or a later zombie re-announcement) lose
     /// the epoch comparison.
     departed_epoch: u64,
+    /// Victim-side context for replica promotion (crash take-overs
+    /// only — graceful departures hand state off directly).
+    crash: CrashCtx,
     kind: PendingKind,
 }
 
@@ -409,6 +497,38 @@ enum PendingKind {
         absorber: NodeId,
         payload_x: Option<Rc<Payload>>,
     },
+}
+
+/// One crash take-over, as observed by the take-over actor — recorded
+/// for every crash (armed or not) so benchmarks can measure re-learn
+/// windows and the `replica-freshness` oracle can audit promotions
+/// against what the dead owner actually saw acked.
+#[derive(Debug, Clone)]
+pub struct TakeoverRecord {
+    /// The crashed owner.
+    pub departed: NodeId,
+    /// The node that adopted the zone (merge heir or relocator).
+    pub actor: NodeId,
+    /// When the take-over was applied.
+    pub at: SimTime,
+    /// The adopted zone (the victim's zone at death).
+    pub departed_zone: Zone,
+    /// The fence the actor's epoch was raised above (victim epoch
+    /// folded with any surviving fence floor).
+    pub departed_epoch: u64,
+    /// The victim's own epoch at death (before floor folding).
+    pub victim_epoch: u64,
+    /// Version of the warm replica promoted by the actor, `None` when
+    /// no acceptable replica existed (disarmed, never replicated, or
+    /// fenced off as stale).
+    pub promoted_version: Option<u64>,
+    /// Epoch stamped on the promoted replica.
+    pub promoted_epoch: Option<u64>,
+    /// The last replica version the dead owner saw this actor ack,
+    /// `None` if the owner never recorded an ack from it.
+    pub owner_acked_version: Option<u64>,
+    /// The scheduler-aggregate slice carried by the promoted replica.
+    pub replica_agg: Option<Vec<u64>>,
 }
 
 /// The CAN protocol simulator.
@@ -480,6 +600,13 @@ pub struct CanSim {
     scratch_receivers: Vec<NodeId>,
     /// Arena-reused buffer for the round's sorted take-over targets.
     scratch_targets: Vec<NodeId>,
+    replica_deltas: u64,
+    replica_acks: u64,
+    replica_promotions: u64,
+    stale_replica_rejects: u64,
+    /// Every crash take-over applied so far, in application order (see
+    /// [`TakeoverRecord`]). Graceful departures are not recorded.
+    takeover_log: Vec<TakeoverRecord>,
 }
 
 impl CanSim {
@@ -529,6 +656,11 @@ impl CanSim {
             fence_floors: HashMap::new(),
             scratch_receivers: Vec::new(),
             scratch_targets: Vec::new(),
+            replica_deltas: 0,
+            replica_acks: 0,
+            replica_promotions: 0,
+            stale_replica_rejects: 0,
+            takeover_log: Vec::new(),
         })
     }
 
@@ -700,6 +832,47 @@ impl CanSim {
         self.revivals
     }
 
+    /// Warm-standby replica deltas sent (armed runs only).
+    pub fn replica_deltas(&self) -> u64 {
+        self.replica_deltas
+    }
+
+    /// Replica acks sent back by take-over targets.
+    pub fn replica_acks(&self) -> u64 {
+        self.replica_acks
+    }
+
+    /// Crash take-overs that promoted a warm, fence-accepted replica.
+    pub fn replica_promotions(&self) -> u64 {
+        self.replica_promotions
+    }
+
+    /// Replica snapshots rejected by the epoch/version fence — at
+    /// store time (an older delta arriving late) or at promotion time
+    /// (a replica from an earlier incarnation of the zone).
+    pub fn stale_replica_rejects(&self) -> u64 {
+        self.stale_replica_rejects
+    }
+
+    /// Every crash take-over applied so far, in application order.
+    pub fn takeover_log(&self) -> &[TakeoverRecord] {
+        &self.takeover_log
+    }
+
+    /// Installs the opaque scheduler-aggregate slice replicated for
+    /// member `id` (the zone-local `AiTable` words). Returns whether
+    /// the node is a current member. The slice rides the next replica
+    /// delta whose content hash changes.
+    pub fn set_agg_slice(&mut self, id: NodeId, bits: Vec<u64>) -> bool {
+        match self.nodes.get_mut(&id) {
+            Some(n) => {
+                n.agg_slice = bits;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Folds the complete observable simulator state into `digest`:
     /// the member set with epochs and exact zone bounds, then every
     /// fault/detector counter. This is the byte sequence the DST
@@ -862,6 +1035,7 @@ impl CanSim {
                                 pending.departed_epoch,
                                 heir,
                                 payload,
+                                Some(&pending.crash),
                                 tt,
                             );
                         }
@@ -876,6 +1050,7 @@ impl CanSim {
                                 relocator,
                                 absorber,
                                 payload_x,
+                                Some(&pending.crash),
                                 tt,
                             );
                         }
@@ -1064,8 +1239,24 @@ impl CanSim {
             .epoch
             .max(self.fence_floors.remove(&id).unwrap_or(0));
         let tree = self.tree.as_mut().expect("member implies tree");
+        let victim_zone = tree.zone(id).clone();
         let change = tree.remove(id);
         self.record_fences(&change, departed_epoch);
+        // Crash victims leave behind the context replica promotion is
+        // fenced against; graceful departures hand state off directly.
+        let crash_ctx = (!graceful).then(|| {
+            let mut acked: Vec<(NodeId, u64)> = departing
+                .replica_acked
+                .iter()
+                .map(|(&n, &v)| (n, v))
+                .collect();
+            acked.sort_unstable();
+            CrashCtx {
+                victim_epoch: departing.epoch,
+                victim_zone,
+                owner_acked: acked,
+            }
+        });
         match change {
             ZoneChange::Emptied => {
                 self.tree = None;
@@ -1082,7 +1273,7 @@ impl CanSim {
                     // acknowledged — retransmitted under loss.
                     let snap = departing.snapshot(t);
                     self.record_handoff(id, heir, snap.neighbors.len(), t);
-                    self.apply_merge(id, departed_epoch, heir, Some(Rc::new(snap)), t);
+                    self.apply_merge(id, departed_epoch, heir, Some(Rc::new(snap)), None, t);
                 } else {
                     // Crash: the heir only notices after the failure
                     // timeout, then recovers from its cached copy of
@@ -1096,6 +1287,7 @@ impl CanSim {
                         Pending {
                             departed: id,
                             departed_epoch,
+                            crash: crash_ctx.expect("crash departure has context"),
                             kind: PendingKind::Merge { heir, payload },
                         },
                     );
@@ -1119,6 +1311,7 @@ impl CanSim {
                         relocator,
                         absorber,
                         Some(Rc::new(snap)),
+                        None,
                         t,
                     );
                 } else {
@@ -1131,6 +1324,7 @@ impl CanSim {
                         Pending {
                             departed: id,
                             departed_epoch,
+                            crash: crash_ctx.expect("crash departure has context"),
                             kind: PendingKind::Relocate {
                                 relocator,
                                 absorber,
@@ -1170,14 +1364,16 @@ impl CanSim {
     }
 
     /// Executes a merge take-over at `t`: the heir syncs its zone to
-    /// ground truth, adopts the departed node's neighbor records, and
-    /// announces the change.
+    /// ground truth, adopts the departed node's neighbor records —
+    /// promoting its warm replica first when replication is armed and
+    /// the snapshot clears the epoch fence — and announces the change.
     fn apply_merge(
         &mut self,
         departed: NodeId,
         departed_epoch: u64,
         heir: NodeId,
         payload: Option<Rc<Payload>>,
+        crash: Option<&CrashCtx>,
         t: SimTime,
     ) {
         let alive = self.tree.as_ref().is_some_and(|tr| tr.contains(heir))
@@ -1186,12 +1382,30 @@ impl CanSim {
             return; // the heir itself is gone; later events take over
         }
         let zone = self.tree.as_ref().unwrap().zone(heir).clone();
+        let armed = self.cfg.replication.is_some();
+        let mut promoted: Option<ZoneReplica> = None;
         {
             let hn = self.nodes.get_mut(&heir).unwrap();
+            if let Some(ctx) = crash {
+                if armed {
+                    // Promote the warm replica only if it was stamped by
+                    // the victim's final incarnation: a replica from an
+                    // earlier epoch describes a zone geometry that no
+                    // longer exists (the second-choice-heir chain).
+                    match hn.take_replica(departed) {
+                        Some(r) if r.epoch >= ctx.victim_epoch => promoted = Some(r),
+                        Some(_) => self.stale_replica_rejects += 1,
+                        None => {}
+                    }
+                }
+            }
             // Fence: the heir's post-take-over epoch must exceed every
             // claim the departed node ever made (set_zone bumps by 1).
             hn.epoch = hn.epoch.max(departed_epoch);
             hn.set_zone(zone);
+            if let Some(r) = &promoted {
+                hn.adopt_records(&r.neighbors, t);
+            }
             if let Some(p) = &payload {
                 hn.adopt_records(&p.neighbors, t);
             }
@@ -1201,13 +1415,42 @@ impl CanSim {
                 hn.wants_full_update = true;
             }
         }
+        if let Some(ctx) = crash {
+            if promoted.is_some() {
+                self.replica_promotions += 1;
+            }
+            let owner_acked_version = if armed {
+                ctx.owner_acked
+                    .iter()
+                    .find(|(n, _)| *n == heir)
+                    .map(|(_, v)| *v)
+            } else {
+                None
+            };
+            self.takeover_log.push(TakeoverRecord {
+                departed,
+                actor: heir,
+                at: t,
+                departed_zone: ctx.victim_zone.clone(),
+                departed_epoch,
+                victim_epoch: ctx.victim_epoch,
+                promoted_version: promoted.as_ref().map(|r| r.version),
+                promoted_epoch: promoted.as_ref().map(|r| r.epoch),
+                owner_acked_version,
+                replica_agg: promoted.as_ref().map(|r| r.agg.clone()),
+            });
+        }
         // Targeted repair (compact/adaptive): the heir's zone-dirty
         // update only reaches nodes in its *own* table, but the
         // departed node's neighbors also hold records of the heir that
         // just went stale — and under compact nothing else would ever
         // refresh them (the seed-41 edge). Announce the new zone to the
-        // departed node's former neighborhood directly.
-        if let Some(p) = &payload {
+        // departed node's former neighborhood directly. A promoted
+        // replica's summary is the victim's own confirmed view at its
+        // final version — strictly fresher than any cached heartbeat.
+        if let Some(r) = &promoted {
+            self.send_repairs(heir, &r.neighbors, departed, t);
+        } else if let Some(p) = &payload {
             self.send_repairs(heir, &p.neighbors, departed, t);
         }
         self.send_round(heir, t);
@@ -1217,6 +1460,7 @@ impl CanSim {
     /// Executes a defragmentation take-over at `t`: the relocator moves
     /// onto the departed zone, the absorber absorbs the relocator's old
     /// zone, both sync to ground truth and announce.
+    #[allow(clippy::too_many_arguments)]
     fn apply_relocate(
         &mut self,
         departed: NodeId,
@@ -1224,6 +1468,7 @@ impl CanSim {
         relocator: NodeId,
         absorber: NodeId,
         payload_x: Option<Rc<Payload>>,
+        crash: Option<&CrashCtx>,
         t: SimTime,
     ) {
         let tree_has = |n: NodeId, s: &Self| {
@@ -1239,6 +1484,21 @@ impl CanSim {
         } else {
             0
         };
+        // Extract the relocator's warm replica of the victim *before*
+        // `forget_all` below wipes its replica store with the rest of
+        // its old-position state.
+        let armed = self.cfg.replication.is_some();
+        let mut promoted: Option<ZoneReplica> = None;
+        if r_alive && armed {
+            if let Some(ctx) = crash {
+                let rn = self.nodes.get_mut(&relocator).unwrap();
+                match rn.take_replica(departed) {
+                    Some(r) if r.epoch >= ctx.victim_epoch => promoted = Some(r),
+                    Some(_) => self.stale_replica_rejects += 1,
+                    None => {}
+                }
+            }
+        }
         // The relocator ships its old-position state to the absorber.
         let r_old = if r_alive {
             let snap = self.nodes[&relocator].snapshot(t);
@@ -1254,6 +1514,9 @@ impl CanSim {
             rn.cache.clear();
             rn.epoch = rn.epoch.max(departed_epoch);
             rn.set_zone(zone);
+            if let Some(r) = &promoted {
+                rn.adopt_records(&r.neighbors, t);
+            }
             if let Some(p) = &payload_x {
                 rn.adopt_records(&p.neighbors, t);
             }
@@ -1286,12 +1549,43 @@ impl CanSim {
                 .unwrap()
                 .hear_fenced(relocator, &rz, re, t);
         }
+        // The crash take-over record and promotion counter — the
+        // relocator is the actor that adopted the victim's zone.
+        if let Some(ctx) = crash {
+            if r_alive {
+                if promoted.is_some() {
+                    self.replica_promotions += 1;
+                }
+                let owner_acked_version = if armed {
+                    ctx.owner_acked
+                        .iter()
+                        .find(|(n, _)| *n == relocator)
+                        .map(|(_, v)| *v)
+                } else {
+                    None
+                };
+                self.takeover_log.push(TakeoverRecord {
+                    departed,
+                    actor: relocator,
+                    at: t,
+                    departed_zone: ctx.victim_zone.clone(),
+                    departed_epoch,
+                    victim_epoch: ctx.victim_epoch,
+                    promoted_version: promoted.as_ref().map(|r| r.version),
+                    promoted_epoch: promoted.as_ref().map(|r| r.epoch),
+                    owner_acked_version,
+                    replica_agg: promoted.as_ref().map(|r| r.agg.clone()),
+                });
+            }
+        }
         // Targeted repairs (compact/adaptive): the relocator announces
         // its new position to the departed node's former neighbors and
         // to its *own* former neighbors (whose records of it just went
         // stale); the absorber announces its grown zone to the
         // relocator's former neighbors, whose new neighbor it now is.
-        if let Some(p) = &payload_x {
+        if let Some(r) = &promoted {
+            self.send_repairs(relocator, &r.neighbors, departed, t);
+        } else if let Some(p) = &payload_x {
             self.send_repairs(relocator, &p.neighbors, departed, t);
         }
         if let Some(p) = &r_old {
@@ -1548,13 +1842,26 @@ impl CanSim {
         let departed_epoch = victim
             .epoch
             .max(self.fence_floors.remove(&suspect).unwrap_or(0));
+        // Capture the promotion-fence context before the victim's local
+        // state is parked (an expelled node is a crash as far as the
+        // take-over actors can tell).
+        let victim_epoch = victim.epoch;
+        let mut owner_acked: Vec<(NodeId, u64)> =
+            victim.replica_acked.iter().map(|(&n, &v)| (n, v)).collect();
+        owner_acked.sort_unstable();
         // The victim's process is still running (it merely looks dead
         // from here): park it as a zombie, keeping its frozen-until
         // state and its tick chain.
         self.zombies.insert(suspect, victim);
         let tree = self.tree.as_mut().expect("member implies tree");
+        let victim_zone = tree.zone(suspect).clone();
         let change = tree.remove(suspect);
         self.record_fences(&change, departed_epoch);
+        let ctx = CrashCtx {
+            victim_epoch,
+            victim_zone,
+            owner_acked,
+        };
         match change {
             ZoneChange::Emptied => {
                 self.tree = None;
@@ -1569,7 +1876,7 @@ impl CanSim {
                     .nodes
                     .get(&heir)
                     .and_then(|hn| hn.cache.get(&suspect).cloned());
-                self.apply_merge(suspect, departed_epoch, heir, payload, t);
+                self.apply_merge(suspect, departed_epoch, heir, payload, Some(&ctx), t);
             }
             ZoneChange::Relocated {
                 relocator,
@@ -1584,7 +1891,15 @@ impl CanSim {
                     .nodes
                     .get(&relocator)
                     .and_then(|rn| rn.cache.get(&suspect).cloned());
-                self.apply_relocate(suspect, departed_epoch, relocator, absorber, payload, t);
+                self.apply_relocate(
+                    suspect,
+                    departed_epoch,
+                    relocator,
+                    absorber,
+                    payload,
+                    Some(&ctx),
+                    t,
+                );
             }
         }
     }
@@ -1788,9 +2103,95 @@ impl CanSim {
                 self.post(id, r, &keepalive_msg, t);
             }
         }
+        // Warm-standby replication rides the same round: a versioned
+        // replica delta to any take-over target whose ack lags.
+        self.send_replica_deltas(id, &targets, t);
         // Return the buffers' capacity to the arena for the next round.
         self.scratch_targets = targets;
         self.scratch_receivers = receivers;
+    }
+
+    /// Piggybacks warm-standby replication on `id`'s heartbeat round:
+    /// hashes the replicated content (zone, epoch, confirmed-neighbor
+    /// summary, aggregate slice), bumps the version when it changed,
+    /// and ships a [`Msg::ReplicaDelta`] to every take-over target
+    /// whose last ack lags the current version — so steady state costs
+    /// nothing beyond the first delivery, and a lost delta is re-sent
+    /// on the next round. No-op (and zero-cost) while disarmed.
+    fn send_replica_deltas(&mut self, id: NodeId, targets: &[NodeId], t: SimTime) {
+        let Some(rep) = self.cfg.replication else {
+            return;
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let (payload, lagging) = {
+            let Some(n) = self.nodes.get_mut(&id) else {
+                return;
+            };
+            let mut nbrs: Vec<(NodeId, Zone)> = n
+                .table
+                .iter()
+                .filter(|(_, e)| e.confirmed)
+                .map(|(&p, e)| (p, e.zone.clone()))
+                .collect();
+            nbrs.sort_unstable_by_key(|(p, _)| *p);
+            nbrs.truncate(rep.max_neighbors);
+            let mut h = Fnv::new();
+            for d in 0..n.zone.dims() {
+                h.write_f64(n.zone.lo(d));
+                h.write_f64(n.zone.hi(d));
+            }
+            h.write_u64(n.epoch);
+            h.write_usize(nbrs.len());
+            for (p, z) in &nbrs {
+                h.write_u64(u64::from(p.0));
+                for d in 0..z.dims() {
+                    h.write_f64(z.lo(d));
+                    h.write_f64(z.hi(d));
+                }
+            }
+            h.write_usize(n.agg_slice.len());
+            for &w in &n.agg_slice {
+                h.write_u64(w);
+            }
+            let hash = h.finish();
+            if n.replica_version == 0 || hash != n.replica_hash {
+                n.replica_version += 1;
+                n.replica_hash = hash;
+            }
+            let version = n.replica_version;
+            let lagging: Vec<NodeId> = targets
+                .iter()
+                .copied()
+                .filter(|tg| *tg != id && n.replica_acked.get(tg).copied().unwrap_or(0) < version)
+                .collect();
+            if lagging.is_empty() {
+                return;
+            }
+            (
+                ReplicaPayload {
+                    from: id,
+                    zone: n.zone.clone(),
+                    epoch: n.epoch,
+                    version,
+                    neighbors: nbrs,
+                    agg: n.agg_slice.clone(),
+                    sent_at: t,
+                },
+                lagging,
+            )
+        };
+        let bytes =
+            self.cfg
+                .wire
+                .replica_delta(self.cfg.dims, payload.neighbors.len(), payload.agg.len());
+        let msg = Msg::ReplicaDelta(Rc::new(payload));
+        for tg in lagging {
+            self.acct.record(MsgKind::Replica, bytes);
+            self.replica_deltas += 1;
+            self.post(id, tg, &msg, t);
+        }
     }
 
     /// Sends targeted take-over repairs: `actor` (a take-over heir,
@@ -1887,6 +2288,7 @@ impl CanSim {
         // neighbors and there is no record to keep fresh.
         let mut introduce_to: Option<(NodeId, Zone, u64)> = None;
         let mut probe_sends: Vec<(NodeId, Msg)> = Vec::new();
+        let mut ack_to: Option<(NodeId, Msg)> = None;
         match msg {
             Msg::Full(payload) => {
                 n.cache.insert(payload.from, Rc::clone(payload));
@@ -1906,6 +2308,19 @@ impl CanSim {
                     // evicted it. Counted so the detector experiment
                     // can report it instead of losing the signal.
                     self.acct.stale_keepalives += 1;
+                    // A keepalive stream from a node we do not know is
+                    // also the one *retried* signal out of a torn
+                    // link: the sender has us in its table, but its
+                    // zone announcements never reached us (a dropped
+                    // split announce can even leave us holding a stale
+                    // covering zone for its split partner, hiding the
+                    // gap from adaptive probing) — and keepalives
+                    // carry no zone to heal with. Ping back so it
+                    // answers with a first-hand zone announcement; the
+                    // hear-side epoch fence still rejects any replaced
+                    // incarnation, so an expelled ghost cannot talk
+                    // its way back in.
+                    probe_sends.push((*from, Msg::ProbePing { origin: to }));
                 }
             }
             Msg::Repair {
@@ -1916,6 +2331,10 @@ impl CanSim {
             } => {
                 n.forget(*departed);
                 n.cache.remove(departed);
+                // The departed zone has a new owner: any warm replica
+                // of the old incarnation is now useless (and the fence
+                // would reject it anyway).
+                n.replicas.remove(departed);
                 n.hear_fenced(*from, zone, *epoch, t);
                 // A repair always earns a reply: the take-over actor
                 // inherited the departed node's records of its former
@@ -1985,6 +2404,52 @@ impl CanSim {
                     n.reseed_second_hand(*suspect, zone.clone(), *heard_at, *epoch);
                 }
             }
+            Msg::ReplicaDelta(rp) => {
+                if self.cfg.replication.is_some() {
+                    let accepted = n.store_replica(
+                        rp.from,
+                        ZoneReplica {
+                            zone: rp.zone.clone(),
+                            epoch: rp.epoch,
+                            version: rp.version,
+                            neighbors: rp.neighbors.clone(),
+                            agg: rp.agg.clone(),
+                            stored_at: t,
+                        },
+                    );
+                    if accepted {
+                        ack_to = Some((
+                            rp.from,
+                            Msg::ReplicaAck {
+                                from: to,
+                                owner: rp.from,
+                                epoch: rp.epoch,
+                                version: rp.version,
+                            },
+                        ));
+                    } else {
+                        // A delayed or duplicated delta arriving behind
+                        // a fresher one: the store fence holds, no ack
+                        // (the owner already has a newer one or will
+                        // re-send next round).
+                        self.stale_replica_rejects += 1;
+                    }
+                }
+            }
+            Msg::ReplicaAck {
+                from,
+                owner,
+                epoch,
+                version,
+            } => {
+                debug_assert_eq!(*owner, to, "an ack is routed back to its owner");
+                debug_assert!(
+                    *epoch <= n.epoch,
+                    "an acked epoch cannot exceed the owner's own"
+                );
+                let e = n.replica_acked.entry(*from).or_insert(0);
+                *e = (*e).max(*version);
+            }
         }
         for (dest, pm) in probe_sends {
             let bytes = match pm {
@@ -1998,6 +2463,12 @@ impl CanSim {
             self.acct
                 .record(MsgKind::Heartbeat, self.cfg.wire.zone_update(self.cfg.dims));
             self.post(to, peer, &Msg::Zone(to, own_zone, own_epoch), t);
+        }
+        if let Some((owner, ack)) = ack_to {
+            self.acct
+                .record(MsgKind::Replica, self.cfg.wire.replica_ack());
+            self.replica_acks += 1;
+            self.post(to, owner, &ack, t);
         }
     }
 
@@ -2827,6 +3298,16 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("k_min"), "unhelpful error: {msg}");
+
+        // Replication with an empty neighbor summary is useless.
+        let cfg = ProtocolConfig::new(2, HeartbeatScheme::Compact)
+            .with_replication(ReplicationConfig { max_neighbors: 0 });
+        let Err(e) = CanSim::new(cfg) else {
+            panic!("max_neighbors == 0 must be rejected");
+        };
+        assert!(matches!(e, ConfigError::EmptyReplicaSummary));
+        let msg = e.to_string();
+        assert!(msg.contains("max_neighbors"), "unhelpful error: {msg}");
     }
 
     #[test]
@@ -2951,5 +3432,195 @@ mod tests {
             base.accounting().heartbeat_msgs_per_node_min(),
             armed.accounting().heartbeat_msgs_per_node_min()
         );
+    }
+
+    // ---- warm-standby zone replication ----
+
+    fn build_replicated(
+        scheme: HeartbeatScheme,
+        n: usize,
+        d: usize,
+        seed: u64,
+    ) -> (CanSim, SimRng) {
+        let cfg = ProtocolConfig::new(d, scheme).with_replication(ReplicationConfig::standby());
+        let mut sim = CanSim::new(cfg).expect("valid protocol config");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut joined = 0;
+        while joined < n {
+            let c = uniform_coord(&mut rng, d);
+            if sim.join(c).is_ok() {
+                joined += 1;
+            }
+            sim.advance_to(sim.now() + 1.0);
+        }
+        (sim, rng)
+    }
+
+    #[test]
+    fn fault_free_run_with_replication_matches_baseline_state() {
+        // Replica traffic must be invisible to the protocol state: same
+        // member set, epochs, zones, and every non-replica message
+        // counter byte-for-byte — only the Replica accounting category
+        // carries the (real) extra traffic.
+        let (mut base, _) = build(HeartbeatScheme::Adaptive, 30, 3, 59);
+        let (mut armed, _) = build_replicated(HeartbeatScheme::Adaptive, 30, 3, 59);
+        let horizon = 4000.0;
+        base.advance_to(horizon);
+        armed.advance_to(horizon);
+        assert_eq!(
+            base.state_digest(),
+            armed.state_digest(),
+            "armed fault-free trajectory must be bit-identical"
+        );
+        assert_eq!(armed.replica_promotions(), 0);
+        assert_eq!(armed.stale_replica_rejects(), 0);
+        assert!(armed.replica_deltas() > 0, "deltas should have flowed");
+        assert!(armed.replica_acks() > 0, "acks should have flowed");
+        for kind in [
+            MsgKind::Heartbeat,
+            MsgKind::FullUpdateRequest,
+            MsgKind::FullUpdateResponse,
+            MsgKind::Join,
+            MsgKind::Handoff,
+            MsgKind::Repair,
+            MsgKind::Probe,
+        ] {
+            assert_eq!(
+                base.accounting().counter(kind),
+                armed.accounting().counter(kind),
+                "non-replica category {kind:?} must be unchanged"
+            );
+        }
+        assert_eq!(base.accounting().counter(MsgKind::Replica).messages, 0);
+        assert!(armed.accounting().counter(MsgKind::Replica).messages > 0);
+        // Steady state goes quiet: once every target acked the current
+        // version, further rounds ship no deltas.
+        let before = armed.replica_deltas();
+        armed.advance_to(horizon + 600.0);
+        assert_eq!(
+            armed.replica_deltas(),
+            before,
+            "unchanged content must not be re-replicated"
+        );
+    }
+
+    #[test]
+    fn crash_heir_promotes_warm_replica() {
+        // Mirror of `crash_heir_recovers_from_cached_payload`, armed:
+        // the heir promotes the victim's versioned replica — including
+        // the opaque scheduler-aggregate slice — instead of relying on
+        // the best-effort heartbeat cache alone.
+        let (mut sim, _) = build_replicated(HeartbeatScheme::Compact, 30, 3, 31);
+        sim.advance_to(sim.now() + 120.0); // everyone heartbeats, replicas ack
+        let victim = sim.members()[10];
+        let bits = vec![0xDEAD_BEEF, 42];
+        assert!(sim.set_agg_slice(victim, bits.clone()));
+        sim.advance_to(sim.now() + 120.0); // the changed slice re-replicates
+        sim.leave(victim, false); // crash
+        sim.advance_to(sim.now() + 200.0);
+        sim.check_invariants();
+        assert_eq!(sim.broken_links(), 0, "promoted replica should suffice");
+        assert_eq!(sim.replica_promotions(), 1);
+        assert_eq!(sim.stale_replica_rejects(), 0);
+        let rec = sim
+            .takeover_log()
+            .iter()
+            .find(|r| r.departed == victim)
+            .expect("crash take-over must be recorded");
+        let promoted = rec.promoted_version.expect("warm replica promoted");
+        assert_eq!(rec.promoted_epoch, Some(rec.victim_epoch));
+        if let Some(acked) = rec.owner_acked_version {
+            assert!(
+                promoted >= acked,
+                "promoted v{promoted} older than owner-acked v{acked}"
+            );
+        }
+        assert_eq!(
+            rec.replica_agg.as_deref(),
+            Some(bits.as_slice()),
+            "the aggregate slice must ride the promotion"
+        );
+        assert!(crate::oracles::step_violations(&sim).is_empty());
+    }
+
+    #[test]
+    fn stale_replica_is_fenced_at_promotion() {
+        // Crash chain hitting an owner *and* its heir: Z crashes, heir
+        // X adopts (epoch bump) — but X's heir H is frozen through the
+        // whole chain, so H's warm replica of X predates the adoption.
+        // When X crashes too, the epoch fence must reject H's stale
+        // replica: it describes X's pre-adoption zone.
+        //
+        // Phase 1 per candidate discovers the actual take-over actors
+        // from ground truth (freezes change no zone arithmetic), then
+        // phase 2 replays with H frozen and pins the fence.
+        let mut pinned = false;
+        'candidates: for i in 0..12 {
+            // Phase 1: discovery.
+            let (mut probe, _) = build_replicated(HeartbeatScheme::Compact, 30, 3, 31);
+            probe.advance_to(probe.now() + 180.0);
+            let t0 = probe.now();
+            let members = probe.members();
+            let z = members[i];
+            let Some(&x) = probe.takeover_targets(z).first() else {
+                continue;
+            };
+            probe.leave(z, false);
+            probe.advance_to(t0 + 160.0); // Z's deferred merge applied
+            if !probe.is_member(x) {
+                continue;
+            }
+            probe.leave(x, false);
+            probe.advance_to(t0 + 320.0); // X's deferred merge applied
+            let Some(h) = probe
+                .takeover_log()
+                .iter()
+                .find(|r| r.departed == x)
+                .map(|r| r.actor)
+            else {
+                continue;
+            };
+            if h == z || h == x {
+                continue;
+            }
+
+            // Phase 2: same trajectory, but H frozen before the chain
+            // starts — it never hears X's post-adoption replica delta.
+            let (mut sim, _) = build_replicated(HeartbeatScheme::Compact, 30, 3, 31);
+            sim.advance_to(sim.now() + 180.0);
+            assert_eq!(sim.now(), t0, "replay must line up");
+            if !sim.local(h).is_some_and(|n| n.replicas.contains_key(&x)) {
+                continue; // H never stored a replica of X: can't pin
+            }
+            let x_epoch_pre = sim.local(x).unwrap().epoch;
+            sim.freeze(h, 500.0);
+            sim.leave(z, false);
+            sim.advance_to(t0 + 160.0);
+            assert!(
+                sim.local(x).unwrap().epoch > x_epoch_pre,
+                "adopting Z's zone must bump X's epoch"
+            );
+            sim.leave(x, false);
+            sim.advance_to(t0 + 320.0); // fires while H is still frozen
+            let rec = sim
+                .takeover_log()
+                .iter()
+                .find(|r| r.departed == x)
+                .expect("X's crash take-over must be recorded");
+            assert_eq!(rec.actor, h, "replay must produce the same heir");
+            assert_eq!(
+                rec.promoted_version, None,
+                "H's pre-adoption replica of X must be fenced off"
+            );
+            assert!(
+                sim.stale_replica_rejects() >= 1,
+                "the fence rejection must be counted"
+            );
+            assert!(crate::oracles::step_violations(&sim).is_empty());
+            sim.check_invariants();
+            pinned = true;
+            break 'candidates;
+        }
+        assert!(pinned, "no candidate produced the owner+heir crash chain");
     }
 }

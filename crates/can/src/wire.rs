@@ -133,6 +133,25 @@ impl WireModel {
     pub fn probe_vouch(&self, d: usize) -> u64 {
         self.header + self.node_record(d)
     }
+
+    /// A warm-standby **replica delta**: the owner's versioned zone
+    /// snapshot shipped to a take-over target — version/epoch stamp
+    /// (16 B), the owner's own record, its `k`-entry neighbor summary,
+    /// and the zone-local aggregate slice (8 B per word). Same O(d·k)
+    /// class as a full heartbeat, but sent only when the replicated
+    /// content changed (or a target's ack lags).
+    #[inline]
+    pub fn replica_delta(&self, d: usize, k: usize, agg_words: usize) -> u64 {
+        self.header + 16 + self.node_record(d) * (1 + k as u64) + 8 * agg_words as u64
+    }
+
+    /// A replica **ack**: the heir confirms the owner's snapshot —
+    /// owner identity, epoch, and version (24 B) under the fixed
+    /// header. O(1).
+    #[inline]
+    pub fn replica_ack(&self) -> u64 {
+        self.header + 24
+    }
 }
 
 /// Categories of maintenance traffic, accounted separately so Figure 8
@@ -155,6 +174,9 @@ pub enum MsgKind {
     /// Failure-detector traffic: indirect-probe requests, relayed
     /// pings, vouches, and revival epoch queries.
     Probe,
+    /// Warm-standby replication traffic: versioned replica deltas
+    /// piggybacked on heartbeat rounds, and the heirs' acks.
+    Replica,
 }
 
 impl MsgKind {
@@ -171,6 +193,7 @@ impl MsgKind {
                 | MsgKind::FullUpdateResponse
                 | MsgKind::Repair
                 | MsgKind::Probe
+                | MsgKind::Replica
         )
     }
 }
@@ -233,8 +256,22 @@ mod tests {
         assert!(MsgKind::FullUpdateResponse.is_heartbeat_cost());
         assert!(MsgKind::Repair.is_heartbeat_cost());
         assert!(MsgKind::Probe.is_heartbeat_cost());
+        assert!(MsgKind::Replica.is_heartbeat_cost());
         assert!(!MsgKind::Join.is_heartbeat_cost());
         assert!(!MsgKind::Handoff.is_heartbeat_cost());
+    }
+
+    #[test]
+    fn replica_delta_scales_like_a_full_heartbeat() {
+        let w = WireModel::default();
+        // Same O(d·k) family as a full heartbeat, plus the version
+        // stamp and the aggregate words.
+        let delta = w.replica_delta(6, 12, 4);
+        let full = w.full_heartbeat(6, 12);
+        assert_eq!(delta, full - w.agg_block(6) + 16 + 8 * 4);
+        // The ack is O(1) and tiny.
+        assert_eq!(w.replica_ack(), w.header + 24);
+        assert!(w.replica_ack() < w.compact_keepalive() + 24);
     }
 
     #[test]

@@ -393,6 +393,45 @@ impl AiTable {
     pub fn synced_clock(&self) -> Option<u64> {
         self.synced_clock
     }
+
+    /// Serializes `node`'s zone-local aggregate row (one [`AiEntry`]
+    /// per slot, as of the last refresh) into opaque 64-bit words —
+    /// four per slot: nodes, cores bits, required-cores bits, free
+    /// nodes. This is the slice a CAN zone owner hands to
+    /// `CanSim::set_agg_slice` for warm-standby replication;
+    /// [`AiTable::slice_from_bits`] round-trips it bit-exactly when the
+    /// heir promotes the replica.
+    pub fn local_bits(&self, node: NodeId) -> Vec<u64> {
+        let slots = self.ce_types.len();
+        let row = &self.locals[node.idx() * slots..(node.idx() + 1) * slots];
+        let mut out = Vec::with_capacity(4 * slots);
+        for e in row {
+            out.push(e.nodes);
+            out.push(e.cores.to_bits());
+            out.push(e.required_cores.to_bits());
+            out.push(e.free_nodes);
+        }
+        out
+    }
+
+    /// Decodes a word vector produced by [`AiTable::local_bits`] back
+    /// into per-slot entries. Returns `None` when the length is not a
+    /// whole number of four-word slots (a malformed replica).
+    pub fn slice_from_bits(bits: &[u64]) -> Option<Vec<AiEntry>> {
+        if !bits.len().is_multiple_of(4) {
+            return None;
+        }
+        Some(
+            bits.chunks_exact(4)
+                .map(|c| AiEntry {
+                    nodes: c[0],
+                    cores: f64::from_bits(c[1]),
+                    required_cores: f64::from_bits(c[2]),
+                    free_nodes: c[3],
+                })
+                .collect(),
+        )
+    }
 }
 
 fn ce_types_len(grouping: AiGrouping, grid: &StaticGrid) -> usize {
@@ -472,6 +511,43 @@ mod tests {
         let seen = (0..60u32)
             .any(|i| (0..5).any(|d| ai.beyond(NodeId(i), d, Ct::CPU).required_cores > 0.0));
         assert!(seen, "load at the corner must appear in someone's AI");
+    }
+
+    #[test]
+    fn local_bits_round_trip_is_bit_exact() {
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        let mut g = grid(40, 8);
+        // Put real load on a node so the encoded floats are nontrivial.
+        let busy = g.owner_at(&vec![0.5; 8]);
+        let job = JobSpec::new(
+            JobId(0),
+            vec![CeRequirement {
+                ce_type: Ct::CPU,
+                min_cores: Some(2),
+                ..Default::default()
+            }],
+            None,
+            120.0,
+        );
+        g.with_runtime_mut(busy, |rt| {
+            rt.enqueue(job, 0.0);
+            rt.start_ready();
+        });
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.refresh(&g, 0.0);
+        for i in 0..40u32 {
+            let bits = ai.local_bits(NodeId(i));
+            assert_eq!(bits.len() % 4, 0);
+            let decoded = AiTable::slice_from_bits(&bits).expect("well-formed");
+            assert_eq!(decoded.len(), ai.slot_types().len());
+            for (s, e) in decoded.iter().enumerate() {
+                let truth = ai.local_of(&g, NodeId(i), s);
+                assert!(bits_eq(e, &truth), "node {i} slot {s}: {e:?} != {truth:?}");
+            }
+        }
+        // Malformed word counts are rejected, not misparsed.
+        assert!(AiTable::slice_from_bits(&[1, 2, 3]).is_none());
+        assert!(AiTable::slice_from_bits(&[]).is_some_and(|v| v.is_empty()));
     }
 
     #[test]

@@ -177,6 +177,10 @@ pub struct FaultSchedule {
     /// the legacy passive expiry. Kept as a string so `simcore` stays
     /// independent of `can`, mirroring `scheme`.
     pub detector: Option<String>,
+    /// Warm-standby replication mode label (`standby`); `None` runs
+    /// the legacy cache-only crash recovery. Kept as a string for the
+    /// same layering reason as `detector`.
+    pub replication: Option<String>,
     /// When `Some`, also run a scheduler crash-recovery phase with this
     /// mean crash interval (seconds) and check the ledger oracles.
     pub sched_crash_interval: Option<f64>,
@@ -282,6 +286,11 @@ impl FaultSchedule {
                 ));
             }
         }
+        if let Some(mode) = &self.replication {
+            if mode != "standby" {
+                return Err(format!("replication mode must be `standby`, got `{mode}`"));
+            }
+        }
         for e in &self.events {
             if !(e.at.is_finite() && e.at >= 0.0 && e.at <= self.fault_duration) {
                 return Err(format!(
@@ -313,8 +322,8 @@ impl FaultSchedule {
 
     /// Number of independently-removable schedule elements, in the
     /// fixed order: events, partitions, class faults, churn, sched,
-    /// degrades, detector (new kinds appended to keep the order
-    /// stable).
+    /// degrades, detector, replication (new kinds appended to keep the
+    /// order stable).
     fn element_count(&self) -> usize {
         self.events.len()
             + self.partitions.len()
@@ -323,6 +332,7 @@ impl FaultSchedule {
             + usize::from(self.sched_crash_interval.is_some())
             + self.degrades.len()
             + usize::from(self.detector.is_some())
+            + usize::from(self.replication.is_some())
     }
 
     /// The schedule with only the elements whose `keep` flag is set
@@ -363,6 +373,9 @@ impl FaultSchedule {
             .collect();
         if self.detector.is_some() && !it.next().unwrap_or(true) {
             out.detector = None;
+        }
+        if self.replication.is_some() && !it.next().unwrap_or(true) {
+            out.replication = None;
         }
         out.expect_digest = None;
         out
@@ -424,6 +437,9 @@ pub struct ScheduleBudget {
     /// Probability the schedule arms a failure detector (then split
     /// evenly between `fixed` and `adaptive`).
     pub detector_chance: f64,
+    /// Probability the schedule arms warm-standby zone replication, so
+    /// the fuzzer interleaves crashes with replica promotion.
+    pub replication_chance: f64,
     /// Probability the schedule runs background churn.
     pub churn_chance: f64,
     /// Probability the schedule appends a scheduler crash phase.
@@ -458,6 +474,7 @@ impl Default for ScheduleBudget {
             max_degrade_drop: 0.6,
             max_degrade_jitter: 30.0,
             detector_chance: 0.5,
+            replication_chance: 0.35,
             churn_chance: 0.4,
             sched_chance: 0.3,
             min_fault_duration: 300.0,
@@ -590,6 +607,13 @@ pub fn generate(seed: u64, budget: &ScheduleBudget) -> FaultSchedule {
     } else {
         None
     };
+    // Appended after the detector draw so pre-existing seeds keep
+    // their schedules up to this point.
+    let replication = if rng.chance(budget.replication_chance) {
+        Some("standby".to_string())
+    } else {
+        None
+    };
 
     let schedule = FaultSchedule {
         seed,
@@ -608,6 +632,7 @@ pub fn generate(seed: u64, budget: &ScheduleBudget) -> FaultSchedule {
         degrades,
         events,
         detector,
+        replication,
         sched_crash_interval,
         expect_digest: None,
     };
@@ -702,6 +727,9 @@ impl FaultSchedule {
         if let Some(mode) = &self.detector {
             let _ = writeln!(out, "detector mode={mode}");
         }
+        if let Some(mode) = &self.replication {
+            let _ = writeln!(out, "replication mode={mode}");
+        }
         for e in &self.events {
             match e.fault {
                 NodeFault::Crash { count } => {
@@ -791,6 +819,7 @@ impl FaultSchedule {
                     degrades: Vec::new(),
                     events: Vec::new(),
                     detector: None,
+                    replication: None,
                     sched_crash_interval: None,
                     expect_digest: None,
                 });
@@ -837,6 +866,7 @@ impl FaultSchedule {
                     until: get_f64("until")?,
                 }),
                 "detector" => sched.detector = Some(get("mode")?.to_string()),
+                "replication" => sched.replication = Some(get("mode")?.to_string()),
                 "event" => {
                     let at = get_f64("at")?;
                     let fault = match get("kind")? {
@@ -1027,6 +1057,7 @@ mod tests {
             }],
             events: vec![crash_at(60.0, 8), crash_at(120.0, 2), crash_at(300.0, 5)],
             detector: Some("adaptive".into()),
+            replication: Some("standby".into()),
             sched_crash_interval: Some(450.0),
             expect_digest: Some(0xdead_beef),
         }
@@ -1075,6 +1106,16 @@ mod tests {
         assert!(
             schedules.iter().any(|s| s.detector.is_none()),
             "the legacy passive mode should still appear"
+        );
+        assert!(
+            schedules
+                .iter()
+                .any(|s| s.replication.as_deref() == Some("standby")),
+            "some seed should arm warm-standby replication"
+        );
+        assert!(
+            schedules.iter().any(|s| s.replication.is_none()),
+            "unreplicated schedules should still appear"
         );
     }
 
@@ -1134,6 +1175,11 @@ mod tests {
         s.detector = Some("psychic".into());
         let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
         assert!(e.message.contains("detector mode"), "{e}");
+
+        let mut s = base_schedule();
+        s.replication = Some("hot".into());
+        let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
+        assert!(e.message.contains("replication mode"), "{e}");
     }
 
     #[test]
@@ -1147,6 +1193,7 @@ mod tests {
         assert!(outcome.schedule.class_faults.is_empty());
         assert!(outcome.schedule.degrades.is_empty());
         assert!(outcome.schedule.detector.is_none());
+        assert!(outcome.schedule.replication.is_none());
         assert!(outcome.schedule.churn_gap.is_none());
         assert!(outcome.schedule.sched_crash_interval.is_none());
         assert!(outcome.schedule.expect_digest.is_none());

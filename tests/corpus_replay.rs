@@ -85,6 +85,37 @@ fn every_corpus_trace_replays_bit_identically_and_clean() {
 }
 
 #[test]
+fn corpus_includes_the_rack_crash_storm() {
+    let files = corpus_files();
+    let storm = files
+        .iter()
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .contains("rack_crash_storm")
+        })
+        .expect("corpus keeps the correlated owner+heir rack-crash storm");
+    let text = std::fs::read_to_string(storm).unwrap();
+    let (schedule, report) = replay_trace(&text).unwrap();
+    assert_eq!(schedule.replication.as_deref(), Some("standby"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    // The storm must actually drive the warm-standby machinery: heirs
+    // promoting replicas, and the epoch fence rejecting at least one
+    // stale replica from a second-choice heir whose copy is older than
+    // the dead owner's last acknowledged version.
+    let can_report = pgrid::can::dst::run_schedule(&schedule);
+    assert!(
+        can_report.replica_promotions > 0,
+        "storm drove no promotions: {can_report:?}"
+    );
+    assert!(
+        can_report.stale_replica_rejects > 0,
+        "storm never exercised the stale-replica fence: {can_report:?}"
+    );
+}
+
+#[test]
 fn corpus_includes_the_seed41_rederivation() {
     let files = corpus_files();
     let seed41 = files
