@@ -14,7 +14,9 @@
 
 #![forbid(unsafe_code)]
 
-use pgrid::experiments::{CostCell, DetectorCell, TakeoverArm, TakeoverCell, WaitTimeCell};
+use pgrid::experiments::{
+    CostCell, DetectorCell, ScenarioCell, TakeoverArm, TakeoverCell, WaitTimeCell,
+};
 use pgrid::metrics::{Cdf, CsvWriter, Table};
 use pgrid::prelude::*;
 use std::path::{Path, PathBuf};
@@ -183,6 +185,208 @@ pub fn parse_seeded_cli(allow_seeds: bool, usage: &str) -> SeededArgs {
             std::process::exit(2);
         }
     }
+}
+
+/// Usage string for the `scenarios` binary.
+pub const SCENARIOS_USAGE: &str =
+    "usage: scenarios [--quick] [--out DIR] [--seed N] [--list] [--scenario NAME]\n\n  \
+--quick          reduced smoke-run configuration (default: paper scale)\n  \
+--out DIR        write CSV results under DIR (default: results/)\n  \
+--seed N         scenario compile seed (default: 83)\n  \
+--list           list the registered scenarios and exit\n  \
+--scenario NAME  run only scenarios whose name contains NAME (error on zero matches)\n";
+
+/// Arguments of the `scenarios` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioArgs {
+    /// Experiment scale (`--quick` selects [`Scale::Quick`]).
+    pub scale: Scale,
+    /// Results directory (`--out`).
+    pub out: PathBuf,
+    /// Explicit compile seed (`--seed`), if given.
+    pub seed: Option<u64>,
+    /// Print the registry and exit (`--list`).
+    pub list: bool,
+    /// Substring filter over scenario names (`--scenario`), if given.
+    pub filter: Option<String>,
+}
+
+/// Parses the `scenarios` binary's arguments (program name already
+/// stripped). Strict like [`parse_args`]: unknown flags, missing
+/// values, and unparseable numbers are errors.
+pub fn parse_scenario_args(raw: &[String]) -> Result<ScenarioArgs, String> {
+    let mut args = ScenarioArgs {
+        scale: Scale::Paper,
+        out: PathBuf::from("results"),
+        seed: None,
+        list: false,
+        filter: None,
+    };
+    let mut i = 0;
+    let value = |raw: &[String], i: usize, flag: &str| -> Result<String, String> {
+        raw.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("flag '{flag}' needs a value"))
+    };
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--list" => args.list = true,
+            "--out" => {
+                args.out = PathBuf::from(value(raw, i, "--out")?);
+                i += 1;
+            }
+            "--seed" => {
+                let v = value(raw, i, "--seed")?;
+                args.seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed wants an unsigned integer, got '{v}'"))?,
+                );
+                i += 1;
+            }
+            "--scenario" => {
+                args.filter = Some(value(raw, i, "--scenario")?);
+                i += 1;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// One line per registry entry, for `scenarios --list`.
+pub fn render_scenario_list() -> String {
+    let mut out = String::from("registered scenarios:\n");
+    for spec in pgrid::scenarios::REGISTRY {
+        out.push_str(&format!(
+            "  {:<18} {}{}\n",
+            spec.name,
+            spec.summary,
+            if spec.has_chaos() { "  [chaos]" } else { "" }
+        ));
+    }
+    out
+}
+
+/// Renders the scenario resilience table: one row per scenario ×
+/// scheme arm (repeat seeds pooled), plus a wait-delta line for every
+/// scenario that shapes arrivals.
+pub fn render_scenarios(cells: &[ScenarioCell]) -> String {
+    let mut table = Table::new([
+        "scenario",
+        "scheme",
+        "broken peak",
+        "suspicions",
+        "false exp",
+        "revived",
+        "takeovers",
+        "promoted",
+        "fenced",
+        "relearn(hb)",
+        "unresolved",
+        "misdirect",
+        "verdict",
+    ]);
+    for c in cells {
+        for arm in &c.arms {
+            table.row([
+                c.scenario.to_string(),
+                arm.scheme.label().to_string(),
+                arm.broken_peak.to_string(),
+                arm.suspicions.to_string(),
+                arm.live_expulsions.to_string(),
+                arm.revivals.to_string(),
+                arm.takeovers.to_string(),
+                arm.replica_promotions.to_string(),
+                arm.stale_replica_rejects.to_string(),
+                arm.relearn_mean_heartbeats
+                    .map(|m| format!("{m:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                arm.relearn_unresolved.to_string(),
+                format!("{:.1}%", 100.0 * arm.misdirect_rate),
+                if arm.violations.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("{} VIOLATIONS", arm.violations.len())
+                },
+            ]);
+        }
+    }
+    let mut out = table.render();
+    for c in cells {
+        if let Some(d) = &c.wait_delta {
+            out.push_str(&format!(
+                "{}: shaped arrivals mean wait {:.1}s vs {:.1}s baseline (p99 {:.1}s vs {:.1}s)\n",
+                c.scenario, d.shaped_mean, d.baseline_mean, d.shaped_p99, d.baseline_p99,
+            ));
+        }
+    }
+    out
+}
+
+/// Writes the scenario resilience table to CSV, one row per scenario ×
+/// scheme arm.
+pub fn save_scenarios_csv(path: &Path, cells: &[ScenarioCell]) -> std::io::Result<()> {
+    let mut csv = CsvWriter::new(&[
+        "scenario",
+        "scheme",
+        "broken_peak",
+        "suspicions",
+        "live_expulsions",
+        "revivals",
+        "takeovers",
+        "replica_promotions",
+        "stale_replica_rejects",
+        "relearn_mean_hb",
+        "relearn_resolved",
+        "relearn_unresolved",
+        "misdirect_rate",
+        "baseline_mean_wait_s",
+        "shaped_mean_wait_s",
+        "baseline_p99_wait_s",
+        "shaped_p99_wait_s",
+        "violations",
+    ]);
+    for c in cells {
+        for arm in &c.arms {
+            csv.row(&[
+                c.scenario,
+                arm.scheme.label(),
+                &arm.broken_peak.to_string(),
+                &arm.suspicions.to_string(),
+                &arm.live_expulsions.to_string(),
+                &arm.revivals.to_string(),
+                &arm.takeovers.to_string(),
+                &arm.replica_promotions.to_string(),
+                &arm.stale_replica_rejects.to_string(),
+                &arm.relearn_mean_heartbeats
+                    .map(|m| format!("{m:.3}"))
+                    .unwrap_or_default(),
+                &arm.relearn_resolved.to_string(),
+                &arm.relearn_unresolved.to_string(),
+                &format!("{:.4}", arm.misdirect_rate),
+                &c.wait_delta
+                    .as_ref()
+                    .map(|d| format!("{:.2}", d.baseline_mean))
+                    .unwrap_or_default(),
+                &c.wait_delta
+                    .as_ref()
+                    .map(|d| format!("{:.2}", d.shaped_mean))
+                    .unwrap_or_default(),
+                &c.wait_delta
+                    .as_ref()
+                    .map(|d| format!("{:.2}", d.baseline_p99))
+                    .unwrap_or_default(),
+                &c.wait_delta
+                    .as_ref()
+                    .map(|d| format!("{:.2}", d.shaped_p99))
+                    .unwrap_or_default(),
+                &arm.violations.len().to_string(),
+            ]);
+        }
+    }
+    csv.save(path)
 }
 
 /// Renders a fuzz sweep: one row per clean seed, then the failure
@@ -1009,6 +1213,51 @@ mod tests {
             assert!(r.violations.is_empty(), "{}: {:?}", r.name, r.violations);
             assert_eq!(r.broken_after, 0, "{}", r.name);
         }
+    }
+
+    #[test]
+    fn scenario_parser_list_and_render_csv() {
+        let to_v = |raw: &[&str]| raw.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = parse_scenario_args(&to_v(&[
+            "--quick",
+            "--out",
+            "/tmp/x",
+            "--seed",
+            "9",
+            "--scenario",
+            "storm",
+            "--list",
+        ]))
+        .unwrap();
+        assert_eq!(args.scale, Scale::Quick);
+        assert_eq!(args.out, PathBuf::from("/tmp/x"));
+        assert_eq!(args.seed, Some(9));
+        assert_eq!(args.filter.as_deref(), Some("storm"));
+        assert!(args.list);
+        assert!(parse_scenario_args(&to_v(&["--scenairo", "x"])).is_err());
+        assert!(parse_scenario_args(&to_v(&["--scenario"])).is_err());
+        assert!(parse_scenario_args(&to_v(&["--seed", "nope"])).is_err());
+
+        let listing = render_scenario_list();
+        for spec in pgrid::scenarios::REGISTRY {
+            assert!(listing.contains(spec.name), "listing misses {}", spec.name);
+        }
+
+        // One cheap cell through render + CSV.
+        let specs = pgrid::scenarios::matching("gray-failure");
+        let cells =
+            experiments::scenario_suite_over(Scale::Quick, experiments::SCENARIO_SEED, &specs);
+        let text = render_scenarios(&cells);
+        assert!(text.contains("gray-failure"));
+        assert!(text.contains("relearn(hb)"));
+        assert!(text.contains("ok"));
+        let dir = std::env::temp_dir().join("pgrid_bench_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("scenarios.csv");
+        save_scenarios_csv(&csv, &cells).unwrap();
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("scenario,scheme,broken_peak"));
+        assert_eq!(body.lines().count(), 1 + HeartbeatScheme::ALL.len());
     }
 
     #[test]

@@ -167,8 +167,8 @@ impl ChaosConfig {
         cfg
     }
 
-    /// Scenario 4 — **take-over storm** (not part of the default
-    /// [`ChaosConfig::scenarios`] trio): two crash waves bracketing a
+    /// Scenario 4 — **take-over storm** (not part of the scripted
+    /// chaos trio): two crash waves bracketing a
     /// correlated owner+heir wave, under moderate heartbeat loss so
     /// cached payloads go stale. Run vanilla vs
     /// [`ChaosConfig::replicated`] to measure the re-learn window and
@@ -197,15 +197,6 @@ impl ChaosConfig {
     pub fn replicated(mut self) -> Self {
         self.replication = true;
         self
-    }
-
-    /// The three scripted scenarios of the chaos bench, in order.
-    pub fn scenarios(scheme: HeartbeatScheme, seed: u64) -> Vec<ChaosConfig> {
-        vec![
-            ChaosConfig::flash_crowd(scheme, seed),
-            ChaosConfig::rolling_partition(scheme, seed),
-            ChaosConfig::lossy_churn(scheme, seed),
-        ]
     }
 }
 
@@ -278,9 +269,10 @@ pub struct ChaosReport {
 
 /// Accumulates the per-take-over robustness metrics by polling the
 /// simulator's take-over log at sample boundaries. Read-only: polling
-/// never perturbs the trajectory.
+/// never perturbs the trajectory. Shared with the schedule executor
+/// (`crate::dst`), which polls it at heartbeat boundaries.
 #[derive(Debug, Default)]
-struct TakeoverWatch {
+pub(crate) struct TakeoverWatch {
     seen: usize,
     pending: Vec<(NodeId, crate::geom::Zone, SimTime)>,
     windows: Vec<f64>,
@@ -293,7 +285,7 @@ impl TakeoverWatch {
     /// Ingests new take-over records (probing misdirection once per
     /// record) and retires pending ones whose actor has regained full
     /// knowledge of the adopted zone's current neighborhood.
-    fn poll(&mut self, sim: &CanSim, heartbeat_period: f64) {
+    pub(crate) fn poll(&mut self, sim: &CanSim, heartbeat_period: f64) {
         let now = sim.now();
         let log = sim.takeover_log();
         for rec in &log[self.seen..] {
@@ -338,7 +330,7 @@ impl TakeoverWatch {
         });
     }
 
-    fn finish(mut self, sim: &CanSim, heartbeat_period: f64) -> RelearnStats {
+    pub(crate) fn finish(mut self, sim: &CanSim, heartbeat_period: f64) -> RelearnStats {
         self.poll(sim, heartbeat_period);
         self.unresolved += self.pending.len();
         RelearnStats {
@@ -352,12 +344,12 @@ impl TakeoverWatch {
     }
 }
 
-struct RelearnStats {
-    mean: Option<f64>,
-    resolved: usize,
-    unresolved: usize,
-    probes: usize,
-    misses: usize,
+pub(crate) struct RelearnStats {
+    pub(crate) mean: Option<f64>,
+    pub(crate) resolved: usize,
+    pub(crate) unresolved: usize,
+    pub(crate) probes: usize,
+    pub(crate) misses: usize,
 }
 
 /// Runs one scripted chaos scenario.
@@ -621,7 +613,16 @@ mod tests {
 
     #[test]
     fn adaptive_survives_every_scenario() {
-        for cfg in ChaosConfig::scenarios(HeartbeatScheme::Adaptive, 5) {
+        // The canonical enumeration lives in the scenario registry
+        // (`pgrid::scenarios::chaos_scenarios`); this crate cannot see
+        // it, so the constructors are listed directly here.
+        let trio = [
+            ChaosConfig::flash_crowd,
+            ChaosConfig::rolling_partition,
+            ChaosConfig::lossy_churn,
+        ];
+        for ctor in trio {
+            let cfg = ctor(HeartbeatScheme::Adaptive, 5);
             let report = run_chaos(&quick(cfg));
             assert!(
                 report.violations.is_empty(),

@@ -65,6 +65,23 @@ pub struct ScheduleReport {
     pub replica_promotions: u64,
     /// Replica promotions refused by the epoch fence.
     pub stale_replica_rejects: u64,
+    /// Crash take-overs applied during the run.
+    pub takeovers: usize,
+    /// Mean re-learn window over resolved take-overs, in heartbeat
+    /// periods (`None` when no take-over resolved). Polled at heartbeat
+    /// boundaries by the same watch the chaos harness uses.
+    pub relearn_mean_heartbeats: Option<f64>,
+    /// Take-overs whose re-learn window resolved.
+    pub relearn_resolved: usize,
+    /// Take-overs whose actor never regained full coverage of its
+    /// adopted zone's neighborhood by the end of the run.
+    pub relearn_unresolved: usize,
+    /// Post-take-over misdirection rate over the probe panel.
+    pub misdirect_rate: f64,
+    /// Misdirection probes attempted (8 per take-over).
+    pub misdirect_probes: usize,
+    /// Misdirection probes that failed or landed on the wrong owner.
+    pub misdirect_misses: usize,
     /// FNV-1a digest of the full observable trajectory.
     pub digest: u64,
 }
@@ -76,6 +93,16 @@ pub struct ScheduleReport {
 /// violates an executor precondition — use
 /// [`FaultSchedule::validate`] / [`FaultSchedule::parse`] first.
 pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
+    // Lower macro records to primitives up front. The identity for
+    // macro-free schedules, so every historical trace and golden
+    // digest replays the exact same trajectory.
+    let expanded;
+    let schedule = if schedule.macros.is_empty() {
+        schedule
+    } else {
+        expanded = schedule.expand();
+        &expanded
+    };
     let scheme = scheme_from_label(&schedule.scheme)
         .unwrap_or_else(|| panic!("unknown heartbeat scheme `{}`", schedule.scheme));
     let mut proto = ProtocolConfig::new(schedule.dims, scheme);
@@ -173,6 +200,10 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     let mut next_check = fault_start;
     let mut ledger = oracles::EpochLedger::new();
     let mut replica_ledger = oracles::ReplicaLedger::new();
+    // Read-only take-over telemetry (re-learn windows, misdirection).
+    // Polling never perturbs the trajectory, and its stats stay out of
+    // the digest like the replication counters below.
+    let mut watch = crate::chaos::TakeoverWatch::default();
     let mut broken_peak = 0usize;
     let mut prev_now = sim.now();
     loop {
@@ -221,6 +252,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
                 record(&mut violations, msg);
             }
             sim.check_invariants();
+            watch.poll(&sim, schedule.heartbeat_period);
             next_check += schedule.heartbeat_period;
         }
     }
@@ -245,6 +277,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
             record(&mut violations, msg);
         }
         sim.check_invariants();
+        watch.poll(&sim, schedule.heartbeat_period);
     }
 
     // Quiescence audit.
@@ -259,6 +292,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
     for msg in &violations {
         digest.write_str(msg);
     }
+    let relearn = watch.finish(&sim, schedule.heartbeat_period);
 
     ScheduleReport {
         broken_peak,
@@ -279,6 +313,17 @@ pub fn run_schedule(schedule: &FaultSchedule) -> ScheduleReport {
         // counts, epoch checksums, and final observable state).
         replica_promotions: sim.replica_promotions(),
         stale_replica_rejects: sim.stale_replica_rejects(),
+        takeovers: sim.takeover_log().len(),
+        relearn_mean_heartbeats: relearn.mean,
+        relearn_resolved: relearn.resolved,
+        relearn_unresolved: relearn.unresolved,
+        misdirect_rate: if relearn.probes == 0 {
+            0.0
+        } else {
+            relearn.misses as f64 / relearn.probes as f64
+        },
+        misdirect_probes: relearn.probes,
+        misdirect_misses: relearn.misses,
         digest: digest.finish(),
         violations,
     }
@@ -487,6 +532,35 @@ mod tests {
                 "{mode}: arming the detector must not perturb a fault-free trajectory"
             );
         }
+    }
+
+    #[test]
+    fn macro_schedules_run_identically_to_their_expansion() {
+        use pgrid_simcore::dst::ScheduleMacro;
+        let budget = ScheduleBudget::smoke();
+        let mut s = generate(31, &budget);
+        s.macros = vec![
+            ScheduleMacro::RackStorm {
+                at: 30.0,
+                racks: 2,
+                size: 3,
+                gap: 80.0,
+            },
+            ScheduleMacro::GrayFail {
+                pairs: 3,
+                drop: 0.3,
+                delay: 25.0,
+                from: 20.0,
+                until: s.fault_duration * 0.8,
+            },
+        ];
+        s.validate().expect("macro schedule valid");
+        let direct = run_schedule(&s);
+        let pre_expanded = run_schedule(&s.expand());
+        assert_eq!(
+            direct, pre_expanded,
+            "running a macro schedule must equal running its expansion"
+        );
     }
 
     #[test]

@@ -1988,8 +1988,23 @@ impl CanSim {
         {
             return false;
         }
-        let coord = self.zombies[&id].coord.clone();
-        let Some(owner) = self.tree.as_ref().and_then(|tr| tr.owner_at(&coord)) else {
+        // Query the claim over the zone the zombie last *owned*, not
+        // its join coordinate: a relocation take-over leaves a node
+        // holding a zone that no longer contains its coordinate, and
+        // the expulsion fence is raised over the owned zone. Probing
+        // the coordinate there would compare against an unrelated
+        // region whose owner legitimately claims below us — wedging
+        // revival forever. For a zone that still contains the
+        // coordinate the two probes are identical.
+        let probe = {
+            let zn = &self.zombies[&id];
+            if zn.zone.contains(&zn.coord) {
+                zn.coord.clone()
+            } else {
+                zn.zone.center()
+            }
+        };
+        let Some(owner) = self.tree.as_ref().and_then(|tr| tr.owner_at(&probe)) else {
             return false;
         };
         let claim_epoch = self.nodes[&owner].epoch;

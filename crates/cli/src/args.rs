@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Boolean switches recognized without a value.
-const SWITCHES: &[&str] = &["shared-gpus", "quiet", "csv", "quick"];
+const SWITCHES: &[&str] = &["shared-gpus", "quiet", "csv", "quick", "list"];
 
 impl Args {
     /// Parses a raw argument list.

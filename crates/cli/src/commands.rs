@@ -28,6 +28,12 @@ USAGE:
       Run scripted fault scenarios through the chaos harness and print the
       resilience table; exits non-zero on any invariant violation.
 
+  pgrid scenarios [--list] [--scenario NAME] [--seed S] [--quick]
+      Run the named adversarial scenario library (diurnal waves, flash
+      crowds, rack storms, stragglers, gray failures, plus the chaos trio)
+      through the DST oracle harness, scheme vs scheme; --scenario filters
+      by substring (zero matches is an error), --list prints the registry.
+
   pgrid detector [--seed S] [--quick]
       Sweep asymmetric link stress against process-freeze length, running
       every cell under both the fixed-timeout and the adaptive suspicion
@@ -239,13 +245,17 @@ pub fn chaos(args: Args) -> Result<String, String> {
 
     let mut reports = Vec::new();
     for scheme in schemes {
-        let mut configs = ChaosConfig::scenarios(scheme, seed);
+        let mut configs = pgrid::scenarios::chaos_scenarios(scheme, seed);
         if scenario != "all" {
             configs.retain(|c| c.name == scenario);
             if configs.is_empty() {
+                let names: Vec<&str> = pgrid::scenarios::chaos_scenarios(scheme, seed)
+                    .iter()
+                    .map(|c| c.name)
+                    .collect();
                 return Err(format!(
-                    "unknown scenario '{scenario}' (flash-crowd | rolling-partition | \
-                     lossy-churn | all)"
+                    "unknown scenario '{scenario}' ({} | all)",
+                    names.join(" | ")
                 ));
             }
         }
@@ -289,6 +299,101 @@ pub fn chaos(args: Args) -> Result<String, String> {
         }
     }
     out.push_str(&table.render());
+    if !violations.is_empty() {
+        return Err(format!(
+            "invariant violations:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+    Ok(out)
+}
+
+/// `pgrid scenarios`
+pub fn scenarios(args: Args) -> Result<String, String> {
+    if args.switch("list") {
+        args.reject_unknown()?;
+        let mut out = String::from("registered scenarios:\n");
+        for spec in pgrid::scenarios::REGISTRY {
+            let _ = writeln!(
+                out,
+                "  {:<18} {}{}",
+                spec.name,
+                spec.summary,
+                if spec.has_chaos() { "  [chaos]" } else { "" }
+            );
+        }
+        return Ok(out);
+    }
+    let filter = args.get("scenario").unwrap_or("").to_string();
+    let seed: u64 = args.get_or("seed", pgrid::experiments::SCENARIO_SEED)?;
+    let scale = if args.switch("quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    args.reject_unknown()?;
+    let specs = pgrid::scenarios::matching(&filter);
+    if specs.is_empty() {
+        let names: Vec<&str> = pgrid::scenarios::REGISTRY.iter().map(|s| s.name).collect();
+        return Err(format!(
+            "no scenario matches '{filter}' (known: {})",
+            names.join(" | ")
+        ));
+    }
+
+    let cells = pgrid::experiments::scenario_suite_over(scale, seed, &specs);
+    let mut out = format!(
+        "scenario library: {} scenario(s), seed {seed} ({scale:?})\n\n",
+        specs.len()
+    );
+    let mut table = Table::new([
+        "scenario",
+        "scheme",
+        "broken peak",
+        "false exp",
+        "takeovers",
+        "promoted",
+        "fenced",
+        "relearn(hb)",
+        "misdirect",
+        "verdict",
+    ]);
+    let mut violations = Vec::new();
+    for c in &cells {
+        for arm in &c.arms {
+            table.row([
+                c.scenario.to_string(),
+                arm.scheme.label().to_string(),
+                arm.broken_peak.to_string(),
+                arm.live_expulsions.to_string(),
+                arm.takeovers.to_string(),
+                arm.replica_promotions.to_string(),
+                arm.stale_replica_rejects.to_string(),
+                arm.relearn_mean_heartbeats
+                    .map(|m| format!("{m:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.1}%", 100.0 * arm.misdirect_rate),
+                if arm.violations.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("{} VIOLATIONS", arm.violations.len())
+                },
+            ]);
+            for v in &arm.violations {
+                violations.push(format!("{}/{}: {v}", c.scenario, arm.scheme.label()));
+            }
+        }
+    }
+    out.push_str(&table.render());
+    for c in &cells {
+        if let Some(d) = &c.wait_delta {
+            let _ = writeln!(
+                out,
+                "{}: shaped arrivals mean wait {:.1}s vs {:.1}s baseline (p99 {:.1}s vs {:.1}s)",
+                c.scenario, d.shaped_mean, d.baseline_mean, d.shaped_p99, d.baseline_p99,
+            );
+        }
+    }
     if !violations.is_empty() {
         return Err(format!(
             "invariant violations:\n  {}",
@@ -654,6 +759,22 @@ mod tests {
         assert!(chaos(a(&["--scheme", "bogus"])).is_err());
         assert!(chaos(a(&["--scenario", "bogus"])).is_err());
         assert!(chaos(a(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn scenarios_lists_filters_and_rejects_zero_matches() {
+        let listing = scenarios(a(&["--list"])).unwrap();
+        for spec in pgrid::scenarios::REGISTRY {
+            assert!(listing.contains(spec.name), "listing misses {}", spec.name);
+        }
+        let out = scenarios(a(&["--quick", "--scenario", "gray-failure"])).unwrap();
+        assert!(out.contains("gray-failure"));
+        assert!(out.contains("ok"));
+        let err = scenarios(a(&["--scenario", "no-such-thing"])).unwrap_err();
+        assert!(err.contains("no scenario matches"), "{err}");
+        assert!(err.contains("diurnal-wave"), "{err}");
+        assert!(scenarios(a(&["--bogus", "1"])).is_err());
+        assert!(scenarios(a(&["--seed", "nope"])).is_err());
     }
 
     #[test]

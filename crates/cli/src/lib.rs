@@ -8,6 +8,9 @@
 //!   configurable scheme, churn rate and message loss;
 //! * `pgrid chaos` — scripted fault scenarios through the chaos
 //!   harness, failing on any invariant violation;
+//! * `pgrid scenarios` — the named adversarial scenario library
+//!   (diurnal waves, flash crowds, rack storms, stragglers, gray
+//!   failures) through the DST oracle harness, scheme vs scheme;
 //! * `pgrid detector` — fixed-timeout vs adaptive-suspicion failure
 //!   detection under asymmetric link stress and process freezes;
 //! * `pgrid fuzz` — seeded fault-schedule fuzzing with delta-debugged
@@ -55,6 +58,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<String, String> {
         "simulate" => commands::simulate(args::Args::parse(&rest)?),
         "churn" => commands::churn(args::Args::parse(&rest)?),
         "chaos" => commands::chaos(args::Args::parse(&rest)?),
+        "scenarios" => commands::scenarios(args::Args::parse(&rest)?),
         "detector" => commands::detector(args::Args::parse(&rest)?),
         "fuzz" => commands::fuzz(args::Args::parse(&rest)?),
         "trace" => commands::trace(&rest),

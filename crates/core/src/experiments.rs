@@ -14,9 +14,11 @@
 //! deterministic, so results do not depend on scheduling).
 
 use crate::can::{
-    run_chaos, run_churn, uniform_coords, CanSim, ChaosConfig, ChaosReport, ChurnConfig,
-    ChurnReport, DetectorConfig, DetectorMode, HeartbeatScheme, ProtocolConfig,
+    run_chaos, run_churn, run_schedule, uniform_coords, CanSim, ChaosConfig, ChaosReport,
+    ChurnConfig, ChurnReport, DetectorConfig, DetectorMode, HeartbeatScheme, ProtocolConfig,
+    ScheduleReport,
 };
+use crate::scenarios::ScenarioSpec;
 use crate::sched::{
     run_load_balance, run_load_balance_chaos, CrashChaosConfig, RecoveryStats, SchedulerChoice,
     SimResult,
@@ -261,7 +263,7 @@ pub fn chaos_suite_seeded(scale: Scale, seed: u64) -> Vec<ChaosReport> {
     };
     let mut configs = Vec::new();
     for scheme in HeartbeatScheme::ALL {
-        for mut cfg in ChaosConfig::scenarios(scheme, seed) {
+        for mut cfg in crate::scenarios::chaos_scenarios(scheme, seed) {
             cfg.initial_nodes = nodes;
             cfg.settle_time = settle;
             configs.push(cfg);
@@ -781,6 +783,194 @@ pub fn scaling_exponent(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
+// ---------------------------------------------------------------- Scenarios
+
+/// Seed shared by every scenario-suite run.
+pub const SCENARIO_SEED: u64 = 83;
+
+/// One heartbeat-scheme arm of a [`ScenarioCell`]: the resilience
+/// metrics of one named scenario under one scheme, pooled across the
+/// cell's repeat seeds (the same resolved-count weighting as
+/// [`TakeoverArm`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioArm {
+    /// Heartbeat scheme under test.
+    pub scheme: HeartbeatScheme,
+    /// Peak directed broken links (worst repeat).
+    pub broken_peak: usize,
+    /// Detector suspicions, summed across repeats.
+    pub suspicions: u64,
+    /// Live nodes actively expelled by the detector — the false
+    /// expulsions a well-tuned detector avoids, summed across repeats.
+    pub live_expulsions: u64,
+    /// Expelled nodes that revived through the epoch fence.
+    pub revivals: u64,
+    /// Crash take-overs applied, summed across repeats.
+    pub takeovers: usize,
+    /// Warm replicas promoted (0 unless the scenario arms replication).
+    pub replica_promotions: u64,
+    /// Promotions refused by the epoch fence.
+    pub stale_replica_rejects: u64,
+    /// Mean re-learn window in heartbeat periods, weighted across
+    /// repeats by each run's resolved count.
+    pub relearn_mean_heartbeats: Option<f64>,
+    /// Take-overs whose re-learn window resolved.
+    pub relearn_resolved: usize,
+    /// Take-overs never fully re-learned by the end of a run.
+    pub relearn_unresolved: usize,
+    /// Pooled post-take-over misdirection rate (total misses / total
+    /// probes).
+    pub misdirect_rate: f64,
+    /// Oracle violations from every repeat (empty on clean runs).
+    pub violations: Vec<String>,
+}
+
+impl ScenarioArm {
+    fn pooled(scheme: HeartbeatScheme, reports: &[ScheduleReport]) -> Self {
+        let resolved: usize = reports.iter().map(|r| r.relearn_resolved).sum();
+        let probes: usize = reports.iter().map(|r| r.misdirect_probes).sum();
+        let misses: usize = reports.iter().map(|r| r.misdirect_misses).sum();
+        ScenarioArm {
+            scheme,
+            broken_peak: reports.iter().map(|r| r.broken_peak).max().unwrap_or(0),
+            suspicions: reports.iter().map(|r| r.suspicions).sum(),
+            live_expulsions: reports.iter().map(|r| r.live_expulsions).sum(),
+            revivals: reports.iter().map(|r| r.revivals).sum(),
+            takeovers: reports.iter().map(|r| r.takeovers).sum(),
+            replica_promotions: reports.iter().map(|r| r.replica_promotions).sum(),
+            stale_replica_rejects: reports.iter().map(|r| r.stale_replica_rejects).sum(),
+            relearn_mean_heartbeats: (resolved > 0).then(|| {
+                reports
+                    .iter()
+                    .filter_map(|r| {
+                        r.relearn_mean_heartbeats
+                            .map(|m| m * r.relearn_resolved as f64)
+                    })
+                    .sum::<f64>()
+                    / resolved as f64
+            }),
+            relearn_resolved: resolved,
+            relearn_unresolved: reports.iter().map(|r| r.relearn_unresolved).sum(),
+            misdirect_rate: if probes == 0 {
+                0.0
+            } else {
+                misses as f64 / probes as f64
+            },
+            violations: reports.iter().flat_map(|r| r.violations.clone()).collect(),
+        }
+    }
+}
+
+/// Wait-time effect of a scenario's arrival shaping on the workload
+/// layer: the same scaled-down load-balancing run (can-het), once with
+/// the paper's homogeneous Poisson arrivals and once with the
+/// scenario's rate windows installed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitShapingDelta {
+    /// Mean job wait, unshaped arrivals (seconds).
+    pub baseline_mean: f64,
+    /// Mean job wait with the scenario's rate windows (seconds).
+    pub shaped_mean: f64,
+    /// 99th-percentile wait, unshaped (seconds).
+    pub baseline_p99: f64,
+    /// 99th-percentile wait, shaped (seconds).
+    pub shaped_p99: f64,
+}
+
+/// One row of the scenario resilience table: one named scenario run
+/// under every heartbeat scheme (repeat seeds pooled per arm), plus the
+/// workload-layer wait delta for scenarios that shape arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCell {
+    /// Registry name of the scenario.
+    pub scenario: &'static str,
+    /// One pooled arm per heartbeat scheme, in `HeartbeatScheme::ALL`
+    /// order.
+    pub arms: Vec<ScenarioArm>,
+    /// Shaped-vs-baseline wait comparison (`None` when the scenario
+    /// does not modulate arrivals).
+    pub wait_delta: Option<WaitShapingDelta>,
+}
+
+fn p99(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(f64::total_cmp);
+    xs[((xs.len() - 1) as f64 * 0.99).round() as usize]
+}
+
+fn wait_shaping_delta(spec: &ScenarioSpec, scale: Scale, seed: u64) -> Option<WaitShapingDelta> {
+    let shape = spec.arrival_shape(seed)?;
+    let factor = match scale {
+        Scale::Paper => 10,
+        Scale::Quick => 20,
+    };
+    let base = default_scenario().scaled_down(factor).with_seed(seed);
+    let shaped = base.clone().with_arrival_shape(shape);
+    let a = run_load_balance(&base, SchedulerChoice::CanHet);
+    let b = run_load_balance(&shaped, SchedulerChoice::CanHet);
+    Some(WaitShapingDelta {
+        baseline_mean: a.mean_wait(),
+        shaped_mean: b.mean_wait(),
+        baseline_p99: p99(&a.wait_times),
+        shaped_p99: p99(&b.wait_times),
+    })
+}
+
+/// Scenario resilience suite: every registered scenario (see
+/// [`crate::scenarios::REGISTRY`]) compiled per scheme and seed, run
+/// through the full DST oracle harness, pooled across repeat seeds.
+pub fn scenario_suite(scale: Scale) -> Vec<ScenarioCell> {
+    scenario_suite_seeded(scale, SCENARIO_SEED)
+}
+
+/// [`scenario_suite`] at an explicit seed (the `scenarios` binary's
+/// `--seed` flag lands here).
+pub fn scenario_suite_seeded(scale: Scale, seed: u64) -> Vec<ScenarioCell> {
+    scenario_suite_over(scale, seed, &crate::scenarios::matching(""))
+}
+
+/// [`scenario_suite`] over an explicit subset of the registry (the
+/// `--scenario` filter lands here).
+pub fn scenario_suite_over(
+    scale: Scale,
+    seed: u64,
+    specs: &[&'static ScenarioSpec],
+) -> Vec<ScenarioCell> {
+    let (nodes, repeats) = match scale {
+        Scale::Paper => (48, 3u64),
+        Scale::Quick => (32, 2u64),
+    };
+    let mut configs = Vec::new();
+    for spec in specs {
+        for scheme in HeartbeatScheme::ALL {
+            for rep in 0..repeats {
+                let mut s = spec.compile_for(&scheme.label().to_ascii_lowercase(), seed + rep);
+                s.nodes = nodes;
+                configs.push(s);
+            }
+        }
+    }
+    let reports = parallel_map(configs, |s| run_schedule(&s));
+    let per_arm = repeats as usize;
+    let per_cell = HeartbeatScheme::ALL.len() * per_arm;
+    specs
+        .iter()
+        .zip(reports.chunks(per_cell))
+        .map(|(spec, cell)| ScenarioCell {
+            scenario: spec.name,
+            arms: HeartbeatScheme::ALL
+                .iter()
+                .zip(cell.chunks(per_arm))
+                .map(|(&scheme, arm)| ScenarioArm::pooled(scheme, arm))
+                .collect(),
+            wait_delta: wait_shaping_delta(spec, scale, seed),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,6 +987,49 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..64).collect::<Vec<i32>>(), |x| x * 2);
         assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quick_scenario_suite_pools_rack_storm_cleanly() {
+        let specs = crate::scenarios::matching("rack-storm");
+        let cells = scenario_suite_over(Scale::Quick, SCENARIO_SEED, &specs);
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.arms.len(), HeartbeatScheme::ALL.len());
+        for arm in &cell.arms {
+            assert!(
+                arm.violations.is_empty(),
+                "{:?}: {:?}",
+                arm.scheme,
+                arm.violations
+            );
+            assert!(
+                arm.takeovers > 0,
+                "{:?}: the storm must crash nodes",
+                arm.scheme
+            );
+        }
+        assert!(
+            cell.arms.iter().any(|a| a.replica_promotions > 0),
+            "rack-storm arms warm standby; some heir must promote a replica"
+        );
+        assert!(
+            cell.wait_delta.is_none(),
+            "rack-storm does not shape arrivals"
+        );
+    }
+
+    #[test]
+    fn spike_scenario_reports_a_wait_shaping_delta() {
+        let spec = crate::scenarios::find("flash-crowd-spike").unwrap();
+        let delta = wait_shaping_delta(spec, Scale::Quick, SCENARIO_SEED)
+            .expect("spike scenarios shape arrivals");
+        assert!(delta.baseline_mean.is_finite() && delta.shaped_mean.is_finite());
+        assert_ne!(
+            delta.baseline_mean, delta.shaped_mean,
+            "a 2.5x submission window must move the wait distribution"
+        );
+        assert!(delta.shaped_p99 >= 0.0 && delta.baseline_p99 >= 0.0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use pgrid_workload as workload;
 
 pub mod experiments;
 pub mod fuzz;
+pub mod scenarios;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
@@ -62,13 +63,14 @@ pub mod prelude {
         fuzz_search, replay_trace, run_case, CaseReport, FuzzConfig, FuzzFailure, FuzzSummary,
     };
     pub use crate::metrics::{Cdf, CsvWriter, Summary, Table, TimeSeries};
+    pub use crate::scenarios::{self, ScenarioSpec};
     pub use crate::sched::{
         run_load_balance, run_load_balance_ablated, run_load_balance_chaos, AiEntry, AiGrouping,
         AiTable, CentralMatchmaker, CrashChaosConfig, HetFeatures, Matchmaker, PushParams,
         PushingMatchmaker, RecoveryStats, SchedulerChoice, SimResult, StaticGrid, SuspicionConfig,
     };
     pub use crate::simcore::{
-        EventQueue, FaultSchedule, Fnv, ScheduleBudget, SimRng, TraceParseError,
+        EventQueue, FaultSchedule, Fnv, ScheduleBudget, ScheduleMacro, SimRng, TraceParseError,
     };
     pub use crate::types::{
         CeRequirement, CeSpec, CeType, DimensionLayout, JobId, JobSpec, NodeId, NodeSpec,

@@ -9,7 +9,6 @@ use crate::matchmakers::{
 use pgrid_metrics::{Cdf, Summary};
 use pgrid_simcore::{EventQueue, SimRng};
 use pgrid_types::{DimensionLayout, JobId, JobSpec, NodeId};
-use pgrid_workload::jobgen::JobStream;
 use pgrid_workload::nodegen::generate_nodes;
 use pgrid_workload::profiles::{EvictionConfig, LoadBalanceScenario};
 
@@ -136,8 +135,7 @@ pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice)
     // no clone. (Stream and grid use independent RNG sub-streams, so
     // the construction order does not affect either.)
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
-    let mut stream =
-        JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
+    let mut stream = scenario.job_stream(population);
     let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
     let population = stream
         .into_population()
@@ -178,8 +176,7 @@ pub fn run_load_balance_chaos(
 ) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
-    let mut stream =
-        JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
+    let mut stream = scenario.job_stream(population);
     let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
     let population = stream
         .into_population()
@@ -213,8 +210,7 @@ pub fn run_load_balance_ablated(
 ) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
-    let mut stream =
-        JobStream::with_population(scenario.job_gen.clone(), scenario.seed, population);
+    let mut stream = scenario.job_stream(population);
     let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
     let population = stream
         .into_population()

@@ -37,6 +37,11 @@ use std::fmt;
 /// executor streams 0xFA17 / 0xC4A5 / 0x71C7).
 const GEN_STREAM: u64 = 0xD57;
 
+/// RNG sub-stream tag for macro expansion ([`FaultSchedule::expand`]),
+/// disjoint from the generator and executor streams so expanding a
+/// schedule never perturbs victim sampling or message fates.
+const MACRO_STREAM: u64 = 0x5CE0;
+
 // ---------------------------------------------------------------------------
 // FNV-1a digest
 // ---------------------------------------------------------------------------
@@ -135,6 +140,355 @@ pub struct DegradeWindow {
     pub until: SimTime,
 }
 
+/// A composable schedule macro: one named adversarial pattern that
+/// [`FaultSchedule::expand`] lowers into primitive events and degrade
+/// windows before execution.
+///
+/// Macros keep their *structure* (kinds, counts, windows) fixed by the
+/// record itself; only timing offsets are drawn from the schedule seed
+/// during expansion. Two expansions of the same schedule are therefore
+/// identical, and two seeds differ only in RNG-derived times — never in
+/// which primitives appear. All times are fault-phase-relative seconds,
+/// like the primitives they lower to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleMacro {
+    /// Sinusoidal diurnal availability: each cycle crashes `amplitude`
+    /// nodes near its trough and rejoins `amplitude` near its peak —
+    /// the desktop-grid evening-shutdown / morning-return wave.
+    Wave {
+        /// Length of one availability cycle (seconds).
+        period: f64,
+        /// Nodes leaving (then returning) per cycle.
+        amplitude: usize,
+        /// Number of cycles.
+        cycles: usize,
+        /// First cycle's start, seconds into the fault phase.
+        from: SimTime,
+    },
+    /// Flash crowd: a join burst at `at` plus an arrival-rate
+    /// multiplier the workload layer applies over `[at, at+duration)`.
+    /// Half the crowd churns away again when the window closes.
+    Spike {
+        /// Burst instant, seconds into the fault phase.
+        at: SimTime,
+        /// Joiners in the burst.
+        joins: usize,
+        /// Arrival-rate multiplier during the window (workload hook;
+        /// carried in the trace so replays shape the same workload).
+        rate: f64,
+        /// Window length (seconds).
+        duration: f64,
+    },
+    /// Correlated rack failures: `racks` crash bursts of `size` nodes
+    /// each, spaced `gap` seconds apart (plus bounded seed jitter) —
+    /// the generalization of the hand-written rack-crash-storm trace.
+    RackStorm {
+        /// First burst instant, seconds into the fault phase.
+        at: SimTime,
+        /// Number of correlated bursts.
+        racks: usize,
+        /// Victims per burst.
+        size: usize,
+        /// Nominal spacing between bursts (seconds).
+        gap: f64,
+    },
+    /// Sustained slow nodes: one degraded-link window over `[from,
+    /// until)` plus `freezes` single-node freezes of `freeze_secs`
+    /// scattered across it — stragglers the detector must tolerate
+    /// without expelling.
+    Straggler {
+        /// Directed member pairs to degrade.
+        pairs: usize,
+        /// Extra drop probability on the degraded links (in `[0, 1)`).
+        drop: f64,
+        /// Extra uniform `[0, jitter)` delay on surviving sends.
+        jitter: f64,
+        /// Scattered single-node freezes inside the window.
+        freezes: usize,
+        /// Length of each freeze (seconds).
+        freeze_secs: f64,
+        /// Window start, seconds into the fault phase.
+        from: SimTime,
+        /// Window end, seconds into the fault phase.
+        until: SimTime,
+    },
+    /// Gray failure: the same links are degraded twice — once loss-only
+    /// and once lag-only — so a link is simultaneously lossy *and*
+    /// slow, the asymmetric partial degrade an adaptive per-link
+    /// detector must out-diagnose where a fixed timeout either expels
+    /// the victim or goes blind.
+    GrayFail {
+        /// Directed member pairs to degrade.
+        pairs: usize,
+        /// Drop probability on the lossy half (in `[0, 1)`).
+        drop: f64,
+        /// Uniform `[0, delay)` lag on the slow half (seconds).
+        delay: f64,
+        /// Window start, seconds into the fault phase.
+        from: SimTime,
+        /// Window end, seconds into the fault phase.
+        until: SimTime,
+    },
+}
+
+impl ScheduleMacro {
+    /// Number of primitive elements (events + degrade windows) this
+    /// macro lowers to — structural, independent of the seed.
+    pub fn expansion_count(&self) -> usize {
+        match *self {
+            ScheduleMacro::Wave { cycles, .. } => 2 * cycles,
+            ScheduleMacro::Spike { .. } => 2,
+            ScheduleMacro::RackStorm { racks, .. } => racks,
+            ScheduleMacro::Straggler { freezes, .. } => 1 + freezes,
+            ScheduleMacro::GrayFail { .. } => 2,
+        }
+    }
+
+    /// Checks ranges and that the macro's whole footprint fits inside
+    /// the fault phase.
+    fn validate(&self, fault_duration: f64) -> Result<(), String> {
+        fn finite_pos(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite and positive, got {v}"))
+            }
+        }
+        fn window(name: &str, from: f64, until: f64, horizon: f64) -> Result<(), String> {
+            if from >= 0.0 && from < until && until <= horizon {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{name} window [{from}, {until}] must satisfy 0 <= from < until <= {horizon}"
+                ))
+            }
+        }
+        if self.expansion_count() == 0 {
+            return Err("macro expands to zero events".into());
+        }
+        match *self {
+            ScheduleMacro::Wave {
+                period,
+                amplitude,
+                cycles,
+                from,
+            } => {
+                finite_pos("wave period", period)?;
+                if amplitude == 0 {
+                    return Err("wave amplitude must be >= 1".into());
+                }
+                window("wave", from, from + cycles as f64 * period, fault_duration)
+            }
+            ScheduleMacro::Spike {
+                at,
+                joins,
+                rate,
+                duration,
+            } => {
+                if joins == 0 {
+                    return Err("spike joins must be >= 1".into());
+                }
+                finite_pos("spike rate", rate)?;
+                finite_pos("spike duration", duration)?;
+                window("spike", at, at + duration, fault_duration)
+            }
+            ScheduleMacro::RackStorm {
+                at,
+                racks,
+                size,
+                gap,
+            } => {
+                if racks == 0 || size == 0 {
+                    return Err("rackstorm racks and size must be >= 1".into());
+                }
+                finite_pos("rackstorm gap", gap)?;
+                window("rackstorm", at, at + racks as f64 * gap, fault_duration)
+            }
+            ScheduleMacro::Straggler {
+                pairs,
+                drop,
+                jitter,
+                freezes,
+                freeze_secs,
+                from,
+                until,
+            } => {
+                if pairs == 0 {
+                    return Err("straggler pairs must be >= 1".into());
+                }
+                if !(0.0..1.0).contains(&drop) {
+                    return Err(format!("straggler drop must be in [0, 1), got {drop}"));
+                }
+                if !(jitter.is_finite() && jitter >= 0.0) {
+                    return Err(format!(
+                        "straggler jitter must be finite >= 0, got {jitter}"
+                    ));
+                }
+                finite_pos("straggler freeze_secs", freeze_secs)?;
+                window("straggler", from, until, fault_duration)?;
+                if freezes > 0 && freeze_secs > until - from {
+                    return Err(format!(
+                        "straggler freeze_secs {freeze_secs} exceeds the window [{from}, {until}]"
+                    ));
+                }
+                Ok(())
+            }
+            ScheduleMacro::GrayFail {
+                pairs,
+                drop,
+                delay,
+                from,
+                until,
+            } => {
+                if pairs == 0 {
+                    return Err("grayfail pairs must be >= 1".into());
+                }
+                if !(0.0..1.0).contains(&drop) {
+                    return Err(format!("grayfail drop must be in [0, 1), got {drop}"));
+                }
+                finite_pos("grayfail delay", delay)?;
+                window("grayfail", from, until, fault_duration)
+            }
+        }
+    }
+
+    /// Lowers this macro into primitive events and degrade windows.
+    /// Only *times* are drawn from `rng`; counts and kinds come from
+    /// the record, so expansion structure is seed-invariant.
+    fn expand_into(
+        &self,
+        rng: &mut SimRng,
+        horizon: f64,
+        events: &mut Vec<FaultEvent>,
+        degrades: &mut Vec<DegradeWindow>,
+    ) {
+        let clamp = |t: f64, lo: f64, hi: f64| t.clamp(lo, hi.min(horizon));
+        match *self {
+            ScheduleMacro::Wave {
+                period,
+                amplitude,
+                cycles,
+                from,
+            } => {
+                // Stepwise sinusoid: the trough (shutdown) sits a
+                // quarter period in, the peak (return) three quarters
+                // in, each nudged by up to ±5 % of the period.
+                for c in 0..cycles {
+                    let base = from + c as f64 * period;
+                    let nudge = period * 0.05;
+                    let trough = clamp(
+                        base + period * 0.25 + rng.uniform(-nudge, nudge),
+                        base,
+                        base + period,
+                    );
+                    let peak = clamp(
+                        base + period * 0.75 + rng.uniform(-nudge, nudge),
+                        trough,
+                        base + period,
+                    );
+                    events.push(FaultEvent {
+                        at: trough,
+                        fault: NodeFault::Crash { count: amplitude },
+                    });
+                    events.push(FaultEvent {
+                        at: peak,
+                        fault: NodeFault::Rejoin { count: amplitude },
+                    });
+                }
+            }
+            ScheduleMacro::Spike {
+                at,
+                joins,
+                duration,
+                ..
+            } => {
+                // The join burst lands at `at`; half the crowd churns
+                // away when the window closes. `rate` is consumed by
+                // the workload layer, not the fault executor.
+                events.push(FaultEvent {
+                    at,
+                    fault: NodeFault::Rejoin { count: joins },
+                });
+                events.push(FaultEvent {
+                    at: clamp(at + duration, at, horizon),
+                    fault: NodeFault::Crash {
+                        count: (joins / 2).max(1),
+                    },
+                });
+            }
+            ScheduleMacro::RackStorm {
+                at,
+                racks,
+                size,
+                gap,
+            } => {
+                for r in 0..racks {
+                    let base = at + r as f64 * gap;
+                    let t = clamp(base + rng.uniform(0.0, gap * 0.2), base, base + gap);
+                    events.push(FaultEvent {
+                        at: t,
+                        fault: NodeFault::Crash { count: size },
+                    });
+                }
+            }
+            ScheduleMacro::Straggler {
+                pairs,
+                drop,
+                jitter,
+                freezes,
+                freeze_secs,
+                from,
+                until,
+            } => {
+                degrades.push(DegradeWindow {
+                    pairs,
+                    drop,
+                    jitter,
+                    from,
+                    until,
+                });
+                for _ in 0..freezes {
+                    let latest = (until - freeze_secs).max(from);
+                    events.push(FaultEvent {
+                        at: rng.uniform(from, latest),
+                        fault: NodeFault::Freeze {
+                            count: 1,
+                            duration: freeze_secs,
+                        },
+                    });
+                }
+            }
+            ScheduleMacro::GrayFail {
+                pairs,
+                drop,
+                delay,
+                from,
+                until,
+            } => {
+                // Two windows over the *same* sampled pair budget: one
+                // lossy, one laggy. The executor samples victim pairs
+                // per window from the shared victim stream, so the two
+                // halves land on overlapping neighborhoods — partial,
+                // asymmetric degradation rather than a clean outage.
+                degrades.push(DegradeWindow {
+                    pairs,
+                    drop,
+                    jitter: 0.0,
+                    from,
+                    until,
+                });
+                degrades.push(DegradeWindow {
+                    pairs,
+                    drop: 0.0,
+                    jitter: delay,
+                    from,
+                    until,
+                });
+            }
+        }
+    }
+}
+
 /// One fully-specified, self-contained chaos run.
 ///
 /// Everything an executor needs is here; replaying the same schedule
@@ -173,6 +527,11 @@ pub struct FaultSchedule {
     pub degrades: Vec<DegradeWindow>,
     /// Node-level fault events, in fault-phase-relative time.
     pub events: Vec<FaultEvent>,
+    /// Composable macro records; [`FaultSchedule::expand`] lowers them
+    /// into primitives before execution. Empty on generated schedules
+    /// (the fuzzer grammar stays macro-free so historical seeds keep
+    /// their schedules); the scenario library is what writes these.
+    pub macros: Vec<ScheduleMacro>,
     /// Failure-detector mode label (`fixed` / `adaptive`); `None` runs
     /// the legacy passive expiry. Kept as a string so `simcore` stays
     /// independent of `can`, mirroring `scheme`.
@@ -315,15 +674,63 @@ impl FaultSchedule {
         if let Some(iv) = self.sched_crash_interval {
             pos("sched crash_interval", iv)?;
         }
+        for m in &self.macros {
+            m.validate(self.fault_duration)?;
+        }
         Ok(())
+    }
+
+    /// Lowers every macro record into primitive events and degrade
+    /// windows, returning a macro-free schedule that replays the same
+    /// run. The identity for macro-free schedules, so every historical
+    /// trace and golden digest is untouched.
+    ///
+    /// Deterministic: timing offsets are drawn from sub-stream
+    /// `0x5CE0` of the schedule seed, in macro order, so expanding
+    /// twice yields identical output and two seeds differ only in
+    /// RNG-derived times, never in expansion structure.
+    pub fn expand(&self) -> FaultSchedule {
+        if self.macros.is_empty() {
+            return self.clone();
+        }
+        let mut rng = SimRng::sub_stream(self.seed, MACRO_STREAM);
+        let mut out = self.clone();
+        out.macros.clear();
+        for m in &self.macros {
+            m.expand_into(
+                &mut rng,
+                self.fault_duration,
+                &mut out.events,
+                &mut out.degrades,
+            );
+        }
+        // Stable sort: simultaneous events keep macro-emission order.
+        out.events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        debug_assert!(out.validate().is_ok(), "expansion escaped the horizon");
+        out
+    }
+
+    /// The arrival-rate multiplier windows carried by `spike` macros,
+    /// as absolute-workload-time `(from, until, rate)` triples relative
+    /// to the fault phase — the workload layer's shaping hook.
+    pub fn arrival_windows(&self) -> Vec<(SimTime, SimTime, f64)> {
+        self.macros
+            .iter()
+            .filter_map(|m| match *m {
+                ScheduleMacro::Spike {
+                    at, rate, duration, ..
+                } => Some((at, at + duration, rate)),
+                _ => None,
+            })
+            .collect()
     }
 
     // -- shrinker support ---------------------------------------------------
 
     /// Number of independently-removable schedule elements, in the
     /// fixed order: events, partitions, class faults, churn, sched,
-    /// degrades, detector, replication (new kinds appended to keep the
-    /// order stable).
+    /// degrades, detector, replication, macros (new kinds appended to
+    /// keep the order stable).
     fn element_count(&self) -> usize {
         self.events.len()
             + self.partitions.len()
@@ -333,6 +740,7 @@ impl FaultSchedule {
             + self.degrades.len()
             + usize::from(self.detector.is_some())
             + usize::from(self.replication.is_some())
+            + self.macros.len()
     }
 
     /// The schedule with only the elements whose `keep` flag is set
@@ -377,6 +785,12 @@ impl FaultSchedule {
         if self.replication.is_some() && !it.next().unwrap_or(true) {
             out.replication = None;
         }
+        out.macros = self
+            .macros
+            .iter()
+            .copied()
+            .filter(|_| it.next().unwrap_or(true))
+            .collect();
         out.expect_digest = None;
         out
     }
@@ -631,6 +1045,10 @@ pub fn generate(seed: u64, budget: &ScheduleBudget) -> FaultSchedule {
         partitions,
         degrades,
         events,
+        // The fuzzer grammar stays macro-free: macros are the scenario
+        // library's vocabulary, and keeping them out of `generate`
+        // leaves every historical seed's schedule untouched.
+        macros: Vec::new(),
         detector,
         replication,
         sched_crash_interval,
@@ -730,6 +1148,67 @@ impl FaultSchedule {
         if let Some(mode) = &self.replication {
             let _ = writeln!(out, "replication mode={mode}");
         }
+        for m in &self.macros {
+            match *m {
+                ScheduleMacro::Wave {
+                    period,
+                    amplitude,
+                    cycles,
+                    from,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "wave period={period} amplitude={amplitude} cycles={cycles} from={from}"
+                    );
+                }
+                ScheduleMacro::Spike {
+                    at,
+                    joins,
+                    rate,
+                    duration,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "spike at={at} joins={joins} rate={rate} duration={duration}"
+                    );
+                }
+                ScheduleMacro::RackStorm {
+                    at,
+                    racks,
+                    size,
+                    gap,
+                } => {
+                    let _ = writeln!(out, "rackstorm at={at} racks={racks} size={size} gap={gap}");
+                }
+                ScheduleMacro::Straggler {
+                    pairs,
+                    drop,
+                    jitter,
+                    freezes,
+                    freeze_secs,
+                    from,
+                    until,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "straggler pairs={pairs} drop={drop} jitter={jitter} freezes={freezes} \
+                         freeze_secs={freeze_secs} from={from} until={until}"
+                    );
+                }
+                ScheduleMacro::GrayFail {
+                    pairs,
+                    drop,
+                    delay,
+                    from,
+                    until,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "grayfail pairs={pairs} drop={drop} delay={delay} from={from} until={until}"
+                    );
+                }
+            }
+        }
         for e in &self.events {
             match e.fault {
                 NodeFault::Crash { count } => {
@@ -818,6 +1297,7 @@ impl FaultSchedule {
                     partitions: Vec::new(),
                     degrades: Vec::new(),
                     events: Vec::new(),
+                    macros: Vec::new(),
                     detector: None,
                     replication: None,
                     sched_crash_interval: None,
@@ -867,6 +1347,40 @@ impl FaultSchedule {
                 }),
                 "detector" => sched.detector = Some(get("mode")?.to_string()),
                 "replication" => sched.replication = Some(get("mode")?.to_string()),
+                "wave" => sched.macros.push(ScheduleMacro::Wave {
+                    period: get_f64("period")?,
+                    amplitude: get_usize("amplitude")?,
+                    cycles: get_usize("cycles")?,
+                    from: get_f64("from")?,
+                }),
+                "spike" => sched.macros.push(ScheduleMacro::Spike {
+                    at: get_f64("at")?,
+                    joins: get_usize("joins")?,
+                    rate: get_f64("rate")?,
+                    duration: get_f64("duration")?,
+                }),
+                "rackstorm" => sched.macros.push(ScheduleMacro::RackStorm {
+                    at: get_f64("at")?,
+                    racks: get_usize("racks")?,
+                    size: get_usize("size")?,
+                    gap: get_f64("gap")?,
+                }),
+                "straggler" => sched.macros.push(ScheduleMacro::Straggler {
+                    pairs: get_usize("pairs")?,
+                    drop: get_f64("drop")?,
+                    jitter: get_f64("jitter")?,
+                    freezes: get_usize("freezes")?,
+                    freeze_secs: get_f64("freeze_secs")?,
+                    from: get_f64("from")?,
+                    until: get_f64("until")?,
+                }),
+                "grayfail" => sched.macros.push(ScheduleMacro::GrayFail {
+                    pairs: get_usize("pairs")?,
+                    drop: get_f64("drop")?,
+                    delay: get_f64("delay")?,
+                    from: get_f64("from")?,
+                    until: get_f64("until")?,
+                }),
                 "event" => {
                     let at = get_f64("at")?;
                     let fault = match get("kind")? {
@@ -1056,6 +1570,21 @@ mod tests {
                 until: 500.0,
             }],
             events: vec![crash_at(60.0, 8), crash_at(120.0, 2), crash_at(300.0, 5)],
+            macros: vec![
+                ScheduleMacro::Wave {
+                    period: 150.0,
+                    amplitude: 3,
+                    cycles: 2,
+                    from: 10.0,
+                },
+                ScheduleMacro::GrayFail {
+                    pairs: 4,
+                    drop: 0.3,
+                    delay: 20.0,
+                    from: 50.0,
+                    until: 550.0,
+                },
+            ],
             detector: Some("adaptive".into()),
             replication: Some("standby".into()),
             sched_crash_interval: Some(450.0),
@@ -1196,6 +1725,7 @@ mod tests {
         assert!(outcome.schedule.replication.is_none());
         assert!(outcome.schedule.churn_gap.is_none());
         assert!(outcome.schedule.sched_crash_interval.is_none());
+        assert!(outcome.schedule.macros.is_empty());
         assert!(outcome.schedule.expect_digest.is_none());
         assert!(outcome.probes <= 256);
     }
@@ -1232,6 +1762,178 @@ mod tests {
         assert_eq!(outcome.probes, calls);
         // Nothing shrank, but the schedule is intact.
         assert_eq!(outcome.schedule.events.len(), origin.events.len());
+    }
+
+    fn all_macro_kinds() -> Vec<ScheduleMacro> {
+        vec![
+            ScheduleMacro::Wave {
+                period: 120.0,
+                amplitude: 4,
+                cycles: 3,
+                from: 20.0,
+            },
+            ScheduleMacro::Spike {
+                at: 60.0,
+                joins: 10,
+                rate: 2.5,
+                duration: 200.0,
+            },
+            ScheduleMacro::RackStorm {
+                at: 30.0,
+                racks: 3,
+                size: 4,
+                gap: 100.0,
+            },
+            ScheduleMacro::Straggler {
+                pairs: 4,
+                drop: 0.35,
+                jitter: 25.0,
+                freezes: 2,
+                freeze_secs: 120.0,
+                from: 40.0,
+                until: 500.0,
+            },
+            ScheduleMacro::GrayFail {
+                pairs: 5,
+                drop: 0.25,
+                delay: 35.0,
+                from: 50.0,
+                until: 550.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn macro_records_round_trip_bit_identically() {
+        let mut s = base_schedule();
+        s.macros = all_macro_kinds();
+        let text = s.to_text();
+        let parsed = FaultSchedule::parse(&text).expect("macro trace parses");
+        assert_eq!(parsed, s, "all five macro kinds round trip:\n{text}");
+    }
+
+    #[test]
+    fn validate_rejects_macro_windows_past_the_horizon() {
+        let mut s = base_schedule();
+        s.macros = vec![ScheduleMacro::Wave {
+            period: 200.0,
+            amplitude: 2,
+            cycles: 4, // 10 + 800 > 600
+            from: 10.0,
+        }];
+        let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
+        assert!(e.message.contains("wave window"), "{e}");
+
+        let mut s = base_schedule();
+        s.macros = vec![ScheduleMacro::RackStorm {
+            at: 500.0,
+            racks: 2,
+            size: 3,
+            gap: 100.0, // 500 + 200 > 600
+        }];
+        let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
+        assert!(e.message.contains("rackstorm window"), "{e}");
+
+        let mut s = base_schedule();
+        s.macros = vec![ScheduleMacro::Spike {
+            at: 500.0,
+            joins: 8,
+            rate: 2.0,
+            duration: 200.0, // 500 + 200 > 600
+        }];
+        let e = FaultSchedule::parse(&s.to_text()).unwrap_err();
+        assert!(e.message.contains("spike window"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_expansion_macros() {
+        let mut s = base_schedule();
+        s.macros = vec![ScheduleMacro::Wave {
+            period: 100.0,
+            amplitude: 2,
+            cycles: 0,
+            from: 10.0,
+        }];
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("zero events"), "{e}");
+
+        let mut s = base_schedule();
+        s.macros = vec![ScheduleMacro::RackStorm {
+            at: 10.0,
+            racks: 0,
+            size: 3,
+            gap: 50.0,
+        }];
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("zero events"), "{e}");
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_macro_free() {
+        let mut s = base_schedule();
+        s.macros = all_macro_kinds();
+        s.fault_duration = 600.0;
+        s.validate().expect("macro schedule valid");
+        let a = s.expand();
+        let b = s.expand();
+        assert_eq!(a, b, "expansion must be deterministic");
+        assert!(a.macros.is_empty());
+        assert!(a.validate().is_ok(), "{:?}", a.validate());
+        let expected: usize = s.macros.iter().map(|m| m.expansion_count()).sum();
+        let grown = (a.events.len() - s.events.len()) + (a.degrades.len() - s.degrades.len());
+        assert_eq!(
+            grown, expected,
+            "every macro lowers to its advertised count"
+        );
+        // Events stay sorted for the executor's pop-earliest loop.
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn expansion_is_the_identity_without_macros() {
+        let s = generate(9, &ScheduleBudget::default());
+        assert!(s.macros.is_empty());
+        assert_eq!(s.expand(), s);
+    }
+
+    #[test]
+    fn seeds_perturb_expansion_times_but_never_structure() {
+        let mut a = base_schedule();
+        a.events.clear();
+        a.degrades.clear();
+        a.macros = all_macro_kinds();
+        let mut b = a.clone();
+        b.seed = a.seed + 1;
+        let (ea, eb) = (a.expand(), b.expand());
+        assert_eq!(ea.events.len(), eb.events.len());
+        assert_eq!(ea.degrades.len(), eb.degrades.len());
+        let kinds = |s: &FaultSchedule| {
+            let mut v: Vec<u8> = s
+                .events
+                .iter()
+                .map(|e| match e.fault {
+                    NodeFault::Crash { .. } => 0u8,
+                    NodeFault::Rejoin { .. } => 1,
+                    NodeFault::Freeze { .. } => 2,
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(kinds(&ea), kinds(&eb), "event kinds are seed-invariant");
+        assert_ne!(
+            ea.events, eb.events,
+            "different seeds must perturb at least one expansion time"
+        );
+    }
+
+    #[test]
+    fn arrival_windows_surface_spike_rates() {
+        let mut s = base_schedule();
+        s.macros = all_macro_kinds();
+        assert_eq!(s.arrival_windows(), vec![(60.0, 260.0, 2.5)]);
+        s.macros.clear();
+        assert!(s.arrival_windows().is_empty());
     }
 
     #[test]

@@ -120,6 +120,49 @@ impl JobGenConfig {
     }
 }
 
+/// Piecewise arrival-rate modulation: inside each `(from, until, rate)`
+/// window the submission rate is multiplied by `rate` (equivalently,
+/// inter-arrival gaps are divided by it). Windows are in stream-clock
+/// seconds. The scenario library uses this to model flash crowds —
+/// a `spike` macro's rate window lands here.
+///
+/// Shaping rescales the already-drawn exponential gap, so it consumes
+/// **zero** extra RNG draws: an unshaped stream (and every existing
+/// seed) emits the exact same jobs at the exact same times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArrivalShape {
+    windows: Vec<(f64, f64, f64)>,
+}
+
+impl ArrivalShape {
+    /// A shape from `(from, until, rate)` windows. Panics on a
+    /// non-positive or non-finite rate, or an empty window.
+    pub fn new(windows: Vec<(f64, f64, f64)>) -> Self {
+        for &(from, until, rate) in &windows {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "arrival rate multiplier must be finite and positive, got {rate}"
+            );
+            assert!(from < until, "arrival window [{from}, {until}] is empty");
+        }
+        ArrivalShape { windows }
+    }
+
+    /// The rate multiplier in effect at stream time `t` (first matching
+    /// window wins; 1.0 outside every window).
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        self.windows
+            .iter()
+            .find(|&&(from, until, _)| t >= from && t < until)
+            .map_or(1.0, |&(_, _, rate)| rate)
+    }
+
+    /// Whether any window is present.
+    pub fn is_trivial(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
 /// A timed job stream: Poisson arrivals of sampled jobs, optionally
 /// rejection-resampled so every emitted job is satisfiable by at least
 /// one node of a reference population (keeping the simulation in the
@@ -131,6 +174,7 @@ pub struct JobStream {
     clock: f64,
     population: Option<Vec<NodeSpec>>,
     max_resample: usize,
+    shape: Option<ArrivalShape>,
 }
 
 impl JobStream {
@@ -143,7 +187,15 @@ impl JobStream {
             clock: 0.0,
             population: None,
             max_resample: 64,
+            shape: None,
         }
+    }
+
+    /// Installs piecewise arrival-rate modulation (see [`ArrivalShape`]).
+    /// A trivial shape is dropped so the stream stays bit-identical to
+    /// its unshaped history.
+    pub fn set_shape(&mut self, shape: ArrivalShape) {
+        self.shape = (!shape.is_trivial()).then_some(shape);
     }
 
     /// A stream that re-samples any job no node of `population` could
@@ -163,7 +215,14 @@ impl JobStream {
 
     /// Draws the next `(arrival_time, job)` pair.
     pub fn next_job(&mut self) -> (f64, JobSpec) {
-        self.clock += self.rng.exponential(self.cfg.mean_interarrival);
+        let gap = self.rng.exponential(self.cfg.mean_interarrival);
+        // A rate multiplier of m compresses the gap by 1/m — the same
+        // draw count as the unshaped stream, so seeds stay stable.
+        let m = self
+            .shape
+            .as_ref()
+            .map_or(1.0, |s| s.multiplier_at(self.clock));
+        self.clock += gap / m;
         let id = JobId(self.next_id);
         self.next_id += 1;
         let mut job = self.cfg.sample(id, &mut self.rng);
@@ -267,6 +326,40 @@ mod tests {
             (mean_gap - 3.0).abs() < 0.25,
             "mean inter-arrival {mean_gap} should be ~3"
         );
+    }
+
+    #[test]
+    fn arrival_shaping_compresses_gaps_inside_the_window() {
+        let mut flat = JobStream::new(cfg(0.5), 18);
+        let mut shaped = JobStream::new(cfg(0.5), 18);
+        shaped.set_shape(ArrivalShape::new(vec![(0.0, 1.0e9, 4.0)]));
+        let a = flat.take_jobs(2000);
+        let b = shaped.take_jobs(2000);
+        // Same jobs (zero extra draws), arrivals 4x as dense.
+        for ((ta, ja), (tb, jb)) in a.iter().zip(&b) {
+            assert_eq!(ja, jb, "shaping must not perturb job sampling");
+            assert!((ta / tb - 4.0).abs() < 1e-9, "{ta} vs {tb}");
+        }
+    }
+
+    #[test]
+    fn trivial_shape_is_bit_identical_to_unshaped() {
+        let mut flat = JobStream::new(cfg(0.5), 19);
+        let mut shaped = JobStream::new(cfg(0.5), 19);
+        shaped.set_shape(ArrivalShape::new(Vec::new()));
+        for _ in 0..200 {
+            assert_eq!(flat.next_job(), shaped.next_job());
+        }
+    }
+
+    #[test]
+    fn shape_multiplier_windows_are_half_open() {
+        let s = ArrivalShape::new(vec![(10.0, 20.0, 3.0), (20.0, 30.0, 0.5)]);
+        assert_eq!(s.multiplier_at(9.9), 1.0);
+        assert_eq!(s.multiplier_at(10.0), 3.0);
+        assert_eq!(s.multiplier_at(19.999), 3.0);
+        assert_eq!(s.multiplier_at(20.0), 0.5);
+        assert_eq!(s.multiplier_at(30.0), 1.0);
     }
 
     #[test]

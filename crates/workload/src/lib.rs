@@ -24,7 +24,7 @@ pub mod nodegen;
 pub mod profiles;
 pub mod trace;
 
-pub use jobgen::{JobGenConfig, JobStream};
+pub use jobgen::{ArrivalShape, JobGenConfig, JobStream};
 pub use nodegen::{generate_nodes, NodeGenConfig};
 pub use profiles::{default_scenario, EvictionConfig, LoadBalanceScenario};
 pub use trace::{read_jobs, read_nodes, write_jobs, write_nodes, TraceError};

@@ -1,8 +1,9 @@
 //! Named experiment scenarios: the exact configurations behind each
 //! figure, so benches, examples and tests share one source of truth.
 
-use crate::jobgen::JobGenConfig;
+use crate::jobgen::{ArrivalShape, JobGenConfig, JobStream};
 use crate::nodegen::NodeGenConfig;
+use pgrid_types::NodeSpec;
 
 /// Desktop-grid eviction model: volunteer nodes periodically withdraw
 /// (their owner reclaims the machine), killing resident grid jobs,
@@ -58,6 +59,10 @@ pub struct LoadBalanceScenario {
     /// Optional volunteer-eviction model (None = the paper's always-on
     /// nodes).
     pub eviction: Option<EvictionConfig>,
+    /// Optional piecewise arrival-rate modulation (None = the paper's
+    /// homogeneous Poisson process). Scenario specs use this to model
+    /// flash-crowd submission spikes.
+    pub arrival_shape: Option<ArrivalShape>,
 }
 
 impl LoadBalanceScenario {
@@ -91,6 +96,24 @@ impl LoadBalanceScenario {
         self
     }
 
+    /// Installs arrival-rate modulation (a trivial shape is dropped so
+    /// the stream stays bit-identical to its unshaped history).
+    pub fn with_arrival_shape(mut self, shape: ArrivalShape) -> Self {
+        self.arrival_shape = (!shape.is_trivial()).then_some(shape);
+        self
+    }
+
+    /// The scenario's satisfiability-filtered job stream over
+    /// `population`, with this scenario's arrival shaping installed —
+    /// the one construction path every simulator entry point shares.
+    pub fn job_stream(&self, population: Vec<NodeSpec>) -> JobStream {
+        let mut stream = JobStream::with_population(self.job_gen.clone(), self.seed, population);
+        if let Some(shape) = &self.arrival_shape {
+            stream.set_shape(shape.clone());
+        }
+        stream
+    }
+
     /// Scales the scenario down (nodes and jobs) for fast tests,
     /// preserving the load level by keeping the jobs-per-node ratio and
     /// stretching inter-arrival accordingly.
@@ -119,6 +142,7 @@ pub fn default_scenario() -> LoadBalanceScenario {
         stopping_factor: 2.0,
         ai_refresh_period: 60.0,
         eviction: None,
+        arrival_shape: None,
     }
 }
 

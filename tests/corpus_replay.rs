@@ -115,6 +115,117 @@ fn corpus_includes_the_rack_crash_storm() {
     );
 }
 
+/// Loads the corpus trace whose filename contains `needle`, replays
+/// it, and returns the schedule plus the executor report.
+fn scenario_trace(needle: &str) -> (pgrid::simcore::FaultSchedule, pgrid::can::ScheduleReport) {
+    let files = corpus_files();
+    let path = files
+        .iter()
+        .find(|p| p.file_name().unwrap().to_string_lossy().contains(needle))
+        .unwrap_or_else(|| panic!("corpus keeps a {needle} trace"));
+    let text = std::fs::read_to_string(path).unwrap();
+    let (schedule, report) = replay_trace(&text).unwrap();
+    assert!(
+        schedule.macros.is_empty(),
+        "{needle}: corpus traces are committed in expanded primitive form \
+         so replay never depends on macro support"
+    );
+    assert!(
+        report.violations.is_empty(),
+        "{needle}: {:?}",
+        report.violations
+    );
+    let full = pgrid::can::dst::run_schedule(&schedule);
+    (schedule, full)
+}
+
+#[test]
+fn corpus_includes_the_diurnal_wave() {
+    let (schedule, report) = scenario_trace("diurnal-wave");
+    assert_eq!(schedule.detector.as_deref(), Some("adaptive"));
+    // Six primitive events: a crash near each of the three troughs and
+    // a rejoin near each peak.
+    assert_eq!(schedule.events.len(), 6);
+    assert!(
+        report.takeovers > 0,
+        "the wave must crash nodes: {report:?}"
+    );
+    // Every departure is real — the adaptive detector must not expel a
+    // single live node while riding the wave.
+    assert_eq!(report.live_expulsions, 0, "{report:?}");
+    assert_eq!(
+        report.final_nodes, schedule.nodes,
+        "peaks restore the troughs"
+    );
+}
+
+#[test]
+fn corpus_includes_the_flash_crowd_spike() {
+    let (schedule, report) = scenario_trace("flash-crowd-spike");
+    // A 14-node join burst minus the 7-node departure wave: net +7.
+    assert_eq!(report.final_nodes, schedule.nodes + 7, "{report:?}");
+    assert!(
+        report.takeovers > 0,
+        "the departure wave crashes: {report:?}"
+    );
+}
+
+#[test]
+fn corpus_includes_the_rack_storm() {
+    let (schedule, report) = scenario_trace("rack-storm");
+    assert_eq!(schedule.replication.as_deref(), Some("standby"));
+    // Three racks of four: every expanded event is a crash burst.
+    assert_eq!(schedule.events.len(), 3);
+    assert!(
+        report.replica_promotions > 0,
+        "the storm must drive warm-replica promotions: {report:?}"
+    );
+}
+
+#[test]
+fn corpus_includes_the_straggler_drag() {
+    let (schedule, report) = scenario_trace("straggler-drag");
+    assert_eq!(schedule.degrades.len(), 1, "one straggler link window");
+    assert!(report.frozen_drops > 0, "the freezes must fire: {report:?}");
+    // Both freezes are shorter than the fail timeout and the slow links
+    // are merely slow: suspicions are fine, expulsions are not.
+    assert!(report.suspicions > 0, "{report:?}");
+    assert_eq!(report.live_expulsions, 0, "{report:?}");
+}
+
+#[test]
+fn corpus_includes_the_gray_failure() {
+    let (schedule, report) = scenario_trace("gray-failure");
+    // The macro lowers to a loss-only and a lag-only window over the
+    // same span and pair budget.
+    assert_eq!(schedule.degrades.len(), 2);
+    assert_eq!(schedule.degrades[0].jitter, 0.0);
+    assert_eq!(schedule.degrades[1].drop, 0.0);
+    assert!(report.dropped_messages > 0, "{report:?}");
+    assert_eq!(report.live_expulsions, 0, "{report:?}");
+    assert_eq!(
+        report.broken_after, 0,
+        "limping links must still heal: {report:?}"
+    );
+}
+
+#[test]
+fn corpus_includes_the_relocated_zombie_revival() {
+    let (schedule, report) = scenario_trace("relocated-zombie");
+    assert_eq!(schedule.partitions.len(), 2, "two rolling windows");
+    // Window 1's take-over relocates a node away from its join
+    // coordinate; window 2 expels the relocated node. Its revival must
+    // probe the zone it last owned (where the expulsion fence lives),
+    // not the coordinate — a coordinate probe compares against the
+    // absorber's unfenced region and wedges forever.
+    assert!(report.live_expulsions > 0, "{report:?}");
+    assert_eq!(
+        report.revivals, report.live_expulsions,
+        "every expelled node revives once the partitions heal: {report:?}"
+    );
+    assert_eq!(report.final_nodes, schedule.nodes, "{report:?}");
+}
+
 #[test]
 fn corpus_includes_the_seed41_rederivation() {
     let files = corpus_files();

@@ -193,6 +193,39 @@ proptest! {
         prop_assert!(report.recovery_time.is_some());
     }
 
+    /// Every registered scenario compiles deterministically: the same
+    /// (name, seed) pair yields byte-identical trace text (before and
+    /// after macro expansion), and distinct seeds perturb only the
+    /// RNG-derived expansion times — never the macro structure, the
+    /// primitive event kinds/counts, or the degrade windows.
+    #[test]
+    fn scenario_compilation_is_deterministic_and_structurally_stable(
+        idx in 0usize..64,
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+    ) {
+        use p2p_ce_grid::scenarios::REGISTRY;
+        let spec = &REGISTRY[idx % REGISTRY.len()];
+        let a1 = spec.compile(seed_a);
+        let a2 = spec.compile(seed_a);
+        prop_assert_eq!(a1.to_text(), a2.to_text(), "{}: compile must be pure", spec.name);
+        prop_assert_eq!(
+            a1.expand().to_text(),
+            a2.expand().to_text(),
+            "{}: expansion must be pure", spec.name
+        );
+        let b = spec.compile(seed_b);
+        prop_assert_eq!(&a1.macros, &b.macros, "{}: macro structure is seed-invariant", spec.name);
+        let ea = a1.expand();
+        let eb = b.expand();
+        prop_assert_eq!(ea.events.len(), eb.events.len(), "{}", spec.name);
+        for (x, y) in ea.events.iter().zip(&eb.events) {
+            // Only the firing times may differ between seeds.
+            prop_assert_eq!(&x.fault, &y.fault, "{}: event kinds/counts are structural", spec.name);
+        }
+        prop_assert_eq!(&ea.degrades, &eb.degrades, "{}: degrade windows are structural", spec.name);
+    }
+
     /// Under randomized fail-stop node crashes, no job is ever lost or
     /// double-completed: every submitted job either completes exactly
     /// once or is explicitly accounted as permanently failed after
