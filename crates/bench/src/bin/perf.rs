@@ -44,6 +44,12 @@ const SMALL_CELL_SECS: f64 = 0.1;
 /// Hard cap on total samples a noisy small cell may earn.
 const SMALL_MAX_SAMPLES: usize = 8;
 
+/// The machine factor is derived from the ratios of the most recently
+/// recorded baseline entries (the append-only file's tail), not the
+/// whole mixed-age set: entries recorded years of optimization ago
+/// would drag the median and mask (or fake) a regression.
+const MACHINE_FACTOR_RECENT_K: usize = 12;
+
 struct Cell {
     name: String,
     wall_secs: f64,
@@ -383,7 +389,7 @@ fn run_gate(mut cells: Vec<Cell>, baseline: &[(String, f64)]) -> ExitCode {
             eprintln!("--check: no cell matches a baseline entry");
             return ExitCode::FAILURE;
         }
-        let (machine, allowed) = gate_budget(&rows);
+        let (machine, allowed) = gate_budget(&rows, baseline);
         let failing: Vec<&str> = rows
             .iter()
             .filter(|(_, b, w)| w / b > allowed)
@@ -490,8 +496,28 @@ fn gate_rows(cells: &[Cell], baseline: &[(String, f64)]) -> Vec<(String, f64, f6
 
 /// Machine factor (median ratio clamped to ≥ 1) and the resulting
 /// allowed per-cell ratio.
-fn gate_budget(rows: &[(String, f64, f64)]) -> (f64, f64) {
-    let mut ratios: Vec<f64> = rows.iter().map(|(_, b, w)| w / b).collect();
+///
+/// The median runs over the rows whose baseline entries are among the
+/// [`MACHINE_FACTOR_RECENT_K`] most recently appended — the baseline
+/// object is insertion-ordered and append-only, so its tail is the set
+/// recorded under conditions closest to the current machine. Falls
+/// back to every gated row when none of the recent entries were
+/// measured this run (e.g. a heavily filtered cell set).
+fn gate_budget(rows: &[(String, f64, f64)], baseline: &[(String, f64)]) -> (f64, f64) {
+    let recent: Vec<&str> = baseline
+        .iter()
+        .rev()
+        .take(MACHINE_FACTOR_RECENT_K)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let mut ratios: Vec<f64> = rows
+        .iter()
+        .filter(|(n, _, _)| recent.iter().any(|r| r == n))
+        .map(|(_, b, w)| w / b)
+        .collect();
+    if ratios.is_empty() {
+        ratios = rows.iter().map(|(_, b, w)| w / b).collect();
+    }
     ratios.sort_unstable_by(|a, b| a.total_cmp(b));
     let machine = ratios[ratios.len() / 2].max(1.0);
     (machine, GATE_RATIO * machine)
@@ -567,6 +593,29 @@ fn render_json(cells: &[Cell], fig5_wall: f64, baseline: &[(String, f64)]) -> St
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn machine_factor_uses_recent_baseline_entries() {
+        // Twenty baseline entries appended oldest-first; the old ones
+        // have since been optimized 2x (ratio 0.5), the recent twelve
+        // run true to baseline (ratio 1.0).
+        let baseline: Vec<(String, f64)> = (0..20).map(|i| (format!("cell{i}"), 1.0)).collect();
+        let rows: Vec<(String, f64, f64)> = (0..20)
+            .map(|i| {
+                let wall = if i < 8 { 0.5 } else { 1.0 };
+                (format!("cell{i}"), 1.0, wall)
+            })
+            .collect();
+        let (machine, allowed) = gate_budget(&rows, &baseline);
+        // Mixed-age median would be dragged toward 0.5 by the old
+        // entries; the recent-K median stays at the honest 1.0.
+        assert_eq!(machine, 1.0);
+        assert!((allowed - GATE_RATIO).abs() < 1e-12);
+        // With only old rows measured, fall back to all of them.
+        let old_rows: Vec<(String, f64, f64)> = rows[..4].to_vec();
+        let (machine, _) = gate_budget(&old_rows, &baseline);
+        assert_eq!(machine, 1.0, "ratios below one clamp to one");
+    }
 
     #[test]
     fn repeat_budget_scales_with_observed_spread() {

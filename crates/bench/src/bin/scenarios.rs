@@ -58,7 +58,7 @@ fn main() -> ExitCode {
     save_scenarios_csv(&csv, &cells).expect("write csv");
     println!("CSV written to {}", csv.display());
 
-    let violations: Vec<String> = cells
+    let mut violations: Vec<String> = cells
         .iter()
         .flat_map(|c| {
             c.arms.iter().flat_map(move |arm| {
@@ -68,6 +68,16 @@ fn main() -> ExitCode {
             })
         })
         .collect();
+    for c in &cells {
+        if let Some(o) = &c.overload {
+            if o.controlled_goodput <= o.vanilla_goodput {
+                violations.push(format!(
+                    "{}: overload control did not improve goodput ({:.2} <= {:.2} jobs/1000s)",
+                    c.scenario, o.controlled_goodput, o.vanilla_goodput
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         println!("invariants: ok (zero violations)");
         ExitCode::SUCCESS

@@ -321,6 +321,19 @@ pub fn render_scenarios(cells: &[ScenarioCell]) -> String {
                 c.scenario, d.shaped_mean, d.baseline_mean, d.shaped_p99, d.baseline_p99,
             ));
         }
+        if let Some(o) = &c.overload {
+            out.push_str(&format!(
+                "{}: goodput {:.1} vs {:.1} jobs/1000s vanilla, shed {:.1}%, \
+                 retry amp {:.2}x, p99 {:.0}s vs {:.0}s\n",
+                c.scenario,
+                o.controlled_goodput,
+                o.vanilla_goodput,
+                100.0 * o.shed_rate,
+                o.retry_amplification,
+                o.controlled_p99,
+                o.vanilla_p99,
+            ));
+        }
     }
     out
 }
@@ -347,6 +360,12 @@ pub fn save_scenarios_csv(path: &Path, cells: &[ScenarioCell]) -> std::io::Resul
         "baseline_p99_wait_s",
         "shaped_p99_wait_s",
         "violations",
+        "vanilla_goodput",
+        "controlled_goodput",
+        "shed_rate",
+        "retry_amplification",
+        "vanilla_p99_wait_s",
+        "controlled_p99_wait_s",
     ]);
     for c in cells {
         for arm in &c.arms {
@@ -383,6 +402,30 @@ pub fn save_scenarios_csv(path: &Path, cells: &[ScenarioCell]) -> std::io::Resul
                     .map(|d| format!("{:.2}", d.shaped_p99))
                     .unwrap_or_default(),
                 &arm.violations.len().to_string(),
+                &c.overload
+                    .as_ref()
+                    .map(|o| format!("{:.2}", o.vanilla_goodput))
+                    .unwrap_or_default(),
+                &c.overload
+                    .as_ref()
+                    .map(|o| format!("{:.2}", o.controlled_goodput))
+                    .unwrap_or_default(),
+                &c.overload
+                    .as_ref()
+                    .map(|o| format!("{:.4}", o.shed_rate))
+                    .unwrap_or_default(),
+                &c.overload
+                    .as_ref()
+                    .map(|o| format!("{:.3}", o.retry_amplification))
+                    .unwrap_or_default(),
+                &c.overload
+                    .as_ref()
+                    .map(|o| format!("{:.2}", o.vanilla_p99))
+                    .unwrap_or_default(),
+                &c.overload
+                    .as_ref()
+                    .map(|o| format!("{:.2}", o.controlled_p99))
+                    .unwrap_or_default(),
             ]);
         }
     }

@@ -380,8 +380,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         // Stand-in for the scheduler layer: each owner publishes an
         // opaque zone-local aggregate slice (see `CanSim::set_agg_slice`)
         // so promotions can be audited for carrying matchmaking state.
+        // One five-word slot kept well-formed (free <= nodes,
+        // pressured <= nodes) so the agg-slice oracle stays quiet.
         for id in sim.members() {
-            sim.set_agg_slice(id, vec![u64::from(id.0), 4, 2, 1]);
+            sim.set_agg_slice(id, vec![4 + u64::from(id.0 % 3), 4, 2, 1, 0]);
         }
     }
 

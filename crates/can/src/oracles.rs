@@ -43,7 +43,67 @@ pub fn step_violations(sim: &CanSim) -> Vec<String> {
     neighbor_symmetry(sim, &mut v);
     takeover_reachability(sim, &mut v);
     ownership_exclusivity(sim, &mut v);
+    agg_slice_wellformed(sim, &mut v);
     v
+}
+
+/// Words per slot of the scheduler-aggregate wire format (see
+/// `AiTable::local_bits` in the sched crate): nodes, cores bits,
+/// required-cores bits, free nodes, pressured nodes.
+const AGG_WORDS_PER_SLOT: usize = 5;
+
+/// Scheduler-aggregate slice well-formedness: every non-empty slice a
+/// member carries (its own, and every warm replica it stores) is a
+/// whole number of five-word slots, and in each slot neither the
+/// free-node count nor the queue-pressure count exceeds the slot's
+/// node count — the congestion bit can flag at most every node the
+/// slot covers. An empty slice (the scheduler layer not attached) is
+/// fine, so fault-free CAN-only runs are untouched.
+fn agg_slice_wellformed(sim: &CanSim, out: &mut Vec<String>) {
+    let now = sim.now();
+    let mut reported = 0usize;
+    let check = |owner: NodeId, holder: NodeId, bits: &[u64], out: &mut Vec<String>| {
+        if bits.is_empty() {
+            return 0usize;
+        }
+        if !bits.len().is_multiple_of(AGG_WORDS_PER_SLOT) {
+            out.push(format!(
+                "t={now}: agg slice of {owner} at {holder} has {} words, not a \
+                 multiple of {AGG_WORDS_PER_SLOT}",
+                bits.len()
+            ));
+            return 1;
+        }
+        let mut bad = 0usize;
+        for (s, c) in bits.chunks_exact(AGG_WORDS_PER_SLOT).enumerate() {
+            let (nodes, free, pressured) = (c[0], c[3], c[4]);
+            if free > nodes || pressured > nodes {
+                out.push(format!(
+                    "t={now}: agg slice of {owner} at {holder} slot {s}: \
+                     free={free} pressured={pressured} exceed nodes={nodes}"
+                ));
+                bad += 1;
+            }
+        }
+        bad
+    };
+    for &id in &sim.members() {
+        let Some(local) = sim.local(id) else { continue };
+        reported += check(id, id, &local.agg_slice, out);
+        // Sorted owner order: replica stores are hash maps, and a
+        // truncated violation list must still replay bit-identically.
+        let mut owners: Vec<NodeId> = local.replicas.keys().copied().collect();
+        owners.sort();
+        for owner in owners {
+            reported += check(owner, id, &local.replicas[&owner].agg, out);
+            if reported >= MAX_PER_CHECK {
+                return;
+            }
+        }
+        if reported >= MAX_PER_CHECK {
+            return;
+        }
+    }
 }
 
 /// No two live processes hold an *unfenced* claim on overlapping
@@ -403,6 +463,30 @@ mod tests {
         // The cursor advanced: a second pass re-audits nothing.
         assert_eq!(ledger.seen, sim.takeover_log().len());
         assert!(ledger.check(&sim).is_empty());
+    }
+
+    #[test]
+    fn malformed_or_overflowing_agg_slices_are_reported() {
+        let mut sim = grown(12, HeartbeatScheme::Compact);
+        let id = sim.members()[0];
+        // A healthy five-word slot passes.
+        assert!(sim.set_agg_slice(id, vec![4, 0, 0, 2, 1]));
+        assert!(step_violations(&sim).is_empty(), "well-formed slice");
+        // Wrong word count.
+        assert!(sim.set_agg_slice(id, vec![1, 2, 3, 4]));
+        let v = step_violations(&sim);
+        assert!(v.iter().any(|m| m.contains("not a multiple of 5")), "{v:?}");
+        // Pressure bit overflow: 3 pressured out of 2 nodes.
+        assert!(sim.set_agg_slice(id, vec![2, 0, 0, 1, 3]));
+        let v = step_violations(&sim);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("pressured=3") && m.contains("nodes=2")),
+            "{v:?}"
+        );
+        // Cleared slice: healthy again.
+        assert!(sim.set_agg_slice(id, Vec::new()));
+        assert!(step_violations(&sim).is_empty());
     }
 
     #[test]

@@ -393,6 +393,26 @@ pub fn scenarios(args: Args) -> Result<String, String> {
                 c.scenario, d.shaped_mean, d.baseline_mean, d.shaped_p99, d.baseline_p99,
             );
         }
+        if let Some(o) = &c.overload {
+            let _ = writeln!(
+                out,
+                "{}: goodput {:.1} vs {:.1} jobs/1000s vanilla, shed {:.1}%, \
+                 retry amp {:.2}x, p99 {:.0}s vs {:.0}s",
+                c.scenario,
+                o.controlled_goodput,
+                o.vanilla_goodput,
+                100.0 * o.shed_rate,
+                o.retry_amplification,
+                o.controlled_p99,
+                o.vanilla_p99,
+            );
+            if o.controlled_goodput <= o.vanilla_goodput {
+                violations.push(format!(
+                    "{}: overload control did not improve goodput ({:.2} <= {:.2})",
+                    c.scenario, o.controlled_goodput, o.vanilla_goodput
+                ));
+            }
+        }
     }
     if !violations.is_empty() {
         return Err(format!(

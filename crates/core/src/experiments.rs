@@ -20,8 +20,8 @@ use crate::can::{
 };
 use crate::scenarios::ScenarioSpec;
 use crate::sched::{
-    run_load_balance, run_load_balance_chaos, CrashChaosConfig, RecoveryStats, SchedulerChoice,
-    SimResult,
+    run_load_balance, run_load_balance_chaos, run_load_balance_overload, CrashChaosConfig,
+    OverloadConfig, RecoveryStats, SchedulerChoice, SimResult,
 };
 use crate::simcore::fault::LinkDegrade;
 use crate::simcore::SimRng;
@@ -877,6 +877,27 @@ pub struct WaitShapingDelta {
     pub shaped_p99: f64,
 }
 
+/// Vanilla-vs-overload-controlled comparison at equal offered load:
+/// the congestion-collapse half of the resilience table. Both arms run
+/// the same sustained above-capacity arrival stream; only the
+/// controlled arm has bounded queues, admission control, and retry
+/// budgets armed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadDelta {
+    /// Completions per 1000 s of makespan, queues unbounded.
+    pub vanilla_goodput: f64,
+    /// Completions per 1000 s of makespan, overload control armed.
+    pub controlled_goodput: f64,
+    /// Fraction of submitted jobs the controlled arm shed.
+    pub shed_rate: f64,
+    /// Push attempts per admission chain in the controlled arm.
+    pub retry_amplification: f64,
+    /// 99th-percentile wait, unbounded queues (seconds).
+    pub vanilla_p99: f64,
+    /// 99th-percentile wait, overload control armed (seconds).
+    pub controlled_p99: f64,
+}
+
 /// One row of the scenario resilience table: one named scenario run
 /// under every heartbeat scheme (repeat seeds pooled per arm), plus the
 /// workload-layer wait delta for scenarios that shape arrivals.
@@ -890,6 +911,9 @@ pub struct ScenarioCell {
     /// Shaped-vs-baseline wait comparison (`None` when the scenario
     /// does not modulate arrivals).
     pub wait_delta: Option<WaitShapingDelta>,
+    /// Overload comparison (`None` unless the scenario arms overload
+    /// control).
+    pub overload: Option<OverloadDelta>,
 }
 
 fn p99(samples: &[f64]) -> f64 {
@@ -899,6 +923,53 @@ fn p99(samples: &[f64]) -> f64 {
     let mut xs = samples.to_vec();
     xs.sort_by(f64::total_cmp);
     xs[((xs.len() - 1) as f64 * 0.99).round() as usize]
+}
+
+/// Runs the overload comparison for scenarios carrying an `overload`
+/// record: the same sustained 3x-over-capacity can-het run, once with
+/// unbounded queues (vanilla) and once with the record's bounds armed.
+pub fn overload_delta(spec: &ScenarioSpec, scale: Scale, seed: u64) -> Option<OverloadDelta> {
+    let rec = spec.compile(seed).overload?;
+    let factor = match scale {
+        Scale::Paper => 10,
+        Scale::Quick => 20,
+    };
+    let base = default_scenario().scaled_down(factor).with_seed(seed);
+    // Offered load sustained at ~3x the calibrated arrival rate — the
+    // congestion-collapse regime where unbounded queues grow without
+    // limit until the last arrival.
+    let over = base
+        .clone()
+        .with_interarrival(base.job_gen.mean_interarrival / 3.0);
+    let cfg = OverloadConfig {
+        queue_slots: Some(rec.slots),
+        max_queue_wait: Some(rec.wait),
+        retry_burst: rec.burst,
+        retry_refill: rec.refill,
+        ..OverloadConfig::default()
+    };
+    let vanilla = run_load_balance(&over, SchedulerChoice::CanHet);
+    let controlled = run_load_balance_overload(&over, SchedulerChoice::CanHet, None, &cfg);
+    let stats = controlled
+        .overload
+        .clone()
+        .expect("armed run reports overload stats");
+    let goodput = |r: &SimResult| {
+        if r.makespan > 0.0 {
+            1000.0 * r.wait_times.len() as f64 / r.makespan
+        } else {
+            0.0
+        }
+    };
+    let submitted = over.jobs as f64;
+    Some(OverloadDelta {
+        vanilla_goodput: goodput(&vanilla),
+        controlled_goodput: goodput(&controlled),
+        shed_rate: stats.shed_total() as f64 / submitted,
+        retry_amplification: stats.retry_amplification(),
+        vanilla_p99: p99(&vanilla.wait_times),
+        controlled_p99: p99(&controlled.wait_times),
+    })
 }
 
 fn wait_shaping_delta(spec: &ScenarioSpec, scale: Scale, seed: u64) -> Option<WaitShapingDelta> {
@@ -967,6 +1038,7 @@ pub fn scenario_suite_over(
                 .map(|(&scheme, arm)| ScenarioArm::pooled(scheme, arm))
                 .collect(),
             wait_delta: wait_shaping_delta(spec, scale, seed),
+            overload: overload_delta(spec, scale, seed),
         })
         .collect()
 }
@@ -1030,6 +1102,38 @@ mod tests {
             "a 2.5x submission window must move the wait distribution"
         );
         assert!(delta.shaped_p99 >= 0.0 && delta.baseline_p99 >= 0.0);
+    }
+
+    #[test]
+    fn overload_control_beats_collapse_at_equal_offered_load() {
+        let spec = crate::scenarios::find("overload-collapse").unwrap();
+        let delta = overload_delta(spec, Scale::Quick, SCENARIO_SEED)
+            .expect("overload-collapse arms overload control");
+        assert!(
+            delta.controlled_goodput > delta.vanilla_goodput,
+            "bounded queues must beat collapse: controlled {:.2} vs vanilla {:.2} jobs/1000s",
+            delta.controlled_goodput,
+            delta.vanilla_goodput
+        );
+        assert!(
+            delta.shed_rate > 0.0 && delta.shed_rate < 1.0,
+            "3x offered load must shed something, not everything: {}",
+            delta.shed_rate
+        );
+        assert!(
+            delta.retry_amplification >= 1.0,
+            "amplification below one attempt per chain: {}",
+            delta.retry_amplification
+        );
+        assert!(
+            delta.controlled_p99 <= delta.vanilla_p99,
+            "shedding must not worsen tail wait: {:.1} vs {:.1}",
+            delta.controlled_p99,
+            delta.vanilla_p99
+        );
+        // Scenarios without an overload record report no delta.
+        let rack = crate::scenarios::find("rack-storm").unwrap();
+        assert!(overload_delta(rack, Scale::Quick, SCENARIO_SEED).is_none());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! schedule or a digest, so every individual case stays bit-replayable.
 
 use crate::can;
-use crate::sched::{run_load_balance_chaos, CrashChaosConfig, SimResult};
+use crate::sched::{
+    bounded_queue_violation, retry_storm_violation, run_load_balance_chaos,
+    run_load_balance_overload, CrashChaosConfig, OverloadConfig, OverloadStats, SimResult,
+};
 use crate::simcore::dst::{generate, shrink, FaultSchedule, Fnv, ScheduleBudget};
 use crate::workload::default_scenario;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,6 +40,10 @@ pub struct CaseReport {
     pub digest: u64,
     /// Peak directed broken-link count (0 if the CAN phase panicked).
     pub broken_peak: usize,
+    /// Overload-control counters from the sched phase (`None` unless
+    /// the schedule carried an `overload` record and the phase ran to
+    /// completion).
+    pub overload: Option<OverloadStats>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -57,6 +64,7 @@ pub fn run_case(schedule: &FaultSchedule) -> CaseReport {
     let mut violations = Vec::new();
     let mut digest = Fnv::new();
     let mut broken_peak = 0usize;
+    let mut overload_stats = None;
 
     match catch_unwind(AssertUnwindSafe(|| can::dst::run_schedule(schedule))) {
         Ok(report) => {
@@ -71,11 +79,18 @@ pub fn run_case(schedule: &FaultSchedule) -> CaseReport {
         }
     }
 
-    if let Some(interval) = schedule.sched_crash_interval {
-        match catch_unwind(AssertUnwindSafe(|| run_sched_phase(schedule, interval))) {
-            Ok((result, jobs, chaos)) => {
-                check_sched_oracles(&result, jobs, &chaos, &mut violations);
+    if schedule.sched_crash_interval.is_some() || schedule.overload.is_some() {
+        match catch_unwind(AssertUnwindSafe(|| run_sched_phase(schedule))) {
+            Ok((result, jobs, chaos, overload)) => {
+                check_sched_oracles(
+                    &result,
+                    jobs,
+                    chaos.as_ref(),
+                    overload.as_ref(),
+                    &mut violations,
+                );
                 fold_sched_digest(&result, &mut digest);
+                overload_stats = result.overload;
             }
             Err(payload) => {
                 let msg = format!("sched phase panicked: {}", panic_message(payload));
@@ -92,42 +107,73 @@ pub fn run_case(schedule: &FaultSchedule) -> CaseReport {
         violations,
         digest: digest.finish(),
         broken_peak,
+        overload: overload_stats,
     }
 }
 
-/// A scaled-down load-balancing run under crash chaos, seeded from the
-/// schedule so the whole case replays from one seed.
+/// A scaled-down load-balancing run under crash chaos and/or overload
+/// control, seeded from the schedule so the whole case replays from
+/// one seed.
 fn run_sched_phase(
     schedule: &FaultSchedule,
-    interval: f64,
-) -> (SimResult, usize, CrashChaosConfig) {
+) -> (
+    SimResult,
+    usize,
+    Option<CrashChaosConfig>,
+    Option<OverloadConfig>,
+) {
     let scenario = default_scenario()
         .scaled_down(50) // 20 nodes, 400 jobs
         .with_seed(schedule.seed);
     let choice = crate::sched::SchedulerChoice::ALL[(schedule.seed % 3) as usize];
-    let chaos = CrashChaosConfig::new(interval);
-    let result = run_load_balance_chaos(&scenario, choice, &chaos);
-    (result, scenario.jobs, chaos)
+    let chaos = schedule.sched_crash_interval.map(CrashChaosConfig::new);
+    let overload = schedule.overload.map(|o| OverloadConfig {
+        queue_slots: Some(o.slots),
+        max_queue_wait: Some(o.wait),
+        retry_burst: o.burst,
+        retry_refill: o.refill,
+        ..OverloadConfig::default()
+    });
+    // Chaos-only schedules keep the exact historical code path (and
+    // therefore digests); `run_load_balance_overload` is entered only
+    // when the schedule actually arms overload control.
+    let result = match (&chaos, &overload) {
+        (_, Some(o)) => run_load_balance_overload(&scenario, choice, chaos.as_ref(), o),
+        (Some(c), None) => run_load_balance_chaos(&scenario, choice, c),
+        (None, None) => unreachable!("sched phase gated on sched/overload records"),
+    };
+    (result, scenario.jobs, chaos, overload)
 }
 
-/// Ledger and recovery oracles over a finished chaos run.
+/// Ledger, recovery, and overload oracles over a finished sched run.
 fn check_sched_oracles(
     result: &SimResult,
     jobs: usize,
-    chaos: &CrashChaosConfig,
+    chaos: Option<&CrashChaosConfig>,
+    overload: Option<&OverloadConfig>,
     violations: &mut Vec<String>,
 ) {
-    let Some(rec) = &result.recovery else {
-        violations.push("sched: chaos run reported no recovery stats".into());
-        return;
-    };
-    let accounted = result.wait_times.len() as u64 + rec.permanently_failed;
+    let shed = result
+        .overload
+        .as_ref()
+        .map_or(0, OverloadStats::shed_total);
+    let failed = result.recovery.as_ref().map_or(0, |r| r.permanently_failed);
+    let accounted = result.wait_times.len() as u64 + failed + shed + result.lost_jobs;
     if accounted != jobs as u64 {
         violations.push(format!(
-            "sched: job conservation broken: {} completed + {} failed != {} submitted",
+            "sched: job conservation broken: {} completed + {} failed + {} shed + {} lost \
+             != {} submitted",
             result.wait_times.len(),
-            rec.permanently_failed,
+            failed,
+            shed,
+            result.lost_jobs,
             jobs
+        ));
+    }
+    if result.lost_jobs > 0 && overload.is_none() {
+        violations.push(format!(
+            "sched: event queue drained with {} jobs outstanding",
+            result.lost_jobs
         ));
     }
     if !result.wait_times.iter().all(|w| w.is_finite() && *w >= 0.0) {
@@ -136,27 +182,45 @@ fn check_sched_oracles(
     if !(result.makespan.is_finite() && result.makespan >= 0.0) {
         violations.push(format!("sched: absurd makespan {}", result.makespan));
     }
-    let waste_bound = result.makespan * rec.killed_running as f64;
-    if !(rec.wasted_seconds.is_finite()
-        && rec.wasted_seconds >= 0.0
-        && rec.wasted_seconds <= waste_bound)
-    {
-        violations.push(format!(
-            "sched: wasted work {} outside [0, {}] for {} killed running jobs",
-            rec.wasted_seconds, waste_bound, rec.killed_running
-        ));
+    if let Some(chaos) = chaos {
+        let Some(rec) = &result.recovery else {
+            violations.push("sched: chaos run reported no recovery stats".into());
+            return;
+        };
+        let waste_bound = result.makespan * rec.killed_running as f64;
+        if !(rec.wasted_seconds.is_finite()
+            && rec.wasted_seconds >= 0.0
+            && rec.wasted_seconds <= waste_bound)
+        {
+            violations.push(format!(
+                "sched: wasted work {} outside [0, {}] for {} killed running jobs",
+                rec.wasted_seconds, waste_bound, rec.killed_running
+            ));
+        }
+        if rec.max_attempts > chaos.max_retries + 1 {
+            violations.push(format!(
+                "sched: job needed {} attempts with a budget of {} retries",
+                rec.max_attempts, chaos.max_retries
+            ));
+        }
+        if rec.jobs_lost() > 0 && rec.requeued == 0 && rec.permanently_failed == 0 {
+            violations.push(format!(
+                "sched: {} jobs lost to crashes but none requeued or failed (starved retries)",
+                rec.jobs_lost()
+            ));
+        }
     }
-    if rec.max_attempts > chaos.max_retries + 1 {
-        violations.push(format!(
-            "sched: job needed {} attempts with a budget of {} retries",
-            rec.max_attempts, chaos.max_retries
-        ));
-    }
-    if rec.jobs_lost() > 0 && rec.requeued == 0 && rec.permanently_failed == 0 {
-        violations.push(format!(
-            "sched: {} jobs lost to crashes but none requeued or failed (starved retries)",
-            rec.jobs_lost()
-        ));
+    if let Some(cfg) = overload {
+        let Some(stats) = &result.overload else {
+            violations.push("sched: overload run reported no overload stats".into());
+            return;
+        };
+        if let Some(msg) = bounded_queue_violation(stats, cfg) {
+            violations.push(format!("sched: {msg}"));
+        }
+        if let Some(msg) = retry_storm_violation(stats, cfg, result.makespan) {
+            violations.push(format!("sched: {msg}"));
+        }
     }
 }
 
@@ -178,6 +242,17 @@ fn fold_sched_digest(result: &SimResult, digest: &mut Fnv) {
         digest.write_u64(rec.permanently_failed);
         digest.write_f64(rec.wasted_seconds);
         digest.write_u64(u64::from(rec.max_attempts));
+    }
+    // Folded only when overload control is armed, mirroring `recovery`,
+    // so every historical chaos-only digest stays bit-identical.
+    if let Some(ov) = &result.overload {
+        digest.write_u64(ov.admitted);
+        digest.write_u64(ov.admission_rejects);
+        digest.write_u64(ov.shed_admission);
+        digest.write_u64(ov.shed_queue);
+        digest.write_u64(ov.push_attempts);
+        digest.write_u64(ov.max_boundary_depth);
+        digest.write_u64(result.lost_jobs);
     }
 }
 
@@ -341,6 +416,43 @@ mod tests {
         s.sched_crash_interval = Some(400.0);
         let report = run_case(&s);
         assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn overload_armed_case_replays_and_passes_oracles() {
+        use crate::simcore::dst::OverloadRecord;
+        let mut s = generate(8, &ScheduleBudget::smoke());
+        s.sched_crash_interval = Some(500.0);
+        s.overload = Some(OverloadRecord {
+            slots: 4,
+            wait: 900.0,
+            burst: 3,
+            refill: 0.01,
+        });
+        let a = run_case(&s);
+        let b = run_case(&s);
+        assert_eq!(a, b, "armed case must replay bit-identically");
+        assert!(a.violations.is_empty(), "{:#?}", a.violations);
+        let stats = a.overload.expect("armed case reports overload stats");
+        assert!(stats.admitted > 0);
+    }
+
+    #[test]
+    fn overload_arming_does_not_change_the_can_digest() {
+        use crate::simcore::dst::OverloadRecord;
+        let mut s = generate(8, &ScheduleBudget::smoke());
+        let disarmed = run_case(&s);
+        s.overload = Some(OverloadRecord {
+            slots: 4,
+            wait: 900.0,
+            burst: 3,
+            refill: 0.01,
+        });
+        let armed = run_case(&s);
+        // The CAN phase is untouched by overload arming; only the sched
+        // phase (and thus the combined digest) may move.
+        assert_eq!(armed.broken_peak, disarmed.broken_peak);
+        assert!(armed.overload.is_some() && disarmed.overload.is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! and the scenario library share one set of definitions.
 
 use crate::can::{ChaosConfig, HeartbeatScheme};
-use crate::simcore::dst::{FaultSchedule, ScheduleMacro};
+use crate::simcore::dst::{FaultSchedule, OverloadRecord, ScheduleMacro};
 use crate::simcore::fault::{ClassFaults, FaultEvent, MsgClass, NodeFault};
 use crate::workload::ArrivalShape;
 
@@ -101,6 +101,7 @@ fn base(seed: u64) -> FaultSchedule {
         detector: Some("adaptive".into()),
         replication: None,
         sched_crash_interval: None,
+        overload: None,
         expect_digest: None,
     }
 }
@@ -177,6 +178,41 @@ fn gray_failure(seed: u64) -> FaultSchedule {
         from: 60.0,
         until: 780.0,
     }];
+    s
+}
+
+fn overload_collapse(seed: u64) -> FaultSchedule {
+    let mut s = base(seed);
+    // Congestion collapse: sustained arrivals above capacity layered on
+    // a rack-correlated crash storm — the storm removes capacity while
+    // the offered load stays up, so unbounded queues would grow without
+    // limit and naive retries would amplify into a storm of their own.
+    // Bounded queues (4 waiting slots, 900 s max wait) plus a 3-token
+    // retry budget per job keep the backlog finite; the bounded-queues
+    // and no-retry-storm oracles audit exactly that.
+    s.replication = Some("standby".into());
+    s.churn_gap = Some(45.0);
+    s.macros = vec![
+        ScheduleMacro::RackStorm {
+            at: 60.0,
+            racks: 2,
+            size: 4,
+            gap: 300.0,
+        },
+        ScheduleMacro::Spike {
+            at: 120.0,
+            joins: 6,
+            rate: 3.0,
+            duration: 600.0,
+        },
+    ];
+    s.sched_crash_interval = Some(450.0);
+    s.overload = Some(OverloadRecord {
+        slots: 4,
+        wait: 900.0,
+        burst: 3,
+        refill: 0.01,
+    });
     s
 }
 
@@ -296,6 +332,12 @@ pub static REGISTRY: &[ScenarioSpec] = &[
         build: gray_failure,
         chaos: None,
     },
+    ScenarioSpec {
+        name: "overload-collapse",
+        summary: "3x sustained arrivals over a rack storm, bounded queues armed",
+        build: overload_collapse,
+        chaos: None,
+    },
 ];
 
 /// Registry entries whose name contains `filter` (every entry when
@@ -389,6 +431,26 @@ mod tests {
         assert_eq!(shape.multiplier_at(121.0), 2.5);
         assert_eq!(shape.multiplier_at(500.0), 1.0);
         assert!(find("diurnal-wave").unwrap().arrival_shape(7).is_none());
+    }
+
+    #[test]
+    fn overload_collapse_arms_bounded_queues_and_retry_budget() {
+        let spec = find("overload-collapse").unwrap();
+        let s = spec.compile(3);
+        let o = s.overload.expect("overload record armed");
+        assert!(o.slots >= 1 && o.burst >= 1);
+        assert!(s.sched_crash_interval.is_some(), "storms the sched layer");
+        assert!(!s.macros.is_empty(), "layered on a macro storm");
+        // Arming survives macro expansion and the text round trip.
+        let expanded = s.expand();
+        assert_eq!(expanded.overload, s.overload);
+        let parsed = FaultSchedule::parse(&s.to_text()).unwrap();
+        assert_eq!(parsed.overload, s.overload);
+        // Every other registry entry stays disarmed so historical
+        // digests cannot move.
+        for other in REGISTRY.iter().filter(|r| r.name != spec.name) {
+            assert!(other.compile(3).overload.is_none(), "{}", other.name);
+        }
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct AiEntry {
     pub required_cores: f64,
     /// Free nodes (no running or waiting jobs) in the region.
     pub free_nodes: u64,
+    /// Nodes in the region at their queue-pressure bound (overload
+    /// control's congestion signal, piggybacked on the same heartbeat
+    /// path). Always 0 while the bound is disarmed (the default), so
+    /// every pre-overload aggregate is bit-identical.
+    pub pressured: u64,
 }
 
 impl AiEntry {
@@ -43,6 +48,7 @@ impl AiEntry {
         cores: 0.0,
         required_cores: 0.0,
         free_nodes: 0,
+        pressured: 0,
     };
 
     /// Element-wise accumulation.
@@ -51,6 +57,7 @@ impl AiEntry {
         self.cores += other.cores;
         self.required_cores += other.required_cores;
         self.free_nodes += other.free_nodes;
+        self.pressured += other.pressured;
     }
 
     /// The paper's Eq. 3 objective for this region.
@@ -67,6 +74,7 @@ impl AiEntry {
 fn bits_eq(a: &AiEntry, b: &AiEntry) -> bool {
     a.nodes == b.nodes
         && a.free_nodes == b.free_nodes
+        && a.pressured == b.pressured
         && a.cores.to_bits() == b.cores.to_bits()
         && a.required_cores.to_bits() == b.required_cores.to_bits()
 }
@@ -105,6 +113,9 @@ pub struct AiTable {
     /// `needs_gen[i] == cur_gen`. Stamps replace per-pass clearing.
     needs_gen: Vec<u32>,
     cur_gen: u32,
+    /// Queue depth at which a node's local entry flags the pressure
+    /// bit; `None` (default) disarms the congestion signal entirely.
+    pressure_bound: Option<usize>,
     /// Simulation time of the last refresh.
     pub refreshed_at: f64,
 }
@@ -145,8 +156,26 @@ impl AiTable {
             changed_locals: Vec::new(),
             needs_gen: vec![0; n],
             cur_gen: 0,
+            pressure_bound: None,
             refreshed_at: 0.0,
         }
+    }
+
+    /// Arms (or disarms) the queue-pressure congestion bit: a node
+    /// whose FIFO queue holds at least `bound` waiters flags
+    /// [`AiEntry::pressured`] in its local entries. Forces a
+    /// from-scratch rebuild on the next refresh so a mid-run change of
+    /// bound can never leave stale pressure bits behind.
+    pub fn set_pressure_bound(&mut self, bound: Option<usize>) {
+        if self.pressure_bound != bound {
+            self.pressure_bound = bound;
+            self.synced_clock = None;
+        }
+    }
+
+    /// The armed queue-pressure bound, if any.
+    pub fn pressure_bound(&self) -> Option<usize> {
+        self.pressure_bound
     }
 
     fn slots(&self) -> usize {
@@ -173,6 +202,7 @@ impl AiTable {
     fn local(&self, grid: &StaticGrid, node: NodeId, ce_idx: usize) -> AiEntry {
         let rt = grid.runtime(node);
         let free = u64::from(rt.is_free());
+        let pressured = u64::from(self.pressure_bound.is_some_and(|b| rt.queued_count() >= b));
         match self.grouping {
             AiGrouping::PerCe => {
                 let ty = self.ce_types[ce_idx];
@@ -182,6 +212,7 @@ impl AiTable {
                         cores,
                         required_cores: required,
                         free_nodes: free,
+                        pressured,
                     },
                     None => AiEntry::default(),
                 }
@@ -200,6 +231,7 @@ impl AiTable {
                     cores,
                     required_cores: required,
                     free_nodes: free,
+                    pressured,
                 }
             }
         }
@@ -396,38 +428,41 @@ impl AiTable {
 
     /// Serializes `node`'s zone-local aggregate row (one [`AiEntry`]
     /// per slot, as of the last refresh) into opaque 64-bit words —
-    /// four per slot: nodes, cores bits, required-cores bits, free
-    /// nodes. This is the slice a CAN zone owner hands to
+    /// five per slot: nodes, cores bits, required-cores bits, free
+    /// nodes, pressured nodes (the queue-pressure congestion bit; 0
+    /// while disarmed). This is the slice a CAN zone owner hands to
     /// `CanSim::set_agg_slice` for warm-standby replication;
     /// [`AiTable::slice_from_bits`] round-trips it bit-exactly when the
     /// heir promotes the replica.
     pub fn local_bits(&self, node: NodeId) -> Vec<u64> {
         let slots = self.ce_types.len();
         let row = &self.locals[node.idx() * slots..(node.idx() + 1) * slots];
-        let mut out = Vec::with_capacity(4 * slots);
+        let mut out = Vec::with_capacity(5 * slots);
         for e in row {
             out.push(e.nodes);
             out.push(e.cores.to_bits());
             out.push(e.required_cores.to_bits());
             out.push(e.free_nodes);
+            out.push(e.pressured);
         }
         out
     }
 
     /// Decodes a word vector produced by [`AiTable::local_bits`] back
     /// into per-slot entries. Returns `None` when the length is not a
-    /// whole number of four-word slots (a malformed replica).
+    /// whole number of five-word slots (a malformed replica).
     pub fn slice_from_bits(bits: &[u64]) -> Option<Vec<AiEntry>> {
-        if !bits.len().is_multiple_of(4) {
+        if !bits.len().is_multiple_of(5) {
             return None;
         }
         Some(
-            bits.chunks_exact(4)
+            bits.chunks_exact(5)
                 .map(|c| AiEntry {
                     nodes: c[0],
                     cores: f64::from_bits(c[1]),
                     required_cores: f64::from_bits(c[2]),
                     free_nodes: c[3],
+                    pressured: c[4],
                 })
                 .collect(),
         )
@@ -537,7 +572,7 @@ mod tests {
         ai.refresh(&g, 0.0);
         for i in 0..40u32 {
             let bits = ai.local_bits(NodeId(i));
-            assert_eq!(bits.len() % 4, 0);
+            assert_eq!(bits.len() % 5, 0);
             let decoded = AiTable::slice_from_bits(&bits).expect("well-formed");
             assert_eq!(decoded.len(), ai.slot_types().len());
             for (s, e) in decoded.iter().enumerate() {
@@ -626,6 +661,7 @@ mod tests {
                         cores,
                         required_cores: req,
                         free_nodes: u64::from(rt.is_free()),
+                        pressured: 0,
                     });
                 }
                 let beyond = brute(g, m, d, ty, memo);
@@ -752,6 +788,126 @@ mod tests {
         }
     }
 
+    /// With the pressure bound armed, a node whose queue reaches the
+    /// bound flags its local entries, the flag aggregates outward, and
+    /// the incremental refresh stays bit-identical to the scratch
+    /// rebuild — the satellite guarantee of the congestion bit.
+    #[test]
+    fn pressure_bit_flags_saturated_nodes_and_stays_incremental() {
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        let mut g = grid(60, 8);
+        let mut inc = AiTable::new(&g, AiGrouping::PerCe);
+        let mut scr = AiTable::new(&g, AiGrouping::PerCe);
+        inc.set_pressure_bound(Some(2));
+        scr.set_pressure_bound(Some(2));
+        assert_eq!(inc.pressure_bound(), Some(2));
+        inc.refresh(&g, 0.0);
+        scr.refresh_scratch(&g, 0.0);
+        // Idle grid: nobody is pressured.
+        for i in 0..60u32 {
+            for d in 0..8 {
+                assert_eq!(inc.beyond(NodeId(i), d, Ct::CPU).pressured, 0);
+            }
+        }
+        // Churn queues past and below the bound and diff every round.
+        let mut rng = pgrid_simcore::SimRng::seed_from_u64(31);
+        let mut next_id = 0u32;
+        for round in 1..=20u64 {
+            for _ in 0..4 {
+                // Concentrate the load on a dozen nodes so queues
+                // actually build past the bound.
+                let target = NodeId(rng.below(12) as u32);
+                let job = JobSpec::new(
+                    JobId(next_id),
+                    vec![CeRequirement {
+                        ce_type: Ct::CPU,
+                        min_cores: Some(4),
+                        ..Default::default()
+                    }],
+                    None,
+                    60.0,
+                );
+                next_id += 1;
+                if job.satisfied_by(&g.runtime(target).spec) {
+                    g.with_runtime_mut(target, |rt| {
+                        rt.enqueue(job, round as f64);
+                        rt.start_ready();
+                    });
+                }
+            }
+            inc.refresh(&g, round as f64);
+            scr.refresh_scratch(&g, round as f64);
+            for i in 0..60u32 {
+                let local = inc.local_of(&g, NodeId(i), 0);
+                let expect = u64::from(g.runtime(NodeId(i)).queued_count() >= 2);
+                assert_eq!(local.pressured, expect, "node {i} round {round}");
+                for d in 0..8 {
+                    for s in 0..inc.slot_types().len() {
+                        let a = inc.entry_at(NodeId(i), d, s);
+                        let b = scr.entry_at(NodeId(i), d, s);
+                        assert!(
+                            super::bits_eq(a, b),
+                            "round {round} node {i} dim {d} slot {s}: {a:?} != {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+        // Some node must actually have become pressured, or the test
+        // proved nothing.
+        let saturated = (0..60u32).any(|i| g.runtime(NodeId(i)).queued_count() >= 2);
+        assert!(saturated, "churn never saturated a queue");
+        // The bit also round-trips through the replica wire format.
+        let busy = (0..60u32)
+            .map(NodeId)
+            .max_by_key(|&n| g.runtime(n).queued_count())
+            .unwrap();
+        let decoded = AiTable::slice_from_bits(&inc.local_bits(busy)).unwrap();
+        assert!(decoded.iter().any(|e| e.pressured == 1));
+    }
+
+    #[test]
+    fn disarming_the_pressure_bound_clears_stale_bits() {
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        let mut g = grid(40, 8);
+        let target = NodeId(3);
+        for i in 0..4u32 {
+            let job = JobSpec::new(
+                JobId(i),
+                vec![CeRequirement {
+                    ce_type: Ct::CPU,
+                    min_cores: Some(4),
+                    ..Default::default()
+                }],
+                None,
+                60.0,
+            );
+            if job.satisfied_by(&g.runtime(target).spec) {
+                g.with_runtime_mut(target, |rt| {
+                    rt.enqueue(job, 0.0);
+                    rt.start_ready();
+                });
+            }
+        }
+        let mut ai = AiTable::new(&g, AiGrouping::PerCe);
+        ai.set_pressure_bound(Some(1));
+        ai.refresh(&g, 0.0);
+        let was_pressured = ai.local_of(&g, target, 0).pressured == 1;
+        // Disarm without any load change: the forced rebuild must wipe
+        // every pressure bit even though no node is dirty.
+        ai.set_pressure_bound(None);
+        ai.refresh(&g, 1.0);
+        for i in 0..40u32 {
+            for d in 0..8 {
+                assert_eq!(ai.beyond(NodeId(i), d, Ct::CPU).pressured, 0);
+            }
+        }
+        assert!(
+            was_pressured || g.runtime(target).queued_count() == 0,
+            "setup sanity: the target either queued up or could not"
+        );
+    }
+
     #[test]
     fn objective_prefers_bigger_emptier_regions() {
         let a = AiEntry {
@@ -759,12 +915,14 @@ mod tests {
             cores: 100.0,
             required_cores: 10.0,
             free_nodes: 5,
+            pressured: 0,
         };
         let b = AiEntry {
             nodes: 2,
             cores: 10.0,
             required_cores: 10.0,
             free_nodes: 0,
+            pressured: 0,
         };
         assert!(a.objective() < b.objective());
         assert_eq!(AiEntry::default().objective(), f64::INFINITY);

@@ -12,6 +12,7 @@ use pgrid_types::{DimensionLayout, JobId, JobSpec, NodeId};
 use pgrid_workload::nodegen::generate_nodes;
 use pgrid_workload::profiles::{EvictionConfig, LoadBalanceScenario};
 
+use crate::overload::{OverloadConfig, OverloadStats, TokenBucket};
 use crate::recovery::{CrashChaosConfig, JobLedger, RecoveryStats};
 
 /// Which matchmaker a simulation runs.
@@ -95,6 +96,16 @@ pub struct SimResult {
     /// from every digest/baseline so the fault layer stays strictly
     /// opt-in.
     pub recovery: Option<RecoveryStats>,
+    /// Jobs still outstanding when the event queue drained with no
+    /// event left that could ever start them — reported as a
+    /// first-class outcome instead of aborting the harness. Zero in
+    /// every healthy run, and excluded from fault-free digests.
+    pub lost_jobs: u64,
+    /// Overload-control accounting — `Some` only when an
+    /// [`OverloadConfig`] was supplied to the run; `None` otherwise,
+    /// and excluded from every digest/baseline so the overload layer
+    /// stays strictly opt-in (mirroring `recovery`).
+    pub overload: Option<OverloadStats>,
 }
 
 impl SimResult {
@@ -160,6 +171,7 @@ pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice)
         choice,
         scenario.eviction.as_ref(),
         None,
+        None,
     )
 }
 
@@ -200,6 +212,49 @@ pub fn run_load_balance_chaos(
         choice,
         scenario.eviction.as_ref(),
         Some(chaos),
+        None,
+    )
+}
+
+/// Overload entry point: the scenario's workload with the overload
+/// control subsystem supplied (and, optionally, crash chaos layered
+/// underneath). With a disarmed config this reproduces
+/// [`run_load_balance`] exactly — bounds are what change behavior,
+/// not the entry point — but the result carries `Some` overload
+/// stats either way.
+pub fn run_load_balance_overload(
+    scenario: &LoadBalanceScenario,
+    choice: SchedulerChoice,
+    chaos: Option<&CrashChaosConfig>,
+    overload: &OverloadConfig,
+) -> SimResult {
+    let layout = DimensionLayout::with_dims(scenario.dims);
+    let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
+    let mut stream = scenario.job_stream(population);
+    let jobs: Vec<(f64, JobSpec)> = stream.take_jobs(scenario.jobs);
+    let population = stream
+        .into_population()
+        .expect("stream built with population");
+    let mut grid = StaticGrid::build(layout, population, scenario.seed);
+    let params = PushParams {
+        stopping_factor: scenario.stopping_factor,
+        ..PushParams::default()
+    };
+    let mut matchmaker: Box<dyn Matchmaker> = match choice {
+        SchedulerChoice::CanHet => Box::new(PushingMatchmaker::heterogeneous(&grid, params)),
+        SchedulerChoice::CanHom => Box::new(PushingMatchmaker::homogeneous(&grid, params)),
+        SchedulerChoice::Central => Box::new(CentralMatchmaker),
+    };
+    run_with(
+        &mut grid,
+        matchmaker.as_mut(),
+        &jobs,
+        scenario.ai_refresh_period,
+        scenario.seed,
+        choice,
+        scenario.eviction.as_ref(),
+        chaos,
+        Some(overload),
     )
 }
 
@@ -230,6 +285,7 @@ pub fn run_load_balance_ablated(
         SchedulerChoice::CanHet,
         scenario.eviction.as_ref(),
         None,
+        None,
     )
 }
 
@@ -254,6 +310,7 @@ pub fn run_trace(
         choice,
         None,
         None,
+        None,
     )
 }
 
@@ -267,6 +324,7 @@ fn run_with(
     choice: SchedulerChoice,
     eviction: Option<&EvictionConfig>,
     chaos: Option<&CrashChaosConfig>,
+    overload: Option<&OverloadConfig>,
 ) -> SimResult {
     use std::collections::HashMap;
     let mut rng = SimRng::sub_stream(seed, 0x5C4ED);
@@ -303,6 +361,22 @@ fn run_with(
     let mut attempts: Vec<u32> = vec![0; jobs.len()];
     let mut ledger = JobLedger::new(jobs.len());
     let mut rec = RecoveryStats::default();
+    // Overload-control state (all inert when no armed config is
+    // supplied, so fault-free runs are bit-identical).
+    let armed = overload.filter(|o| o.armed());
+    let mut ov_stats = OverloadStats::default();
+    let mut buckets: Vec<TokenBucket> = match armed {
+        Some(o) => jobs
+            .iter()
+            .map(|_| TokenBucket::new(o.retry_burst, o.retry_refill))
+            .collect(),
+        None => Vec::new(),
+    };
+    if let Some(o) = armed {
+        // Arm the congestion bit in the aggregate before the initial
+        // refresh so the very first AiTable snapshot carries pressure.
+        matchmaker.set_pressure_bound(o.queue_slots);
+    }
 
     matchmaker.refresh(grid, 0.0);
     for (i, (t, _)) in jobs.iter().enumerate() {
@@ -317,13 +391,49 @@ fn run_with(
     }
 
     let mut remaining = jobs.len();
+    let mut lost = 0u64;
     while remaining > 0 {
         let Some((now, ev)) = queue.pop() else {
-            panic!("event queue drained with {remaining} jobs outstanding");
+            // The event queue drained with jobs outstanding: nothing
+            // left can ever start them. Record them as lost first-class
+            // report fields instead of aborting the harness (overload
+            // shedding and oracle-checked runs must survive this).
+            for i in 0..jobs.len() {
+                if ledger.is_pending(i) {
+                    ledger.fail(i);
+                    lost += 1;
+                }
+            }
+            break;
         };
         match ev {
             Ev::AiRefresh => {
+                if let Some(o) = armed {
+                    // Heartbeat-boundary shedding: enforce the queue
+                    // bounds deterministically (ascending node id,
+                    // oldest waiters first) before the aggregate
+                    // refresh snapshots the post-shed state.
+                    for i in 0..grid.len() {
+                        let node = NodeId(i as u32);
+                        let shed = grid.with_runtime_mut(node, |rt| {
+                            rt.shed_overloaded(now, o.queue_slots, o.max_queue_wait)
+                        });
+                        for job in shed {
+                            let jidx = index_of[&job.id];
+                            ov_stats.shed_queue += 1;
+                            ledger.fail(jidx);
+                            remaining -= 1;
+                        }
+                    }
+                }
                 matchmaker.refresh(grid, now);
+                if armed.is_some() {
+                    let depth = (0..grid.len())
+                        .map(|i| grid.runtime(NodeId(i as u32)).queued_count())
+                        .max()
+                        .unwrap_or(0);
+                    ov_stats.max_boundary_depth = ov_stats.max_boundary_depth.max(depth as u64);
+                }
                 if remaining > 0 {
                     queue.schedule(now + ai_refresh_period, Ev::AiRefresh);
                 }
@@ -339,6 +449,31 @@ fn run_with(
                 route_hops.add(rh as f64);
                 pushes.add(ps as f64);
                 fallbacks += u64::from(fallback);
+                if let Some(o) = armed {
+                    ov_stats.push_attempts += 1;
+                    // Admission control: a node at its slot bound that
+                    // cannot start the job immediately rejects instead
+                    // of enqueueing. The reject consumes retry budget;
+                    // an empty bucket sheds the job at admission.
+                    let rejected = o.queue_slots.is_some_and(|s| {
+                        let rt = grid.runtime(node);
+                        rt.queued_count() >= s && !rt.is_acceptable(job)
+                    });
+                    if rejected {
+                        ov_stats.admission_rejects += 1;
+                        if buckets[idx as usize].try_take(now) {
+                            // Redirect hint: re-match after the retry
+                            // delay, steered by fresher pressure bits.
+                            queue.schedule(now + o.retry_delay, Ev::Arrival(idx));
+                        } else {
+                            ov_stats.shed_admission += 1;
+                            ledger.fail(idx as usize);
+                            remaining -= 1;
+                        }
+                        continue;
+                    }
+                    ov_stats.admitted += 1;
+                }
                 placed_nodes[idx as usize] = node;
                 placed_at[idx as usize] = now;
                 let ce = dominant_ce[idx as usize];
@@ -474,10 +609,11 @@ fn run_with(
         }
     }
 
-    let recovery = if let Some(_ch) = chaos {
+    if chaos.is_some() || overload.is_some() || lost > 0 {
         // Conservation invariant: every job completed xor permanently
-        // failed. Failed jobs are then dropped from the wait-time and
-        // placement populations (their stale pre-crash waits would
+        // failed (shed and drain-lost jobs fail in the ledger). Failed
+        // jobs are then dropped from the wait-time and placement
+        // populations (their stale or never-assigned waits would
         // otherwise pollute the distribution).
         ledger.check_conserved();
         let keep: Vec<bool> = (0..wait_times.len())
@@ -493,10 +629,8 @@ fn run_with(
             i += 1;
             keep[i - 1]
         });
-        Some(rec)
-    } else {
-        None
-    };
+    }
+    let recovery = chaos.map(|_| rec);
     debug_assert!(
         wait_times.iter().all(|w| !w.is_nan()),
         "every surviving job must have started"
@@ -514,6 +648,8 @@ fn run_with(
         placed_nodes,
         events_fired: queue.fired(),
         recovery,
+        lost_jobs: lost,
+        overload: overload.map(|_| ov_stats),
     }
 }
 
@@ -729,6 +865,101 @@ mod tests {
         let rec = stormy.recovery.unwrap();
         assert!(rec.wasted_seconds >= 0.0);
         assert!(rec.max_attempts >= 1);
+    }
+
+    #[test]
+    fn disarmed_overload_run_matches_plain_run_bit_for_bit() {
+        let s = tiny();
+        let plain = run_load_balance(&s, SchedulerChoice::CanHet);
+        let ov = run_load_balance_overload(
+            &s,
+            SchedulerChoice::CanHet,
+            None,
+            &OverloadConfig::default(),
+        );
+        assert_eq!(plain.wait_times, ov.wait_times);
+        assert_eq!(plain.makespan, ov.makespan);
+        assert_eq!(plain.events_fired, ov.events_fired);
+        assert_eq!(plain.lost_jobs, 0);
+        assert!(plain.overload.is_none());
+        let stats = ov.overload.expect("overload entry point reports stats");
+        assert_eq!(stats, OverloadStats::default(), "disarmed: all counters 0");
+    }
+
+    #[test]
+    fn armed_overload_sheds_and_respects_both_oracles() {
+        let mut s = tiny();
+        s.job_gen.mean_interarrival /= 6.0; // sustained overload
+        let cfg = OverloadConfig {
+            queue_slots: Some(2),
+            max_queue_wait: Some(1200.0),
+            retry_burst: 2,
+            ..Default::default()
+        };
+        for choice in SchedulerChoice::ALL {
+            let r = run_load_balance_overload(&s, choice, None, &cfg);
+            let stats = r.overload.as_ref().expect("armed run reports stats");
+            assert!(
+                stats.shed_total() > 0,
+                "{}: overload must shed something: {stats:?}",
+                choice.label()
+            );
+            // Conservation: every job completed, shed, or drain-lost.
+            assert_eq!(
+                r.wait_times.len() as u64 + stats.shed_total() + r.lost_jobs,
+                400,
+                "{}: {stats:?}",
+                choice.label()
+            );
+            assert_eq!(
+                crate::overload::bounded_queue_violation(stats, &cfg),
+                None,
+                "{}",
+                choice.label()
+            );
+            assert_eq!(
+                crate::overload::retry_storm_violation(stats, &cfg, r.makespan),
+                None,
+                "{}",
+                choice.label()
+            );
+            assert!(stats.retry_amplification() >= 1.0);
+            assert!(r.wait_times.iter().all(|w| w.is_finite() && *w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn armed_overload_is_deterministic() {
+        let mut s = tiny();
+        s.job_gen.mean_interarrival /= 6.0;
+        let cfg = OverloadConfig {
+            queue_slots: Some(2),
+            retry_burst: 1,
+            ..Default::default()
+        };
+        let a = run_load_balance_overload(&s, SchedulerChoice::CanHet, None, &cfg);
+        let b = run_load_balance_overload(&s, SchedulerChoice::CanHet, None, &cfg);
+        assert_eq!(a.wait_times, b.wait_times);
+        assert_eq!(a.overload, b.overload);
+        assert_eq!(a.lost_jobs, b.lost_jobs);
+    }
+
+    #[test]
+    fn overload_layers_on_crash_chaos_and_conserves_jobs() {
+        let s = tiny();
+        let chaos = CrashChaosConfig::new(400.0);
+        let cfg = OverloadConfig {
+            queue_slots: Some(3),
+            ..Default::default()
+        };
+        let r = run_load_balance_overload(&s, SchedulerChoice::CanHet, Some(&chaos), &cfg);
+        let rec = r.recovery.as_ref().expect("chaos stats present");
+        let stats = r.overload.as_ref().expect("overload stats present");
+        assert_eq!(
+            r.wait_times.len() as u64 + rec.permanently_failed + stats.shed_total() + r.lost_jobs,
+            400,
+            "jobs conserved across both fault layers: {rec:?} {stats:?}"
+        );
     }
 
     #[test]

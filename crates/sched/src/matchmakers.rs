@@ -56,6 +56,13 @@ pub trait Matchmaker {
     fn place(&mut self, grid: &StaticGrid, job: &JobSpec, rng: &mut SimRng) -> Placement;
     /// Periodic refresh hook (aggregated load information).
     fn refresh(&mut self, _grid: &StaticGrid, _now: f64) {}
+    /// Arms the queue-pressure congestion bit in the aggregated load
+    /// information (overload control): a node whose queue depth
+    /// reaches `bound` is flagged as pressured, and pushers stop
+    /// steering into regions where every node is flagged. `None`
+    /// (the default) disarms the bit; matchmakers without aggregates
+    /// ignore it.
+    fn set_pressure_bound(&mut self, _bound: Option<usize>) {}
 }
 
 /// Whether the pushing matchmaker understands computing elements.
@@ -304,6 +311,11 @@ impl PushingMatchmaker {
         let mut region = *self.ai.beyond(n, dim, ce);
         // Include the target node itself in the region estimate.
         let rt = grid.runtime(n);
+        let pressured = u64::from(
+            self.ai
+                .pressure_bound()
+                .is_some_and(|b| rt.queued_count() >= b),
+        );
         match self.ai.grouping() {
             AiGrouping::PerCe => {
                 if let Some((cores, required)) = rt.load_of(ce) {
@@ -311,6 +323,7 @@ impl PushingMatchmaker {
                     region.cores += cores;
                     region.required_cores += required;
                     region.free_nodes += u64::from(rt.is_free());
+                    region.pressured += pressured;
                 }
             }
             AiGrouping::Pooled => {
@@ -326,7 +339,18 @@ impl PushingMatchmaker {
                 region.cores += cores;
                 region.required_cores += required;
                 region.free_nodes += u64::from(rt.is_free());
+                region.pressured += pressured;
             }
+        }
+        // Congestion signal: a region whose every known node is at its
+        // queue-pressure bound is saturated — never steer into it while
+        // the aggregate says there is nothing to gain there. INFINITY
+        // is unselectable in the push loop's `better` comparison, so
+        // the walk routes around saturated regions even while the
+        // aggregate is stale. Disarmed, `pressured` is always 0 and
+        // this branch never fires.
+        if region.nodes > 0 && region.pressured >= region.nodes {
+            return f64::INFINITY;
         }
         region.objective()
     }
@@ -342,6 +366,10 @@ impl Matchmaker for PushingMatchmaker {
 
     fn refresh(&mut self, grid: &StaticGrid, now: f64) {
         self.ai.refresh(grid, now);
+    }
+
+    fn set_pressure_bound(&mut self, bound: Option<usize>) {
+        self.ai.set_pressure_bound(bound);
     }
 
     fn place(&mut self, grid: &StaticGrid, job: &JobSpec, rng: &mut SimRng) -> Placement {

@@ -264,6 +264,37 @@ impl NodeRuntime {
         });
     }
 
+    /// Overload shedding at a heartbeat boundary: removes waiters that
+    /// exceeded `max_wait` seconds in queue (oldest first — `queued_at`
+    /// is nondecreasing along the FIFO), then trims the queue from the
+    /// front down to `slots`. Deterministic: depends only on the queue
+    /// contents and `now`, never on randomness. Returns the shed jobs
+    /// so the simulator can account for them.
+    pub fn shed_overloaded(
+        &mut self,
+        now: f64,
+        slots: Option<usize>,
+        max_wait: Option<f64>,
+    ) -> Vec<JobSpec> {
+        let mut shed = Vec::new();
+        if let Some(max_wait) = max_wait {
+            let mut i = 0;
+            while i < self.queue.len() {
+                if now - self.queue[i].queued_at > max_wait {
+                    shed.push(self.queue.remove(i).job);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if let Some(slots) = slots {
+            while self.queue.len() > slots {
+                shed.push(self.queue.remove(0).job);
+            }
+        }
+        shed
+    }
+
     fn allocate(&mut self, job: &JobSpec) {
         for r in &job.ce_reqs {
             let occupied = r.occupied_cores();
@@ -560,6 +591,31 @@ mod tests {
         n.restore();
         assert_eq!(n.start_ready().len(), 1);
         assert!(n.available());
+    }
+
+    #[test]
+    fn shedding_removes_over_wait_then_trims_to_slots() {
+        let mut n = het_node();
+        n.enqueue(cpu_job(0, 4), 0.0);
+        n.start_ready();
+        // Four waiters queued at 10, 20, 30, 40.
+        for (i, t) in [(1u32, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)] {
+            n.enqueue(cpu_job(i, 4), t);
+        }
+        assert!(n.start_ready().is_empty());
+        // At t=200 with max_wait=175: jobs 1 (190 s) and 2 (180 s) are
+        // over the bound, oldest first.
+        let shed = n.shed_overloaded(200.0, None, Some(175.0));
+        assert_eq!(
+            shed.iter().map(|j| j.id).collect::<Vec<_>>(),
+            [JobId(1), JobId(2)]
+        );
+        // Slot trim takes the oldest remaining waiter from the front.
+        let shed = n.shed_overloaded(200.0, Some(1), None);
+        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), [JobId(3)]);
+        assert_eq!(n.queued_count(), 1);
+        // Within bounds: nothing shed.
+        assert!(n.shed_overloaded(200.0, Some(1), Some(175.0)).is_empty());
     }
 
     #[test]

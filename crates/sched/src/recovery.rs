@@ -220,6 +220,11 @@ impl JobLedger {
         self.fates[idx] == JobFate::Failed
     }
 
+    /// Whether job `idx` has reached no terminal state yet.
+    pub fn is_pending(&self, idx: usize) -> bool {
+        self.fates[idx] == JobFate::Pending
+    }
+
     /// Jobs completed so far.
     pub fn completed(&self) -> u64 {
         self.completed

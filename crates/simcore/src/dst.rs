@@ -489,6 +489,23 @@ impl ScheduleMacro {
     }
 }
 
+/// Overload-control arming record for the scheduler phase.
+///
+/// Mirrors `pgrid-sched`'s `OverloadConfig` but stays a plain record
+/// so `simcore` remains independent of `sched`, the same layering
+/// compromise as `scheme` / `detector` / `replication`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadRecord {
+    /// Per-node queue bound in waiting slots.
+    pub slots: usize,
+    /// Per-job queue-wait bound (seconds).
+    pub wait: f64,
+    /// Retry token-bucket burst per job.
+    pub burst: u32,
+    /// Retry token refill rate (tokens per second).
+    pub refill: f64,
+}
+
 /// One fully-specified, self-contained chaos run.
 ///
 /// Everything an executor needs is here; replaying the same schedule
@@ -543,6 +560,11 @@ pub struct FaultSchedule {
     /// When `Some`, also run a scheduler crash-recovery phase with this
     /// mean crash interval (seconds) and check the ledger oracles.
     pub sched_crash_interval: Option<f64>,
+    /// When `Some`, the scheduler phase runs with bounded queues and
+    /// admission control armed, and the bounded-queues / no-retry-storm
+    /// oracles are checked. `None` (the default everywhere, including
+    /// the fuzzer grammar) keeps historical schedules bit-identical.
+    pub overload: Option<OverloadRecord>,
     /// Recorded replay digest (`None` until a corpus trace pins one).
     pub expect_digest: Option<u64>,
 }
@@ -674,6 +696,18 @@ impl FaultSchedule {
         if let Some(iv) = self.sched_crash_interval {
             pos("sched crash_interval", iv)?;
         }
+        if let Some(o) = &self.overload {
+            if o.slots == 0 {
+                return Err("overload slots must be >= 1".into());
+            }
+            pos("overload wait", o.wait)?;
+            if !(o.refill.is_finite() && o.refill >= 0.0) {
+                return Err(format!(
+                    "overload refill must be finite >= 0, got {}",
+                    o.refill
+                ));
+            }
+        }
         for m in &self.macros {
             m.validate(self.fault_duration)?;
         }
@@ -729,8 +763,8 @@ impl FaultSchedule {
 
     /// Number of independently-removable schedule elements, in the
     /// fixed order: events, partitions, class faults, churn, sched,
-    /// degrades, detector, replication, macros (new kinds appended to
-    /// keep the order stable).
+    /// degrades, detector, replication, macros, overload (new kinds
+    /// appended to keep the order stable).
     fn element_count(&self) -> usize {
         self.events.len()
             + self.partitions.len()
@@ -741,6 +775,7 @@ impl FaultSchedule {
             + usize::from(self.detector.is_some())
             + usize::from(self.replication.is_some())
             + self.macros.len()
+            + usize::from(self.overload.is_some())
     }
 
     /// The schedule with only the elements whose `keep` flag is set
@@ -791,6 +826,9 @@ impl FaultSchedule {
             .copied()
             .filter(|_| it.next().unwrap_or(true))
             .collect();
+        if self.overload.is_some() && !it.next().unwrap_or(true) {
+            out.overload = None;
+        }
         out.expect_digest = None;
         out
     }
@@ -1052,6 +1090,10 @@ pub fn generate(seed: u64, budget: &ScheduleBudget) -> FaultSchedule {
         detector,
         replication,
         sched_crash_interval,
+        // Like macros, overload arming stays out of the fuzzer grammar
+        // so historical seeds keep their schedules; the scenario
+        // library is what writes it.
+        overload: None,
         expect_digest: None,
     };
     debug_assert!(schedule.validate().is_ok(), "generator escaped its budget");
@@ -1229,6 +1271,13 @@ impl FaultSchedule {
         if let Some(iv) = self.sched_crash_interval {
             let _ = writeln!(out, "sched crash_interval={iv}");
         }
+        if let Some(o) = &self.overload {
+            let _ = writeln!(
+                out,
+                "overload slots={} wait={} burst={} refill={}",
+                o.slots, o.wait, o.burst, o.refill
+            );
+        }
         if let Some(d) = self.expect_digest {
             let _ = writeln!(out, "expect digest={d:#018x}");
         }
@@ -1301,6 +1350,7 @@ impl FaultSchedule {
                     detector: None,
                     replication: None,
                     sched_crash_interval: None,
+                    overload: None,
                     expect_digest: None,
                 });
                 continue;
@@ -1399,6 +1449,16 @@ impl FaultSchedule {
                     sched.events.push(FaultEvent { at, fault });
                 }
                 "sched" => sched.sched_crash_interval = Some(get_f64("crash_interval")?),
+                "overload" => {
+                    sched.overload = Some(OverloadRecord {
+                        slots: get_usize("slots")?,
+                        wait: get_f64("wait")?,
+                        burst: get("burst")?
+                            .parse::<u32>()
+                            .map_err(|_| err(line_no, "`burst` is not an integer".into()))?,
+                        refill: get_f64("refill")?,
+                    });
+                }
                 "expect" => {
                     let raw = get("digest")?;
                     let hex = raw.strip_prefix("0x").unwrap_or(raw);
@@ -1588,6 +1648,12 @@ mod tests {
             detector: Some("adaptive".into()),
             replication: Some("standby".into()),
             sched_crash_interval: Some(450.0),
+            overload: Some(OverloadRecord {
+                slots: 4,
+                wait: 900.0,
+                burst: 3,
+                refill: 0.01,
+            }),
             expect_digest: Some(0xdead_beef),
         }
     }

@@ -32,8 +32,8 @@ pub mod fault;
 pub mod rng;
 
 pub use dst::{
-    DegradeWindow, FaultSchedule, Fnv, PartitionWindow, ScheduleBudget, ScheduleMacro,
-    ShrinkOutcome, TraceParseError,
+    DegradeWindow, FaultSchedule, Fnv, OverloadRecord, PartitionWindow, ScheduleBudget,
+    ScheduleMacro, ShrinkOutcome, TraceParseError,
 };
 pub use event::{EventQueue, SimTime};
 pub use fault::{

@@ -227,6 +227,50 @@ fn corpus_includes_the_relocated_zombie_revival() {
 }
 
 #[test]
+fn corpus_includes_the_overload_collapse() {
+    let files = corpus_files();
+    let path = files
+        .iter()
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .contains("overload-collapse")
+        })
+        .expect("corpus keeps the overload-collapse congestion trace");
+    let text = std::fs::read_to_string(path).unwrap();
+    let (schedule, report) = replay_trace(&text).unwrap();
+    assert!(
+        schedule.macros.is_empty(),
+        "overload-collapse: corpus traces are committed in expanded primitive form"
+    );
+    let rec = schedule
+        .overload
+        .expect("the trace arms bounded queues and the retry budget");
+    assert!(
+        report.violations.is_empty(),
+        "overload-collapse: {:?}",
+        report.violations
+    );
+    // The armed run must actually overflow the bounded queues — a
+    // trace that never sheds exercises nothing — while the retry
+    // budget keeps amplification under the configured bucket ceiling.
+    let stats = report
+        .overload
+        .expect("armed sched phase records overload stats");
+    assert!(stats.shed_total() > 0, "no sheds: {stats:?}");
+    assert!(
+        stats.max_boundary_depth <= rec.slots as u64,
+        "bounded queue overflowed: {stats:?}"
+    );
+    let amp = stats.retry_amplification();
+    assert!(
+        amp < 1.0 + f64::from(rec.burst),
+        "retry amplification {amp} at or above the budget ceiling: {stats:?}"
+    );
+}
+
+#[test]
 fn corpus_includes_the_seed41_rederivation() {
     let files = corpus_files();
     let seed41 = files

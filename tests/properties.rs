@@ -4,7 +4,10 @@
 use p2p_ce_grid::can::geom::Zone;
 use p2p_ce_grid::can::split_tree::SplitTree;
 use p2p_ce_grid::prelude::*;
-use p2p_ce_grid::sched::StaticGrid;
+use p2p_ce_grid::sched::{
+    bounded_queue_violation, retry_storm_violation, run_load_balance_overload, AiGrouping, AiTable,
+    OverloadConfig, StaticGrid, TokenBucket,
+};
 use proptest::prelude::*;
 
 fn unit_point(dims: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -129,6 +132,31 @@ proptest! {
         prop_assert!(cdf.fraction_at(x) >= q - 1e-9);
     }
 
+    /// A retry token bucket never holds more than its burst capacity
+    /// and never grants more takes than burst + refill x elapsed time,
+    /// whatever the spacing of the attempts.
+    #[test]
+    fn token_bucket_never_exceeds_burst(
+        burst in 1u32..10,
+        refill in 0.0f64..2.0,
+        deltas in prop::collection::vec(0.0f64..100.0, 1..60),
+    ) {
+        let mut tb = TokenBucket::new(burst, refill);
+        let mut now = 0.0;
+        let mut takes = 0u32;
+        for d in deltas {
+            now += d;
+            if tb.try_take(now) {
+                takes += 1;
+            }
+            prop_assert!(tb.available() <= f64::from(burst) + 1e-9);
+        }
+        prop_assert!(
+            f64::from(takes) <= f64::from(burst) + refill * now + 1.0,
+            "{takes} takes with burst {burst}, refill {refill}, elapsed {now}"
+        );
+    }
+
     /// Summary::merge is equivalent to sequential accumulation.
     #[test]
     fn summary_merge_associative(xs in prop::collection::vec(-1e3f64..1e3, 2..100), split in 1usize..99) {
@@ -224,6 +252,89 @@ proptest! {
             prop_assert_eq!(&x.fault, &y.fault, "{}: event kinds/counts are structural", spec.name);
         }
         prop_assert_eq!(&ea.degrades, &eb.degrades, "{}: degrade windows are structural", spec.name);
+    }
+
+    /// Shed decisions are deterministic for a fixed seed, jobs stay
+    /// conserved under admission control, and both overload oracles
+    /// hold for any (slots, burst) bound at 4x offered load.
+    #[test]
+    fn overload_shedding_is_deterministic_and_conserves_jobs(
+        seed in 0u64..500,
+        slots in 1usize..6,
+        burst in 1u32..5,
+    ) {
+        let mut s = default_scenario().scaled_down(20); // 50 nodes
+        s.jobs = 300;
+        s.seed = seed;
+        let over = s.clone().with_interarrival(s.job_gen.mean_interarrival / 4.0);
+        let cfg = OverloadConfig {
+            queue_slots: Some(slots),
+            max_queue_wait: Some(600.0),
+            retry_burst: burst,
+            ..OverloadConfig::default()
+        };
+        let a = run_load_balance_overload(&over, SchedulerChoice::CanHet, None, &cfg);
+        let b = run_load_balance_overload(&over, SchedulerChoice::CanHet, None, &cfg);
+        let sa = a.overload.clone().expect("armed run reports stats");
+        let sb = b.overload.clone().expect("armed run reports stats");
+        prop_assert_eq!(&sa, &sb, "shed decisions must replay identically");
+        prop_assert_eq!(a.wait_times.len(), b.wait_times.len());
+        prop_assert_eq!(
+            a.wait_times.len() as u64 + sa.shed_total() + a.lost_jobs,
+            over.jobs as u64,
+            "every job completes, sheds, or is accounted lost"
+        );
+        prop_assert!(bounded_queue_violation(&sa, &cfg).is_none());
+        prop_assert!(retry_storm_violation(&sa, &cfg, a.makespan).is_none());
+    }
+
+    /// Incremental AiTable refresh stays bit-identical to a scratch
+    /// rebuild with the queue-pressure bit armed, through arbitrary
+    /// queue churn.
+    #[test]
+    fn pressure_armed_incremental_refresh_matches_scratch(
+        seed in 0u64..500,
+        bound in 1usize..5,
+        n in 20usize..60,
+    ) {
+        let layout = DimensionLayout::with_dims(8);
+        let pop = generate_nodes(&NodeGenConfig::paper_defaults(1), n, seed);
+        let mut stream = JobStream::with_population(
+            JobGenConfig::paper_defaults(1, 0.6, 3.0),
+            seed,
+            pop.clone(),
+        );
+        let mut grid = StaticGrid::build(layout, pop, seed);
+        let mut inc = AiTable::new(&grid, AiGrouping::PerCe);
+        let mut scr = AiTable::new(&grid, AiGrouping::PerCe);
+        inc.set_pressure_bound(Some(bound));
+        scr.set_pressure_bound(Some(bound));
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x77);
+        for round in 0..6u64 {
+            for _ in 0..8 {
+                let (_, job) = stream.next_job();
+                let target = (0..16)
+                    .map(|_| NodeId(rng.below(n) as u32))
+                    .find(|&t| job.satisfied_by(&grid.runtime(t).spec));
+                if let Some(t) = target {
+                    grid.with_runtime_mut(t, |rt| {
+                        rt.enqueue(job, round as f64);
+                        rt.start_ready()
+                    });
+                }
+            }
+            let now = round as f64;
+            inc.refresh(&grid, now);
+            scr.refresh_scratch(&grid, now);
+            for i in 0..n {
+                let id = NodeId(i as u32);
+                prop_assert_eq!(
+                    inc.local_bits(id),
+                    scr.local_bits(id),
+                    "round {}: node {} bits diverged", round, i
+                );
+            }
+        }
     }
 
     /// Under randomized fail-stop node crashes, no job is ever lost or
