@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
-    let args = parse_seeded_cli(false, CHAOS_USAGE);
+    let args = parse_seeded_cli(false, true, CHAOS_USAGE);
     let seed = args.seed.unwrap_or(experiments::CHAOS_SEED);
     let started = Instant::now();
     println!(
@@ -49,7 +49,7 @@ fn main() -> ExitCode {
         .is_none_or(|b| started.elapsed().as_secs_f64() <= b)
     {
         println!("--- Crash-safe job recovery (conservation ledger armed) ---");
-        let cells = experiments::crash_recovery_suite(args.scale);
+        let cells = experiments::crash_recovery_suite_sharded(args.scale, args.shards);
         println!("{}", render_crash_recovery(&cells));
     } else {
         println!("(crash-recovery suite skipped: wall budget exceeded)");

@@ -24,6 +24,18 @@
 //!   wall/baseline ratio across gated cells, clamped to ≥ 1): a cell
 //!   that regressed relative to the *rest of this run* fires the gate,
 //!   a uniformly slower CI runner does not. Leaves the JSON untouched.
+//! * `--scaling <n>` — run the multi-shard scaling suite at
+//!   population `n` instead of the default cell set: a fig5-style
+//!   load-balance cell sequentially and under `--shards` zone shards
+//!   (asserting the two runs are bit-identical), plus a fig7-style
+//!   churn cell at the same population. Results merge into the
+//!   `"scaling"` array of `BENCH_hotpath.json` keyed by cell name;
+//!   the gated `cells`/`baseline` objects are never touched, so the
+//!   `--check` gate is unaffected. Each row records `host_threads` —
+//!   on a single-core runner the sharded engine degrades to
+//!   sequential execution and the honest speedup is ~1.0.
+//! * `--shards <S>` — shard count for the scaling suite's parallel
+//!   arm (default 4).
 
 use pgrid::prelude::*;
 use std::fmt::Write as _;
@@ -192,12 +204,19 @@ struct Args {
     /// Regression-gate mode: compare against the baseline and fail on
     /// a slip beyond [`GATE_RATIO`].
     check: bool,
+    /// Population for the multi-shard scaling suite (`--scaling N`);
+    /// replaces the default cell set when given.
+    scaling: Option<usize>,
+    /// Shard count for the scaling suite's parallel arm.
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cell: None,
         check: false,
+        scaling: None,
+        shards: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -206,8 +225,31 @@ fn parse_args() -> Result<Args, String> {
                 args.cell = Some(it.next().ok_or("--cell requires a value")?);
             }
             "--check" => args.check = true,
+            "--scaling" => {
+                let v = it.next().ok_or("--scaling requires a population")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--scaling wants a node count, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--scaling wants at least 1 node".into());
+                }
+                args.scaling = Some(n);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--shards wants a positive integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--shards wants at least 1".into());
+                }
+                args.shards = n;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
+    }
+    if args.scaling.is_some() && (args.check || args.cell.is_some()) {
+        return Err("--scaling is its own mode; combine it only with --shards".into());
     }
     Ok(args)
 }
@@ -288,6 +330,199 @@ fn run_cells(want: &dyn Fn(&str) -> bool) -> Vec<Cell> {
     cells
 }
 
+// ------------------------------------------------------- scaling suite
+
+/// One row of the `"scaling"` array in `BENCH_hotpath.json`.
+struct ScalingRow {
+    name: String,
+    wall_secs: f64,
+    events: u64,
+    /// Sequential wall / this wall — only on multi-shard arms.
+    speedup_vs_s1: Option<f64>,
+    /// `host_threads()` at measurement time, recorded so a reader can
+    /// tell a genuine lack of speedup from a single-core runner where
+    /// the sharded engine degrades to sequential execution.
+    host_threads: usize,
+}
+
+impl ScalingRow {
+    fn json_line(&self) -> String {
+        let eps = if self.events > 0 && self.wall_secs > 0.0 {
+            format!("{:.1}", self.events as f64 / self.wall_secs)
+        } else {
+            "null".to_string()
+        };
+        let speedup = self
+            .speedup_vs_s1
+            .map_or("null".to_string(), |s| format!("{s:.4}"));
+        format!(
+            "    {{ \"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {eps}, \"speedup_vs_s1\": {speedup}, \"host_threads\": {} }}",
+            self.name, self.wall_secs, self.events, self.host_threads
+        )
+    }
+}
+
+/// The fig5-style scenario the scaling suite measures at population
+/// `n`: the paper workload with the arrival rate scaled to hold
+/// per-node offered load constant, and the job count sized inversely
+/// with `n` so every population finishes in a comparable wall budget
+/// (n = 1M is a smoke cell, not a curve point).
+fn scaling_scenario(n: usize) -> LoadBalanceScenario {
+    let mut s = default_scenario();
+    let factor = n as f64 / s.nodes as f64;
+    s.nodes = n;
+    s.jobs = (200_000_000 / n).clamp(400, 20_000);
+    s.job_gen.mean_interarrival /= factor;
+    s
+}
+
+/// The `--scaling <n>` mode: one fig5-style cell sequentially and
+/// under `shards` zone shards (asserting bit-identical results — the
+/// equivalence contract, enforced on every published measurement),
+/// plus a fig7-style churn cell at the same population. Rows merge
+/// into the JSON's `"scaling"` array by name; `cells`/`baseline` are
+/// left untouched.
+fn run_scaling(n: usize, shards: usize, out: &Path) -> ExitCode {
+    let threads = pgrid::simcore::shard::host_threads();
+    println!(
+        "=== Multi-shard scaling suite: n = {n}, shards = {shards}, host threads = {threads} ===\n"
+    );
+    let sc = scaling_scenario(n);
+    println!(
+        "fig5-style workload: {} jobs, inter-arrival {:.4} s, scheduler can-het",
+        sc.jobs, sc.job_gen.mean_interarrival
+    );
+    let mut rows: Vec<ScalingRow> = Vec::new();
+
+    let t = Instant::now();
+    let seq = run_load_balance(&sc, SchedulerChoice::CanHet);
+    let seq_secs = t.elapsed().as_secs_f64();
+    rows.push(ScalingRow {
+        name: format!("scaling/fig5/n{n}/s1"),
+        wall_secs: seq_secs,
+        events: seq.events_fired,
+        speedup_vs_s1: None,
+        host_threads: threads,
+    });
+
+    let t = Instant::now();
+    let par = run_load_balance_sharded(&sc, SchedulerChoice::CanHet, shards);
+    let par_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        (par.events_fired, &par.wait_times),
+        (seq.events_fired, &seq.wait_times),
+        "sharded run diverged from sequential — equivalence contract broken"
+    );
+    rows.push(ScalingRow {
+        name: format!("scaling/fig5/n{n}/s{shards}"),
+        wall_secs: par_secs,
+        events: par.events_fired,
+        speedup_vs_s1: Some(seq_secs / par_secs),
+        host_threads: threads,
+    });
+
+    // Fig7-style churn at the same population: the CAN heartbeat
+    // plane, which has no shard dimension — recorded so the scaling
+    // table carries both planes at each n. Skipped for the 1M smoke
+    // population (bootstrapping a 1M-node overlay is its own
+    // experiment, not a benchmark cell).
+    if n <= 100_000 {
+        let mut cfg = ChurnConfig::new(11, HeartbeatScheme::Compact, n).high_churn();
+        cfg.bootstrap_spacing = 0.25;
+        cfg.stage2_duration = 300.0;
+        cfg.sample_interval = 150.0;
+        let t = Instant::now();
+        let r = run_churn(&cfg, uniform_coords(cfg.dims));
+        rows.push(ScalingRow {
+            name: format!("scaling/fig7/n{n}/compact"),
+            wall_secs: t.elapsed().as_secs_f64(),
+            events: r.delivered_messages,
+            speedup_vs_s1: None,
+            host_threads: threads,
+        });
+    }
+
+    for row in &rows {
+        let speedup = row
+            .speedup_vs_s1
+            .map_or(String::new(), |s| format!("   speedup {s:.2}x"));
+        println!(
+            "{:<28} {:>9.3} s   {:>12} events{speedup}",
+            row.name, row.wall_secs, row.events
+        );
+    }
+    merge_scaling(out, &rows);
+    println!(
+        "\nmerged {} scaling row(s) into {}",
+        rows.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Extracts the cell name from a rendered scaling row line.
+fn scaling_row_name(line: &str) -> Option<&str> {
+    let start = line.find("\"name\": \"")? + "\"name\": \"".len();
+    let end = start + line[start..].find('"')?;
+    Some(&line[start..end])
+}
+
+/// Reads the raw row lines of the `"scaling"` array from a previous
+/// run's file (trailing commas stripped); empty when the file or the
+/// array is absent. The rows are carried verbatim across rewrites, the
+/// same preservation contract the baseline object has.
+fn read_scaling_lines(path: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("  \"scaling\": [") else {
+        return Vec::new();
+    };
+    text[start..]
+        .lines()
+        .skip(1)
+        .take_while(|l| !l.trim_start().starts_with(']'))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// Merges scaling rows into the JSON file by cell name: rows measured
+/// this run replace same-named entries, all other entries are kept
+/// verbatim, as are the `cells`/`baseline` objects. Creates a minimal
+/// file when none exists.
+fn merge_scaling(path: &Path, fresh: &[ScalingRow]) {
+    let mut kept: Vec<String> = read_scaling_lines(path)
+        .into_iter()
+        .filter(|line| scaling_row_name(line).is_some_and(|n| !fresh.iter().any(|r| r.name == n)))
+        .collect();
+    kept.extend(fresh.iter().map(|r| r.json_line()));
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| String::from("{\n  \"baseline\": {\n  }\n}\n"));
+    let without_old = match text.find("  \"scaling\": [") {
+        Some(start) => {
+            let end = start
+                + text[start..]
+                    .find("],\n")
+                    .expect("scaling array closes before the next key")
+                + "],\n".len();
+            format!("{}{}", &text[..start], &text[end..])
+        }
+        None => text,
+    };
+    let block = format!("  \"scaling\": [\n{}\n  ],\n", kept.join(",\n"));
+    let insert_at = without_old
+        .find("  \"baseline\": {")
+        .expect("BENCH_hotpath.json carries a baseline object");
+    let merged = format!(
+        "{}{block}{}",
+        &without_old[..insert_at],
+        &without_old[insert_at..]
+    );
+    std::fs::write(path, merged).expect("write BENCH_hotpath.json");
+}
+
 fn fig5_total(cells: &[Cell]) -> f64 {
     cells
         .iter()
@@ -301,11 +536,14 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: perf [--cell <substring>] [--check]");
+            eprintln!("usage: perf [--cell <substring>] [--check] [--scaling <n> [--shards <S>]]");
             return ExitCode::from(2);
         }
     };
     let out = repo_root_json();
+    if let Some(n) = args.scaling {
+        return run_scaling(n, args.shards, &out);
+    }
     println!("=== Hot-path perf harness (quick-scale fig5/fig6/fig7, single-threaded) ===\n");
     let cells = run_cells(&|name| args.cell.as_deref().is_none_or(|f| name.contains(f)));
 
@@ -362,7 +600,8 @@ fn main() -> ExitCode {
         );
     }
 
-    let json = render_json(&cells, fig5_wall, &baseline);
+    let scaling = read_scaling_lines(&out);
+    let json = render_json(&cells, fig5_wall, &baseline, &scaling);
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {}", out.display());
     ExitCode::SUCCESS
@@ -557,7 +796,12 @@ fn read_baseline(path: &Path) -> Option<Vec<(String, f64)>> {
     (!pairs.is_empty()).then_some(pairs)
 }
 
-fn render_json(cells: &[Cell], fig5_wall: f64, baseline: &[(String, f64)]) -> String {
+fn render_json(
+    cells: &[Cell],
+    fig5_wall: f64,
+    baseline: &[(String, f64)],
+    scaling: &[String],
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(
         s,
@@ -580,6 +824,11 @@ fn render_json(cells: &[Cell], fig5_wall: f64, baseline: &[(String, f64)]) -> St
         );
     }
     let _ = writeln!(s, "  ],");
+    if !scaling.is_empty() {
+        let _ = writeln!(s, "  \"scaling\": [");
+        let _ = writeln!(s, "{}", scaling.join(",\n"));
+        let _ = writeln!(s, "  ],");
+    }
     let _ = writeln!(s, "  \"baseline\": {{");
     for (i, (name, secs)) in baseline.iter().enumerate() {
         let comma = if i + 1 == baseline.len() { "" } else { "," };
@@ -615,6 +864,47 @@ mod tests {
         let old_rows: Vec<(String, f64, f64)> = rows[..4].to_vec();
         let (machine, _) = gate_budget(&old_rows, &baseline);
         assert_eq!(machine, 1.0, "ratios below one clamp to one");
+    }
+
+    #[test]
+    fn scaling_rows_merge_by_name_and_survive_rerender() {
+        let dir = std::env::temp_dir().join("pgrid_perf_scaling_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_hotpath.json");
+        let _ = std::fs::remove_file(&path);
+        let row = |name: &str, wall: f64| ScalingRow {
+            name: name.into(),
+            wall_secs: wall,
+            events: 100,
+            speedup_vs_s1: (name.ends_with("s4")).then_some(2.0),
+            host_threads: 1,
+        };
+        // First merge creates the file and the array.
+        merge_scaling(
+            &path,
+            &[
+                row("scaling/fig5/n10/s1", 1.0),
+                row("scaling/fig5/n10/s4", 0.5),
+            ],
+        );
+        assert_eq!(read_scaling_lines(&path).len(), 2);
+        // A re-measurement replaces its own row and keeps the other.
+        merge_scaling(&path, &[row("scaling/fig5/n10/s4", 0.25)]);
+        let lines = read_scaling_lines(&path);
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().any(|l| l.contains("0.250000")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("/s1")), "{lines:?}");
+        assert_eq!(
+            scaling_row_name(&lines[1]),
+            Some("scaling/fig5/n10/s4"),
+            "fresh rows append after preserved ones"
+        );
+        // A default-mode rewrite carries the block through verbatim.
+        let json = render_json(&[], 1.0, &[("fig5_total".to_string(), 1.0)], &lines);
+        std::fs::write(&path, json).unwrap();
+        assert_eq!(read_scaling_lines(&path), lines);
+        // And the baseline parser still finds its object afterwards.
+        assert!(read_baseline(&path).is_some());
     }
 
     #[test]

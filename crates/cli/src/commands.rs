@@ -15,8 +15,10 @@ pgrid — P2P computing-element-heterogeneous grid simulator
 USAGE:
   pgrid simulate [--nodes N] [--jobs N] [--dims 5|8|11|14] [--interarrival S]
                  [--ratio R] [--scheduler het|hom|central|all] [--seed S]
-                 [--shared-gpus] [--sf SF]
+                 [--shared-gpus] [--sf SF] [--shards N]
       Run one load-balancing simulation and print wait-time statistics.
+      --shards runs the zone-sharded engine; results are bit-identical
+      for every shard count.
 
   pgrid churn    [--nodes N] [--dims D] [--scheme vanilla|compact|adaptive|all]
                  [--gap S] [--duration S] [--loss P] [--graceful F] [--seed S]
@@ -28,7 +30,7 @@ USAGE:
       Run scripted fault scenarios through the chaos harness and print the
       resilience table; exits non-zero on any invariant violation.
 
-  pgrid scenarios [--list] [--scenario NAME] [--seed S] [--quick]
+  pgrid scenarios [--list] [--scenario NAME] [--seed S] [--quick] [--shards N]
       Run the named adversarial scenario library (diurnal waves, flash
       crowds, rack storms, stragglers, gray failures, plus the chaos trio)
       through the DST oracle harness, scheme vs scheme; --scenario filters
@@ -40,7 +42,7 @@ USAGE:
       failure detectors; prints the false-positive / detection-latency
       table and errors if the adaptive rule is ever worse.
 
-  pgrid fuzz     [--seeds N] [--seed S] [--budget SECS] [--out DIR]
+  pgrid fuzz     [--seeds N] [--seed S] [--budget SECS] [--out DIR] [--shards N]
   pgrid fuzz     --replay FILE
       Fuzz random fault schedules through the cross-layer invariant oracles
       (CAN zone tiling / neighbor symmetry / take-over / quiescence, scheduler
@@ -160,6 +162,7 @@ fn render_sim_results(results: &[SimResult]) -> String {
 pub fn simulate(args: Args) -> Result<String, String> {
     let scenario = scenario_from(&args)?;
     let schedulers = parse_schedulers(args.get("scheduler").unwrap_or("all"))?;
+    let shards = parse_shards(&args)?;
     args.reject_unknown()?;
     let mut out = format!(
         "simulating {} jobs on {} nodes ({}-dim CAN, inter-arrival {}s, ratio {})\n\n",
@@ -171,10 +174,19 @@ pub fn simulate(args: Args) -> Result<String, String> {
     );
     let results: Vec<SimResult> = schedulers
         .into_iter()
-        .map(|c| run_load_balance(&scenario, c))
+        .map(|c| run_load_balance_sharded(&scenario, c, shards))
         .collect();
     out.push_str(&render_sim_results(&results));
     Ok(out)
+}
+
+/// Parses the shared `--shards` flag (default 1; zero is an error).
+fn parse_shards(args: &Args) -> Result<usize, String> {
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(shards)
 }
 
 /// `pgrid churn`
@@ -331,6 +343,7 @@ pub fn scenarios(args: Args) -> Result<String, String> {
     } else {
         Scale::Paper
     };
+    let shards = parse_shards(&args)?;
     args.reject_unknown()?;
     let specs = pgrid::scenarios::matching(&filter);
     if specs.is_empty() {
@@ -341,7 +354,7 @@ pub fn scenarios(args: Args) -> Result<String, String> {
         ));
     }
 
-    let cells = pgrid::experiments::scenario_suite_over(scale, seed, &specs);
+    let cells = pgrid::experiments::scenario_suite_over_sharded(scale, seed, &specs, shards);
     let mut out = format!(
         "scenario library: {} scenario(s), seed {seed} ({scale:?})\n\n",
         specs.len()
@@ -526,6 +539,7 @@ pub fn fuzz(args: Args) -> Result<String, String> {
     let seeds: usize = args.get_or("seeds", 16)?;
     let budget: f64 = args.get_or("budget", 60.0)?;
     let out_dir = args.get("out").unwrap_or("results").to_string();
+    let shards = parse_shards(&args)?;
     args.reject_unknown()?;
     if seeds == 0 {
         return Err("--seeds must be at least 1".into());
@@ -538,6 +552,7 @@ pub fn fuzz(args: Args) -> Result<String, String> {
 
     let mut cfg = FuzzConfig::new(start, seeds);
     cfg.wall_budget = budget;
+    cfg.shards = shards;
     let summary = fuzz_search(&cfg);
 
     let mut out = format!(
@@ -740,6 +755,26 @@ mod tests {
         .unwrap();
         assert!(out.contains("central"));
         assert!(out.contains("zero-wait"));
+    }
+
+    #[test]
+    fn simulate_sharded_output_matches_sequential() {
+        let base = [
+            "--nodes",
+            "40",
+            "--jobs",
+            "120",
+            "--interarrival",
+            "60",
+            "--scheduler",
+            "het",
+        ];
+        let seq = simulate(a(&base)).unwrap();
+        let mut sharded_args: Vec<&str> = base.to_vec();
+        sharded_args.extend(["--shards", "4"]);
+        let sharded = simulate(a(&sharded_args)).unwrap();
+        assert_eq!(seq, sharded, "sharded engine must be bit-identical");
+        assert!(simulate(a(&["--shards", "0"])).is_err());
     }
 
     #[test]

@@ -14,14 +14,15 @@
 //! deterministic, so results do not depend on scheduling).
 
 use crate::can::{
-    run_chaos, run_churn, run_schedule, uniform_coords, CanSim, ChaosConfig, ChaosReport,
+    run_chaos, run_churn, run_schedule_sharded, uniform_coords, CanSim, ChaosConfig, ChaosReport,
     ChurnConfig, ChurnReport, DetectorConfig, DetectorMode, HeartbeatScheme, ProtocolConfig,
     ScheduleReport,
 };
 use crate::scenarios::ScenarioSpec;
 use crate::sched::{
-    run_load_balance, run_load_balance_chaos, run_load_balance_overload, CrashChaosConfig,
-    OverloadConfig, RecoveryStats, SchedulerChoice, SimResult,
+    run_load_balance, run_load_balance_chaos_sharded, run_load_balance_overload,
+    run_load_balance_sharded, CrashChaosConfig, OverloadConfig, RecoveryStats, SchedulerChoice,
+    SimResult,
 };
 use crate::simcore::fault::LinkDegrade;
 use crate::simcore::SimRng;
@@ -624,6 +625,13 @@ pub struct CrashRecoveryCell {
 /// fail-stop crashes, with the job-conservation ledger armed (the run
 /// panics if any job is lost or double-completed).
 pub fn crash_recovery_suite(scale: Scale) -> Vec<CrashRecoveryCell> {
+    crash_recovery_suite_sharded(scale, 1)
+}
+
+/// [`crash_recovery_suite`] on the sharded engine (the `chaos`
+/// binary's `--shards` flag lands here). Bit-identical to the
+/// sequential suite for every shard count.
+pub fn crash_recovery_suite_sharded(scale: Scale, shards: usize) -> Vec<CrashRecoveryCell> {
     let scenario = scenario_for(scale);
     let mean_interval = match scale {
         Scale::Paper => 600.0,
@@ -632,8 +640,8 @@ pub fn crash_recovery_suite(scale: Scale) -> Vec<CrashRecoveryCell> {
     let chaos = CrashChaosConfig::new(mean_interval);
     let configs: Vec<SchedulerChoice> = SchedulerChoice::ALL.to_vec();
     parallel_map(configs, move |choice| {
-        let calm = run_load_balance(&scenario, choice);
-        let stormy = run_load_balance_chaos(&scenario, choice, &chaos);
+        let calm = run_load_balance_sharded(&scenario, choice, shards);
+        let stormy = run_load_balance_chaos_sharded(&scenario, choice, &chaos, shards);
         let stats = stormy
             .recovery
             .clone()
@@ -1010,6 +1018,19 @@ pub fn scenario_suite_over(
     seed: u64,
     specs: &[&'static ScenarioSpec],
 ) -> Vec<ScenarioCell> {
+    scenario_suite_over_sharded(scale, seed, specs, 1)
+}
+
+/// [`scenario_suite_over`] on the sharded engine (the `scenarios`
+/// binary's `--shards` flag lands here): each schedule runs with its
+/// DST oracle plane partitioned into `shards` zone-region shards.
+/// Bit-identical to the sequential suite for every shard count.
+pub fn scenario_suite_over_sharded(
+    scale: Scale,
+    seed: u64,
+    specs: &[&'static ScenarioSpec],
+    shards: usize,
+) -> Vec<ScenarioCell> {
     let (nodes, repeats) = match scale {
         Scale::Paper => (48, 3u64),
         Scale::Quick => (32, 2u64),
@@ -1024,7 +1045,7 @@ pub fn scenario_suite_over(
             }
         }
     }
-    let reports = parallel_map(configs, |s| run_schedule(&s));
+    let reports = parallel_map(configs, move |s| run_schedule_sharded(&s, shards));
     let per_arm = repeats as usize;
     let per_cell = HeartbeatScheme::ALL.len() * per_arm;
     specs

@@ -19,6 +19,8 @@
 //! `central` baseline (the other being neighborhood-local visibility).
 
 use crate::grid::StaticGrid;
+use crate::sharding::GridShards;
+use pgrid_simcore::shard::{parallel_items, run_lanes};
 use pgrid_types::{CeType, NodeId};
 
 /// Aggregated load of a CAN region for one CE type (or pooled).
@@ -79,6 +81,113 @@ fn bits_eq(a: &AiEntry, b: &AiEntry) -> bool {
         && a.required_cores.to_bits() == b.required_cores.to_bits()
 }
 
+/// Generation-stamped "needs recompute" flags for one dimension's
+/// propagation pass: node `i` needs a recompute in the current pass iff
+/// `needs[i] == gen`. Stamps replace per-pass clearing; each dimension
+/// owns its own instance so the passes can run on separate threads.
+#[derive(Debug, Default, Clone)]
+struct DimScratch {
+    needs: Vec<u32>,
+    gen: u32,
+}
+
+impl DimScratch {
+    /// Starts a new pass over `n` nodes, returning the pass generation.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.needs.len() != n {
+            self.needs = vec![0; n];
+            self.gen = 0;
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.needs.fill(0);
+            self.gen = 1;
+        }
+        self.gen
+    }
+}
+
+/// One dimension's incremental inward-propagation pass over its
+/// contiguous `[node][slot]` chunk of the table.
+///
+/// An entry depends only on the locals and beyond-entries of its
+/// outward face neighbors, so the set of entries that *can* change is
+/// exactly the inward closure of the changed locals. Seed the inward
+/// neighbors of every changed local, then walk the precomputed
+/// descending-`hi` order (outward regions first — each node's outward
+/// neighbors have strictly larger `hi`, hence are already final). A
+/// node whose recomputed entries all match the old bits stops the
+/// propagation front. Dimensions never read each other's chunks, which
+/// is what lets the sharded engine run them in parallel with
+/// bit-identical results.
+#[allow(clippy::too_many_arguments)]
+fn propagate_dim(
+    grid: &StaticGrid,
+    d: usize,
+    order_d: &[NodeId],
+    locals: &[AiEntry],
+    changed_locals: &[NodeId],
+    slots: usize,
+    chunk: &mut [AiEntry],
+    scr: &mut DimScratch,
+) {
+    let n = chunk.len() / slots.max(1);
+    let gen = scr.begin(n);
+    for &m in changed_locals {
+        for &p in grid.face_neighbors(m, d, -1) {
+            scr.needs[p.idx()] = gen;
+        }
+    }
+    for &node in order_d {
+        if scr.needs[node.idx()] != gen {
+            continue;
+        }
+        let mut changed = false;
+        for s in 0..slots {
+            // Identical absorb sequence to the scratch build.
+            let mut acc = AiEntry::default();
+            for &m in grid.outward_neighbors(node, d) {
+                acc.absorb(&locals[m.idx() * slots + s]);
+                let beyond = chunk[m.idx() * slots + s];
+                acc.absorb(&beyond);
+            }
+            let i = node.idx() * slots + s;
+            if !bits_eq(&acc, &chunk[i]) {
+                chunk[i] = acc;
+                changed = true;
+            }
+        }
+        if changed {
+            for &p in grid.face_neighbors(node, d, -1) {
+                scr.needs[p.idx()] = gen;
+            }
+        }
+    }
+}
+
+/// One dimension's from-scratch build over its `[node][slot]` chunk:
+/// every entry recomputed in descending-`hi` order, ignoring old bits.
+fn build_dim(
+    grid: &StaticGrid,
+    d: usize,
+    order_d: &[NodeId],
+    locals: &[AiEntry],
+    slots: usize,
+    chunk: &mut [AiEntry],
+) {
+    for &node in order_d {
+        for s in 0..slots {
+            let mut acc = AiEntry::default();
+            for &m in grid.outward_neighbors(node, d) {
+                acc.absorb(&locals[m.idx() * slots + s]);
+                let beyond = chunk[m.idx() * slots + s];
+                acc.absorb(&beyond);
+            }
+            chunk[node.idx() * slots + s] = acc;
+        }
+    }
+}
+
 /// How the AI table groups computing elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AiGrouping {
@@ -95,7 +204,10 @@ pub struct AiTable {
     ce_types: Vec<CeType>,
     dims: usize,
     n: usize,
-    /// `[node][dim][ce_idx]` flattened.
+    /// `[dim][node][ce_idx]` flattened — dimension-major so the
+    /// per-dimension inward-propagation passes (which are independent
+    /// across dimensions) can hand each dimension its own contiguous
+    /// `chunks_mut` slice and run in parallel.
     data: Vec<AiEntry>,
     /// Per-node local loads as of the last refresh (`[node][ce_idx]`
     /// flattened). The incremental path recomputes only dirty nodes'
@@ -108,11 +220,10 @@ pub struct AiTable {
     synced_clock: Option<u64>,
     /// Scratch: nodes whose local entry changed in the current refresh.
     changed_locals: Vec<NodeId>,
-    /// Scratch: generation-stamped "needs recompute" flags; node `i`
-    /// needs a recompute in the current (refresh, dimension) pass iff
-    /// `needs_gen[i] == cur_gen`. Stamps replace per-pass clearing.
-    needs_gen: Vec<u32>,
-    cur_gen: u32,
+    /// Per-dimension propagation scratch (generation-stamped "needs
+    /// recompute" flags). One instance per dimension so the dimension
+    /// passes can run on separate threads without sharing state.
+    dim_scratch: Vec<DimScratch>,
     /// Queue depth at which a node's local entry flags the pressure
     /// bit; `None` (default) disarms the congestion signal entirely.
     pressure_bound: Option<usize>,
@@ -154,8 +265,7 @@ impl AiTable {
             order,
             synced_clock: None,
             changed_locals: Vec::new(),
-            needs_gen: vec![0; n],
-            cur_gen: 0,
+            dim_scratch: Vec::new(),
             pressure_bound: None,
             refreshed_at: 0.0,
         }
@@ -184,7 +294,7 @@ impl AiTable {
 
     #[inline]
     fn idx(&self, node: NodeId, dim: usize, ce_idx: usize) -> usize {
-        (node.idx() * self.dims + dim) * self.slots() + ce_idx
+        (dim * self.n + node.idx()) * self.slots() + ce_idx
     }
 
     /// Slot index of a CE type; `None` when the layout does not carry
@@ -291,54 +401,115 @@ impl AiTable {
                 changed_locals.push(id);
             }
         }
-        // Phase 2, per dimension: an entry depends only on the locals
-        // and beyond-entries of its outward face neighbors, so the set
-        // of entries that *can* change is exactly the inward closure of
-        // the changed locals. Seed the inward neighbors of every
-        // changed local, then walk the precomputed descending-`hi`
-        // order (outward regions first — each node's outward neighbors
-        // have strictly larger `hi`, hence are already final). A node
-        // whose recomputed entries all match the old bits stops the
-        // propagation front.
-        for d in 0..self.dims {
-            self.cur_gen = self.cur_gen.wrapping_add(1);
-            if self.cur_gen == 0 {
-                self.needs_gen.fill(0);
-                self.cur_gen = 1;
-            }
-            let gen = self.cur_gen;
-            for &m in &changed_locals {
-                for &p in grid.face_neighbors(m, d, -1) {
-                    self.needs_gen[p.idx()] = gen;
-                }
-            }
-            for oi in 0..self.order[d].len() {
-                let node = self.order[d][oi];
-                if self.needs_gen[node.idx()] != gen {
-                    continue;
-                }
-                let mut changed = false;
-                for s in 0..slots {
-                    // Identical absorb sequence to the scratch build.
-                    let mut acc = AiEntry::default();
-                    for &m in grid.outward_neighbors(node, d) {
-                        acc.absorb(&locals[m.idx() * slots + s]);
-                        let beyond = self.data[self.idx(m, d, s)];
-                        acc.absorb(&beyond);
+        // Phase 2: one independent [`propagate_dim`] pass per
+        // dimension (see its docs for the propagation-front argument).
+        let span = self.n * slots;
+        let mut scratch = std::mem::take(&mut self.dim_scratch);
+        scratch.resize_with(self.dims, DimScratch::default);
+        for ((d, chunk), scr) in self
+            .data
+            .chunks_mut(span)
+            .enumerate()
+            .zip(scratch.iter_mut())
+        {
+            propagate_dim(
+                grid,
+                d,
+                &self.order[d],
+                &locals,
+                &changed_locals,
+                slots,
+                chunk,
+                scr,
+            );
+        }
+        self.dim_scratch = scratch;
+        self.locals = locals;
+        self.changed_locals = changed_locals;
+        self.synced_clock = Some(clock);
+    }
+
+    /// [`AiTable::refresh`] with the per-dimension propagation passes
+    /// and the dirty-local recompute fanned out across shard threads.
+    ///
+    /// Bit-identical to the sequential path by construction: phase 1
+    /// computes each dirty node's local row independently (pure
+    /// function of that node's runtime) and merges the changed set in
+    /// ascending node order, and phase 2's dimension passes never read
+    /// each other's chunks, so thread assignment cannot reorder any
+    /// arithmetic. With one shard this *is* the sequential path.
+    pub fn refresh_threaded(&mut self, grid: &StaticGrid, now: f64, shards: &GridShards) {
+        if shards.shards() <= 1 {
+            return self.refresh(grid, now);
+        }
+        let clock = grid.load_clock();
+        let Some(synced) = self.synced_clock else {
+            self.refresh_scratch_threaded(grid, now, shards);
+            return;
+        };
+        self.refreshed_at = now;
+        if clock == synced {
+            return;
+        }
+        let slots = self.slots();
+        let threads = shards.shards();
+        // Phase 1: dirty locals, partitioned by zone-region shard.
+        let mut changed_locals = std::mem::take(&mut self.changed_locals);
+        changed_locals.clear();
+        let mut locals = std::mem::take(&mut self.locals);
+        {
+            let this = &*self;
+            let locals_ref = &locals;
+            let members = &shards.assignment.members;
+            let per_shard = run_lanes(threads, members.len(), |sh| {
+                let mut out: Vec<(u32, Vec<AiEntry>)> = Vec::new();
+                for &i in &members[sh] {
+                    let id = NodeId(i as u32);
+                    if grid.node_load_clock(id) <= synced {
+                        continue;
                     }
-                    let i = self.idx(node, d, s);
-                    if !bits_eq(&acc, &self.data[i]) {
-                        self.data[i] = acc;
-                        changed = true;
+                    let mut row = Vec::with_capacity(slots);
+                    let mut changed = false;
+                    for s in 0..slots {
+                        let e = this.local(grid, id, s);
+                        if !bits_eq(&e, &locals_ref[i * slots + s]) {
+                            changed = true;
+                        }
+                        row.push(e);
+                    }
+                    if changed {
+                        out.push((i as u32, row));
                     }
                 }
-                if changed {
-                    for &p in grid.face_neighbors(node, d, -1) {
-                        self.needs_gen[p.idx()] = gen;
-                    }
+                out
+            });
+            // Canonical merge: ascending node id, exactly the order the
+            // sequential phase 1 discovers changed locals in.
+            let mut flat: Vec<(u32, Vec<AiEntry>)> = per_shard.into_iter().flatten().collect();
+            flat.sort_unstable_by_key(|(i, _)| *i);
+            for (i, row) in flat {
+                let i = i as usize;
+                for (s, e) in row.into_iter().enumerate() {
+                    locals[i * slots + s] = e;
                 }
+                changed_locals.push(NodeId(i as u32));
             }
         }
+        // Phase 2: dimension passes on shard threads, one chunk each.
+        let span = self.n * slots;
+        let mut scratch = std::mem::take(&mut self.dim_scratch);
+        scratch.resize_with(self.dims, DimScratch::default);
+        {
+            let order = &self.order;
+            let locals_ref = &locals;
+            let changed = &changed_locals;
+            let items: Vec<(&mut [AiEntry], &mut DimScratch)> =
+                self.data.chunks_mut(span).zip(scratch.iter_mut()).collect();
+            parallel_items(threads.min(self.dims), items, |d, (chunk, scr)| {
+                propagate_dim(grid, d, &order[d], locals_ref, changed, slots, chunk, scr);
+            });
+        }
+        self.dim_scratch = scratch;
         self.locals = locals;
         self.changed_locals = changed_locals;
         self.synced_clock = Some(clock);
@@ -358,20 +529,57 @@ impl AiTable {
                 locals[i * slots + s] = self.local(grid, NodeId(i as u32), s);
             }
         }
-        for d in 0..self.dims {
-            for oi in 0..self.order[d].len() {
-                let node = self.order[d][oi];
-                for s in 0..slots {
-                    let mut acc = AiEntry::default();
-                    for &m in grid.outward_neighbors(node, d) {
-                        acc.absorb(&locals[m.idx() * slots + s]);
-                        let beyond = self.data[self.idx(m, d, s)];
-                        acc.absorb(&beyond);
+        let span = self.n * slots;
+        for (d, chunk) in self.data.chunks_mut(span).enumerate() {
+            build_dim(grid, d, &self.order[d], &locals, slots, chunk);
+        }
+        self.locals = locals;
+        self.synced_clock = Some(grid.load_clock());
+        self.refreshed_at = now;
+    }
+
+    /// [`AiTable::refresh_scratch`] with the local-row sweep and the
+    /// per-dimension builds fanned out across shard threads; results
+    /// are bit-identical for the same reasons as
+    /// [`AiTable::refresh_threaded`].
+    pub fn refresh_scratch_threaded(&mut self, grid: &StaticGrid, now: f64, shards: &GridShards) {
+        if shards.shards() <= 1 {
+            return self.refresh_scratch(grid, now);
+        }
+        let slots = self.slots();
+        let threads = shards.shards();
+        let mut locals = std::mem::take(&mut self.locals);
+        {
+            let this = &*self;
+            let members = &shards.assignment.members;
+            let per_shard = run_lanes(threads, members.len(), |sh| {
+                let mut out = Vec::with_capacity(members[sh].len());
+                for &i in &members[sh] {
+                    let mut row = Vec::with_capacity(slots);
+                    for s in 0..slots {
+                        row.push(this.local(grid, NodeId(i as u32), s));
                     }
-                    let i = self.idx(node, d, s);
-                    self.data[i] = acc;
+                    out.push((i as u32, row));
+                }
+                out
+            });
+            for shard_rows in per_shard {
+                for (i, row) in shard_rows {
+                    let i = i as usize;
+                    for (s, e) in row.into_iter().enumerate() {
+                        locals[i * slots + s] = e;
+                    }
                 }
             }
+        }
+        let span = self.n * slots;
+        {
+            let order = &self.order;
+            let locals_ref = &locals;
+            let items: Vec<&mut [AiEntry]> = self.data.chunks_mut(span).collect();
+            parallel_items(threads.min(self.dims), items, |d, chunk| {
+                build_dim(grid, d, &order[d], locals_ref, slots, chunk);
+            });
         }
         self.locals = locals;
         self.synced_clock = Some(grid.load_clock());
@@ -906,6 +1114,77 @@ mod tests {
             was_pressured || g.runtime(target).queued_count() == 0,
             "setup sanity: the target either queued up or could not"
         );
+    }
+
+    /// The threaded refresh must be bit-identical to the sequential
+    /// one under churn, for every shard count the equivalence suite
+    /// pins — including the from-scratch rebuild forced by arming the
+    /// pressure bound mid-run.
+    #[test]
+    fn threaded_refresh_matches_sequential_bit_for_bit() {
+        use crate::sharding::GridShards;
+        use pgrid_types::{CeRequirement, CeType as Ct, JobId, JobSpec};
+        for shards in [2usize, 4, 8] {
+            let mut g = grid(90, 11);
+            let gs = GridShards::build(&g, shards);
+            let mut seq = AiTable::new(&g, AiGrouping::PerCe);
+            let mut par = AiTable::new(&g, AiGrouping::PerCe);
+            let mut rng = pgrid_simcore::SimRng::seed_from_u64(123);
+            let mut next_id = 0u32;
+            for round in 1..=25u64 {
+                for _ in 0..4 {
+                    let target = NodeId(rng.below(90) as u32);
+                    match rng.below(5) {
+                        0 => {
+                            g.evict_node(target);
+                        }
+                        1 => g.restore_node(target),
+                        _ => {
+                            let job = JobSpec::new(
+                                JobId(next_id),
+                                vec![CeRequirement {
+                                    ce_type: Ct::CPU,
+                                    min_cores: Some(1),
+                                    ..Default::default()
+                                }],
+                                None,
+                                60.0,
+                            );
+                            next_id += 1;
+                            if job.satisfied_by(&g.runtime(target).spec) {
+                                g.with_runtime_mut(target, |rt| {
+                                    rt.enqueue(job, round as f64);
+                                    rt.start_ready();
+                                });
+                            }
+                        }
+                    }
+                }
+                if round == 12 {
+                    // Force the from-scratch rebuild path mid-run.
+                    seq.set_pressure_bound(Some(2));
+                    par.set_pressure_bound(Some(2));
+                }
+                let now = round as f64;
+                seq.refresh(&g, now);
+                par.refresh_threaded(&g, now, &gs);
+                assert_eq!(seq.synced_clock(), par.synced_clock());
+                for i in 0..90u32 {
+                    for d in 0..11 {
+                        for s in 0..seq.slot_types().len() {
+                            let a = seq.entry_at(NodeId(i), d, s);
+                            let b = par.entry_at(NodeId(i), d, s);
+                            assert!(
+                                super::bits_eq(a, b),
+                                "shards {shards} round {round} node {i} dim {d} slot {s}: \
+                                 {a:?} != {b:?}"
+                            );
+                        }
+                    }
+                    assert_eq!(seq.local_bits(NodeId(i)), par.local_bits(NodeId(i)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub struct StaticGrid {
     adj: Adjacency,
     coords: Vec<Point>,
     runtimes: Vec<NodeRuntime>,
+    /// Per-node zone copies in id order. The split tree stores zones
+    /// behind a hash lookup; routing touches a zone per neighbor per
+    /// hop, so steady-state reads go through this flat cache instead.
+    /// Zones never change after `build`, so the cache is never stale.
+    zones: Vec<pgrid_can::geom::Zone>,
+    /// The same bounds flattened node-major — `[lo[0..dims],
+    /// hi[0..dims]]` per node — so the per-neighbor distance test in
+    /// greedy routing reads one contiguous run instead of chasing two
+    /// boxed slices per zone.
+    zone_bounds: Vec<f64>,
     /// CSR offsets into `nbr_arena`, length `len() + 1`.
     nbr_off: Vec<u32>,
     /// All neighbor lists concatenated, each sorted ascending.
@@ -156,6 +166,14 @@ impl StaticGrid {
             }
         }
         let available: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let zones: Vec<pgrid_can::geom::Zone> = (0..n as u32)
+            .map(|i| tree.zone(NodeId(i)).clone())
+            .collect();
+        let mut zone_bounds: Vec<f64> = Vec::with_capacity(n * dims * 2);
+        for z in &zones {
+            zone_bounds.extend((0..dims).map(|d| z.lo(d)));
+            zone_bounds.extend((0..dims).map(|d| z.hi(d)));
+        }
 
         // Per-CE availability lists, ranked once at build time (specs
         // are immutable, so the ordering never needs re-sorting).
@@ -181,6 +199,8 @@ impl StaticGrid {
             tree,
             adj,
             coords,
+            zones,
+            zone_bounds,
             nbr_off,
             nbr_arena,
             face_off,
@@ -364,7 +384,7 @@ impl StaticGrid {
 
     /// The zone of a node.
     pub fn zone(&self, id: NodeId) -> &pgrid_can::geom::Zone {
-        self.tree.zone(id)
+        &self.zones[id.idx()]
     }
 
     /// Owner of a point.
@@ -388,6 +408,14 @@ impl StaticGrid {
         let reference = Adjacency::recompute(self.tree.members(), |n| self.tree.zone(n));
         assert!(self.adj.same_as(&reference), "adjacency diverged");
         assert_eq!(self.tree.len(), self.runtimes.len());
+        for i in 0..self.len() {
+            let id = NodeId(i as u32);
+            assert_eq!(
+                &self.zones[i],
+                self.tree.zone(id),
+                "zone cache diverged for {id}"
+            );
+        }
         // CSR caches must equal a from-scratch recompute of the
         // adjacency and face relations.
         let dims = self.layout.dims();
@@ -459,10 +487,31 @@ impl RoutingView for StaticGrid {
         self.neighbors(id).iter().copied()
     }
     fn zone_distance(&self, id: NodeId, p: &Point) -> f64 {
-        self.tree.zone(id).distance_to(p)
+        // Same arithmetic (and evaluation order) as
+        // `Zone::distance_to`, reading the flat bounds cache.
+        let dims = self.layout.dims();
+        let base = id.idx() * dims * 2;
+        let lo = &self.zone_bounds[base..base + dims];
+        let hi = &self.zone_bounds[base + dims..base + 2 * dims];
+        let mut sum = 0.0;
+        for d in 0..dims {
+            let gap = if p[d] < lo[d] {
+                lo[d] - p[d]
+            } else if p[d] >= hi[d] {
+                p[d] - hi[d]
+            } else {
+                0.0
+            };
+            sum += gap * gap;
+        }
+        sum.sqrt()
     }
     fn zone_contains(&self, id: NodeId, p: &Point) -> bool {
-        self.tree.zone(id).contains(p)
+        let dims = self.layout.dims();
+        let base = id.idx() * dims * 2;
+        let lo = &self.zone_bounds[base..base + dims];
+        let hi = &self.zone_bounds[base + dims..base + 2 * dims];
+        (0..dims).all(|d| lo[d] <= p[d] && p[d] < hi[d])
     }
 }
 

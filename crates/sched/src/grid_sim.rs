@@ -1,13 +1,38 @@
 //! The end-to-end load-balancing simulation behind Figures 5 and 6:
 //! Poisson job arrivals → matchmaking → FIFO queues → execution scaled
 //! by the dominant CE's clock → per-job wait times.
+//!
+//! # Sharded deterministic-parallel engine
+//!
+//! The event loop runs on a [`ShardedQueue`]: one *coordinator* lane
+//! (lane 0) for global events — arrivals, aggregate refreshes,
+//! evictions, crashes, loss detections, which read or mutate
+//! grid-global state and shared RNG streams — and one lane per zone
+//! shard for node-local events (job finishes and node restores, whose
+//! `start_ready` chains never leave their node). Lanes share a single
+//! sequence counter, so the K-way merge pops events in *exactly* the
+//! order a single queue would: the shard count changes where events
+//! are stored and where barrier-phase work runs, never the trajectory.
+//! That is the bit-identical equivalence the cross-shard test suite
+//! pins (`tests/shard_equivalence.rs`).
+//!
+//! Synchronization is conservative with the aggregate-refresh period
+//! as the time window: between refresh barriers the merged loop applies
+//! events in canonical `(time, sequence)` order, and at each barrier
+//! the expensive fan-out phases — the [`AiTable`](crate::AiTable)
+//! recompute and the overload depth scan — are partitioned by zone
+//! region and executed on shard threads, each phase merging its
+//! results in a canonical order (ascending node id / shard id) so
+//! thread scheduling cannot reorder any arithmetic (`DESIGN.md` §15).
 
 use crate::grid::StaticGrid;
 use crate::matchmakers::{
     CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushParams, PushingMatchmaker,
 };
+use crate::sharding::GridShards;
 use pgrid_metrics::{Cdf, Summary};
-use pgrid_simcore::{EventQueue, SimRng};
+use pgrid_simcore::shard::{run_lanes, ShardedQueue};
+use pgrid_simcore::SimRng;
 use pgrid_types::{DimensionLayout, JobId, JobSpec, NodeId};
 use pgrid_workload::nodegen::generate_nodes;
 use pgrid_workload::profiles::{EvictionConfig, LoadBalanceScenario};
@@ -140,6 +165,17 @@ impl SimResult {
 /// Runs one complete load-balancing simulation for a scenario and
 /// scheduler, draining every job to completion.
 pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice) -> SimResult {
+    run_load_balance_sharded(scenario, choice, 1)
+}
+
+/// [`run_load_balance`] on the sharded engine with `shards` zone
+/// shards. Bit-identical to the sequential run for every shard count;
+/// `shards <= 1` *is* the sequential run.
+pub fn run_load_balance_sharded(
+    scenario: &LoadBalanceScenario,
+    choice: SchedulerChoice,
+    shards: usize,
+) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
     // Generate the population once: the job stream borrows it for
     // satisfiability filtering, then hands it back for the grid build —
@@ -172,6 +208,7 @@ pub fn run_load_balance(scenario: &LoadBalanceScenario, choice: SchedulerChoice)
         scenario.eviction.as_ref(),
         None,
         None,
+        shards,
     )
 }
 
@@ -185,6 +222,17 @@ pub fn run_load_balance_chaos(
     scenario: &LoadBalanceScenario,
     choice: SchedulerChoice,
     chaos: &CrashChaosConfig,
+) -> SimResult {
+    run_load_balance_chaos_sharded(scenario, choice, chaos, 1)
+}
+
+/// [`run_load_balance_chaos`] on the sharded engine; see
+/// [`run_load_balance_sharded`] for the equivalence contract.
+pub fn run_load_balance_chaos_sharded(
+    scenario: &LoadBalanceScenario,
+    choice: SchedulerChoice,
+    chaos: &CrashChaosConfig,
+    shards: usize,
 ) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
@@ -213,6 +261,7 @@ pub fn run_load_balance_chaos(
         scenario.eviction.as_ref(),
         Some(chaos),
         None,
+        shards,
     )
 }
 
@@ -227,6 +276,18 @@ pub fn run_load_balance_overload(
     choice: SchedulerChoice,
     chaos: Option<&CrashChaosConfig>,
     overload: &OverloadConfig,
+) -> SimResult {
+    run_load_balance_overload_sharded(scenario, choice, chaos, overload, 1)
+}
+
+/// [`run_load_balance_overload`] on the sharded engine; see
+/// [`run_load_balance_sharded`] for the equivalence contract.
+pub fn run_load_balance_overload_sharded(
+    scenario: &LoadBalanceScenario,
+    choice: SchedulerChoice,
+    chaos: Option<&CrashChaosConfig>,
+    overload: &OverloadConfig,
+    shards: usize,
 ) -> SimResult {
     let layout = DimensionLayout::with_dims(scenario.dims);
     let population = generate_nodes(&scenario.node_gen, scenario.nodes, scenario.seed);
@@ -255,6 +316,7 @@ pub fn run_load_balance_overload(
         scenario.eviction.as_ref(),
         chaos,
         Some(overload),
+        shards,
     )
 }
 
@@ -286,6 +348,7 @@ pub fn run_load_balance_ablated(
         scenario.eviction.as_ref(),
         None,
         None,
+        1,
     )
 }
 
@@ -301,6 +364,21 @@ pub fn run_trace(
     seed: u64,
     choice: SchedulerChoice,
 ) -> SimResult {
+    run_trace_sharded(grid, matchmaker, jobs, ai_refresh_period, seed, choice, 1)
+}
+
+/// [`run_trace`] on the sharded engine; see
+/// [`run_load_balance_sharded`] for the equivalence contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trace_sharded(
+    grid: &mut StaticGrid,
+    matchmaker: &mut dyn Matchmaker,
+    jobs: &[(f64, JobSpec)],
+    ai_refresh_period: f64,
+    seed: u64,
+    choice: SchedulerChoice,
+    shards: usize,
+) -> SimResult {
     run_with(
         grid,
         matchmaker,
@@ -311,6 +389,7 @@ pub fn run_trace(
         None,
         None,
         None,
+        shards,
     )
 }
 
@@ -325,10 +404,18 @@ fn run_with(
     eviction: Option<&EvictionConfig>,
     chaos: Option<&CrashChaosConfig>,
     overload: Option<&OverloadConfig>,
+    shards: usize,
 ) -> SimResult {
     use std::collections::HashMap;
     let mut rng = SimRng::sub_stream(seed, 0x5C4ED);
-    let mut queue: EventQueue<Ev> = EventQueue::new();
+    // Lane 0 is the coordinator (global events); lane 1 + s holds the
+    // node-local events of zone shard s. The shared sequence counter
+    // makes the K-way merge order identical to a single queue, so the
+    // shard count never changes the trajectory (module docs).
+    let gs: Option<GridShards> = (shards > 1).then(|| GridShards::build(grid, shards));
+    let mut queue: ShardedQueue<Ev> = ShardedQueue::new(1 + shards.max(1));
+    let lane_of = |node: NodeId| -> usize { 1 + gs.as_ref().map_or(0, |g| g.lane_of(node)) };
+    const COORD: usize = 0;
     let index_of: HashMap<JobId, usize> = jobs
         .iter()
         .enumerate()
@@ -378,22 +465,25 @@ fn run_with(
         matchmaker.set_pressure_bound(o.queue_slots);
     }
 
-    matchmaker.refresh(grid, 0.0);
-    for (i, (t, _)) in jobs.iter().enumerate() {
-        queue.schedule(*t, Ev::Arrival(i as u32));
+    match &gs {
+        Some(g) => matchmaker.refresh_threaded(grid, 0.0, g),
+        None => matchmaker.refresh(grid, 0.0),
     }
-    queue.schedule(ai_refresh_period, Ev::AiRefresh);
+    for (i, (t, _)) in jobs.iter().enumerate() {
+        queue.schedule(COORD, *t, Ev::Arrival(i as u32));
+    }
+    queue.schedule(COORD, ai_refresh_period, Ev::AiRefresh);
     if let Some(ev) = eviction {
-        queue.schedule(evict_rng.exponential(ev.mean_interval), Ev::Evict);
+        queue.schedule(COORD, evict_rng.exponential(ev.mean_interval), Ev::Evict);
     }
     if let Some(ch) = chaos {
-        queue.schedule(crash_rng.exponential(ch.mean_interval), Ev::Crash);
+        queue.schedule(COORD, crash_rng.exponential(ch.mean_interval), Ev::Crash);
     }
 
     let mut remaining = jobs.len();
     let mut lost = 0u64;
     while remaining > 0 {
-        let Some((now, ev)) = queue.pop() else {
+        let Some((now, _lane, ev)) = queue.pop() else {
             // The event queue drained with jobs outstanding: nothing
             // left can ever start them. Record them as lost first-class
             // report fields instead of aborting the harness (overload
@@ -426,16 +516,39 @@ fn run_with(
                         }
                     }
                 }
-                matchmaker.refresh(grid, now);
+                match &gs {
+                    Some(g) => matchmaker.refresh_threaded(grid, now, g),
+                    None => matchmaker.refresh(grid, now),
+                }
                 if armed.is_some() {
-                    let depth = (0..grid.len())
-                        .map(|i| grid.runtime(NodeId(i as u32)).queued_count())
-                        .max()
-                        .unwrap_or(0);
+                    // Barrier-phase depth scan: per-shard maxima on
+                    // shard threads, reduced in shard order (max is
+                    // order-insensitive, so this is trivially
+                    // canonical).
+                    let gref = &*grid;
+                    let depth = match &gs {
+                        Some(g) => {
+                            let members = &g.assignment.members;
+                            run_lanes(g.shards(), members.len(), |s| {
+                                members[s]
+                                    .iter()
+                                    .map(|&i| gref.runtime(NodeId(i as u32)).queued_count())
+                                    .max()
+                                    .unwrap_or(0)
+                            })
+                            .into_iter()
+                            .max()
+                            .unwrap_or(0)
+                        }
+                        None => (0..gref.len())
+                            .map(|i| gref.runtime(NodeId(i as u32)).queued_count())
+                            .max()
+                            .unwrap_or(0),
+                    };
                     ov_stats.max_boundary_depth = ov_stats.max_boundary_depth.max(depth as u64);
                 }
                 if remaining > 0 {
-                    queue.schedule(now + ai_refresh_period, Ev::AiRefresh);
+                    queue.schedule(COORD, now + ai_refresh_period, Ev::AiRefresh);
                 }
             }
             Ev::Arrival(idx) => {
@@ -464,7 +577,7 @@ fn run_with(
                         if buckets[idx as usize].try_take(now) {
                             // Redirect hint: re-match after the retry
                             // delay, steered by fresher pressure bits.
-                            queue.schedule(now + o.retry_delay, Ev::Arrival(idx));
+                            queue.schedule(COORD, now + o.retry_delay, Ev::Arrival(idx));
                         } else {
                             ov_stats.shed_admission += 1;
                             ledger.fail(idx as usize);
@@ -490,6 +603,7 @@ fn run_with(
                     let dur = started.job.runtime_on(dominant_clock[jidx]);
                     node_busy_seconds[node.idx()] += dur;
                     queue.schedule(
+                        lane_of(node),
                         now + dur,
                         Ev::Finish(node, started.job.id, submit_gen[jidx]),
                     );
@@ -514,6 +628,7 @@ fn run_with(
                     let dur = started.job.runtime_on(dominant_clock[sidx]);
                     node_busy_seconds[node.idx()] += dur;
                     queue.schedule(
+                        lane_of(node),
                         now + dur,
                         Ev::Finish(node, started.job.id, submit_gen[sidx]),
                     );
@@ -533,11 +648,15 @@ fn run_with(
                         let jidx = index_of[&job.id];
                         submit_gen[jidx] += 1; // invalidate pending Finish
                         resubmissions += 1;
-                        queue.schedule(now + ev.resubmit_delay, Ev::Arrival(jidx as u32));
+                        queue.schedule(COORD, now + ev.resubmit_delay, Ev::Arrival(jidx as u32));
                     }
-                    queue.schedule(now + ev.outage, Ev::Restore(victim));
+                    queue.schedule(lane_of(victim), now + ev.outage, Ev::Restore(victim));
                 }
-                queue.schedule(now + evict_rng.exponential(ev.mean_interval), Ev::Evict);
+                queue.schedule(
+                    COORD,
+                    now + evict_rng.exponential(ev.mean_interval),
+                    Ev::Evict,
+                );
             }
             Ev::Restore(node) => {
                 grid.restore_node(node);
@@ -549,6 +668,7 @@ fn run_with(
                     let dur = started.job.runtime_on(dominant_clock[sidx]);
                     node_busy_seconds[node.idx()] += dur;
                     queue.schedule(
+                        lane_of(node),
                         now + dur,
                         Ev::Finish(node, started.job.id, submit_gen[sidx]),
                     );
@@ -581,13 +701,18 @@ fn run_with(
                         let jidx = index_of[&job.id];
                         submit_gen[jidx] += 1; // invalidate pending Finish
                         queue.schedule(
+                            COORD,
                             now + ch.detection_delay(),
                             Ev::DetectLoss(jidx as u32, submit_gen[jidx]),
                         );
                     }
-                    queue.schedule(now + ch.outage, Ev::Restore(victim));
+                    queue.schedule(lane_of(victim), now + ch.outage, Ev::Restore(victim));
                 }
-                queue.schedule(now + crash_rng.exponential(ch.mean_interval), Ev::Crash);
+                queue.schedule(
+                    COORD,
+                    now + crash_rng.exponential(ch.mean_interval),
+                    Ev::Crash,
+                );
             }
             Ev::DetectLoss(idx, gen) => {
                 let ch = chaos.expect("DetectLoss event without config");
@@ -603,7 +728,7 @@ fn run_with(
                     remaining -= 1;
                 } else {
                     rec.requeued += 1;
-                    queue.schedule(now + ch.backoff(attempts[jidx]), Ev::Arrival(idx));
+                    queue.schedule(COORD, now + ch.backoff(attempts[jidx]), Ev::Arrival(idx));
                 }
             }
         }
@@ -975,6 +1100,28 @@ mod tests {
         // can-hom on the same workload.
         let hom = run_load_balance(&s, SchedulerChoice::CanHom);
         assert!(cv < hom.busy_time_cv() * 3.0 + 1.0);
+    }
+
+    /// The headline engine property at unit scale: every shard count
+    /// replays the sequential trajectory bit-for-bit (the full matrix
+    /// lives in `tests/shard_equivalence.rs`).
+    #[test]
+    fn sharded_runs_match_sequential_bit_for_bit() {
+        let s = tiny();
+        let seq = run_load_balance(&s, SchedulerChoice::CanHet);
+        for shards in [1usize, 2, 4, 8] {
+            let sh = run_load_balance_sharded(&s, SchedulerChoice::CanHet, shards);
+            assert_eq!(seq.wait_times, sh.wait_times, "shards={shards}");
+            assert_eq!(seq.makespan, sh.makespan, "shards={shards}");
+            assert_eq!(seq.events_fired, sh.events_fired, "shards={shards}");
+            assert_eq!(seq.placed_nodes, sh.placed_nodes, "shards={shards}");
+            let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+            assert_eq!(
+                bits(&seq.node_busy_seconds),
+                bits(&sh.node_busy_seconds),
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -14,13 +14,15 @@ pub mod matchmakers;
 pub mod node_runtime;
 pub mod overload;
 pub mod recovery;
+pub mod sharding;
 pub mod timeshare;
 
 pub use aggregate::{AiEntry, AiGrouping, AiTable};
 pub use grid::StaticGrid;
 pub use grid_sim::{
-    run_load_balance, run_load_balance_ablated, run_load_balance_chaos, run_load_balance_overload,
-    run_trace, SchedulerChoice, SimResult,
+    run_load_balance, run_load_balance_ablated, run_load_balance_chaos,
+    run_load_balance_chaos_sharded, run_load_balance_overload, run_load_balance_overload_sharded,
+    run_load_balance_sharded, run_trace, run_trace_sharded, SchedulerChoice, SimResult,
 };
 pub use matchmakers::{
     CentralMatchmaker, HetFeatures, Matchmaker, Placement, PushMode, PushParams, PushingMatchmaker,
@@ -30,4 +32,5 @@ pub use overload::{
     bounded_queue_violation, retry_storm_violation, OverloadConfig, OverloadStats, TokenBucket,
 };
 pub use recovery::{CrashChaosConfig, JobLedger, RecoveryStats, SuspicionConfig};
+pub use sharding::GridShards;
 pub use timeshare::{run_time_shared, TimeSharedNode, TsCompletion, TsPolicy, TsResult};

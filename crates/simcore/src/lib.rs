@@ -17,11 +17,18 @@
 //!   [`fault::FaultPlan`]s (crash, rejoin, freeze), all replayable;
 //! * [`dst`] — deterministic-simulation-testing primitives: seeded
 //!   random fault schedules under a [`dst::ScheduleBudget`], a
-//!   replayable text trace format, and a delta-debugging shrinker.
+//!   replayable text trace format, and a delta-debugging shrinker;
+//! * [`shard`] — zone-region sharding for deterministic-parallel
+//!   execution: a hyper-rectangular [`shard::RegionPartition`] of the
+//!   unit torus, a lane-partitioned [`shard::ShardedQueue`] whose
+//!   shared sequence counter makes the K-way merge bit-identical to a
+//!   single queue, and a conservative time-window engine whose
+//!   barriers apply cross-shard messages in canonical
+//!   `(time, shard, sequence)` order.
 //!
-//! Simulations in this workspace are single-threaded and deterministic;
-//! parallelism happens one level up, across independent simulation
-//! configurations.
+//! Simulations in this workspace are deterministic by construction:
+//! single-threaded runs and sharded runs replay the same trajectory
+//! bit-for-bit, which the cross-shard equivalence suite pins.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +37,7 @@ pub mod dst;
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod shard;
 
 pub use dst::{
     DegradeWindow, FaultSchedule, Fnv, OverloadRecord, PartitionWindow, ScheduleBudget,
@@ -40,3 +48,4 @@ pub use fault::{
     ClassFaults, FaultPlan, LinkDegrade, MsgClass, NetworkModel, NodeFault, Partition,
 };
 pub use rng::SimRng;
+pub use shard::{RegionPartition, ShardAssignment, ShardedQueue};

@@ -8,6 +8,7 @@ use p2p_ce_grid::sched::{
     bounded_queue_violation, retry_storm_violation, run_load_balance_overload, AiGrouping, AiTable,
     OverloadConfig, StaticGrid, TokenBucket,
 };
+use p2p_ce_grid::simcore::shard::{canonical_sort, CrossMsg, RegionPartition, ShardAssignment};
 use proptest::prelude::*;
 
 fn unit_point(dims: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -155,6 +156,92 @@ proptest! {
             f64::from(takes) <= f64::from(burst) + refill * now + 1.0,
             "{takes} takes with burst {burst}, refill {refill}, elapsed {now}"
         );
+    }
+
+    /// The zone-region shard partitioner is an exact cover of the unit
+    /// torus: the regions tile `[0,1)^d` (volumes sum to one and every
+    /// point lies in exactly one region, agreeing with `shard_of`), and
+    /// repartitioning after churn never orphans or double-assigns a
+    /// surviving node.
+    #[test]
+    fn region_partition_is_an_exact_cover(
+        dims in 1usize..6,
+        shards in 1usize..17,
+        points in prop::collection::vec(unit_point(5), 1..40),
+        survivors in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let part = RegionPartition::new(dims, shards);
+        let total: f64 = part.regions().iter().map(|r| r.volume()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "regions must tile the torus, got volume {total}");
+        for p in &points {
+            let p = &p[..dims];
+            let owner = part.shard_of(p);
+            let hits = part.regions().iter().filter(|r| r.contains(p)).count();
+            prop_assert_eq!(hits, 1, "point {:?} lies in {} regions", p, hits);
+            prop_assert!(
+                part.regions()[owner].contains(p),
+                "shard_of disagrees with region membership for {:?}", p
+            );
+        }
+        // Churn repartitioning: the node set before and after a crash
+        // wave maps onto the same fixed tiling; both assignments must
+        // place every (surviving) node in exactly one member list,
+        // consistent with lane_of.
+        let coords: Vec<&[f64]> = points.iter().map(|p| &p[..dims]).collect();
+        let alive: Vec<&[f64]> = coords
+            .iter()
+            .zip(&survivors)
+            .filter(|(_, keep)| **keep)
+            .map(|(c, _)| *c)
+            .collect();
+        for set in [&coords[..], &alive[..]] {
+            let asg = ShardAssignment::from_fn(shards, set.len(), |i| part.shard_of(set[i]));
+            let mut seen = vec![0usize; set.len()];
+            for (s, members) in asg.members.iter().enumerate() {
+                for &i in members {
+                    seen[i] += 1;
+                    prop_assert_eq!(asg.lane_of[i], s, "member list and lane_of disagree");
+                }
+            }
+            prop_assert!(
+                seen.iter().all(|&c| c == 1),
+                "a node was orphaned or double-assigned: {:?}", seen
+            );
+        }
+    }
+
+    /// Window-barrier delivery is schedule-independent: whatever order
+    /// cross-shard messages arrive in at a barrier (any permutation of
+    /// the lane drain order), the canonical `(time, src lane, src seq)`
+    /// sort applies them in the same order, bit for bit.
+    #[test]
+    fn barrier_canonical_order_is_permutation_invariant(
+        raw in prop::collection::vec((0u32..200, 0usize..6, 0usize..6, 0u32..1_000_000), 1..80),
+        shuffle_seed in 0u64..10_000,
+    ) {
+        // Emit messages exactly as lanes do: the sequence number is
+        // unique per source lane, so the canonical key is total.
+        let mut next_seq = [0u64; 6];
+        let mut msgs: Vec<CrossMsg<u32>> = raw
+            .iter()
+            .map(|&(t, src, dst, event)| {
+                let src_seq = next_seq[src];
+                next_seq[src] += 1;
+                CrossMsg { time: f64::from(t) * 0.5, dst, src, src_seq, event }
+            })
+            .collect();
+        let mut canonical = msgs.clone();
+        canonical_sort(&mut canonical);
+        let mut rng = SimRng::seed_from_u64(shuffle_seed);
+        for round in 0..3 {
+            for i in (1..msgs.len()).rev() {
+                let j = rng.below(i + 1);
+                msgs.swap(i, j);
+            }
+            let mut sorted = msgs.clone();
+            canonical_sort(&mut sorted);
+            prop_assert_eq!(&sorted, &canonical, "permutation {} reordered the apply", round);
+        }
     }
 
     /// Summary::merge is equivalent to sequential accumulation.
